@@ -1,0 +1,76 @@
+//! Design-choice ablations as benchmarks: arrival convention, detector
+//! choice, DOACROSS reordering policy, and the cost of the §3 merge
+//! heuristic's measurement step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kn_core::doacross::{choose_order, Reorder};
+use kn_core::experiments::ablate;
+use kn_core::prelude::*;
+use kn_core::sched::FullOptions;
+use kn_core::workloads;
+
+fn bench_arrival(c: &mut Criterion) {
+    c.bench_function("ablate/arrival_5seeds", |b| {
+        b.iter(|| ablate::arrival_ablation(&[1, 2, 3, 4, 5], 3, 8))
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate/detector");
+    group.sample_size(20);
+    group.bench_function("both_5seeds", |b| {
+        b.iter(|| {
+            let r = ablate::detector_ablation(&[1, 2, 3, 4, 5], 3, 8);
+            assert_eq!(r.agreements, 5, "detectors must agree");
+            r
+        })
+    });
+    group.finish();
+}
+
+fn bench_misestimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate/misestimation");
+    group.sample_size(10);
+    group.bench_function("k1_to_6", |b| {
+        b.iter(|| ablate::misestimation_ablation(&[1, 2, 3], &[1, 2, 3, 4, 6], 3, 8, 60))
+    });
+    group.finish();
+}
+
+fn bench_doacross_reorder(c: &mut Criterion) {
+    let w = workloads::cytron86();
+    let m = MachineConfig::new(5, w.k);
+    let mut group = c.benchmark_group("ablate/doacross_reorder");
+    group.bench_function("natural", |b| {
+        b.iter(|| choose_order(&w.graph, &m, &Reorder::Natural))
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| choose_order(&w.graph, &m, &Reorder::Best { exhaustive_cap: 5040 }))
+    });
+    group.finish();
+}
+
+fn bench_merge_heuristic(c: &mut Criterion) {
+    let w = workloads::elliptic();
+    let m = MachineConfig::new(w.procs, w.k);
+    let mut group = c.benchmark_group("ablate/flow_merge");
+    group.sample_size(20);
+    group.bench_function("with_merge", |b| {
+        b.iter(|| schedule_loop(&w.graph, &m, 60, &FullOptions::default()).unwrap())
+    });
+    group.bench_function("separate_only", |b| {
+        let opts = FullOptions { merge_tolerance: None, ..FullOptions::default() };
+        b.iter(|| schedule_loop(&w.graph, &m, 60, &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arrival,
+    bench_detectors,
+    bench_misestimation,
+    bench_doacross_reorder,
+    bench_merge_heuristic
+);
+criterion_main!(benches);

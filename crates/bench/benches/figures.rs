@@ -1,0 +1,58 @@
+//! Regenerate every §3 figure comparison (Figures 3, 7/8, 9/10, 11, 12)
+//! and assert the paper's shape each time the bench runs — a benchmark
+//! that doubles as a regression gate on the scientific result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kn_core::experiments::figures::{doacross_report, figure_report};
+use kn_core::workloads;
+
+fn bench_figure_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    for (w, check) in [
+        (workloads::figure3(), Box::new(|_o: f64, _d: f64| {}) as Box<dyn Fn(f64, f64)>),
+        (
+            workloads::figure7(),
+            Box::new(|o: f64, d: f64| {
+                assert!(o >= 40.0 && d == 0.0, "fig7: {o} vs {d}");
+            }),
+        ),
+        (
+            workloads::cytron86(),
+            Box::new(|o: f64, d: f64| {
+                assert!(o > 55.0 && d < 45.0, "cytron86: {o} vs {d}");
+            }),
+        ),
+        (
+            workloads::livermore18(),
+            Box::new(|o: f64, d: f64| {
+                assert!(o > 40.0 && d < o, "livermore18: {o} vs {d}");
+            }),
+        ),
+        (
+            workloads::elliptic(),
+            Box::new(|o: f64, d: f64| {
+                assert!(o > 15.0 && d == 0.0, "elliptic: {o} vs {d}");
+            }),
+        ),
+    ] {
+        group.bench_function(w.name, |b| {
+            b.iter(|| {
+                let r = figure_report(&w, 100);
+                check(r.ours_sp, r.doacross_sp);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure8(c: &mut Criterion) {
+    let w = workloads::figure7();
+    c.bench_function("figures/figure8_doacross_grids", |b| {
+        b.iter(|| doacross_report(&w, 3, 4))
+    });
+}
+
+criterion_group!(benches, bench_figure_reports, bench_figure8);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Scheduler performance: how fast `Cyclic-sched` finds its pattern.
+//!
+//! The paper's complexity discussion (§2.2) says `M` (unrollings to find a
+//! pattern) "is typically very small, less than 10 in all the examples we
+//! ran" and that pattern detection "approached O(N)" in practice. These
+//! benches measure exactly that: end-to-end scheduling time per workload
+//! and per random-loop size, for both detectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kn_core::sched::{cyclic_schedule, CyclicOptions, DetectorKind, MachineConfig};
+use kn_core::workloads::{self, random_cyclic_loop, RandomLoopConfig};
+
+fn bench_paper_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclic_sched/paper");
+    for w in [
+        workloads::figure3(),
+        workloads::figure7(),
+        workloads::cytron86(),
+        workloads::livermore18(),
+        workloads::elliptic(),
+    ] {
+        let cls = kn_core::ddg::classify(&w.graph);
+        let (g, _) = w.graph.induced_subgraph(&cls.cyclic);
+        let m = MachineConfig::new(w.procs, w.k);
+        group.bench_function(w.name, |b| {
+            b.iter(|| cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclic_sched/random");
+    for nodes in [10usize, 20, 40, 80] {
+        let cfg = RandomLoopConfig {
+            nodes,
+            lcds: nodes / 2,
+            sds: nodes / 2,
+            min_latency: 1,
+            max_latency: 3,
+        };
+        let g = random_cyclic_loop(1, &cfg);
+        let m = MachineConfig::new(8, 3);
+        group.bench_with_input(BenchmarkId::new("state", nodes), &g, |b, g| {
+            b.iter(|| cyclic_schedule(g, &m, &CyclicOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("window", nodes), &g, |b, g| {
+            b.iter(|| {
+                cyclic_schedule(
+                    g,
+                    &m,
+                    &CyclicOptions {
+                        detector: DetectorKind::ConfigurationWindow,
+                        ..CyclicOptions::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_loop");
+    for w in [workloads::cytron86(), workloads::livermore18()] {
+        let m = MachineConfig::new(w.procs, w.k);
+        group.bench_function(w.name, |b| {
+            b.iter(|| kn_core::sched::schedule_loop(&w.graph, &m, 100, &Default::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_workloads, bench_random_sizes, bench_full_pipeline);
+criterion_main!(benches);

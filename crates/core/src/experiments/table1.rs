@@ -1,0 +1,259 @@
+//! Table 1: 25 random loops, our algorithm vs DOACROSS under fluctuating
+//! communication traffic (`mm ∈ {1, 3, 5}`).
+//!
+//! Paper §4 protocol, reproduced:
+//! * loops generated with the §4 recipe (40 nodes, 20 lcd + 20 sd,
+//!   latencies 1..3), Cyclic subset extracted;
+//! * both algorithms schedule with the *estimated* cost `k = 3`;
+//! * the simulated multiprocessor charges each message
+//!   `k + (0 .. mm-1)` cycles ("clearly a worst case scenario" at
+//!   `mm = 5`, an underestimate of up to 2.3×);
+//! * entry = percentage parallelism `(s - p)/s * 100`.
+//!
+//! Our per-loop numbers differ from the paper's (its RNG is unknown); the
+//! distributional claims are the reproduction target: ours wins on
+//! (almost) every loop, the average ratio is ≈ 3× and does **not** degrade
+//! as traffic worsens.
+
+use kn_doacross::{doacross_schedule, DoacrossOptions, Reorder};
+use kn_metrics::{f1, percentage_parallelism_clamped, stats, Align, TextTable};
+use kn_sched::MachineConfig;
+use kn_sim::{sequential_time, simulate, TrafficModel};
+use kn_workloads::{random_cyclic_loop_min, RandomLoopConfig};
+
+/// Configuration of the Table 1 run (paper defaults).
+#[derive(Clone, Debug)]
+pub struct Table1Config {
+    /// Loop seeds (the paper uses seeds 1..=25).
+    pub seeds: Vec<u64>,
+    /// Estimated communication cost.
+    pub k: u32,
+    /// Processor budget (the paper assumes "sufficient"; 8 is enough for
+    /// every generated Cyclic subset to reach its pattern rate).
+    pub procs: usize,
+    /// Iterations executed on the simulated machine.
+    pub iters: u32,
+    /// Traffic fluctuation factors.
+    pub mms: Vec<u32>,
+    /// DOACROSS body-order policy.
+    pub doacross_reorder: Reorder,
+    /// Random-loop generator parameters. The paper's literal recipe is
+    /// 40 nodes / 20 lcd / 20 sd, but its RNG and exact edge construction
+    /// are unknown and that density yields mostly degenerate Cyclic cores
+    /// under our generator. The default here (40 nodes / 12 lcd / 60 sd)
+    /// is *calibrated* so the DOACROSS baseline lands near the paper's
+    /// Table 1(b) average (≈ 16%), which makes the ratio claim testable;
+    /// see EXPERIMENTS.md §Table 1.
+    pub gen: RandomLoopConfig,
+    /// Minimum Cyclic-core size (the paper's cores are never degenerate).
+    pub min_core: usize,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self {
+            seeds: (1..=25).collect(),
+            k: 3,
+            procs: 8,
+            iters: 100,
+            mms: vec![1, 3, 5],
+            // The delay-minimizing reordered DOACROSS: the stronger form
+            // of the baseline, and the calibration that matches the
+            // paper's Table 1(b) DOACROSS average (≈ 16%). The paper's §3
+            // figures use the natural order (see `figures.rs`).
+            doacross_reorder: Reorder::Best { exhaustive_cap: 2000 },
+            gen: RandomLoopConfig { nodes: 40, lcds: 12, sds: 60, min_latency: 1, max_latency: 3 },
+            min_core: 4,
+        }
+    }
+}
+
+/// One loop's percentage parallelism per traffic setting.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub seed: u64,
+    pub cyclic_nodes: usize,
+    /// `ours[i]` = Sp under `mms[i]`.
+    pub ours: Vec<f64>,
+    pub doacross: Vec<f64>,
+}
+
+/// The whole table plus the paper's Table 1(b) summary.
+#[derive(Clone, Debug)]
+pub struct Table1Report {
+    pub config: Table1Config,
+    pub rows: Vec<Table1Row>,
+    /// Average Sp per mm, ours.
+    pub avg_ours: Vec<f64>,
+    /// Average Sp per mm, DOACROSS.
+    pub avg_doacross: Vec<f64>,
+    /// Factor of speed-up over DOACROSS (ratio of averages), per mm —
+    /// the paper reports 2.9 / 3.0 / 3.3.
+    pub factor: Vec<f64>,
+    /// Loops where DOACROSS beat us, per mm (paper: 0 / 1 / 2 of 25).
+    pub losses: Vec<usize>,
+}
+
+/// Run the experiment.
+pub fn run_table1(cfg: &Table1Config) -> Table1Report {
+    let m = MachineConfig::new(cfg.procs, cfg.k);
+    let mut rows = Vec::with_capacity(cfg.seeds.len());
+    for &seed in &cfg.seeds {
+        let g = random_cyclic_loop_min(seed, &cfg.gen, cfg.min_core);
+        let s = sequential_time(&g, cfg.iters);
+        let ours = kn_sched::schedule_loop(&g, &m, cfg.iters, &Default::default())
+            .expect("random cyclic loop schedulable");
+        let da = doacross_schedule(
+            &g,
+            &m,
+            cfg.iters,
+            &DoacrossOptions { reorder: cfg.doacross_reorder.clone() },
+        )
+        .expect("doacross schedulable");
+        let mut row = Table1Row {
+            seed,
+            cyclic_nodes: g.node_count(),
+            ours: Vec::new(),
+            doacross: Vec::new(),
+        };
+        for &mm in &cfg.mms {
+            let traffic = TrafficModel { mm, seed: seed.wrapping_mul(1_000_003) ^ mm as u64 };
+            let ours_t = simulate(&ours.program, &g, &m, &traffic).unwrap().makespan;
+            let da_t = simulate(&da.program, &g, &m, &traffic).unwrap().makespan;
+            row.ours.push(percentage_parallelism_clamped(s, ours_t));
+            row.doacross.push(percentage_parallelism_clamped(s, da_t));
+        }
+        rows.push(row);
+    }
+
+    let nmm = cfg.mms.len();
+    let mut avg_ours = Vec::with_capacity(nmm);
+    let mut avg_doacross = Vec::with_capacity(nmm);
+    let mut factor = Vec::with_capacity(nmm);
+    let mut losses = Vec::with_capacity(nmm);
+    for i in 0..nmm {
+        let o: Vec<f64> = rows.iter().map(|r| r.ours[i]).collect();
+        let d: Vec<f64> = rows.iter().map(|r| r.doacross[i]).collect();
+        let (so, sd) = (stats(&o), stats(&d));
+        avg_ours.push(so.mean);
+        avg_doacross.push(sd.mean);
+        factor.push(if sd.mean > 0.0 { so.mean / sd.mean } else { f64::INFINITY });
+        losses.push(rows.iter().filter(|r| r.doacross[i] > r.ours[i]).count());
+    }
+    Table1Report { config: cfg.clone(), rows, avg_ours, avg_doacross, factor, losses }
+}
+
+impl Table1Report {
+    /// Render Table 1(a): per-loop percentage parallelism.
+    pub fn render_rows(&self) -> String {
+        let mut headers: Vec<String> = vec!["loop".into(), "|Cyclic|".into()];
+        for mm in &self.config.mms {
+            headers.push(format!("x (mm={mm})"));
+            headers.push(format!("doacross (mm={mm})"));
+        }
+        let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(&hrefs).align(0, Align::Left);
+        for r in &self.rows {
+            let mut cells = vec![r.seed.to_string(), r.cyclic_nodes.to_string()];
+            for i in 0..self.config.mms.len() {
+                cells.push(f1(r.ours[i]));
+                cells.push(f1(r.doacross[i]));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// Render Table 1(b): averages and the factor of speed-up.
+    pub fn render_summary(&self) -> String {
+        let mut headers: Vec<String> = vec!["".into()];
+        for mm in &self.config.mms {
+            headers.push(format!("mm={mm}"));
+        }
+        let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(&hrefs).align(0, Align::Left);
+        let fmt_row = |label: &str, xs: &[f64]| {
+            let mut cells = vec![label.to_string()];
+            cells.extend(xs.iter().map(|&x| f1(x)));
+            cells
+        };
+        t.row(fmt_row("x", &self.avg_ours));
+        t.row(fmt_row("DOACROSS", &self.avg_doacross));
+        t.row(fmt_row("factor of speed-up", &self.factor));
+        let mut cells = vec!["loops lost".to_string()];
+        cells.extend(self.losses.iter().map(|l| l.to_string()));
+        t.row(cells);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> Table1Config {
+        Table1Config {
+            seeds: (1..=6).collect(),
+            iters: 60,
+            doacross_reorder: Reorder::Natural,
+            ..Table1Config::default()
+        }
+    }
+
+    #[test]
+    fn ours_beats_doacross_on_average_under_all_traffic() {
+        let r = run_table1(&small_cfg());
+        for i in 0..r.config.mms.len() {
+            assert!(
+                r.avg_ours[i] > r.avg_doacross[i],
+                "mm={}: {} vs {}",
+                r.config.mms[i],
+                r.avg_ours[i],
+                r.avg_doacross[i]
+            );
+        }
+    }
+
+    #[test]
+    fn factor_is_substantial_and_does_not_collapse_with_traffic() {
+        // Paper Table 1(b): factors 2.9 / 3.0 / 3.3 — improving with mm.
+        let r = run_table1(&small_cfg());
+        let first = r.factor[0];
+        let last = *r.factor.last().unwrap();
+        assert!(first > 1.5, "factor at mm=1: {first}");
+        assert!(
+            last >= first * 0.8,
+            "robustness: factor should not collapse ({first} -> {last})"
+        );
+    }
+
+    #[test]
+    fn parallelism_degrades_gracefully_with_mm() {
+        let r = run_table1(&small_cfg());
+        for row in &r.rows {
+            for w in row.ours.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "more traffic cannot help: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_contains_all_rows() {
+        let r = run_table1(&small_cfg());
+        let a = r.render_rows();
+        assert!(a.contains("doacross (mm=5)"));
+        assert_eq!(a.lines().count(), 2 + r.rows.len());
+        let b = r.render_summary();
+        assert!(b.contains("factor of speed-up"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_table1(&small_cfg());
+        let b = run_table1(&small_cfg());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.ours, y.ours);
+            assert_eq!(x.doacross, y.doacross);
+        }
+    }
+}

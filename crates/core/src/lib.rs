@@ -1,0 +1,145 @@
+//! # kn-core — the public facade
+//!
+//! One-stop API for the whole reproduction of Kim & Nicolau,
+//! *Parallelizing Non-Vectorizable Loops for MIMD machines* (ICPP 1990):
+//!
+//! * [`parallelize`] — the complete compiler pipeline on any loop DDG:
+//!   distance normalization (unwinding), classification, `Cyclic-sched`
+//!   pattern scheduling, Flow-in/Flow-out placement, static timing;
+//! * [`experiments`] — drivers that regenerate every table and figure of
+//!   the paper's evaluation (see EXPERIMENTS.md for measured results);
+//! * re-exports of all subsystem crates (`ddg`, `ir`, `sched`, `doacross`,
+//!   `sim`, `runtime`, `workloads`, `metrics`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kn_core::prelude::*;
+//!
+//! // The paper's Figure 7 loop.
+//! let w = kn_core::workloads::figure7();
+//! let machine = MachineConfig::new(2, 2); // 2 PEs, comm bound k = 2
+//! let result = kn_core::parallelize(&w.graph, &machine, 100, &Default::default())
+//!     .expect("schedulable");
+//! // The Cyclic pattern retires 2 iterations every 5 cycles.
+//! assert_eq!(result.schedule.cyclic_ii(), Some(2.5));
+//! ```
+
+pub use kn_ddg as ddg;
+pub use kn_doacross as doacross;
+pub use kn_ir as ir;
+pub use kn_metrics as metrics;
+pub use kn_runtime as runtime;
+pub use kn_sched as sched;
+pub use kn_sim as sim;
+pub use kn_workloads as workloads;
+
+pub mod experiments;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use kn_ddg::{classify, Ddg, DdgBuilder, NodeId, SubsetKind};
+    pub use kn_doacross::{doacross_schedule, DoacrossOptions};
+    pub use kn_metrics::{percentage_parallelism, percentage_parallelism_clamped};
+    pub use kn_sched::{
+        cyclic_schedule, schedule_loop, CyclicOptions, FullOptions, MachineConfig,
+        PatternOutcome, ScheduleTable,
+    };
+    pub use kn_sim::{simulate, sequential_time, TrafficModel};
+}
+
+use kn_ddg::{normalize_distances, Ddg, NodeId};
+use kn_sched::{FullOptions, LoopSchedule, MachineConfig, SchedLoopError};
+
+/// Result of [`parallelize`]: the schedule plus the normalization metadata
+/// needed to map instances back to the original loop.
+#[derive(Clone, Debug)]
+pub struct ParallelizedLoop {
+    /// The graph actually scheduled (the input, unrolled if distances
+    /// exceeded 1).
+    pub normalized: Ddg,
+    /// Unroll factor applied (1 = none).
+    pub unroll_factor: u32,
+    /// For each normalized node: `(original node, copy index)`.
+    pub origin: Vec<(NodeId, u32)>,
+    /// The complete schedule (paper Figure 6 pipeline).
+    pub schedule: LoopSchedule,
+}
+
+impl ParallelizedLoop {
+    /// Map a normalized-graph instance back to the original loop's
+    /// `(node, iteration)`.
+    pub fn original_instance(&self, inst: kn_ddg::InstanceId) -> (NodeId, u64) {
+        let (node, copy) = self.origin[inst.node.index()];
+        (node, inst.iter as u64 * self.unroll_factor as u64 + copy as u64)
+    }
+}
+
+/// The full pipeline of the paper (Figure 6), preceded by distance
+/// normalization (§2.1, citing Munshi & Simons): unwind until all
+/// dependence distances are 0/1, classify, schedule the Cyclic core with
+/// `Cyclic-sched`, place Flow-in/Flow-out nodes, and time the result.
+///
+/// `iters` counts iterations of the *original* loop; the normalized loop
+/// runs `ceil(iters / unroll_factor)` super-iterations.
+pub fn parallelize(
+    g: &Ddg,
+    m: &MachineConfig,
+    iters: u32,
+    opts: &FullOptions,
+) -> Result<ParallelizedLoop, SchedLoopError> {
+    let unrolled = normalize_distances(g);
+    let super_iters = iters.div_ceil(unrolled.factor).max(1);
+    let schedule = kn_sched::schedule_loop(&unrolled.graph, m, super_iters, opts)?;
+    Ok(ParallelizedLoop {
+        normalized: unrolled.graph,
+        unroll_factor: unrolled.factor,
+        origin: unrolled.copy_of,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ddg::DdgBuilder;
+
+    #[test]
+    fn parallelize_figure7() {
+        let w = kn_workloads::figure7();
+        let m = MachineConfig::new(2, 2);
+        let r = parallelize(&w.graph, &m, 50, &Default::default()).unwrap();
+        assert_eq!(r.unroll_factor, 1);
+        assert_eq!(r.schedule.cyclic_ii(), Some(2.5));
+        assert_eq!(r.schedule.program.len(), 50 * 5);
+    }
+
+    #[test]
+    fn parallelize_normalizes_long_distances() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.dep_dist(x, x, 3);
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(4, 1);
+        let r = parallelize(&g, &m, 9, &Default::default()).unwrap();
+        assert_eq!(r.unroll_factor, 3);
+        assert_eq!(r.normalized.node_count(), 3);
+        // 9 original iterations = 3 super-iterations.
+        assert_eq!(r.schedule.iters, 3);
+        // Instance mapping round-trips.
+        let (orig, iter) = r.original_instance(kn_ddg::InstanceId {
+            node: kn_ddg::NodeId(1),
+            iter: 2,
+        });
+        assert_eq!(orig, x);
+        assert_eq!(iter, 7); // copy 1 of super-iteration 2 = 2*3 + 1
+    }
+
+    #[test]
+    fn doc_example_compiles_and_holds() {
+        let w = kn_workloads::figure7();
+        let machine = MachineConfig::new(2, 2);
+        let result = parallelize(&w.graph, &machine, 100, &Default::default()).unwrap();
+        assert_eq!(result.schedule.cyclic_ii(), Some(2.5));
+    }
+}

@@ -1,0 +1,351 @@
+//! The paper's Figure 2 `classification` algorithm.
+//!
+//! Partitions the nodes of a loop DDG into three disjoint subsets
+//! (paper §2.1):
+//!
+//! * **Flow-in** — a node with no predecessors, or all of whose
+//!   predecessors are in Flow-in;
+//! * **Flow-out** — a node not in Flow-in with no successors, or all of
+//!   whose successors are in Flow-out;
+//! * **Cyclic** — everything else.
+//!
+//! The Cyclic nodes are the ones that determine the loop's steady-state
+//! execution time (given enough processors); Flow-in nodes are constrained
+//! only by the *latest* time they can run, Flow-out nodes only by the
+//! *earliest*. If Cyclic is empty the loop is a DOALL loop — unbounded
+//! parallelism is available because no dependence chain grows with the
+//! iteration count.
+//!
+//! Complexity: O(m) in the number of dependence edges, because each edge is
+//! inspected a bounded number of times (paper §2.1).
+
+use crate::graph::{Ddg, NodeId};
+
+/// Which of the three subsets a node belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SubsetKind {
+    FlowIn,
+    Cyclic,
+    FlowOut,
+}
+
+impl std::fmt::Display for SubsetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubsetKind::FlowIn => write!(f, "Flow-in"),
+            SubsetKind::Cyclic => write!(f, "Cyclic"),
+            SubsetKind::FlowOut => write!(f, "Flow-out"),
+        }
+    }
+}
+
+/// Result of [`classify`]: the paper's `<Flow-in, Cyclic, Flow-out>` split.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// Flow-in node ids, in ascending id order.
+    pub flow_in: Vec<NodeId>,
+    /// Cyclic node ids, in ascending id order.
+    pub cyclic: Vec<NodeId>,
+    /// Flow-out node ids, in ascending id order.
+    pub flow_out: Vec<NodeId>,
+    /// Per-node subset, indexed by `NodeId::index()`.
+    pub kind: Vec<SubsetKind>,
+}
+
+impl Classification {
+    /// Subset of node `n`.
+    #[inline]
+    pub fn kind_of(&self, n: NodeId) -> SubsetKind {
+        self.kind[n.index()]
+    }
+
+    /// True iff the loop is a DOALL loop (no Cyclic nodes; paper §2.1).
+    pub fn is_doall(&self) -> bool {
+        self.cyclic.is_empty()
+    }
+
+    /// Number of non-Cyclic nodes (the `L` of the paper's Figure 5 for
+    /// Flow-in; Flow-out is symmetric).
+    pub fn flow_in_size(&self) -> usize {
+        self.flow_in.len()
+    }
+}
+
+/// Run the paper's Figure 2 `classification` algorithm.
+///
+/// ```
+/// use kn_ddg::{classify, DdgBuilder, SubsetKind};
+///
+/// // in -> core (self-recurrence) -> out
+/// let mut b = DdgBuilder::new();
+/// let i = b.node("in");
+/// let c = b.node("core");
+/// let o = b.node("out");
+/// b.dep(i, c);
+/// b.carried(c, c);
+/// b.dep(c, o);
+/// let g = b.build().unwrap();
+///
+/// let cls = classify(&g);
+/// assert_eq!(cls.kind_of(i), SubsetKind::FlowIn);
+/// assert_eq!(cls.kind_of(c), SubsetKind::Cyclic);
+/// assert_eq!(cls.kind_of(o), SubsetKind::FlowOut);
+/// ```
+///
+/// Implementation notes: the paper's pseudo-code grows Flow-in breadth-first
+/// from the root nodes, admitting a successor once *all* of its predecessors
+/// are already in Flow-in; then symmetrically grows Flow-out backwards from
+/// the non-Flow-in leaves; Cyclic is the remainder. A node with a carried
+/// self-dependence is its own predecessor, so it can never enter Flow-in —
+/// exactly the behaviour that keeps recurrences in the Cyclic core.
+pub fn classify(g: &Ddg) -> Classification {
+    let n = g.node_count();
+    let mut in_flow_in = vec![false; n];
+    let mut in_flow_out = vec![false; n];
+
+    // --- Flow-in fixpoint (steps 1-4 of Figure 2) ---
+    // `remaining[v]` = number of predecessors of v not yet known to be in
+    // Flow-in. Counting edge multiplicity is harmless: all copies decrement.
+    let mut remaining: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
+    let mut buffer: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&v| g.in_degree(v) == 0)
+        .collect();
+    for &v in &buffer {
+        in_flow_in[v.index()] = true;
+    }
+    while let Some(v) = buffer.pop() {
+        for w in g.successors(v) {
+            if in_flow_in[w.index()] {
+                continue; // parallel edges / diamonds may revisit
+            }
+            remaining[w.index()] -= 1;
+            if remaining[w.index()] == 0 {
+                in_flow_in[w.index()] = true;
+                buffer.push(w);
+            }
+        }
+    }
+
+    // --- Flow-out fixpoint (steps 5-8 of Figure 2) ---
+    let mut remaining_out: Vec<usize> =
+        (0..n).map(|i| g.out_degree(NodeId(i as u32))).collect();
+    let mut buffer: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&v| !in_flow_in[v.index()] && g.out_degree(v) == 0)
+        .collect();
+    for &v in &buffer {
+        in_flow_out[v.index()] = true;
+    }
+    while let Some(v) = buffer.pop() {
+        for w in g.predecessors(v) {
+            if in_flow_in[w.index()] || in_flow_out[w.index()] {
+                continue;
+            }
+            remaining_out[w.index()] -= 1;
+            if remaining_out[w.index()] == 0 {
+                in_flow_out[w.index()] = true;
+                buffer.push(w);
+            }
+        }
+    }
+
+    // Subtlety: the Flow-out fixpoint above only *starts* from leaves, but a
+    // node all of whose successors are Flow-out may have some successors
+    // admitted after it was first inspected; the worklist handles that. A
+    // remaining case: a node whose successors are partly Flow-out and partly
+    // Flow-in cannot be Flow-out ("all of its successors are in Flow-out"),
+    // and indeed its counter never reaches zero because Flow-in successors
+    // never decrement it. That matches the paper's definition.
+
+    let mut kind = Vec::with_capacity(n);
+    let (mut fi, mut cy, mut fo) = (Vec::new(), Vec::new(), Vec::new());
+    for v in g.node_ids() {
+        let k = if in_flow_in[v.index()] {
+            fi.push(v);
+            SubsetKind::FlowIn
+        } else if in_flow_out[v.index()] {
+            fo.push(v);
+            SubsetKind::FlowOut
+        } else {
+            cy.push(v);
+            SubsetKind::Cyclic
+        };
+        kind.push(k);
+    }
+    Classification { flow_in: fi, cyclic: cy, flow_out: fo, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgBuilder;
+
+    /// The paper's Figure 1 example. Reconstructed adjacency (consistent
+    /// with the stated classification): Flow-in = {A,B,C,D,F},
+    /// Flow-out = {G,H,J}, Cyclic = {E,I,K,L}; strongly connected
+    /// subgraphs (E,I) and (L).
+    fn figure1() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        let bb = b.node("B");
+        let c = b.node("C");
+        let d = b.node("D");
+        let e = b.node("E");
+        let f = b.node("F");
+        let g = b.node("G");
+        let h = b.node("H");
+        let i = b.node("I");
+        let j = b.node("J");
+        let k = b.node("K");
+        let l = b.node("L");
+        // Flow-in DAG feeding the cyclic core.
+        b.dep(a, e);
+        b.dep(bb, e);
+        b.dep(c, f); // C -> F: F has all preds in Flow-in.
+        b.dep(d, f);
+        b.dep(f, i);
+        // Cyclic core: (E, I) strongly connected via a carried back-edge,
+        // K fed by the core and feeding L, L with a carried self-loop.
+        b.dep(e, i);
+        b.carried(i, e);
+        b.dep(i, k);
+        b.carried(k, i); // K in a cycle with I => Cyclic.
+        b.dep(k, l);
+        b.carried(l, l);
+        // Flow-out tail.
+        b.dep(l, g);
+        b.dep(g, h);
+        b.dep(h, j);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_classification_matches_paper() {
+        let g = figure1();
+        let c = classify(&g);
+        let names = |ids: &[NodeId]| -> Vec<&str> { ids.iter().map(|&i| g.name(i)).collect() };
+        assert_eq!(names(&c.flow_in), vec!["A", "B", "C", "D", "F"]);
+        assert_eq!(names(&c.cyclic), vec!["E", "I", "K", "L"]);
+        assert_eq!(names(&c.flow_out), vec!["G", "H", "J"]);
+        assert!(!c.is_doall());
+    }
+
+    #[test]
+    fn pure_dag_is_all_flow_in_hence_doall() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.node("z");
+        b.dep(x, y);
+        b.carried(y, z); // carried but acyclic: still DOALL by the paper.
+        let g = b.build().unwrap();
+        let c = classify(&g);
+        assert!(c.is_doall());
+        assert_eq!(c.flow_in.len(), 3);
+        assert!(c.flow_out.is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let c = classify(&g);
+        assert_eq!(c.kind_of(x), SubsetKind::Cyclic);
+    }
+
+    #[test]
+    fn figure7_is_all_cyclic() {
+        // Figure 7's five nodes all sit on recurrences: A->B->C->D->E->A
+        // (with carried links C->D and E->A) plus self-loops on A and D.
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        let bb = b.node("B");
+        let c = b.node("C");
+        let d = b.node("D");
+        let e = b.node("E");
+        b.carried(a, a);
+        b.carried(e, a);
+        b.dep(a, bb);
+        b.dep(bb, c);
+        b.carried(d, d);
+        b.carried(c, d);
+        b.dep(d, e);
+        let g = b.build().unwrap();
+        let cls = classify(&g);
+        assert_eq!(cls.cyclic.len(), 5);
+        assert!(cls.flow_in.is_empty());
+        assert!(cls.flow_out.is_empty());
+    }
+
+    #[test]
+    fn flow_out_needs_all_successors_out() {
+        // core -> x, x -> y (leaf), x -> back into core. x must be Cyclic
+        // because one successor is Cyclic; y is Flow-out.
+        let mut b = DdgBuilder::new();
+        let c0 = b.node("c0");
+        let c1 = b.node("c1");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(c0, c1);
+        b.carried(c1, c0);
+        b.dep(c0, x);
+        b.dep(x, y);
+        b.carried(x, c1); // x participates in the recurrence region
+        let g = b.build().unwrap();
+        let cls = classify(&g);
+        assert_eq!(cls.kind_of(x), SubsetKind::Cyclic);
+        assert_eq!(cls.kind_of(y), SubsetKind::FlowOut);
+    }
+
+    #[test]
+    fn classification_is_a_partition() {
+        let g = figure1();
+        let c = classify(&g);
+        assert_eq!(
+            c.flow_in.len() + c.cyclic.len() + c.flow_out.len(),
+            g.node_count()
+        );
+        // kind vector agrees with the lists
+        for &v in &c.flow_in {
+            assert_eq!(c.kind_of(v), SubsetKind::FlowIn);
+        }
+        for &v in &c.cyclic {
+            assert_eq!(c.kind_of(v), SubsetKind::Cyclic);
+        }
+        for &v in &c.flow_out {
+            assert_eq!(c.kind_of(v), SubsetKind::FlowOut);
+        }
+    }
+
+    #[test]
+    fn flow_in_is_predecessor_closed() {
+        let g = figure1();
+        let c = classify(&g);
+        for &v in &c.flow_in {
+            for p in g.predecessors(v) {
+                assert_eq!(c.kind_of(p), SubsetKind::FlowIn, "pred of Flow-in must be Flow-in");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_out_is_successor_closed() {
+        let g = figure1();
+        let c = classify(&g);
+        for &v in &c.flow_out {
+            for s in g.successors(v) {
+                assert_eq!(c.kind_of(s), SubsetKind::FlowOut, "succ of Flow-out must be Flow-out");
+            }
+        }
+    }
+
+    #[test]
+    fn display_kinds() {
+        assert_eq!(SubsetKind::FlowIn.to_string(), "Flow-in");
+        assert_eq!(SubsetKind::Cyclic.to_string(), "Cyclic");
+        assert_eq!(SubsetKind::FlowOut.to_string(), "Flow-out");
+    }
+}

@@ -1,0 +1,116 @@
+//! Weakly-connected components.
+//!
+//! The paper assumes the DDG of a loop is connected; "if the graph is not
+//! connected, we can simply separate the graph into several connected ones
+//! and apply our scheduling algorithm to each of them independently" (§2.1).
+//! [`split_components`] performs that separation.
+
+use crate::graph::{Ddg, NodeId};
+
+/// Component index per node (`0..k`), components numbered by smallest
+/// member node id.
+pub fn components(g: &Ddg) -> (usize, Vec<usize>) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if comp[root] != usize::MAX {
+            continue;
+        }
+        comp[root] = count;
+        stack.push(NodeId(root as u32));
+        while let Some(v) = stack.pop() {
+            for w in g.successors(v).chain(g.predecessors(v)) {
+                if comp[w.index()] == usize::MAX {
+                    comp[w.index()] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count, comp)
+}
+
+/// True iff the (undirected) dependence graph is connected.
+pub fn is_connected(g: &Ddg) -> bool {
+    components(g).0 == 1
+}
+
+/// Split into connected subgraphs, each with its back-mapping to original
+/// node ids (`new index -> old NodeId`). Ordered by smallest member id.
+pub fn split_components(g: &Ddg) -> Vec<(Ddg, Vec<NodeId>)> {
+    let (k, comp) = components(g);
+    let mut member_lists = vec![Vec::new(); k];
+    for v in g.node_ids() {
+        member_lists[comp[v.index()]].push(v);
+    }
+    member_lists
+        .into_iter()
+        .map(|members| g.induced_subgraph(&members))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgBuilder;
+
+    #[test]
+    fn single_component() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(x, y);
+        let g = b.build().unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(split_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn two_components_split() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let p = b.node("p");
+        let q = b.node("q");
+        b.dep(x, y);
+        b.carried(q, p);
+        let g = b.build().unwrap();
+        assert!(!is_connected(&g));
+        let parts = split_components(&g);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0.node_count(), 2);
+        assert_eq!(parts[1].0.node_count(), 2);
+        // Back-mapping points at originals.
+        assert_eq!(parts[0].1, vec![x, y]);
+        assert_eq!(parts[1].1, vec![p, q]);
+        // Each part keeps its internal edge.
+        assert_eq!(parts[0].0.edge_count(), 1);
+        assert_eq!(parts[1].0.edge_count(), 1);
+    }
+
+    #[test]
+    fn direction_does_not_matter_for_connectivity() {
+        // x <- y (edge y->x) still connects them.
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(y, x);
+        let g = b.build().unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let mut b = DdgBuilder::new();
+        b.node("x");
+        b.node("y");
+        b.node("z");
+        let g = b.build().unwrap();
+        let (k, comp) = components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! GraphViz (DOT) export, for debugging and for the repository's
+//! documentation. Loop-carried edges are dashed and annotated with their
+//! distance; subset classification (if supplied) colours the nodes the way
+//! the paper's Figure 1 shades them.
+
+use crate::classify::{Classification, SubsetKind};
+use crate::graph::Ddg;
+use std::fmt::Write as _;
+
+/// Render the graph as DOT. `classes` optionally colours nodes by subset.
+pub fn to_dot(g: &Ddg, classes: Option<&Classification>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph ddg {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(s, "  node [shape=circle fontname=\"Helvetica\"];");
+    for v in g.node_ids() {
+        let node = g.node(v);
+        let fill = match classes.map(|c| c.kind_of(v)) {
+            Some(SubsetKind::FlowIn) => "lightblue",
+            Some(SubsetKind::Cyclic) => "lightsalmon",
+            Some(SubsetKind::FlowOut) => "lightgreen",
+            None => "white",
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\\nlat={}\" style=filled fillcolor={}];",
+            v.0, node.name, node.latency, fill
+        );
+    }
+    for eid in g.edge_ids() {
+        let e = g.edge(eid);
+        if e.distance == 0 {
+            let _ = writeln!(s, "  {} -> {};", e.src.0, e.dst.0);
+        } else {
+            let _ = writeln!(
+                s,
+                "  {} -> {} [style=dashed label=\"d{}\"];",
+                e.src.0, e.dst.0, e.distance
+            );
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::graph::DdgBuilder;
+
+    fn sample() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node_lat("y", 3);
+        b.dep(x, y);
+        b.carried(y, x);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = sample();
+        let dot = to_dot(&g, None);
+        assert!(dot.contains("digraph ddg"));
+        assert!(dot.contains("label=\"x\\nlat=1\""));
+        assert!(dot.contains("label=\"y\\nlat=3\""));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("style=dashed label=\"d1\""));
+    }
+
+    #[test]
+    fn dot_colours_by_class() {
+        let g = sample();
+        let c = classify(&g);
+        let dot = to_dot(&g, Some(&c));
+        assert!(dot.contains("lightsalmon"), "cyclic nodes coloured: {dot}");
+    }
+}

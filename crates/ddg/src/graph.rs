@@ -1,0 +1,566 @@
+//! Core data-dependence-graph representation.
+//!
+//! A [`Ddg`] models one loop body. Each [`Node`] is a "unit of computation"
+//! (paper §2.1) — a single operation or a whole procedure, chosen so that its
+//! execution time is within the same order of magnitude as communication
+//! cost. Each [`Edge`] is a data dependence with a **distance**: the number
+//! of iterations separating producer and consumer (0 = same iteration).
+
+use std::fmt;
+
+/// Index of a node within its [`Ddg`]. Nodes are dense, 0-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge within its [`Ddg`]. Edges are dense, 0-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId(pub u32);
+
+/// Estimated execution time of a node, in machine cycles. Always ≥ 1.
+pub type Latency = u32;
+
+/// Dependence distance in iterations. 0 = intra-iteration ("simple
+/// dependence" in the paper's §4 terminology), ≥ 1 = loop-carried.
+pub type Distance = u32;
+
+impl NodeId {
+    /// The node's dense index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The edge's dense index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A unit of computation in the loop body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Human-readable name ("A", "op3", ...). Unique within the graph.
+    pub name: String,
+    /// Estimated execution time in cycles (paper: the latency vector `lv`).
+    pub latency: Latency,
+    /// Optional source-statement text, carried through to code generation
+    /// (e.g. `A[I] = A[I-1] * E[I-1]`).
+    pub stmt: Option<String>,
+}
+
+/// A data dependence from `src` to `dst`, `distance` iterations apart:
+/// instance `(src, i)` must complete before instance `(dst, i + distance)`
+/// may start (plus communication delay when they run on different
+/// processors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub distance: Distance,
+    /// Per-edge communication cost override. `None` means "use the machine's
+    /// global upper bound `k`". The paper allows each communication edge its
+    /// own cost with `k` as the upper bound (§2.3).
+    pub cost: Option<u32>,
+}
+
+/// Errors detected by [`Ddg::validate`] / [`DdgBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DdgError {
+    /// A node was declared with latency 0.
+    ZeroLatency(NodeId),
+    /// Two nodes share a name.
+    DuplicateName(String),
+    /// An edge references a node id out of range.
+    DanglingEdge(EdgeId),
+    /// The distance-0 subgraph has a cycle: a value would depend on itself
+    /// within a single iteration, which no legal loop body can express.
+    IntraIterationCycle(Vec<NodeId>),
+    /// Graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::ZeroLatency(n) => write!(f, "node {n} has zero latency"),
+            DdgError::DuplicateName(s) => write!(f, "duplicate node name {s:?}"),
+            DdgError::DanglingEdge(e) => write!(f, "edge {e} references a missing node"),
+            DdgError::IntraIterationCycle(ns) => {
+                write!(f, "distance-0 subgraph has a cycle through {ns:?}")
+            }
+            DdgError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for DdgError {}
+
+/// A validated data-dependence graph for one loop body.
+///
+/// Construction goes through [`DdgBuilder`], which enforces the structural
+/// invariants; a `Ddg` in hand is always well-formed.
+#[derive(Clone, Debug)]
+pub struct Ddg {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node, in insertion order.
+    succs: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node, in insertion order.
+    preds: Vec<Vec<EdgeId>>,
+}
+
+impl Ddg {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids, in dense order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All edge ids, in dense order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + Clone {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Node payload.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Edge payload.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Outgoing edges of `n`.
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + Clone {
+        self.succs[n.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Incoming edges of `n`.
+    pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + Clone {
+        self.preds[n.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Successor node ids of `n` (may repeat if parallel edges exist).
+    pub fn successors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(n).map(|(_, e)| e.dst)
+    }
+
+    /// Predecessor node ids of `n` (may repeat if parallel edges exist).
+    pub fn predecessors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(n).map(|(_, e)| e.src)
+    }
+
+    /// In-degree counting **all** edges (any distance).
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.preds[n.index()].len()
+    }
+
+    /// Out-degree counting **all** edges (any distance).
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succs[n.index()].len()
+    }
+
+    /// In-degree restricted to distance-0 edges: the number of dependences a
+    /// node must wait for *within* its own iteration.
+    pub fn intra_in_degree(&self, n: NodeId) -> usize {
+        self.in_edges(n).filter(|(_, e)| e.distance == 0).count()
+    }
+
+    /// Latency of node `n`.
+    #[inline]
+    pub fn latency(&self, n: NodeId) -> Latency {
+        self.nodes[n.index()].latency
+    }
+
+    /// Sum of all node latencies: the sequential execution time of one
+    /// iteration (the `s / N` in the paper's percentage-parallelism metric).
+    pub fn body_latency(&self) -> u64 {
+        self.nodes.iter().map(|n| n.latency as u64).sum()
+    }
+
+    /// Largest dependence distance in the graph (0 for a loop-free DAG).
+    pub fn max_distance(&self) -> Distance {
+        self.edges.iter().map(|e| e.distance).max().unwrap_or(0)
+    }
+
+    /// True iff every dependence distance is 0 or 1 (the normal form the
+    /// scheduler requires; see [`crate::unwind::normalize_distances`]).
+    pub fn distances_normalized(&self) -> bool {
+        self.max_distance() <= 1
+    }
+
+    /// Look up a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Name of node `n`.
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.nodes[n.index()].name
+    }
+
+    /// Loop-carried edges (distance ≥ 1), the paper's "lcd"s.
+    pub fn carried_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edge_ids()
+            .map(move |e| (e, &self.edges[e.index()]))
+            .filter(|(_, e)| e.distance >= 1)
+    }
+
+    /// Intra-iteration edges (distance 0), the paper's "sd"s.
+    pub fn intra_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edge_ids()
+            .map(move |e| (e, &self.edges[e.index()]))
+            .filter(|(_, e)| e.distance == 0)
+    }
+
+    /// Revalidate the invariants (always true for a built graph; used by
+    /// property tests as a sanity oracle).
+    pub fn validate(&self) -> Result<(), DdgError> {
+        validate_parts(&self.nodes, &self.edges)
+    }
+
+    /// Extract the subgraph induced by `keep` (a set of node ids), remapping
+    /// node ids densely. Returns the subgraph and the mapping
+    /// `new NodeId index -> old NodeId`. Edges with either endpoint outside
+    /// `keep` are dropped.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Ddg, Vec<NodeId>) {
+        let mut old_to_new = vec![None; self.node_count()];
+        let mut builder = DdgBuilder::new();
+        let mut back = Vec::with_capacity(keep.len());
+        for (new_idx, &old) in keep.iter().enumerate() {
+            let node = self.node(old);
+            let id = builder
+                .node_full(node.name.clone(), node.latency, node.stmt.clone())
+                .expect("names unique in source graph");
+            debug_assert_eq!(id.index(), new_idx);
+            old_to_new[old.index()] = Some(id);
+            back.push(old);
+        }
+        for e in &self.edges {
+            if let (Some(s), Some(d)) = (old_to_new[e.src.index()], old_to_new[e.dst.index()]) {
+                builder.edge_full(s, d, e.distance, e.cost);
+            }
+        }
+        let g = builder.build().expect("subgraph of a valid graph is valid");
+        (g, back)
+    }
+}
+
+fn validate_parts(nodes: &[Node], edges: &[Edge]) -> Result<(), DdgError> {
+    if nodes.is_empty() {
+        return Err(DdgError::Empty);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.latency == 0 {
+            return Err(DdgError::ZeroLatency(NodeId(i as u32)));
+        }
+        if !seen.insert(n.name.as_str()) {
+            return Err(DdgError::DuplicateName(n.name.clone()));
+        }
+    }
+    for (i, e) in edges.iter().enumerate() {
+        if e.src.index() >= nodes.len() || e.dst.index() >= nodes.len() {
+            return Err(DdgError::DanglingEdge(EdgeId(i as u32)));
+        }
+    }
+    // The distance-0 subgraph must be a DAG: Kahn's algorithm.
+    let n = nodes.len();
+    let mut indeg = vec![0usize; n];
+    for e in edges.iter().filter(|e| e.distance == 0) {
+        indeg[e.dst.index()] += 1;
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut emitted = 0usize;
+    while let Some(v) = stack.pop() {
+        emitted += 1;
+        for e in edges.iter().filter(|e| e.distance == 0 && e.src.index() == v) {
+            let d = e.dst.index();
+            indeg[d] -= 1;
+            if indeg[d] == 0 {
+                stack.push(d);
+            }
+        }
+    }
+    if emitted != n {
+        let cyclic: Vec<NodeId> = (0..n)
+            .filter(|&i| indeg[i] > 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        return Err(DdgError::IntraIterationCycle(cyclic));
+    }
+    Ok(())
+}
+
+/// Incremental builder for [`Ddg`]. Collects nodes and edges, then
+/// [`DdgBuilder::build`] validates the result.
+#[derive(Clone, Debug, Default)]
+pub struct DdgBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl DdgBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with unit latency and no statement text.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        self.node_full(name.into(), 1, None)
+            .expect("caller must use unique names; use node_full for fallible insert")
+    }
+
+    /// Add a node with an explicit latency.
+    pub fn node_lat(&mut self, name: impl Into<String>, latency: Latency) -> NodeId {
+        let name = name.into();
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { name, latency, stmt: None });
+        id
+    }
+
+    /// Add a node with full payload; errors (at `build`) surface duplicate
+    /// names, but the builder also pre-checks so tests get early feedback.
+    pub fn node_full(
+        &mut self,
+        name: String,
+        latency: Latency,
+        stmt: Option<String>,
+    ) -> Result<NodeId, DdgError> {
+        if self.nodes.iter().any(|n| n.name == name) {
+            return Err(DdgError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { name, latency, stmt });
+        Ok(id)
+    }
+
+    /// Attach statement text to an existing node (for codegen).
+    pub fn stmt(&mut self, n: NodeId, text: impl Into<String>) -> &mut Self {
+        self.nodes[n.index()].stmt = Some(text.into());
+        self
+    }
+
+    /// Add an intra-iteration dependence (distance 0).
+    pub fn dep(&mut self, src: NodeId, dst: NodeId) -> EdgeId {
+        self.edge_full(src, dst, 0, None)
+    }
+
+    /// Add a loop-carried dependence with distance 1.
+    pub fn carried(&mut self, src: NodeId, dst: NodeId) -> EdgeId {
+        self.edge_full(src, dst, 1, None)
+    }
+
+    /// Add a dependence with an arbitrary distance.
+    pub fn dep_dist(&mut self, src: NodeId, dst: NodeId, distance: Distance) -> EdgeId {
+        self.edge_full(src, dst, distance, None)
+    }
+
+    /// Add a dependence with full payload.
+    pub fn edge_full(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        distance: Distance,
+        cost: Option<u32>,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, distance, cost });
+        id
+    }
+
+    /// Validate and freeze.
+    pub fn build(self) -> Result<Ddg, DdgError> {
+        validate_parts(&self.nodes, &self.edges)?;
+        let n = self.nodes.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            succs[e.src.index()].push(EdgeId(i as u32));
+            preds[e.dst.index()].push(EdgeId(i as u32));
+        }
+        Ok(Ddg { nodes: self.nodes, edges: self.edges, succs, preds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 7 loop:
+    /// ```text
+    /// FOR I = 1 TO N
+    ///   A: A[I] = A[I-1] * E[I-1]
+    ///   B: B[I] = A[I]
+    ///   C: C[I] = B[I]
+    ///   D: D[I] = D[I-1] * C[I-1]
+    ///   E: E[I] = D[I]
+    /// ENDFOR
+    /// ```
+    fn figure7() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        let bb = b.node("B");
+        let c = b.node("C");
+        let d = b.node("D");
+        let e = b.node("E");
+        b.carried(a, a);
+        b.carried(e, a);
+        b.dep(a, bb);
+        b.dep(bb, c);
+        b.carried(d, d);
+        b.carried(c, d);
+        b.dep(d, e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_figure7() {
+        let g = figure7();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.body_latency(), 5);
+        assert!(g.distances_normalized());
+        assert_eq!(g.max_distance(), 1);
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let g = figure7();
+        let a = g.find("A").unwrap();
+        let e = g.find("E").unwrap();
+        // A has preds {A (carried), E (carried)} and succs {A (carried), B}.
+        assert_eq!(g.in_degree(a), 2);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.intra_in_degree(a), 0);
+        let b = g.find("B").unwrap();
+        assert_eq!(g.intra_in_degree(b), 1);
+        assert!(g.successors(e).any(|s| s == a));
+        assert!(g.predecessors(a).any(|p| p == e));
+    }
+
+    #[test]
+    fn edge_kind_partitions() {
+        let g = figure7();
+        assert_eq!(g.carried_edges().count(), 4);
+        assert_eq!(g.intra_edges().count(), 3);
+        assert_eq!(g.carried_edges().count() + g.intra_edges().count(), g.edge_count());
+    }
+
+    #[test]
+    fn rejects_intra_iteration_cycle() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(x, y);
+        b.dep(y, x);
+        match b.build() {
+            Err(DdgError::IntraIterationCycle(ns)) => {
+                assert_eq!(ns.len(), 2);
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_carried_self_loop() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.carried(x, x);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_latency() {
+        let mut b = DdgBuilder::new();
+        b.node_lat("x", 0);
+        assert_eq!(b.build().unwrap_err(), DdgError::ZeroLatency(NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = DdgBuilder::new();
+        b.node("x");
+        assert!(b.node_full("x".into(), 1, None).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(DdgBuilder::new().build().unwrap_err(), DdgError::Empty);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let g = figure7();
+        assert_eq!(g.find("D"), Some(NodeId(3)));
+        assert_eq!(g.find("Z"), None);
+        assert_eq!(g.name(NodeId(3)), "D");
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = figure7();
+        let keep = vec![g.find("A").unwrap(), g.find("B").unwrap()];
+        let (sub, back) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 2);
+        // Edges kept: A->A (carried), A->B (intra). E->A dropped (E absent).
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(back, keep);
+        assert_eq!(sub.name(NodeId(0)), "A");
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_is_idempotent_on_built_graph() {
+        let g = figure7();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn stmt_text_round_trip() {
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        b.stmt(a, "A[I] = A[I-1] * E[I-1]");
+        let g = b.build().unwrap();
+        assert_eq!(g.node(a).stmt.as_deref(), Some("A[I] = A[I-1] * E[I-1]"));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(EdgeId(7).to_string(), "e7");
+    }
+}

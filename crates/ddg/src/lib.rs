@@ -1,0 +1,47 @@
+//! # kn-ddg — data-dependence graphs for loop parallelization
+//!
+//! This crate implements the loop model of Kim & Nicolau,
+//! *Parallelizing Non-Vectorizable Loops for MIMD machines* (ICPP 1990):
+//! a loop is a five-tuple `<V, E, Flow-in, Cyclic, Flow-out>` over a
+//! data-dependence graph (DDG) whose nodes are units of computation with an
+//! estimated latency and whose edges carry a **dependence distance** (0 for
+//! intra-iteration dependences, ≥ 1 for loop-carried dependences).
+//!
+//! The crate provides:
+//!
+//! * [`Ddg`] / [`DdgBuilder`] — the graph itself, with structural validation
+//!   (the distance-0 subgraph must be acyclic, latencies must be positive);
+//! * [`classify()`](classify()) — the paper's Figure 2 algorithm partitioning nodes into
+//!   `Flow-in`, `Cyclic` and `Flow-out` subsets;
+//! * [`scc`] — Tarjan's strongly-connected components (paper Lemma 1:
+//!   every non-empty Cyclic subset contains an SCC);
+//! * [`topo`] — topological orders of the intra-iteration subgraph and of
+//!   finite unwindings;
+//! * [`unwind`] — loop unrolling, used both to normalize dependence
+//!   distances greater than one down to `{0, 1}` (per Munshi & Simons 1987,
+//!   cited by the paper) and to materialize finite instance DAGs;
+//! * [`connect`] — weakly-connected components, so each connected loop can
+//!   be scheduled independently (paper §2.1);
+//! * [`text`] — a line-oriented file format for graphs (round-tripping
+//!   parse/render), used by the CLI;
+//! * [`dot`] — GraphViz export for debugging and documentation.
+//!
+//! Everything downstream (the pattern scheduler, the DOACROSS baseline, the
+//! simulator) consumes this representation.
+
+pub mod classify;
+pub mod connect;
+pub mod dot;
+pub mod graph;
+pub mod scc;
+pub mod text;
+pub mod topo;
+pub mod unwind;
+
+pub use classify::{classify, Classification, SubsetKind};
+pub use connect::{components, split_components};
+pub use graph::{Ddg, DdgBuilder, DdgError, Distance, Edge, EdgeId, Latency, Node, NodeId};
+pub use scc::{condensation, strongly_connected_components, Scc};
+pub use text::{parse as parse_text, render as render_text, ParseError};
+pub use topo::{all_intra_topo_orders, intra_critical_path, intra_topo_order, is_intra_acyclic, TopoError};
+pub use unwind::{normalize_distances, unroll, unwind_instances, InstanceDag, InstanceId};

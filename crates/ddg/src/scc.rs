@@ -1,0 +1,309 @@
+//! Strongly-connected components (Tarjan, iterative).
+//!
+//! The paper's Lemma 1 states that every non-empty Cyclic subset contains at
+//! least one strongly connected subgraph; the SCCs also drive the recurrence
+//! lower bound used by tests (`cycle latency / cycle distance`, the classic
+//! recurrence-constrained initiation interval) and the DOACROSS delay
+//! computation.
+
+use crate::graph::{Ddg, NodeId};
+
+/// One strongly connected component: its member nodes in discovery order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scc {
+    pub nodes: Vec<NodeId>,
+}
+
+impl Scc {
+    /// A component is *trivial* when it is a single node with no self-edge;
+    /// trivial SCCs do not constrain the steady-state rate.
+    pub fn is_trivial(&self, g: &Ddg) -> bool {
+        self.nodes.len() == 1 && {
+            let v = self.nodes[0];
+            !g.successors(v).any(|s| s == v)
+        }
+    }
+}
+
+/// Tarjan's algorithm over **all** edges (any distance), iterative so that
+/// deep graphs cannot overflow the stack. Components are returned in reverse
+/// topological order of the condensation (callees before callers), each with
+/// members sorted ascending for determinism.
+pub fn strongly_connected_components(g: &Ddg) -> Vec<Scc> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS frame: (node, iterator position into its successor list).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    let succs: Vec<Vec<u32>> = (0..n)
+        .map(|v| g.successors(NodeId(v as u32)).map(|s| s.0).collect())
+        .collect();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos < succs[v as usize].len() {
+                let w = succs[v as usize][*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    sccs.push(Scc { nodes: comp });
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// The condensation: for each node, the index of its SCC in the vector
+/// returned by [`strongly_connected_components`].
+pub fn condensation(g: &Ddg) -> (Vec<Scc>, Vec<usize>) {
+    let sccs = strongly_connected_components(g);
+    let mut of = vec![usize::MAX; g.node_count()];
+    for (i, c) in sccs.iter().enumerate() {
+        for &v in &c.nodes {
+            of[v.index()] = i;
+        }
+    }
+    (sccs, of)
+}
+
+/// The recurrence-constrained lower bound on cycles-per-iteration for the
+/// loop: `max over directed cycles (total latency / total distance)`.
+///
+/// Computed exactly via Karp-style iteration on each non-trivial SCC
+/// (maximum cycle ratio by binary search over Bellman-Ford feasibility).
+/// Used by tests as an oracle: no valid schedule's steady-state initiation
+/// interval can beat this bound, communication aside.
+pub fn recurrence_bound(g: &Ddg) -> f64 {
+    let (sccs, _) = condensation(g);
+    let mut best: f64 = 0.0;
+    for scc in &sccs {
+        if scc.is_trivial(g) && scc.nodes.len() == 1 {
+            // might still have a self-loop; is_trivial excludes it
+            continue;
+        }
+        let (sub, _back) = g.induced_subgraph(&scc.nodes);
+        best = best.max(max_cycle_ratio(&sub));
+    }
+    best
+}
+
+/// Maximum over directed cycles of (sum latency)/(sum distance) for a
+/// strongly connected graph, by parametric binary search: ratio `r` is
+/// feasible iff the graph with edge weights `lat(src) - r * distance` has a
+/// positive cycle. Distances on cycles are ≥ 1 by DDG validity.
+fn max_cycle_ratio(g: &Ddg) -> f64 {
+    let total_lat: f64 = g.body_latency() as f64;
+    let (mut lo, mut hi) = (0.0f64, total_lat.max(1.0));
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        if has_positive_cycle(g, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+fn has_positive_cycle(g: &Ddg, r: f64) -> bool {
+    // Bellman-Ford on longest paths with weights lat(src) - r*dist;
+    // a further relaxation after n rounds means a positive cycle.
+    let n = g.node_count();
+    let mut dist = vec![0.0f64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for eid in g.edge_ids() {
+            let e = *g.edge(eid);
+            let w = g.latency(e.src) as f64 - r * e.distance as f64;
+            let cand = dist[e.src.index()] + w;
+            if cand > dist[e.dst.index()] + 1e-12 {
+                dist[e.dst.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == n && changed {
+            return true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgBuilder;
+
+    #[test]
+    fn single_self_loop_is_one_scc() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert!(!sccs[0].is_trivial(&g));
+    }
+
+    #[test]
+    fn chain_is_all_trivial() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.node("z");
+        b.dep(x, y);
+        b.dep(y, z);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|s| s.is_trivial(&g)));
+    }
+
+    #[test]
+    fn two_cycles_found() {
+        let mut b = DdgBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        let d = b.node("d");
+        let e = b.node("e");
+        b.dep(a, c);
+        b.carried(c, a); // cycle {a,c}
+        b.dep(d, e);
+        b.carried(e, d); // cycle {d,e}
+        b.dep(c, d); // bridge
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        let nontrivial: Vec<_> = sccs.iter().filter(|s| !s.is_trivial(&g)).collect();
+        assert_eq!(nontrivial.len(), 2);
+        assert!(nontrivial.iter().all(|s| s.nodes.len() == 2));
+    }
+
+    #[test]
+    fn condensation_covers_all_nodes() {
+        let mut b = DdgBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        b.dep(a, c);
+        b.carried(c, a);
+        let g = b.build().unwrap();
+        let (sccs, of) = condensation(&g);
+        assert_eq!(sccs.len(), 1);
+        assert!(of.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn figure1_cyclic_contains_scc_lemma1() {
+        // Lemma 1: the Cyclic subset contains at least one SCC.
+        let mut b = DdgBuilder::new();
+        let e = b.node("E");
+        let i = b.node("I");
+        let k = b.node("K");
+        let l = b.node("L");
+        b.dep(e, i);
+        b.carried(i, e);
+        b.dep(i, k);
+        b.dep(k, l);
+        b.carried(l, l);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        let nontrivial = sccs.iter().filter(|s| !s.is_trivial(&g)).count();
+        assert_eq!(nontrivial, 2, "(E,I) and (L), as the paper says");
+    }
+
+    #[test]
+    fn recurrence_bound_figure7() {
+        // Figure 7: cycles A->A (lat 1 / dist 1), D->D (1/1),
+        // A->B->C->D->E->A (lat 5 / dist 2) => bound 2.5.
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        let bb = b.node("B");
+        let c = b.node("C");
+        let d = b.node("D");
+        let e = b.node("E");
+        b.carried(a, a);
+        b.carried(e, a);
+        b.dep(a, bb);
+        b.dep(bb, c);
+        b.carried(d, d);
+        b.carried(c, d);
+        b.dep(d, e);
+        let g = b.build().unwrap();
+        let r = recurrence_bound(&g);
+        assert!((r - 2.5).abs() < 1e-6, "got {r}");
+    }
+
+    #[test]
+    fn recurrence_bound_self_loop_latency() {
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 4);
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let r = recurrence_bound(&g);
+        assert!((r - 4.0).abs() < 1e-6, "got {r}");
+    }
+
+    #[test]
+    fn recurrence_bound_dag_is_zero() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(x, y);
+        let g = b.build().unwrap();
+        assert_eq!(recurrence_bound(&g), 0.0);
+    }
+
+    #[test]
+    fn distance_two_cycle_ratio() {
+        // x -(d2)-> x with latency 3: ratio 1.5 per iteration.
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 3);
+        b.dep_dist(x, x, 2);
+        let g = b.build().unwrap();
+        let r = recurrence_bound(&g);
+        assert!((r - 1.5).abs() < 1e-6, "got {r}");
+    }
+}

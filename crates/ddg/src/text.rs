@@ -1,0 +1,303 @@
+//! A small line-oriented text format for dependence graphs, so workloads
+//! can be stored in files and fed to the CLI without recompiling.
+//!
+//! ```text
+//! # Figure 7 (paper)
+//! node A lat=1 stmt="A[I] = A[I-1] * E[I-1]"
+//! node B
+//! edge A -> A dist=1
+//! edge E -> A dist=1
+//! edge A -> B
+//! edge X -> Y dist=1 cost=2   # per-edge communication cost override
+//! ```
+//!
+//! `dist` defaults to 0, `lat` to 1. Node names may contain any
+//! non-whitespace characters except `"`. Parsing and rendering round-trip.
+
+use crate::graph::{Ddg, DdgBuilder, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parse errors with 1-based line numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    UnknownDirective { line: usize, word: String },
+    BadNode { line: usize, reason: String },
+    BadEdge { line: usize, reason: String },
+    UnknownNodeName { line: usize, name: String },
+    Graph(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownDirective { line, word } => {
+                write!(f, "line {line}: unknown directive {word:?}")
+            }
+            ParseError::BadNode { line, reason } => write!(f, "line {line}: bad node: {reason}"),
+            ParseError::BadEdge { line, reason } => write!(f, "line {line}: bad edge: {reason}"),
+            ParseError::UnknownNodeName { line, name } => {
+                write!(f, "line {line}: unknown node {name:?}")
+            }
+            ParseError::Graph(e) => write!(f, "graph invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Strip a trailing `# comment` (not inside quotes).
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse the text format into a validated graph.
+pub fn parse(input: &str) -> Result<Ddg, ParseError> {
+    let mut b = DdgBuilder::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("node") => {
+                let name = words
+                    .next()
+                    .ok_or(ParseError::BadNode { line: line_no, reason: "missing name".into() })?
+                    .to_string();
+                let mut lat = 1u32;
+                let mut stmt = None;
+                // `stmt="…"` may contain spaces: re-split on the raw tail.
+                let tail = line[line.find(&name).unwrap() + name.len()..].trim();
+                for part in split_attrs(tail) {
+                    if let Some(v) = part.strip_prefix("lat=") {
+                        lat = v.parse().map_err(|_| ParseError::BadNode {
+                            line: line_no,
+                            reason: format!("bad latency {v:?}"),
+                        })?;
+                    } else if let Some(v) = part.strip_prefix("stmt=") {
+                        stmt = Some(v.trim_matches('"').to_string());
+                    } else if !part.is_empty() {
+                        return Err(ParseError::BadNode {
+                            line: line_no,
+                            reason: format!("unknown attribute {part:?}"),
+                        });
+                    }
+                }
+                let id = b.node_full(name.clone(), lat, stmt).map_err(|e| {
+                    ParseError::BadNode { line: line_no, reason: e.to_string() }
+                })?;
+                names.insert(name, id);
+            }
+            Some("edge") => {
+                let src = words.next().ok_or(ParseError::BadEdge {
+                    line: line_no,
+                    reason: "missing source".into(),
+                })?;
+                let arrow = words.next();
+                if arrow != Some("->") {
+                    return Err(ParseError::BadEdge {
+                        line: line_no,
+                        reason: format!("expected '->', got {arrow:?}"),
+                    });
+                }
+                let dst = words.next().ok_or(ParseError::BadEdge {
+                    line: line_no,
+                    reason: "missing destination".into(),
+                })?;
+                let mut dist = 0u32;
+                let mut cost = None;
+                for part in words {
+                    if let Some(v) = part.strip_prefix("dist=") {
+                        dist = v.parse().map_err(|_| ParseError::BadEdge {
+                            line: line_no,
+                            reason: format!("bad dist {v:?}"),
+                        })?;
+                    } else if let Some(v) = part.strip_prefix("cost=") {
+                        cost = Some(v.parse().map_err(|_| ParseError::BadEdge {
+                            line: line_no,
+                            reason: format!("bad cost {v:?}"),
+                        })?);
+                    } else {
+                        return Err(ParseError::BadEdge {
+                            line: line_no,
+                            reason: format!("unknown attribute {part:?}"),
+                        });
+                    }
+                }
+                let s = *names.get(src).ok_or(ParseError::UnknownNodeName {
+                    line: line_no,
+                    name: src.into(),
+                })?;
+                let d = *names.get(dst).ok_or(ParseError::UnknownNodeName {
+                    line: line_no,
+                    name: dst.into(),
+                })?;
+                b.edge_full(s, d, dist, cost);
+            }
+            Some(word) => {
+                return Err(ParseError::UnknownDirective { line: line_no, word: word.into() })
+            }
+            None => unreachable!("empty lines skipped"),
+        }
+    }
+    b.build().map_err(|e| ParseError::Graph(e.to_string()))
+}
+
+/// Split `lat=1 stmt="a b c"` into attribute words, keeping quoted values
+/// intact.
+fn split_attrs(tail: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in tail.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Render a graph in the text format (round-trips through [`parse`]).
+pub fn render(g: &Ddg) -> String {
+    let mut s = String::new();
+    for v in g.node_ids() {
+        let n = g.node(v);
+        let _ = write!(s, "node {}", n.name);
+        if n.latency != 1 {
+            let _ = write!(s, " lat={}", n.latency);
+        }
+        if let Some(stmt) = &n.stmt {
+            let _ = write!(s, " stmt=\"{stmt}\"");
+        }
+        let _ = writeln!(s);
+    }
+    for eid in g.edge_ids() {
+        let e = g.edge(eid);
+        let _ = write!(s, "edge {} -> {}", g.name(e.src), g.name(e.dst));
+        if e.distance != 0 {
+            let _ = write!(s, " dist={}", e.distance);
+        }
+        if let Some(c) = e.cost {
+            let _ = write!(s, " cost={c}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG7: &str = r#"
+# Figure 7 (paper)
+node A stmt="A[I] = A[I-1] * E[I-1]"
+node B
+node C
+node D lat=1
+node E
+edge A -> A dist=1
+edge E -> A dist=1
+edge A -> B
+edge B -> C
+edge D -> D dist=1
+edge C -> D dist=1
+edge D -> E
+"#;
+
+    #[test]
+    fn parses_figure7() {
+        let g = parse(FIG7).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.node(g.find("A").unwrap()).stmt.as_deref(), Some("A[I] = A[I-1] * E[I-1]"));
+        assert_eq!(g.carried_edges().count(), 4);
+    }
+
+    #[test]
+    fn round_trips() {
+        let g = parse(FIG7).unwrap();
+        let text = render(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for (a, b) in g.node_ids().zip(g2.node_ids()) {
+            assert_eq!(g.node(a), g2.node(b));
+        }
+        for (a, b) in g.edge_ids().zip(g2.edge_ids()) {
+            assert_eq!(g.edge(a), g2.edge(b));
+        }
+    }
+
+    #[test]
+    fn per_edge_cost_and_latency() {
+        let g = parse("node x lat=3\nnode y\nedge x -> y dist=2 cost=5\n").unwrap();
+        assert_eq!(g.latency(g.find("x").unwrap()), 3);
+        let e = g.edge(g.edge_ids().next().unwrap());
+        assert_eq!(e.distance, 2);
+        assert_eq!(e.cost, Some(5));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse("# header\n\nnode a  # trailing\nnode b\nedge a -> b\n").unwrap();
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn hash_inside_quotes_preserved() {
+        let g = parse("node a stmt=\"x # not a comment\"\n").unwrap();
+        assert_eq!(g.node(NodeId(0)).stmt.as_deref(), Some("x # not a comment"));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        assert!(matches!(
+            parse("node a\nbogus b\n").unwrap_err(),
+            ParseError::UnknownDirective { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse("node a\nedge a -> missing\n").unwrap_err(),
+            ParseError::UnknownNodeName { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse("node a\nedge a b\n").unwrap_err(),
+            ParseError::BadEdge { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse("node a lat=zero\n").unwrap_err(),
+            ParseError::BadNode { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_graph_reported() {
+        // Distance-0 cycle.
+        let err = parse("node a\nnode b\nedge a -> b\nedge b -> a\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(_)));
+    }
+}

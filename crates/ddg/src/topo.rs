@@ -1,0 +1,252 @@
+//! Topological orders.
+//!
+//! Two notions matter here:
+//!
+//! * the **intra-iteration order** — a topological sort of the distance-0
+//!   subgraph, which is the legal statement order of the loop body (used by
+//!   the DOACROSS baseline and the codegen pretty-printer);
+//! * the **unwound order** — the order in which the paper's `Cyclic-sched`
+//!   visits instances `(v, i)` of the infinitely unwound graph (paper
+//!   Figure 3(b): "sorting the graph topologically subject to data
+//!   dependences"). That enumeration lives in the scheduler itself because
+//!   it is interleaved with scheduling; this module supplies the finite
+//!   variant over an [`crate::unwind::InstanceDag`].
+
+use crate::graph::{Ddg, NodeId};
+
+/// Error from topological sorting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopoError {
+    /// The distance-0 subgraph has a cycle (cannot happen on a validated
+    /// [`Ddg`], but kept for defensive API completeness).
+    Cyclic(Vec<NodeId>),
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopoError::Cyclic(ns) => write!(f, "cycle in distance-0 subgraph: {ns:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// True iff the distance-0 subgraph is acyclic (always true for a validated
+/// graph; exposed as an oracle for property tests).
+pub fn is_intra_acyclic(g: &Ddg) -> bool {
+    intra_topo_order(g).is_ok()
+}
+
+/// Topological order of the distance-0 subgraph, deterministic: among ready
+/// nodes the smallest `NodeId` goes first. This is the "natural" statement
+/// order used when a workload does not specify one.
+pub fn intra_topo_order(g: &Ddg) -> Result<Vec<NodeId>, TopoError> {
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for v in g.node_ids() {
+        indeg[v.index()] = g.intra_in_degree(v);
+    }
+    // Min-heap on node id for determinism.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&i| indeg[i as usize] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(v)) = ready.pop() {
+        let v = NodeId(v);
+        order.push(v);
+        for (_, e) in g.out_edges(v) {
+            if e.distance == 0 {
+                let d = e.dst.index();
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    ready.push(std::cmp::Reverse(e.dst.0));
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck: Vec<NodeId> = g.node_ids().filter(|v| indeg[v.index()] > 0).collect();
+        return Err(TopoError::Cyclic(stuck));
+    }
+    Ok(order)
+}
+
+/// All topological orders of the distance-0 subgraph (bounded; used by the
+/// DOACROSS "optimal reordering" exhaustive search on small bodies, paper
+/// Figure 8(b)). Stops after `cap` orders to bound the search.
+pub fn all_intra_topo_orders(g: &Ddg, cap: usize) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for v in g.node_ids() {
+        indeg[v.index()] = g.intra_in_degree(v);
+    }
+    let mut out = Vec::new();
+    let mut prefix = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    enumerate(g, &mut indeg, &mut used, &mut prefix, &mut out, cap);
+    out
+}
+
+fn enumerate(
+    g: &Ddg,
+    indeg: &mut [usize],
+    used: &mut [bool],
+    prefix: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if prefix.len() == g.node_count() {
+        out.push(prefix.clone());
+        return;
+    }
+    for v in g.node_ids() {
+        if used[v.index()] || indeg[v.index()] != 0 {
+            continue;
+        }
+        used[v.index()] = true;
+        prefix.push(v);
+        for (_, e) in g.out_edges(v) {
+            if e.distance == 0 {
+                indeg[e.dst.index()] -= 1;
+            }
+        }
+        enumerate(g, indeg, used, prefix, out, cap);
+        for (_, e) in g.out_edges(v) {
+            if e.distance == 0 {
+                indeg[e.dst.index()] += 1;
+            }
+        }
+        prefix.pop();
+        used[v.index()] = false;
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+/// Length (in latency) of the longest path in the distance-0 subgraph:
+/// the intra-iteration critical path.
+pub fn intra_critical_path(g: &Ddg) -> u64 {
+    let order = intra_topo_order(g).expect("validated graph");
+    let mut finish = vec![0u64; g.node_count()];
+    let mut best = 0;
+    for &v in &order {
+        let start = g
+            .in_edges(v)
+            .filter(|(_, e)| e.distance == 0)
+            .map(|(_, e)| finish[e.src.index()])
+            .max()
+            .unwrap_or(0);
+        finish[v.index()] = start + g.latency(v) as u64;
+        best = best.max(finish[v.index()]);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgBuilder;
+
+    fn diamond() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.node("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.node("z");
+        b.dep(a, x);
+        b.dep(a, y);
+        b.dep(x, z);
+        b.dep(y, z);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn intra_order_respects_deps() {
+        let g = diamond();
+        let order = intra_topo_order(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.node_count()];
+            for (i, &v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for (_, e) in g.intra_edges() {
+            assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn intra_order_ignores_carried_edges() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(x, y);
+        b.carried(y, x); // would be a cycle if distances were ignored
+        let g = b.build().unwrap();
+        let order = intra_topo_order(&g).unwrap();
+        assert_eq!(order, vec![x, y]);
+    }
+
+    #[test]
+    fn deterministic_smallest_id_first() {
+        let mut b = DdgBuilder::new();
+        let _x = b.node("x");
+        let _y = b.node("y");
+        let _z = b.node("z");
+        let g = b.build().unwrap();
+        let order = intra_topo_order(&g).unwrap();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn all_orders_of_diamond() {
+        let g = diamond();
+        let orders = all_intra_topo_orders(&g, 100);
+        // a first, z last, x/y in either order: exactly 2.
+        assert_eq!(orders.len(), 2);
+        for o in &orders {
+            assert_eq!(o[0], NodeId(0));
+            assert_eq!(o[3], NodeId(3));
+        }
+    }
+
+    #[test]
+    fn all_orders_respects_cap() {
+        let mut b = DdgBuilder::new();
+        for i in 0..6 {
+            b.node(format!("n{i}"));
+        }
+        let g = b.build().unwrap();
+        // 6 independent nodes: 720 orders, capped at 10.
+        let orders = all_intra_topo_orders(&g, 10);
+        assert_eq!(orders.len(), 10);
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let g = diamond();
+        assert_eq!(intra_critical_path(&g), 3); // a -> x|y -> z
+    }
+
+    #[test]
+    fn critical_path_with_latencies() {
+        let mut b = DdgBuilder::new();
+        let a = b.node_lat("a", 3);
+        let c = b.node_lat("c", 5);
+        b.dep(a, c);
+        let g = b.build().unwrap();
+        assert_eq!(intra_critical_path(&g), 8);
+    }
+
+    #[test]
+    fn is_intra_acyclic_true_for_valid() {
+        assert!(is_intra_acyclic(&diamond()));
+    }
+}

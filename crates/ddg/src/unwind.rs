@@ -1,0 +1,372 @@
+//! Loop unwinding.
+//!
+//! Two distinct uses, both from the paper:
+//!
+//! 1. **Distance normalization** ([`normalize_distances`]): the scheduler
+//!    assumes all dependence distances are 0 or 1; "if the dependence
+//!    distances are greater than one, we can reduce them down to one or zero
+//!    by unwinding the loop properly, as explained in \[MuSi87\]" (§2.1).
+//!    Unrolling by factor `u ≥ max distance` maps edge `(v → w, d)` to
+//!    edges `(v_j → w_{(j+d) mod u}, ⌊(j+d)/u⌋)`, whose new distances are
+//!    all ≤ 1.
+//! 2. **Finite instance DAGs** ([`unwind_instances`]): materializing the
+//!    instances `(v, i)` for `i < iters`, used by tests and by the
+//!    simulator/baselines to execute a bounded number of iterations.
+
+use crate::graph::{Ddg, DdgBuilder, Distance, EdgeId, NodeId};
+
+/// Result of [`unroll`]: the unrolled graph plus, for each new node, which
+/// original node it copies and its copy index (the iteration offset within
+/// the unrolled super-iteration).
+#[derive(Clone, Debug)]
+pub struct Unrolled {
+    pub graph: Ddg,
+    /// `copy_of[new.index()] = (original node, copy index 0..factor)`.
+    pub copy_of: Vec<(NodeId, u32)>,
+    /// Unroll factor used.
+    pub factor: u32,
+}
+
+/// Unroll the loop body `factor` times. Iteration `I` of the new loop
+/// performs iterations `factor*I + j` (for `j = 0..factor`) of the original.
+pub fn unroll(g: &Ddg, factor: u32) -> Unrolled {
+    assert!(factor >= 1, "unroll factor must be >= 1");
+    let mut b = DdgBuilder::new();
+    let mut copy_of = Vec::with_capacity(g.node_count() * factor as usize);
+    let mut ids = vec![Vec::with_capacity(factor as usize); g.node_count()];
+    for j in 0..factor {
+        for v in g.node_ids() {
+            let node = g.node(v);
+            let name = format!("{}@{}", node.name, j);
+            let id = b
+                .node_full(name, node.latency, node.stmt.clone())
+                .expect("generated names are unique");
+            copy_of.push((v, j));
+            ids[v.index()].push(id);
+        }
+    }
+    for eid in g.edge_ids() {
+        let e = *g.edge(eid);
+        for j in 0..factor {
+            let tgt_copy = (j + e.distance) % factor;
+            let new_dist: Distance = (j + e.distance) / factor;
+            b.edge_full(
+                ids[e.src.index()][j as usize],
+                ids[e.dst.index()][tgt_copy as usize],
+                new_dist,
+                e.cost,
+            );
+        }
+    }
+    let graph = b.build().expect("unrolling preserves validity");
+    Unrolled { graph, copy_of, factor }
+}
+
+/// Normalize all dependence distances to `{0, 1}` by unrolling if needed.
+/// Returns the (possibly trivial) unrolling.
+pub fn normalize_distances(g: &Ddg) -> Unrolled {
+    let d = g.max_distance();
+    if d <= 1 {
+        Unrolled {
+            graph: g.clone(),
+            copy_of: g.node_ids().map(|v| (v, 0)).collect(),
+            factor: 1,
+        }
+    } else {
+        unroll(g, d)
+    }
+}
+
+/// One instance `(node, iteration)` of the unwound loop.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstanceId {
+    pub node: NodeId,
+    pub iter: u32,
+}
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.node.0, self.iter)
+    }
+}
+
+/// A finite unwinding of the loop: all instances `(v, i)` with `i < iters`
+/// and all dependence edges landing inside the range.
+#[derive(Clone, Debug)]
+pub struct InstanceDag {
+    node_count: usize,
+    iters: u32,
+    /// For each instance (dense index), its predecessor instances with the
+    /// originating static edge.
+    preds: Vec<Vec<(InstanceId, EdgeId)>>,
+    succs: Vec<Vec<(InstanceId, EdgeId)>>,
+}
+
+impl InstanceDag {
+    #[inline]
+    fn dense(&self, inst: InstanceId) -> usize {
+        inst.iter as usize * self.node_count + inst.node.index()
+    }
+
+    /// Number of iterations materialized.
+    pub fn iters(&self) -> u32 {
+        self.iters
+    }
+
+    /// Total number of instances.
+    pub fn len(&self) -> usize {
+        self.node_count * self.iters as usize
+    }
+
+    /// True when no instances were materialized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All instances, iteration-major.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        (0..self.iters).flat_map(move |i| {
+            (0..self.node_count as u32).map(move |v| InstanceId { node: NodeId(v), iter: i })
+        })
+    }
+
+    /// Predecessor instances of `inst` (within range).
+    pub fn preds(&self, inst: InstanceId) -> &[(InstanceId, EdgeId)] {
+        &self.preds[self.dense(inst)]
+    }
+
+    /// Successor instances of `inst` (within range).
+    pub fn succs(&self, inst: InstanceId) -> &[(InstanceId, EdgeId)] {
+        &self.succs[self.dense(inst)]
+    }
+
+    /// Earliest-start schedule assuming zero communication delay and
+    /// unbounded processors: `asap[(v,i)] = max over preds of their finish`.
+    /// This is exactly the "idealized pattern" premise of Perfect Pipelining
+    /// the paper builds on (§1). Returns start times, iteration-major dense.
+    pub fn asap(&self, g: &Ddg) -> Vec<u64> {
+        let mut start = vec![0u64; self.len()];
+        for inst in self.instances() {
+            let s = self
+                .preds(inst)
+                .iter()
+                .map(|&(p, _)| start[self.dense(p)] + g.latency(p.node) as u64)
+                .max()
+                .unwrap_or(0);
+            start[self.dense(inst)] = s;
+        }
+        start
+    }
+
+    /// Makespan of the [`InstanceDag::asap`] schedule.
+    pub fn asap_makespan(&self, g: &Ddg) -> u64 {
+        let start = self.asap(g);
+        self.instances()
+            .map(|inst| start[self.dense(inst)] + g.latency(inst.node) as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Length (latency sum) of the longest dependence path in the unwinding;
+    /// paper Lemma 2: a single-Cyclic-subset loop unwound `m` times has a
+    /// path of at least `m - 1` nodes.
+    pub fn longest_path_nodes(&self) -> usize {
+        let mut depth = vec![0usize; self.len()];
+        let mut best = 0;
+        for inst in self.instances() {
+            let d = self
+                .preds(inst)
+                .iter()
+                .map(|&(p, _)| depth[self.dense(p)] + 1)
+                .max()
+                .unwrap_or(1);
+            depth[self.dense(inst)] = d.max(1);
+            best = best.max(depth[self.dense(inst)]);
+        }
+        best
+    }
+}
+
+/// Materialize the instances of `iters` iterations (iterations are numbered
+/// from 0; an edge `(u → w, d)` connects `(u, i)` to `(w, i + d)` whenever
+/// `i + d < iters`).
+pub fn unwind_instances(g: &Ddg, iters: u32) -> InstanceDag {
+    let node_count = g.node_count();
+    let len = node_count * iters as usize;
+    let mut preds = vec![Vec::new(); len];
+    let mut succs = vec![Vec::new(); len];
+    for i in 0..iters {
+        for eid in g.edge_ids() {
+            let e = *g.edge(eid);
+            let tgt_iter = i as u64 + e.distance as u64;
+            if tgt_iter >= iters as u64 {
+                continue;
+            }
+            let src = InstanceId { node: e.src, iter: i };
+            let dst = InstanceId { node: e.dst, iter: tgt_iter as u32 };
+            let s_dense = i as usize * node_count + e.src.index();
+            let d_dense = tgt_iter as usize * node_count + e.dst.index();
+            succs[s_dense].push((dst, eid));
+            preds[d_dense].push((src, eid));
+        }
+    }
+    InstanceDag { node_count, iters, preds, succs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgBuilder;
+
+    fn dist2_loop() -> Ddg {
+        // x -> y (intra); y -> x at distance 2.
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(x, y);
+        b.dep_dist(y, x, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unroll_normalizes_distance_two() {
+        let g = dist2_loop();
+        assert!(!g.distances_normalized());
+        let u = normalize_distances(&g);
+        assert_eq!(u.factor, 2);
+        assert!(u.graph.distances_normalized());
+        assert_eq!(u.graph.node_count(), 4);
+        // Edge count preserved per copy: 2 static edges * 2 copies.
+        assert_eq!(u.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn unroll_copy_mapping() {
+        let g = dist2_loop();
+        let u = unroll(&g, 2);
+        // Layout: copy-major [x@0, y@0, x@1, y@1].
+        assert_eq!(u.copy_of[0], (NodeId(0), 0));
+        assert_eq!(u.copy_of[1], (NodeId(1), 0));
+        assert_eq!(u.copy_of[2], (NodeId(0), 1));
+        assert_eq!(u.copy_of[3], (NodeId(1), 1));
+        assert_eq!(u.graph.name(NodeId(2)), "x@1");
+    }
+
+    #[test]
+    fn unroll_edge_targets() {
+        let g = dist2_loop();
+        let u = unroll(&g, 2);
+        // y@0 -(d2 orig)-> x@0 of the *next* super-iteration:
+        // (0 + 2) mod 2 = copy 0, distance (0+2)/2 = 1.
+        let y0 = u.graph.find("y@0").unwrap();
+        let x0 = u.graph.find("x@0").unwrap();
+        let e = u
+            .graph
+            .out_edges(y0)
+            .find(|(_, e)| e.dst == x0)
+            .expect("edge y@0 -> x@0");
+        assert_eq!(e.1.distance, 1);
+        // y@1 -> x@1 at distance (1+2)/2 = 1 with copy (1+2)%2=1.
+        let y1 = u.graph.find("y@1").unwrap();
+        let x1 = u.graph.find("x@1").unwrap();
+        let e = u
+            .graph
+            .out_edges(y1)
+            .find(|(_, e)| e.dst == x1)
+            .expect("edge y@1 -> x@1");
+        assert_eq!(e.1.distance, 1);
+    }
+
+    #[test]
+    fn normalize_is_identity_when_already_normal() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let u = normalize_distances(&g);
+        assert_eq!(u.factor, 1);
+        assert_eq!(u.graph.node_count(), 1);
+    }
+
+    #[test]
+    fn instance_dag_edges_in_range() {
+        let g = dist2_loop();
+        let dag = unwind_instances(&g, 4);
+        assert_eq!(dag.len(), 8);
+        // (y,0) -> (x,2) present; (y,3) -> (x,5) absent (out of range).
+        let y0 = InstanceId { node: NodeId(1), iter: 0 };
+        assert!(dag
+            .succs(y0)
+            .iter()
+            .any(|&(d, _)| d == InstanceId { node: NodeId(0), iter: 2 }));
+        let y3 = InstanceId { node: NodeId(1), iter: 3 };
+        assert!(dag.succs(y3).is_empty());
+    }
+
+    #[test]
+    fn asap_zero_comm_chain() {
+        // x(lat 2) -> y(lat 3), and x -> x carried: iteration i's x starts
+        // at 2*i; y starts when its x finishes.
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 2);
+        let y = b.node_lat("y", 3);
+        b.dep(x, y);
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let dag = unwind_instances(&g, 3);
+        let asap = dag.asap(&g);
+        // dense layout: iter-major [x0,y0,x1,y1,x2,y2]
+        assert_eq!(asap, vec![0, 2, 2, 4, 4, 6]);
+        assert_eq!(dag.asap_makespan(&g), 9);
+    }
+
+    #[test]
+    fn lemma2_unwound_path_length() {
+        // Single cyclic subset (self-loop): unwinding m times must contain
+        // a path of at least m-1 edges, i.e. m nodes.
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        for m in [2u32, 5, 9] {
+            let dag = unwind_instances(&g, m);
+            assert!(dag.longest_path_nodes() >= m as usize - 1);
+        }
+    }
+
+    #[test]
+    fn unrolled_semantics_instance_isomorphism() {
+        // The instance DAG of the original for 2k iterations must be
+        // isomorphic to the instance DAG of the 2-unrolled loop for k
+        // super-iterations (edge multiset over (node,iter) pairs).
+        let g = dist2_loop();
+        let u = unroll(&g, 2);
+        let orig = unwind_instances(&g, 6);
+        let unrl = unwind_instances(&u.graph, 3);
+        let mut orig_edges: Vec<(NodeId, u32, NodeId, u32)> = Vec::new();
+        for inst in orig.instances() {
+            for &(p, _) in orig.preds(inst) {
+                orig_edges.push((p.node, p.iter, inst.node, inst.iter));
+            }
+        }
+        let mut unrl_edges: Vec<(NodeId, u32, NodeId, u32)> = Vec::new();
+        for inst in unrl.instances() {
+            for &(p, _) in unrl.preds(inst) {
+                let (pn, pj) = u.copy_of[p.node.index()];
+                let (dn, dj) = u.copy_of[inst.node.index()];
+                unrl_edges.push((pn, p.iter * 2 + pj, dn, inst.iter * 2 + dj));
+            }
+        }
+        orig_edges.sort();
+        unrl_edges.sort();
+        assert_eq!(orig_edges, unrl_edges);
+    }
+
+    #[test]
+    fn zero_iters_is_empty() {
+        let g = dist2_loop();
+        let dag = unwind_instances(&g, 0);
+        assert!(dag.is_empty());
+        assert_eq!(dag.iters(), 0);
+    }
+}

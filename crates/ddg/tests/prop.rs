@@ -1,0 +1,205 @@
+//! Property-based tests for the DDG substrate.
+//!
+//! The generator mirrors the paper's §4 random-loop recipe (random latencies,
+//! random intra-iteration and loop-carried dependences), scaled down so each
+//! case stays fast. Intra-iteration edges only go from lower to higher node
+//! id, which guarantees the distance-0 subgraph is acyclic by construction —
+//! the same trick any statement-ordered loop body gives you for free.
+
+use kn_ddg::scc::recurrence_bound;
+use kn_ddg::*;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct RawLoop {
+    latencies: Vec<u32>,
+    /// (src, dst) with src < dst — distance 0.
+    intra: Vec<(usize, usize)>,
+    /// (src, dst, dist>=1) — loop-carried, any direction.
+    carried: Vec<(usize, usize, u32)>,
+}
+
+fn raw_loop(max_nodes: usize, max_dist: u32) -> impl Strategy<Value = RawLoop> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let lat = proptest::collection::vec(1u32..=3, n);
+            let intra = proptest::collection::vec((0..n, 0..n), 0..=2 * n)
+                .prop_map(|ps| {
+                    ps.into_iter()
+                        .filter(|(a, b)| a < b)
+                        .collect::<Vec<_>>()
+                });
+            let carried =
+                proptest::collection::vec((0..n, 0..n, 1u32..=max_dist), 0..=2 * n);
+            (lat, intra, carried)
+        })
+        .prop_map(|(latencies, intra, carried)| RawLoop { latencies, intra, carried })
+}
+
+fn build(raw: &RawLoop) -> Ddg {
+    let mut b = DdgBuilder::new();
+    let ids: Vec<NodeId> = raw
+        .latencies
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| b.node_lat(format!("n{i}"), l))
+        .collect();
+    for &(s, d) in &raw.intra {
+        b.dep(ids[s], ids[d]);
+    }
+    for &(s, d, dist) in &raw.carried {
+        b.dep_dist(ids[s], ids[d], dist);
+    }
+    b.build().expect("construction is valid by design")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn classification_partitions_nodes(raw in raw_loop(16, 3)) {
+        let g = build(&raw);
+        let c = classify(&g);
+        prop_assert_eq!(
+            c.flow_in.len() + c.cyclic.len() + c.flow_out.len(),
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn flow_in_closed_under_predecessors(raw in raw_loop(16, 3)) {
+        let g = build(&raw);
+        let c = classify(&g);
+        for &v in &c.flow_in {
+            for p in g.predecessors(v) {
+                prop_assert_eq!(c.kind_of(p), SubsetKind::FlowIn);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_out_closed_under_successors(raw in raw_loop(16, 3)) {
+        let g = build(&raw);
+        let c = classify(&g);
+        for &v in &c.flow_out {
+            for s in g.successors(v) {
+                prop_assert_eq!(c.kind_of(s), SubsetKind::FlowOut);
+            }
+        }
+    }
+
+    /// Any node inside a non-trivial SCC must be Cyclic: it is its own
+    /// ancestor, so it can never be admitted to Flow-in, and its cycle
+    /// successor blocks Flow-out admission forever.
+    #[test]
+    fn scc_members_are_cyclic(raw in raw_loop(16, 3)) {
+        let g = build(&raw);
+        let c = classify(&g);
+        for scc in strongly_connected_components(&g) {
+            if !scc.is_trivial(&g) {
+                for &v in &scc.nodes {
+                    prop_assert_eq!(c.kind_of(v), SubsetKind::Cyclic);
+                }
+            }
+        }
+    }
+
+    /// Lemma 1: a non-empty Cyclic subset contains at least one strongly
+    /// connected subgraph.
+    #[test]
+    fn lemma1_cyclic_contains_scc(raw in raw_loop(16, 3)) {
+        let g = build(&raw);
+        let c = classify(&g);
+        if !c.cyclic.is_empty() {
+            let in_cyclic = |v: NodeId| c.kind_of(v) == SubsetKind::Cyclic;
+            let has = strongly_connected_components(&g)
+                .into_iter()
+                .any(|s| !s.is_trivial(&g) && s.nodes.iter().all(|&v| in_cyclic(v)));
+            prop_assert!(has);
+        }
+    }
+
+    #[test]
+    fn normalization_reaches_unit_distances(raw in raw_loop(10, 4)) {
+        let g = build(&raw);
+        let u = normalize_distances(&g);
+        prop_assert!(u.graph.distances_normalized());
+        prop_assert_eq!(
+            u.graph.node_count(),
+            g.node_count() * u.factor as usize
+        );
+        u.graph.validate().unwrap();
+    }
+
+    /// Unrolling preserves the instance-level dependence structure exactly.
+    #[test]
+    fn unroll_preserves_instance_semantics(raw in raw_loop(8, 3), factor in 1u32..=3) {
+        let g = build(&raw);
+        let u = unroll(&g, factor);
+        let total = 2 * factor; // compare 2 super-iterations
+        let orig = unwind_instances(&g, total);
+        let unrl = unwind_instances(&u.graph, 2);
+        let mut oe: Vec<(u32, u32, u32, u32)> = Vec::new();
+        for inst in orig.instances() {
+            for &(p, _) in orig.preds(inst) {
+                oe.push((p.node.0, p.iter, inst.node.0, inst.iter));
+            }
+        }
+        let mut ue: Vec<(u32, u32, u32, u32)> = Vec::new();
+        for inst in unrl.instances() {
+            for &(p, _) in unrl.preds(inst) {
+                let (pn, pj) = u.copy_of[p.node.index()];
+                let (dn, dj) = u.copy_of[inst.node.index()];
+                ue.push((pn.0, p.iter * factor + pj, dn.0, inst.iter * factor + dj));
+            }
+        }
+        oe.sort_unstable();
+        ue.sort_unstable();
+        prop_assert_eq!(oe, ue);
+    }
+
+    /// The zero-communication ASAP schedule can never beat the recurrence
+    /// bound asymptotically: makespan over iters >= bound for large iters.
+    #[test]
+    fn asap_respects_recurrence_bound(raw in raw_loop(8, 2)) {
+        let g = build(&raw);
+        let iters = 24u32;
+        let dag = unwind_instances(&g, iters);
+        let makespan = dag.asap_makespan(&g) as f64;
+        let bound = recurrence_bound(&g);
+        // Steady state: makespan >= bound * (iters - slack) for some slack
+        // bounded by the body size; use a generous constant.
+        let slack = g.node_count() as f64 + 2.0;
+        prop_assert!(
+            makespan + 1e-6 >= bound * (iters as f64 - slack),
+            "makespan {} vs bound {} * {}", makespan, bound, iters
+        );
+    }
+
+    #[test]
+    fn components_cover_everything(raw in raw_loop(16, 3)) {
+        let g = build(&raw);
+        let parts = split_components(&g);
+        let total: usize = parts.iter().map(|(p, _)| p.node_count()).sum();
+        prop_assert_eq!(total, g.node_count());
+        let edges: usize = parts.iter().map(|(p, _)| p.edge_count()).sum();
+        prop_assert_eq!(edges, g.edge_count());
+        for (p, _) in &parts {
+            prop_assert!(kn_ddg::connect::is_connected(p));
+        }
+    }
+
+    #[test]
+    fn intra_topo_is_total_and_consistent(raw in raw_loop(16, 3)) {
+        let g = build(&raw);
+        let order = intra_topo_order(&g).unwrap();
+        prop_assert_eq!(order.len(), g.node_count());
+        let mut pos = vec![0usize; g.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (_, e) in g.intra_edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+}

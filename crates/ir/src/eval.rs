@@ -1,0 +1,115 @@
+//! Expression evaluation over `u64` wrapping arithmetic.
+//!
+//! Used to derive *real* runtime semantics for a lowered loop (see
+//! `kn-runtime`'s `from_ir` module): the parallel schedule then computes
+//! actual numbers, not just hashes, and is checked against sequential
+//! execution value for value.
+//!
+//! Semantics: all values are `u64`; `+`, `-`, `*` wrap; `/` by zero yields
+//! 0 (documented total division); comparisons yield 1/0.
+
+use crate::expr::{BinOp, Expr};
+
+/// Resolves the leaf reads of an expression during evaluation.
+pub trait EvalContext {
+    /// Value of `array[I + offset]` for the current iteration.
+    fn array(&mut self, array: &str, offset: i32) -> u64;
+    /// Value of a scalar variable.
+    fn scalar(&mut self, name: &str) -> u64;
+}
+
+/// Evaluate `e` under `ctx`.
+pub fn eval_expr(e: &Expr, ctx: &mut impl EvalContext) -> u64 {
+    match e {
+        Expr::Const(v) => *v as u64,
+        Expr::Scalar(s) => ctx.scalar(s),
+        Expr::ArrayRef { array, offset } => ctx.array(array, *offset),
+        Expr::Binary(op, l, r) => {
+            let a = eval_expr(l, ctx);
+            let b = eval_expr(r, ctx);
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => a.checked_div(b).unwrap_or(0),
+                BinOp::Lt => u64::from(a < b),
+                BinOp::Gt => u64::from(a > b),
+                BinOp::Eq => u64::from(a == b),
+            }
+        }
+    }
+}
+
+/// The default value of an array element never written inside the loop
+/// (the "initial memory contents"): a per-(array, index) hash, so distinct
+/// external inputs are distinguishable and reproducible in every engine.
+pub fn external_value(array: &str, index: i64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in array.as_bytes() {
+        h = (h ^ *b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h = (h ^ index as u64).wrapping_mul(0x100_0000_01b3);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use std::collections::HashMap;
+
+    struct Map {
+        arrays: HashMap<(String, i32), u64>,
+        scalars: HashMap<String, u64>,
+    }
+
+    impl EvalContext for Map {
+        fn array(&mut self, array: &str, offset: i32) -> u64 {
+            self.arrays[&(array.to_string(), offset)]
+        }
+        fn scalar(&mut self, name: &str) -> u64 {
+            self.scalars[name]
+        }
+    }
+
+    fn ctx() -> Map {
+        let mut arrays = HashMap::new();
+        arrays.insert(("A".to_string(), -1), 6u64);
+        arrays.insert(("B".to_string(), 0), 7u64);
+        let mut scalars = HashMap::new();
+        scalars.insert("k".to_string(), 3u64);
+        Map { arrays, scalars }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = binop(BinOp::Add, binop(BinOp::Mul, arr_at("A", -1), scalar("k")), arr("B"));
+        assert_eq!(eval_expr(&e, &mut ctx()), 6 * 3 + 7);
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        assert_eq!(eval_expr(&binop(BinOp::Lt, c(1), c(2)), &mut ctx()), 1);
+        assert_eq!(eval_expr(&binop(BinOp::Gt, c(1), c(2)), &mut ctx()), 0);
+        assert_eq!(eval_expr(&binop(BinOp::Eq, c(2), c(2)), &mut ctx()), 1);
+    }
+
+    #[test]
+    fn division_is_total() {
+        assert_eq!(eval_expr(&binop(BinOp::Div, c(10), c(0)), &mut ctx()), 0);
+        assert_eq!(eval_expr(&binop(BinOp::Div, c(10), c(3)), &mut ctx()), 3);
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        let e = binop(BinOp::Mul, c(i64::MAX), c(16));
+        let _ = eval_expr(&e, &mut ctx()); // must not panic
+    }
+
+    #[test]
+    fn external_values_are_stable_and_distinct() {
+        assert_eq!(external_value("A", 3), external_value("A", 3));
+        assert_ne!(external_value("A", 3), external_value("A", 4));
+        assert_ne!(external_value("A", 3), external_value("B", 3));
+    }
+}

@@ -1,0 +1,149 @@
+//! Expressions over a single loop index `I`.
+//!
+//! Array references use affine indices with constant offset (`A[I+c]`),
+//! which is exactly the class for which constant dependence distances exist
+//! (the paper's model). Scalars are loop-level variables (including the
+//! predicates introduced by if-conversion).
+
+use std::fmt;
+
+/// Binary operators (semantics only matter for printing and for the
+/// runtime's value functions; the scheduler sees only dependences).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Lt,
+    Gt,
+    Eq,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Eq => "==",
+        }
+    }
+}
+
+/// An expression tree.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Scalar variable read.
+    Scalar(String),
+    /// `array[I + offset]`.
+    ArrayRef { array: String, offset: i32 },
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// All array reads `(array, offset)` in this expression.
+    pub fn array_reads(&self) -> Vec<(&str, i32)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::ArrayRef { array, offset } = e {
+                out.push((array.as_str(), *offset));
+            }
+        });
+        out
+    }
+
+    /// All scalar reads in this expression.
+    pub fn scalar_reads(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Scalar(s) = e {
+                out.push(s.as_str());
+            }
+        });
+        out
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        if let Expr::Binary(_, l, r) = self {
+            l.walk(f);
+            r.walk(f);
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Scalar(s) => write!(f, "{s}"),
+            Expr::ArrayRef { array, offset } => match offset {
+                0 => write!(f, "{array}[I]"),
+                o if *o > 0 => write!(f, "{array}[I+{o}]"),
+                o => write!(f, "{array}[I-{}]", -o),
+            },
+            Expr::Binary(op, l, r) => write!(f, "{l} {} {r}", op.symbol()),
+        }
+    }
+}
+
+/// `A[I]` — array read at the current iteration.
+pub fn arr(array: &str) -> Expr {
+    Expr::ArrayRef { array: array.into(), offset: 0 }
+}
+
+/// `A[I+offset]` — array read at a constant offset.
+pub fn arr_at(array: &str, offset: i32) -> Expr {
+    Expr::ArrayRef { array: array.into(), offset }
+}
+
+/// Scalar read.
+pub fn scalar(name: &str) -> Expr {
+    Expr::Scalar(name.into())
+}
+
+/// Integer literal.
+pub fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+
+/// Binary operation.
+pub fn binop(op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr::Binary(op, Box::new(l), Box::new(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_offsets() {
+        assert_eq!(arr("A").to_string(), "A[I]");
+        assert_eq!(arr_at("A", -1).to_string(), "A[I-1]");
+        assert_eq!(arr_at("A", 2).to_string(), "A[I+2]");
+        assert_eq!(
+            binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)).to_string(),
+            "A[I-1] * E[I-1]"
+        );
+    }
+
+    #[test]
+    fn collects_reads() {
+        let e = binop(BinOp::Add, binop(BinOp::Mul, arr_at("A", -1), scalar("k")), arr("B"));
+        assert_eq!(e.array_reads(), vec![("A", -1), ("B", 0)]);
+        assert_eq!(e.scalar_reads(), vec!["k"]);
+    }
+
+    #[test]
+    fn const_has_no_reads() {
+        assert!(c(7).array_reads().is_empty());
+        assert!(c(7).scalar_reads().is_empty());
+    }
+}

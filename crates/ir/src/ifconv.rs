@@ -1,0 +1,206 @@
+//! If-conversion (Allen, Kennedy, Porterfield & Warren 1983).
+//!
+//! The paper's scheduler handles loops "either without conditional
+//! statements or if-converted" (§1). This pass converts control dependence
+//! to data dependence:
+//!
+//! * each `IF cond` introduces a predicate scalar `pK = cond` (one fresh
+//!   scalar per syntactic `IF`, one assignment per iteration);
+//! * every assignment under the `IF` becomes a *guarded assignment* whose
+//!   guard list records `(pK, polarity)` for each enclosing branch;
+//! * a guarded assignment both **reads** its predicates (data dependence on
+//!   the predicate computation) and **reads its own target** (the element
+//!   keeps its old value when the guard is false — a conditional update is
+//!   a read-modify-write).
+//!
+//! The output is a flat list of [`GuardedAssign`]s, which
+//! [`crate::depend`] analyzes like any straight-line body.
+
+use crate::stmt::{Assign, LoopBody, Stmt};
+use std::fmt;
+
+/// One guard: the predicate scalar's name and the required polarity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Guard {
+    pub predicate: String,
+    pub polarity: bool,
+}
+
+/// A flattened, predicated assignment.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GuardedAssign {
+    /// Enclosing guards, outermost first. Empty = unconditional.
+    pub guards: Vec<Guard>,
+    pub assign: Assign,
+}
+
+impl GuardedAssign {
+    /// True when the assignment executes unconditionally.
+    pub fn unconditional(&self) -> bool {
+        self.guards.is_empty()
+    }
+}
+
+impl fmt::Display for GuardedAssign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in &self.guards {
+            write!(f, "({}{}) ", if g.polarity { "" } else { "!" }, g.predicate)?;
+        }
+        write!(f, "{}", self.assign)
+    }
+}
+
+/// If-convert a loop body into a flat sequence of guarded assignments.
+/// Statement order is preserved; predicate definitions precede their uses.
+pub fn if_convert(body: &LoopBody) -> Vec<GuardedAssign> {
+    let mut out = Vec::new();
+    let mut next_pred = 0usize;
+    flatten(&body.stmts, &mut Vec::new(), &mut out, &mut next_pred);
+    out
+}
+
+fn flatten(
+    stmts: &[Stmt],
+    guards: &mut Vec<Guard>,
+    out: &mut Vec<GuardedAssign>,
+    next_pred: &mut usize,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                out.push(GuardedAssign { guards: guards.clone(), assign: a.clone() });
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let p = format!("p{}", *next_pred);
+                *next_pred += 1;
+                // The predicate computation itself is guarded by the
+                // enclosing context (nested IFs nest their predicates).
+                out.push(GuardedAssign {
+                    guards: guards.clone(),
+                    assign: Assign {
+                        target: crate::stmt::Target::Scalar(p.clone()),
+                        rhs: cond.clone(),
+                        latency: 1,
+                        label: Some(p.clone()),
+                    },
+                });
+                guards.push(Guard { predicate: p.clone(), polarity: true });
+                flatten(then_branch, guards, out, next_pred);
+                guards.pop();
+                guards.push(Guard { predicate: p, polarity: false });
+                flatten(else_branch, guards, out, next_pred);
+                guards.pop();
+            }
+        }
+    }
+}
+
+/// Effective right-hand-side reads of a guarded assignment: the RHS reads,
+/// the predicate reads, and — when guarded — the old value of the target
+/// (read-modify-write semantics).
+pub fn effective_reads(ga: &GuardedAssign) -> (Vec<(String, i32)>, Vec<String>) {
+    let mut arrays: Vec<(String, i32)> = ga
+        .assign
+        .rhs
+        .array_reads()
+        .into_iter()
+        .map(|(a, o)| (a.to_string(), o))
+        .collect();
+    let mut scalars: Vec<String> =
+        ga.assign.rhs.scalar_reads().into_iter().map(str::to_string).collect();
+    for g in &ga.guards {
+        scalars.push(g.predicate.clone());
+    }
+    if !ga.guards.is_empty() {
+        match &ga.assign.target {
+            crate::stmt::Target::Array { array, offset } => {
+                arrays.push((array.clone(), *offset))
+            }
+            crate::stmt::Target::Scalar(s) => scalars.push(s.clone()),
+        }
+    }
+    (arrays, scalars)
+}
+
+/// The guard condition as an expression over predicate scalars, for
+/// rendering (`(p0) A[I] = …`).
+pub fn render(ga: &GuardedAssign) -> String {
+    ga.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use crate::stmt::*;
+
+    fn sample() -> LoopBody {
+        // B[I] = A[I-1]
+        // IF B[I] > 0 THEN A[I] = B[I] + 1 ELSE A[I] = 0
+        LoopBody::new(vec![
+            assign("B", "B", 0, arr_at("A", -1)),
+            if_stmt(
+                binop(BinOp::Gt, arr("B"), c(0)),
+                vec![assign("At", "A", 0, binop(BinOp::Add, arr("B"), c(1)))],
+                vec![assign("Ae", "A", 0, c(0))],
+            ),
+        ])
+    }
+
+    #[test]
+    fn flattens_in_order_with_predicates() {
+        let flat = if_convert(&sample());
+        assert_eq!(flat.len(), 4); // B, p0, then-A, else-A
+        assert!(flat[0].unconditional());
+        assert_eq!(flat[1].assign.label.as_deref(), Some("p0"));
+        assert_eq!(flat[2].guards, vec![Guard { predicate: "p0".into(), polarity: true }]);
+        assert_eq!(flat[3].guards, vec![Guard { predicate: "p0".into(), polarity: false }]);
+    }
+
+    #[test]
+    fn guarded_assign_reads_predicate_and_old_target() {
+        let flat = if_convert(&sample());
+        let (arrays, scalars) = effective_reads(&flat[2]);
+        assert!(scalars.contains(&"p0".to_string()), "guard read");
+        assert!(arrays.contains(&("A".to_string(), 0)), "old target value read");
+        assert!(arrays.contains(&("B".to_string(), 0)), "rhs read");
+    }
+
+    #[test]
+    fn nested_ifs_get_fresh_predicates() {
+        let body = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Gt, arr("X"), c(0)),
+            vec![if_stmt(
+                binop(BinOp::Lt, arr("Y"), c(5)),
+                vec![assign("Z", "Z", 0, c(1))],
+                vec![],
+            )],
+            vec![],
+        )]);
+        let flat = if_convert(&body);
+        // p0 = cond; p1 = cond (guarded by p0); Z (guarded by p0 and p1).
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[1].guards.len(), 1);
+        assert_eq!(flat[2].guards.len(), 2);
+        assert_eq!(flat[2].guards[0].predicate, "p0");
+        assert_eq!(flat[2].guards[1].predicate, "p1");
+    }
+
+    #[test]
+    fn unconditional_body_passes_through() {
+        let body = LoopBody::new(vec![assign("A", "A", 0, arr_at("A", -1))]);
+        let flat = if_convert(&body);
+        assert_eq!(flat.len(), 1);
+        assert!(flat[0].unconditional());
+        let (arrays, scalars) = effective_reads(&flat[0]);
+        assert_eq!(arrays, vec![("A".to_string(), -1)]);
+        assert!(scalars.is_empty());
+    }
+
+    #[test]
+    fn render_shows_polarity() {
+        let flat = if_convert(&sample());
+        assert!(render(&flat[2]).starts_with("(p0) "));
+        assert!(render(&flat[3]).starts_with("(!p0) "));
+    }
+}

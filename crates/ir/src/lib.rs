@@ -1,0 +1,32 @@
+//! # kn-ir — a small loop IR with dependence analysis and if-conversion
+//!
+//! The paper assumes its input is a data-dependence graph of a loop whose
+//! conditionals have been if-converted (§1, citing Allen/Kennedy/Porterfield/
+//! Warren 1983) and whose dependence distances come from standard analysis
+//! (Padua 1979). This crate supplies that front end:
+//!
+//! * [`expr`] — scalar/array expressions over a single loop index `I` with
+//!   constant offsets (`A[I-1]`, `x`, `2*B[I]+1`);
+//! * [`stmt`] — assignments and structured `IF`s forming a loop body;
+//! * [`ifconv`] — if-conversion: control dependence → data dependence via
+//!   predicate scalars and guarded assignments;
+//! * [`depend`] — flow/anti/output dependences with constant distances;
+//! * [`lower`] — lowering a loop body to a `kn_ddg::Ddg`, statement text
+//!   attached for code generation.
+//!
+//! Distances greater than one are allowed; `kn_ddg::normalize_distances`
+//! (loop unwinding) brings the result into the scheduler's normal form.
+
+pub mod depend;
+pub mod eval;
+pub mod expr;
+pub mod ifconv;
+pub mod lower;
+pub mod stmt;
+
+pub use depend::{analyze_dependences, AnalysisOptions, Dependence, DependenceKind};
+pub use eval::{eval_expr, external_value, EvalContext};
+pub use expr::{arr, arr_at, binop, c, scalar, BinOp, Expr};
+pub use ifconv::{if_convert, GuardedAssign};
+pub use lower::{lower_loop, LowerError};
+pub use stmt::{assign, assign_scalar, if_stmt, Assign, LoopBody, Stmt, Target};

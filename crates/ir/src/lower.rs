@@ -1,0 +1,177 @@
+//! Lowering: loop body → data-dependence graph.
+//!
+//! Every flattened (if-converted) assignment becomes one DDG node carrying
+//! its statement text and latency; every dependence found by
+//! [`crate::depend::analyze_dependences`] becomes an edge (duplicates with
+//! the same endpoints and distance are collapsed — the scheduler only needs
+//! the constraint once). Distances greater than one survive lowering;
+//! normalize with `kn_ddg::normalize_distances` before scheduling.
+
+use crate::depend::{analyze_dependences, AnalysisOptions};
+use crate::ifconv::{if_convert, GuardedAssign};
+use crate::stmt::LoopBody;
+use kn_ddg::{Ddg, DdgBuilder, DdgError};
+use std::collections::HashSet;
+
+/// Errors from lowering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// Empty loop body.
+    EmptyBody,
+    /// The dependence structure is not a legal loop (should be impossible
+    /// for bodies built through this crate; kept for API totality).
+    Graph(DdgError),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::EmptyBody => write!(f, "loop body has no statements"),
+            LowerError::Graph(e) => write!(f, "lowered graph invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower a loop body to `(ddg, flat_body)`. The flat body is returned so
+/// callers can attach runtime semantics per statement.
+pub fn lower_loop(
+    body: &LoopBody,
+    opts: &AnalysisOptions,
+) -> Result<(Ddg, Vec<GuardedAssign>), LowerError> {
+    let flat = if_convert(body);
+    if flat.is_empty() {
+        return Err(LowerError::EmptyBody);
+    }
+    let mut b = DdgBuilder::new();
+    let mut used_names: HashSet<String> = HashSet::new();
+    let mut ids = Vec::with_capacity(flat.len());
+    for (i, ga) in flat.iter().enumerate() {
+        let base = ga.assign.label.clone().unwrap_or_else(|| format!("S{i}"));
+        let name = if used_names.contains(&base) { format!("{base}_{i}") } else { base };
+        used_names.insert(name.clone());
+        let id = b
+            .node_full(name, ga.assign.latency.max(1), Some(ga.to_string()))
+            .expect("names deduplicated above");
+        ids.push(id);
+    }
+    let mut seen_edges: HashSet<(usize, usize, u32)> = HashSet::new();
+    for d in analyze_dependences(&flat, opts) {
+        if seen_edges.insert((d.src, d.dst, d.distance)) {
+            b.dep_dist(ids[d.src], ids[d.dst], d.distance);
+        }
+    }
+    let g = b.build().map_err(LowerError::Graph)?;
+    Ok((g, flat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use crate::stmt::*;
+    use kn_ddg::classify;
+
+    /// The paper's Figure 7 loop, written as source.
+    pub(crate) fn figure7_body() -> LoopBody {
+        LoopBody::new(vec![
+            assign("A", "A", 0, binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1))),
+            assign("B", "B", 0, arr("A")),
+            assign("C", "C", 0, arr("B")),
+            assign("D", "D", 0, binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1))),
+            assign("E", "E", 0, arr("D")),
+        ])
+    }
+
+    #[test]
+    fn figure7_lowers_to_the_paper_graph() {
+        let (g, flat) = lower_loop(&figure7_body(), &AnalysisOptions::default()).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(flat.len(), 5);
+        let find = |n: &str| g.find(n).unwrap();
+        let has_edge = |s: &str, d: &str, dist: u32| {
+            g.out_edges(find(s)).any(|(_, e)| e.dst == find(d) && e.distance == dist)
+        };
+        assert!(has_edge("A", "A", 1));
+        assert!(has_edge("E", "A", 1));
+        assert!(has_edge("A", "B", 0));
+        assert!(has_edge("B", "C", 0));
+        assert!(has_edge("D", "D", 1));
+        assert!(has_edge("C", "D", 1));
+        assert!(has_edge("D", "E", 0));
+        // Exactly the paper's seven dependences (all flow; no anti/output
+        // arise in this loop).
+        assert_eq!(g.edge_count(), 7);
+        // All nodes Cyclic, as in the paper.
+        let cls = classify(&g);
+        assert_eq!(cls.cyclic.len(), 5);
+    }
+
+    #[test]
+    fn statement_text_attached() {
+        let (g, _) = lower_loop(&figure7_body(), &AnalysisOptions::default()).unwrap();
+        let a = g.find("A").unwrap();
+        assert_eq!(g.node(a).stmt.as_deref(), Some("A[I] = A[I-1] * E[I-1]"));
+    }
+
+    #[test]
+    fn conditional_body_lowers_after_if_conversion() {
+        let body = LoopBody::new(vec![
+            assign("B", "B", 0, arr_at("A", -1)),
+            if_stmt(
+                binop(BinOp::Gt, arr("B"), c(0)),
+                vec![assign("At", "A", 0, binop(BinOp::Add, arr("B"), c(1)))],
+                vec![assign("Ae", "A", 0, c(0))],
+            ),
+        ]);
+        let (g, flat) = lower_loop(&body, &AnalysisOptions::default()).unwrap();
+        assert_eq!(flat.len(), 4);
+        assert_eq!(g.node_count(), 4);
+        // Predicate feeds both guarded writes.
+        let p0 = g.find("p0").unwrap();
+        assert_eq!(g.out_degree(p0), 2);
+        // Carried loop: guarded A-writes feed next iteration's B.
+        let cls = classify(&g);
+        assert!(!cls.is_doall());
+    }
+
+    #[test]
+    fn duplicate_labels_are_disambiguated() {
+        let body = LoopBody::new(vec![
+            assign("S", "A", 0, c(1)),
+            assign("S", "B", 0, c(2)),
+        ]);
+        let (g, _) = lower_loop(&body, &AnalysisOptions::default()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.find("S").is_some());
+        assert!(g.find("S_1").is_some());
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        assert_eq!(
+            lower_loop(&LoopBody::default(), &AnalysisOptions::default()).unwrap_err(),
+            LowerError::EmptyBody
+        );
+    }
+
+    #[test]
+    fn lowered_graph_schedules_end_to_end() {
+        use kn_sched::{cyclic_schedule, CyclicOptions, MachineConfig};
+        let (g, _) = lower_loop(&figure7_body(), &AnalysisOptions::default()).unwrap();
+        let m = MachineConfig::new(2, 2);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        assert_eq!(out.steady_ii(), 2.5, "source-built graph matches hand-built");
+    }
+
+    #[test]
+    fn distance_two_survives_lowering_then_normalizes() {
+        let body = LoopBody::new(vec![assign("X", "X", 0, arr_at("X", -2))]);
+        let (g, _) = lower_loop(&body, &AnalysisOptions::default()).unwrap();
+        assert_eq!(g.max_distance(), 2);
+        let u = kn_ddg::normalize_distances(&g);
+        assert!(u.graph.distances_normalized());
+        assert_eq!(u.factor, 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Statements and loop bodies.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// Assignment target: an array element at a constant offset, or a scalar.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Target {
+    Array { array: String, offset: i32 },
+    Scalar(String),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Array { array, offset } => match offset {
+                0 => write!(f, "{array}[I]"),
+                o if *o > 0 => write!(f, "{array}[I+{o}]"),
+                o => write!(f, "{array}[I-{}]", -o),
+            },
+            Target::Scalar(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A single assignment `target = rhs`, with an estimated latency (the
+/// paper's latency vector `lv`) and an optional label used as the DDG node
+/// name.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Assign {
+    pub target: Target,
+    pub rhs: Expr,
+    pub latency: u32,
+    pub label: Option<String>,
+}
+
+impl fmt::Display for Assign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.target, self.rhs)
+    }
+}
+
+/// A structured statement: a straight assignment or a two-armed `IF`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Stmt {
+    Assign(Assign),
+    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+}
+
+/// A normalized single-index loop `FOR I = 0 TO N-1 { body }`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LoopBody {
+    pub stmts: Vec<Stmt>,
+}
+
+impl LoopBody {
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Self { stmts }
+    }
+
+    /// True iff the body contains an `IF` (needs if-conversion before
+    /// lowering; the paper assumes if-converted input).
+    pub fn has_conditionals(&self) -> bool {
+        fn any_if(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| matches!(s, Stmt::If { .. }))
+        }
+        any_if(&self.stmts)
+    }
+}
+
+/// `label: array[I+offset] = rhs` with unit latency.
+pub fn assign(label: &str, array: &str, offset: i32, rhs: Expr) -> Stmt {
+    Stmt::Assign(Assign {
+        target: Target::Array { array: array.into(), offset },
+        rhs,
+        latency: 1,
+        label: Some(label.into()),
+    })
+}
+
+/// `label: name = rhs` (scalar target) with unit latency.
+pub fn assign_scalar(label: &str, name: &str, rhs: Expr) -> Stmt {
+    Stmt::Assign(Assign {
+        target: Target::Scalar(name.into()),
+        rhs,
+        latency: 1,
+        label: Some(label.into()),
+    })
+}
+
+/// `IF cond THEN … ELSE …`.
+pub fn if_stmt(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then_branch, else_branch }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+
+    #[test]
+    fn display_assign() {
+        let s = Assign {
+            target: Target::Array { array: "A".into(), offset: 0 },
+            rhs: binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)),
+            latency: 1,
+            label: None,
+        };
+        assert_eq!(s.to_string(), "A[I] = A[I-1] * E[I-1]");
+    }
+
+    #[test]
+    fn display_scalar_target() {
+        let s = Assign {
+            target: Target::Scalar("p0".into()),
+            rhs: binop(BinOp::Lt, arr("B"), c(0)),
+            latency: 1,
+            label: None,
+        };
+        assert_eq!(s.to_string(), "p0 = B[I] < 0");
+    }
+
+    #[test]
+    fn detects_conditionals() {
+        let plain = LoopBody::new(vec![assign("A", "A", 0, c(1))]);
+        assert!(!plain.has_conditionals());
+        let cond = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Gt, arr("A"), c(0)),
+            vec![assign("B", "B", 0, c(1))],
+            vec![],
+        )]);
+        assert!(cond.has_conditionals());
+    }
+}

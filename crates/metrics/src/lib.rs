@@ -1,0 +1,221 @@
+//! # kn-metrics — evaluation metrics and text tables
+//!
+//! The paper's figure of merit is **percentage parallelism**
+//! (`Sp = (s - p) / s * 100`, after \[Cytron84\]): how much of the
+//! sequential execution time parallel execution removed. 0 means "no
+//! faster than sequential", 100 would mean "free". (The TR prints the
+//! formula as `(s - p/s) * 100`, an obvious typo — `(5-3)/5 = 40%` is the
+//! value the paper derives for Figure 7.)
+//!
+//! Also here: small summary statistics and the fixed-width text tables the
+//! CLI and EXPERIMENTS.md use to render results the way the paper prints
+//! Table 1.
+
+use std::fmt::Write as _;
+
+/// Percentage parallelism `(s - p)/s * 100`. Negative when the "parallel"
+/// execution is slower than sequential (possible under bad schedules /
+/// heavy communication).
+pub fn percentage_parallelism(sequential: u64, parallel: u64) -> f64 {
+    if sequential == 0 {
+        return 0.0;
+    }
+    (sequential as f64 - parallel as f64) / sequential as f64 * 100.0
+}
+
+/// Percentage parallelism clamped at 0, the way the paper reports Table 1
+/// (DOACROSS entries that cannot pipeline are printed as 0.0).
+pub fn percentage_parallelism_clamped(sequential: u64, parallel: u64) -> f64 {
+    percentage_parallelism(sequential, parallel).max(0.0)
+}
+
+/// Speedup `s / p`.
+pub fn speedup(sequential: u64, parallel: u64) -> f64 {
+    if parallel == 0 {
+        return f64::INFINITY;
+    }
+    sequential as f64 / parallel as f64
+}
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub stddev: f64,
+    pub n: usize,
+}
+
+/// Compute [`Stats`] (population standard deviation).
+pub fn stats(xs: &[f64]) -> Stats {
+    if xs.is_empty() {
+        return Stats { mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0, n: 0 };
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Stats {
+        mean,
+        min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+        max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        stddev: var.sqrt(),
+        n: xs.len(),
+    }
+}
+
+/// Column alignment for [`TextTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A minimal fixed-width text-table builder (no dependencies, locked
+/// stdout-friendly single `String` output).
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with right-aligned columns by default.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            aligns: vec![Align::Right; headers.len()],
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set one column's alignment.
+    pub fn align(mut self, col: usize, a: Align) -> Self {
+        self.aligns[col] = a;
+        self
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with a header underline, columns padded to content width.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], width: &[usize], aligns: &[Align]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<w$}", c, w = width[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>w$}", c, w = width[i]);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers, &width, &self.aligns);
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            emit(&mut out, r, &width, &self.aligns);
+        }
+        out
+    }
+}
+
+/// Format a float with one decimal, the paper's Table 1 style.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_percentages_from_the_paper() {
+        // Sequential 5/iter, ours 3/iter -> 40%; DOACROSS 5/iter -> 0%.
+        assert_eq!(percentage_parallelism(500, 300), 40.0);
+        assert_eq!(percentage_parallelism(500, 500), 0.0);
+    }
+
+    #[test]
+    fn negative_parallelism_is_representable_and_clampable() {
+        assert_eq!(percentage_parallelism(100, 150), -50.0);
+        assert_eq!(percentage_parallelism_clamped(100, 150), 0.0);
+    }
+
+    #[test]
+    fn speedup_basics() {
+        assert_eq!(speedup(100, 50), 2.0);
+        assert_eq!(speedup(100, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_sequential_guard() {
+        assert_eq!(percentage_parallelism(0, 10), 0.0);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.n, 4);
+        assert!((s.stddev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stats_empty() {
+        assert_eq!(stats(&[]).n, 0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["loop", "x", "doacross"]).align(0, Align::Left);
+        t.row(vec!["0".into(), "51.8".into(), "26.8".into()]);
+        t.row(vec!["10".into(), "48.5".into(), "15.7".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("loop"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("51.8"));
+        // Right-aligned numeric column: both rows end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn f1_formats() {
+        assert_eq!(f1(47.4046), "47.4");
+        assert_eq!(f1(2.9), "2.9");
+    }
+}

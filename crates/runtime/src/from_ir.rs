@@ -1,0 +1,279 @@
+//! Deriving runtime semantics from the `kn-ir` front end.
+//!
+//! A loop lowered by `kn_ir::lower_loop` carries full expression trees, so
+//! the runtime can evaluate the *actual program* — real arithmetic, not
+//! hashes — and verify that the parallel schedule computes exactly what
+//! the sequential loop computes.
+//!
+//! The derivation maps every syntactic read of statement `t` to either
+//! * a **dataflow input**: the position of the flow edge `(def → t, d)` in
+//!   `t`'s dependence-input vector, or
+//! * an **external read**: an array never written in the loop (or a read
+//!   that precedes every in-loop write of its element), valued by the
+//!   reproducible per-element hash `kn_ir::external_value`.
+//!
+//! Limitations (checked, not assumed): guarded (if-converted) assignments
+//! and multiple static definitions of one array/scalar are not supported —
+//! use [`crate::Semantics::hashing`] for those.
+
+use crate::{NodeFn, Semantics};
+use kn_ddg::Ddg;
+use kn_ir::{eval_expr, external_value, EvalContext, GuardedAssign, Target};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why semantics could not be derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FromIrError {
+    /// Statement count does not match the graph's node count.
+    ShapeMismatch { nodes: usize, stmts: usize },
+    /// Guarded assignments (if-converted bodies) are not supported.
+    Guarded(usize),
+    /// Two statements define the same array/scalar.
+    MultipleDefs(String),
+    /// A read's flow producer has no corresponding dependence edge — the
+    /// graph was not produced by `lower_loop` on this body.
+    MissingEdge { stmt: usize, var: String },
+}
+
+impl std::fmt::Display for FromIrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FromIrError::ShapeMismatch { nodes, stmts } => {
+                write!(f, "{nodes} graph nodes vs {stmts} statements")
+            }
+            FromIrError::Guarded(i) => write!(f, "statement {i} is guarded (if-converted)"),
+            FromIrError::MultipleDefs(v) => write!(f, "multiple definitions of {v}"),
+            FromIrError::MissingEdge { stmt, var } => {
+                write!(f, "statement {stmt}: no flow edge for read of {var}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FromIrError {}
+
+/// Where a syntactic read gets its value.
+#[derive(Clone, Copy, Debug)]
+enum Source {
+    /// `inputs[pos]` of the node's dependence-input vector.
+    Input(usize),
+    /// Pre-loop memory, hashed per element.
+    External,
+}
+
+/// Derive per-node value functions from the lowered body. `flat` must be
+/// the statement list returned by `kn_ir::lower_loop` for the same graph.
+pub fn semantics_from_ir(g: &Ddg, flat: &[GuardedAssign]) -> Result<Semantics, FromIrError> {
+    if g.node_count() != flat.len() {
+        return Err(FromIrError::ShapeMismatch { nodes: g.node_count(), stmts: flat.len() });
+    }
+    if let Some(i) = flat.iter().position(|ga| !ga.unconditional()) {
+        return Err(FromIrError::Guarded(i));
+    }
+
+    // Single static definition per location class.
+    let mut array_def: HashMap<&str, (usize, i32)> = HashMap::new();
+    let mut scalar_def: HashMap<&str, usize> = HashMap::new();
+    for (i, ga) in flat.iter().enumerate() {
+        match &ga.assign.target {
+            Target::Array { array, offset } => {
+                if array_def.insert(array, (i, *offset)).is_some() {
+                    return Err(FromIrError::MultipleDefs(array.clone()));
+                }
+            }
+            Target::Scalar(s) => {
+                if scalar_def.insert(s, i).is_some() {
+                    return Err(FromIrError::MultipleDefs(s.clone()));
+                }
+            }
+        }
+    }
+
+    let mut fns: Vec<NodeFn> = Vec::with_capacity(flat.len());
+    for (t, ga) in flat.iter().enumerate() {
+        let node = kn_ddg::NodeId(t as u32);
+        // Input-vector position of each in-edge, keyed by (src node, dist).
+        let mut edge_pos: HashMap<(u32, u32), usize> = HashMap::new();
+        for (pos, (_, e)) in g.in_edges(node).enumerate() {
+            edge_pos.entry((e.src.0, e.distance)).or_insert(pos);
+        }
+
+        // Resolve array reads.
+        let mut array_src: HashMap<(String, i32), Source> = HashMap::new();
+        for (a, ro) in ga.assign.rhs.array_reads() {
+            let src = match array_def.get(a) {
+                None => Source::External,
+                Some(&(s, def_off)) => {
+                    let d = def_off as i64 - ro as i64;
+                    if d < 0 || (s >= t && d == 0) {
+                        // Future write (anti), or a same-iteration element
+                        // whose write comes textually at-or-after this read
+                        // (each element is written exactly once, so the
+                        // read sees pre-loop memory).
+                        Source::External
+                    } else {
+                        let pos = edge_pos.get(&(s as u32, d as u32)).copied().ok_or(
+                            FromIrError::MissingEdge { stmt: t, var: a.to_string() },
+                        )?;
+                        Source::Input(pos)
+                    }
+                }
+            };
+            array_src.insert((a.to_string(), ro), src);
+        }
+        // Resolve scalar reads.
+        let mut scalar_src: HashMap<String, Source> = HashMap::new();
+        for sname in ga.assign.rhs.scalar_reads() {
+            let src = match scalar_def.get(sname) {
+                None => Source::External,
+                Some(&s) => {
+                    // Textual def-before-use reads this iteration's value
+                    // (distance 0); use-before-def reads last iteration's.
+                    let d = if s < t { 0u32 } else { 1 };
+                    let pos = edge_pos.get(&(s as u32, d)).copied().ok_or(
+                        FromIrError::MissingEdge { stmt: t, var: sname.to_string() },
+                    )?;
+                    Source::Input(pos)
+                }
+            };
+            scalar_src.insert(sname.to_string(), src);
+        }
+
+        let rhs = ga.assign.rhs.clone();
+        let f: NodeFn = Arc::new(move |iter, inputs| {
+            struct Ctx<'a> {
+                arrays: &'a HashMap<(String, i32), Source>,
+                scalars: &'a HashMap<String, Source>,
+                inputs: &'a [u64],
+                iter: u32,
+            }
+            impl EvalContext for Ctx<'_> {
+                fn array(&mut self, array: &str, offset: i32) -> u64 {
+                    match self.arrays[&(array.to_string(), offset)] {
+                        Source::Input(pos) => self.inputs[pos],
+                        Source::External => {
+                            external_value(array, self.iter as i64 + offset as i64)
+                        }
+                    }
+                }
+                fn scalar(&mut self, name: &str) -> u64 {
+                    match self.scalars[name] {
+                        Source::Input(pos) => self.inputs[pos],
+                        Source::External => external_value(name, 0),
+                    }
+                }
+            }
+            eval_expr(&rhs, &mut Ctx { arrays: &array_src, scalars: &scalar_src, inputs, iter })
+        });
+        fns.push(f);
+    }
+    Ok(Semantics::new(fns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_sequential, run_threaded};
+    use kn_ir::{arr, arr_at, assign, binop, lower_loop, BinOp, LoopBody};
+    use kn_sched::{cyclic_schedule, CyclicOptions, MachineConfig, ScheduleTable};
+
+    fn figure7_ir() -> (Ddg, Vec<GuardedAssign>) {
+        let body = LoopBody::new(vec![
+            assign("A", "A", 0, binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1))),
+            assign("B", "B", 0, arr("A")),
+            assign("C", "C", 0, arr("B")),
+            assign("D", "D", 0, binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1))),
+            assign("E", "E", 0, arr("D")),
+        ]);
+        lower_loop(&body, &Default::default()).unwrap()
+    }
+
+    #[test]
+    fn figure7_parallel_matches_sequential_numerically() {
+        let (g, flat) = figure7_ir();
+        let sem = semantics_from_ir(&g, &flat).unwrap();
+        let m = MachineConfig::new(2, 2);
+        let iters = 100;
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let prog = ScheduleTable::new(out.instantiate(iters)).to_program(iters);
+        let par = run_threaded(&g, &sem, &prog).unwrap();
+        let seq = run_sequential(&g, &sem, iters);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn external_arrays_read_reproducible_memory() {
+        // S: Y[I] = X[I-2] + 1   (X never written in the loop)
+        let body = LoopBody::new(vec![assign(
+            "S",
+            "Y",
+            0,
+            binop(BinOp::Add, arr_at("X", -2), kn_ir::c(1)),
+        )]);
+        let (g, flat) = lower_loop(&body, &Default::default()).unwrap();
+        let sem = semantics_from_ir(&g, &flat).unwrap();
+        let vals = run_sequential(&g, &sem, 3);
+        for i in 0..3u32 {
+            let expect = external_value("X", i as i64 - 2).wrapping_add(1);
+            assert_eq!(vals[&(kn_ddg::NodeId(0), i)], expect);
+        }
+    }
+
+    #[test]
+    fn anti_dependence_reads_preloop_memory() {
+        // S0: B[I] = A[I+1]  (reads ahead of S1's write)
+        // S1: A[I] = B[I]
+        let body = LoopBody::new(vec![
+            assign("S0", "B", 0, arr_at("A", 1)),
+            assign("S1", "A", 0, arr("B")),
+        ]);
+        let (g, flat) = lower_loop(&body, &Default::default()).unwrap();
+        let sem = semantics_from_ir(&g, &flat).unwrap();
+        let vals = run_sequential(&g, &sem, 2);
+        // B[0] = pre-loop A[1], even though A[1] is written at iteration 1.
+        assert_eq!(vals[&(kn_ddg::NodeId(0), 0)], external_value("A", 1));
+    }
+
+    #[test]
+    fn guarded_bodies_rejected() {
+        use kn_ir::{if_stmt, scalar};
+        let body = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Gt, scalar("x"), kn_ir::c(0)),
+            vec![assign("S", "A", 0, kn_ir::c(1))],
+            vec![],
+        )]);
+        let (g, flat) = lower_loop(&body, &Default::default()).unwrap();
+        assert!(matches!(semantics_from_ir(&g, &flat), Err(FromIrError::Guarded(_))));
+    }
+
+    #[test]
+    fn multiple_defs_rejected() {
+        let body = LoopBody::new(vec![
+            assign("S0", "A", 0, kn_ir::c(1)),
+            assign("S1", "A", -1, kn_ir::c(2)),
+        ]);
+        let (g, flat) = lower_loop(&body, &Default::default()).unwrap();
+        assert!(matches!(
+            semantics_from_ir(&g, &flat),
+            Err(FromIrError::MultipleDefs(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_recurrence_evaluates() {
+        use kn_ir::{assign_scalar, scalar};
+        // S0: B[I] = s + 1   (s read before written: carried)
+        // S1: s = B[I]
+        let body = LoopBody::new(vec![
+            assign("S0", "B", 0, binop(BinOp::Add, scalar("s"), kn_ir::c(1))),
+            assign_scalar("S1", "s", arr("B")),
+        ]);
+        let (g, flat) = lower_loop(&body, &Default::default()).unwrap();
+        let sem = semantics_from_ir(&g, &flat).unwrap();
+        let vals = run_sequential(&g, &sem, 3);
+        let b0 = vals[&(kn_ddg::NodeId(0), 0)];
+        let b1 = vals[&(kn_ddg::NodeId(0), 1)];
+        assert_eq!(b1, b0.wrapping_add(1), "B grows by one per iteration");
+    }
+}

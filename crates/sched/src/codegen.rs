@@ -1,0 +1,361 @@
+//! Transformed-loop pretty printer: renders a scheduled loop the way the
+//! paper presents its results — per-processor subloops between `PARBEGIN`
+//! and `PAREND`, with explicit `(SEND …)` / `(RECEIVE …)` synchronization
+//! for every cross-processor dependence (Figures 7(e) and 10).
+//!
+//! The printer consumes the Cyclic pattern: each processor gets its
+//! prologue statements (concrete iteration numbers) followed by a
+//! steady-state `FOR` loop stepping by the pattern's iterations-per-period,
+//! whose body lists that processor's kernel work with iteration offsets.
+//! Statement text is carried from the DDG when present (`A[I] = A[I-1] *
+//! E[I-1]`), with index expressions shifted per instance; otherwise the
+//! node name is used.
+
+use crate::pattern::Pattern;
+use kn_ddg::{Ddg, InstanceId, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Rewrite every index expression `I`, `I+c`, `I-c` inside bracket groups
+/// by adding `delta` and folding the constant: `shift_indices("A[I-1]", 2)`
+/// is `"A[I+1]"`.
+pub fn shift_indices(stmt: &str, delta: i64) -> String {
+    rewrite_indices(stmt, |off| {
+        let o = off + delta;
+        match o {
+            0 => "I".to_string(),
+            d if d > 0 => format!("I+{d}"),
+            d => format!("I-{}", -d),
+        }
+    })
+}
+
+/// Replace every index expression with its concrete value at iteration
+/// `iter`: `concrete_indices("A[I-1]", 4)` is `"A[3]"`.
+pub fn concrete_indices(stmt: &str, iter: i64) -> String {
+    rewrite_indices(stmt, |off| (iter + off).to_string())
+}
+
+fn rewrite_indices(stmt: &str, f: impl Fn(i64) -> String) -> String {
+    let bytes = stmt.as_bytes();
+    let mut out = String::with_capacity(stmt.len());
+    let mut i = 0;
+    let mut depth = 0i32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '[' {
+            depth += 1;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if c == ']' {
+            depth -= 1;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        // An index token: 'I' not embedded in an identifier, inside brackets.
+        let prev_alnum = i > 0 && (bytes[i - 1] as char).is_ascii_alphanumeric();
+        let next = bytes.get(i + 1).map(|&b| b as char);
+        let next_alnum = next.map(|n| n.is_ascii_alphanumeric()).unwrap_or(false);
+        if depth > 0 && c == 'I' && !prev_alnum && !next_alnum {
+            // Optional +c / -c suffix.
+            let mut j = i + 1;
+            let mut off = 0i64;
+            if let Some(sign @ ('+' | '-')) = bytes.get(j).map(|&b| b as char) {
+                let mut k = j + 1;
+                let mut digits = String::new();
+                while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                    digits.push(bytes[k] as char);
+                    k += 1;
+                }
+                if !digits.is_empty() {
+                    off = digits.parse::<i64>().unwrap();
+                    if sign == '-' {
+                        off = -off;
+                    }
+                    j = k;
+                }
+            }
+            out.push_str(&f(off));
+            i = j;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Statement text for a node: its recorded source text, or `name[I] = …`
+/// placeholder built from the name.
+fn stmt_text(g: &Ddg, v: NodeId) -> String {
+    g.node(v)
+        .stmt
+        .clone()
+        .unwrap_or_else(|| format!("{}[I] = op_{}(...)", g.name(v), g.name(v)))
+}
+
+/// Render the Cyclic pattern as a `PARBEGIN … PAREND` program.
+///
+/// Iterations are 0-based (the paper's examples are 1-based); `n_name` is
+/// the symbolic trip count printed in loop headers.
+pub fn render_parallel_loop(g: &Ddg, pattern: &Pattern, n_name: &str) -> String {
+    let d = pattern.iters_per_period.max(1);
+    // Steady-state processor of (node, iter): kernel instance with the same
+    // node and congruent iteration.
+    let mut steady: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut kernel_procs: Vec<usize> = Vec::new();
+    for p in &pattern.kernel {
+        steady.insert((p.inst.node.0, p.inst.iter % d), p.proc);
+        kernel_procs.push(p.proc);
+    }
+    kernel_procs.sort_unstable();
+    kernel_procs.dedup();
+    let mut prologue_proc: HashMap<InstanceId, usize> = HashMap::new();
+    for p in &pattern.prologue {
+        prologue_proc.insert(p.inst, p.proc);
+    }
+    let proc_of = |inst: InstanceId| -> usize {
+        prologue_proc
+            .get(&inst)
+            .copied()
+            .or_else(|| steady.get(&(inst.node.0, inst.iter % d)).copied())
+            .unwrap_or(usize::MAX)
+    };
+
+    let kernel_min_iter = pattern.kernel.iter().map(|p| p.inst.iter).min().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "PARBEGIN  /* pattern: {} iteration(s) every {} cycle(s) */",
+        pattern.iters_per_period, pattern.cycles_per_period);
+    for &proc in &kernel_procs {
+        let _ = writeln!(out, "PE{proc}:");
+        // Prologue statements for this processor, in time order.
+        let mut pro: Vec<_> =
+            pattern.prologue.iter().filter(|p| p.proc == proc).collect();
+        pro.sort_by_key(|p| p.start);
+        for p in &pro {
+            emit_comm_in(&mut out, g, p.inst, proc, &proc_of, Some(p.inst.iter as i64));
+            let _ = writeln!(
+                out,
+                "    {}",
+                concrete_indices(&stmt_text(g, p.inst.node), p.inst.iter as i64)
+            );
+            emit_comm_out(&mut out, g, p.inst, proc, &proc_of, Some(p.inst.iter as i64));
+        }
+        // Steady-state loop.
+        let mut ker: Vec<_> = pattern.kernel.iter().filter(|p| p.proc == proc).collect();
+        ker.sort_by_key(|p| p.start);
+        if !ker.is_empty() {
+            // The loop variable starts at the kernel's first iteration: the
+            // prologue covers everything scheduled before the pattern's
+            // first occurrence, and occurrence r executes the body with
+            // I = kernel_min_iter + r * iters_per_period.
+            let _ = writeln!(
+                out,
+                "    FOR I = {} TO {} STEP {}",
+                kernel_min_iter, n_name, pattern.iters_per_period
+            );
+            for p in &ker {
+                let delta = p.inst.iter as i64 - kernel_min_iter as i64;
+                emit_comm_in_steady(&mut out, g, p.inst, proc, &steady, d, delta);
+                let _ = writeln!(
+                    out,
+                    "        {}",
+                    shift_indices(&stmt_text(g, p.inst.node), delta)
+                );
+                emit_comm_out_steady(&mut out, g, p.inst, proc, &steady, d, delta);
+            }
+            let _ = writeln!(out, "    ENDFOR");
+        }
+    }
+    let _ = writeln!(out, "PAREND");
+    out
+}
+
+fn emit_comm_in(
+    out: &mut String,
+    g: &Ddg,
+    inst: InstanceId,
+    proc: usize,
+    proc_of: &impl Fn(InstanceId) -> usize,
+    _concrete: Option<i64>,
+) {
+    for (_, e) in g.in_edges(inst.node) {
+        if e.distance > inst.iter {
+            continue;
+        }
+        let pred = InstanceId { node: e.src, iter: inst.iter - e.distance };
+        let pp = proc_of(pred);
+        if pp != proc && pp != usize::MAX {
+            let _ = writeln!(
+                out,
+                "    (RECEIVE {}[{}] FROM PE{})",
+                g.name(pred.node),
+                pred.iter,
+                pp
+            );
+        }
+    }
+}
+
+fn emit_comm_out(
+    out: &mut String,
+    g: &Ddg,
+    inst: InstanceId,
+    proc: usize,
+    proc_of: &impl Fn(InstanceId) -> usize,
+    _concrete: Option<i64>,
+) {
+    let mut sent: Vec<usize> = Vec::new();
+    for (_, e) in g.out_edges(inst.node) {
+        let succ = InstanceId { node: e.dst, iter: inst.iter + e.distance };
+        let sp = proc_of(succ);
+        if sp != proc && sp != usize::MAX && !sent.contains(&sp) {
+            sent.push(sp);
+            let _ = writeln!(
+                out,
+                "    (SEND {}[{}] TO PE{})",
+                g.name(inst.node),
+                inst.iter,
+                sp
+            );
+        }
+    }
+}
+
+fn emit_comm_in_steady(
+    out: &mut String,
+    g: &Ddg,
+    inst: InstanceId,
+    proc: usize,
+    steady: &HashMap<(u32, u32), usize>,
+    d: u32,
+    delta: i64,
+) {
+    for (_, e) in g.in_edges(inst.node) {
+        let pred_iter_mod = (inst.iter + d - (e.distance % d)) % d;
+        if let Some(&pp) = steady.get(&(e.src.0, pred_iter_mod)) {
+            if pp != proc {
+                let off = delta - e.distance as i64;
+                let idx = match off {
+                    0 => "I".to_string(),
+                    o if o > 0 => format!("I+{o}"),
+                    o => format!("I-{}", -o),
+                };
+                let _ = writeln!(out, "        (RECEIVE {}[{}] FROM PE{})", g.name(e.src), idx, pp);
+            }
+        }
+    }
+}
+
+fn emit_comm_out_steady(
+    out: &mut String,
+    g: &Ddg,
+    inst: InstanceId,
+    proc: usize,
+    steady: &HashMap<(u32, u32), usize>,
+    d: u32,
+    delta: i64,
+) {
+    let mut sent: Vec<usize> = Vec::new();
+    for (_, e) in g.out_edges(inst.node) {
+        let succ_iter_mod = (inst.iter + e.distance) % d;
+        if let Some(&sp) = steady.get(&(e.dst.0, succ_iter_mod)) {
+            if sp != proc && !sent.contains(&sp) {
+                sent.push(sp);
+                let idx = match delta {
+                    0 => "I".to_string(),
+                    o if o > 0 => format!("I+{o}"),
+                    o => format!("I-{}", -o),
+                };
+                let _ = writeln!(out, "        (SEND {}[{}] TO PE{})", g.name(inst.node), idx, sp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyclic::{cyclic_schedule, CyclicOptions};
+    use crate::machine::MachineConfig;
+    use kn_ddg::DdgBuilder;
+
+    #[test]
+    fn shift_indices_folds_offsets() {
+        assert_eq!(shift_indices("A[I] = A[I-1] * E[I-1]", 1), "A[I+1] = A[I] * E[I]");
+        assert_eq!(shift_indices("A[I-1]", 0), "A[I-1]");
+        assert_eq!(shift_indices("A[I+2]", -3), "A[I-1]");
+        assert_eq!(shift_indices("X[I4]", 1), "X[I4]", "identifier I4 untouched");
+    }
+
+    #[test]
+    fn concrete_indices_evaluates() {
+        assert_eq!(concrete_indices("A[I] = A[I-1]", 3), "A[3] = A[2]");
+        assert_eq!(concrete_indices("B[I+1]", 0), "B[1]");
+    }
+
+    #[test]
+    fn indices_outside_brackets_untouched() {
+        assert_eq!(shift_indices("IF I THEN A[I]", 2), "IF I THEN A[I+2]");
+    }
+
+    fn figure7() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        let bb = b.node("B");
+        let c = b.node("C");
+        let d = b.node("D");
+        let e = b.node("E");
+        b.stmt(a, "A[I] = A[I-1] * E[I-1]");
+        b.stmt(bb, "B[I] = A[I]");
+        b.stmt(c, "C[I] = B[I]");
+        b.stmt(d, "D[I] = D[I-1] * C[I-1]");
+        b.stmt(e, "E[I] = D[I]");
+        b.carried(a, a);
+        b.carried(e, a);
+        b.dep(a, bb);
+        b.dep(bb, c);
+        b.carried(d, d);
+        b.carried(c, d);
+        b.dep(d, e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure7_codegen_has_parallel_structure() {
+        let g = figure7();
+        let m = MachineConfig::new(2, 2);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let pattern = out.pattern().unwrap();
+        let code = render_parallel_loop(&g, pattern, "N");
+        assert!(code.contains("PARBEGIN"));
+        assert!(code.contains("PAREND"));
+        assert!(code.contains("PE0:"));
+        assert!(code.contains("PE1:"));
+        assert!(
+            code.contains("FOR I = 1 TO N STEP 2"),
+            "loop starts at the kernel's first iteration: {code}"
+        );
+        assert!(code.contains("(SEND"), "cross-processor edges need sends: {code}");
+        assert!(code.contains("(RECEIVE"));
+        assert!(code.contains("A[I] = A[I-1] * E[I-1]") || code.contains("A[I+1] = A[I] * E[I]"));
+    }
+
+    #[test]
+    fn single_processor_pattern_has_no_comm() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.stmt(x, "x[I] = x[I-1] + 1");
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(2, 3);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let code = render_parallel_loop(&g, out.pattern().unwrap(), "N");
+        assert!(!code.contains("SEND"));
+        assert!(!code.contains("RECEIVE"));
+        assert!(code.contains("x[I] = x[I-1] + 1"));
+    }
+}

@@ -1,0 +1,220 @@
+//! `Flow-in-sched` / `Flow-out-sched` (paper Figure 5) and the §3
+//! idle-processor merge heuristic.
+//!
+//! Non-Cyclic nodes have "little impact on the total execution time"
+//! (paper §2.1): Flow-in nodes are constrained only by the latest time they
+//! can run, Flow-out nodes only by the earliest. The paper therefore
+//! schedules them by plain iteration interleaving over `p = ⌈L/H⌉` *extra*
+//! processors, where `L` is the subset's size (here: total latency, so
+//! non-unit latencies are handled) and `H` is the height of the Cyclic
+//! pattern — just enough processors that the non-Cyclic work keeps up with
+//! the Cyclic core's steady-state rate.
+//!
+//! Section 3 adds a refinement: when a Cyclic processor has enough idle
+//! time inside the kernel, fold the non-Cyclic nodes into it instead of
+//! paying for extra processors ("combine the non-Cyclic nodes into the
+//! idle processor"). [`idle_per_period`] exposes the idle budget that
+//! heuristic needs; the decision itself is made in [`crate::full`] by
+//! measuring both variants.
+
+use crate::machine::Cycle;
+use crate::pattern::Pattern;
+use kn_ddg::{intra_topo_order, Ddg, InstanceId, NodeId};
+
+/// Number of extra processors `Flow-in-sched` prepares: `⌈L/H⌉`, where `L`
+/// is the subset's total latency per iteration and `H` the pattern height.
+pub fn flow_processors(subset_latency: u64, pattern_height: Cycle, iters_per_period: u32) -> usize {
+    if subset_latency == 0 {
+        return 0;
+    }
+    // The pattern completes `iters_per_period` iterations every `H` cycles,
+    // so one processor keeps up with the core iff
+    // subset_latency * iters_per_period <= H.
+    let need = subset_latency * iters_per_period as u64;
+    let h = pattern_height.max(1);
+    need.div_ceil(h).max(1) as usize
+}
+
+/// Per-iteration latency of a node subset (the `L` of Figure 5, generalized
+/// to non-unit latencies).
+pub fn subset_latency(g: &Ddg, subset: &[NodeId]) -> u64 {
+    subset.iter().map(|&v| g.latency(v) as u64).sum()
+}
+
+/// Figure 5 step 2: assign iteration `i`'s subset nodes to processor
+/// `i mod procs`, each iteration's nodes in intra-iteration topological
+/// order. Returns one sequence per (extra) processor.
+pub fn flow_sequences(
+    g: &Ddg,
+    subset: &[NodeId],
+    procs: usize,
+    iters: u32,
+) -> Vec<Vec<InstanceId>> {
+    if procs == 0 || subset.is_empty() {
+        return vec![Vec::new(); procs];
+    }
+    let topo = intra_topo_order(g).expect("validated graph");
+    let in_subset: Vec<bool> = {
+        let mut v = vec![false; g.node_count()];
+        for &n in subset {
+            v[n.index()] = true;
+        }
+        v
+    };
+    let ordered: Vec<NodeId> = topo.into_iter().filter(|n| in_subset[n.index()]).collect();
+    let mut seqs = vec![Vec::new(); procs];
+    for i in 0..iters {
+        let p = (i as usize) % procs;
+        for &n in &ordered {
+            seqs[p].push(InstanceId { node: n, iter: i });
+        }
+    }
+    seqs
+}
+
+/// Idle cycles per kernel period for each processor the pattern touches:
+/// `(proc, busy, idle)`. The §3 heuristic looks for a "relatively idle
+/// processor with idle time slots wide enough to accommodate the
+/// non-Cyclic nodes".
+pub fn idle_per_period(pattern: &Pattern, g: &Ddg) -> Vec<(usize, Cycle, Cycle)> {
+    let period = pattern.cycles_per_period;
+    let mut procs: Vec<usize> = pattern.kernel.iter().map(|p| p.proc).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    procs
+        .into_iter()
+        .map(|proc| {
+            let busy: Cycle = pattern
+                .kernel
+                .iter()
+                .filter(|p| p.proc == proc)
+                .map(|p| g.latency(p.inst.node) as Cycle)
+                .sum();
+            (proc, busy, period.saturating_sub(busy))
+        })
+        .collect()
+}
+
+/// The §3 candidate: the kernel processor with the most idle time, provided
+/// that idle time covers the subset's latency for a full period. `None`
+/// when no processor has enough slack.
+pub fn merge_candidate(
+    pattern: &Pattern,
+    g: &Ddg,
+    subset_lat: u64,
+) -> Option<usize> {
+    let need = subset_lat * pattern.iters_per_period as u64;
+    idle_per_period(pattern, g)
+        .into_iter()
+        .filter(|&(_, _, idle)| idle >= need)
+        .max_by_key(|&(_, _, idle)| idle)
+        .map(|(proc, _, _)| proc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Placement;
+    use kn_ddg::{DdgBuilder, NodeId};
+
+    fn inst(node: u32, iter: u32) -> InstanceId {
+        InstanceId { node: NodeId(node), iter }
+    }
+
+    #[test]
+    fn processor_count_follows_figure5_formula() {
+        // Figure 5: p = ⌈L/H⌉. (For the paper's §3 Cytron86 example the
+        // text reports p = 3 with L = 11, H = 6, i.e. ⌈11/6⌉ rounded up
+        // once more than the printed formula gives; our reconstruction
+        // reaches the paper's 5-subloop total because its Flow-in latency
+        // is 13: ⌈13/6⌉ = 3. We implement the formula as printed.)
+        assert_eq!(flow_processors(11, 6, 1), 2);
+        assert_eq!(flow_processors(13, 6, 1), 3);
+        assert_eq!(flow_processors(11, 4, 1), 3);
+        assert_eq!(flow_processors(0, 6, 1), 0);
+        assert_eq!(flow_processors(5, 6, 1), 1);
+    }
+
+    #[test]
+    fn processor_count_scales_with_iters_per_period() {
+        // Two iterations per period: the core retires work twice as fast,
+        // so the flow processors must too.
+        assert_eq!(flow_processors(5, 6, 2), 2);
+        assert_eq!(flow_processors(6, 6, 2), 2);
+        assert_eq!(flow_processors(3, 6, 2), 1);
+    }
+
+    #[test]
+    fn sequences_round_robin_by_iteration() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let _z = b.node("z"); // not in subset
+        b.dep(x, y);
+        let g = b.build().unwrap();
+        let seqs = flow_sequences(&g, &[x, y], 2, 4);
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0], vec![inst(0, 0), inst(1, 0), inst(0, 2), inst(1, 2)]);
+        assert_eq!(seqs[1], vec![inst(0, 1), inst(1, 1), inst(0, 3), inst(1, 3)]);
+    }
+
+    #[test]
+    fn sequences_respect_intra_topo_order() {
+        let mut b = DdgBuilder::new();
+        let y = b.node("y");
+        let x = b.node("x");
+        b.dep(x, y); // x must precede y despite higher id
+        let g = b.build().unwrap();
+        let seqs = flow_sequences(&g, &[y, x], 1, 1);
+        assert_eq!(seqs[0], vec![inst(1, 0), inst(0, 0)]);
+    }
+
+    #[test]
+    fn empty_subset_yields_empty_sequences() {
+        let mut b = DdgBuilder::new();
+        b.node("x");
+        let g = b.build().unwrap();
+        assert!(flow_sequences(&g, &[], 0, 5).is_empty());
+        assert_eq!(subset_latency(&g, &[]), 0);
+    }
+
+    fn two_proc_pattern() -> Pattern {
+        // Kernel: node 0 on P0, node 1 on P1; period 4 cycles / 1 iter.
+        Pattern {
+            prologue: vec![],
+            kernel: vec![
+                Placement { inst: inst(0, 1), proc: 0, start: 4 },
+                Placement { inst: inst(1, 1), proc: 1, start: 5 },
+            ],
+            iters_per_period: 1,
+            cycles_per_period: 4,
+        }
+    }
+
+    #[test]
+    fn idle_budget_computed_per_processor() {
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 1);
+        let y = b.node_lat("y", 3);
+        b.carried(x, x);
+        b.carried(y, y);
+        let g = b.build().unwrap();
+        let pat = two_proc_pattern();
+        let idle = idle_per_period(&pat, &g);
+        assert_eq!(idle, vec![(0, 1, 3), (1, 3, 1)]);
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn merge_candidate_picks_most_idle_with_room() {
+        let mut b = DdgBuilder::new();
+        b.node_lat("x", 1);
+        b.node_lat("y", 3);
+        let g = b.build().unwrap();
+        let pat = two_proc_pattern();
+        // Subset latency 2 per iteration: fits P0's idle 3, not P1's 1.
+        assert_eq!(merge_candidate(&pat, &g, 2), Some(0));
+        // Latency 5 fits nowhere.
+        assert_eq!(merge_candidate(&pat, &g, 5), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! # kn-sched — pattern-based loop scheduling for MIMD machines
+//!
+//! The primary contribution of Kim & Nicolau (ICPP 1990), implemented in
+//! full:
+//!
+//! * [`machine`] — the asynchronous-MIMD timing model (processors,
+//!   communication bound `k`, arrival conventions);
+//! * [`cyclic`] — `Cyclic-sched` (paper Fig. 4): greedy, communication-aware
+//!   list scheduling of the infinitely unwound Cyclic subgraph, with online
+//!   pattern detection;
+//! * [`state`] / [`window`] — the two pattern detectors (canonical
+//!   scheduler state; the paper's sliding configuration window);
+//! * [`pattern`] — patterns (prologue + repeating kernel), block fallback,
+//!   instantiation to finite schedules;
+//! * [`flow`] — `Flow-in-sched` / `Flow-out-sched` (paper Fig. 5) and the
+//!   §3 idle-processor merge heuristic;
+//! * [`full`] — the complete pipeline (paper Fig. 6): classify, schedule
+//!   the Cyclic core, attach the non-Cyclic subsets;
+//! * [`program`] / [`table`] — executable per-processor programs, static
+//!   timing, schedule tables, and validity checking;
+//! * [`codegen`] — the transformed-loop pretty printer (the PARBEGIN/PAREND
+//!   forms of the paper's Figures 7(e) and 10).
+
+pub mod codegen;
+pub mod cyclic;
+pub mod flow;
+pub mod full;
+pub mod machine;
+pub mod pattern;
+pub mod program;
+pub mod state;
+pub mod stats;
+pub mod table;
+pub mod window;
+
+pub use cyclic::{
+    cyclic_schedule, enumeration_order, greedy_finite, greedy_unbounded, CyclicError,
+    CyclicOptions, DetectorKind,
+};
+pub use full::{schedule_loop, FlowDecision, FullOptions, LoopSchedule, SchedLoopError};
+pub use machine::{ArrivalConvention, Cycle, MachineConfig};
+pub use pattern::{BlockSchedule, Pattern, PatternOutcome};
+pub use program::{static_times, Program, ProgramError, TimedProgram};
+pub use stats::{pattern_stats, PatternStats, ProcLoad};
+pub use table::{Placement, ScheduleError, ScheduleTable};

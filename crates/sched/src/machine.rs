@@ -1,0 +1,139 @@
+//! Machine model: processor count, communication cost, and the timing
+//! conventions pinned down by the paper's worked examples.
+//!
+//! The paper assumes an asynchronous MIMD machine with fully-overlapped
+//! communication whose per-edge cost is bounded above by `k` (§2.3). The
+//! scheduler *estimates* every remote edge at its cost bound; at run time the
+//! simulator charges the actual (possibly fluctuating) cost.
+
+use kn_ddg::{Edge, Latency};
+
+/// A point in time, in machine cycles.
+pub type Cycle = u64;
+
+/// When may a consumer on another processor start, relative to the
+/// producer's finish time and the message cost `c`?
+///
+/// The paper's Figure 7(d) fixes this: with `k = 2`, `A1` starting at cycle
+/// 0 (latency 1) on PE0 feeds `A2` starting at cycle **2** on PE1, i.e. the
+/// consumer starts at `finish + c - 1` — the message's arrival cycle is
+/// usable ("consume at arrival"). The stricter `finish + c` variant is kept
+/// for ablation studies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ArrivalConvention {
+    /// Consumer may start in the cycle the message lands: `finish + c - 1`.
+    /// Matches every legible placement in the paper's figures.
+    #[default]
+    ConsumeAtArrival,
+    /// Consumer may start the cycle after the message lands: `finish + c`.
+    AfterArrival,
+}
+
+/// Static description of the target machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processors `p`. The paper assumes "a sufficient number";
+    /// callers pick a concrete pool.
+    pub processors: usize,
+    /// Upper bound `k` on any communication cost, in cycles. `k = 0` models
+    /// the zero-communication machine of Perfect Pipelining (paper §1).
+    pub comm_upper_bound: u32,
+    /// Arrival-time convention (see [`ArrivalConvention`]).
+    pub arrival: ArrivalConvention,
+}
+
+impl MachineConfig {
+    /// Convenience constructor with the paper's default convention.
+    pub fn new(processors: usize, comm_upper_bound: u32) -> Self {
+        assert!(processors >= 1, "need at least one processor");
+        Self { processors, comm_upper_bound, arrival: ArrivalConvention::default() }
+    }
+
+    /// The *estimated* cost of a dependence edge: the per-edge override if
+    /// present (clamped to the bound `k`, which the paper defines as an
+    /// upper bound), else `k` itself.
+    pub fn edge_cost(&self, e: &Edge) -> u32 {
+        match e.cost {
+            Some(c) => c.min(self.comm_upper_bound),
+            None => self.comm_upper_bound,
+        }
+    }
+
+    /// Earliest start cycle for a consumer on a *different* processor, given
+    /// the producer's finish cycle and the message cost.
+    #[inline]
+    pub fn remote_ready(&self, finish: Cycle, cost: u32) -> Cycle {
+        match self.arrival {
+            ArrivalConvention::ConsumeAtArrival => finish + cost.saturating_sub(1) as Cycle,
+            ArrivalConvention::AfterArrival => finish + cost as Cycle,
+        }
+    }
+
+    /// Earliest start cycle for a consumer on the *same* processor.
+    #[inline]
+    pub fn local_ready(&self, finish: Cycle) -> Cycle {
+        finish
+    }
+
+    /// Finish cycle of a node started at `start` with latency `lat`.
+    #[inline]
+    pub fn finish(&self, start: Cycle, lat: Latency) -> Cycle {
+        start + lat as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ddg::NodeId;
+
+    fn edge(cost: Option<u32>) -> Edge {
+        Edge { src: NodeId(0), dst: NodeId(1), distance: 0, cost }
+    }
+
+    #[test]
+    fn figure7_arrival_convention() {
+        // A1 on PE0 at 0, lat 1, k=2 -> A2 on PE1 may start at cycle 2.
+        let m = MachineConfig::new(2, 2);
+        let finish = m.finish(0, 1);
+        assert_eq!(m.remote_ready(finish, 2), 2);
+    }
+
+    #[test]
+    fn after_arrival_is_one_later() {
+        let m = MachineConfig {
+            processors: 2,
+            comm_upper_bound: 2,
+            arrival: ArrivalConvention::AfterArrival,
+        };
+        assert_eq!(m.remote_ready(1, 2), 3);
+    }
+
+    #[test]
+    fn zero_comm_is_free_under_both_conventions() {
+        for arrival in [ArrivalConvention::ConsumeAtArrival, ArrivalConvention::AfterArrival] {
+            let m = MachineConfig { processors: 4, comm_upper_bound: 0, arrival };
+            assert_eq!(m.remote_ready(7, 0), 7);
+        }
+    }
+
+    #[test]
+    fn edge_cost_override_clamped_to_k() {
+        let m = MachineConfig::new(2, 3);
+        assert_eq!(m.edge_cost(&edge(None)), 3);
+        assert_eq!(m.edge_cost(&edge(Some(2))), 2);
+        assert_eq!(m.edge_cost(&edge(Some(9))), 3, "k is an upper bound (paper 2.3)");
+    }
+
+    #[test]
+    fn local_ready_is_finish() {
+        let m = MachineConfig::new(1, 5);
+        assert_eq!(m.local_ready(m.finish(4, 3)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        MachineConfig::new(0, 1);
+    }
+}

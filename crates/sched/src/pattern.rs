@@ -1,0 +1,356 @@
+//! Patterns: the repeating kernels that the paper's Theorem 1 guarantees.
+//!
+//! `Cyclic-sched` schedules the infinitely unwound Cyclic subgraph greedily;
+//! the resulting schedule eventually repeats a *pattern* — a set of
+//! placements that recurs every `cycles_per_period` cycles with iteration
+//! indices advanced by `iters_per_period`. Once the pattern is found the
+//! loop can be emitted as `prologue; repeat kernel` (paper §1, §2.2).
+
+use crate::machine::Cycle;
+use crate::table::Placement;
+use kn_ddg::InstanceId;
+
+/// A periodic schedule: prologue (in scheduling order) followed by a kernel
+/// that repeats with fixed iteration and time shifts.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    /// Placements before the first kernel occurrence, in scheduling order.
+    pub prologue: Vec<Placement>,
+    /// One kernel period, in scheduling order, at its first occurrence's
+    /// absolute coordinates.
+    pub kernel: Vec<Placement>,
+    /// Iteration shift per period (`d` of the paper's Definition 1).
+    pub iters_per_period: u32,
+    /// Time shift per period.
+    pub cycles_per_period: Cycle,
+}
+
+impl Pattern {
+    /// Steady-state initiation interval: cycles per loop iteration once the
+    /// kernel is reached. The figure of merit the paper optimizes.
+    pub fn steady_ii(&self) -> f64 {
+        self.cycles_per_period as f64 / self.iters_per_period as f64
+    }
+
+    /// Height `H` of the pattern in cycles (used by `Flow-in-sched`,
+    /// paper Figure 5).
+    pub fn height(&self) -> Cycle {
+        self.cycles_per_period
+    }
+
+    /// Number of distinct processors the kernel touches.
+    pub fn kernel_processors(&self) -> usize {
+        let mut procs: Vec<usize> = self.kernel.iter().map(|p| p.proc).collect();
+        procs.sort_unstable();
+        procs.dedup();
+        procs.len()
+    }
+
+    /// The `r`-th occurrence of the kernel (`r = 0` is the stored one).
+    pub fn kernel_occurrence(&self, r: u64) -> impl Iterator<Item = Placement> + '_ {
+        let di = self.iters_per_period as u64 * r;
+        let dt = self.cycles_per_period * r;
+        self.kernel.iter().map(move |p| Placement {
+            inst: InstanceId { node: p.inst.node, iter: p.inst.iter + di as u32 },
+            proc: p.proc,
+            start: p.start + dt,
+        })
+    }
+
+    /// Materialize the schedule for iterations `0..iters`: the prologue and
+    /// as many kernel occurrences as still contain an instance with
+    /// `iter < iters`, dropping out-of-range instances. This is exactly the
+    /// infinite greedy schedule restricted to the first `iters` iterations,
+    /// so it inherits its validity.
+    pub fn instantiate(&self, iters: u32) -> Vec<Placement> {
+        let mut out: Vec<Placement> = self
+            .prologue
+            .iter()
+            .copied()
+            .filter(|p| p.inst.iter < iters)
+            .collect();
+        if self.kernel.is_empty() {
+            return out;
+        }
+        let min_iter = self.kernel.iter().map(|p| p.inst.iter).min().unwrap();
+        let mut r = 0u64;
+        while min_iter as u64 + r * (self.iters_per_period as u64) < iters as u64 {
+            out.extend(self.kernel_occurrence(r).filter(|p| p.inst.iter < iters));
+            r += 1;
+        }
+        out
+    }
+
+    /// Infinite stream of placements in scheduling order (prologue then
+    /// kernel occurrences). Used to verify Theorem 1 against a raw greedy
+    /// run.
+    pub fn stream(&self) -> impl Iterator<Item = Placement> + '_ {
+        self.prologue
+            .iter()
+            .copied()
+            .chain((0u64..).flat_map(move |r| self.kernel_occurrence(r)))
+    }
+
+    /// Rewrite node ids (used when a pattern computed on an extracted
+    /// subgraph is mapped back to the full loop's node ids).
+    pub fn map_nodes(&self, f: impl Fn(kn_ddg::NodeId) -> kn_ddg::NodeId) -> Pattern {
+        let remap = |ps: &[Placement]| {
+            ps.iter()
+                .map(|p| Placement {
+                    inst: InstanceId { node: f(p.inst.node), iter: p.inst.iter },
+                    proc: p.proc,
+                    start: p.start,
+                })
+                .collect()
+        };
+        Pattern {
+            prologue: remap(&self.prologue),
+            kernel: remap(&self.kernel),
+            iters_per_period: self.iters_per_period,
+            cycles_per_period: self.cycles_per_period,
+        }
+    }
+
+    /// Shift all processor indices (used to pack independently scheduled
+    /// components onto disjoint processor ranges).
+    pub fn offset_procs(&self, offset: usize) -> Pattern {
+        let remap = |ps: &[Placement]| {
+            ps.iter()
+                .map(|p| Placement { proc: p.proc + offset, ..*p })
+                .collect()
+        };
+        Pattern {
+            prologue: remap(&self.prologue),
+            kernel: remap(&self.kernel),
+            iters_per_period: self.iters_per_period,
+            cycles_per_period: self.cycles_per_period,
+        }
+    }
+}
+
+/// Fallback when no pattern was found within the unroll cap (never observed
+/// on the paper's workloads; kept so that the API is total): a block of
+/// `block_iters` iterations scheduled as a finite DAG, tiled with a period
+/// long enough that every cross-block dependence (distance ≤ block_iters)
+/// is trivially satisfied.
+#[derive(Clone, Debug)]
+pub struct BlockSchedule {
+    /// Placements for iterations `0..block_iters`.
+    pub block: Vec<Placement>,
+    pub block_iters: u32,
+    /// Time shift between consecutive blocks.
+    pub period: Cycle,
+}
+
+impl BlockSchedule {
+    /// Materialize iterations `0..iters` by tiling the block.
+    pub fn instantiate(&self, iters: u32) -> Vec<Placement> {
+        let mut out = Vec::new();
+        let mut base_iter = 0u32;
+        let mut base_time = 0 as Cycle;
+        while base_iter < iters {
+            out.extend(
+                self.block
+                    .iter()
+                    .map(|p| Placement {
+                        inst: InstanceId {
+                            node: p.inst.node,
+                            iter: p.inst.iter + base_iter,
+                        },
+                        proc: p.proc,
+                        start: p.start + base_time,
+                    })
+                    .filter(|p| p.inst.iter < iters),
+            );
+            base_iter += self.block_iters;
+            base_time += self.period;
+        }
+        out
+    }
+
+    /// Average cycles per iteration of the tiled schedule.
+    pub fn steady_ii(&self) -> f64 {
+        self.period as f64 / self.block_iters as f64
+    }
+}
+
+/// Result of `Cyclic-sched`: the paper's pattern, or the block fallback.
+#[derive(Clone, Debug)]
+pub enum PatternOutcome {
+    Found(Pattern),
+    CapFallback(BlockSchedule),
+}
+
+impl PatternOutcome {
+    /// Steady-state cycles per iteration.
+    pub fn steady_ii(&self) -> f64 {
+        match self {
+            PatternOutcome::Found(p) => p.steady_ii(),
+            PatternOutcome::CapFallback(b) => b.steady_ii(),
+        }
+    }
+
+    /// Materialize a finite schedule.
+    pub fn instantiate(&self, iters: u32) -> Vec<Placement> {
+        match self {
+            PatternOutcome::Found(p) => p.instantiate(iters),
+            PatternOutcome::CapFallback(b) => b.instantiate(iters),
+        }
+    }
+
+    /// The pattern, if one was found.
+    pub fn pattern(&self) -> Option<&Pattern> {
+        match self {
+            PatternOutcome::Found(p) => Some(p),
+            PatternOutcome::CapFallback(_) => None,
+        }
+    }
+
+    /// Rewrite node ids (see [`Pattern::map_nodes`]).
+    pub fn map_nodes(&self, f: impl Fn(kn_ddg::NodeId) -> kn_ddg::NodeId) -> PatternOutcome {
+        match self {
+            PatternOutcome::Found(p) => PatternOutcome::Found(p.map_nodes(f)),
+            PatternOutcome::CapFallback(b) => PatternOutcome::CapFallback(BlockSchedule {
+                block: b
+                    .block
+                    .iter()
+                    .map(|p| Placement {
+                        inst: InstanceId { node: f(p.inst.node), iter: p.inst.iter },
+                        ..*p
+                    })
+                    .collect(),
+                block_iters: b.block_iters,
+                period: b.period,
+            }),
+        }
+    }
+
+    /// Shift all processor indices (see [`Pattern::offset_procs`]).
+    pub fn offset_procs(&self, offset: usize) -> PatternOutcome {
+        match self {
+            PatternOutcome::Found(p) => PatternOutcome::Found(p.offset_procs(offset)),
+            PatternOutcome::CapFallback(b) => PatternOutcome::CapFallback(BlockSchedule {
+                block: b
+                    .block
+                    .iter()
+                    .map(|p| Placement { proc: p.proc + offset, ..*p })
+                    .collect(),
+                block_iters: b.block_iters,
+                period: b.period,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ddg::NodeId;
+
+    fn inst(node: u32, iter: u32) -> InstanceId {
+        InstanceId { node: NodeId(node), iter }
+    }
+
+    fn simple_pattern() -> Pattern {
+        // Prologue: (0,0)@P0 t0. Kernel: (0,1)@P0 t1 repeating every
+        // 1 iteration / 1 cycle.
+        Pattern {
+            prologue: vec![Placement { inst: inst(0, 0), proc: 0, start: 0 }],
+            kernel: vec![Placement { inst: inst(0, 1), proc: 0, start: 1 }],
+            iters_per_period: 1,
+            cycles_per_period: 1,
+        }
+    }
+
+    #[test]
+    fn steady_ii_simple() {
+        assert_eq!(simple_pattern().steady_ii(), 1.0);
+    }
+
+    #[test]
+    fn instantiate_covers_each_iteration_once() {
+        let p = simple_pattern();
+        let placements = p.instantiate(5);
+        assert_eq!(placements.len(), 5);
+        let mut iters: Vec<u32> = placements.iter().map(|p| p.inst.iter).collect();
+        iters.sort_unstable();
+        assert_eq!(iters, vec![0, 1, 2, 3, 4]);
+        // times advance by the period
+        let t4 = placements.iter().find(|p| p.inst.iter == 4).unwrap().start;
+        assert_eq!(t4, 4);
+    }
+
+    #[test]
+    fn multi_iteration_kernel() {
+        // Kernel covers iterations {1,2} and repeats by 2 iters / 5 cycles.
+        let p = Pattern {
+            prologue: vec![Placement { inst: inst(0, 0), proc: 0, start: 0 }],
+            kernel: vec![
+                Placement { inst: inst(0, 1), proc: 0, start: 3 },
+                Placement { inst: inst(0, 2), proc: 1, start: 4 },
+            ],
+            iters_per_period: 2,
+            cycles_per_period: 5,
+        };
+        assert_eq!(p.steady_ii(), 2.5);
+        let placements = p.instantiate(6);
+        assert_eq!(placements.len(), 6);
+        // Iteration 5 comes from kernel instance (0,1) (start 3, proc 0)
+        // shifted by two periods: 3 + 2*5 = 13.
+        let t5 = placements.iter().find(|q| q.inst.iter == 5).unwrap();
+        assert_eq!(t5.start, 13);
+        assert_eq!(t5.proc, 0);
+        assert_eq!(p.kernel_processors(), 2);
+    }
+
+    #[test]
+    fn instantiate_filters_partial_period() {
+        let p = Pattern {
+            prologue: vec![],
+            kernel: vec![
+                Placement { inst: inst(0, 0), proc: 0, start: 0 },
+                Placement { inst: inst(0, 1), proc: 0, start: 1 },
+            ],
+            iters_per_period: 2,
+            cycles_per_period: 2,
+        };
+        // 3 iterations: second period contributes only iter 2.
+        let placements = p.instantiate(3);
+        assert_eq!(placements.len(), 3);
+    }
+
+    #[test]
+    fn stream_is_prologue_then_kernels() {
+        let p = simple_pattern();
+        let first4: Vec<Placement> = p.stream().take(4).collect();
+        assert_eq!(first4[0].inst, inst(0, 0));
+        assert_eq!(first4[1].inst, inst(0, 1));
+        assert_eq!(first4[3].inst, inst(0, 3));
+        assert_eq!(first4[3].start, 3);
+    }
+
+    #[test]
+    fn block_schedule_tiles() {
+        let b = BlockSchedule {
+            block: vec![
+                Placement { inst: inst(0, 0), proc: 0, start: 0 },
+                Placement { inst: inst(0, 1), proc: 0, start: 2 },
+            ],
+            block_iters: 2,
+            period: 6,
+        };
+        let placements = b.instantiate(5);
+        assert_eq!(placements.len(), 5);
+        let t4 = placements.iter().find(|p| p.inst.iter == 4).unwrap().start;
+        assert_eq!(t4, 12);
+        assert_eq!(b.steady_ii(), 3.0);
+    }
+
+    #[test]
+    fn outcome_dispatch() {
+        let o = PatternOutcome::Found(simple_pattern());
+        assert_eq!(o.steady_ii(), 1.0);
+        assert!(o.pattern().is_some());
+        assert_eq!(o.instantiate(3).len(), 3);
+    }
+}

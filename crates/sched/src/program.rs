@@ -1,0 +1,327 @@
+//! Programs: the executable form of a schedule.
+//!
+//! A [`Program`] fixes, per processor, the *order* in which node instances
+//! run — exactly what a compiler would emit for an asynchronous MIMD
+//! machine (the per-processor subloops of the paper's Figure 7(e) and
+//! Figure 10, with sends/receives implied by cross-processor edges). Actual
+//! start times are then a *consequence*: each processor runs its next
+//! instance as soon as the previous one finished and all operands have
+//! arrived.
+//!
+//! [`static_times`] computes those start times under the machine's fixed
+//! cost estimates; the `kn-sim` crate re-executes the same program under
+//! fluctuating costs (the paper's §4 `mm` experiments).
+
+use crate::machine::{Cycle, MachineConfig};
+use kn_ddg::{Ddg, InstanceId};
+use std::collections::HashMap;
+
+/// Per-processor instance sequences for `iters` iterations of a loop.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// `seqs[p]` is the ordered list of instances processor `p` executes.
+    pub seqs: Vec<Vec<InstanceId>>,
+    /// Number of loop iterations covered (instances have `iter < iters`).
+    pub iters: u32,
+}
+
+impl Program {
+    /// Number of processors (including idle ones).
+    pub fn processors(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Total number of instances across all processors.
+    pub fn len(&self) -> usize {
+        self.seqs.iter().map(Vec::len).sum()
+    }
+
+    /// True if no instance is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Processor assignment lookup table.
+    pub fn assignment(&self) -> HashMap<InstanceId, usize> {
+        let mut m = HashMap::with_capacity(self.len());
+        for (p, seq) in self.seqs.iter().enumerate() {
+            for &inst in seq {
+                m.insert(inst, p);
+            }
+        }
+        m
+    }
+
+    /// Number of processors that execute at least one instance.
+    pub fn used_processors(&self) -> usize {
+        self.seqs.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Check that the program covers each instance of `g`'s nodes for
+    /// iterations `0..iters` exactly once. Returns the set sizes on failure.
+    pub fn check_complete(&self, g: &Ddg) -> Result<(), ProgramError> {
+        let expect = g.node_count() * self.iters as usize;
+        let assign = self.assignment();
+        if assign.len() != self.len() {
+            return Err(ProgramError::DuplicateInstance);
+        }
+        if assign.len() != expect {
+            return Err(ProgramError::IncompleteCover { have: assign.len(), want: expect });
+        }
+        for inst in assign.keys() {
+            if inst.node.index() >= g.node_count() || inst.iter >= self.iters {
+                return Err(ProgramError::ForeignInstance(*inst));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors from program construction / timing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The same instance appears twice.
+    DuplicateInstance,
+    /// Not every instance of the iteration range is covered.
+    IncompleteCover { have: usize, want: usize },
+    /// An instance references a node/iteration outside the program's range.
+    ForeignInstance(InstanceId),
+    /// The per-processor orders deadlock: a dependence points "backwards"
+    /// (processor A waits for an instance that sits *behind* another
+    /// instance of A in its own sequence, transitively).
+    Deadlock { timed: usize, total: usize },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::DuplicateInstance => write!(f, "instance scheduled twice"),
+            ProgramError::IncompleteCover { have, want } => {
+                write!(f, "program covers {have} instances, expected {want}")
+            }
+            ProgramError::ForeignInstance(i) => write!(f, "foreign instance {i}"),
+            ProgramError::Deadlock { timed, total } => {
+                write!(f, "program deadlocks after timing {timed}/{total} instances")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// The result of timing a program: start cycles per instance plus makespan.
+#[derive(Clone, Debug)]
+pub struct TimedProgram {
+    /// Start cycle and processor of every instance.
+    pub start: HashMap<InstanceId, (usize, Cycle)>,
+    /// Completion time of the whole program.
+    pub makespan: Cycle,
+}
+
+impl TimedProgram {
+    /// Start cycle of an instance, if present.
+    pub fn start_of(&self, inst: InstanceId) -> Option<Cycle> {
+        self.start.get(&inst).map(|&(_, t)| t)
+    }
+
+    /// Processor of an instance, if present.
+    pub fn proc_of(&self, inst: InstanceId) -> Option<usize> {
+        self.start.get(&inst).map(|&(p, _)| p)
+    }
+}
+
+/// Compute start times for a program under the machine's *estimated* costs:
+/// every processor executes its sequence in order, starting each instance at
+/// `max(previous finish on this processor, operand-ready times)`.
+///
+/// Operands come from dependence edges `(u → v, d)`: instance `(v, i)` waits
+/// for `(u, i - d)` whenever `i ≥ d` **and** that instance is part of the
+/// program. Dependences on instances outside the program (e.g. Flow-in
+/// producers when timing a Cyclic-only program) are treated as ready at
+/// cycle 0, which matches the paper's practice of measuring the Cyclic core
+/// in isolation (§3 footnote 16).
+pub fn static_times(
+    prog: &Program,
+    g: &Ddg,
+    m: &MachineConfig,
+) -> Result<TimedProgram, ProgramError> {
+    let assign = prog.assignment();
+    if assign.len() != prog.len() {
+        return Err(ProgramError::DuplicateInstance);
+    }
+    let total = prog.len();
+    let mut start: HashMap<InstanceId, (usize, Cycle)> = HashMap::with_capacity(total);
+    let mut head = vec![0usize; prog.processors()];
+    let mut clock = vec![0 as Cycle; prog.processors()];
+    let mut timed = 0usize;
+    let mut makespan = 0;
+
+    // Round-robin sweep: time any processor whose head instance has all
+    // operands timed. Terminates in at most `total` productive rounds.
+    loop {
+        let mut progress = false;
+        for p in 0..prog.processors() {
+            // A processor may become ready again immediately; drain greedily.
+            while head[p] < prog.seqs[p].len() {
+                let inst = prog.seqs[p][head[p]];
+                let mut ready: Cycle = clock[p];
+                let mut ok = true;
+                for (_, e) in g.in_edges(inst.node) {
+                    if e.distance > inst.iter {
+                        continue;
+                    }
+                    let pred = InstanceId { node: e.src, iter: inst.iter - e.distance };
+                    if let Some(pp) = assign.get(&pred) {
+                        match start.get(&pred) {
+                            Some(&(sp, st)) => {
+                                let fin = m.finish(st, g.latency(pred.node));
+                                let r = if sp == p {
+                                    m.local_ready(fin)
+                                } else {
+                                    m.remote_ready(fin, m.edge_cost(e))
+                                };
+                                ready = ready.max(r);
+                                debug_assert_eq!(sp, *pp);
+                            }
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    // pred not in program: ready at 0.
+                }
+                if !ok {
+                    break;
+                }
+                let fin = m.finish(ready, g.latency(inst.node));
+                start.insert(inst, (p, ready));
+                clock[p] = fin;
+                makespan = makespan.max(fin);
+                head[p] += 1;
+                timed += 1;
+                progress = true;
+            }
+        }
+        if timed == total {
+            return Ok(TimedProgram { start, makespan });
+        }
+        if !progress {
+            return Err(ProgramError::Deadlock { timed, total });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ddg::{DdgBuilder, NodeId};
+
+    fn inst(node: u32, iter: u32) -> InstanceId {
+        InstanceId { node: NodeId(node), iter }
+    }
+
+    /// x -> y intra, one iteration, both on P0.
+    #[test]
+    fn sequential_chain_times() {
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 2);
+        let y = b.node_lat("y", 3);
+        b.dep(x, y);
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(1, 2);
+        let prog = Program { seqs: vec![vec![inst(0, 0), inst(1, 0)]], iters: 1 };
+        prog.check_complete(&g).unwrap();
+        let t = static_times(&prog, &g, &m).unwrap();
+        assert_eq!(t.start_of(inst(0, 0)), Some(0));
+        assert_eq!(t.start_of(inst(1, 0)), Some(2));
+        assert_eq!(t.makespan, 5);
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn cross_processor_adds_comm_delay() {
+        let mut b = DdgBuilder::new();
+        let _x = b.node("x");
+        let _y = b.node("y");
+        b.dep(NodeId(0), NodeId(1));
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(2, 3);
+        let prog = Program { seqs: vec![vec![inst(0, 0)], vec![inst(1, 0)]], iters: 1 };
+        let t = static_times(&prog, &g, &m).unwrap();
+        // x finishes at 1; remote ready = 1 + 3 - 1 = 3.
+        assert_eq!(t.start_of(inst(1, 0)), Some(3));
+    }
+
+    #[test]
+    fn carried_dependence_across_iterations() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(1, 1);
+        let prog = Program { seqs: vec![vec![inst(0, 0), inst(0, 1), inst(0, 2)]], iters: 3 };
+        let t = static_times(&prog, &g, &m).unwrap();
+        assert_eq!(t.start_of(inst(0, 2)), Some(2));
+        assert_eq!(t.makespan, 3);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // y before x on the same processor, but x -> y forces x first…
+        // on one processor that's fine (x ready at 0 — no wait, y needs x
+        // which is *behind* it). Deadlock.
+        let mut b = DdgBuilder::new();
+        let _x = b.node("x");
+        let _y = b.node("y");
+        b.dep(NodeId(0), NodeId(1));
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(1, 1);
+        let prog = Program { seqs: vec![vec![inst(1, 0), inst(0, 0)]], iters: 1 };
+        let err = static_times(&prog, &g, &m).unwrap_err();
+        assert_eq!(err, ProgramError::Deadlock { timed: 0, total: 2 });
+    }
+
+    #[test]
+    fn missing_pred_treated_as_ready() {
+        // Program contains only y; its pred x is absent -> ready at 0.
+        let mut b = DdgBuilder::new();
+        let _x = b.node("x");
+        let _y = b.node("y");
+        b.dep(NodeId(0), NodeId(1));
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(1, 1);
+        let prog = Program { seqs: vec![vec![inst(1, 0)]], iters: 1 };
+        let t = static_times(&prog, &g, &m).unwrap();
+        assert_eq!(t.start_of(inst(1, 0)), Some(0));
+    }
+
+    #[test]
+    fn completeness_check() {
+        let mut b = DdgBuilder::new();
+        let _x = b.node("x");
+        let _y = b.node("y");
+        let g = b.build().unwrap();
+        let ok = Program { seqs: vec![vec![inst(0, 0)], vec![inst(1, 0)]], iters: 1 };
+        ok.check_complete(&g).unwrap();
+        let dup = Program { seqs: vec![vec![inst(0, 0)], vec![inst(0, 0)]], iters: 1 };
+        assert_eq!(dup.check_complete(&g).unwrap_err(), ProgramError::DuplicateInstance);
+        let incomplete = Program { seqs: vec![vec![inst(0, 0)]], iters: 1 };
+        assert!(matches!(
+            incomplete.check_complete(&g).unwrap_err(),
+            ProgramError::IncompleteCover { .. }
+        ));
+        let foreign = Program { seqs: vec![vec![inst(0, 0)], vec![inst(5, 0)]], iters: 1 };
+        assert!(matches!(
+            foreign.check_complete(&g).unwrap_err(),
+            ProgramError::ForeignInstance(_)
+        ));
+    }
+
+    #[test]
+    fn used_processors_counts_nonempty() {
+        let prog = Program { seqs: vec![vec![inst(0, 0)], vec![], vec![inst(1, 0)]], iters: 1 };
+        assert_eq!(prog.processors(), 3);
+        assert_eq!(prog.used_processors(), 2);
+    }
+}

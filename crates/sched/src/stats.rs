@@ -1,0 +1,164 @@
+//! Schedule statistics: utilization and communication volume of a
+//! steady-state pattern — the quantities the paper's §3 discussion reasons
+//! about informally ("relatively idle processor", "balance communication
+//! with respect to parallelism"), made measurable.
+
+use crate::machine::Cycle;
+use crate::pattern::Pattern;
+use kn_ddg::Ddg;
+use std::collections::HashMap;
+
+/// Per-processor load within one kernel period.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcLoad {
+    pub proc: usize,
+    /// Busy cycles per period.
+    pub busy: Cycle,
+    /// Fraction of the period spent executing.
+    pub utilization: f64,
+}
+
+/// Steady-state statistics of a pattern.
+#[derive(Clone, Debug)]
+pub struct PatternStats {
+    /// Cycles per iteration.
+    pub ii: f64,
+    /// Kernel period in cycles.
+    pub period: Cycle,
+    /// Iterations retired per period.
+    pub iters_per_period: u32,
+    /// Load per processor the kernel touches.
+    pub loads: Vec<ProcLoad>,
+    /// Dependence values crossing processors, per period.
+    pub remote_values_per_period: u64,
+    /// Dependence values staying on-processor, per period.
+    pub local_values_per_period: u64,
+}
+
+impl PatternStats {
+    /// Fraction of dependence values that must travel between processors —
+    /// the communication/parallelism trade-off the scheduler balances.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.remote_values_per_period + self.local_values_per_period;
+        if total == 0 {
+            return 0.0;
+        }
+        self.remote_values_per_period as f64 / total as f64
+    }
+
+    /// Mean utilization over the processors used.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.loads.is_empty() {
+            return 0.0;
+        }
+        self.loads.iter().map(|l| l.utilization).sum::<f64>() / self.loads.len() as f64
+    }
+}
+
+/// Compute steady-state statistics for a pattern over its graph.
+pub fn pattern_stats(pattern: &Pattern, g: &Ddg) -> PatternStats {
+    let d = pattern.iters_per_period.max(1);
+    let period = pattern.cycles_per_period.max(1);
+    // Steady-state processor of (node, iter mod d).
+    let mut steady: HashMap<(u32, u32), usize> = HashMap::new();
+    for p in &pattern.kernel {
+        steady.insert((p.inst.node.0, p.inst.iter % d), p.proc);
+    }
+    // Loads.
+    let mut busy: HashMap<usize, Cycle> = HashMap::new();
+    for p in &pattern.kernel {
+        *busy.entry(p.proc).or_insert(0) += g.latency(p.inst.node) as Cycle;
+    }
+    let mut loads: Vec<ProcLoad> = busy
+        .into_iter()
+        .map(|(proc, busy)| ProcLoad {
+            proc,
+            busy,
+            utilization: busy as f64 / period as f64,
+        })
+        .collect();
+    loads.sort_by_key(|l| l.proc);
+    // Communication volume: each kernel instance's out-edges, classified by
+    // whether the steady consumer sits on another processor.
+    let mut remote = 0u64;
+    let mut local = 0u64;
+    for p in &pattern.kernel {
+        for (_, e) in g.out_edges(p.inst.node) {
+            let succ_mod = (p.inst.iter + e.distance) % d;
+            if let Some(&sp) = steady.get(&(e.dst.0, succ_mod)) {
+                if sp == p.proc {
+                    local += 1;
+                } else {
+                    remote += 1;
+                }
+            }
+        }
+    }
+    PatternStats {
+        ii: pattern.steady_ii(),
+        period,
+        iters_per_period: d,
+        loads,
+        remote_values_per_period: remote,
+        local_values_per_period: local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyclic::{cyclic_schedule, CyclicOptions};
+    use crate::machine::MachineConfig;
+    use kn_ddg::DdgBuilder;
+
+    fn figure7() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        let bb = b.node("B");
+        let c = b.node("C");
+        let d = b.node("D");
+        let e = b.node("E");
+        b.carried(a, a);
+        b.carried(e, a);
+        b.dep(a, bb);
+        b.dep(bb, c);
+        b.carried(d, d);
+        b.carried(c, d);
+        b.dep(d, e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure7_stats() {
+        let g = figure7();
+        let m = MachineConfig::new(2, 2);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let stats = pattern_stats(out.pattern().unwrap(), &g);
+        assert_eq!(stats.period, 5);
+        assert_eq!(stats.iters_per_period, 2);
+        assert_eq!(stats.loads.len(), 2);
+        // 10 unit-latency instances over 2 procs × 5 cycles: fully loaded.
+        assert!((stats.mean_utilization() - 1.0).abs() < 1e-9);
+        // Some values must cross processors (the pattern alternates the
+        // recurrences between PEs), but not all.
+        assert!(stats.remote_values_per_period > 0);
+        assert!(stats.local_values_per_period > 0);
+        let f = stats.remote_fraction();
+        assert!(f > 0.0 && f < 1.0, "fraction {f}");
+    }
+
+    #[test]
+    fn single_processor_pattern_has_no_remote_values() {
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 2);
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(4, 3);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let stats = pattern_stats(out.pattern().unwrap(), &g);
+        assert_eq!(stats.remote_values_per_period, 0);
+        assert_eq!(stats.remote_fraction(), 0.0);
+        assert_eq!(stats.loads.len(), 1);
+        assert!((stats.loads[0].utilization - 1.0).abs() < 1e-9);
+    }
+}

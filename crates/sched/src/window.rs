@@ -1,0 +1,182 @@
+//! The paper's configuration-window pattern detector (§2.3).
+//!
+//! The proof of Theorem 1 imagines a window of width `p` (all processors)
+//! and height `k + 1` sliding down the infinite schedule; the portion of
+//! the schedule inside the window is a *configuration*, and two
+//! configurations are *identical* when one's node set is an
+//! iteration-shifted form of the other with exactly the same relative
+//! placement (Definitions 1–2). A repeated configuration marks a pattern
+//! (Lemmas 5–7).
+//!
+//! Implementation notes:
+//!
+//! * The window top is sampled at each placement of the anchor node rather
+//!   than at every cycle — a sparser slide that finds the same repeats on
+//!   every workload in this repository, faster.
+//! * A window is only inspected once it is **final**: no future placement
+//!   can start before `min_j proc_free[j]`, so the window `[t, t+h)` is
+//!   immutable once that frontier passes `t + h`.
+//! * With latencies above 1 a `k+1`-high window can under-capture state
+//!   (the paper's unit-latency argument in Lemma 6's footnote does not
+//!   directly apply), so the height is widened to at least the maximum
+//!   node latency, and every candidate is verified by replay before being
+//!   accepted. Candidates that fail replay are simply discarded.
+
+use crate::machine::{Cycle, MachineConfig};
+use crate::state::StateStamp;
+use crate::table::Placement;
+use kn_ddg::Ddg;
+use std::collections::{HashMap, VecDeque};
+
+/// Canonical form of one configuration: sorted
+/// `(proc, start - window_top, node, iter - min_iter_in_window)`.
+type CanonConfig = Vec<(u32, i64, u32, i64)>;
+
+/// Sliding-window detector state, owned by `cyclic_schedule` when the
+/// [`crate::cyclic::DetectorKind::ConfigurationWindow`] strategy is chosen.
+#[derive(Debug)]
+pub struct WindowDetector {
+    height: Cycle,
+    pending: VecDeque<StateStamp>,
+    seen: HashMap<CanonConfig, StateStamp>,
+}
+
+impl WindowDetector {
+    /// Window height: `k + 1` (paper §2.3), widened to the largest node
+    /// latency so multi-cycle nodes fit the frame.
+    pub fn new(g: &Ddg, m: &MachineConfig) -> Self {
+        let max_lat = g.node_ids().map(|v| g.latency(v) as Cycle).max().unwrap_or(1);
+        Self {
+            height: (m.comm_upper_bound as Cycle + 1).max(max_lat),
+            pending: VecDeque::new(),
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Record an anchor placement and check any windows that have since
+    /// become final (`future_floor` is a lower bound on every future
+    /// placement's start time). Returns the `(earlier, later)` stamps of a
+    /// repeated configuration, if one is detected.
+    pub fn on_anchor(
+        &mut self,
+        placements: &[Placement],
+        future_floor: Cycle,
+        stamp: StateStamp,
+    ) -> Option<(StateStamp, StateStamp)> {
+        self.pending.push_back(stamp);
+        while let Some(&st) = self.pending.front() {
+            if st.time + self.height > future_floor {
+                break;
+            }
+            self.pending.pop_front();
+            let config = canon_config(placements, st.time, self.height);
+            match self.seen.get(&config) {
+                Some(prev) if st.iter > prev.iter && st.time > prev.time => {
+                    let prev = *prev;
+                    // Refresh the stored stamp: if this candidate fails
+                    // replay (the earlier window was still in the warmup
+                    // transient), the next match pairs two steady-state
+                    // windows instead of dragging the transient along.
+                    self.seen.insert(config, st);
+                    return Some((prev, st));
+                }
+                Some(_) => {}
+                None => {
+                    self.seen.insert(config, st);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of distinct configurations recorded (diagnostics).
+    pub fn configurations_seen(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+fn canon_config(placements: &[Placement], top: Cycle, height: Cycle) -> CanonConfig {
+    let in_window: Vec<&Placement> = placements
+        .iter()
+        .filter(|p| p.start >= top && p.start < top + height)
+        .collect();
+    let min_iter = in_window.iter().map(|p| p.inst.iter).min().unwrap_or(0) as i64;
+    let mut cfg: CanonConfig = in_window
+        .iter()
+        .map(|p| {
+            (
+                p.proc as u32,
+                (p.start - top) as i64,
+                p.inst.node.0,
+                p.inst.iter as i64 - min_iter,
+            )
+        })
+        .collect();
+    cfg.sort_unstable();
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ddg::{InstanceId, NodeId};
+
+    fn pl(node: u32, iter: u32, proc: usize, start: Cycle) -> Placement {
+        Placement { inst: InstanceId { node: NodeId(node), iter }, proc, start }
+    }
+
+    #[test]
+    fn canon_config_is_shift_invariant() {
+        let a = vec![pl(0, 0, 0, 10), pl(1, 1, 1, 11)];
+        let b = vec![pl(0, 5, 0, 40), pl(1, 6, 1, 41)];
+        assert_eq!(canon_config(&a, 10, 3), canon_config(&b, 40, 3));
+    }
+
+    #[test]
+    fn canon_config_detects_different_layout() {
+        let a = vec![pl(0, 0, 0, 10), pl(1, 0, 1, 11)];
+        let b = vec![pl(0, 0, 1, 10), pl(1, 0, 0, 11)]; // swapped processors
+        assert_ne!(canon_config(&a, 10, 3), canon_config(&b, 10, 3));
+    }
+
+    #[test]
+    fn windows_wait_for_finality() {
+        let g = {
+            let mut b = kn_ddg::DdgBuilder::new();
+            b.node("x");
+            b.build().unwrap()
+        };
+        let m = MachineConfig::new(2, 1);
+        let mut det = WindowDetector::new(&g, &m);
+        let placements = vec![pl(0, 0, 0, 0)];
+        // Floor at 1 < height 2: window not final, nothing seen yet.
+        let r = det.on_anchor(&placements, 1, StateStamp { iter: 0, time: 0, index: 0 });
+        assert!(r.is_none());
+        assert_eq!(det.configurations_seen(), 0);
+    }
+
+    #[test]
+    fn repeated_configuration_detected() {
+        let g = {
+            let mut b = kn_ddg::DdgBuilder::new();
+            b.node("x");
+            b.build().unwrap()
+        };
+        let m = MachineConfig::new(1, 1);
+        let mut det = WindowDetector::new(&g, &m);
+        // x every 2 cycles on P0 — identical windows at t=0, t=2.
+        let placements: Vec<Placement> =
+            (0..6u32).map(|i| pl(0, i, 0, 2 * i as Cycle)).collect();
+        let mut hit = None;
+        for i in 0..6u32 {
+            let stamp = StateStamp { iter: i, time: 2 * i as Cycle, index: i as usize };
+            if let Some(h) = det.on_anchor(&placements, 12, stamp) {
+                hit = Some(h);
+                break;
+            }
+        }
+        let (prev, cur) = hit.expect("identical configurations repeat");
+        assert_eq!(cur.time - prev.time, 2);
+        assert_eq!(cur.iter - prev.iter, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # kn-workloads — the paper's loop corpus
+//!
+//! Every loop the paper evaluates, plus the §4 random-loop generator:
+//!
+//! * [`figure7`] — the fully legible 5-node example (paper Fig. 7),
+//!   reproduced **exactly** from the printed source code;
+//! * [`figure3`] — the 7-node pattern-emergence demo (paper Fig. 3; the
+//!   scanned graph is illegible, so this is a structural reconstruction —
+//!   see DESIGN.md §4);
+//! * [`cytron86`] — the 17-node example from Cytron's DOACROSS paper as
+//!   used in paper Fig. 9/10 (reconstruction matching the published
+//!   classification split: Cyclic = {0..5}, Flow-in = {6..16});
+//! * [`livermore18`] — the 18th Livermore kernel (2-D explicit
+//!   hydrodynamics fragment) at operation granularity (paper Fig. 11;
+//!   reconstruction with the published 8 non-Cyclic nodes);
+//! * [`elliptic`] — the fifth-order elliptic wave filter of Paulin &
+//!   Knight 1989 (paper Fig. 12; standard 34-operation DFG shape, node 34
+//!   Flow-out);
+//! * [`doall`] — a dependence-free control workload;
+//! * [`random`] — the paper's random-loop generator (40 nodes, 20
+//!   loop-carried + 20 simple dependences, latencies 1..3, Cyclic subset
+//!   extracted), seeds 1..=25 for Table 1.
+
+pub mod corpus;
+pub mod random;
+
+pub use corpus::{
+    cytron86, doall, elliptic, figure3, figure7, figure7_body, livermore18, livermore23,
+    livermore5, rate_gap, Workload,
+};
+pub use random::{random_cyclic_loop, random_cyclic_loop_min, random_loop, RandomLoopConfig};

@@ -1,0 +1,88 @@
+//! Quickstart: parallelize the paper's Figure 7 loop end to end.
+//!
+//! ```text
+//! FOR I = 1 TO N
+//!   A: A[I] = A[I-1] * E[I-1]
+//!   B: B[I] = A[I]
+//!   C: C[I] = B[I]
+//!   D: D[I] = D[I-1] * C[I-1]
+//!   E: E[I] = D[I]
+//! ENDFOR
+//! ```
+//!
+//! The loop is non-vectorizable (every statement sits on a recurrence) and
+//! DOACROSS extracts nothing from it — yet the pattern scheduler overlaps
+//! the two recurrences across processors. This example:
+//!
+//! 1. builds the loop from *source* through the `kn-ir` front end,
+//! 2. runs the full scheduling pipeline (classification, `Cyclic-sched`,
+//!    pattern detection),
+//! 3. prints the paper-style schedule grid and the transformed loop,
+//! 4. executes the schedule on real threads with real arithmetic and
+//!    checks the values against sequential execution,
+//! 5. compares against the DOACROSS baseline.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mimd_loop_par::prelude::*;
+use mimd_loop_par::runtime::{run_sequential, run_threaded, NodeFn, Semantics};
+use mimd_loop_par::{doacross, metrics, sched, sim, workloads};
+use std::sync::Arc;
+
+fn main() {
+    let iters: u32 = 1000;
+    let w = workloads::figure7();
+    let machine = MachineConfig::new(w.procs, w.k);
+
+    // --- schedule ---
+    let result = mimd_loop_par::parallelize(&w.graph, &machine, iters, &Default::default())
+        .expect("figure 7 is schedulable");
+    let pattern = result.schedule.cyclic_outcomes[0]
+        .pattern()
+        .expect("Theorem 1: a pattern emerges");
+    println!(
+        "pattern: {} iterations every {} cycles on {} processors (II = {:.2})",
+        pattern.iters_per_period,
+        pattern.cycles_per_period,
+        pattern.kernel_processors(),
+        pattern.steady_ii()
+    );
+
+    // --- paper-style grid for the first iterations ---
+    let small = sched::schedule_loop(&w.graph, &machine, 5, &Default::default()).unwrap();
+    println!("\nschedule grid (compare paper Figure 7(d)):");
+    println!("{}", ScheduleTable::from_timed(&small.timing).render_grid(&w.graph));
+
+    // --- transformed loop (paper Figure 7(e)) ---
+    println!("transformed loop:");
+    println!("{}", sched::codegen::render_parallel_loop(&w.graph, pattern, "N"));
+
+    // --- run it for real, on threads ---
+    let fns: Vec<NodeFn> = vec![
+        Arc::new(|_, x: &[u64]| x[0].wrapping_mul(x[1])), // A = A' * E'
+        Arc::new(|_, x: &[u64]| x[0]),                    // B = A
+        Arc::new(|_, x: &[u64]| x[0]),                    // C = B
+        Arc::new(|_, x: &[u64]| x[0].wrapping_mul(x[1]).wrapping_add(3)), // D
+        Arc::new(|_, x: &[u64]| x[0]),                    // E = D
+    ];
+    let sem = Semantics::new(fns);
+    let par = run_threaded(&w.graph, &sem, &result.schedule.program).expect("runs");
+    let seq = run_sequential(&w.graph, &sem, iters);
+    assert_eq!(par, seq, "parallel execution must match sequential bit for bit");
+    println!("threaded execution over {iters} iterations: values identical to sequential ✓");
+
+    // --- compare against DOACROSS ---
+    let s = sim::sequential_time(&w.graph, iters);
+    let ours = sim::simulate(&result.schedule.program, &w.graph, &machine, &TrafficModel::stable(0))
+        .unwrap()
+        .makespan;
+    let da = doacross::doacross_schedule(&w.graph, &machine, iters, &Default::default())
+        .unwrap()
+        .makespan();
+    println!(
+        "\nsequential {s} cycles; ours {ours} (Sp = {:.1}%); DOACROSS {da} (Sp = {:.1}%)",
+        metrics::percentage_parallelism(s, ours),
+        metrics::percentage_parallelism_clamped(s, da),
+    );
+    println!("(the paper reports 40% vs 0%; strict first-minimum greedy reaches 50%)");
+}

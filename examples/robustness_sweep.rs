@@ -1,0 +1,34 @@
+//! A condensed rerun of the paper's Table 1 plus the mis-estimation
+//! ablation: random Cyclic loops, our schedule vs DOACROSS, traffic
+//! fluctuating up to 2.3× past the estimate.
+//!
+//! Run with `cargo run --release --example robustness_sweep` (release
+//! strongly recommended — 25 loops × 3 traffic settings).
+
+use mimd_loop_par::experiments::{ablate, table1};
+
+fn main() {
+    let cfg = table1::Table1Config {
+        seeds: (1..=10).collect(),
+        iters: 100,
+        ..Default::default()
+    };
+    println!(
+        "Table 1 (condensed): {} random loops, k = {}, {} PEs, {} iterations\n",
+        cfg.seeds.len(),
+        cfg.k,
+        cfg.procs,
+        cfg.iters
+    );
+    let r = table1::run_table1(&cfg);
+    println!("{}", r.render_rows());
+    println!("{}", r.render_summary());
+    println!(
+        "paper Table 1(b): averages 47.4 / 16.3 (mm=1), 39.1 / 13.1 (mm=3), \
+         30.3 / 9.5 (mm=5); factors 2.9 / 3.0 / 3.3\n"
+    );
+
+    println!("mis-estimation ablation: schedule with k_est, execute at true k = 3\n");
+    let mis = ablate::misestimation_ablation(&cfg.seeds, &[1, 2, 3, 4, 6], 3, 8, 100);
+    println!("{}", mis.render());
+}

@@ -1,0 +1,108 @@
+//! The paper's headline quantitative claims, as executable assertions.
+//! EXPERIMENTS.md records the exact measured values next to the paper's.
+
+use mimd_loop_par::experiments::{figures, table1};
+use mimd_loop_par::workloads as wl;
+
+/// §3, Figure 7: "The percentage parallelism obtained for this example …
+/// is 40 by our algorithm, while that by DOACROSS is 0."
+#[test]
+fn figure7_percentages() {
+    let r = figures::figure_report(&wl::figure7(), 200);
+    assert!(r.ours_sp >= 40.0, "paper: 40; strict greedy reaches 50: {}", r.ours_sp);
+    assert_eq!(r.doacross_sp, 0.0);
+    // Figure 8(b): even optimal reordering does not help DOACROSS here.
+    assert_eq!(r.doacross_best_sp, 0.0);
+}
+
+/// §3, Figure 9: "the percentage parallelism obtained by our algorithm is
+/// 72.7%, and that by DOACROSS is 31.8%." (graph reconstructed; we pin the
+/// shape with generous bands and record exact values in EXPERIMENTS.md)
+#[test]
+fn cytron86_percentages() {
+    let r = figures::figure_report(&wl::cytron86(), 200);
+    assert!((60.0..=80.0).contains(&r.ours_sp), "paper 72.7, got {}", r.ours_sp);
+    assert!((15.0..=45.0).contains(&r.doacross_sp), "paper 31.8, got {}", r.doacross_sp);
+    assert!(r.ours_sp / r.doacross_sp.max(1.0) > 1.8, "ours decisively ahead");
+}
+
+/// §3, Figure 11 (Livermore 18): "49.4 and 30.9, while those by DOACROSS
+/// are 12.6 and 0" — the first pair.
+#[test]
+fn livermore18_percentages() {
+    let r = figures::figure_report(&wl::livermore18(), 200);
+    assert!(r.ours_sp > 40.0, "paper 49.4, got {}", r.ours_sp);
+    assert!(r.doacross_sp < r.ours_sp / 1.8, "paper gap ≈ 4x, got {} vs {}", r.ours_sp, r.doacross_sp);
+}
+
+/// §3, Figure 12 (elliptic filter): ours 30.9, DOACROSS 0.
+#[test]
+fn elliptic_percentages() {
+    let r = figures::figure_report(&wl::elliptic(), 200);
+    assert!((18.0..=40.0).contains(&r.ours_sp), "paper 30.9, got {}", r.ours_sp);
+    assert_eq!(r.doacross_sp, 0.0, "paper: DOACROSS gets nothing");
+}
+
+/// §2.2/§3: the Cyclic pattern of the Cytron86 example has height 6 and
+/// runs on two processors, leading to 5 subloops total (Figure 10).
+#[test]
+fn cytron86_structure() {
+    use mimd_loop_par::prelude::*;
+    let w = wl::cytron86();
+    let m = MachineConfig::new(2, w.k);
+    let s = schedule_loop(&w.graph, &m, 50, &Default::default()).unwrap();
+    let p = s.cyclic_outcomes[0].pattern().expect("pattern");
+    assert_eq!(p.cycles_per_period, 6, "pattern height H = 6");
+    assert_eq!(p.kernel_processors(), 2);
+    // Figure 5 arithmetic: L = 13 (latency), H = 6 -> a handful of extra
+    // Flow-in processors; the paper's Figure 10 shows 5 subloops total.
+    assert!(s.processors_used() <= 5, "at most 5 subloops: {}", s.processors_used());
+}
+
+/// §4, Table 1: ours beats DOACROSS on (nearly) every loop; the average
+/// ratio is substantial and does not collapse as traffic fluctuation
+/// grows (the paper measures factors 2.9 / 3.0 / 3.3 for mm = 1 / 3 / 5).
+#[test]
+fn table1_shape() {
+    let cfg = table1::Table1Config {
+        seeds: (1..=12).collect(),
+        iters: 80,
+        ..Default::default()
+    };
+    let r = table1::run_table1(&cfg);
+    // Wins: the paper loses 0/1/2 loops out of 25 across the mm settings.
+    for (i, &losses) in r.losses.iter().enumerate() {
+        assert!(
+            losses <= cfg.seeds.len() / 4,
+            "mm={}: lost {} of {}",
+            cfg.mms[i],
+            losses,
+            cfg.seeds.len()
+        );
+    }
+    // Factor band.
+    assert!(r.factor[0] > 1.8, "factor at mm=1: {}", r.factor[0]);
+    let last = *r.factor.last().unwrap();
+    assert!(last > 1.8, "factor at mm=5: {last}");
+    assert!(last >= r.factor[0] * 0.75, "robustness: {} -> {last}", r.factor[0]);
+    // Averages decrease with mm for both techniques (graceful degradation).
+    for w in r.avg_ours.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9);
+    }
+}
+
+/// §4's conclusion quantified: even when communication is underestimated
+/// by 2.3x (mm = 5), our average percentage parallelism stays positive
+/// and well above DOACROSS's.
+#[test]
+fn robustness_claim() {
+    let cfg = table1::Table1Config {
+        seeds: (1..=8).collect(),
+        iters: 80,
+        mms: vec![5],
+        ..Default::default()
+    };
+    let r = table1::run_table1(&cfg);
+    assert!(r.avg_ours[0] > 15.0, "avg at mm=5: {}", r.avg_ours[0]);
+    assert!(r.avg_ours[0] > r.avg_doacross[0] * 1.8);
+}

@@ -1,0 +1,117 @@
+//! Cross-crate property tests: for randomized loops (the paper's §4
+//! recipe, scaled down), the whole pipeline must uphold its invariants —
+//! schedules validate, patterns predict the future, simulation reproduces
+//! static timing, threads compute sequential values.
+
+use mimd_loop_par::prelude::*;
+use mimd_loop_par::runtime::{run_sequential, run_threaded, Semantics};
+use mimd_loop_par::sched::{greedy_unbounded, CyclicOptions};
+use mimd_loop_par::sim;
+use mimd_loop_par::workloads::{random_cyclic_loop, random_loop, RandomLoopConfig};
+use proptest::prelude::*;
+
+fn small_cfg(nodes: usize) -> RandomLoopConfig {
+    RandomLoopConfig {
+        nodes,
+        lcds: nodes / 2,
+        sds: nodes / 2,
+        min_latency: 1,
+        max_latency: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-pipeline validity on arbitrary random loops (all three
+    /// subsets present in general).
+    #[test]
+    fn schedule_loop_validates(seed in 0u64..5000, nodes in 4usize..14, k in 0u32..4, procs in 1usize..6) {
+        let g = random_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let iters = 10;
+        let s = schedule_loop(&g, &m, iters, &Default::default()).unwrap();
+        s.program.check_complete(&g).unwrap();
+        ScheduleTable::from_timed(&s.timing).validate(&g, &m).unwrap();
+    }
+
+    /// Pattern instantiation == the *unbounded* greedy schedule restricted
+    /// to the first N iterations (Theorem 1, end to end). The finite
+    /// greedy is not the right oracle: restriction leaves holes where
+    /// later-iteration instances sat (see `greedy_finite` docs).
+    #[test]
+    fn pattern_equals_unbounded_greedy(seed in 0u64..5000, nodes in 4usize..12, k in 0u32..4, procs in 1usize..6) {
+        let g = random_cyclic_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        if out.pattern().is_some() {
+            let iters = 40u32;
+            // Enough raw placements that every iteration < N instance has
+            // been scheduled (iteration spread is bounded for patterned
+            // loops; 50 extra iterations is a generous margin).
+            let raw = greedy_unbounded(&g, &m, (iters as usize + 50) * g.node_count());
+            let mut a = out.instantiate(iters);
+            let mut b: Vec<_> = raw.into_iter().filter(|p| p.inst.iter < iters).collect();
+            a.sort_by_key(|p| (p.inst.node.0, p.inst.iter));
+            b.sort_by_key(|p| (p.inst.node.0, p.inst.iter));
+            prop_assert_eq!(a, b);
+            // And the instantiation is a valid schedule in its own right.
+            ScheduleTable::new(out.instantiate(iters)).validate(&g, &m).unwrap();
+        }
+    }
+
+    /// Simulation at mm = 1 reproduces the static schedule exactly.
+    #[test]
+    fn sim_reproduces_static(seed in 0u64..5000, nodes in 4usize..12, procs in 1usize..6) {
+        let g = random_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, 2);
+        let s = schedule_loop(&g, &m, 12, &Default::default()).unwrap();
+        let r = sim::simulate(&s.program, &g, &m, &TrafficModel::stable(seed)).unwrap();
+        prop_assert_eq!(r.makespan, s.timing.makespan);
+    }
+
+    /// Monotonicity: worse traffic can only delay completion.
+    #[test]
+    fn traffic_monotonicity(seed in 0u64..5000, nodes in 4usize..10) {
+        let g = random_cyclic_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(4, 2);
+        let s = schedule_loop(&g, &m, 12, &Default::default()).unwrap();
+        let t1 = sim::simulate(&s.program, &g, &m, &TrafficModel::stable(seed)).unwrap().makespan;
+        let t5 = sim::simulate(&s.program, &g, &m, &TrafficModel { mm: 5, seed }).unwrap().makespan;
+        prop_assert!(t5 >= t1);
+    }
+
+    /// Threaded execution computes sequential values on random loops.
+    #[test]
+    fn threads_match_interpreter(seed in 0u64..2000, nodes in 4usize..10, procs in 1usize..5) {
+        let g = random_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, 1);
+        let iters = 12;
+        let s = schedule_loop(&g, &m, iters, &Default::default()).unwrap();
+        let sem = Semantics::hashing(&g);
+        let par = run_threaded(&g, &sem, &s.program).unwrap();
+        let seq = run_sequential(&g, &sem, iters);
+        prop_assert_eq!(par, seq);
+    }
+
+    /// The steady rate never beats the recurrence bound.
+    #[test]
+    fn rate_respects_recurrence_bound(seed in 0u64..5000, nodes in 4usize..12, procs in 1usize..8) {
+        let g = random_cyclic_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, 2);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let bound = mimd_loop_par::ddg::scc::recurrence_bound(&g);
+        prop_assert!(out.steady_ii() + 1e-6 >= bound,
+            "ii {} < bound {}", out.steady_ii(), bound);
+    }
+
+    /// DOACROSS validity + honesty: per-processor serial iterations.
+    #[test]
+    fn doacross_validates(seed in 0u64..5000, nodes in 4usize..12, procs in 1usize..6) {
+        let g = random_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, 2);
+        let s = doacross_schedule(&g, &m, 10, &Default::default()).unwrap();
+        ScheduleTable::from_timed(&s.timing).validate(&g, &m).unwrap();
+        prop_assert!(s.makespan() >= (10 / procs as u64) * g.body_latency());
+    }
+}

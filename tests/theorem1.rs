@@ -1,0 +1,146 @@
+//! Theorem 1 (pattern emergence) — checked, stress-tested, and bounded.
+//!
+//! The paper proves that the greedy communication-aware schedule develops a
+//! repeating pattern. These tests (a) verify detected patterns against
+//! long raw greedy runs, (b) show both detectors agree, and (c) pin the
+//! **counter-example** we found during this reproduction: two SCCs with
+//! different natural rates drift apart forever, so no pattern can emerge
+//! and the implementation must degrade gracefully.
+
+use mimd_loop_par::prelude::*;
+use mimd_loop_par::sched::{greedy_finite, greedy_unbounded, CyclicOptions, DetectorKind};
+use mimd_loop_par::workloads as wl;
+
+fn cyclic_core(w: &wl::Workload) -> mimd_loop_par::ddg::Ddg {
+    let cls = classify(&w.graph);
+    let (sub, _) = w.graph.induced_subgraph(&cls.cyclic);
+    sub
+}
+
+#[test]
+fn patterns_emerge_on_all_paper_workloads() {
+    for w in [wl::figure3(), wl::figure7(), wl::cytron86(), wl::livermore18(), wl::elliptic()] {
+        let g = cyclic_core(&w);
+        let m = MachineConfig::new(w.procs, w.k);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).expect(w.name);
+        assert!(out.pattern().is_some(), "{}: pattern must emerge", w.name);
+    }
+}
+
+#[test]
+fn detected_pattern_predicts_the_far_future() {
+    // Instantiate far beyond the detection horizon and compare against a
+    // fresh finite greedy run — the strongest form of Theorem 1 checking.
+    for w in [wl::figure7(), wl::cytron86()] {
+        let g = cyclic_core(&w);
+        let m = MachineConfig::new(w.procs, w.k);
+        let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).expect(w.name);
+        let iters = 150u32;
+        let mut from_pattern = out.instantiate(iters);
+        let raw = greedy_unbounded(&g, &m, (iters as usize + 50) * g.node_count());
+        let mut from_greedy: Vec<_> =
+            raw.into_iter().filter(|p| p.inst.iter < iters).collect();
+        from_pattern.sort_by_key(|p| (p.inst.node.0, p.inst.iter));
+        from_greedy.sort_by_key(|p| (p.inst.node.0, p.inst.iter));
+        assert_eq!(from_pattern, from_greedy, "{}", w.name);
+    }
+}
+
+#[test]
+fn both_detectors_find_equal_rate_patterns() {
+    for w in [wl::figure3(), wl::figure7(), wl::cytron86(), wl::livermore18(), wl::elliptic()] {
+        let g = cyclic_core(&w);
+        let m = MachineConfig::new(w.procs, w.k);
+        let state = cyclic_schedule(&g, &m, &CyclicOptions::default()).expect(w.name);
+        let window = cyclic_schedule(
+            &g,
+            &m,
+            &CyclicOptions {
+                detector: DetectorKind::ConfigurationWindow,
+                ..CyclicOptions::default()
+            },
+        )
+        .expect(w.name);
+        assert!(window.pattern().is_some(), "{}: window detector finds it too", w.name);
+        assert!(
+            (state.steady_ii() - window.steady_ii()).abs() < 1e-9,
+            "{}: {} vs {}",
+            w.name,
+            state.steady_ii(),
+            window.steady_ii()
+        );
+    }
+}
+
+#[test]
+fn rate_gap_counterexample_defeats_both_detectors() {
+    // Two SCCs at II 3 and II 4: the fast one runs unboundedly ahead; the
+    // iteration spread in any window grows without bound and no
+    // configuration (or scheduler state) ever repeats. Theorem 1 as stated
+    // does not hold for this loop.
+    let w = wl::rate_gap();
+    let m = MachineConfig::new(w.procs, w.k);
+    for detector in [DetectorKind::SchedulerState, DetectorKind::ConfigurationWindow] {
+        let out = cyclic_schedule(
+            &w.graph,
+            &m,
+            &CyclicOptions { unroll_cap: 128, detector, ..CyclicOptions::default() },
+        )
+        .unwrap();
+        assert!(
+            out.pattern().is_none(),
+            "{detector:?}: no pattern can exist for rate-mismatched SCCs"
+        );
+        // The fallback still yields a valid schedule near the slow rate.
+        let placements = out.instantiate(32);
+        ScheduleTable::new(placements).validate(&w.graph, &m).unwrap();
+        assert!(out.steady_ii() >= 4.0 - 1e-9);
+        assert!(out.steady_ii() <= 4.5, "fallback stays near the slow SCC's rate");
+    }
+}
+
+#[test]
+fn rate_gap_drift_is_real() {
+    // Quantify the drift: C (fast SCC) of iteration i is scheduled ~3i,
+    // D (slow SCC) ~4i; by iteration 60 the same-iteration gap exceeds 50
+    // cycles and keeps growing — there is no bounded window Lemma 3 could
+    // use.
+    let w = wl::rate_gap();
+    let m = MachineConfig::new(w.procs, w.k);
+    let placements = greedy_finite(&w.graph, &m, 80);
+    let table = ScheduleTable::new(placements);
+    let c = w.graph.find("C").unwrap();
+    let d = w.graph.find("D").unwrap();
+    let gap = |i: u32| {
+        let tc = table.start_of(mimd_loop_par::ddg::InstanceId { node: c, iter: i }).unwrap();
+        let td = table.start_of(mimd_loop_par::ddg::InstanceId { node: d, iter: i }).unwrap();
+        td as i64 - tc as i64
+    };
+    assert!(gap(60) > gap(20) + 20, "gap grows: {} vs {}", gap(60), gap(20));
+}
+
+#[test]
+fn enumeration_order_is_machine_independent() {
+    use mimd_loop_par::sched::enumeration_order;
+    let w = wl::figure7();
+    let order = enumeration_order(&w.graph, 20);
+    // One instance of every node per iteration, iterations in order.
+    for (i, chunk) in order.chunks(5).enumerate() {
+        assert!(chunk.iter().all(|inst| inst.iter == i as u32));
+    }
+}
+
+#[test]
+fn pattern_prologue_plus_kernels_partition_instances() {
+    let w = wl::figure7();
+    let m = MachineConfig::new(2, 2);
+    let out = cyclic_schedule(&w.graph, &m, &CyclicOptions::default()).unwrap();
+    let p = out.pattern().unwrap();
+    let iters = 30u32;
+    let placements = p.instantiate(iters);
+    let mut seen = std::collections::HashSet::new();
+    for pl in &placements {
+        assert!(seen.insert(pl.inst), "duplicate {:?}", pl.inst);
+    }
+    assert_eq!(seen.len(), 5 * iters as usize);
+}
