@@ -45,7 +45,15 @@ fn bench_doacross_reorder(c: &mut Criterion) {
         b.iter(|| choose_order(&w.graph, &m, &Reorder::Natural))
     });
     group.bench_function("exhaustive", |b| {
-        b.iter(|| choose_order(&w.graph, &m, &Reorder::Best { exhaustive_cap: 5040 }))
+        b.iter(|| {
+            choose_order(
+                &w.graph,
+                &m,
+                &Reorder::Best {
+                    exhaustive_cap: 5040,
+                },
+            )
+        })
     });
     group.finish();
 }
@@ -59,7 +67,10 @@ fn bench_merge_heuristic(c: &mut Criterion) {
         b.iter(|| schedule_loop(&w.graph, &m, 60, &FullOptions::default()).unwrap())
     });
     group.bench_function("separate_only", |b| {
-        let opts = FullOptions { merge_tolerance: None, ..FullOptions::default() };
+        let opts = FullOptions {
+            merge_tolerance: None,
+            ..FullOptions::default()
+        };
         b.iter(|| schedule_loop(&w.graph, &m, 60, &opts).unwrap())
     });
     group.finish();

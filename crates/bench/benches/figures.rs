@@ -10,7 +10,10 @@ fn bench_figure_reports(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(20);
     for (w, check) in [
-        (workloads::figure3(), Box::new(|_o: f64, _d: f64| {}) as Box<dyn Fn(f64, f64)>),
+        (
+            workloads::figure3(),
+            Box::new(|_o: f64, _d: f64| {}) as Box<dyn Fn(f64, f64)>,
+        ),
         (
             workloads::figure7(),
             Box::new(|o: f64, d: f64| {

@@ -66,11 +66,18 @@ fn bench_full_pipeline(c: &mut Criterion) {
     for w in [workloads::cytron86(), workloads::livermore18()] {
         let m = MachineConfig::new(w.procs, w.k);
         group.bench_function(w.name, |b| {
-            b.iter(|| kn_core::sched::schedule_loop(&w.graph, &m, 100, &Default::default()).unwrap())
+            b.iter(|| {
+                kn_core::sched::schedule_loop(&w.graph, &m, 100, &Default::default()).unwrap()
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_paper_workloads, bench_random_sizes, bench_full_pipeline);
+criterion_group!(
+    benches,
+    bench_paper_workloads,
+    bench_random_sizes,
+    bench_full_pipeline
+);
 criterion_main!(benches);

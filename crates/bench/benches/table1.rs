@@ -10,7 +10,11 @@ use kn_core::experiments::table1::{run_table1, Table1Config};
 
 fn bench_row(c: &mut Criterion) {
     c.bench_function("table1/row", |b| {
-        let cfg = Table1Config { seeds: vec![1], iters: 100, ..Default::default() };
+        let cfg = Table1Config {
+            seeds: vec![1],
+            iters: 100,
+            ..Default::default()
+        };
         b.iter(|| run_table1(&cfg))
     });
 }
@@ -19,7 +23,11 @@ fn bench_full_small(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     group.bench_function("full_small", |b| {
-        let cfg = Table1Config { seeds: (1..=8).collect(), iters: 100, ..Default::default() };
+        let cfg = Table1Config {
+            seeds: (1..=8).collect(),
+            iters: 100,
+            ..Default::default()
+        };
         b.iter(|| {
             let r = run_table1(&cfg);
             assert!(r.avg_ours[0] > r.avg_doacross[0], "Table 1(b) shape");

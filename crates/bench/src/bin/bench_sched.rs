@@ -1,0 +1,197 @@
+//! `kn-bench` — machine-readable scheduler benchmark harness.
+//!
+//! Measures end-to-end `cyclic_schedule` time (ns/op, median of samples)
+//! for the five paper workloads and random 10/20/40/80-node loops, for
+//! both the optimized arena core and the retained map-based reference
+//! (`kn_sched::reference`), and writes the results plus speedup ratios to
+//! `BENCH_sched.json`. Future PRs compare their JSON against this one to
+//! see the perf trajectory.
+//!
+//! Usage: `kn-bench [--out PATH] [--quick]`
+//!   --out PATH   output file (default BENCH_sched.json)
+//!   --quick      fewer samples / shorter budget (CI smoke)
+
+use kn_core::ddg::{classify, Ddg};
+use kn_core::sched::reference::cyclic_schedule_ref;
+use kn_core::sched::{cyclic_schedule, CyclicOptions, MachineConfig, PatternOutcome};
+use kn_core::workloads::{self, random_cyclic_loop_min, RandomLoopConfig};
+use std::time::Instant;
+
+struct Case {
+    name: String,
+    graph: Ddg,
+    machine: MachineConfig,
+}
+
+struct Entry {
+    name: String,
+    nodes: usize,
+    arena_ns: f64,
+    reference_ns: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.arena_ns > 0.0 {
+            self.reference_ns / self.arena_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn cyclic_core(g: &Ddg) -> Option<Ddg> {
+    let c = classify(g);
+    if c.cyclic.is_empty() {
+        return None;
+    }
+    Some(g.induced_subgraph(&c.cyclic).0)
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    for w in [
+        workloads::figure3(),
+        workloads::figure7(),
+        workloads::cytron86(),
+        workloads::livermore18(),
+        workloads::elliptic(),
+    ] {
+        let graph = cyclic_core(&w.graph).expect("paper workloads have Cyclic cores");
+        cases.push(Case {
+            name: w.name.to_string(),
+            graph,
+            machine: MachineConfig::new(w.procs, w.k),
+        });
+    }
+    for nodes in [10usize, 20, 40, 80] {
+        // Dense enough that the Cyclic core keeps most of the loop
+        // (~60-90% of `nodes`); the sparse paper recipe mostly collapses
+        // to 2-4 node cores, which would benchmark the wrong thing.
+        let cfg = RandomLoopConfig {
+            nodes,
+            lcds: nodes,
+            sds: 2 * nodes,
+            min_latency: 1,
+            max_latency: 3,
+        };
+        cases.push(Case {
+            name: format!("random{nodes}"),
+            graph: random_cyclic_loop_min(1, &cfg, nodes / 2),
+            machine: MachineConfig::new(8, 3),
+        });
+    }
+    cases
+}
+
+/// Median ns per call of `f`, over `samples` samples of a time-budgeted
+/// inner loop (calibrated once so each sample runs long enough to trust).
+fn measure<R>(samples: usize, budget_ns: u64, mut f: impl FnMut() -> R) -> f64 {
+    // Calibrate.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let iters = (budget_ns / once).clamp(1, 100_000);
+
+    let mut meds: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    meds.sort_by(|a, b| a.total_cmp(b));
+    meds[meds.len() / 2]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_sched.json")
+        .to_string();
+    let (samples, budget_ns) = if quick {
+        (5, 10_000_000)
+    } else {
+        (11, 50_000_000)
+    };
+
+    let opts = CyclicOptions::default();
+    let mut entries = Vec::new();
+    for case in cases() {
+        let (g, m) = (&case.graph, &case.machine);
+        // Sanity: both implementations agree before being timed.
+        let a = cyclic_schedule(g, m, &opts).unwrap();
+        let b = cyclic_schedule_ref(g, m, &opts).unwrap();
+        match (&a, &b) {
+            (PatternOutcome::Found(pa), PatternOutcome::Found(pb)) => {
+                assert_eq!(pa.kernel, pb.kernel, "{}: kernels diverge", case.name);
+            }
+            (PatternOutcome::CapFallback(_), PatternOutcome::CapFallback(_)) => {}
+            _ => panic!("{}: outcome kinds diverge", case.name),
+        }
+
+        let arena_ns = measure(samples, budget_ns, || cyclic_schedule(g, m, &opts).unwrap());
+        let reference_ns = measure(samples, budget_ns, || {
+            cyclic_schedule_ref(g, m, &opts).unwrap()
+        });
+        let e = Entry {
+            name: case.name.clone(),
+            nodes: g.node_count(),
+            arena_ns,
+            reference_ns,
+        };
+        println!(
+            "{:<12} ({:>3} cyclic nodes)  arena {:>12.0} ns/op   reference {:>12.0} ns/op   speedup {:>5.2}x",
+            e.name,
+            e.nodes,
+            e.arena_ns,
+            e.reference_ns,
+            e.speedup()
+        );
+        entries.push(e);
+    }
+
+    let random80 = entries
+        .iter()
+        .find(|e| e.name == "random80")
+        .expect("random80 case present");
+    println!(
+        "\nrandom80 speedup (acceptance gate, target >= 3x): {:.2}x",
+        random80.speedup()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"kn-bench-sched-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!(
+        "  \"random80_speedup\": {:.4},\n",
+        random80.speedup()
+    ));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cyclic_nodes\": {}, \"arena_ns_per_op\": {:.1}, \"reference_ns_per_op\": {:.1}, \"speedup\": {:.4}}}{}\n",
+            json_escape(&e.name),
+            e.nodes,
+            e.arena_ns,
+            e.reference_ns,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

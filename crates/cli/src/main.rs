@@ -5,6 +5,7 @@
 //! kn-cli figure <3|7|9|11|12|doall|all>   per-figure comparison report
 //! kn-cli figure8                          DOACROSS grids for Figure 7's loop
 //! kn-cli table1 [seeds] [iters]           Table 1(a)+(b) (default 25, 100)
+//! kn-cli --seq ...                        disable the parallel experiment driver
 //! kn-cli ablate <arrival|detector|misestimate|procs>
 //! kn-cli codegen <figure7|cytron86|...>   transformed parallel loop
 //! kn-cli schedule <file> [k] [procs]      schedule a graph from a text file
@@ -41,11 +42,16 @@ fn print_figure(out: &mut impl std::io::Write, name: &str) -> std::io::Result<()
     print_figure_workload(out, &w)
 }
 
-fn print_figure_workload(
+fn print_figure_workload(out: &mut impl std::io::Write, w: &wl::Workload) -> std::io::Result<()> {
+    let r = figures::figure_report(w, 100);
+    print_report(out, w, &r)
+}
+
+fn print_report(
     out: &mut impl std::io::Write,
     w: &wl::Workload,
+    r: &figures::FigureReport,
 ) -> std::io::Result<()> {
-    let r = figures::figure_report(w, 100);
     writeln!(out, "=== {} ===", r.name)?;
     writeln!(out, "{}", w.description)?;
     writeln!(
@@ -54,13 +60,16 @@ fn print_figure_workload(
         r.seq_time, r.iters, w.k
     )?;
     writeln!(out, "{}", r.pattern)?;
-    writeln!(out, "{}", figures::summary_line(&r))?;
+    writeln!(out, "{}", figures::summary_line(r))?;
     writeln!(
         out,
         "DOACROSS natural {} cycles, best reorder {} cycles (best Sp {:.1}%)",
         r.doacross_natural_time, r.doacross_best_time, r.doacross_best_sp
     )?;
-    writeln!(out, "\nCyclic-sched enumeration order (paper Fig. 3(b)/7(c)):")?;
+    writeln!(
+        out,
+        "\nCyclic-sched enumeration order (paper Fig. 3(b)/7(c)):"
+    )?;
     writeln!(out, "  {}", r.enumeration)?;
     writeln!(out, "\nschedule grid, first iterations (paper-style):")?;
     writeln!(out, "{}", r.grid)?;
@@ -72,15 +81,33 @@ fn print_figure_workload(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Experiments fan out across threads by default (deterministic: the
+    // parallel drivers reduce in seed order and are tested equal to the
+    // sequential ones); `--seq` forces the sequential paths.
+    let parallel = {
+        let before = args.len();
+        args.retain(|a| a != "--seq");
+        args.len() == before
+    };
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     match args.first().map(String::as_str) {
         Some("figure") => {
             let which = args.get(1).map(String::as_str).unwrap_or("all");
             if which == "all" {
-                for name in ["figure3", "figure7", "cytron86", "livermore18", "elliptic"] {
-                    print_figure(&mut out, name).unwrap();
+                let names = ["figure3", "figure7", "cytron86", "livermore18", "elliptic"];
+                if parallel {
+                    let ws: Vec<wl::Workload> =
+                        names.iter().map(|n| workload(n).unwrap()).collect();
+                    let reports = figures::figure_reports_par(ws.clone(), 100);
+                    for (w, r) in ws.iter().zip(reports) {
+                        print_report(&mut out, w, &r).unwrap();
+                    }
+                } else {
+                    for name in names {
+                        print_figure(&mut out, name).unwrap();
+                    }
                 }
             } else {
                 print_figure(&mut out, which).unwrap();
@@ -90,7 +117,11 @@ fn main() {
             let w = wl::figure7();
             let (nat, best) = figures::doacross_report(&w, 3, 4);
             writeln!(out, "DOACROSS, natural order (paper Fig. 8(a)):\n{nat}").unwrap();
-            writeln!(out, "DOACROSS, optimally reordered (paper Fig. 8(b)):\n{best}").unwrap();
+            writeln!(
+                out,
+                "DOACROSS, optimally reordered (paper Fig. 8(b)):\n{best}"
+            )
+            .unwrap();
             writeln!(
                 out,
                 "No pipelining either way: the (E,A) carried dependence spans the body."
@@ -105,7 +136,11 @@ fn main() {
                 iters,
                 ..Default::default()
             };
-            let r = table1::run_table1(&cfg);
+            let r = if parallel {
+                table1::run_table1_par(&cfg)
+            } else {
+                table1::run_table1(&cfg)
+            };
             writeln!(
                 out,
                 "Table 1(a): percentage parallelism, ours (x) vs DOACROSS, k = {}, {} PEs, {} iterations\n",
@@ -118,11 +153,21 @@ fn main() {
         }
         Some("ablate") => match args.get(1).map(String::as_str) {
             Some("arrival") => {
-                let r = ablate::arrival_ablation(&(1..=10).collect::<Vec<_>>(), 3, 8);
+                let seeds: Vec<u64> = (1..=10).collect();
+                let r = if parallel {
+                    ablate::arrival_ablation_par(&seeds, 3, 8)
+                } else {
+                    ablate::arrival_ablation(&seeds, 3, 8)
+                };
                 writeln!(out, "{}", r.render()).unwrap();
             }
             Some("detector") => {
-                let r = ablate::detector_ablation(&(1..=10).collect::<Vec<_>>(), 3, 8);
+                let seeds: Vec<u64> = (1..=10).collect();
+                let r = if parallel {
+                    ablate::detector_ablation_par(&seeds, 3, 8)
+                } else {
+                    ablate::detector_ablation(&seeds, 3, 8)
+                };
                 writeln!(
                     out,
                     "state vs window detector: {}/{} loops agree on steady II",
@@ -140,26 +185,41 @@ fn main() {
                 }
             }
             Some("misestimate") => {
-                let r = ablate::misestimation_ablation(
-                    &(1..=10).collect::<Vec<_>>(),
-                    &[1, 2, 3, 4, 6],
-                    3,
-                    8,
-                    100,
-                );
+                let seeds: Vec<u64> = (1..=10).collect();
+                let r = if parallel {
+                    ablate::misestimation_ablation_par(&seeds, &[1, 2, 3, 4, 6], 3, 8, 100)
+                } else {
+                    ablate::misestimation_ablation(&seeds, &[1, 2, 3, 4, 6], 3, 8, 100)
+                };
                 writeln!(out, "schedule with k_est, execute with actual k = 3:\n").unwrap();
                 writeln!(out, "{}", r.render()).unwrap();
             }
             Some("comm") => {
-                let r = ablate::comm_awareness_ablation(&(1..=10).collect::<Vec<_>>(), 3, 8, 100);
-                writeln!(out, "schedule with k=3 (aware) vs k=0 (oblivious), execute at k=3:\n")
-                    .unwrap();
+                let seeds: Vec<u64> = (1..=10).collect();
+                let r = if parallel {
+                    ablate::comm_awareness_ablation_par(&seeds, 3, 8, 100)
+                } else {
+                    ablate::comm_awareness_ablation(&seeds, 3, 8, 100)
+                };
+                writeln!(
+                    out,
+                    "schedule with k=3 (aware) vs k=0 (oblivious), execute at k=3:\n"
+                )
+                .unwrap();
                 writeln!(out, "{}", r.render()).unwrap();
             }
             Some("contention") => {
-                let r = ablate::contention_ablation(&(1..=8).collect::<Vec<_>>(), 3, 8, 100);
-                writeln!(out, "fully-overlapped links vs one-message-at-a-time links:\n")
-                    .unwrap();
+                let seeds: Vec<u64> = (1..=8).collect();
+                let r = if parallel {
+                    ablate::contention_ablation_par(&seeds, 3, 8, 100)
+                } else {
+                    ablate::contention_ablation(&seeds, 3, 8, 100)
+                };
+                writeln!(
+                    out,
+                    "fully-overlapped links vs one-message-at-a-time links:\n"
+                )
+                .unwrap();
                 writeln!(out, "{}", r.render()).unwrap();
             }
             Some("procs") => {
@@ -224,7 +284,12 @@ fn main() {
                 return;
             };
             let classes = kn_core::ddg::classify(&w.graph);
-            writeln!(out, "{}", kn_core::ddg::dot::to_dot(&w.graph, Some(&classes))).unwrap();
+            writeln!(
+                out,
+                "{}",
+                kn_core::ddg::dot::to_dot(&w.graph, Some(&classes))
+            )
+            .unwrap();
         }
         _ => {
             writeln!(

@@ -8,8 +8,7 @@
 
 use kn_metrics::{f1, stats, Align, TextTable};
 use kn_sched::{
-    cyclic_schedule, ArrivalConvention, CyclicOptions, DetectorKind, MachineConfig,
-    ScheduleTable,
+    cyclic_schedule, ArrivalConvention, CyclicOptions, DetectorKind, MachineConfig, ScheduleTable,
 };
 use kn_sim::{sequential_time, simulate, TrafficModel};
 use kn_workloads::{random_cyclic_loop, RandomLoopConfig};
@@ -22,24 +21,46 @@ pub struct ArrivalAblation {
     pub after_arrival: Vec<f64>,
 }
 
+/// One seed's cell: steady II under both conventions.
+fn arrival_cell(seed: u64, k: u32, procs: usize) -> (f64, f64) {
+    let cfg = RandomLoopConfig::default();
+    let g = random_cyclic_loop(seed, &cfg);
+    let ii = |convention| {
+        let m = MachineConfig {
+            processors: procs,
+            comm_upper_bound: k,
+            arrival: convention,
+        };
+        cyclic_schedule(&g, &m, &CyclicOptions::default())
+            .unwrap()
+            .steady_ii()
+    };
+    (
+        ii(ArrivalConvention::ConsumeAtArrival),
+        ii(ArrivalConvention::AfterArrival),
+    )
+}
+
+fn arrival_reduce(seeds: &[u64], cells: Vec<(f64, f64)>) -> ArrivalAblation {
+    let (a, b) = cells.into_iter().unzip();
+    ArrivalAblation {
+        seeds: seeds.to_vec(),
+        consume_at_arrival: a,
+        after_arrival: b,
+    }
+}
+
 /// Compare [`ArrivalConvention::ConsumeAtArrival`] (the paper's) against
 /// the stricter `AfterArrival` on random Cyclic loops.
 pub fn arrival_ablation(seeds: &[u64], k: u32, procs: usize) -> ArrivalAblation {
-    let cfg = RandomLoopConfig::default();
-    let mut a = Vec::new();
-    let mut b = Vec::new();
-    for &seed in seeds {
-        let g = random_cyclic_loop(seed, &cfg);
-        for (convention, out) in [
-            (ArrivalConvention::ConsumeAtArrival, &mut a),
-            (ArrivalConvention::AfterArrival, &mut b),
-        ] {
-            let m = MachineConfig { processors: procs, comm_upper_bound: k, arrival: convention };
-            let outcome = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
-            out.push(outcome.steady_ii());
-        }
-    }
-    ArrivalAblation { seeds: seeds.to_vec(), consume_at_arrival: a, after_arrival: b }
+    let cells = seeds.iter().map(|&s| arrival_cell(s, k, procs)).collect();
+    arrival_reduce(seeds, cells)
+}
+
+/// [`arrival_ablation`] with seeds fanned out across threads; equal output.
+pub fn arrival_ablation_par(seeds: &[u64], k: u32, procs: usize) -> ArrivalAblation {
+    let cells = super::parallel::par_map(seeds.to_vec(), |s| arrival_cell(s, k, procs));
+    arrival_reduce(seeds, cells)
 }
 
 impl ArrivalAblation {
@@ -73,32 +94,45 @@ pub struct DetectorAblation {
     pub agreements: usize,
 }
 
-/// Run both detectors over random Cyclic loops.
-pub fn detector_ablation(seeds: &[u64], k: u32, procs: usize) -> DetectorAblation {
+/// One seed's cell: steady II under each detector.
+fn detector_cell(seed: u64, k: u32, procs: usize) -> (f64, f64) {
     let cfg = RandomLoopConfig::default();
     let m = MachineConfig::new(procs, k);
-    let mut state_ii = Vec::new();
-    let mut window_ii = Vec::new();
-    let mut agreements = 0;
-    for &seed in seeds {
-        let g = random_cyclic_loop(seed, &cfg);
-        let s = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
-        let w = cyclic_schedule(
-            &g,
-            &m,
-            &CyclicOptions {
-                detector: DetectorKind::ConfigurationWindow,
-                ..CyclicOptions::default()
-            },
-        )
-        .unwrap();
-        if (s.steady_ii() - w.steady_ii()).abs() < 1e-9 {
-            agreements += 1;
-        }
-        state_ii.push(s.steady_ii());
-        window_ii.push(w.steady_ii());
+    let g = random_cyclic_loop(seed, &cfg);
+    let s = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+    let w = cyclic_schedule(
+        &g,
+        &m,
+        &CyclicOptions {
+            detector: DetectorKind::ConfigurationWindow,
+            ..CyclicOptions::default()
+        },
+    )
+    .unwrap();
+    (s.steady_ii(), w.steady_ii())
+}
+
+fn detector_reduce(seeds: &[u64], cells: Vec<(f64, f64)>) -> DetectorAblation {
+    let agreements = cells.iter().filter(|(s, w)| (s - w).abs() < 1e-9).count();
+    let (state_ii, window_ii) = cells.into_iter().unzip();
+    DetectorAblation {
+        seeds: seeds.to_vec(),
+        state_ii,
+        window_ii,
+        agreements,
     }
-    DetectorAblation { seeds: seeds.to_vec(), state_ii, window_ii, agreements }
+}
+
+/// Run both detectors over random Cyclic loops.
+pub fn detector_ablation(seeds: &[u64], k: u32, procs: usize) -> DetectorAblation {
+    let cells = seeds.iter().map(|&s| detector_cell(s, k, procs)).collect();
+    detector_reduce(seeds, cells)
+}
+
+/// [`detector_ablation`] with seeds fanned out across threads; equal output.
+pub fn detector_ablation_par(seeds: &[u64], k: u32, procs: usize) -> DetectorAblation {
+    let cells = super::parallel::par_map(seeds.to_vec(), |s| detector_cell(s, k, procs));
+    detector_reduce(seeds, cells)
 }
 
 /// Robustness to mis-estimated communication cost: schedule with
@@ -112,6 +146,40 @@ pub struct MisestimationAblation {
     pub mean_sp: Vec<f64>,
 }
 
+/// One `(k_estimate, seed)` cell: schedule with the estimate, execute at
+/// the actual cost.
+fn misestimation_cell(k_est: u32, seed: u64, k_actual: u32, procs: usize, iters: u32) -> f64 {
+    let cfg = RandomLoopConfig::default();
+    let m_est = MachineConfig::new(procs, k_est);
+    let m_act = MachineConfig::new(procs, k_actual);
+    let g = random_cyclic_loop(seed, &cfg);
+    let sched = kn_sched::schedule_loop(&g, &m_est, iters, &Default::default()).unwrap();
+    // Execute the chosen assignment/order under the *actual* cost.
+    let t = simulate(&sched.program, &g, &m_act, &TrafficModel::stable(seed)).unwrap();
+    kn_metrics::percentage_parallelism_clamped(sequential_time(&g, iters), t.makespan)
+}
+
+fn misestimation_reduce(
+    k_estimates: &[u32],
+    k_actual: u32,
+    nseeds: usize,
+    cells: Vec<f64>,
+) -> MisestimationAblation {
+    // Row-major cells (estimate-major): mean per estimate, in order. With
+    // no seeds there are no cells, but every estimate still gets its row
+    // (mean of nothing = 0.0, matching `stats(&[])`).
+    let mean_sp = if nseeds == 0 {
+        vec![stats(&[]).mean; k_estimates.len()]
+    } else {
+        cells.chunks(nseeds).map(|c| stats(c).mean).collect()
+    };
+    MisestimationAblation {
+        k_estimates: k_estimates.to_vec(),
+        k_actual,
+        mean_sp,
+    }
+}
+
 /// For each estimate, schedule all seeds with it and execute with
 /// `k_actual`.
 pub fn misestimation_ablation(
@@ -121,32 +189,38 @@ pub fn misestimation_ablation(
     procs: usize,
     iters: u32,
 ) -> MisestimationAblation {
-    let cfg = RandomLoopConfig::default();
-    let m_act = MachineConfig::new(procs, k_actual);
-    let mut mean_sp = Vec::new();
-    for &k_est in k_estimates {
-        let m_est = MachineConfig::new(procs, k_est);
-        let mut sps = Vec::new();
-        for &seed in seeds {
-            let g = random_cyclic_loop(seed, &cfg);
-            let sched = kn_sched::schedule_loop(&g, &m_est, iters, &Default::default()).unwrap();
-            // Execute the chosen assignment/order under the *actual* cost.
-            let t = simulate(&sched.program, &g, &m_act, &TrafficModel::stable(seed)).unwrap();
-            sps.push(kn_metrics::percentage_parallelism_clamped(
-                sequential_time(&g, iters),
-                t.makespan,
-            ));
-        }
-        mean_sp.push(stats(&sps).mean);
-    }
-    MisestimationAblation { k_estimates: k_estimates.to_vec(), k_actual, mean_sp }
+    let cells = k_estimates
+        .iter()
+        .flat_map(|&k| seeds.iter().map(move |&s| (k, s)))
+        .map(|(k, s)| misestimation_cell(k, s, k_actual, procs, iters))
+        .collect();
+    misestimation_reduce(k_estimates, k_actual, seeds.len(), cells)
+}
+
+/// [`misestimation_ablation`] fanned out over the full `estimate × seed`
+/// grid; equal output.
+pub fn misestimation_ablation_par(
+    seeds: &[u64],
+    k_estimates: &[u32],
+    k_actual: u32,
+    procs: usize,
+    iters: u32,
+) -> MisestimationAblation {
+    let cells = super::parallel::par_product(k_estimates, seeds, |k, s| {
+        misestimation_cell(k, s, k_actual, procs, iters)
+    });
+    misestimation_reduce(k_estimates, k_actual, seeds.len(), cells)
 }
 
 impl MisestimationAblation {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&["k estimate", "mean Sp (actual k fixed)"]);
         for (i, &k) in self.k_estimates.iter().enumerate() {
-            let label = if k == self.k_actual { format!("{k} (exact)") } else { k.to_string() };
+            let label = if k == self.k_actual {
+                format!("{k} (exact)")
+            } else {
+                k.to_string()
+            };
             t.row(vec![label, f1(self.mean_sp[i])]);
         }
         t.render()
@@ -172,7 +246,11 @@ impl CommAwarenessAblation {
         let mut t =
             TextTable::new(&["seed", "comm-aware Sp", "comm-oblivious Sp"]).align(0, Align::Left);
         for (i, &s) in self.seeds.iter().enumerate() {
-            t.row(vec![s.to_string(), f1(self.aware[i]), f1(self.oblivious[i])]);
+            t.row(vec![
+                s.to_string(),
+                f1(self.aware[i]),
+                f1(self.oblivious[i]),
+            ]);
         }
         t.row(vec![
             "mean".into(),
@@ -183,6 +261,30 @@ impl CommAwarenessAblation {
     }
 }
 
+/// One seed's cell: `(comm-aware Sp, comm-oblivious Sp)`.
+fn comm_awareness_cell(seed: u64, k_actual: u32, procs: usize, iters: u32) -> (f64, f64) {
+    let cfg = RandomLoopConfig::default();
+    let m_true = MachineConfig::new(procs, k_actual);
+    let m_zero = MachineConfig::new(procs, 0);
+    let g = random_cyclic_loop(seed, &cfg);
+    let s = sequential_time(&g, iters);
+    let sp = |m_est: &MachineConfig| {
+        let sched = kn_sched::schedule_loop(&g, m_est, iters, &Default::default()).unwrap();
+        let t = simulate(&sched.program, &g, &m_true, &TrafficModel::stable(seed)).unwrap();
+        kn_metrics::percentage_parallelism_clamped(s, t.makespan)
+    };
+    (sp(&m_true), sp(&m_zero))
+}
+
+fn comm_awareness_reduce(seeds: &[u64], cells: Vec<(f64, f64)>) -> CommAwarenessAblation {
+    let (aware, oblivious) = cells.into_iter().unzip();
+    CommAwarenessAblation {
+        seeds: seeds.to_vec(),
+        aware,
+        oblivious,
+    }
+}
+
 /// Run the communication-awareness ablation on random Cyclic loops.
 pub fn comm_awareness_ablation(
     seeds: &[u64],
@@ -190,21 +292,25 @@ pub fn comm_awareness_ablation(
     procs: usize,
     iters: u32,
 ) -> CommAwarenessAblation {
-    let cfg = RandomLoopConfig::default();
-    let m_true = MachineConfig::new(procs, k_actual);
-    let m_zero = MachineConfig::new(procs, 0);
-    let mut aware = Vec::new();
-    let mut oblivious = Vec::new();
-    for &seed in seeds {
-        let g = random_cyclic_loop(seed, &cfg);
-        let s = sequential_time(&g, iters);
-        for (m_est, out) in [(&m_true, &mut aware), (&m_zero, &mut oblivious)] {
-            let sched = kn_sched::schedule_loop(&g, m_est, iters, &Default::default()).unwrap();
-            let t = simulate(&sched.program, &g, &m_true, &TrafficModel::stable(seed)).unwrap();
-            out.push(kn_metrics::percentage_parallelism_clamped(s, t.makespan));
-        }
-    }
-    CommAwarenessAblation { seeds: seeds.to_vec(), aware, oblivious }
+    let cells = seeds
+        .iter()
+        .map(|&s| comm_awareness_cell(s, k_actual, procs, iters))
+        .collect();
+    comm_awareness_reduce(seeds, cells)
+}
+
+/// [`comm_awareness_ablation`] with seeds fanned out across threads; equal
+/// output.
+pub fn comm_awareness_ablation_par(
+    seeds: &[u64],
+    k_actual: u32,
+    procs: usize,
+    iters: u32,
+) -> CommAwarenessAblation {
+    let cells = super::parallel::par_map(seeds.to_vec(), |s| {
+        comm_awareness_cell(s, k_actual, procs, iters)
+    });
+    comm_awareness_reduce(seeds, cells)
 }
 
 /// Beyond the paper: how both techniques degrade when the interconnect is
@@ -249,48 +355,65 @@ impl ContentionAblation {
     }
 }
 
+/// One seed's cell: `(ours free, ours contended, doacross free, doacross
+/// contended)` percentage parallelism.
+fn contention_cell(seed: u64, k: u32, procs: usize, iters: u32) -> (f64, f64, f64, f64) {
+    use kn_sim::{simulate_event, LinkModel};
+    let cfg = RandomLoopConfig::default();
+    let m = MachineConfig::new(procs, k);
+    let g = random_cyclic_loop(seed, &cfg);
+    let s = sequential_time(&g, iters);
+    let ours = kn_sched::schedule_loop(&g, &m, iters, &Default::default()).unwrap();
+    let da = kn_doacross::doacross_schedule(&g, &m, iters, &Default::default()).unwrap();
+    let t = TrafficModel::stable(seed);
+    let run = |prog, link| {
+        let mk = simulate_event(prog, &g, &m, &t, link).unwrap().makespan;
+        kn_metrics::percentage_parallelism_clamped(s, mk)
+    };
+    (
+        run(&ours.program, LinkModel::Unlimited),
+        run(&ours.program, LinkModel::SingleMessage),
+        run(&da.program, LinkModel::Unlimited),
+        run(&da.program, LinkModel::SingleMessage),
+    )
+}
+
+fn contention_reduce(seeds: &[u64], cells: Vec<(f64, f64, f64, f64)>) -> ContentionAblation {
+    let mut r = ContentionAblation {
+        seeds: seeds.to_vec(),
+        ours_free: Vec::with_capacity(cells.len()),
+        ours_contended: Vec::with_capacity(cells.len()),
+        doacross_free: Vec::with_capacity(cells.len()),
+        doacross_contended: Vec::with_capacity(cells.len()),
+    };
+    for (of, oc, df, dc) in cells {
+        r.ours_free.push(of);
+        r.ours_contended.push(oc);
+        r.doacross_free.push(df);
+        r.doacross_contended.push(dc);
+    }
+    r
+}
+
 /// Run the contention ablation.
-pub fn contention_ablation(
+pub fn contention_ablation(seeds: &[u64], k: u32, procs: usize, iters: u32) -> ContentionAblation {
+    let cells = seeds
+        .iter()
+        .map(|&s| contention_cell(s, k, procs, iters))
+        .collect();
+    contention_reduce(seeds, cells)
+}
+
+/// [`contention_ablation`] with seeds fanned out across threads; equal
+/// output.
+pub fn contention_ablation_par(
     seeds: &[u64],
     k: u32,
     procs: usize,
     iters: u32,
 ) -> ContentionAblation {
-    use kn_sim::{simulate_event, LinkModel};
-    let cfg = RandomLoopConfig::default();
-    let m = MachineConfig::new(procs, k);
-    let mut r = ContentionAblation {
-        seeds: seeds.to_vec(),
-        ours_free: Vec::new(),
-        ours_contended: Vec::new(),
-        doacross_free: Vec::new(),
-        doacross_contended: Vec::new(),
-    };
-    for &seed in seeds {
-        let g = random_cyclic_loop(seed, &cfg);
-        let s = sequential_time(&g, iters);
-        let ours = kn_sched::schedule_loop(&g, &m, iters, &Default::default()).unwrap();
-        let da = kn_doacross::doacross_schedule(&g, &m, iters, &Default::default()).unwrap();
-        let t = TrafficModel::stable(seed);
-        let sp = |mk: u64| kn_metrics::percentage_parallelism_clamped(s, mk);
-        r.ours_free.push(sp(
-            simulate_event(&ours.program, &g, &m, &t, LinkModel::Unlimited).unwrap().makespan,
-        ));
-        r.ours_contended.push(sp(
-            simulate_event(&ours.program, &g, &m, &t, LinkModel::SingleMessage)
-                .unwrap()
-                .makespan,
-        ));
-        r.doacross_free.push(sp(
-            simulate_event(&da.program, &g, &m, &t, LinkModel::Unlimited).unwrap().makespan,
-        ));
-        r.doacross_contended.push(sp(
-            simulate_event(&da.program, &g, &m, &t, LinkModel::SingleMessage)
-                .unwrap()
-                .makespan,
-        ));
-    }
-    r
+    let cells = super::parallel::par_map(seeds.to_vec(), |s| contention_cell(s, k, procs, iters));
+    contention_reduce(seeds, cells)
 }
 
 /// Processor-count sweep: steady II as the pool grows (the "sufficient
@@ -313,13 +436,26 @@ pub fn processor_sweep(seed: u64, k: u32, procs: &[usize]) -> Vec<(usize, f64)> 
 pub fn validate_axes(seed: u64) {
     let cfg = RandomLoopConfig::default();
     let g = random_cyclic_loop(seed, &cfg);
-    for arrival in [ArrivalConvention::ConsumeAtArrival, ArrivalConvention::AfterArrival] {
-        for detector in [DetectorKind::SchedulerState, DetectorKind::ConfigurationWindow] {
-            let m = MachineConfig { processors: 8, comm_upper_bound: 3, arrival };
+    for arrival in [
+        ArrivalConvention::ConsumeAtArrival,
+        ArrivalConvention::AfterArrival,
+    ] {
+        for detector in [
+            DetectorKind::SchedulerState,
+            DetectorKind::ConfigurationWindow,
+        ] {
+            let m = MachineConfig {
+                processors: 8,
+                comm_upper_bound: 3,
+                arrival,
+            };
             let out = cyclic_schedule(
                 &g,
                 &m,
-                &CyclicOptions { detector, ..CyclicOptions::default() },
+                &CyclicOptions {
+                    detector,
+                    ..CyclicOptions::default()
+                },
             )
             .unwrap();
             let placements = out.instantiate(20);
@@ -347,7 +483,11 @@ mod tests {
     #[test]
     fn detectors_agree_on_rate() {
         let r = detector_ablation(&[1, 2, 3, 4], 3, 8);
-        assert_eq!(r.agreements, 4, "state {:?} vs window {:?}", r.state_ii, r.window_ii);
+        assert_eq!(
+            r.agreements, 4,
+            "state {:?} vs window {:?}",
+            r.state_ii, r.window_ii
+        );
     }
 
     #[test]
@@ -384,6 +524,50 @@ mod tests {
             "factoring k into scheduling must not hurt on average: {aware} vs {oblivious}"
         );
         assert!(r.render().contains("mean"));
+    }
+
+    #[test]
+    fn misestimation_empty_seeds_still_renders() {
+        // One row per estimate even with no seeds (regression: the chunked
+        // reduce used to drop all rows and render() then panicked).
+        for r in [
+            misestimation_ablation(&[], &[1, 3, 6], 3, 8, 40),
+            misestimation_ablation_par(&[], &[1, 3, 6], 3, 8, 40),
+        ] {
+            assert_eq!(r.mean_sp, vec![0.0; 3]);
+            assert!(r.render().contains("(exact)"));
+        }
+    }
+
+    #[test]
+    fn parallel_ablations_equal_sequential() {
+        let seeds = [1u64, 2, 3];
+        let a = arrival_ablation(&seeds, 3, 8);
+        let ap = arrival_ablation_par(&seeds, 3, 8);
+        assert_eq!(a.consume_at_arrival, ap.consume_at_arrival);
+        assert_eq!(a.after_arrival, ap.after_arrival);
+
+        let d = detector_ablation(&seeds, 3, 8);
+        let dp = detector_ablation_par(&seeds, 3, 8);
+        assert_eq!(d.state_ii, dp.state_ii);
+        assert_eq!(d.window_ii, dp.window_ii);
+        assert_eq!(d.agreements, dp.agreements);
+
+        let m = misestimation_ablation(&seeds, &[1, 3, 6], 3, 8, 40);
+        let mp = misestimation_ablation_par(&seeds, &[1, 3, 6], 3, 8, 40);
+        assert_eq!(m.mean_sp, mp.mean_sp);
+
+        let c = comm_awareness_ablation(&seeds, 3, 8, 40);
+        let cp = comm_awareness_ablation_par(&seeds, 3, 8, 40);
+        assert_eq!(c.aware, cp.aware);
+        assert_eq!(c.oblivious, cp.oblivious);
+
+        let t = contention_ablation(&seeds, 3, 8, 30);
+        let tp = contention_ablation_par(&seeds, 3, 8, 30);
+        assert_eq!(t.ours_free, tp.ours_free);
+        assert_eq!(t.ours_contended, tp.ours_contended);
+        assert_eq!(t.doacross_free, tp.doacross_free);
+        assert_eq!(t.doacross_contended, tp.doacross_contended);
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub fn figure_report(w: &Workload, iters: u32) -> FigureReport {
     let ours = kn_sched::schedule_loop(&w.graph, &m, iters, &Default::default())
         .expect("workload schedulable");
     let seq_time = sequential_time(&w.graph, iters);
-    let ours_sim = simulate(&ours.program, &w.graph, &m, &TrafficModel::stable(0))
-        .expect("program executes");
+    let ours_sim =
+        simulate(&ours.program, &w.graph, &m, &TrafficModel::stable(0)).expect("program executes");
 
     // DOACROSS gets the same processor budget our schedule actually used
     // (at least 2 so pipelining is possible at all).
@@ -65,14 +65,20 @@ pub fn figure_report(w: &Workload, iters: u32) -> FigureReport {
         &w.graph,
         &m_da,
         iters,
-        &DoacrossOptions { reorder: Reorder::Natural },
+        &DoacrossOptions {
+            reorder: Reorder::Natural,
+        },
     )
     .expect("doacross schedulable");
     let best = doacross_schedule(
         &w.graph,
         &m_da,
         iters,
-        &DoacrossOptions { reorder: Reorder::Best { exhaustive_cap: 5040 } },
+        &DoacrossOptions {
+            reorder: Reorder::Best {
+                exhaustive_cap: 5040,
+            },
+        },
     )
     .expect("doacross schedulable");
 
@@ -88,7 +94,10 @@ pub fn figure_report(w: &Workload, iters: u32) -> FigureReport {
                     p.kernel_processors()
                 ),
                 PatternOutcome::CapFallback(b) => {
-                    format!("block fallback: {} iterations / {} cycles", b.block_iters, b.period)
+                    format!(
+                        "block fallback: {} iterations / {} cycles",
+                        b.block_iters, b.period
+                    )
                 }
             })
             .collect::<Vec<_>>()
@@ -145,6 +154,13 @@ pub fn figure_report(w: &Workload, iters: u32) -> FigureReport {
     }
 }
 
+/// Run [`figure_report`] over a set of workloads with the per-workload
+/// cells fanned out across threads; reports come back in input order, each
+/// equal to its sequential twin (the cells share no state).
+pub fn figure_reports_par(workloads: Vec<Workload>, iters: u32) -> Vec<FigureReport> {
+    super::parallel::par_map(workloads, |w| figure_report(&w, iters))
+}
+
 /// Paper Figure 8: the two DOACROSS schedules (natural, reordered) for a
 /// workload, rendered as grids.
 pub fn doacross_report(w: &Workload, iters: u32, procs: usize) -> (String, String) {
@@ -153,14 +169,20 @@ pub fn doacross_report(w: &Workload, iters: u32, procs: usize) -> (String, Strin
         &w.graph,
         &m,
         iters,
-        &DoacrossOptions { reorder: Reorder::Natural },
+        &DoacrossOptions {
+            reorder: Reorder::Natural,
+        },
     )
     .unwrap();
     let best = doacross_schedule(
         &w.graph,
         &m,
         iters,
-        &DoacrossOptions { reorder: Reorder::Best { exhaustive_cap: 5040 } },
+        &DoacrossOptions {
+            reorder: Reorder::Best {
+                exhaustive_cap: 5040,
+            },
+        },
     )
     .unwrap();
     (
@@ -176,7 +198,9 @@ pub fn summary_line(r: &FigureReport) -> String {
         r.name,
         r.ours_sp,
         r.doacross_sp,
-        r.ours_ii.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+        r.ours_ii
+            .map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "-".into()),
         r.doacross_delay,
         r.processors_ours,
         r.processors_doacross,
@@ -228,6 +252,23 @@ mod tests {
             r.doacross_sp
         );
         assert!(r.ours_sp > 30.0, "paper: 49.4%; ours {}", r.ours_sp);
+    }
+
+    #[test]
+    fn parallel_figure_reports_equal_sequential() {
+        let ws = vec![kn_workloads::figure7(), kn_workloads::cytron86()];
+        let par = figure_reports_par(ws.clone(), 40);
+        for (w, r) in ws.iter().zip(&par) {
+            let seq = figure_report(w, 40);
+            assert_eq!(r.name, seq.name);
+            assert_eq!(r.ours_time, seq.ours_time);
+            assert_eq!(r.doacross_natural_time, seq.doacross_natural_time);
+            assert_eq!(r.doacross_best_time, seq.doacross_best_time);
+            assert_eq!(r.ours_sp, seq.ours_sp);
+            assert_eq!(r.grid, seq.grid);
+            assert_eq!(r.enumeration, seq.enumeration);
+            assert_eq!(r.code, seq.code);
+        }
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! | Table 1(a)(b) (25 random loops × mm) | [`table1::run_table1`] |
 //! | design-choice ablations (ours, beyond the paper) | [`ablate`] |
 
+//! Every driver has a sequential entry point and (where the work is heavy
+//! enough to matter) a `_par` twin that fans independent (workload,
+//! machine) cells out across threads via [`parallel`], reducing in
+//! deterministic input order — parallel and sequential reports are equal,
+//! element for element.
+
 pub mod ablate;
 pub mod figures;
+pub mod parallel;
 pub mod table1;

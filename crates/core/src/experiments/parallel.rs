@@ -1,0 +1,62 @@
+//! Deterministic parallel fan-out for the experiment drivers.
+//!
+//! Every experiment in this module tree decomposes into independent
+//! (workload, machine) cells — a seed's loop scheduled and simulated under
+//! some traffic setting never reads another cell's state. The drivers
+//! therefore fan cells out across threads and reduce **in input order**
+//! (seed order, estimate order, workload order), so a parallel run's
+//! report is equal to the sequential run's, element for element. Tests in
+//! `table1`/`ablate`/`figures` pin that equality.
+//!
+//! The `rayon` dependency resolves to the workspace's vendored shim (see
+//! `vendor/rayon`): same API, `std::thread::scope` underneath, results
+//! restored to input order. Swapping in real rayon changes nothing here.
+
+use rayon::prelude::*;
+
+/// Map `f` over `items` in parallel; results come back in input order.
+///
+/// The unit of work should be coarse (a whole schedule + simulation run),
+/// which every caller in this crate satisfies — cells are milliseconds to
+/// seconds, far above per-task overhead.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    items.into_par_iter().map(f).collect()
+}
+
+/// Fan out over the cross product `a × b` (row-major: `b` varies fastest),
+/// returning cells in deterministic row-major order.
+pub fn par_product<A, B, R, F>(a: &[A], b: &[B], f: F) -> Vec<R>
+where
+    A: Clone + Send,
+    B: Clone + Send,
+    R: Send,
+    F: Fn(A, B) -> R + Sync,
+{
+    let cells: Vec<(A, B)> = a
+        .iter()
+        .flat_map(|x| b.iter().map(move |y| (x.clone(), y.clone())))
+        .collect();
+    par_map(cells, |(x, y)| f(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_is_input_ordered() {
+        let r = par_map((0..100u64).collect(), |x| x * x);
+        assert_eq!(r, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_product_is_row_major() {
+        let r = par_product(&[1u32, 2], &[10u32, 20, 30], |a, b| a * 100 + b);
+        assert_eq!(r, vec![110, 120, 130, 210, 220, 230]);
+    }
+}

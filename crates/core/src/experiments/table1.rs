@@ -61,8 +61,16 @@ impl Default for Table1Config {
             // of the baseline, and the calibration that matches the
             // paper's Table 1(b) DOACROSS average (≈ 16%). The paper's §3
             // figures use the natural order (see `figures.rs`).
-            doacross_reorder: Reorder::Best { exhaustive_cap: 2000 },
-            gen: RandomLoopConfig { nodes: 40, lcds: 12, sds: 60, min_latency: 1, max_latency: 3 },
+            doacross_reorder: Reorder::Best {
+                exhaustive_cap: 2000,
+            },
+            gen: RandomLoopConfig {
+                nodes: 40,
+                lcds: 12,
+                sds: 60,
+                min_latency: 1,
+                max_latency: 3,
+            },
             min_core: 4,
         }
     }
@@ -94,38 +102,64 @@ pub struct Table1Report {
     pub losses: Vec<usize>,
 }
 
-/// Run the experiment.
-pub fn run_table1(cfg: &Table1Config) -> Table1Report {
+/// One cell of the experiment: generate, schedule both ways, and simulate
+/// seed `seed` under every traffic setting. Independent of every other
+/// seed — the unit of work the parallel driver fans out.
+fn table1_row(cfg: &Table1Config, seed: u64) -> Table1Row {
     let m = MachineConfig::new(cfg.procs, cfg.k);
-    let mut rows = Vec::with_capacity(cfg.seeds.len());
-    for &seed in &cfg.seeds {
-        let g = random_cyclic_loop_min(seed, &cfg.gen, cfg.min_core);
-        let s = sequential_time(&g, cfg.iters);
-        let ours = kn_sched::schedule_loop(&g, &m, cfg.iters, &Default::default())
-            .expect("random cyclic loop schedulable");
-        let da = doacross_schedule(
-            &g,
-            &m,
-            cfg.iters,
-            &DoacrossOptions { reorder: cfg.doacross_reorder.clone() },
-        )
-        .expect("doacross schedulable");
-        let mut row = Table1Row {
-            seed,
-            cyclic_nodes: g.node_count(),
-            ours: Vec::new(),
-            doacross: Vec::new(),
+    let g = random_cyclic_loop_min(seed, &cfg.gen, cfg.min_core);
+    let s = sequential_time(&g, cfg.iters);
+    let ours = kn_sched::schedule_loop(&g, &m, cfg.iters, &Default::default())
+        .expect("random cyclic loop schedulable");
+    let da = doacross_schedule(
+        &g,
+        &m,
+        cfg.iters,
+        &DoacrossOptions {
+            reorder: cfg.doacross_reorder.clone(),
+        },
+    )
+    .expect("doacross schedulable");
+    let mut row = Table1Row {
+        seed,
+        cyclic_nodes: g.node_count(),
+        ours: Vec::new(),
+        doacross: Vec::new(),
+    };
+    for &mm in &cfg.mms {
+        let traffic = TrafficModel {
+            mm,
+            seed: seed.wrapping_mul(1_000_003) ^ mm as u64,
         };
-        for &mm in &cfg.mms {
-            let traffic = TrafficModel { mm, seed: seed.wrapping_mul(1_000_003) ^ mm as u64 };
-            let ours_t = simulate(&ours.program, &g, &m, &traffic).unwrap().makespan;
-            let da_t = simulate(&da.program, &g, &m, &traffic).unwrap().makespan;
-            row.ours.push(percentage_parallelism_clamped(s, ours_t));
-            row.doacross.push(percentage_parallelism_clamped(s, da_t));
-        }
-        rows.push(row);
+        let ours_t = simulate(&ours.program, &g, &m, &traffic).unwrap().makespan;
+        let da_t = simulate(&da.program, &g, &m, &traffic).unwrap().makespan;
+        row.ours.push(percentage_parallelism_clamped(s, ours_t));
+        row.doacross.push(percentage_parallelism_clamped(s, da_t));
     }
+    row
+}
 
+/// Run the experiment sequentially.
+pub fn run_table1(cfg: &Table1Config) -> Table1Report {
+    let rows = cfg
+        .seeds
+        .iter()
+        .map(|&seed| table1_row(cfg, seed))
+        .collect();
+    summarize(cfg, rows)
+}
+
+/// Run the experiment with seeds fanned out across threads. Rows come back
+/// in seed order and the summary reduction is identical to
+/// [`run_table1`]'s, so both entry points produce equal reports (tested).
+pub fn run_table1_par(cfg: &Table1Config) -> Table1Report {
+    let rows = super::parallel::par_map(cfg.seeds.clone(), |seed| table1_row(cfg, seed));
+    summarize(cfg, rows)
+}
+
+/// Deterministic reduction of per-seed rows into the paper's Table 1(b)
+/// summary, in seed order.
+fn summarize(cfg: &Table1Config, rows: Vec<Table1Row>) -> Table1Report {
     let nmm = cfg.mms.len();
     let mut avg_ours = Vec::with_capacity(nmm);
     let mut avg_doacross = Vec::with_capacity(nmm);
@@ -137,10 +171,21 @@ pub fn run_table1(cfg: &Table1Config) -> Table1Report {
         let (so, sd) = (stats(&o), stats(&d));
         avg_ours.push(so.mean);
         avg_doacross.push(sd.mean);
-        factor.push(if sd.mean > 0.0 { so.mean / sd.mean } else { f64::INFINITY });
+        factor.push(if sd.mean > 0.0 {
+            so.mean / sd.mean
+        } else {
+            f64::INFINITY
+        });
         losses.push(rows.iter().filter(|r| r.doacross[i] > r.ours[i]).count());
     }
-    Table1Report { config: cfg.clone(), rows, avg_ours, avg_doacross, factor, losses }
+    Table1Report {
+        config: cfg.clone(),
+        rows,
+        avg_ours,
+        avg_doacross,
+        factor,
+        losses,
+    }
 }
 
 impl Table1Report {
@@ -255,5 +300,25 @@ mod tests {
             assert_eq!(x.ours, y.ours);
             assert_eq!(x.doacross, y.doacross);
         }
+    }
+
+    #[test]
+    fn parallel_report_equals_sequential() {
+        // Bit-for-bit: same rows (seed order), same averages, same factor.
+        let seq = run_table1(&small_cfg());
+        let par = run_table1_par(&small_cfg());
+        assert_eq!(seq.rows.len(), par.rows.len());
+        for (a, b) in seq.rows.iter().zip(&par.rows) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.cyclic_nodes, b.cyclic_nodes);
+            assert_eq!(a.ours, b.ours);
+            assert_eq!(a.doacross, b.doacross);
+        }
+        assert_eq!(seq.avg_ours, par.avg_ours);
+        assert_eq!(seq.avg_doacross, par.avg_doacross);
+        assert_eq!(seq.factor, par.factor);
+        assert_eq!(seq.losses, par.losses);
+        assert_eq!(seq.render_rows(), par.render_rows());
+        assert_eq!(seq.render_summary(), par.render_summary());
     }
 }

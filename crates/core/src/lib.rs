@@ -42,10 +42,10 @@ pub mod prelude {
     pub use kn_doacross::{doacross_schedule, DoacrossOptions};
     pub use kn_metrics::{percentage_parallelism, percentage_parallelism_clamped};
     pub use kn_sched::{
-        cyclic_schedule, schedule_loop, CyclicOptions, FullOptions, MachineConfig,
-        PatternOutcome, ScheduleTable,
+        cyclic_schedule, schedule_loop, CyclicOptions, FullOptions, MachineConfig, PatternOutcome,
+        ScheduleTable,
     };
-    pub use kn_sim::{simulate, sequential_time, TrafficModel};
+    pub use kn_sim::{sequential_time, simulate, TrafficModel};
 }
 
 use kn_ddg::{normalize_distances, Ddg, NodeId};
@@ -71,7 +71,10 @@ impl ParallelizedLoop {
     /// `(node, iteration)`.
     pub fn original_instance(&self, inst: kn_ddg::InstanceId) -> (NodeId, u64) {
         let (node, copy) = self.origin[inst.node.index()];
-        (node, inst.iter as u64 * self.unroll_factor as u64 + copy as u64)
+        (
+            node,
+            inst.iter as u64 * self.unroll_factor as u64 + copy as u64,
+        )
     }
 }
 

@@ -107,10 +107,7 @@ pub fn classify(g: &Ddg) -> Classification {
     // `remaining[v]` = number of predecessors of v not yet known to be in
     // Flow-in. Counting edge multiplicity is harmless: all copies decrement.
     let mut remaining: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
-    let mut buffer: Vec<NodeId> = g
-        .node_ids()
-        .filter(|&v| g.in_degree(v) == 0)
-        .collect();
+    let mut buffer: Vec<NodeId> = g.node_ids().filter(|&v| g.in_degree(v) == 0).collect();
     for &v in &buffer {
         in_flow_in[v.index()] = true;
     }
@@ -128,8 +125,7 @@ pub fn classify(g: &Ddg) -> Classification {
     }
 
     // --- Flow-out fixpoint (steps 5-8 of Figure 2) ---
-    let mut remaining_out: Vec<usize> =
-        (0..n).map(|i| g.out_degree(NodeId(i as u32))).collect();
+    let mut remaining_out: Vec<usize> = (0..n).map(|i| g.out_degree(NodeId(i as u32))).collect();
     let mut buffer: Vec<NodeId> = g
         .node_ids()
         .filter(|&v| !in_flow_in[v.index()] && g.out_degree(v) == 0)
@@ -173,7 +169,12 @@ pub fn classify(g: &Ddg) -> Classification {
         };
         kind.push(k);
     }
-    Classification { flow_in: fi, cyclic: cy, flow_out: fo, kind }
+    Classification {
+        flow_in: fi,
+        cyclic: cy,
+        flow_out: fo,
+        kind,
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +327,11 @@ mod tests {
         let c = classify(&g);
         for &v in &c.flow_in {
             for p in g.predecessors(v) {
-                assert_eq!(c.kind_of(p), SubsetKind::FlowIn, "pred of Flow-in must be Flow-in");
+                assert_eq!(
+                    c.kind_of(p),
+                    SubsetKind::FlowIn,
+                    "pred of Flow-in must be Flow-in"
+                );
             }
         }
     }
@@ -337,7 +342,11 @@ mod tests {
         let c = classify(&g);
         for &v in &c.flow_out {
             for s in g.successors(v) {
-                assert_eq!(c.kind_of(s), SubsetKind::FlowOut, "succ of Flow-out must be Flow-out");
+                assert_eq!(
+                    c.kind_of(s),
+                    SubsetKind::FlowOut,
+                    "succ of Flow-out must be Flow-out"
+                );
             }
         }
     }

@@ -161,12 +161,16 @@ impl Ddg {
 
     /// Outgoing edges of `n`.
     pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + Clone {
-        self.succs[n.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+        self.succs[n.index()]
+            .iter()
+            .map(move |&e| (e, &self.edges[e.index()]))
     }
 
     /// Incoming edges of `n`.
     pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + Clone {
-        self.preds[n.index()].iter().map(move |&e| (e, &self.edges[e.index()]))
+        self.preds[n.index()]
+            .iter()
+            .map(move |&e| (e, &self.edges[e.index()]))
     }
 
     /// Successor node ids of `n` (may repeat if parallel edges exist).
@@ -306,7 +310,10 @@ fn validate_parts(nodes: &[Node], edges: &[Edge]) -> Result<(), DdgError> {
     let mut emitted = 0usize;
     while let Some(v) = stack.pop() {
         emitted += 1;
-        for e in edges.iter().filter(|e| e.distance == 0 && e.src.index() == v) {
+        for e in edges
+            .iter()
+            .filter(|e| e.distance == 0 && e.src.index() == v)
+        {
             let d = e.dst.index();
             indeg[d] -= 1;
             if indeg[d] == 0 {
@@ -348,7 +355,11 @@ impl DdgBuilder {
     pub fn node_lat(&mut self, name: impl Into<String>, latency: Latency) -> NodeId {
         let name = name.into();
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { name, latency, stmt: None });
+        self.nodes.push(Node {
+            name,
+            latency,
+            stmt: None,
+        });
         id
     }
 
@@ -364,7 +375,11 @@ impl DdgBuilder {
             return Err(DdgError::DuplicateName(name));
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { name, latency, stmt });
+        self.nodes.push(Node {
+            name,
+            latency,
+            stmt,
+        });
         Ok(id)
     }
 
@@ -398,7 +413,12 @@ impl DdgBuilder {
         cost: Option<u32>,
     ) -> EdgeId {
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { src, dst, distance, cost });
+        self.edges.push(Edge {
+            src,
+            dst,
+            distance,
+            cost,
+        });
         id
     }
 
@@ -412,7 +432,12 @@ impl DdgBuilder {
             succs[e.src.index()].push(EdgeId(i as u32));
             preds[e.dst.index()].push(EdgeId(i as u32));
         }
-        Ok(Ddg { nodes: self.nodes, edges: self.edges, succs, preds })
+        Ok(Ddg {
+            nodes: self.nodes,
+            edges: self.edges,
+            succs,
+            preds,
+        })
     }
 }
 
@@ -477,7 +502,10 @@ mod tests {
         let g = figure7();
         assert_eq!(g.carried_edges().count(), 4);
         assert_eq!(g.intra_edges().count(), 3);
-        assert_eq!(g.carried_edges().count() + g.intra_edges().count(), g.edge_count());
+        assert_eq!(
+            g.carried_edges().count() + g.intra_edges().count(),
+            g.edge_count()
+        );
     }
 
     #[test]

@@ -43,5 +43,7 @@ pub use connect::{components, split_components};
 pub use graph::{Ddg, DdgBuilder, DdgError, Distance, Edge, EdgeId, Latency, Node, NodeId};
 pub use scc::{condensation, strongly_connected_components, Scc};
 pub use text::{parse as parse_text, render as render_text, ParseError};
-pub use topo::{all_intra_topo_orders, intra_critical_path, intra_topo_order, is_intra_acyclic, TopoError};
+pub use topo::{
+    all_intra_topo_orders, intra_critical_path, intra_topo_order, is_intra_acyclic, TopoError,
+};
 pub use unwind::{normalize_distances, unroll, unwind_instances, InstanceDag, InstanceId};

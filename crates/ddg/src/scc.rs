@@ -73,8 +73,7 @@ pub fn strongly_connected_components(g: &Ddg) -> Vec<Scc> {
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     let mut comp = Vec::new();

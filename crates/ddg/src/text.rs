@@ -74,7 +74,10 @@ pub fn parse(input: &str) -> Result<Ddg, ParseError> {
             Some("node") => {
                 let name = words
                     .next()
-                    .ok_or(ParseError::BadNode { line: line_no, reason: "missing name".into() })?
+                    .ok_or(ParseError::BadNode {
+                        line: line_no,
+                        reason: "missing name".into(),
+                    })?
                     .to_string();
                 let mut lat = 1u32;
                 let mut stmt = None;
@@ -95,9 +98,12 @@ pub fn parse(input: &str) -> Result<Ddg, ParseError> {
                         });
                     }
                 }
-                let id = b.node_full(name.clone(), lat, stmt).map_err(|e| {
-                    ParseError::BadNode { line: line_no, reason: e.to_string() }
-                })?;
+                let id = b
+                    .node_full(name.clone(), lat, stmt)
+                    .map_err(|e| ParseError::BadNode {
+                        line: line_no,
+                        reason: e.to_string(),
+                    })?;
                 names.insert(name, id);
             }
             Some("edge") => {
@@ -147,7 +153,10 @@ pub fn parse(input: &str) -> Result<Ddg, ParseError> {
                 b.edge_full(s, d, dist, cost);
             }
             Some(word) => {
-                return Err(ParseError::UnknownDirective { line: line_no, word: word.into() })
+                return Err(ParseError::UnknownDirective {
+                    line: line_no,
+                    word: word.into(),
+                })
             }
             None => unreachable!("empty lines skipped"),
         }
@@ -234,7 +243,10 @@ edge D -> E
         let g = parse(FIG7).unwrap();
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.edge_count(), 7);
-        assert_eq!(g.node(g.find("A").unwrap()).stmt.as_deref(), Some("A[I] = A[I-1] * E[I-1]"));
+        assert_eq!(
+            g.node(g.find("A").unwrap()).stmt.as_deref(),
+            Some("A[I] = A[I-1] * E[I-1]")
+        );
         assert_eq!(g.carried_edges().count(), 4);
     }
 

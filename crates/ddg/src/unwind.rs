@@ -59,7 +59,11 @@ pub fn unroll(g: &Ddg, factor: u32) -> Unrolled {
         }
     }
     let graph = b.build().expect("unrolling preserves validity");
-    Unrolled { graph, copy_of, factor }
+    Unrolled {
+        graph,
+        copy_of,
+        factor,
+    }
 }
 
 /// Normalize all dependence distances to `{0, 1}` by unrolling if needed.
@@ -126,7 +130,10 @@ impl InstanceDag {
     /// All instances, iteration-major.
     pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
         (0..self.iters).flat_map(move |i| {
-            (0..self.node_count as u32).map(move |v| InstanceId { node: NodeId(v), iter: i })
+            (0..self.node_count as u32).map(move |v| InstanceId {
+                node: NodeId(v),
+                iter: i,
+            })
         })
     }
 
@@ -202,15 +209,26 @@ pub fn unwind_instances(g: &Ddg, iters: u32) -> InstanceDag {
             if tgt_iter >= iters as u64 {
                 continue;
             }
-            let src = InstanceId { node: e.src, iter: i };
-            let dst = InstanceId { node: e.dst, iter: tgt_iter as u32 };
+            let src = InstanceId {
+                node: e.src,
+                iter: i,
+            };
+            let dst = InstanceId {
+                node: e.dst,
+                iter: tgt_iter as u32,
+            };
             let s_dense = i as usize * node_count + e.src.index();
             let d_dense = tgt_iter as usize * node_count + e.dst.index();
             succs[s_dense].push((dst, eid));
             preds[d_dense].push((src, eid));
         }
     }
-    InstanceDag { node_count, iters, preds, succs }
+    InstanceDag {
+        node_count,
+        iters,
+        preds,
+        succs,
+    }
 }
 
 #[cfg(test)]
@@ -294,12 +312,19 @@ mod tests {
         let dag = unwind_instances(&g, 4);
         assert_eq!(dag.len(), 8);
         // (y,0) -> (x,2) present; (y,3) -> (x,5) absent (out of range).
-        let y0 = InstanceId { node: NodeId(1), iter: 0 };
-        assert!(dag
-            .succs(y0)
-            .iter()
-            .any(|&(d, _)| d == InstanceId { node: NodeId(0), iter: 2 }));
-        let y3 = InstanceId { node: NodeId(1), iter: 3 };
+        let y0 = InstanceId {
+            node: NodeId(1),
+            iter: 0,
+        };
+        assert!(dag.succs(y0).iter().any(|&(d, _)| d
+            == InstanceId {
+                node: NodeId(0),
+                iter: 2
+            }));
+        let y3 = InstanceId {
+            node: NodeId(1),
+            iter: 3,
+        };
         assert!(dag.succs(y3).is_empty());
     }
 

@@ -24,16 +24,15 @@ fn raw_loop(max_nodes: usize, max_dist: u32) -> impl Strategy<Value = RawLoop> {
         .prop_flat_map(move |n| {
             let lat = proptest::collection::vec(1u32..=3, n);
             let intra = proptest::collection::vec((0..n, 0..n), 0..=2 * n)
-                .prop_map(|ps| {
-                    ps.into_iter()
-                        .filter(|(a, b)| a < b)
-                        .collect::<Vec<_>>()
-                });
-            let carried =
-                proptest::collection::vec((0..n, 0..n, 1u32..=max_dist), 0..=2 * n);
+                .prop_map(|ps| ps.into_iter().filter(|(a, b)| a < b).collect::<Vec<_>>());
+            let carried = proptest::collection::vec((0..n, 0..n, 1u32..=max_dist), 0..=2 * n);
             (lat, intra, carried)
         })
-        .prop_map(|(latencies, intra, carried)| RawLoop { latencies, intra, carried })
+        .prop_map(|(latencies, intra, carried)| RawLoop {
+            latencies,
+            intra,
+            carried,
+        })
 }
 
 fn build(raw: &RawLoop) -> Ddg {

@@ -37,7 +37,9 @@ pub enum Reorder {
 
 impl Default for Reorder {
     fn default() -> Self {
-        Reorder::Best { exhaustive_cap: 5040 }
+        Reorder::Best {
+            exhaustive_cap: 5040,
+        }
     }
 }
 
@@ -132,10 +134,7 @@ pub fn heuristic_order(g: &Ddg) -> Vec<NodeId> {
         }
         w
     };
-    let mut ready: Vec<NodeId> = g
-        .node_ids()
-        .filter(|&v| indeg[v.index()] == 0)
-        .collect();
+    let mut ready: Vec<NodeId> = g.node_ids().filter(|&v| indeg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while !ready.is_empty() {
         // Smallest weight first (consumers early, producers late).
@@ -200,7 +199,12 @@ pub fn doacross_schedule(
     program.check_complete(g)?;
     let timing = static_times(&program, g, m)?;
     let d = delay(g, &body_order, m);
-    Ok(DoacrossSchedule { body_order, program, timing, delay: d })
+    Ok(DoacrossSchedule {
+        body_order,
+        program,
+        timing,
+        delay: d,
+    })
 }
 
 #[cfg(test)]
@@ -245,9 +249,13 @@ mod tests {
         let m = MachineConfig::new(4, 2);
         let iters = 10;
         let seq = g.body_latency() * iters as u64;
-        for reorder in [Reorder::Natural, Reorder::Best { exhaustive_cap: 5040 }] {
-            let s =
-                doacross_schedule(&g, &m, iters, &DoacrossOptions { reorder }).unwrap();
+        for reorder in [
+            Reorder::Natural,
+            Reorder::Best {
+                exhaustive_cap: 5040,
+            },
+        ] {
+            let s = doacross_schedule(&g, &m, iters, &DoacrossOptions { reorder }).unwrap();
             assert!(
                 s.makespan() >= seq,
                 "DOACROSS cannot beat sequential here: {} < {seq}",
@@ -294,7 +302,9 @@ mod tests {
         let g = figure7();
         let m = MachineConfig::new(3, 2);
         let s = doacross_schedule(&g, &m, 9, &DoacrossOptions::default()).unwrap();
-        ScheduleTable::from_timed(&s.timing).validate(&g, &m).unwrap();
+        ScheduleTable::from_timed(&s.timing)
+            .validate(&g, &m)
+            .unwrap();
         assert_eq!(s.program.len(), 9 * g.node_count());
     }
 
@@ -314,7 +324,13 @@ mod tests {
         let m = MachineConfig::new(4, 1);
         let natural = intra_topo_order(&g).unwrap(); // u v w by id
         let bad = vec![w, u, v]; // u late, v early next iteration? v at off 5
-        let best = choose_order(&g, &m, &Reorder::Best { exhaustive_cap: 100 });
+        let best = choose_order(
+            &g,
+            &m,
+            &Reorder::Best {
+                exhaustive_cap: 100,
+            },
+        );
         assert!(delay(&g, &best, &m) <= delay(&g, &natural, &m));
         assert!(delay(&g, &best, &m) <= delay(&g, &bad, &m));
         // Optimal: u first (fin 1), v last (off 5): delay = max(0, 1-5) = 0.
@@ -370,7 +386,9 @@ mod tests {
         let g = b.build().unwrap();
         let m = MachineConfig::new(3, 1);
         let s = doacross_schedule(&g, &m, 9, &DoacrossOptions::default()).unwrap();
-        ScheduleTable::from_timed(&s.timing).validate(&g, &m).unwrap();
+        ScheduleTable::from_timed(&s.timing)
+            .validate(&g, &m)
+            .unwrap();
         // Distance 3 means iterations {0,1,2} are independent: with 3
         // processors the chain advances 3 iterations per latency.
         assert_eq!(s.makespan(), 3);

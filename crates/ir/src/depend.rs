@@ -52,7 +52,9 @@ pub struct AnalysisOptions {
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        Self { scalar_expansion: true }
+        Self {
+            scalar_expansion: true,
+        }
     }
 }
 
@@ -73,29 +75,35 @@ pub fn analyze_dependences(body: &[GuardedAssign], opts: &AnalysisOptions) -> Ve
     for (i, ga) in body.iter().enumerate() {
         let (arrays, scalars) = effective_reads(ga);
         for (a, off) in arrays {
-            accesses
-                .entry(a)
-                .or_default()
-                .push(Access { stmt: i, offset: off, is_write: false });
+            accesses.entry(a).or_default().push(Access {
+                stmt: i,
+                offset: off,
+                is_write: false,
+            });
         }
         for s in scalars {
             scalar_vars.insert(s.clone());
-            accesses
-                .entry(s)
-                .or_default()
-                .push(Access { stmt: i, offset: 0, is_write: false });
+            accesses.entry(s).or_default().push(Access {
+                stmt: i,
+                offset: 0,
+                is_write: false,
+            });
         }
         match &ga.assign.target {
-            Target::Array { array, offset } => accesses
-                .entry(array.clone())
-                .or_default()
-                .push(Access { stmt: i, offset: *offset, is_write: true }),
+            Target::Array { array, offset } => {
+                accesses.entry(array.clone()).or_default().push(Access {
+                    stmt: i,
+                    offset: *offset,
+                    is_write: true,
+                })
+            }
             Target::Scalar(s) => {
                 scalar_vars.insert(s.clone());
-                accesses
-                    .entry(s.clone())
-                    .or_default()
-                    .push(Access { stmt: i, offset: 0, is_write: true });
+                accesses.entry(s.clone()).or_default().push(Access {
+                    stmt: i,
+                    offset: 0,
+                    is_write: true,
+                });
             }
         }
     }
@@ -238,10 +246,20 @@ mod tests {
         // D: D[I] = D[I-1] * C[I-1]
         // E: E[I] = D[I]
         let body = flat(vec![
-            assign("A", "A", 0, binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1))),
+            assign(
+                "A",
+                "A",
+                0,
+                binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)),
+            ),
             assign("B", "B", 0, arr("A")),
             assign("C", "C", 0, arr("B")),
-            assign("D", "D", 0, binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1))),
+            assign(
+                "D",
+                "D",
+                0,
+                binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1)),
+            ),
             assign("E", "E", 0, arr("D")),
         ]);
         let deps = analyze_dependences(&body, &AnalysisOptions::default());
@@ -324,7 +342,9 @@ mod tests {
             vec![assign("Bt", "B", 0, c(1))],
             vec![],
         )]);
-        let opts = AnalysisOptions { scalar_expansion: false };
+        let opts = AnalysisOptions {
+            scalar_expansion: false,
+        };
         let deps = analyze_dependences(&body, &opts);
         assert!(
             deps.iter().any(|d| d.var == "p0" && d.distance == 1),
@@ -341,7 +361,10 @@ mod tests {
             assign_scalar("S1", "s", arr("B")),
         ]);
         let deps = analyze_dependences(&body, &AnalysisOptions::default());
-        assert!(has(&deps, 1, 0, 1, DependenceKind::Flow), "s flows to next iter: {deps:?}");
+        assert!(
+            has(&deps, 1, 0, 1, DependenceKind::Flow),
+            "s flows to next iter: {deps:?}"
+        );
     }
 
     #[test]
@@ -359,8 +382,8 @@ mod tests {
         // Both guarded writes to A[I] conflict: output dep between them.
         assert!(has(&deps, 1, 2, 0, DependenceKind::Output), "{deps:?}");
         // And the carried flow A[I-1] -> p0's reads appears as p0 dep on A.
-        assert!(
-            deps.iter().any(|d| d.var == "A" && d.distance == 1 && d.kind == DependenceKind::Flow)
-        );
+        assert!(deps
+            .iter()
+            .any(|d| d.var == "A" && d.distance == 1 && d.kind == DependenceKind::Flow));
     }
 }

@@ -83,7 +83,11 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let e = binop(BinOp::Add, binop(BinOp::Mul, arr_at("A", -1), scalar("k")), arr("B"));
+        let e = binop(
+            BinOp::Add,
+            binop(BinOp::Mul, arr_at("A", -1), scalar("k")),
+            arr("B"),
+        );
         assert_eq!(eval_expr(&e, &mut ctx()), 6 * 3 + 7);
     }
 

@@ -96,12 +96,18 @@ impl fmt::Display for Expr {
 
 /// `A[I]` — array read at the current iteration.
 pub fn arr(array: &str) -> Expr {
-    Expr::ArrayRef { array: array.into(), offset: 0 }
+    Expr::ArrayRef {
+        array: array.into(),
+        offset: 0,
+    }
 }
 
 /// `A[I+offset]` — array read at a constant offset.
 pub fn arr_at(array: &str, offset: i32) -> Expr {
-    Expr::ArrayRef { array: array.into(), offset }
+    Expr::ArrayRef {
+        array: array.into(),
+        offset,
+    }
 }
 
 /// Scalar read.
@@ -136,7 +142,11 @@ mod tests {
 
     #[test]
     fn collects_reads() {
-        let e = binop(BinOp::Add, binop(BinOp::Mul, arr_at("A", -1), scalar("k")), arr("B"));
+        let e = binop(
+            BinOp::Add,
+            binop(BinOp::Mul, arr_at("A", -1), scalar("k")),
+            arr("B"),
+        );
         assert_eq!(e.array_reads(), vec![("A", -1), ("B", 0)]);
         assert_eq!(e.scalar_reads(), vec!["k"]);
     }

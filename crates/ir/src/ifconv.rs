@@ -68,9 +68,16 @@ fn flatten(
     for s in stmts {
         match s {
             Stmt::Assign(a) => {
-                out.push(GuardedAssign { guards: guards.clone(), assign: a.clone() });
+                out.push(GuardedAssign {
+                    guards: guards.clone(),
+                    assign: a.clone(),
+                });
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let p = format!("p{}", *next_pred);
                 *next_pred += 1;
                 // The predicate computation itself is guarded by the
@@ -84,10 +91,16 @@ fn flatten(
                         label: Some(p.clone()),
                     },
                 });
-                guards.push(Guard { predicate: p.clone(), polarity: true });
+                guards.push(Guard {
+                    predicate: p.clone(),
+                    polarity: true,
+                });
                 flatten(then_branch, guards, out, next_pred);
                 guards.pop();
-                guards.push(Guard { predicate: p, polarity: false });
+                guards.push(Guard {
+                    predicate: p,
+                    polarity: false,
+                });
                 flatten(else_branch, guards, out, next_pred);
                 guards.pop();
             }
@@ -106,16 +119,19 @@ pub fn effective_reads(ga: &GuardedAssign) -> (Vec<(String, i32)>, Vec<String>) 
         .into_iter()
         .map(|(a, o)| (a.to_string(), o))
         .collect();
-    let mut scalars: Vec<String> =
-        ga.assign.rhs.scalar_reads().into_iter().map(str::to_string).collect();
+    let mut scalars: Vec<String> = ga
+        .assign
+        .rhs
+        .scalar_reads()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     for g in &ga.guards {
         scalars.push(g.predicate.clone());
     }
     if !ga.guards.is_empty() {
         match &ga.assign.target {
-            crate::stmt::Target::Array { array, offset } => {
-                arrays.push((array.clone(), *offset))
-            }
+            crate::stmt::Target::Array { array, offset } => arrays.push((array.clone(), *offset)),
             crate::stmt::Target::Scalar(s) => scalars.push(s.clone()),
         }
     }
@@ -153,8 +169,20 @@ mod tests {
         assert_eq!(flat.len(), 4); // B, p0, then-A, else-A
         assert!(flat[0].unconditional());
         assert_eq!(flat[1].assign.label.as_deref(), Some("p0"));
-        assert_eq!(flat[2].guards, vec![Guard { predicate: "p0".into(), polarity: true }]);
-        assert_eq!(flat[3].guards, vec![Guard { predicate: "p0".into(), polarity: false }]);
+        assert_eq!(
+            flat[2].guards,
+            vec![Guard {
+                predicate: "p0".into(),
+                polarity: true
+            }]
+        );
+        assert_eq!(
+            flat[3].guards,
+            vec![Guard {
+                predicate: "p0".into(),
+                polarity: false
+            }]
+        );
     }
 
     #[test]
@@ -162,7 +190,10 @@ mod tests {
         let flat = if_convert(&sample());
         let (arrays, scalars) = effective_reads(&flat[2]);
         assert!(scalars.contains(&"p0".to_string()), "guard read");
-        assert!(arrays.contains(&("A".to_string(), 0)), "old target value read");
+        assert!(
+            arrays.contains(&("A".to_string(), 0)),
+            "old target value read"
+        );
         assert!(arrays.contains(&("B".to_string(), 0)), "rhs read");
     }
 

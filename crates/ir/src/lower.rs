@@ -49,7 +49,11 @@ pub fn lower_loop(
     let mut ids = Vec::with_capacity(flat.len());
     for (i, ga) in flat.iter().enumerate() {
         let base = ga.assign.label.clone().unwrap_or_else(|| format!("S{i}"));
-        let name = if used_names.contains(&base) { format!("{base}_{i}") } else { base };
+        let name = if used_names.contains(&base) {
+            format!("{base}_{i}")
+        } else {
+            base
+        };
         used_names.insert(name.clone());
         let id = b
             .node_full(name, ga.assign.latency.max(1), Some(ga.to_string()))
@@ -76,10 +80,20 @@ mod tests {
     /// The paper's Figure 7 loop, written as source.
     pub(crate) fn figure7_body() -> LoopBody {
         LoopBody::new(vec![
-            assign("A", "A", 0, binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1))),
+            assign(
+                "A",
+                "A",
+                0,
+                binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)),
+            ),
             assign("B", "B", 0, arr("A")),
             assign("C", "C", 0, arr("B")),
-            assign("D", "D", 0, binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1))),
+            assign(
+                "D",
+                "D",
+                0,
+                binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1)),
+            ),
             assign("E", "E", 0, arr("D")),
         ])
     }
@@ -91,7 +105,8 @@ mod tests {
         assert_eq!(flat.len(), 5);
         let find = |n: &str| g.find(n).unwrap();
         let has_edge = |s: &str, d: &str, dist: u32| {
-            g.out_edges(find(s)).any(|(_, e)| e.dst == find(d) && e.distance == dist)
+            g.out_edges(find(s))
+                .any(|(_, e)| e.dst == find(d) && e.distance == dist)
         };
         assert!(has_edge("A", "A", 1));
         assert!(has_edge("E", "A", 1));
@@ -138,10 +153,7 @@ mod tests {
 
     #[test]
     fn duplicate_labels_are_disambiguated() {
-        let body = LoopBody::new(vec![
-            assign("S", "A", 0, c(1)),
-            assign("S", "B", 0, c(2)),
-        ]);
+        let body = LoopBody::new(vec![assign("S", "A", 0, c(1)), assign("S", "B", 0, c(2))]);
         let (g, _) = lower_loop(&body, &AnalysisOptions::default()).unwrap();
         assert_eq!(g.node_count(), 2);
         assert!(g.find("S").is_some());
@@ -162,7 +174,11 @@ mod tests {
         let (g, _) = lower_loop(&figure7_body(), &AnalysisOptions::default()).unwrap();
         let m = MachineConfig::new(2, 2);
         let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
-        assert_eq!(out.steady_ii(), 2.5, "source-built graph matches hand-built");
+        assert_eq!(
+            out.steady_ii(),
+            2.5,
+            "source-built graph matches hand-built"
+        );
     }
 
     #[test]

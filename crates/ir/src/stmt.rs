@@ -44,7 +44,11 @@ impl fmt::Display for Assign {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Stmt {
     Assign(Assign),
-    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
 }
 
 /// A normalized single-index loop `FOR I = 0 TO N-1 { body }`.
@@ -71,7 +75,10 @@ impl LoopBody {
 /// `label: array[I+offset] = rhs` with unit latency.
 pub fn assign(label: &str, array: &str, offset: i32, rhs: Expr) -> Stmt {
     Stmt::Assign(Assign {
-        target: Target::Array { array: array.into(), offset },
+        target: Target::Array {
+            array: array.into(),
+            offset,
+        },
         rhs,
         latency: 1,
         label: Some(label.into()),
@@ -90,7 +97,11 @@ pub fn assign_scalar(label: &str, name: &str, rhs: Expr) -> Stmt {
 
 /// `IF cond THEN … ELSE …`.
 pub fn if_stmt(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then_branch, else_branch }
+    Stmt::If {
+        cond,
+        then_branch,
+        else_branch,
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +112,10 @@ mod tests {
     #[test]
     fn display_assign() {
         let s = Assign {
-            target: Target::Array { array: "A".into(), offset: 0 },
+            target: Target::Array {
+                array: "A".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)),
             latency: 1,
             label: None,

@@ -50,7 +50,13 @@ pub struct Stats {
 /// Compute [`Stats`] (population standard deviation).
 pub fn stats(xs: &[f64]) -> Stats {
     if xs.is_empty() {
-        return Stats { mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0, n: 0 };
+        return Stats {
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            stddev: 0.0,
+            n: 0,
+        };
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;

@@ -66,7 +66,10 @@ enum Source {
 /// the statement list returned by `kn_ir::lower_loop` for the same graph.
 pub fn semantics_from_ir(g: &Ddg, flat: &[GuardedAssign]) -> Result<Semantics, FromIrError> {
     if g.node_count() != flat.len() {
-        return Err(FromIrError::ShapeMismatch { nodes: g.node_count(), stmts: flat.len() });
+        return Err(FromIrError::ShapeMismatch {
+            nodes: g.node_count(),
+            stmts: flat.len(),
+        });
     }
     if let Some(i) = flat.iter().position(|ga| !ga.unconditional()) {
         return Err(FromIrError::Guarded(i));
@@ -114,7 +117,10 @@ pub fn semantics_from_ir(g: &Ddg, flat: &[GuardedAssign]) -> Result<Semantics, F
                         Source::External
                     } else {
                         let pos = edge_pos.get(&(s as u32, d as u32)).copied().ok_or(
-                            FromIrError::MissingEdge { stmt: t, var: a.to_string() },
+                            FromIrError::MissingEdge {
+                                stmt: t,
+                                var: a.to_string(),
+                            },
                         )?;
                         Source::Input(pos)
                     }
@@ -125,18 +131,22 @@ pub fn semantics_from_ir(g: &Ddg, flat: &[GuardedAssign]) -> Result<Semantics, F
         // Resolve scalar reads.
         let mut scalar_src: HashMap<String, Source> = HashMap::new();
         for sname in ga.assign.rhs.scalar_reads() {
-            let src = match scalar_def.get(sname) {
-                None => Source::External,
-                Some(&s) => {
-                    // Textual def-before-use reads this iteration's value
-                    // (distance 0); use-before-def reads last iteration's.
-                    let d = if s < t { 0u32 } else { 1 };
-                    let pos = edge_pos.get(&(s as u32, d)).copied().ok_or(
-                        FromIrError::MissingEdge { stmt: t, var: sname.to_string() },
-                    )?;
-                    Source::Input(pos)
-                }
-            };
+            let src =
+                match scalar_def.get(sname) {
+                    None => Source::External,
+                    Some(&s) => {
+                        // Textual def-before-use reads this iteration's value
+                        // (distance 0); use-before-def reads last iteration's.
+                        let d = if s < t { 0u32 } else { 1 };
+                        let pos = edge_pos.get(&(s as u32, d)).copied().ok_or(
+                            FromIrError::MissingEdge {
+                                stmt: t,
+                                var: sname.to_string(),
+                            },
+                        )?;
+                        Source::Input(pos)
+                    }
+                };
             scalar_src.insert(sname.to_string(), src);
         }
 
@@ -152,9 +162,7 @@ pub fn semantics_from_ir(g: &Ddg, flat: &[GuardedAssign]) -> Result<Semantics, F
                 fn array(&mut self, array: &str, offset: i32) -> u64 {
                     match self.arrays[&(array.to_string(), offset)] {
                         Source::Input(pos) => self.inputs[pos],
-                        Source::External => {
-                            external_value(array, self.iter as i64 + offset as i64)
-                        }
+                        Source::External => external_value(array, self.iter as i64 + offset as i64),
                     }
                 }
                 fn scalar(&mut self, name: &str) -> u64 {
@@ -164,7 +172,15 @@ pub fn semantics_from_ir(g: &Ddg, flat: &[GuardedAssign]) -> Result<Semantics, F
                     }
                 }
             }
-            eval_expr(&rhs, &mut Ctx { arrays: &array_src, scalars: &scalar_src, inputs, iter })
+            eval_expr(
+                &rhs,
+                &mut Ctx {
+                    arrays: &array_src,
+                    scalars: &scalar_src,
+                    inputs,
+                    iter,
+                },
+            )
         });
         fns.push(f);
     }
@@ -180,10 +196,20 @@ mod tests {
 
     fn figure7_ir() -> (Ddg, Vec<GuardedAssign>) {
         let body = LoopBody::new(vec![
-            assign("A", "A", 0, binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1))),
+            assign(
+                "A",
+                "A",
+                0,
+                binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)),
+            ),
             assign("B", "B", 0, arr("A")),
             assign("C", "C", 0, arr("B")),
-            assign("D", "D", 0, binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1))),
+            assign(
+                "D",
+                "D",
+                0,
+                binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1)),
+            ),
             assign("E", "E", 0, arr("D")),
         ]);
         lower_loop(&body, &Default::default()).unwrap()
@@ -244,7 +270,10 @@ mod tests {
             vec![],
         )]);
         let (g, flat) = lower_loop(&body, &Default::default()).unwrap();
-        assert!(matches!(semantics_from_ir(&g, &flat), Err(FromIrError::Guarded(_))));
+        assert!(matches!(
+            semantics_from_ir(&g, &flat),
+            Err(FromIrError::Guarded(_))
+        ));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates on a simulated multiprocessor; this crate goes one
 //! step further and *runs* a scheduled [`Program`] on OS threads — one
-//! thread per processor, values flowing through crossbeam channels exactly
+//! thread per processor, values flowing through mpsc channels exactly
 //! where the schedule has a cross-processor dependence edge. It serves two
 //! purposes:
 //!
@@ -119,17 +119,16 @@ pub type Values = HashMap<(NodeId, u32), u64>;
 
 /// Gather a node instance's operand values. `lookup` resolves an in-range
 /// predecessor instance to its value.
-fn gather_inputs(
-    g: &Ddg,
-    inst: InstanceId,
-    mut lookup: impl FnMut(InstanceId) -> u64,
-) -> Vec<u64> {
+fn gather_inputs(g: &Ddg, inst: InstanceId, mut lookup: impl FnMut(InstanceId) -> u64) -> Vec<u64> {
     let mut inputs = Vec::with_capacity(g.in_degree(inst.node));
     for (_, e) in g.in_edges(inst.node) {
         if e.distance > inst.iter {
             inputs.push(Semantics::boundary(e.src));
         } else {
-            inputs.push(lookup(InstanceId { node: e.src, iter: inst.iter - e.distance }));
+            inputs.push(lookup(InstanceId {
+                node: e.src,
+                iter: inst.iter - e.distance,
+            }));
         }
     }
     inputs
@@ -169,7 +168,7 @@ pub fn run_threaded(g: &Ddg, sem: &Semantics, prog: &Program) -> Result<Values, 
     let mut senders = Vec::with_capacity(nprocs);
     let mut receivers = Vec::with_capacity(nprocs);
     for _ in 0..nprocs {
-        let (s, r) = crossbeam::channel::unbounded::<Msg>();
+        let (s, r) = std::sync::mpsc::channel::<Msg>();
         senders.push(s);
         receivers.push(r);
     }
@@ -194,9 +193,8 @@ pub fn run_threaded(g: &Ddg, sem: &Semantics, prog: &Program) -> Result<Values, 
                                 if let Some(&v) = inbox.get(&key) {
                                     break v;
                                 }
-                                let (k, v) = receiver
-                                    .recv()
-                                    .expect("sender alive while values pending");
+                                let (k, v) =
+                                    receiver.recv().expect("sender alive while values pending");
                                 inbox.insert(k, v);
                             }
                         }
@@ -206,7 +204,10 @@ pub fn run_threaded(g: &Ddg, sem: &Semantics, prog: &Program) -> Result<Values, 
                     // Forward to every distinct remote consumer processor.
                     let mut sent: Vec<usize> = Vec::new();
                     for (_, e) in g.out_edges(inst.node) {
-                        let succ = InstanceId { node: e.dst, iter: inst.iter + e.distance };
+                        let succ = InstanceId {
+                            node: e.dst,
+                            iter: inst.iter + e.distance,
+                        };
                         if let Some(&sp) = assign.get(&succ) {
                             if sp != p && !sent.contains(&sp) {
                                 sent.push(sp);
@@ -307,8 +308,14 @@ mod tests {
 
     #[test]
     fn boundary_values_are_stable_per_node() {
-        assert_eq!(Semantics::boundary(NodeId(3)), Semantics::boundary(NodeId(3)));
-        assert_ne!(Semantics::boundary(NodeId(3)), Semantics::boundary(NodeId(4)));
+        assert_eq!(
+            Semantics::boundary(NodeId(3)),
+            Semantics::boundary(NodeId(3))
+        );
+        assert_ne!(
+            Semantics::boundary(NodeId(3)),
+            Semantics::boundary(NodeId(4))
+        );
     }
 
     #[test]
@@ -318,7 +325,10 @@ mod tests {
         let iters = 30;
         let prog = pattern_program(&g, &m, iters);
         let sem = Semantics::hashing(&g);
-        assert_eq!(run_threaded(&g, &sem, &prog).unwrap(), run_sequential(&g, &sem, iters));
+        assert_eq!(
+            run_threaded(&g, &sem, &prog).unwrap(),
+            run_sequential(&g, &sem, iters)
+        );
     }
 
     #[test]
@@ -338,7 +348,10 @@ mod tests {
         }
         let prog = Program { seqs, iters };
         let sem = Semantics::hashing(&g);
-        assert_eq!(run_threaded(&g, &sem, &prog).unwrap(), run_sequential(&g, &sem, iters));
+        assert_eq!(
+            run_threaded(&g, &sem, &prog).unwrap(),
+            run_sequential(&g, &sem, iters)
+        );
     }
 
     #[test]
@@ -370,7 +383,10 @@ mod tests {
         b.dep(x, y);
         let g = b.build().unwrap();
         // Program contains only y: its x operand falls back to boundary.
-        let prog = Program { seqs: vec![vec![InstanceId { node: y, iter: 0 }]], iters: 1 };
+        let prog = Program {
+            seqs: vec![vec![InstanceId { node: y, iter: 0 }]],
+            iters: 1,
+        };
         let sem = Semantics::hashing(&g);
         let vals = run_threaded(&g, &sem, &prog).unwrap();
         let expect = sem.eval(y, 0, &[Semantics::boundary(x)]);

@@ -125,24 +125,45 @@ pub fn render_parallel_loop(g: &Ddg, pattern: &Pattern, n_name: &str) -> String 
             .unwrap_or(usize::MAX)
     };
 
-    let kernel_min_iter = pattern.kernel.iter().map(|p| p.inst.iter).min().unwrap_or(0);
+    let kernel_min_iter = pattern
+        .kernel
+        .iter()
+        .map(|p| p.inst.iter)
+        .min()
+        .unwrap_or(0);
     let mut out = String::new();
-    let _ = writeln!(out, "PARBEGIN  /* pattern: {} iteration(s) every {} cycle(s) */",
-        pattern.iters_per_period, pattern.cycles_per_period);
+    let _ = writeln!(
+        out,
+        "PARBEGIN  /* pattern: {} iteration(s) every {} cycle(s) */",
+        pattern.iters_per_period, pattern.cycles_per_period
+    );
     for &proc in &kernel_procs {
         let _ = writeln!(out, "PE{proc}:");
         // Prologue statements for this processor, in time order.
-        let mut pro: Vec<_> =
-            pattern.prologue.iter().filter(|p| p.proc == proc).collect();
+        let mut pro: Vec<_> = pattern.prologue.iter().filter(|p| p.proc == proc).collect();
         pro.sort_by_key(|p| p.start);
         for p in &pro {
-            emit_comm_in(&mut out, g, p.inst, proc, &proc_of, Some(p.inst.iter as i64));
+            emit_comm_in(
+                &mut out,
+                g,
+                p.inst,
+                proc,
+                &proc_of,
+                Some(p.inst.iter as i64),
+            );
             let _ = writeln!(
                 out,
                 "    {}",
                 concrete_indices(&stmt_text(g, p.inst.node), p.inst.iter as i64)
             );
-            emit_comm_out(&mut out, g, p.inst, proc, &proc_of, Some(p.inst.iter as i64));
+            emit_comm_out(
+                &mut out,
+                g,
+                p.inst,
+                proc,
+                &proc_of,
+                Some(p.inst.iter as i64),
+            );
         }
         // Steady-state loop.
         let mut ker: Vec<_> = pattern.kernel.iter().filter(|p| p.proc == proc).collect();
@@ -186,7 +207,10 @@ fn emit_comm_in(
         if e.distance > inst.iter {
             continue;
         }
-        let pred = InstanceId { node: e.src, iter: inst.iter - e.distance };
+        let pred = InstanceId {
+            node: e.src,
+            iter: inst.iter - e.distance,
+        };
         let pp = proc_of(pred);
         if pp != proc && pp != usize::MAX {
             let _ = writeln!(
@@ -210,7 +234,10 @@ fn emit_comm_out(
 ) {
     let mut sent: Vec<usize> = Vec::new();
     for (_, e) in g.out_edges(inst.node) {
-        let succ = InstanceId { node: e.dst, iter: inst.iter + e.distance };
+        let succ = InstanceId {
+            node: e.dst,
+            iter: inst.iter + e.distance,
+        };
         let sp = proc_of(succ);
         if sp != proc && sp != usize::MAX && !sent.contains(&sp) {
             sent.push(sp);
@@ -244,7 +271,13 @@ fn emit_comm_in_steady(
                     o if o > 0 => format!("I+{o}"),
                     o => format!("I-{}", -o),
                 };
-                let _ = writeln!(out, "        (RECEIVE {}[{}] FROM PE{})", g.name(e.src), idx, pp);
+                let _ = writeln!(
+                    out,
+                    "        (RECEIVE {}[{}] FROM PE{})",
+                    g.name(e.src),
+                    idx,
+                    pp
+                );
             }
         }
     }
@@ -270,7 +303,13 @@ fn emit_comm_out_steady(
                     o if o > 0 => format!("I+{o}"),
                     o => format!("I-{}", -o),
                 };
-                let _ = writeln!(out, "        (SEND {}[{}] TO PE{})", g.name(inst.node), idx, sp);
+                let _ = writeln!(
+                    out,
+                    "        (SEND {}[{}] TO PE{})",
+                    g.name(inst.node),
+                    idx,
+                    sp
+                );
             }
         }
     }
@@ -285,10 +324,17 @@ mod tests {
 
     #[test]
     fn shift_indices_folds_offsets() {
-        assert_eq!(shift_indices("A[I] = A[I-1] * E[I-1]", 1), "A[I+1] = A[I] * E[I]");
+        assert_eq!(
+            shift_indices("A[I] = A[I-1] * E[I-1]", 1),
+            "A[I+1] = A[I] * E[I]"
+        );
         assert_eq!(shift_indices("A[I-1]", 0), "A[I-1]");
         assert_eq!(shift_indices("A[I+2]", -3), "A[I-1]");
-        assert_eq!(shift_indices("X[I4]", 1), "X[I4]", "identifier I4 untouched");
+        assert_eq!(
+            shift_indices("X[I4]", 1),
+            "X[I4]",
+            "identifier I4 untouched"
+        );
     }
 
     #[test]
@@ -339,7 +385,10 @@ mod tests {
             code.contains("FOR I = 1 TO N STEP 2"),
             "loop starts at the kernel's first iteration: {code}"
         );
-        assert!(code.contains("(SEND"), "cross-processor edges need sends: {code}");
+        assert!(
+            code.contains("(SEND"),
+            "cross-processor edges need sends: {code}"
+        );
         assert!(code.contains("(RECEIVE"));
         assert!(code.contains("A[I] = A[I-1] * E[I-1]") || code.contains("A[I+1] = A[I] * E[I]"));
     }

@@ -19,13 +19,29 @@
 //! Both detected patterns are verified by replay (`Theorem 1` is checked,
 //! not assumed): the scheduler keeps running for `verify_periods` more
 //! kernel periods and every placement must match the pattern's prediction.
+//!
+//! ## Hot-path data layout
+//!
+//! The scheduler core stores *no* ordered or hashed per-instance maps on
+//! its hot path (the retained map-based formulation lives in
+//! [`crate::reference`]). After `normalize_distances` every dependence
+//! distance is 0 or 1, so when `(v, i)` is scheduled its operands are
+//! instances of iterations `i` and `i-1` only — `(node, iter & mask)`
+//! indexes a dense per-node ring buffer ([`NodeRings`]) holding the live
+//! and partially-satisfied instance tables. The per-step operand scratch
+//! buffer is hoisted onto the scheduler and reused, and the state detector
+//! hashes the scheduler state into a 64-bit fingerprint instead of
+//! materializing a sorted snapshot per anchor (see
+//! [`crate::state::FingerprintDictionary`]). Placements are byte-identical
+//! to the reference scheduler — the enumeration order is load-bearing for
+//! pattern emergence — which the golden/property tests assert.
 
 use crate::machine::{Cycle, MachineConfig};
 use crate::pattern::{BlockSchedule, Pattern, PatternOutcome};
-use crate::state::{CanonState, StateDictionary, StateStamp};
+use crate::state::{fp_mix, CanonState, FingerprintDictionary, StateStamp, FP_SEED};
 use crate::table::Placement;
 use kn_ddg::{Ddg, InstanceId, NodeId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Pattern-detection strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -45,13 +61,19 @@ pub struct CyclicOptions {
     pub unroll_cap: u32,
     /// Detection strategy.
     pub detector: DetectorKind,
-    /// Extra kernel periods to verify by replay (0 disables verification).
+    /// Extra kernel periods to verify by replay (0 disables verification;
+    /// the fingerprinted state detector still replays one period so that a
+    /// 64-bit fingerprint collision can never mint a wrong pattern).
     pub verify_periods: u32,
 }
 
 impl Default for CyclicOptions {
     fn default() -> Self {
-        Self { unroll_cap: 256, detector: DetectorKind::default(), verify_periods: 2 }
+        Self {
+            unroll_cap: 256,
+            detector: DetectorKind::default(),
+            verify_periods: 2,
+        }
     }
 }
 
@@ -82,11 +104,141 @@ impl std::fmt::Display for CyclicError {
 impl std::error::Error for CyclicError {}
 
 /// A live placement: scheduled, but some successor has not yet consumed it.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct Live {
     proc: u32,
     start: Cycle,
     unconsumed: u32,
+}
+
+/// Slot-`iter` sentinel for "empty". Iteration indices stay far below this
+/// (`unroll_cap` bounds them), so no valid instance ever collides with it.
+const EMPTY: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Slot<T> {
+    iter: u32,
+    value: T,
+}
+
+/// Dense per-node ring-buffer table keyed by `(node, iter & mask)`.
+///
+/// Normalized distances mean a scheduled instance only references
+/// iterations `i` and `i-1`, so a two-slot ring per node is the steady
+/// state. The FIFO queue is not strictly iteration-synchronous, though: a
+/// self-advancing node can run several iterations ahead of a consumer that
+/// waits on a longer chain, so an insert may find its slot occupied by a
+/// *different, still-needed* iteration. The ring then doubles (all nodes at
+/// once, keeping indexing branch-free) and the insert retries — growth is
+/// rare, observable only as speed, never as behavior.
+struct NodeRings<T> {
+    /// log2 of the per-node ring capacity.
+    bits: u32,
+    nodes: usize,
+    /// `slots[(node << bits) | (iter & mask)]`; `iter == EMPTY` means free.
+    slots: Vec<Slot<T>>,
+    len: usize,
+}
+
+impl<T: Copy + Default> NodeRings<T> {
+    fn new(nodes: usize) -> Self {
+        let bits = 1; // capacity 2: iterations i and i-1
+        Self {
+            bits,
+            nodes,
+            slots: vec![
+                Slot {
+                    iter: EMPTY,
+                    value: T::default()
+                };
+                nodes << bits
+            ],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, node: u32, iter: u32) -> usize {
+        ((node as usize) << self.bits) | (iter as usize & ((1usize << self.bits) - 1))
+    }
+
+    #[inline]
+    fn get(&self, node: u32, iter: u32) -> Option<&T> {
+        let s = &self.slots[self.idx(node, iter)];
+        (s.iter == iter).then_some(&s.value)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, node: u32, iter: u32) -> Option<&mut T> {
+        let i = self.idx(node, iter);
+        let s = &mut self.slots[i];
+        (s.iter == iter).then_some(&mut s.value)
+    }
+
+    fn insert(&mut self, node: u32, iter: u32, value: T) {
+        loop {
+            let i = self.idx(node, iter);
+            let s = &mut self.slots[i];
+            if s.iter == EMPTY {
+                *s = Slot { iter, value };
+                self.len += 1;
+                return;
+            }
+            if s.iter == iter {
+                s.value = value;
+                return;
+            }
+            self.grow();
+        }
+    }
+
+    fn remove(&mut self, node: u32, iter: u32) {
+        let i = self.idx(node, iter);
+        let s = &mut self.slots[i];
+        if s.iter == iter {
+            s.iter = EMPTY;
+            self.len -= 1;
+        }
+    }
+
+    /// Double every node's ring and re-home the occupied slots.
+    #[cold]
+    fn grow(&mut self) {
+        let new_bits = self.bits + 1;
+        let mut new_slots: Vec<Slot<T>> = vec![
+            Slot {
+                iter: EMPTY,
+                value: T::default()
+            };
+            self.nodes << new_bits
+        ];
+        let mask = (1usize << new_bits) - 1;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.iter != EMPTY {
+                let node = i >> self.bits;
+                new_slots[(node << new_bits) | (s.iter as usize & mask)] = *s;
+            }
+        }
+        self.bits = new_bits;
+        self.slots = new_slots;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Visit occupied slots node-major (deterministic, but **not** a
+    /// canonical order — the position of iteration `i` inside a ring
+    /// depends on `i & mask`). Callers needing canonical output must sort
+    /// or combine order-independently.
+    fn for_each(&self, mut f: impl FnMut(u32, u32, &T)) {
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.iter != EMPTY {
+                f((i >> self.bits) as u32, s.iter, &s.value);
+            }
+        }
+    }
 }
 
 /// The greedy scheduler core. Public within the crate so that the window
@@ -96,9 +248,9 @@ pub(crate) struct Greedy<'g> {
     m: &'g MachineConfig,
     queue: VecDeque<InstanceId>,
     /// Instances with some, but not all, predecessors scheduled.
-    remaining: HashMap<InstanceId, u32>,
+    remaining: NodeRings<u32>,
     /// Placed instances that can still be read by a future `T` computation.
-    live: BTreeMap<InstanceId, Live>,
+    live: NodeRings<Live>,
     proc_free: Vec<Cycle>,
     /// Every placement, in scheduling order.
     pub(crate) placements: Vec<Placement>,
@@ -107,6 +259,8 @@ pub(crate) struct Greedy<'g> {
     /// Whether any node has in-degree 0 (such roots read the raw processor
     /// frontier, which forbids the idle-frontier clamp in `canon_state`).
     has_roots: bool,
+    /// Reusable per-step operand scratch: `(proc, finish, cost)`.
+    pred_buf: Vec<(u32, Cycle, u32)>,
 }
 
 impl<'g> Greedy<'g> {
@@ -115,12 +269,13 @@ impl<'g> Greedy<'g> {
             g,
             m,
             queue: VecDeque::new(),
-            remaining: HashMap::new(),
-            live: BTreeMap::new(),
+            remaining: NodeRings::new(g.node_count()),
+            live: NodeRings::new(g.node_count()),
             proc_free: vec![0; m.processors],
             placements: Vec::new(),
             max_iters,
             has_roots: g.node_ids().any(|v| g.in_degree(v) == 0),
+            pred_buf: Vec::new(),
         };
         // Seeds: instance (v, 0) is ready iff v has no intra-iteration
         // predecessors (carried edges point at iteration -1, which does not
@@ -143,15 +298,20 @@ impl<'g> Greedy<'g> {
         let inst = self.queue.pop_front()?;
         let lat = self.g.latency(inst.node) as Cycle;
 
-        // Operand availability, gathered once per predecessor edge.
-        let mut preds: Vec<(u32, Cycle, u32)> = Vec::new();
+        // Operand availability, gathered once per predecessor edge into the
+        // hoisted scratch buffer.
+        let mut preds = std::mem::take(&mut self.pred_buf);
+        preds.clear();
         for (_, e) in self.g.in_edges(inst.node) {
             if e.distance > inst.iter {
                 continue;
             }
-            let pred = InstanceId { node: e.src, iter: inst.iter - e.distance };
-            let li = self.live.get(&pred).expect("ready instance has all preds live");
-            let fin = li.start + self.g.latency(pred.node) as Cycle;
+            let pi = inst.iter - e.distance;
+            let li = self
+                .live
+                .get(e.src.0, pi)
+                .expect("ready instance has all preds live");
+            let fin = li.start + self.g.latency(e.src) as Cycle;
             preds.push((li.proc, fin, self.m.edge_cost(e)));
         }
 
@@ -175,15 +335,27 @@ impl<'g> Greedy<'g> {
                 best_p = j;
             }
         }
+        self.pred_buf = preds;
 
         self.proc_free[best_p] = best_t + lat;
-        let placement = Placement { inst, proc: best_p, start: best_t };
+        let placement = Placement {
+            inst,
+            proc: best_p,
+            start: best_t,
+        };
         self.placements.push(placement);
 
         let outdeg = self.g.out_degree(inst.node) as u32;
         if outdeg > 0 {
-            self.live
-                .insert(inst, Live { proc: best_p as u32, start: best_t, unconsumed: outdeg });
+            self.live.insert(
+                inst.node.0,
+                inst.iter,
+                Live {
+                    proc: best_p as u32,
+                    start: best_t,
+                    unconsumed: outdeg,
+                },
+            );
         }
 
         // Consume operands: a predecessor with no remaining consumers can
@@ -192,37 +364,53 @@ impl<'g> Greedy<'g> {
             if e.distance > inst.iter {
                 continue;
             }
-            let pred = InstanceId { node: e.src, iter: inst.iter - e.distance };
-            let li = self.live.get_mut(&pred).expect("pred is live");
+            let pi = inst.iter - e.distance;
+            let li = self.live.get_mut(e.src.0, pi).expect("pred is live");
             li.unconsumed -= 1;
             if li.unconsumed == 0 {
-                self.live.remove(&pred);
+                self.live.remove(e.src.0, pi);
             }
         }
 
         // Release successors whose predecessor counts reach zero.
         for (_, e) in self.g.out_edges(inst.node) {
-            let succ = InstanceId { node: e.dst, iter: inst.iter + e.distance };
+            let succ = InstanceId {
+                node: e.dst,
+                iter: inst.iter + e.distance,
+            };
             if !self.in_range(succ.iter) {
                 // Out-of-range consumer: retire the producer's obligation.
-                if let Some(li) = self.live.get_mut(&inst) {
+                if let Some(li) = self.live.get_mut(inst.node.0, inst.iter) {
                     li.unconsumed -= 1;
                     if li.unconsumed == 0 {
-                        self.live.remove(&inst);
+                        self.live.remove(inst.node.0, inst.iter);
                     }
                 }
                 continue;
             }
-            let entry = self
-                .remaining
-                .entry(succ)
-                .or_insert_with(|| self.g
-                    .in_edges(succ.node)
-                    .filter(|(_, e)| e.distance <= succ.iter)
-                    .count() as u32);
-            *entry -= 1;
-            if *entry == 0 {
-                self.remaining.remove(&succ);
+            let left = match self.remaining.get_mut(succ.node.0, succ.iter) {
+                Some(c) => {
+                    *c -= 1;
+                    let left = *c;
+                    if left == 0 {
+                        self.remaining.remove(succ.node.0, succ.iter);
+                    }
+                    left
+                }
+                None => {
+                    let init = self
+                        .g
+                        .in_edges(succ.node)
+                        .filter(|(_, e)| e.distance <= succ.iter)
+                        .count() as u32
+                        - 1;
+                    if init > 0 {
+                        self.remaining.insert(succ.node.0, succ.iter, init);
+                    }
+                    init
+                }
+            };
+            if left == 0 {
                 self.queue.push_back(succ);
             }
         }
@@ -231,13 +419,30 @@ impl<'g> Greedy<'g> {
         // iteration becomes ready as soon as this one is issued. This keeps
         // the unwinding uniform for graphs that are not purely Cyclic.
         if self.g.in_degree(inst.node) == 0 {
-            let next = InstanceId { node: inst.node, iter: inst.iter + 1 };
+            let next = InstanceId {
+                node: inst.node,
+                iter: inst.iter + 1,
+            };
             if self.in_range(next.iter) {
                 self.queue.push_back(next);
             }
         }
 
         Some(placement)
+    }
+
+    /// Smallest `start + 1` over live placements — the earliest cycle at
+    /// which any future instance of a root-free graph can start (every such
+    /// instance reads at least one live operand). `None` when nothing is
+    /// live. Shared by [`Self::future_start_floor`], [`Self::canon_state`],
+    /// and [`Self::state_fingerprint`].
+    fn live_floor(&self) -> Option<Cycle> {
+        let mut floor: Option<Cycle> = None;
+        self.live.for_each(|_, _, l| {
+            let f = l.start + 1;
+            floor = Some(floor.map_or(f, |x| x.min(f)));
+        });
+        floor
     }
 
     /// A lower bound on the start time of every *future* placement.
@@ -253,49 +458,49 @@ impl<'g> Greedy<'g> {
         if self.has_roots {
             return frontier;
         }
-        let live_floor = self
-            .live
-            .values()
-            .map(|l| l.start + 1)
-            .min()
-            .unwrap_or(Cycle::MAX);
-        frontier.max(live_floor)
+        frontier.max(self.live_floor().unwrap_or(Cycle::MAX))
+    }
+
+    /// The idle-frontier clamp value for relative frontiers: a processor
+    /// whose frontier lies below every possible future operand-ready time
+    /// is indistinguishable from one exactly at that floor (every future
+    /// `T` is a max with a ready time ≥ min(live starts) + 1). Without the
+    /// clamp, permanently idle processors make relative frontiers drift and
+    /// states never recur. Root nodes (in-degree 0) read the raw frontier,
+    /// so the clamp is only sound when there are none.
+    fn frontier_clamp(&self, anchor_start: i64) -> i64 {
+        if self.has_roots {
+            i64::MIN
+        } else {
+            self.live_floor()
+                .map_or(i64::MIN, |f| f as i64 - anchor_start)
+        }
     }
 
     /// Snapshot the scheduler state relative to the just-placed anchor.
+    ///
+    /// Only materialized when the fingerprint dictionary reports a hit (or
+    /// by tests); the per-anchor fast path is [`Self::state_fingerprint`].
     fn canon_state(&self, anchor: Placement) -> CanonState {
         let ai = anchor.inst.iter as i64;
         let at = anchor.start as i64;
-        let mut remaining: Vec<(u32, i64, u32)> = self
-            .remaining
-            .iter()
-            .map(|(inst, &c)| (inst.node.0, inst.iter as i64 - ai, c))
-            .collect();
+        let mut remaining: Vec<(u32, i64, u32)> = Vec::with_capacity(self.remaining.len());
+        self.remaining.for_each(|node, iter, &c| {
+            remaining.push((node, iter as i64 - ai, c));
+        });
         remaining.sort_unstable();
-        let mut live: Vec<(u32, i64, u32, i64, u32)> = self
-            .live
-            .iter()
-            .map(|(inst, l)| {
-                (inst.node.0, inst.iter as i64 - ai, l.proc, l.start as i64 - at, l.unconsumed)
-            })
-            .collect();
+        let mut live: Vec<(u32, i64, u32, i64, u32)> = Vec::with_capacity(self.live.len());
+        self.live.for_each(|node, iter, l| {
+            live.push((
+                node,
+                iter as i64 - ai,
+                l.proc,
+                l.start as i64 - at,
+                l.unconsumed,
+            ));
+        });
         live.sort_unstable();
-        // Idle-frontier clamp: a processor whose frontier lies below every
-        // possible future operand-ready time is indistinguishable from one
-        // exactly at that floor (every future `T` is a max with a ready
-        // time ≥ min(live starts) + 1). Without the clamp, permanently idle
-        // processors make relative frontiers drift and states never recur.
-        // Root nodes (in-degree 0) read the raw frontier, so the clamp is
-        // only sound when there are none.
-        let floor = if self.has_roots {
-            i64::MIN
-        } else {
-            self.live
-                .values()
-                .map(|l| l.start as i64 + 1 - at)
-                .min()
-                .unwrap_or(i64::MIN)
-        };
+        let floor = self.frontier_clamp(at);
         CanonState {
             anchor_node: anchor.inst.node.0,
             anchor_proc: anchor.proc as u32,
@@ -312,6 +517,49 @@ impl<'g> Greedy<'g> {
             remaining,
             live,
         }
+    }
+
+    /// 64-bit fingerprint of [`Self::canon_state`], computed without
+    /// allocating or sorting: ordered components (anchor, frontiers, ready
+    /// queue) are hashed sequentially; the `live` and `remaining` tables —
+    /// sets whose arena iteration order is not canonical — are combined by
+    /// summing strong per-element hashes, which is order-independent.
+    /// Equal canonical states therefore always produce equal fingerprints;
+    /// the (≈2⁻⁶⁴) converse failure is caught by replay verification.
+    fn state_fingerprint(&self, anchor: Placement) -> u64 {
+        let ai = anchor.inst.iter as i64;
+        let at = anchor.start as i64;
+        let floor = self.frontier_clamp(at);
+
+        let mut h = fp_mix(FP_SEED, anchor.inst.node.0 as u64);
+        h = fp_mix(h, anchor.proc as u64);
+        for &f in &self.proc_free {
+            h = fp_mix(h, (f as i64 - at).max(floor) as u64);
+        }
+        h = fp_mix(h, self.queue.len() as u64);
+        for q in &self.queue {
+            h = fp_mix(h, ((q.node.0 as u64) << 33) ^ (q.iter as i64 - ai) as u64);
+        }
+
+        let mut rem = 0u64;
+        self.remaining.for_each(|node, iter, &c| {
+            let mut e = fp_mix(FP_SEED ^ 0xA5A5_A5A5, node as u64);
+            e = fp_mix(e, (iter as i64 - ai) as u64);
+            e = fp_mix(e, c as u64);
+            rem = rem.wrapping_add(e);
+        });
+        h = fp_mix(h, rem);
+
+        let mut liv = 0u64;
+        self.live.for_each(|node, iter, l| {
+            let mut e = fp_mix(FP_SEED ^ 0x5A5A_5A5A, node as u64);
+            e = fp_mix(e, (iter as i64 - ai) as u64);
+            e = fp_mix(e, l.proc as u64);
+            e = fp_mix(e, (l.start as i64 - at) as u64);
+            e = fp_mix(e, l.unconsumed as u64);
+            liv = liv.wrapping_add(e);
+        });
+        fp_mix(h, liv)
     }
 }
 
@@ -349,7 +597,7 @@ pub fn cyclic_schedule(
     }
     let cap_placements = opts.unroll_cap as usize * g.node_count();
     let mut greedy = Greedy::new(g, m, None);
-    let mut dict = StateDictionary::new();
+    let mut dict = FingerprintDictionary::new();
     let mut windows = crate::window::WindowDetector::new(g, m);
     let mut anchor_node: Option<NodeId> = None;
 
@@ -364,16 +612,36 @@ pub fn cyclic_schedule(
             time: p.start,
             index: greedy.placements.len() - 1,
         };
-        let matched = match opts.detector {
+        // `confirmed` is set when the match was established by full-state
+        // equality (not just a fingerprint hit), in which case a replay
+        // divergence is a genuine bug rather than a possible collision.
+        // `candidate_state` holds the materialized state of an unconfirmed
+        // hit, captured before replay advances the scheduler past it.
+        let mut candidate_state: Option<CanonState> = None;
+        let matched: Option<(StateStamp, StateStamp, bool)> = match opts.detector {
             DetectorKind::SchedulerState => {
-                dict.check(greedy.canon_state(p), stamp).map(|prev| (prev, stamp))
+                match dict.check(greedy.state_fingerprint(p), stamp) {
+                    Some(prev) => {
+                        // Materialize the full state only now, on a hit.
+                        let full = greedy.canon_state(p);
+                        let m = match dict.equal_recorded(&full, stamp) {
+                            Some(prev_exact) => (prev_exact, stamp, true),
+                            None => (prev, stamp, false),
+                        };
+                        candidate_state = Some(full);
+                        Some(m)
+                    }
+                    None => None,
+                }
             }
             DetectorKind::ConfigurationWindow => {
                 let floor = greedy.future_start_floor();
-                windows.on_anchor(&greedy.placements, floor, stamp)
+                windows
+                    .on_anchor(&greedy.placements, floor, stamp)
+                    .map(|(a, b)| (a, b, false))
             }
         };
-        if let Some((prev, cur)) = matched {
+        if let Some((prev, cur, confirmed)) = matched {
             let kernel = greedy.placements[prev.index + 1..=cur.index].to_vec();
             let prologue = greedy.placements[..=prev.index].to_vec();
             let pattern = Pattern {
@@ -382,7 +650,13 @@ pub fn cyclic_schedule(
                 iters_per_period: cur.iter - prev.iter,
                 cycles_per_period: cur.time - prev.time,
             };
-            if verify_by_replay(&mut greedy, &pattern, cur.index, opts.verify_periods) {
+            // The fingerprint detector always replays at least one period:
+            // state equality was only established probabilistically.
+            let periods = match opts.detector {
+                DetectorKind::SchedulerState if !confirmed => opts.verify_periods.max(1),
+                _ => opts.verify_periods,
+            };
+            if verify_by_replay(&mut greedy, &pattern, cur.index, periods) {
                 return Ok(PatternOutcome::Found(pattern));
             }
             match opts.detector {
@@ -392,11 +666,21 @@ pub fn cyclic_schedule(
                 // following sequences agree.
                 DetectorKind::ConfigurationWindow => continue,
                 // The scheduler-state detector captures everything the
-                // greedy step reads; a replay failure is a bug.
+                // greedy step reads, so two *equal* states with diverging
+                // futures are impossible — that replay failure is a bug.
+                // A fingerprint-only match that fails replay is a 64-bit
+                // collision: record the materialized state so its true
+                // recurrence is found by equality, and keep scheduling.
                 DetectorKind::SchedulerState => {
-                    return Err(CyclicError::VerificationFailed {
-                        at_placement: cur.index,
-                    })
+                    if confirmed {
+                        return Err(CyclicError::VerificationFailed {
+                            at_placement: cur.index,
+                        });
+                    }
+                    if let Some(full) = candidate_state.take() {
+                        dict.record_collision(full, stamp);
+                    }
+                    continue;
                 }
             }
         }
@@ -404,7 +688,11 @@ pub fn cyclic_schedule(
 
     // Cap reached (or the queue drained, which only finite graphs do):
     // block-schedule `unroll_cap` iterations and tile.
-    Ok(PatternOutcome::CapFallback(block_fallback(g, m, opts.unroll_cap)))
+    Ok(PatternOutcome::CapFallback(block_fallback(
+        g,
+        m,
+        opts.unroll_cap,
+    )))
 }
 
 /// Check Theorem 1 instead of assuming it: every placement after the
@@ -534,7 +822,10 @@ mod tests {
     }
 
     fn inst(g: &Ddg, name: &str, iter: u32) -> InstanceId {
-        InstanceId { node: g.find(name).unwrap(), iter }
+        InstanceId {
+            node: g.find(name).unwrap(),
+            iter,
+        }
     }
 
     #[test]
@@ -644,7 +935,11 @@ mod tests {
         let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
         let p = out.pattern().unwrap();
         // 4 processors, latency 3: steady state 3/4 cycle per iteration.
-        assert!((p.steady_ii() - 0.75).abs() < 1e-9, "ii = {}", p.steady_ii());
+        assert!(
+            (p.steady_ii() - 0.75).abs() < 1e-9,
+            "ii = {}",
+            p.steady_ii()
+        );
     }
 
     #[test]
@@ -719,7 +1014,10 @@ mod tests {
         // anchor occurrences, which a 5-placement budget cannot produce).
         let g = figure7();
         let m = MachineConfig::new(2, 2);
-        let opts = CyclicOptions { unroll_cap: 1, ..CyclicOptions::default() };
+        let opts = CyclicOptions {
+            unroll_cap: 1,
+            ..CyclicOptions::default()
+        };
         let out = cyclic_schedule(&g, &m, &opts).unwrap();
         assert!(matches!(out, PatternOutcome::CapFallback(_)));
         let placements = out.instantiate(5);
@@ -743,5 +1041,84 @@ mod tests {
         .unwrap();
         assert!((a.steady_ii() - b.steady_ii()).abs() < 1e-9);
         assert!(b.pattern().is_some());
+    }
+
+    #[test]
+    fn node_rings_basic_ops() {
+        let mut r: NodeRings<u32> = NodeRings::new(3);
+        assert_eq!(r.len(), 0);
+        r.insert(0, 0, 10);
+        r.insert(0, 1, 11);
+        r.insert(2, 5, 25);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(0, 0), Some(&10));
+        assert_eq!(r.get(0, 1), Some(&11));
+        assert_eq!(r.get(2, 5), Some(&25));
+        assert_eq!(r.get(2, 4), None, "same slot, different iter tag");
+        *r.get_mut(0, 1).unwrap() = 99;
+        assert_eq!(r.get(0, 1), Some(&99));
+        r.remove(0, 0);
+        assert_eq!(r.get(0, 0), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn node_rings_grow_on_collision_preserves_entries() {
+        let mut r: NodeRings<u32> = NodeRings::new(2);
+        // Iterations 0 and 2 of node 1 collide at ring capacity 2.
+        r.insert(1, 0, 100);
+        r.insert(1, 1, 101);
+        r.insert(1, 2, 102); // forces growth to capacity 4
+        r.insert(1, 3, 103);
+        assert_eq!(r.len(), 4);
+        for i in 0..4u32 {
+            assert_eq!(r.get(1, i), Some(&(100 + i)), "iter {i}");
+        }
+        // Node 0 untouched by node 1's collisions.
+        r.insert(0, 7, 7);
+        assert_eq!(r.get(0, 7), Some(&7));
+        let mut seen = Vec::new();
+        r.for_each(|n, i, &v| seen.push((n, i, v)));
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![
+                (0, 7, 7),
+                (1, 0, 100),
+                (1, 1, 101),
+                (1, 2, 102),
+                (1, 3, 103)
+            ]
+        );
+    }
+
+    #[test]
+    fn fingerprint_matches_canon_state_equality() {
+        // Two anchors with equal canonical states must produce equal
+        // fingerprints (the detector's soundness direction).
+        let g = figure7();
+        let m = MachineConfig::new(2, 2);
+        let mut greedy = Greedy::new(&g, &m, None);
+        let mut states: Vec<(CanonState, u64)> = Vec::new();
+        for _ in 0..60 {
+            let p = greedy.step().unwrap();
+            if p.inst.node == NodeId(0) {
+                states.push((greedy.canon_state(p), greedy.state_fingerprint(p)));
+            }
+        }
+        assert!(states.len() > 4);
+        let mut equal_pairs = 0;
+        for i in 0..states.len() {
+            for j in i + 1..states.len() {
+                if states[i].0 == states[j].0 {
+                    equal_pairs += 1;
+                    assert_eq!(states[i].1, states[j].1, "equal states, equal fingerprints");
+                }
+                if states[i].1 != states[j].1 {
+                    assert_ne!(states[i].0, states[j].0);
+                }
+            }
+        }
+        assert!(equal_pairs > 0, "figure7 recurs within 12 iterations");
     }
 }

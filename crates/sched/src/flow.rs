@@ -98,11 +98,7 @@ pub fn idle_per_period(pattern: &Pattern, g: &Ddg) -> Vec<(usize, Cycle, Cycle)>
 /// The §3 candidate: the kernel processor with the most idle time, provided
 /// that idle time covers the subset's latency for a full period. `None`
 /// when no processor has enough slack.
-pub fn merge_candidate(
-    pattern: &Pattern,
-    g: &Ddg,
-    subset_lat: u64,
-) -> Option<usize> {
+pub fn merge_candidate(pattern: &Pattern, g: &Ddg, subset_lat: u64) -> Option<usize> {
     let need = subset_lat * pattern.iters_per_period as u64;
     idle_per_period(pattern, g)
         .into_iter()
@@ -118,7 +114,10 @@ mod tests {
     use kn_ddg::{DdgBuilder, NodeId};
 
     fn inst(node: u32, iter: u32) -> InstanceId {
-        InstanceId { node: NodeId(node), iter }
+        InstanceId {
+            node: NodeId(node),
+            iter,
+        }
     }
 
     #[test]
@@ -154,8 +153,14 @@ mod tests {
         let g = b.build().unwrap();
         let seqs = flow_sequences(&g, &[x, y], 2, 4);
         assert_eq!(seqs.len(), 2);
-        assert_eq!(seqs[0], vec![inst(0, 0), inst(1, 0), inst(0, 2), inst(1, 2)]);
-        assert_eq!(seqs[1], vec![inst(0, 1), inst(1, 1), inst(0, 3), inst(1, 3)]);
+        assert_eq!(
+            seqs[0],
+            vec![inst(0, 0), inst(1, 0), inst(0, 2), inst(1, 2)]
+        );
+        assert_eq!(
+            seqs[1],
+            vec![inst(0, 1), inst(1, 1), inst(0, 3), inst(1, 3)]
+        );
     }
 
     #[test]
@@ -183,8 +188,16 @@ mod tests {
         Pattern {
             prologue: vec![],
             kernel: vec![
-                Placement { inst: inst(0, 1), proc: 0, start: 4 },
-                Placement { inst: inst(1, 1), proc: 1, start: 5 },
+                Placement {
+                    inst: inst(0, 1),
+                    proc: 0,
+                    start: 4,
+                },
+                Placement {
+                    inst: inst(1, 1),
+                    proc: 1,
+                    start: 5,
+                },
             ],
             iters_per_period: 1,
             cycles_per_period: 4,

@@ -35,7 +35,10 @@ pub struct FullOptions {
 
 impl Default for FullOptions {
     fn default() -> Self {
-        Self { cyclic: CyclicOptions::default(), merge_tolerance: Some(0.10) }
+        Self {
+            cyclic: CyclicOptions::default(),
+            merge_tolerance: Some(0.10),
+        }
     }
 }
 
@@ -45,7 +48,10 @@ pub enum FlowDecision {
     /// The loop has no non-Cyclic nodes.
     NoFlowNodes,
     /// Figure 5: dedicated extra processors.
-    Separate { flow_in_procs: usize, flow_out_procs: usize },
+    Separate {
+        flow_in_procs: usize,
+        flow_out_procs: usize,
+    },
     /// §3 heuristic: folded into an idle Cyclic processor.
     Merged { proc: usize },
 }
@@ -139,12 +145,7 @@ pub fn schedule_loop(
     // DOALL loop: no Cyclic nodes; plain iteration interleaving over the
     // whole machine is optimal up to communication (paper §2.1).
     if classification.cyclic.is_empty() {
-        let seqs = flow_sequences(
-            g,
-            &g.node_ids().collect::<Vec<_>>(),
-            m.processors,
-            iters,
-        );
+        let seqs = flow_sequences(g, &g.node_ids().collect::<Vec<_>>(), m.processors, iters);
         let program = Program { seqs, iters };
         program.check_complete(g)?;
         let timing = static_times(&program, g, m)?;
@@ -170,7 +171,11 @@ pub fn schedule_loop(
             .map_nodes(|v| back[comp_back[v.index()].index()])
             .offset_procs(proc_base);
         let placements = outcome.instantiate(iters);
-        let used = placements.iter().map(|p| p.proc + 1).max().unwrap_or(proc_base);
+        let used = placements
+            .iter()
+            .map(|p| p.proc + 1)
+            .max()
+            .unwrap_or(proc_base);
         proc_base = used;
         cyclic_placements.extend(placements);
         outcomes.push(outcome);
@@ -215,8 +220,16 @@ pub fn schedule_loop(
         .max(1e-9);
     let fi_lat = subset_latency(g, &flow_in);
     let fo_lat = subset_latency(g, &flow_out);
-    let fi_procs = if fi_lat == 0 { 0 } else { ((fi_lat as f64 / ii).ceil() as usize).max(1) };
-    let fo_procs = if fo_lat == 0 { 0 } else { ((fo_lat as f64 / ii).ceil() as usize).max(1) };
+    let fi_procs = if fi_lat == 0 {
+        0
+    } else {
+        ((fi_lat as f64 / ii).ceil() as usize).max(1)
+    };
+    let fo_procs = if fo_lat == 0 {
+        0
+    } else {
+        ((fo_lat as f64 / ii).ceil() as usize).max(1)
+    };
 
     let separate = build_separate(g, iters, &by_proc, &flow_in, &flow_out, fi_procs, fo_procs);
     separate.check_complete(g)?;
@@ -230,8 +243,15 @@ pub fn schedule_loop(
             _ => return None,
         };
         let target = merge_candidate(pattern, g, fi_lat + fo_lat)?;
-        let merged =
-            build_merged(g, iters, &by_proc, &cyclic_placements, &flow_in, &flow_out, target);
+        let merged = build_merged(
+            g,
+            iters,
+            &by_proc,
+            &cyclic_placements,
+            &flow_in,
+            &flow_out,
+            target,
+        );
         merged.check_complete(g).ok()?;
         let timing = static_times(&merged, g, m).ok()?;
         let limit = separate_timing.makespan as f64 * (1.0 + tol);
@@ -243,7 +263,10 @@ pub fn schedule_loop(
         None => (
             separate,
             separate_timing,
-            FlowDecision::Separate { flow_in_procs: fi_procs, flow_out_procs: fo_procs },
+            FlowDecision::Separate {
+                flow_in_procs: fi_procs,
+                flow_out_procs: fo_procs,
+            },
         ),
     };
 
@@ -322,11 +345,23 @@ fn build_merged(
     for i in 0..iters {
         for &n in flow_in {
             let key = 2 * min_start[i as usize] as i128 - 1;
-            keyed.push((key, 0, i, topo_pos[n.index()], InstanceId { node: n, iter: i }));
+            keyed.push((
+                key,
+                0,
+                i,
+                topo_pos[n.index()],
+                InstanceId { node: n, iter: i },
+            ));
         }
         for &n in flow_out {
             let key = 2 * max_finish[i as usize] as i128 + 1;
-            keyed.push((key, 2, i, topo_pos[n.index()], InstanceId { node: n, iter: i }));
+            keyed.push((
+                key,
+                2,
+                i,
+                topo_pos[n.index()],
+                InstanceId { node: n, iter: i },
+            ));
         }
     }
     keyed.sort();
@@ -400,7 +435,9 @@ mod tests {
         assert_eq!(c.kind_of(g.find("c1").unwrap()), SubsetKind::Cyclic);
         assert_eq!(c.kind_of(g.find("o1").unwrap()), SubsetKind::FlowOut);
         assert_eq!(s.program.len(), 10 * g.node_count());
-        ScheduleTable::from_timed(&s.timing).validate(&g, &m).unwrap();
+        ScheduleTable::from_timed(&s.timing)
+            .validate(&g, &m)
+            .unwrap();
     }
 
     #[test]
@@ -416,19 +453,32 @@ mod tests {
             &g,
             &m,
             16,
-            &FullOptions { merge_tolerance: Some(10.0), ..FullOptions::default() },
+            &FullOptions {
+                merge_tolerance: Some(10.0),
+                ..FullOptions::default()
+            },
         )
         .unwrap();
         let separate = schedule_loop(
             &g,
             &m,
             16,
-            &FullOptions { merge_tolerance: None, ..FullOptions::default() },
+            &FullOptions {
+                merge_tolerance: None,
+                ..FullOptions::default()
+            },
         )
         .unwrap();
-        assert!(matches!(separate.flow_decision, FlowDecision::Separate { .. }));
-        ScheduleTable::from_timed(&merged.timing).validate(&g, &m).unwrap();
-        ScheduleTable::from_timed(&separate.timing).validate(&g, &m).unwrap();
+        assert!(matches!(
+            separate.flow_decision,
+            FlowDecision::Separate { .. }
+        ));
+        ScheduleTable::from_timed(&merged.timing)
+            .validate(&g, &m)
+            .unwrap();
+        ScheduleTable::from_timed(&separate.timing)
+            .validate(&g, &m)
+            .unwrap();
         if let FlowDecision::Merged { .. } = merged.flow_decision {
             assert!(merged.processors_used() <= separate.processors_used());
         }
@@ -446,7 +496,9 @@ mod tests {
         assert!(s.classification.is_doall());
         assert!(s.cyclic_ii().is_none());
         assert_eq!(s.processors_used(), 4);
-        ScheduleTable::from_timed(&s.timing).validate(&g, &m).unwrap();
+        ScheduleTable::from_timed(&s.timing)
+            .validate(&g, &m)
+            .unwrap();
         // 8 iterations of latency 2 over 4 procs: makespan 4.
         assert_eq!(s.makespan(), 4);
     }
@@ -499,14 +551,19 @@ mod tests {
             &w.graph,
             &m,
             30,
-            &FullOptions { merge_tolerance: None, ..FullOptions::default() },
+            &FullOptions {
+                merge_tolerance: None,
+                ..FullOptions::default()
+            },
         )
         .unwrap();
         assert!(merged.processors_used() < separate.processors_used());
         // And the merged program costs (almost) nothing.
         let limit = separate.makespan() as f64 * 1.10;
         assert!((merged.makespan() as f64) <= limit);
-        ScheduleTable::from_timed(&merged.timing).validate(&w.graph, &m).unwrap();
+        ScheduleTable::from_timed(&merged.timing)
+            .validate(&w.graph, &m)
+            .unwrap();
     }
 
     #[test]
@@ -515,10 +572,17 @@ mod tests {
         let m = MachineConfig::new(w.procs, w.k);
         let s = schedule_loop(&w.graph, &m, 30, &FullOptions::default()).unwrap();
         match s.flow_decision {
-            FlowDecision::Separate { flow_in_procs, flow_out_procs } => {
+            FlowDecision::Separate {
+                flow_in_procs,
+                flow_out_procs,
+            } => {
                 assert_eq!(flow_in_procs, 3, "ceil(13/6) Flow-in processors");
                 assert_eq!(flow_out_procs, 0);
-                assert_eq!(s.processors_used(), 5, "2 Cyclic + 3 Flow-in (paper Fig. 10)");
+                assert_eq!(
+                    s.processors_used(),
+                    5,
+                    "2 Cyclic + 3 Flow-in (paper Fig. 10)"
+                );
             }
             other => panic!("expected separate flow processors, got {other:?}"),
         }

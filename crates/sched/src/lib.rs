@@ -19,7 +19,49 @@
 //! * [`program`] / [`table`] — executable per-processor programs, static
 //!   timing, schedule tables, and validity checking;
 //! * [`codegen`] — the transformed-loop pretty printer (the PARBEGIN/PAREND
-//!   forms of the paper's Figures 7(e) and 10).
+//!   forms of the paper's Figures 7(e) and 10);
+//! * [`reference`] — the retained map-based scheduler, kept as the
+//!   executable specification and benchmark baseline for the arena core.
+//!
+//! # Performance notes
+//!
+//! The scheduler hot path is allocation-free in steady state and uses only
+//! dense, index-addressed storage. The load-bearing invariant is:
+//!
+//! **Ring-buffer invariant.** [`cyclic_schedule`] requires distances
+//! normalized to `{0, 1}` (`kn_ddg::normalize_distances`; enforced up
+//! front). When instance `(v, i)` is scheduled, every operand it reads is
+//! an instance of iteration `i` or `i − 1`, and every successor obligation
+//! it creates is at iteration `i` or `i + 1`. The live-placement and
+//! partially-satisfied tables are therefore addressed by
+//! `(node, iter & mask)` in per-node ring buffers of capacity 2. The FIFO
+//! queue is not strictly iteration-synchronous — a self-advancing node can
+//! run several iterations ahead of a consumer stuck behind a longer chain
+//! — so a ring slot can still be occupied by an older, still-needed
+//! iteration when a new one arrives; slots are tagged with their exact
+//! iteration and the rings double on such a collision. Growth changes
+//! speed, never placements.
+//!
+//! Other hot-path measures, each verified placement-for-placement
+//! identical to [`reference`] (the enumeration order is load-bearing for
+//! pattern emergence, paper §2.2 footnote 7):
+//!
+//! * the per-step operand scratch buffer is hoisted onto the scheduler and
+//!   reused across steps;
+//! * the default detector hashes the canonical scheduler state into a
+//!   64-bit fingerprint per anchor (sequential mixing for ordered
+//!   components, commutative summation for the set-valued tables) instead
+//!   of allocating + sorting a [`state::CanonState`]; full states are
+//!   materialized only on fingerprint hits, and every hit is confirmed by
+//!   replay before a pattern is returned ([`state::FingerprintDictionary`]);
+//! * the simulators in `kn-sim` index per-instance tables by
+//!   `node * iters + iter` instead of hashing `InstanceId`s;
+//! * `kn-core`'s experiment drivers fan independent (workload, machine)
+//!   cells out across threads and reduce in deterministic seed order.
+//!
+//! `kn-bench` (the `kn-bench` binary) records the arena-vs-reference ratio
+//! per workload in `BENCH_sched.json` so regressions are visible PR over
+//! PR.
 
 pub mod codegen;
 pub mod cyclic;
@@ -28,6 +70,7 @@ pub mod full;
 pub mod machine;
 pub mod pattern;
 pub mod program;
+pub mod reference;
 pub mod state;
 pub mod stats;
 pub mod table;

@@ -46,7 +46,11 @@ impl MachineConfig {
     /// Convenience constructor with the paper's default convention.
     pub fn new(processors: usize, comm_upper_bound: u32) -> Self {
         assert!(processors >= 1, "need at least one processor");
-        Self { processors, comm_upper_bound, arrival: ArrivalConvention::default() }
+        Self {
+            processors,
+            comm_upper_bound,
+            arrival: ArrivalConvention::default(),
+        }
     }
 
     /// The *estimated* cost of a dependence edge: the per-edge override if
@@ -88,7 +92,12 @@ mod tests {
     use kn_ddg::NodeId;
 
     fn edge(cost: Option<u32>) -> Edge {
-        Edge { src: NodeId(0), dst: NodeId(1), distance: 0, cost }
+        Edge {
+            src: NodeId(0),
+            dst: NodeId(1),
+            distance: 0,
+            cost,
+        }
     }
 
     #[test]
@@ -111,8 +120,15 @@ mod tests {
 
     #[test]
     fn zero_comm_is_free_under_both_conventions() {
-        for arrival in [ArrivalConvention::ConsumeAtArrival, ArrivalConvention::AfterArrival] {
-            let m = MachineConfig { processors: 4, comm_upper_bound: 0, arrival };
+        for arrival in [
+            ArrivalConvention::ConsumeAtArrival,
+            ArrivalConvention::AfterArrival,
+        ] {
+            let m = MachineConfig {
+                processors: 4,
+                comm_upper_bound: 0,
+                arrival,
+            };
             assert_eq!(m.remote_ready(7, 0), 7);
         }
     }
@@ -122,7 +138,11 @@ mod tests {
         let m = MachineConfig::new(2, 3);
         assert_eq!(m.edge_cost(&edge(None)), 3);
         assert_eq!(m.edge_cost(&edge(Some(2))), 2);
-        assert_eq!(m.edge_cost(&edge(Some(9))), 3, "k is an upper bound (paper 2.3)");
+        assert_eq!(
+            m.edge_cost(&edge(Some(9))),
+            3,
+            "k is an upper bound (paper 2.3)"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Pattern {
         let di = self.iters_per_period as u64 * r;
         let dt = self.cycles_per_period * r;
         self.kernel.iter().map(move |p| Placement {
-            inst: InstanceId { node: p.inst.node, iter: p.inst.iter + di as u32 },
+            inst: InstanceId {
+                node: p.inst.node,
+                iter: p.inst.iter + di as u32,
+            },
             proc: p.proc,
             start: p.start + dt,
         })
@@ -97,7 +100,10 @@ impl Pattern {
         let remap = |ps: &[Placement]| {
             ps.iter()
                 .map(|p| Placement {
-                    inst: InstanceId { node: f(p.inst.node), iter: p.inst.iter },
+                    inst: InstanceId {
+                        node: f(p.inst.node),
+                        iter: p.inst.iter,
+                    },
                     proc: p.proc,
                     start: p.start,
                 })
@@ -116,7 +122,10 @@ impl Pattern {
     pub fn offset_procs(&self, offset: usize) -> Pattern {
         let remap = |ps: &[Placement]| {
             ps.iter()
-                .map(|p| Placement { proc: p.proc + offset, ..*p })
+                .map(|p| Placement {
+                    proc: p.proc + offset,
+                    ..*p
+                })
                 .collect()
         };
         Pattern {
@@ -215,7 +224,10 @@ impl PatternOutcome {
                     .block
                     .iter()
                     .map(|p| Placement {
-                        inst: InstanceId { node: f(p.inst.node), iter: p.inst.iter },
+                        inst: InstanceId {
+                            node: f(p.inst.node),
+                            iter: p.inst.iter,
+                        },
                         ..*p
                     })
                     .collect(),
@@ -233,7 +245,10 @@ impl PatternOutcome {
                 block: b
                     .block
                     .iter()
-                    .map(|p| Placement { proc: p.proc + offset, ..*p })
+                    .map(|p| Placement {
+                        proc: p.proc + offset,
+                        ..*p
+                    })
                     .collect(),
                 block_iters: b.block_iters,
                 period: b.period,
@@ -248,15 +263,26 @@ mod tests {
     use kn_ddg::NodeId;
 
     fn inst(node: u32, iter: u32) -> InstanceId {
-        InstanceId { node: NodeId(node), iter }
+        InstanceId {
+            node: NodeId(node),
+            iter,
+        }
     }
 
     fn simple_pattern() -> Pattern {
         // Prologue: (0,0)@P0 t0. Kernel: (0,1)@P0 t1 repeating every
         // 1 iteration / 1 cycle.
         Pattern {
-            prologue: vec![Placement { inst: inst(0, 0), proc: 0, start: 0 }],
-            kernel: vec![Placement { inst: inst(0, 1), proc: 0, start: 1 }],
+            prologue: vec![Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            }],
+            kernel: vec![Placement {
+                inst: inst(0, 1),
+                proc: 0,
+                start: 1,
+            }],
             iters_per_period: 1,
             cycles_per_period: 1,
         }
@@ -284,10 +310,22 @@ mod tests {
     fn multi_iteration_kernel() {
         // Kernel covers iterations {1,2} and repeats by 2 iters / 5 cycles.
         let p = Pattern {
-            prologue: vec![Placement { inst: inst(0, 0), proc: 0, start: 0 }],
+            prologue: vec![Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            }],
             kernel: vec![
-                Placement { inst: inst(0, 1), proc: 0, start: 3 },
-                Placement { inst: inst(0, 2), proc: 1, start: 4 },
+                Placement {
+                    inst: inst(0, 1),
+                    proc: 0,
+                    start: 3,
+                },
+                Placement {
+                    inst: inst(0, 2),
+                    proc: 1,
+                    start: 4,
+                },
             ],
             iters_per_period: 2,
             cycles_per_period: 5,
@@ -308,8 +346,16 @@ mod tests {
         let p = Pattern {
             prologue: vec![],
             kernel: vec![
-                Placement { inst: inst(0, 0), proc: 0, start: 0 },
-                Placement { inst: inst(0, 1), proc: 0, start: 1 },
+                Placement {
+                    inst: inst(0, 0),
+                    proc: 0,
+                    start: 0,
+                },
+                Placement {
+                    inst: inst(0, 1),
+                    proc: 0,
+                    start: 1,
+                },
             ],
             iters_per_period: 2,
             cycles_per_period: 2,
@@ -333,8 +379,16 @@ mod tests {
     fn block_schedule_tiles() {
         let b = BlockSchedule {
             block: vec![
-                Placement { inst: inst(0, 0), proc: 0, start: 0 },
-                Placement { inst: inst(0, 1), proc: 0, start: 2 },
+                Placement {
+                    inst: inst(0, 0),
+                    proc: 0,
+                    start: 0,
+                },
+                Placement {
+                    inst: inst(0, 1),
+                    proc: 0,
+                    start: 2,
+                },
             ],
             block_iters: 2,
             period: 6,

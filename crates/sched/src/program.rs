@@ -66,7 +66,10 @@ impl Program {
             return Err(ProgramError::DuplicateInstance);
         }
         if assign.len() != expect {
-            return Err(ProgramError::IncompleteCover { have: assign.len(), want: expect });
+            return Err(ProgramError::IncompleteCover {
+                have: assign.len(),
+                want: expect,
+            });
         }
         for inst in assign.keys() {
             if inst.node.index() >= g.node_count() || inst.iter >= self.iters {
@@ -101,7 +104,10 @@ impl std::fmt::Display for ProgramError {
             }
             ProgramError::ForeignInstance(i) => write!(f, "foreign instance {i}"),
             ProgramError::Deadlock { timed, total } => {
-                write!(f, "program deadlocks after timing {timed}/{total} instances")
+                write!(
+                    f,
+                    "program deadlocks after timing {timed}/{total} instances"
+                )
             }
         }
     }
@@ -170,7 +176,10 @@ pub fn static_times(
                     if e.distance > inst.iter {
                         continue;
                     }
-                    let pred = InstanceId { node: e.src, iter: inst.iter - e.distance };
+                    let pred = InstanceId {
+                        node: e.src,
+                        iter: inst.iter - e.distance,
+                    };
                     if let Some(pp) = assign.get(&pred) {
                         match start.get(&pred) {
                             Some(&(sp, st)) => {
@@ -218,7 +227,10 @@ mod tests {
     use kn_ddg::{DdgBuilder, NodeId};
 
     fn inst(node: u32, iter: u32) -> InstanceId {
-        InstanceId { node: NodeId(node), iter }
+        InstanceId {
+            node: NodeId(node),
+            iter,
+        }
     }
 
     /// x -> y intra, one iteration, both on P0.
@@ -230,7 +242,10 @@ mod tests {
         b.dep(x, y);
         let g = b.build().unwrap();
         let m = MachineConfig::new(1, 2);
-        let prog = Program { seqs: vec![vec![inst(0, 0), inst(1, 0)]], iters: 1 };
+        let prog = Program {
+            seqs: vec![vec![inst(0, 0), inst(1, 0)]],
+            iters: 1,
+        };
         prog.check_complete(&g).unwrap();
         let t = static_times(&prog, &g, &m).unwrap();
         assert_eq!(t.start_of(inst(0, 0)), Some(0));
@@ -247,7 +262,10 @@ mod tests {
         b.dep(NodeId(0), NodeId(1));
         let g = b.build().unwrap();
         let m = MachineConfig::new(2, 3);
-        let prog = Program { seqs: vec![vec![inst(0, 0)], vec![inst(1, 0)]], iters: 1 };
+        let prog = Program {
+            seqs: vec![vec![inst(0, 0)], vec![inst(1, 0)]],
+            iters: 1,
+        };
         let t = static_times(&prog, &g, &m).unwrap();
         // x finishes at 1; remote ready = 1 + 3 - 1 = 3.
         assert_eq!(t.start_of(inst(1, 0)), Some(3));
@@ -260,7 +278,10 @@ mod tests {
         b.carried(x, x);
         let g = b.build().unwrap();
         let m = MachineConfig::new(1, 1);
-        let prog = Program { seqs: vec![vec![inst(0, 0), inst(0, 1), inst(0, 2)]], iters: 3 };
+        let prog = Program {
+            seqs: vec![vec![inst(0, 0), inst(0, 1), inst(0, 2)]],
+            iters: 3,
+        };
         let t = static_times(&prog, &g, &m).unwrap();
         assert_eq!(t.start_of(inst(0, 2)), Some(2));
         assert_eq!(t.makespan, 3);
@@ -277,7 +298,10 @@ mod tests {
         b.dep(NodeId(0), NodeId(1));
         let g = b.build().unwrap();
         let m = MachineConfig::new(1, 1);
-        let prog = Program { seqs: vec![vec![inst(1, 0), inst(0, 0)]], iters: 1 };
+        let prog = Program {
+            seqs: vec![vec![inst(1, 0), inst(0, 0)]],
+            iters: 1,
+        };
         let err = static_times(&prog, &g, &m).unwrap_err();
         assert_eq!(err, ProgramError::Deadlock { timed: 0, total: 2 });
     }
@@ -291,7 +315,10 @@ mod tests {
         b.dep(NodeId(0), NodeId(1));
         let g = b.build().unwrap();
         let m = MachineConfig::new(1, 1);
-        let prog = Program { seqs: vec![vec![inst(1, 0)]], iters: 1 };
+        let prog = Program {
+            seqs: vec![vec![inst(1, 0)]],
+            iters: 1,
+        };
         let t = static_times(&prog, &g, &m).unwrap();
         assert_eq!(t.start_of(inst(1, 0)), Some(0));
     }
@@ -302,16 +329,31 @@ mod tests {
         let _x = b.node("x");
         let _y = b.node("y");
         let g = b.build().unwrap();
-        let ok = Program { seqs: vec![vec![inst(0, 0)], vec![inst(1, 0)]], iters: 1 };
+        let ok = Program {
+            seqs: vec![vec![inst(0, 0)], vec![inst(1, 0)]],
+            iters: 1,
+        };
         ok.check_complete(&g).unwrap();
-        let dup = Program { seqs: vec![vec![inst(0, 0)], vec![inst(0, 0)]], iters: 1 };
-        assert_eq!(dup.check_complete(&g).unwrap_err(), ProgramError::DuplicateInstance);
-        let incomplete = Program { seqs: vec![vec![inst(0, 0)]], iters: 1 };
+        let dup = Program {
+            seqs: vec![vec![inst(0, 0)], vec![inst(0, 0)]],
+            iters: 1,
+        };
+        assert_eq!(
+            dup.check_complete(&g).unwrap_err(),
+            ProgramError::DuplicateInstance
+        );
+        let incomplete = Program {
+            seqs: vec![vec![inst(0, 0)]],
+            iters: 1,
+        };
         assert!(matches!(
             incomplete.check_complete(&g).unwrap_err(),
             ProgramError::IncompleteCover { .. }
         ));
-        let foreign = Program { seqs: vec![vec![inst(0, 0)], vec![inst(5, 0)]], iters: 1 };
+        let foreign = Program {
+            seqs: vec![vec![inst(0, 0)], vec![inst(5, 0)]],
+            iters: 1,
+        };
         assert!(matches!(
             foreign.check_complete(&g).unwrap_err(),
             ProgramError::ForeignInstance(_)
@@ -320,7 +362,10 @@ mod tests {
 
     #[test]
     fn used_processors_counts_nonempty() {
-        let prog = Program { seqs: vec![vec![inst(0, 0)], vec![], vec![inst(1, 0)]], iters: 1 };
+        let prog = Program {
+            seqs: vec![vec![inst(0, 0)], vec![], vec![inst(1, 0)]],
+            iters: 1,
+        };
         assert_eq!(prog.processors(), 3);
         assert_eq!(prog.used_processors(), 2);
     }

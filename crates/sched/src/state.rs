@@ -17,8 +17,35 @@
 //! iterations as `iter - anchor.iter`, times as `time - anchor.start`.
 //! Equality of two `CanonState`s therefore means equality up to the
 //! iteration/time shift between their anchors.
+//!
+//! Two dictionaries are provided:
+//!
+//! * [`StateDictionary`] — keyed by the full materialized [`CanonState`].
+//!   Exact, but every anchor pays allocation + sorting to build its key.
+//!   Retained for the reference scheduler ([`crate::reference`]) and as
+//!   the oracle in equivalence tests.
+//! * [`FingerprintDictionary`] — keyed by a 64-bit order-independent
+//!   fingerprint of the state (computed incrementally by the scheduler
+//!   without materializing anything). The full state is materialized only
+//!   on a fingerprint hit; a hit whose pattern then fails replay
+//!   verification is a collision, recorded so the true recurrence is later
+//!   established by exact equality. Theorem 1 stays *checked*: no pattern
+//!   is ever returned on the strength of a fingerprint alone.
 
 use crate::machine::Cycle;
+
+/// Seed constant for state fingerprints.
+pub(crate) const FP_SEED: u64 = 0x4B69_6D4E_6963_6F6C; // "KimNicol"
+
+/// One splitmix64-strength mixing step combining `h` and `x`. Used by the
+/// scheduler to fold state components into a fingerprint.
+#[inline]
+pub(crate) fn fp_mix(h: u64, x: u64) -> u64 {
+    let mut z = h ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A fully relative snapshot of the greedy scheduler.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -88,6 +115,73 @@ impl StateDictionary {
     }
 }
 
+/// Dictionary of previously seen state *fingerprints* — the allocation-free
+/// fast path of the default detector.
+///
+/// `check` mirrors [`StateDictionary::check`] but keys on the 64-bit
+/// fingerprint. Because two distinct states can (with probability ≈ 2⁻⁶⁴)
+/// share a fingerprint, the caller must confirm every hit — by replay
+/// verification, or by exact equality against a state recorded with
+/// [`FingerprintDictionary::record_collision`] after an earlier hit failed
+/// replay.
+#[derive(Default, Debug)]
+pub struct FingerprintDictionary {
+    seen: std::collections::HashMap<u64, StateStamp>,
+    /// Materialized states of hits that failed replay (fingerprint
+    /// collisions). Practically always empty; scanned linearly.
+    collisions: Vec<(CanonState, StateStamp)>,
+}
+
+impl FingerprintDictionary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `fp` (if new) or return the stamp of its first occurrence.
+    /// States whose shifts would be non-positive are rejected (a pattern
+    /// must advance both iteration and time).
+    pub fn check(&mut self, fp: u64, stamp: StateStamp) -> Option<StateStamp> {
+        match self.seen.get(&fp) {
+            Some(prev) if stamp.iter > prev.iter && stamp.time > prev.time => Some(*prev),
+            Some(_) => None,
+            None => {
+                self.seen.insert(fp, stamp);
+                None
+            }
+        }
+    }
+
+    /// Stamp of a previously materialized state exactly equal to `state`
+    /// with a valid (positive) shift to `stamp`, if any.
+    pub fn equal_recorded(&self, state: &CanonState, stamp: StateStamp) -> Option<StateStamp> {
+        self.collisions
+            .iter()
+            .find(|(s, prev)| stamp.iter > prev.iter && stamp.time > prev.time && s == state)
+            .map(|&(_, prev)| prev)
+    }
+
+    /// Record the materialized state of a hit that failed replay, so its
+    /// genuine recurrence can later be confirmed by equality.
+    pub fn record_collision(&mut self, state: CanonState, stamp: StateStamp) {
+        self.collisions.push((state, stamp));
+    }
+
+    /// Number of distinct fingerprints recorded (diagnostics).
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when no fingerprint was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Number of replay-refuted hits recorded (diagnostics; expected 0).
+    pub fn collisions_recorded(&self) -> usize {
+        self.collisions.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,7 +201,14 @@ mod tests {
     fn first_occurrence_records() {
         let mut d = StateDictionary::new();
         assert!(d
-            .check(state(vec![(1, 0)], vec![0]), StateStamp { iter: 0, time: 0, index: 0 })
+            .check(
+                state(vec![(1, 0)], vec![0]),
+                StateStamp {
+                    iter: 0,
+                    time: 0,
+                    index: 0
+                }
+            )
             .is_none());
         assert_eq!(d.len(), 1);
     }
@@ -116,9 +217,23 @@ mod tests {
     fn repeat_returns_first_stamp() {
         let mut d = StateDictionary::new();
         let s = state(vec![(1, 0)], vec![0, -2]);
-        d.check(s.clone(), StateStamp { iter: 1, time: 3, index: 7 });
+        d.check(
+            s.clone(),
+            StateStamp {
+                iter: 1,
+                time: 3,
+                index: 7,
+            },
+        );
         let hit = d
-            .check(s, StateStamp { iter: 3, time: 9, index: 19 })
+            .check(
+                s,
+                StateStamp {
+                    iter: 3,
+                    time: 9,
+                    index: 19,
+                },
+            )
             .expect("same state recurs");
         assert_eq!(hit.iter, 1);
         assert_eq!(hit.time, 3);
@@ -129,19 +244,171 @@ mod tests {
     fn zero_shift_rejected() {
         let mut d = StateDictionary::new();
         let s = state(vec![], vec![0]);
-        d.check(s.clone(), StateStamp { iter: 2, time: 5, index: 1 });
+        d.check(
+            s.clone(),
+            StateStamp {
+                iter: 2,
+                time: 5,
+                index: 1,
+            },
+        );
         // Same iteration: not a valid period.
-        assert!(d.check(s, StateStamp { iter: 2, time: 8, index: 2 }).is_none());
+        assert!(d
+            .check(
+                s,
+                StateStamp {
+                    iter: 2,
+                    time: 8,
+                    index: 2
+                }
+            )
+            .is_none());
     }
 
     #[test]
     fn different_states_do_not_collide() {
         let mut d = StateDictionary::new();
-        d.check(state(vec![(1, 0)], vec![0]), StateStamp { iter: 0, time: 0, index: 0 });
+        d.check(
+            state(vec![(1, 0)], vec![0]),
+            StateStamp {
+                iter: 0,
+                time: 0,
+                index: 0,
+            },
+        );
         assert!(d
-            .check(state(vec![(2, 0)], vec![0]), StateStamp { iter: 1, time: 1, index: 1 })
+            .check(
+                state(vec![(2, 0)], vec![0]),
+                StateStamp {
+                    iter: 1,
+                    time: 1,
+                    index: 1
+                }
+            )
             .is_none());
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_dictionary_mirrors_state_dictionary() {
+        let mut d = FingerprintDictionary::new();
+        assert!(d.is_empty());
+        assert!(d
+            .check(
+                42,
+                StateStamp {
+                    iter: 1,
+                    time: 3,
+                    index: 7
+                }
+            )
+            .is_none());
+        assert_eq!(d.len(), 1);
+        let hit = d
+            .check(
+                42,
+                StateStamp {
+                    iter: 3,
+                    time: 9,
+                    index: 19,
+                },
+            )
+            .expect("same fingerprint recurs");
+        assert_eq!((hit.iter, hit.time, hit.index), (1, 3, 7));
+        // Zero iteration shift: rejected.
+        assert!(d
+            .check(
+                42,
+                StateStamp {
+                    iter: 1,
+                    time: 12,
+                    index: 30
+                }
+            )
+            .is_none());
+        // Distinct fingerprints do not collide.
+        assert!(d
+            .check(
+                43,
+                StateStamp {
+                    iter: 4,
+                    time: 11,
+                    index: 21
+                }
+            )
+            .is_none());
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn collision_record_enables_exact_confirmation() {
+        let mut d = FingerprintDictionary::new();
+        let s = state(vec![(1, 0)], vec![0, -2]);
+        assert!(d
+            .equal_recorded(
+                &s,
+                StateStamp {
+                    iter: 9,
+                    time: 9,
+                    index: 9
+                }
+            )
+            .is_none());
+        d.record_collision(
+            s.clone(),
+            StateStamp {
+                iter: 2,
+                time: 5,
+                index: 11,
+            },
+        );
+        assert_eq!(d.collisions_recorded(), 1);
+        let prev = d
+            .equal_recorded(
+                &s,
+                StateStamp {
+                    iter: 4,
+                    time: 11,
+                    index: 23,
+                },
+            )
+            .expect("equal state with positive shift");
+        assert_eq!(prev.index, 11);
+        // Non-positive shift against the recorded stamp: no confirmation.
+        assert!(d
+            .equal_recorded(
+                &s,
+                StateStamp {
+                    iter: 2,
+                    time: 9,
+                    index: 13
+                }
+            )
+            .is_none());
+        // A different state never confirms.
+        let other = state(vec![(2, 0)], vec![0, -2]);
+        assert!(d
+            .equal_recorded(
+                &other,
+                StateStamp {
+                    iter: 4,
+                    time: 11,
+                    index: 23
+                }
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn fp_mix_separates_nearby_inputs() {
+        // Sanity on the mixing step: single-bit input changes move many
+        // output bits (no formal guarantee needed — replay verification
+        // backstops the detector — but cheap to pin).
+        let h = fp_mix(FP_SEED, 1);
+        for x in 2u64..64 {
+            assert_ne!(fp_mix(FP_SEED, x), h);
+        }
+        assert_ne!(fp_mix(h, 0), fp_mix(h, 1));
     }
 
     #[test]
@@ -153,7 +420,23 @@ mod tests {
         let b = state(vec![(1, 1), (2, 1)], vec![0, 3]);
         assert_eq!(a, b);
         let mut d = StateDictionary::new();
-        d.check(a, StateStamp { iter: 1, time: 10, index: 4 });
-        assert!(d.check(b, StateStamp { iter: 3, time: 16, index: 12 }).is_some());
+        d.check(
+            a,
+            StateStamp {
+                iter: 1,
+                time: 10,
+                index: 4,
+            },
+        );
+        assert!(d
+            .check(
+                b,
+                StateStamp {
+                    iter: 3,
+                    time: 16,
+                    index: 12
+                }
+            )
+            .is_some());
     }
 }

@@ -21,7 +21,11 @@ pub struct Placement {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScheduleError {
     /// Two instances overlap on one processor.
-    Overlap { proc: usize, a: InstanceId, b: InstanceId },
+    Overlap {
+        proc: usize,
+        a: InstanceId,
+        b: InstanceId,
+    },
     /// A dependence is violated: `dst` starts before its operand from `src`
     /// can be available under the machine's timing model.
     DependenceViolated {
@@ -40,7 +44,12 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::Overlap { proc, a, b } => {
                 write!(f, "instances {a} and {b} overlap on PE{proc}")
             }
-            ScheduleError::DependenceViolated { src, dst, ready, actual } => write!(
+            ScheduleError::DependenceViolated {
+                src,
+                dst,
+                ready,
+                actual,
+            } => write!(
                 f,
                 "{dst} starts at {actual} but operand from {src} is ready at {ready}"
             ),
@@ -65,7 +74,10 @@ impl ScheduleTable {
         for (i, p) in placements.iter().enumerate() {
             by_inst.insert(p.inst, i);
         }
-        Self { placements, by_inst }
+        Self {
+            placements,
+            by_inst,
+        }
     }
 
     /// Build from a timed program.
@@ -114,7 +126,11 @@ impl ScheduleTable {
 
     /// Highest processor index used, plus one.
     pub fn processors_used(&self) -> usize {
-        self.placements.iter().map(|p| p.proc + 1).max().unwrap_or(0)
+        self.placements
+            .iter()
+            .map(|p| p.proc + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Convert into a [`Program`]: per-processor sequences ordered by start
@@ -155,7 +171,11 @@ impl ScheduleTable {
             for w in ps.windows(2) {
                 let (a, b) = (w[0], w[1]);
                 if a.start + g.latency(a.inst.node) as Cycle > b.start {
-                    return Err(ScheduleError::Overlap { proc, a: a.inst, b: b.inst });
+                    return Err(ScheduleError::Overlap {
+                        proc,
+                        a: a.inst,
+                        b: b.inst,
+                    });
                 }
             }
         }
@@ -165,8 +185,13 @@ impl ScheduleTable {
                 if e.distance > p.inst.iter {
                     continue;
                 }
-                let pred = InstanceId { node: e.src, iter: p.inst.iter - e.distance };
-                let Some(&pi) = self.by_inst.get(&pred) else { continue };
+                let pred = InstanceId {
+                    node: e.src,
+                    iter: p.inst.iter - e.distance,
+                };
+                let Some(&pi) = self.by_inst.get(&pred) else {
+                    continue;
+                };
                 let pp = &self.placements[pi];
                 let fin = m.finish(pp.start, g.latency(pred.node));
                 let ready = if pp.proc == p.proc {
@@ -196,8 +221,7 @@ impl ScheduleTable {
         }
         let nprocs = self.processors_used();
         let makespan = self.makespan(g);
-        let mut grid: Vec<Vec<String>> =
-            vec![vec![String::new(); nprocs]; makespan as usize];
+        let mut grid: Vec<Vec<String>> = vec![vec![String::new(); nprocs]; makespan as usize];
         for p in &self.placements {
             let label = format!("{}{}", g.name(p.inst.node), p.inst.iter);
             let lat = g.latency(p.inst.node) as Cycle;
@@ -236,7 +260,10 @@ mod tests {
     use kn_ddg::{DdgBuilder, NodeId};
 
     fn inst(node: u32, iter: u32) -> InstanceId {
-        InstanceId { node: NodeId(node), iter }
+        InstanceId {
+            node: NodeId(node),
+            iter,
+        }
     }
 
     fn chain() -> Ddg {
@@ -252,8 +279,16 @@ mod tests {
         let g = chain();
         let m = MachineConfig::new(2, 2);
         let t = ScheduleTable::new(vec![
-            Placement { inst: inst(0, 0), proc: 0, start: 0 },
-            Placement { inst: inst(1, 0), proc: 1, start: 3 }, // 2 + 2 - 1
+            Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            },
+            Placement {
+                inst: inst(1, 0),
+                proc: 1,
+                start: 3,
+            }, // 2 + 2 - 1
         ]);
         t.validate(&g, &m).unwrap();
         assert_eq!(t.makespan(&g), 4);
@@ -265,12 +300,24 @@ mod tests {
         let g = chain();
         let m = MachineConfig::new(2, 2);
         let t = ScheduleTable::new(vec![
-            Placement { inst: inst(0, 0), proc: 0, start: 0 },
-            Placement { inst: inst(1, 0), proc: 1, start: 2 }, // needs 3
+            Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            },
+            Placement {
+                inst: inst(1, 0),
+                proc: 1,
+                start: 2,
+            }, // needs 3
         ]);
         assert!(matches!(
             t.validate(&g, &m).unwrap_err(),
-            ScheduleError::DependenceViolated { ready: 3, actual: 2, .. }
+            ScheduleError::DependenceViolated {
+                ready: 3,
+                actual: 2,
+                ..
+            }
         ));
     }
 
@@ -279,10 +326,21 @@ mod tests {
         let g = chain();
         let m = MachineConfig::new(1, 1);
         let t = ScheduleTable::new(vec![
-            Placement { inst: inst(0, 0), proc: 0, start: 0 }, // occupies [0,2)
-            Placement { inst: inst(1, 0), proc: 0, start: 1 },
+            Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            }, // occupies [0,2)
+            Placement {
+                inst: inst(1, 0),
+                proc: 0,
+                start: 1,
+            },
         ]);
-        assert!(matches!(t.validate(&g, &m).unwrap_err(), ScheduleError::Overlap { .. }));
+        assert!(matches!(
+            t.validate(&g, &m).unwrap_err(),
+            ScheduleError::Overlap { .. }
+        ));
     }
 
     #[test]
@@ -290,10 +348,21 @@ mod tests {
         let g = chain();
         let m = MachineConfig::new(2, 1);
         let t = ScheduleTable::new(vec![
-            Placement { inst: inst(0, 0), proc: 0, start: 0 },
-            Placement { inst: inst(0, 0), proc: 1, start: 5 },
+            Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            },
+            Placement {
+                inst: inst(0, 0),
+                proc: 1,
+                start: 5,
+            },
         ]);
-        assert!(matches!(t.validate(&g, &m).unwrap_err(), ScheduleError::Duplicate(_)));
+        assert!(matches!(
+            t.validate(&g, &m).unwrap_err(),
+            ScheduleError::Duplicate(_)
+        ));
     }
 
     #[test]
@@ -301,8 +370,16 @@ mod tests {
         let g = chain();
         let m = MachineConfig::new(1, 5);
         let t = ScheduleTable::new(vec![
-            Placement { inst: inst(0, 0), proc: 0, start: 0 },
-            Placement { inst: inst(1, 0), proc: 0, start: 2 },
+            Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            },
+            Placement {
+                inst: inst(1, 0),
+                proc: 0,
+                start: 2,
+            },
         ]);
         t.validate(&g, &m).unwrap();
     }
@@ -310,8 +387,16 @@ mod tests {
     #[test]
     fn to_program_orders_by_start() {
         let t = ScheduleTable::new(vec![
-            Placement { inst: inst(1, 0), proc: 0, start: 5 },
-            Placement { inst: inst(0, 0), proc: 0, start: 0 },
+            Placement {
+                inst: inst(1, 0),
+                proc: 0,
+                start: 5,
+            },
+            Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            },
         ]);
         let prog = t.to_program(1);
         assert_eq!(prog.seqs[0], vec![inst(0, 0), inst(1, 0)]);
@@ -321,8 +406,16 @@ mod tests {
     fn grid_render_shows_names_and_continuation() {
         let g = chain();
         let t = ScheduleTable::new(vec![
-            Placement { inst: inst(0, 0), proc: 0, start: 0 },
-            Placement { inst: inst(1, 0), proc: 0, start: 2 },
+            Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            },
+            Placement {
+                inst: inst(1, 0),
+                proc: 0,
+                start: 2,
+            },
         ]);
         let grid = t.render_grid(&g);
         assert!(grid.contains("PE0"));

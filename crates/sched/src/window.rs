@@ -45,7 +45,11 @@ impl WindowDetector {
     /// Window height: `k + 1` (paper §2.3), widened to the largest node
     /// latency so multi-cycle nodes fit the frame.
     pub fn new(g: &Ddg, m: &MachineConfig) -> Self {
-        let max_lat = g.node_ids().map(|v| g.latency(v) as Cycle).max().unwrap_or(1);
+        let max_lat = g
+            .node_ids()
+            .map(|v| g.latency(v) as Cycle)
+            .max()
+            .unwrap_or(1);
         Self {
             height: (m.comm_upper_bound as Cycle + 1).max(max_lat),
             pending: VecDeque::new(),
@@ -122,7 +126,14 @@ mod tests {
     use kn_ddg::{InstanceId, NodeId};
 
     fn pl(node: u32, iter: u32, proc: usize, start: Cycle) -> Placement {
-        Placement { inst: InstanceId { node: NodeId(node), iter }, proc, start }
+        Placement {
+            inst: InstanceId {
+                node: NodeId(node),
+                iter,
+            },
+            proc,
+            start,
+        }
     }
 
     #[test]
@@ -150,7 +161,15 @@ mod tests {
         let mut det = WindowDetector::new(&g, &m);
         let placements = vec![pl(0, 0, 0, 0)];
         // Floor at 1 < height 2: window not final, nothing seen yet.
-        let r = det.on_anchor(&placements, 1, StateStamp { iter: 0, time: 0, index: 0 });
+        let r = det.on_anchor(
+            &placements,
+            1,
+            StateStamp {
+                iter: 0,
+                time: 0,
+                index: 0,
+            },
+        );
         assert!(r.is_none());
         assert_eq!(det.configurations_seen(), 0);
     }
@@ -165,11 +184,14 @@ mod tests {
         let m = MachineConfig::new(1, 1);
         let mut det = WindowDetector::new(&g, &m);
         // x every 2 cycles on P0 — identical windows at t=0, t=2.
-        let placements: Vec<Placement> =
-            (0..6u32).map(|i| pl(0, i, 0, 2 * i as Cycle)).collect();
+        let placements: Vec<Placement> = (0..6u32).map(|i| pl(0, i, 0, 2 * i as Cycle)).collect();
         let mut hit = None;
         for i in 0..6u32 {
-            let stamp = StateStamp { iter: i, time: 2 * i as Cycle, index: i as usize };
+            let stamp = StateStamp {
+                iter: i,
+                time: 2 * i as Cycle,
+                index: i as usize,
+            };
             if let Some(h) = det.on_anchor(&placements, 12, stamp) {
                 hit = Some(h);
                 break;

@@ -1,0 +1,270 @@
+//! Scheduler-equivalence gate for the arena core.
+//!
+//! The optimized greedy in `kn_sched::cyclic` must emit **byte-identical**
+//! `Placement` sequences to the retained map-based reference in
+//! `kn_sched::reference` — the enumeration order is load-bearing for
+//! pattern emergence (paper §2.2, footnote 7), so "equivalent modulo
+//! reordering" is not good enough. Three layers:
+//!
+//! 1. a hardcoded golden snapshot of Figure 7 (catches a simultaneous bug
+//!    in both implementations);
+//! 2. exact arena-vs-reference comparison across the paper workload
+//!    corpus, both detectors;
+//! 3. a property test over random loops and machine shapes.
+
+use kn_sched::reference::{cyclic_schedule_ref, greedy_finite_ref, greedy_unbounded_ref};
+use kn_sched::{
+    cyclic_schedule, greedy_finite, greedy_unbounded, CyclicOptions, DetectorKind, MachineConfig,
+    Pattern, PatternOutcome, Placement,
+};
+use kn_workloads::{random_cyclic_loop, random_loop, RandomLoopConfig, Workload};
+use proptest::prelude::*;
+
+/// The paper workloads whose Cyclic cores the scheduler handles.
+fn corpus() -> Vec<Workload> {
+    vec![
+        kn_workloads::figure3(),
+        kn_workloads::figure7(),
+        kn_workloads::cytron86(),
+        kn_workloads::livermore18(),
+        kn_workloads::livermore5(),
+        kn_workloads::elliptic(),
+        kn_workloads::rate_gap(),
+    ]
+}
+
+/// Cyclic core of a workload graph (what `cyclic_schedule` operates on in
+/// the full pipeline).
+fn cyclic_core(w: &Workload) -> Option<kn_ddg::Ddg> {
+    let c = kn_ddg::classify(&w.graph);
+    if c.cyclic.is_empty() {
+        return None;
+    }
+    Some(w.graph.induced_subgraph(&c.cyclic).0)
+}
+
+fn assert_same_pattern(a: &Pattern, b: &Pattern, ctx: &str) {
+    assert_eq!(a.prologue, b.prologue, "{ctx}: prologue");
+    assert_eq!(a.kernel, b.kernel, "{ctx}: kernel");
+    assert_eq!(
+        a.iters_per_period, b.iters_per_period,
+        "{ctx}: iters/period"
+    );
+    assert_eq!(
+        a.cycles_per_period, b.cycles_per_period,
+        "{ctx}: cycles/period"
+    );
+}
+
+fn assert_same_outcome(a: &PatternOutcome, b: &PatternOutcome, ctx: &str) {
+    match (a, b) {
+        (PatternOutcome::Found(pa), PatternOutcome::Found(pb)) => assert_same_pattern(pa, pb, ctx),
+        (PatternOutcome::CapFallback(fa), PatternOutcome::CapFallback(fb)) => {
+            assert_eq!(fa.block, fb.block, "{ctx}: fallback block");
+            assert_eq!(fa.block_iters, fb.block_iters, "{ctx}: fallback iters");
+            assert_eq!(fa.period, fb.period, "{ctx}: fallback period");
+        }
+        _ => panic!("{ctx}: outcome kinds diverge"),
+    }
+}
+
+#[test]
+fn golden_figure7_unbounded_prefix() {
+    // Hand-pinned first 20 placements of Figure 7 on (p=2, k=2), matching
+    // the paper's Figure 7(d) schedule shape (iteration pairs alternate
+    // processors; steady state 5 cycles / 2 iterations).
+    let golden: [(&str, u32, usize, u64); 20] = [
+        ("A", 0, 0, 0),
+        ("D", 0, 1, 0),
+        ("B", 0, 0, 1),
+        ("E", 0, 1, 1),
+        ("C", 0, 0, 2),
+        ("A", 1, 1, 2),
+        ("D", 1, 0, 3),
+        ("B", 1, 1, 3),
+        ("E", 1, 0, 4),
+        ("C", 1, 1, 4),
+        ("A", 2, 0, 5),
+        ("D", 2, 1, 5),
+        ("B", 2, 0, 6),
+        ("E", 2, 1, 6),
+        ("C", 2, 0, 7),
+        ("A", 3, 1, 7),
+        ("D", 3, 0, 8),
+        ("B", 3, 1, 8),
+        ("E", 3, 0, 9),
+        ("C", 3, 1, 9),
+    ];
+    let g = kn_workloads::figure7().graph;
+    let m = MachineConfig::new(2, 2);
+    for placements in [
+        greedy_unbounded(&g, &m, 20),
+        greedy_unbounded_ref(&g, &m, 20),
+    ] {
+        assert_eq!(placements.len(), 20);
+        for (p, &(name, iter, proc, start)) in placements.iter().zip(&golden) {
+            assert_eq!(g.name(p.inst.node), name);
+            assert_eq!(
+                (p.inst.iter, p.proc, p.start),
+                (iter, proc, start),
+                "{name}{iter}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_figure7_pattern_shape() {
+    let g = kn_workloads::figure7().graph;
+    let m = MachineConfig::new(2, 2);
+    let p = cyclic_schedule(&g, &m, &CyclicOptions::default())
+        .unwrap()
+        .pattern()
+        .cloned()
+        .expect("pattern");
+    assert_eq!(p.prologue.len(), 6);
+    assert_eq!(p.kernel.len(), 10);
+    assert_eq!(p.iters_per_period, 2);
+    assert_eq!(p.cycles_per_period, 5);
+}
+
+#[test]
+fn corpus_placements_identical_to_reference() {
+    for w in corpus() {
+        let Some(g) = cyclic_core(&w) else { continue };
+        let m = MachineConfig::new(w.procs, w.k);
+        // Raw streams, byte for byte.
+        let n = 64 * g.node_count();
+        assert_eq!(
+            greedy_unbounded(&g, &m, n),
+            greedy_unbounded_ref(&g, &m, n),
+            "{}: unbounded stream",
+            w.name
+        );
+        assert_eq!(
+            greedy_finite(&g, &m, 17),
+            greedy_finite_ref(&g, &m, 17),
+            "{}: finite stream",
+            w.name
+        );
+        // Detected outcomes, both detectors.
+        for detector in [
+            DetectorKind::SchedulerState,
+            DetectorKind::ConfigurationWindow,
+        ] {
+            let opts = CyclicOptions {
+                detector,
+                ..CyclicOptions::default()
+            };
+            let a = cyclic_schedule(&g, &m, &opts).unwrap();
+            let b = cyclic_schedule_ref(&g, &m, &opts).unwrap();
+            assert_same_outcome(&a, &b, &format!("{} ({detector:?})", w.name));
+        }
+    }
+}
+
+#[test]
+fn corpus_machine_shape_sweep_identical() {
+    // Sweep processor counts and comm bounds on the two workloads with the
+    // richest cores; every cell must match the reference exactly.
+    for w in [kn_workloads::figure7(), kn_workloads::cytron86()] {
+        let g = cyclic_core(&w).unwrap();
+        for procs in [1usize, 2, 3, 8] {
+            for k in [0u32, 1, 3, 7] {
+                let m = MachineConfig::new(procs, k);
+                let ctx = format!("{} p={procs} k={k}", w.name);
+                let n = 48 * g.node_count();
+                assert_eq!(
+                    greedy_unbounded(&g, &m, n),
+                    greedy_unbounded_ref(&g, &m, n),
+                    "{ctx}: stream"
+                );
+                let a = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+                let b = cyclic_schedule_ref(&g, &m, &CyclicOptions::default()).unwrap();
+                assert_same_outcome(&a, &b, &ctx);
+            }
+        }
+    }
+}
+
+fn cfg(nodes: usize) -> RandomLoopConfig {
+    RandomLoopConfig {
+        nodes,
+        lcds: nodes / 2,
+        sds: nodes / 2,
+        min_latency: 1,
+        max_latency: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte-identical unbounded streams on random Cyclic loops.
+    #[test]
+    fn random_streams_identical(
+        seed in 0u64..4000, nodes in 4usize..14, k in 0u32..5, procs in 1usize..7
+    ) {
+        let g = random_cyclic_loop(seed, &cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let n = 40 * g.node_count();
+        let a = greedy_unbounded(&g, &m, n);
+        let b = greedy_unbounded_ref(&g, &m, n);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Byte-identical finite streams on arbitrary random loops (roots,
+    /// flow-in/flow-out structure included — exercises the self-advance
+    /// and out-of-range retirement paths).
+    #[test]
+    fn random_finite_streams_identical(
+        seed in 0u64..4000, nodes in 4usize..14, k in 0u32..5, procs in 1usize..7
+    ) {
+        let g = random_loop(seed, &cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let a = greedy_finite(&g, &m, 11);
+        let b = greedy_finite_ref(&g, &m, 11);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Identical detected patterns (or identical fallbacks) on random
+    /// Cyclic loops: the fingerprint detector commits at the same anchor
+    /// as the full-state dictionary.
+    #[test]
+    fn random_outcomes_identical(
+        seed in 0u64..4000, nodes in 4usize..12, k in 0u32..4, procs in 1usize..6
+    ) {
+        let g = random_cyclic_loop(seed, &cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let a = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let b = cyclic_schedule_ref(&g, &m, &CyclicOptions::default()).unwrap();
+        match (&a, &b) {
+            (PatternOutcome::Found(pa), PatternOutcome::Found(pb)) => {
+                prop_assert_eq!(&pa.prologue, &pb.prologue);
+                prop_assert_eq!(&pa.kernel, &pb.kernel);
+                prop_assert_eq!(pa.iters_per_period, pb.iters_per_period);
+                prop_assert_eq!(pa.cycles_per_period, pb.cycles_per_period);
+            }
+            (PatternOutcome::CapFallback(fa), PatternOutcome::CapFallback(fb)) => {
+                prop_assert_eq!(&fa.block, &fb.block);
+                prop_assert_eq!(fa.period, fb.period);
+            }
+            _ => prop_assert!(false, "outcome kinds diverge (seed {})", seed),
+        }
+    }
+
+    /// Instantiated schedules agree end to end (the form every downstream
+    /// consumer — simulator, runtime, codegen — actually reads).
+    #[test]
+    fn random_instantiations_identical(
+        seed in 0u64..4000, nodes in 4usize..12, procs in 1usize..6
+    ) {
+        let g = random_cyclic_loop(seed, &cfg(nodes));
+        let m = MachineConfig::new(procs, 2);
+        let a = cyclic_schedule(&g, &m, &CyclicOptions::default()).unwrap();
+        let b = cyclic_schedule_ref(&g, &m, &CyclicOptions::default()).unwrap();
+        let ia: Vec<Placement> = a.instantiate(15);
+        let ib: Vec<Placement> = b.instantiate(15);
+        prop_assert_eq!(ia, ib);
+    }
+}

@@ -10,7 +10,13 @@ use kn_workloads::{random_cyclic_loop, RandomLoopConfig};
 use proptest::prelude::*;
 
 fn cfg(nodes: usize) -> RandomLoopConfig {
-    RandomLoopConfig { nodes, lcds: nodes / 2, sds: nodes / 2, min_latency: 1, max_latency: 3 }
+    RandomLoopConfig {
+        nodes,
+        lcds: nodes / 2,
+        sds: nodes / 2,
+        min_latency: 1,
+        max_latency: 3,
+    }
 }
 
 proptest! {

@@ -14,11 +14,12 @@
 //! `(time, kind, processor/instance ids)`, and message queueing follows
 //! event order, so results are reproducible across runs and platforms.
 
+use crate::dense::DenseProgram;
 use crate::{ProcStats, SimResult, TrafficModel};
 use kn_ddg::{Ddg, InstanceId};
 use kn_sched::{ArrivalConvention, Cycle, MachineConfig, Program, ProgramError};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Interconnect capacity model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -58,26 +59,30 @@ pub fn simulate_event(
     traffic: &TrafficModel,
     link: LinkModel,
 ) -> Result<SimResult, ProgramError> {
-    let assign = prog.assignment();
-    if assign.len() != prog.len() {
-        return Err(ProgramError::DuplicateInstance);
-    }
+    // Dense per-instance tables indexed by `node * iters + iter` — the
+    // bounds are known up front, so no `HashMap<InstanceId, _>` is needed
+    // anywhere in the engine.
+    let dense = DenseProgram::build(prog, g)?;
     let nprocs = prog.processors();
     let total = prog.len();
 
     // Per-instance dependence bookkeeping.
-    let mut state: HashMap<InstanceId, InstState> = HashMap::with_capacity(total);
+    let mut state: Vec<InstState> = vec![InstState { waits: 0, ready: 0 }; dense.table_len()];
     for seq in prog.seqs.iter() {
         for &inst in seq {
             let waits = g
                 .in_edges(inst.node)
                 .filter(|(_, e)| {
                     e.distance <= inst.iter
-                        && assign
-                            .contains_key(&InstanceId { node: e.src, iter: inst.iter - e.distance })
+                        && dense
+                            .proc_of(InstanceId {
+                                node: e.src,
+                                iter: inst.iter - e.distance,
+                            })
+                            .is_some()
                 })
                 .count() as u32;
-            state.insert(inst, InstState { waits, ready: 0 });
+            state[dense.idx(inst)].waits = waits;
         }
     }
 
@@ -85,45 +90,56 @@ pub fn simulate_event(
     let mut busy = vec![false; nprocs];
     let mut clock = vec![0 as Cycle; nprocs];
     let mut stats: Vec<ProcStats> = vec![ProcStats::default(); nprocs];
-    let mut start_times: HashMap<InstanceId, (usize, Cycle)> = HashMap::with_capacity(total);
-    let mut link_free: HashMap<(usize, usize), Cycle> = HashMap::new();
+    // `(proc, start)` per instance; `proc == u32::MAX` marks "not started".
+    let mut start_times: Vec<(u32, Cycle)> = vec![(u32::MAX, 0); dense.table_len()];
+    // Directed-pair link frontier, `p * nprocs + sp`.
+    let mut link_free: Vec<Cycle> = vec![0; nprocs * nprocs];
     let mut heap: BinaryHeap<Event> = BinaryHeap::new();
     let mut messages = 0u64;
     let mut comm_cycles = 0u64;
     let mut done = 0usize;
 
     // Try to issue the head instance of processor `p` at time `now`.
-    // Returns the Finish event if it started.
     let try_start = |p: usize,
                      now: Cycle,
                      head: &mut [usize],
                      busy: &mut [bool],
                      clock: &mut [Cycle],
-                     state: &HashMap<InstanceId, InstState>,
-                     start_times: &mut HashMap<InstanceId, (usize, Cycle)>,
+                     state: &[InstState],
+                     start_times: &mut [(u32, Cycle)],
                      stats: &mut [ProcStats],
                      heap: &mut BinaryHeap<Event>| {
         if busy[p] || head[p] >= prog.seqs[p].len() {
             return;
         }
         let inst = prog.seqs[p][head[p]];
-        let st = state[&inst];
+        let st = state[dense.idx(inst)];
         if st.waits > 0 {
             return;
         }
         let start = clock[p].max(st.ready).max(now);
         let lat = g.latency(inst.node) as Cycle;
-        start_times.insert(inst, (p, start));
+        start_times[dense.idx(inst)] = (p as u32, start);
         stats[p].busy += lat;
         stats[p].executed += 1;
         busy[p] = true;
-        heap.push(Reverse((start + lat, EventKind::Finish(p, inst.node.0, inst.iter))));
+        heap.push(Reverse((
+            start + lat,
+            EventKind::Finish(p, inst.node.0, inst.iter),
+        )));
     };
 
     // Seed: every processor attempts its first instance at time 0.
     for p in 0..nprocs {
         try_start(
-            p, 0, &mut head, &mut busy, &mut clock, &state, &mut start_times, &mut stats,
+            p,
+            0,
+            &mut head,
+            &mut busy,
+            &mut clock,
+            &state,
+            &mut start_times,
+            &mut stats,
             &mut heap,
         );
     }
@@ -132,7 +148,10 @@ pub fn simulate_event(
     while let Some(Reverse((now, kind))) = heap.pop() {
         match kind {
             EventKind::Finish(p, node, iter) => {
-                let inst = InstanceId { node: kn_ddg::NodeId(node), iter };
+                let inst = InstanceId {
+                    node: kn_ddg::NodeId(node),
+                    iter,
+                };
                 clock[p] = now;
                 stats[p].finish = now;
                 busy[p] = false;
@@ -142,28 +161,39 @@ pub fn simulate_event(
 
                 // Release consumers.
                 for (eid, e) in g.out_edges(inst.node) {
-                    let succ = InstanceId { node: e.dst, iter: inst.iter + e.distance };
-                    let Some(&sp) = assign.get(&succ) else { continue };
+                    let succ = InstanceId {
+                        node: e.dst,
+                        iter: inst.iter + e.distance,
+                    };
+                    let Some(sp) = dense.proc_of(succ) else {
+                        continue;
+                    };
                     if sp == p {
-                        let st = state.get_mut(&succ).expect("in program");
+                        let st = &mut state[dense.idx(succ)];
                         st.waits -= 1;
                         st.ready = st.ready.max(now);
                         if st.waits == 0 {
                             try_start(
-                                p, now, &mut head, &mut busy, &mut clock, &state,
-                                &mut start_times, &mut stats, &mut heap,
+                                p,
+                                now,
+                                &mut head,
+                                &mut busy,
+                                &mut clock,
+                                &state,
+                                &mut start_times,
+                                &mut stats,
+                                &mut heap,
                             );
                         }
                     } else {
                         // Transmit. Send order on a link = event order.
-                        let cost =
-                            (m.edge_cost(e) + traffic.fluctuation(eid, succ.iter)).max(1);
+                        let cost = (m.edge_cost(e) + traffic.fluctuation(eid, succ.iter)).max(1);
                         messages += 1;
                         comm_cycles += cost as u64;
                         let depart = match link {
                             LinkModel::Unlimited => now,
                             LinkModel::SingleMessage => {
-                                let free = link_free.entry((p, sp)).or_insert(0);
+                                let free = &mut link_free[p * nprocs + sp];
                                 let depart = (*free).max(now);
                                 *free = depart + cost as Cycle;
                                 depart
@@ -180,20 +210,37 @@ pub fn simulate_event(
                 }
                 // This processor may proceed with its next instance.
                 try_start(
-                    p, now, &mut head, &mut busy, &mut clock, &state, &mut start_times,
-                    &mut stats, &mut heap,
+                    p,
+                    now,
+                    &mut head,
+                    &mut busy,
+                    &mut clock,
+                    &state,
+                    &mut start_times,
+                    &mut stats,
+                    &mut heap,
                 );
             }
             EventKind::Arrive(node, iter) => {
-                let inst = InstanceId { node: kn_ddg::NodeId(node), iter };
-                let p = assign[&inst];
-                let st = state.get_mut(&inst).expect("in program");
+                let inst = InstanceId {
+                    node: kn_ddg::NodeId(node),
+                    iter,
+                };
+                let p = dense.proc_of(inst).expect("in program");
+                let st = &mut state[dense.idx(inst)];
                 st.waits -= 1;
                 st.ready = st.ready.max(now);
                 if st.waits == 0 {
                     try_start(
-                        p, now, &mut head, &mut busy, &mut clock, &state, &mut start_times,
-                        &mut stats, &mut heap,
+                        p,
+                        now,
+                        &mut head,
+                        &mut busy,
+                        &mut clock,
+                        &state,
+                        &mut start_times,
+                        &mut stats,
+                        &mut heap,
                     );
                 }
             }
@@ -203,7 +250,13 @@ pub fn simulate_event(
     if done != total {
         return Err(ProgramError::Deadlock { timed: done, total });
     }
-    Ok(SimResult { start: start_times, makespan, messages, comm_cycles, procs: stats })
+    Ok(SimResult {
+        start: dense.export_starts(prog, &start_times),
+        makespan,
+        messages,
+        comm_cycles,
+        procs: stats,
+    })
 }
 
 #[cfg(test)]
@@ -280,7 +333,10 @@ mod tests {
         let prog = Program {
             seqs: vec![
                 vec![InstanceId { node: src, iter: 0 }],
-                sinks.iter().map(|&n| InstanceId { node: n, iter: 0 }).collect(),
+                sinks
+                    .iter()
+                    .map(|&n| InstanceId { node: n, iter: 0 })
+                    .collect(),
             ],
             iters: 1,
         };
@@ -322,7 +378,13 @@ mod tests {
             iters: 1,
         };
         assert!(matches!(
-            simulate_event(&prog, &g, &m, &TrafficModel::stable(0), LinkModel::Unlimited),
+            simulate_event(
+                &prog,
+                &g,
+                &m,
+                &TrafficModel::stable(0),
+                LinkModel::Unlimited
+            ),
             Err(ProgramError::Deadlock { .. })
         ));
     }

@@ -14,6 +14,7 @@
 //! Fluctuation is sampled *per message* by hashing `(seed, edge, iteration)`
 //! so results are deterministic and independent of event-processing order.
 
+mod dense;
 pub mod event;
 
 pub use event::{simulate_event, LinkModel};
@@ -144,13 +145,12 @@ pub fn simulate(
     m: &MachineConfig,
     traffic: &TrafficModel,
 ) -> Result<SimResult, ProgramError> {
-    let assign = prog.assignment();
-    if assign.len() != prog.len() {
-        return Err(ProgramError::DuplicateInstance);
-    }
+    // Dense per-instance tables (`node * iters + iter`); see `dense`.
+    let d = dense::DenseProgram::build(prog, g)?;
     let total = prog.len();
     let nprocs = prog.processors();
-    let mut start: HashMap<InstanceId, (usize, Cycle)> = HashMap::with_capacity(total);
+    // `(proc, start)` per instance; `proc == u32::MAX` marks "not timed".
+    let mut start: Vec<(u32, Cycle)> = vec![(u32::MAX, 0); d.table_len()];
     let mut head = vec![0usize; nprocs];
     let mut clock = vec![0 as Cycle; nprocs];
     let mut stats: Vec<ProcStats> = vec![ProcStats::default(); nprocs];
@@ -170,23 +170,25 @@ pub fn simulate(
                     if e.distance > inst.iter {
                         continue;
                     }
-                    let pred = InstanceId { node: e.src, iter: inst.iter - e.distance };
-                    if assign.contains_key(&pred) {
-                        match start.get(&pred) {
-                            Some(&(sp, st)) => {
+                    let pred = InstanceId {
+                        node: e.src,
+                        iter: inst.iter - e.distance,
+                    };
+                    if d.proc_of(pred).is_some() {
+                        match start[d.idx(pred)] {
+                            (sp, st) if sp != u32::MAX => {
                                 let fin = m.finish(st, g.latency(pred.node));
-                                let r = if sp == p {
+                                let r = if sp as usize == p {
                                     m.local_ready(fin)
                                 } else {
-                                    let cost = m.edge_cost(e)
-                                        + traffic.fluctuation(eid, inst.iter);
+                                    let cost = m.edge_cost(e) + traffic.fluctuation(eid, inst.iter);
                                     messages += 1;
                                     comm_cycles += cost as u64;
                                     m.remote_ready(fin, cost)
                                 };
                                 ready = ready.max(r);
                             }
-                            None => {
+                            _ => {
                                 ok = false;
                                 break;
                             }
@@ -198,7 +200,7 @@ pub fn simulate(
                 }
                 let lat = g.latency(inst.node) as Cycle;
                 let fin = ready + lat;
-                start.insert(inst, (p, ready));
+                start[d.idx(inst)] = (p as u32, ready);
                 clock[p] = fin;
                 stats[p].busy += lat;
                 stats[p].finish = fin;
@@ -210,7 +212,13 @@ pub fn simulate(
             }
         }
         if timed == total {
-            return Ok(SimResult { start, makespan, messages, comm_cycles, procs: stats });
+            return Ok(SimResult {
+                start: d.export_starts(prog, &start),
+                makespan,
+                messages,
+                comm_cycles,
+                procs: stats,
+            });
         }
         if !progress {
             return Err(ProgramError::Deadlock { timed, total });
@@ -222,9 +230,7 @@ pub fn simulate(
 mod tests {
     use super::*;
     use kn_ddg::DdgBuilder;
-    use kn_sched::{
-        cyclic_schedule, static_times, CyclicOptions, Placement, ScheduleTable,
-    };
+    use kn_sched::{cyclic_schedule, static_times, CyclicOptions, Placement, ScheduleTable};
 
     fn figure7() -> Ddg {
         let mut b = DdgBuilder::new();

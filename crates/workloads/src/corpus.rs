@@ -34,18 +34,27 @@ pub struct Workload {
 /// ```
 pub fn figure7_body() -> LoopBody {
     LoopBody::new(vec![
-        assign("A", "A", 0, binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1))),
+        assign(
+            "A",
+            "A",
+            0,
+            binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)),
+        ),
         assign("B", "B", 0, arr("A")),
         assign("C", "C", 0, arr("B")),
-        assign("D", "D", 0, binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1))),
+        assign(
+            "D",
+            "D",
+            0,
+            binop(BinOp::Mul, arr_at("D", -1), arr_at("C", -1)),
+        ),
         assign("E", "E", 0, arr("D")),
     ])
 }
 
 /// Paper Figure 7 (exact; k = 2, two processors).
 pub fn figure7() -> Workload {
-    let (graph, _) =
-        kn_ir::lower_loop(&figure7_body(), &Default::default()).expect("legal body");
+    let (graph, _) = kn_ir::lower_loop(&figure7_body(), &Default::default()).expect("legal body");
     Workload {
         name: "figure7",
         graph,
@@ -169,9 +178,23 @@ pub fn cytron86() -> Workload {
         b.dep(last, into);
         last
     };
-    chain(&mut b, &[("n6", 1), ("n7", 2), ("n8", 1), ("n9", 1), ("n10", 1)], n0);
-    let tail =
-        chain(&mut b, &[("n11", 1), ("n12", 2), ("n13", 1), ("n14", 1), ("n15", 1), ("n16", 1)], n3);
+    chain(
+        &mut b,
+        &[("n6", 1), ("n7", 2), ("n8", 1), ("n9", 1), ("n10", 1)],
+        n0,
+    );
+    let tail = chain(
+        &mut b,
+        &[
+            ("n11", 1),
+            ("n12", 2),
+            ("n13", 1),
+            ("n14", 1),
+            ("n15", 1),
+            ("n16", 1),
+        ],
+        n3,
+    );
     // The carried producer n4 also consumes the second chain (as Cytron's
     // example pins its recurrence source behind most of the body): in the
     // natural statement order n4 lands near the end while its carried
@@ -276,7 +299,11 @@ pub fn elliptic() -> Workload {
     for i in 0..20 {
         let is_mul = matches!(i, 2 | 5 | 8 | 11 | 14 | 16 | 18);
         let name = format!("b{}", i + 1);
-        let id = if is_mul { b.node_lat(name, 2) } else { b.node_lat(name, 1) };
+        let id = if is_mul {
+            b.node_lat(name, 2)
+        } else {
+            b.node_lat(name, 1)
+        };
         if let Some(&prev) = backbone.last() {
             b.dep(prev, id);
         }
@@ -324,13 +351,19 @@ pub fn elliptic() -> Workload {
 pub fn livermore5() -> Workload {
     let body = LoopBody::new(vec![
         Stmt::Assign(Assign {
-            target: Target::Array { array: "T".into(), offset: 0 },
+            target: Target::Array {
+                array: "T".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Sub, arr("Y"), arr_at("X", -1)),
             latency: 1,
             label: Some("sub".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "X".into(), offset: 0 },
+            target: Target::Array {
+                array: "X".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Mul, arr("Z"), arr("T")),
             latency: 2,
             label: Some("mul".into()),
@@ -364,31 +397,50 @@ pub fn livermore5() -> Workload {
 pub fn livermore23() -> Workload {
     let body = LoopBody::new(vec![
         Stmt::Assign(Assign {
-            target: Target::Array { array: "M1".into(), offset: 0 },
+            target: Target::Array {
+                array: "M1".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Mul, arr_at("ZA", 1), arr("ZR")),
             latency: 2,
             label: Some("m1".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "M2".into(), offset: 0 },
+            target: Target::Array {
+                array: "M2".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Mul, arr_at("ZA", -1), arr("ZB")),
             latency: 2,
             label: Some("m2".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "QA".into(), offset: 0 },
-            rhs: binop(BinOp::Add, binop(BinOp::Add, arr("M1"), arr("M2")), arr("ZE")),
+            target: Target::Array {
+                array: "QA".into(),
+                offset: 0,
+            },
+            rhs: binop(
+                BinOp::Add,
+                binop(BinOp::Add, arr("M1"), arr("M2")),
+                arr("ZE"),
+            ),
             latency: 2,
             label: Some("qa".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "DD".into(), offset: 0 },
+            target: Target::Array {
+                array: "DD".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Sub, arr("QA"), arr("ZA")),
             latency: 1,
             label: Some("dd".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "ZA".into(), offset: 0 },
+            target: Target::Array {
+                array: "ZA".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Add, arr("ZA"), arr("DD")),
             latency: 1,
             label: Some("up".into()),
@@ -538,7 +590,11 @@ mod tests {
             .out_edges(find("m1"))
             .any(|(_, e)| e.dst == find("up") && e.distance == 1));
         // Recurrence: up -> m2(2) -> qa(2) -> dd(1) -> up(1): II 6.
-        assert!((recurrence_bound(g) - 6.0).abs() < 1e-9, "{}", recurrence_bound(g));
+        assert!(
+            (recurrence_bound(g) - 6.0).abs() < 1e-9,
+            "{}",
+            recurrence_bound(g)
+        );
         // m1 only *feeds* the recurrence (its anti edge points forward),
         // so classification puts it in Flow-in; the other four are Cyclic.
         let cls = classify(g);

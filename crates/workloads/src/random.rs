@@ -13,13 +13,72 @@
 //! sequence) each sd is oriented from the lower-numbered to the
 //! higher-numbered node — the same order the statements would appear in
 //! source. Loop-carried links go in any direction, including self-loops.
-//! The paper's exact RNG is unknown; we use `rand::StdRng` seeded with the
-//! loop number (1..=25 for Table 1), which preserves every distributional
-//! property the experiment relies on.
+//! The paper's exact RNG is unknown; we use a splitmix64 stream seeded with
+//! the loop number (1..=25 for Table 1), which preserves every
+//! distributional property the experiment relies on while keeping the
+//! crate dependency-free (the build container has no crates registry).
 
 use kn_ddg::{classify, Ddg, DdgBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Deterministic splitmix64 generator standing in for `rand::StdRng`.
+struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // One warm-up mix so nearby seeds (1..=25) diverge immediately.
+        let mut r = StdRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        };
+        r.next_u64();
+        r
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in a `start..end` or `start..=end` integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: RangeValue,
+        R: std::ops::RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&x) => x.to_u64(),
+            std::ops::Bound::Excluded(&x) => x.to_u64() + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&x) => x.to_u64() + 1,
+            std::ops::Bound::Excluded(&x) => x.to_u64(),
+            std::ops::Bound::Unbounded => u64::MAX,
+        };
+        assert!(hi > lo, "empty range");
+        T::from_u64(lo + self.next_u64() % (hi - lo))
+    }
+}
+
+/// Integer types [`StdRng::gen_range`] can produce.
+trait RangeValue: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(x: u64) -> Self;
+}
+
+macro_rules! range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(x: u64) -> Self { x as $t }
+        }
+    )*};
+}
+range_value!(u32, usize);
 
 /// Generator configuration (paper defaults).
 #[derive(Clone, Copy, Debug)]
@@ -33,7 +92,13 @@ pub struct RandomLoopConfig {
 
 impl Default for RandomLoopConfig {
     fn default() -> Self {
-        Self { nodes: 40, lcds: 20, sds: 20, min_latency: 1, max_latency: 3 }
+        Self {
+            nodes: 40,
+            lcds: 20,
+            sds: 20,
+            min_latency: 1,
+            max_latency: 3,
+        }
     }
 }
 
@@ -42,7 +107,12 @@ pub fn random_loop(seed: u64, cfg: &RandomLoopConfig) -> Ddg {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = DdgBuilder::new();
     let ids: Vec<_> = (0..cfg.nodes)
-        .map(|i| b.node_lat(format!("v{i}"), rng.gen_range(cfg.min_latency..=cfg.max_latency)))
+        .map(|i| {
+            b.node_lat(
+                format!("v{i}"),
+                rng.gen_range(cfg.min_latency..=cfg.max_latency),
+            )
+        })
         .collect();
     for _ in 0..cfg.sds {
         // Two distinct nodes, oriented by statement order.
@@ -142,7 +212,13 @@ mod tests {
 
     #[test]
     fn small_config_still_works() {
-        let cfg = RandomLoopConfig { nodes: 6, lcds: 4, sds: 4, min_latency: 1, max_latency: 2 };
+        let cfg = RandomLoopConfig {
+            nodes: 6,
+            lcds: 4,
+            sds: 4,
+            min_latency: 1,
+            max_latency: 2,
+        };
         let g = random_cyclic_loop(3, &cfg);
         assert!(g.node_count() >= 1);
     }

@@ -42,15 +42,23 @@ fn main() {
     let mut table = metrics::TextTable::new(&["mm", "ours Sp", "DOACROSS Sp", "ratio"]);
     for mm in [1u32, 2, 3, 5] {
         let traffic = TrafficModel { mm, seed: 18 };
-        let o = sim::simulate(&ours.program, &w.graph, &m, &traffic).unwrap().makespan;
-        let d = sim::simulate(&da.program, &w.graph, &m, &traffic).unwrap().makespan;
+        let o = sim::simulate(&ours.program, &w.graph, &m, &traffic)
+            .unwrap()
+            .makespan;
+        let d = sim::simulate(&da.program, &w.graph, &m, &traffic)
+            .unwrap()
+            .makespan;
         let so = metrics::percentage_parallelism_clamped(s, o);
         let sd = metrics::percentage_parallelism_clamped(s, d);
         table.row(vec![
             mm.to_string(),
             metrics::f1(so),
             metrics::f1(sd),
-            if sd > 0.0 { format!("{:.2}", so / sd) } else { "inf".into() },
+            if sd > 0.0 {
+                format!("{:.2}", so / sd)
+            } else {
+                "inf".into()
+            },
         ]);
     }
     println!("{}", table.render());

@@ -51,11 +51,17 @@ fn main() {
     // --- paper-style grid for the first iterations ---
     let small = sched::schedule_loop(&w.graph, &machine, 5, &Default::default()).unwrap();
     println!("\nschedule grid (compare paper Figure 7(d)):");
-    println!("{}", ScheduleTable::from_timed(&small.timing).render_grid(&w.graph));
+    println!(
+        "{}",
+        ScheduleTable::from_timed(&small.timing).render_grid(&w.graph)
+    );
 
     // --- transformed loop (paper Figure 7(e)) ---
     println!("transformed loop:");
-    println!("{}", sched::codegen::render_parallel_loop(&w.graph, pattern, "N"));
+    println!(
+        "{}",
+        sched::codegen::render_parallel_loop(&w.graph, pattern, "N")
+    );
 
     // --- run it for real, on threads ---
     let fns: Vec<NodeFn> = vec![
@@ -68,14 +74,22 @@ fn main() {
     let sem = Semantics::new(fns);
     let par = run_threaded(&w.graph, &sem, &result.schedule.program).expect("runs");
     let seq = run_sequential(&w.graph, &sem, iters);
-    assert_eq!(par, seq, "parallel execution must match sequential bit for bit");
+    assert_eq!(
+        par, seq,
+        "parallel execution must match sequential bit for bit"
+    );
     println!("threaded execution over {iters} iterations: values identical to sequential ✓");
 
     // --- compare against DOACROSS ---
     let s = sim::sequential_time(&w.graph, iters);
-    let ours = sim::simulate(&result.schedule.program, &w.graph, &machine, &TrafficModel::stable(0))
-        .unwrap()
-        .makespan;
+    let ours = sim::simulate(
+        &result.schedule.program,
+        &w.graph,
+        &machine,
+        &TrafficModel::stable(0),
+    )
+    .unwrap()
+    .makespan;
     let da = doacross::doacross_schedule(&w.graph, &machine, iters, &Default::default())
         .unwrap()
         .makespan();

@@ -16,7 +16,10 @@ fn show(w: &workloads::Workload) {
     if let PatternOutcome::Found(p) = outcome {
         let p = p.map_nodes(|v| back[v.index()]);
         println!("=== {} ===", w.name);
-        println!("{}", sched::codegen::render_parallel_loop(&w.graph, &p, "N"));
+        println!(
+            "{}",
+            sched::codegen::render_parallel_loop(&w.graph, &p, "N")
+        );
     }
 }
 

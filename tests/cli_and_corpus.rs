@@ -6,10 +6,7 @@ use mimd_loop_par::ddg::{parse_text, render_text};
 use mimd_loop_par::prelude::*;
 use mimd_loop_par::workloads as wl;
 
-fn graphs_isomorphic_by_name(
-    a: &mimd_loop_par::ddg::Ddg,
-    b: &mimd_loop_par::ddg::Ddg,
-) -> bool {
+fn graphs_isomorphic_by_name(a: &mimd_loop_par::ddg::Ddg, b: &mimd_loop_par::ddg::Ddg) -> bool {
     if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
         return false;
     }
@@ -17,14 +14,22 @@ fn graphs_isomorphic_by_name(
         .edge_ids()
         .map(|e| {
             let e = a.edge(e);
-            (a.name(e.src).to_string(), a.name(e.dst).to_string(), e.distance)
+            (
+                a.name(e.src).to_string(),
+                a.name(e.dst).to_string(),
+                e.distance,
+            )
         })
         .collect();
     let mut be: Vec<(String, String, u32)> = b
         .edge_ids()
         .map(|e| {
             let e = b.edge(e);
-            (b.name(e.src).to_string(), b.name(e.dst).to_string(), e.distance)
+            (
+                b.name(e.src).to_string(),
+                b.name(e.dst).to_string(),
+                e.distance,
+            )
         })
         .collect();
     ae.sort();
@@ -47,21 +52,25 @@ fn corpus_figure7_matches_builtin() {
 
 #[test]
 fn corpus_rate_gap_matches_builtin_and_falls_back() {
-    let text =
-        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/rate_gap.ddg"))
-            .expect("corpus file present");
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/rate_gap.ddg"))
+        .expect("corpus file present");
     let g = parse_text(&text).unwrap();
     assert!(graphs_isomorphic_by_name(&g, &wl::rate_gap().graph));
     let m = MachineConfig::new(2, 1);
     let out = cyclic_schedule(&g, &m, &Default::default()).unwrap();
-    assert!(out.pattern().is_none(), "the counter-example never patterns");
+    assert!(
+        out.pattern().is_none(),
+        "the counter-example never patterns"
+    );
 }
 
 #[test]
 fn corpus_livermore5_schedules_at_recurrence_bound() {
-    let text =
-        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/livermore5.ddg"))
-            .expect("corpus file present");
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/corpus/livermore5.ddg"
+    ))
+    .expect("corpus file present");
     let g = parse_text(&text).unwrap();
     let m = MachineConfig::new(4, 2);
     let out = cyclic_schedule(&g, &m, &Default::default()).unwrap();

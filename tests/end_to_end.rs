@@ -27,7 +27,12 @@ fn every_workload_schedules_and_validates() {
         s.program.check_complete(&w.graph).expect(w.name);
         let table = ScheduleTable::from_timed(&s.timing);
         table.validate(&w.graph, &m).expect(w.name);
-        assert_eq!(table.len(), w.graph.node_count() * iters as usize, "{}", w.name);
+        assert_eq!(
+            table.len(),
+            w.graph.node_count() * iters as usize,
+            "{}",
+            w.name
+        );
     }
 }
 
@@ -85,7 +90,9 @@ fn doacross_baseline_schedules_and_validates_everywhere() {
     for w in corpus() {
         let m = MachineConfig::new(4, w.k);
         let s = doacross_schedule(&w.graph, &m, iters, &Default::default()).expect(w.name);
-        ScheduleTable::from_timed(&s.timing).validate(&w.graph, &m).expect(w.name);
+        ScheduleTable::from_timed(&s.timing)
+            .validate(&w.graph, &m)
+            .expect(w.name);
         // DOACROSS runs every iteration serially: per-processor makespan is
         // at least (#iterations on that proc) * body latency.
         let per_proc = iters as u64 / 4 * w.graph.body_latency();
@@ -104,7 +111,11 @@ fn doall_control_reaches_full_processor_speedup() {
     // Both techniques parallelize a DOALL loop perfectly (no carried deps,
     // 4 independent chains over 4 procs).
     assert_eq!(da.makespan(), s / 4);
-    assert!(ours.makespan() <= s / 2, "ours {} vs seq {s}", ours.makespan());
+    assert!(
+        ours.makespan() <= s / 2,
+        "ours {} vs seq {s}",
+        ours.makespan()
+    );
 }
 
 #[test]

@@ -34,7 +34,10 @@ fn livermore23_ours_beats_doacross() {
     let sp_ours = mimd_loop_par::metrics::percentage_parallelism_clamped(s, ours.makespan());
     let sp_da = mimd_loop_par::metrics::percentage_parallelism_clamped(s, da.makespan());
     assert!(sp_ours > sp_da, "{sp_ours} vs {sp_da}");
-    assert!(sp_ours > 10.0, "the m1 side work overlaps the recurrence: {sp_ours}");
+    assert!(
+        sp_ours > 10.0,
+        "the m1 side work overlaps the recurrence: {sp_ours}"
+    );
 }
 
 /// Both extension kernels execute with *real arithmetic* derived from
@@ -61,13 +64,19 @@ fn livermore5_body() -> ir::LoopBody {
     use ir::*;
     LoopBody::new(vec![
         Stmt::Assign(Assign {
-            target: Target::Array { array: "T".into(), offset: 0 },
+            target: Target::Array {
+                array: "T".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Sub, arr("Y"), arr_at("X", -1)),
             latency: 1,
             label: Some("sub".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "X".into(), offset: 0 },
+            target: Target::Array {
+                array: "X".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Mul, arr("Z"), arr("T")),
             latency: 2,
             label: Some("mul".into()),
@@ -79,31 +88,50 @@ fn livermore23_body() -> ir::LoopBody {
     use ir::*;
     LoopBody::new(vec![
         Stmt::Assign(Assign {
-            target: Target::Array { array: "M1".into(), offset: 0 },
+            target: Target::Array {
+                array: "M1".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Mul, arr_at("ZA", 1), arr("ZR")),
             latency: 2,
             label: Some("m1".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "M2".into(), offset: 0 },
+            target: Target::Array {
+                array: "M2".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Mul, arr_at("ZA", -1), arr("ZB")),
             latency: 2,
             label: Some("m2".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "QA".into(), offset: 0 },
-            rhs: binop(BinOp::Add, binop(BinOp::Add, arr("M1"), arr("M2")), arr("ZE")),
+            target: Target::Array {
+                array: "QA".into(),
+                offset: 0,
+            },
+            rhs: binop(
+                BinOp::Add,
+                binop(BinOp::Add, arr("M1"), arr("M2")),
+                arr("ZE"),
+            ),
             latency: 2,
             label: Some("qa".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "DD".into(), offset: 0 },
+            target: Target::Array {
+                array: "DD".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Sub, arr("QA"), arr("ZA")),
             latency: 1,
             label: Some("dd".into()),
         }),
         Stmt::Assign(Assign {
-            target: Target::Array { array: "ZA".into(), offset: 0 },
+            target: Target::Array {
+                array: "ZA".into(),
+                offset: 0,
+            },
             rhs: binop(BinOp::Add, arr("ZA"), arr("DD")),
             latency: 1,
             label: Some("up".into()),
@@ -122,7 +150,11 @@ fn contention_hits_doacross_harder_on_cytron86() {
     let ours = schedule_loop(&w.graph, &m, iters, &Default::default()).unwrap();
     let da = doacross_schedule(&w.graph, &m, iters, &Default::default()).unwrap();
     let t = TrafficModel::stable(0);
-    let run = |prog, link| simulate_event(prog, &w.graph, &m, &t, link).unwrap().makespan;
+    let run = |prog, link| {
+        simulate_event(prog, &w.graph, &m, &t, link)
+            .unwrap()
+            .makespan
+    };
     let ours_slowdown = run(&ours.program, LinkModel::SingleMessage) as f64
         / run(&ours.program, LinkModel::Unlimited) as f64;
     let da_slowdown = run(&da.program, LinkModel::SingleMessage) as f64

@@ -9,7 +9,11 @@ use mimd_loop_par::workloads as wl;
 #[test]
 fn figure7_percentages() {
     let r = figures::figure_report(&wl::figure7(), 200);
-    assert!(r.ours_sp >= 40.0, "paper: 40; strict greedy reaches 50: {}", r.ours_sp);
+    assert!(
+        r.ours_sp >= 40.0,
+        "paper: 40; strict greedy reaches 50: {}",
+        r.ours_sp
+    );
     assert_eq!(r.doacross_sp, 0.0);
     // Figure 8(b): even optimal reordering does not help DOACROSS here.
     assert_eq!(r.doacross_best_sp, 0.0);
@@ -21,9 +25,20 @@ fn figure7_percentages() {
 #[test]
 fn cytron86_percentages() {
     let r = figures::figure_report(&wl::cytron86(), 200);
-    assert!((60.0..=80.0).contains(&r.ours_sp), "paper 72.7, got {}", r.ours_sp);
-    assert!((15.0..=45.0).contains(&r.doacross_sp), "paper 31.8, got {}", r.doacross_sp);
-    assert!(r.ours_sp / r.doacross_sp.max(1.0) > 1.8, "ours decisively ahead");
+    assert!(
+        (60.0..=80.0).contains(&r.ours_sp),
+        "paper 72.7, got {}",
+        r.ours_sp
+    );
+    assert!(
+        (15.0..=45.0).contains(&r.doacross_sp),
+        "paper 31.8, got {}",
+        r.doacross_sp
+    );
+    assert!(
+        r.ours_sp / r.doacross_sp.max(1.0) > 1.8,
+        "ours decisively ahead"
+    );
 }
 
 /// §3, Figure 11 (Livermore 18): "49.4 and 30.9, while those by DOACROSS
@@ -32,14 +47,23 @@ fn cytron86_percentages() {
 fn livermore18_percentages() {
     let r = figures::figure_report(&wl::livermore18(), 200);
     assert!(r.ours_sp > 40.0, "paper 49.4, got {}", r.ours_sp);
-    assert!(r.doacross_sp < r.ours_sp / 1.8, "paper gap ≈ 4x, got {} vs {}", r.ours_sp, r.doacross_sp);
+    assert!(
+        r.doacross_sp < r.ours_sp / 1.8,
+        "paper gap ≈ 4x, got {} vs {}",
+        r.ours_sp,
+        r.doacross_sp
+    );
 }
 
 /// §3, Figure 12 (elliptic filter): ours 30.9, DOACROSS 0.
 #[test]
 fn elliptic_percentages() {
     let r = figures::figure_report(&wl::elliptic(), 200);
-    assert!((18.0..=40.0).contains(&r.ours_sp), "paper 30.9, got {}", r.ours_sp);
+    assert!(
+        (18.0..=40.0).contains(&r.ours_sp),
+        "paper 30.9, got {}",
+        r.ours_sp
+    );
     assert_eq!(r.doacross_sp, 0.0, "paper: DOACROSS gets nothing");
 }
 
@@ -56,7 +80,11 @@ fn cytron86_structure() {
     assert_eq!(p.kernel_processors(), 2);
     // Figure 5 arithmetic: L = 13 (latency), H = 6 -> a handful of extra
     // Flow-in processors; the paper's Figure 10 shows 5 subloops total.
-    assert!(s.processors_used() <= 5, "at most 5 subloops: {}", s.processors_used());
+    assert!(
+        s.processors_used() <= 5,
+        "at most 5 subloops: {}",
+        s.processors_used()
+    );
 }
 
 /// §4, Table 1: ours beats DOACROSS on (nearly) every loop; the average
@@ -84,7 +112,11 @@ fn table1_shape() {
     assert!(r.factor[0] > 1.8, "factor at mm=1: {}", r.factor[0]);
     let last = *r.factor.last().unwrap();
     assert!(last > 1.8, "factor at mm=5: {last}");
-    assert!(last >= r.factor[0] * 0.75, "robustness: {} -> {last}", r.factor[0]);
+    assert!(
+        last >= r.factor[0] * 0.75,
+        "robustness: {} -> {last}",
+        r.factor[0]
+    );
     // Averages decrease with mm for both techniques (graceful degradation).
     for w in r.avg_ours.windows(2) {
         assert!(w[1] <= w[0] + 1e-9);

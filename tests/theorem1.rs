@@ -19,7 +19,13 @@ fn cyclic_core(w: &wl::Workload) -> mimd_loop_par::ddg::Ddg {
 
 #[test]
 fn patterns_emerge_on_all_paper_workloads() {
-    for w in [wl::figure3(), wl::figure7(), wl::cytron86(), wl::livermore18(), wl::elliptic()] {
+    for w in [
+        wl::figure3(),
+        wl::figure7(),
+        wl::cytron86(),
+        wl::livermore18(),
+        wl::elliptic(),
+    ] {
         let g = cyclic_core(&w);
         let m = MachineConfig::new(w.procs, w.k);
         let out = cyclic_schedule(&g, &m, &CyclicOptions::default()).expect(w.name);
@@ -38,8 +44,7 @@ fn detected_pattern_predicts_the_far_future() {
         let iters = 150u32;
         let mut from_pattern = out.instantiate(iters);
         let raw = greedy_unbounded(&g, &m, (iters as usize + 50) * g.node_count());
-        let mut from_greedy: Vec<_> =
-            raw.into_iter().filter(|p| p.inst.iter < iters).collect();
+        let mut from_greedy: Vec<_> = raw.into_iter().filter(|p| p.inst.iter < iters).collect();
         from_pattern.sort_by_key(|p| (p.inst.node.0, p.inst.iter));
         from_greedy.sort_by_key(|p| (p.inst.node.0, p.inst.iter));
         assert_eq!(from_pattern, from_greedy, "{}", w.name);
@@ -48,7 +53,13 @@ fn detected_pattern_predicts_the_far_future() {
 
 #[test]
 fn both_detectors_find_equal_rate_patterns() {
-    for w in [wl::figure3(), wl::figure7(), wl::cytron86(), wl::livermore18(), wl::elliptic()] {
+    for w in [
+        wl::figure3(),
+        wl::figure7(),
+        wl::cytron86(),
+        wl::livermore18(),
+        wl::elliptic(),
+    ] {
         let g = cyclic_core(&w);
         let m = MachineConfig::new(w.procs, w.k);
         let state = cyclic_schedule(&g, &m, &CyclicOptions::default()).expect(w.name);
@@ -61,7 +72,11 @@ fn both_detectors_find_equal_rate_patterns() {
             },
         )
         .expect(w.name);
-        assert!(window.pattern().is_some(), "{}: window detector finds it too", w.name);
+        assert!(
+            window.pattern().is_some(),
+            "{}: window detector finds it too",
+            w.name
+        );
         assert!(
             (state.steady_ii() - window.steady_ii()).abs() < 1e-9,
             "{}: {} vs {}",
@@ -80,11 +95,18 @@ fn rate_gap_counterexample_defeats_both_detectors() {
     // does not hold for this loop.
     let w = wl::rate_gap();
     let m = MachineConfig::new(w.procs, w.k);
-    for detector in [DetectorKind::SchedulerState, DetectorKind::ConfigurationWindow] {
+    for detector in [
+        DetectorKind::SchedulerState,
+        DetectorKind::ConfigurationWindow,
+    ] {
         let out = cyclic_schedule(
             &w.graph,
             &m,
-            &CyclicOptions { unroll_cap: 128, detector, ..CyclicOptions::default() },
+            &CyclicOptions {
+                unroll_cap: 128,
+                detector,
+                ..CyclicOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -93,9 +115,14 @@ fn rate_gap_counterexample_defeats_both_detectors() {
         );
         // The fallback still yields a valid schedule near the slow rate.
         let placements = out.instantiate(32);
-        ScheduleTable::new(placements).validate(&w.graph, &m).unwrap();
+        ScheduleTable::new(placements)
+            .validate(&w.graph, &m)
+            .unwrap();
         assert!(out.steady_ii() >= 4.0 - 1e-9);
-        assert!(out.steady_ii() <= 4.5, "fallback stays near the slow SCC's rate");
+        assert!(
+            out.steady_ii() <= 4.5,
+            "fallback stays near the slow SCC's rate"
+        );
     }
 }
 
@@ -112,11 +139,20 @@ fn rate_gap_drift_is_real() {
     let c = w.graph.find("C").unwrap();
     let d = w.graph.find("D").unwrap();
     let gap = |i: u32| {
-        let tc = table.start_of(mimd_loop_par::ddg::InstanceId { node: c, iter: i }).unwrap();
-        let td = table.start_of(mimd_loop_par::ddg::InstanceId { node: d, iter: i }).unwrap();
+        let tc = table
+            .start_of(mimd_loop_par::ddg::InstanceId { node: c, iter: i })
+            .unwrap();
+        let td = table
+            .start_of(mimd_loop_par::ddg::InstanceId { node: d, iter: i })
+            .unwrap();
         td as i64 - tc as i64
     };
-    assert!(gap(60) > gap(20) + 20, "gap grows: {} vs {}", gap(60), gap(20));
+    assert!(
+        gap(60) > gap(20) + 20,
+        "gap grows: {} vs {}",
+        gap(60),
+        gap(20)
+    );
 }
 
 #[test]

@@ -1,0 +1,245 @@
+//! Minimal, API-compatible subset of [criterion](https://docs.rs/criterion)
+//! for offline builds.
+//!
+//! Implements the surface the `kn-bench` targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!` — with a simple
+//! wall-clock measurement loop: warm up, pick an iteration count that fills
+//! a fixed time budget, then report the median of `sample_size` samples as
+//! `ns/iter` on stdout.
+//!
+//! The numbers are honest medians but carry none of criterion's statistics;
+//! the repo's machine-readable perf trajectory comes from the `kn-bench`
+//! binary (`BENCH_sched.json`), not from this shim.
+
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by `Criterion` and groups.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    /// Target wall-clock time for one sample.
+    sample_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Entry point handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.settings, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.settings, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.settings, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, not reported, by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value sink (prevents the optimizer from deleting the benched work).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut f: F) {
+    // Calibrate: one iteration to estimate cost, then fit the time budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample =
+        ((settings.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!(
+        "bench {label:<50} {median:>14.1} ns/iter ({per_sample} iters x {} samples)",
+        settings.sample_size
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0u64, |a, x| a.wrapping_add(x * x))
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| work(100)));
+    }
+
+    #[test]
+    fn groups_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("plain", |b| b.iter(|| work(10)));
+        g.bench_with_input(BenchmarkId::new("param", 32), &32u64, |b, &n| {
+            b.iter(|| work(n))
+        });
+        g.finish();
+    }
+}

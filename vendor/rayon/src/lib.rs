@@ -1,0 +1,232 @@
+//! Minimal, API-compatible subset of [rayon](https://docs.rs/rayon) backed
+//! by `std::thread::scope`.
+//!
+//! The build container has no access to a crates registry, so this shim
+//! provides the slice of rayon the workspace actually uses:
+//!
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()`
+//! * [`join`]
+//! * [`current_num_threads`]
+//!
+//! Semantics match rayon where it matters for this workspace: results are
+//! returned **in input order** regardless of which worker ran which item,
+//! and a panicking closure propagates to the caller. Work distribution is
+//! dynamic (a shared work queue), so uneven per-item cost — common for the
+//! experiment cells this repo fans out — still balances across cores.
+
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel operation will use at most.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Core driver: map `f` over `items` on up to [`current_num_threads`]
+/// workers pulling from a shared queue, then restore input order.
+pub(crate) fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let queue = &queue;
+    let f = &f;
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let next = queue.lock().unwrap().next();
+                        match next {
+                            Some((i, item)) => local.push((i, f(item))),
+                            None => return local,
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        for h in handles {
+            all.extend(h.join().expect("rayon worker panicked"));
+        }
+        all
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+pub mod iter {
+    //! The `ParallelIterator` subset: `into_par_iter().map(..).collect()`.
+
+    /// Conversion into a parallel iterator (rayon's entry point).
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A parallel iterator. Only the adapters this workspace uses are
+    /// provided; `collect` drives execution.
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        /// Consume the iterator into an ordered `Vec`.
+        fn drive(self) -> Vec<Self::Item>;
+
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_vec(self.drive())
+        }
+    }
+
+    /// Collection types `ParallelIterator::collect` can target.
+    pub trait FromParallelIterator<T: Send> {
+        fn from_par_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec`.
+    pub struct VecIter<T: Send>(Vec<T>);
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.0
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter(self)
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = VecIter<usize>;
+        fn into_par_iter(self) -> VecIter<usize> {
+            VecIter(self.collect())
+        }
+    }
+
+    /// A mapped parallel iterator; the map runs on the worker threads.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn drive(self) -> Vec<R> {
+            super::par_map_vec(self.base.drive(), self.f)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| i as u64 * 3)
+            .collect();
+        assert_eq!(v.len(), 1000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let v: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                // Vary per-item cost to exercise the dynamic queue.
+                let mut acc = i;
+                for _ in 0..(i % 7) * 1000 {
+                    acc = acc.wrapping_mul(31).wrapping_add(7);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    // Whether the panic surfaces as the worker payload (inline fallback on
+    // single-core hosts) or via the join expect, it must propagate.
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _: Vec<usize> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .map(|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+            .collect();
+    }
+}
