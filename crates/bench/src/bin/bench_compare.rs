@@ -1,0 +1,81 @@
+//! `bench-compare` — the ROADMAP's bench trajectory gate.
+//!
+//! Compares a candidate `BENCH_sched.json` against a committed baseline
+//! and exits non-zero when a tracked number regressed beyond the budget.
+//!
+//! Usage: `bench-compare <baseline.json> <candidate.json>
+//!         [--max-regress PCT] [--ratios-only]`
+//!
+//!   --max-regress PCT  regression budget in percent (default 25)
+//!   --ratios-only      gate only machine-portable speedup ratios, not
+//!                      absolute ns/op — the right mode when baseline and
+//!                      candidate ran on different machines (CI's shared
+//!                      runners vs the committed reference measurement)
+
+use kn_bench::trajectory::{compare, parse, GatePolicy};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<kn_bench::trajectory::BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ratios_only = false;
+    let mut max_regress_pct = 25.0;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ratios-only" => ratios_only = true,
+            "--max-regress" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => max_regress_pct = pct,
+                None => {
+                    eprintln!("bench-compare: --max-regress needs a numeric value");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => paths.push(a),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench-compare <baseline.json> <candidate.json> \
+             [--max-regress PCT] [--ratios-only]"
+        );
+        return ExitCode::from(2);
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench-compare: {e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let policy = GatePolicy {
+        max_regress_pct,
+        ratios_only,
+    };
+    let violations = compare(&baseline, &candidate, policy);
+    if violations.is_empty() {
+        println!(
+            "bench-compare: OK ({} sched + {} event entries gated, budget {}%{})",
+            baseline.entries.len(),
+            baseline.event_entries.len(),
+            max_regress_pct,
+            if ratios_only { ", ratios only" } else { "" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-compare: {} regression(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

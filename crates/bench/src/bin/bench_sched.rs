@@ -1,19 +1,24 @@
-//! `kn-bench` — machine-readable scheduler benchmark harness.
+//! `kn-bench` — machine-readable scheduler + simulator benchmark harness.
 //!
 //! Measures end-to-end `cyclic_schedule` time (ns/op, median of samples)
 //! for the five paper workloads and random 10/20/40/80-node loops, for
 //! both the optimized arena core and the retained map-based reference
-//! (`kn_sched::reference`), and writes the results plus speedup ratios to
-//! `BENCH_sched.json`. Future PRs compare their JSON against this one to
-//! see the perf trajectory.
+//! (`kn_sched::reference`), plus the event engine's heap vs calendar
+//! queues on long-horizon `SingleMessage` (contended) simulations, and
+//! writes the results plus speedup ratios to `BENCH_sched.json`. Future
+//! PRs compare their JSON against this one to see the perf trajectory
+//! (see the `bench-compare` binary and `kn_bench::trajectory`).
 //!
 //! Usage: `kn-bench [--out PATH] [--quick]`
 //!   --out PATH   output file (default BENCH_sched.json)
-//!   --quick      fewer samples / shorter budget (CI smoke)
+//!   --quick      fewer samples / shorter budget / shorter sims (CI smoke)
 
-use kn_core::ddg::{classify, Ddg};
+use kn_core::ddg::{classify, Ddg, DdgBuilder, InstanceId};
 use kn_core::sched::reference::cyclic_schedule_ref;
-use kn_core::sched::{cyclic_schedule, CyclicOptions, MachineConfig, PatternOutcome};
+use kn_core::sched::{
+    cyclic_schedule, schedule_loop, CyclicOptions, MachineConfig, PatternOutcome, Program,
+};
+use kn_core::sim::{simulate_event_with, EventEngine, LinkModel, TrafficModel};
 use kn_core::workloads::{self, random_cyclic_loop_min, RandomLoopConfig};
 use std::time::Instant;
 
@@ -79,6 +84,90 @@ fn cases() -> Vec<Case> {
             name: format!("random{nodes}"),
             graph: random_cyclic_loop_min(1, &cfg, nodes / 2),
             machine: MachineConfig::new(8, 3),
+        });
+    }
+    cases
+}
+
+/// A long-horizon contended simulation case for the event-engine bench.
+struct EventCase {
+    name: String,
+    graph: Ddg,
+    machine: MachineConfig,
+    prog: Program,
+    traffic: TrafficModel,
+}
+
+struct EventEntry {
+    name: String,
+    iters: u32,
+    events: u64,
+    heap_ns: f64,
+    calendar_ns: f64,
+}
+
+impl EventEntry {
+    fn speedup(&self) -> f64 {
+        if self.calendar_ns > 0.0 {
+            self.heap_ns / self.calendar_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The cases behind the ISSUE's "long-horizon contention sims become
+/// cheap" claim:
+///
+/// * `fanout8` — one free-running producer feeding 7 remote consumers
+///   over one-message links for `iters` iterations. The producer outruns
+///   the links, so the pending-arrival backlog (and with it the heap's
+///   `log n`) grows to hundreds of thousands of events — the calendar
+///   queue's O(1) case and the acceptance gate (>= 2x over the heap).
+/// * `figure7` — the paper's loop, `Cyclic-sched`-scheduled, under
+///   contended links: a dependence-throttled sim whose queue stays small
+///   (the calendar's break-even case, recorded for honesty).
+fn event_cases(iters: u32) -> Vec<EventCase> {
+    let mut cases = Vec::new();
+    {
+        let consumers = 7usize;
+        let mut b = DdgBuilder::new();
+        let src = b.node("src");
+        let sinks: Vec<_> = (0..consumers).map(|i| b.node(format!("s{i}"))).collect();
+        for &s in &sinks {
+            b.dep(src, s);
+        }
+        let graph = b.build().unwrap();
+        let mut seqs = vec![(0..iters)
+            .map(|iter| InstanceId { node: src, iter })
+            .collect::<Vec<_>>()];
+        for &s in &sinks {
+            seqs.push(
+                (0..iters)
+                    .map(|iter| InstanceId { node: s, iter })
+                    .collect(),
+            );
+        }
+        cases.push(EventCase {
+            name: "fanout8".into(),
+            graph,
+            machine: MachineConfig::new(consumers + 1, 3),
+            prog: Program { seqs, iters },
+            traffic: TrafficModel::stable(1),
+        });
+    }
+    {
+        let w = workloads::figure7();
+        let machine = MachineConfig::new(w.procs, w.k);
+        let prog = schedule_loop(&w.graph, &machine, iters, &Default::default())
+            .expect("figure7 schedulable")
+            .program;
+        cases.push(EventCase {
+            name: "figure7".into(),
+            graph: w.graph,
+            machine,
+            prog,
+            traffic: TrafficModel { mm: 3, seed: 7 },
         });
     }
     cases
@@ -171,14 +260,60 @@ fn main() {
         random80.speedup()
     );
 
+    // Event-engine bench: heap vs calendar queue on long-horizon
+    // contended sims. One "op" is a whole simulation run, so trim the
+    // sample count rather than the (irrelevant) inner-loop budget.
+    let event_iters: u32 = if quick { 20_000 } else { 100_000 };
+    let event_samples = if quick { 3 } else { 5 };
+    let mut event_entries = Vec::new();
+    println!("\nevent engine, SingleMessage links, {event_iters} iterations:");
+    for case in event_cases(event_iters) {
+        let (g, m, prog, t) = (&case.graph, &case.machine, &case.prog, &case.traffic);
+        let run =
+            |engine| simulate_event_with(prog, g, m, t, LinkModel::SingleMessage, engine).unwrap();
+        // Sanity: the queues agree byte for byte before being timed.
+        let h = run(EventEngine::Heap);
+        let c = run(EventEngine::Calendar);
+        assert_eq!(h, c, "{}: engines diverge", case.name);
+        let events = h.messages + prog.len() as u64;
+
+        let heap_ns = measure(event_samples, budget_ns, || run(EventEngine::Heap));
+        let calendar_ns = measure(event_samples, budget_ns, || run(EventEngine::Calendar));
+        let e = EventEntry {
+            name: case.name.clone(),
+            iters: event_iters,
+            events,
+            heap_ns,
+            calendar_ns,
+        };
+        println!(
+            "{:<12} ({:>9} events)  heap {:>12.0} ns/run   calendar {:>12.0} ns/run   speedup {:>5.2}x",
+            e.name,
+            e.events,
+            e.heap_ns,
+            e.calendar_ns,
+            e.speedup()
+        );
+        event_entries.push(e);
+    }
+    let fanout = event_entries
+        .iter()
+        .find(|e| e.name == "fanout8")
+        .expect("fanout8 case present");
+    println!(
+        "\nfanout8 calendar-vs-heap speedup (acceptance gate, target >= 2x): {:.2}x",
+        fanout.speedup()
+    );
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"kn-bench-sched-v1\",\n");
+    json.push_str("{\n  \"schema\": \"kn-bench-sched-v2\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!(
         "  \"random80_speedup\": {:.4},\n",
         random80.speedup()
     ));
+    json.push_str(&format!("  \"event_speedup\": {:.4},\n", fanout.speedup()));
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
@@ -189,6 +324,20 @@ fn main() {
             e.reference_ns,
             e.speedup(),
             if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"event_entries\": [\n");
+    for (i, e) in event_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"events\": {}, \"heap_ns_per_run\": {:.1}, \"calendar_ns_per_run\": {:.1}, \"speedup\": {:.4}}}{}\n",
+            json_escape(&e.name),
+            e.iters,
+            e.events,
+            e.heap_ns,
+            e.calendar_ns,
+            e.speedup(),
+            if i + 1 < event_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

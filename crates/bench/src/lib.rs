@@ -1,1 +1,6 @@
-//! Criterion benches regenerating the paper's tables and figures live in benches/.
+//! Criterion benches regenerating the paper's tables and figures live in
+//! benches/; the `kn-bench` binary emits `BENCH_sched.json` and the
+//! `bench-compare` binary gates a candidate JSON against a committed
+//! baseline (see [`trajectory`]).
+
+pub mod trajectory;

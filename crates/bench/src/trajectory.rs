@@ -1,0 +1,354 @@
+//! Parse and compare `BENCH_sched.json` files — the ROADMAP's bench
+//! trajectory gate.
+//!
+//! The parser is deliberately schema-specific (the workspace vendors no
+//! JSON crate): it understands exactly the object layout `kn-bench`
+//! emits — a flat object of scalars plus the `entries` /
+//! `event_entries` arrays of flat objects — and accepts both the v1
+//! schema (no event entries) and v2.
+//!
+//! Comparison modes:
+//!
+//! * **full** — gates absolute ns/op (`arena_ns_per_op`,
+//!   `calendar_ns_per_run`) *and* the speedup ratios. Only meaningful
+//!   when baseline and candidate ran on the same runner class.
+//! * **ratios-only** — gates just the machine-portable ratios
+//!   (arena-vs-reference speedup, calendar-vs-heap speedup). This is what
+//!   CI uses: shared runners make absolute ns noise, but a collapsed
+//!   ratio still means the optimized path lost its advantage.
+
+/// One scheduler entry (`entries`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedEntry {
+    pub name: String,
+    pub arena_ns_per_op: f64,
+    pub reference_ns_per_op: f64,
+    pub speedup: f64,
+}
+
+/// One event-engine entry (`event_entries`, schema v2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventEntry {
+    pub name: String,
+    pub heap_ns_per_run: f64,
+    pub calendar_ns_per_run: f64,
+    pub speedup: f64,
+}
+
+/// A parsed `BENCH_sched.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    pub schema: String,
+    pub entries: Vec<SchedEntry>,
+    pub event_entries: Vec<EventEntry>,
+}
+
+/// Split the body of a JSON array of flat objects into object bodies.
+/// Sufficient for `kn-bench` output: no nested arrays/objects inside an
+/// entry, no `{`/`}`/`[`/`]` inside strings (names are identifiers).
+fn object_bodies(array_body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = array_body;
+    while let Some(start) = rest.find('{') {
+        let Some(end) = rest[start..].find('}') else {
+            break;
+        };
+        out.push(&rest[start + 1..start + end]);
+        rest = &rest[start + end + 1..];
+    }
+    out
+}
+
+/// The body of the named array (`"name": [ ... ]`), if present.
+fn array_body<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)?;
+    let open = json[at..].find('[')? + at;
+    let close = json[open..].find(']')? + open;
+    Some(&json[open + 1..close])
+}
+
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let colon = obj[at..].find(':')? + at;
+    let rest = obj[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn f64_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let colon = obj[at..].find(':')? + at;
+    let rest = obj[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a `BENCH_sched.json` (schema v1 or v2).
+pub fn parse(json: &str) -> Result<BenchReport, String> {
+    let schema = str_field(json, "schema").ok_or("missing \"schema\"")?;
+    if !schema.starts_with("kn-bench-sched-") {
+        return Err(format!("unrecognized schema {schema:?}"));
+    }
+    // Cut the flat arrays apart first so `entries` keys never read values
+    // from `event_entries` objects.
+    let mut entries = Vec::new();
+    for obj in object_bodies(array_body(json, "entries").ok_or("missing \"entries\"")?) {
+        entries.push(SchedEntry {
+            name: str_field(obj, "name").ok_or("entry missing \"name\"")?,
+            arena_ns_per_op: f64_field(obj, "arena_ns_per_op")
+                .ok_or("entry missing \"arena_ns_per_op\"")?,
+            reference_ns_per_op: f64_field(obj, "reference_ns_per_op")
+                .ok_or("entry missing \"reference_ns_per_op\"")?,
+            speedup: f64_field(obj, "speedup").ok_or("entry missing \"speedup\"")?,
+        });
+    }
+    let mut event_entries = Vec::new();
+    if let Some(body) = array_body(json, "event_entries") {
+        for obj in object_bodies(body) {
+            event_entries.push(EventEntry {
+                name: str_field(obj, "name").ok_or("event entry missing \"name\"")?,
+                heap_ns_per_run: f64_field(obj, "heap_ns_per_run")
+                    .ok_or("event entry missing \"heap_ns_per_run\"")?,
+                calendar_ns_per_run: f64_field(obj, "calendar_ns_per_run")
+                    .ok_or("event entry missing \"calendar_ns_per_run\"")?,
+                speedup: f64_field(obj, "speedup").ok_or("event entry missing \"speedup\"")?,
+            });
+        }
+    }
+    Ok(BenchReport {
+        schema,
+        entries,
+        event_entries,
+    })
+}
+
+/// `candidate` regressed against `baseline` when it is more than
+/// `max_regress_pct` percent worse (slower for ns, smaller for speedups).
+#[derive(Clone, Copy, Debug)]
+pub struct GatePolicy {
+    pub max_regress_pct: f64,
+    /// Skip the absolute-ns gates (cross-machine comparisons).
+    pub ratios_only: bool,
+}
+
+fn pct_worse(
+    violations: &mut Vec<String>,
+    what: String,
+    base: f64,
+    cand: f64,
+    pct: f64,
+    higher_is_better: bool,
+) {
+    if base <= 0.0 {
+        return;
+    }
+    let change = if higher_is_better {
+        (base - cand) / base * 100.0
+    } else {
+        (cand - base) / base * 100.0
+    };
+    if change > pct {
+        violations.push(format!(
+            "{what}: {base:.1} -> {cand:.1} ({change:+.1}% worse, limit {pct:.0}%)"
+        ));
+    }
+}
+
+/// Compare two reports under `policy`; returns human-readable violations
+/// (empty = gate passes). Entries are matched by name; an entry present on
+/// only one side is ignored (adding or retiring a bench case is not a
+/// regression) — but a section where *nothing* matches fails, otherwise a
+/// wholesale rename or an empty candidate run would turn the gate into a
+/// silent no-op.
+pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePolicy) -> Vec<String> {
+    let pct = policy.max_regress_pct;
+    let mut violations = Vec::new();
+    let mut matched_sched = 0usize;
+    let mut matched_event = 0usize;
+    for b in &baseline.entries {
+        let Some(c) = candidate.entries.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        matched_sched += 1;
+        if !policy.ratios_only {
+            pct_worse(
+                &mut violations,
+                format!("{} arena_ns_per_op", b.name),
+                b.arena_ns_per_op,
+                c.arena_ns_per_op,
+                pct,
+                false,
+            );
+        }
+        pct_worse(
+            &mut violations,
+            format!("{} arena speedup", b.name),
+            b.speedup,
+            c.speedup,
+            pct,
+            true,
+        );
+    }
+    for b in &baseline.event_entries {
+        let Some(c) = candidate.event_entries.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        matched_event += 1;
+        if !policy.ratios_only {
+            pct_worse(
+                &mut violations,
+                format!("{} calendar_ns_per_run", b.name),
+                b.calendar_ns_per_run,
+                c.calendar_ns_per_run,
+                pct,
+                false,
+            );
+        }
+        pct_worse(
+            &mut violations,
+            format!("{} calendar-vs-heap speedup", b.name),
+            b.speedup,
+            c.speedup,
+            pct,
+            true,
+        );
+    }
+    if !baseline.entries.is_empty() && matched_sched == 0 {
+        violations
+            .push("no scheduler entry names matched the baseline — gate compared nothing".into());
+    }
+    if !baseline.event_entries.is_empty() && matched_event == 0 {
+        violations.push("no event entry names matched the baseline — gate compared nothing".into());
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V2: &str = r#"{
+  "schema": "kn-bench-sched-v2",
+  "quick": false,
+  "samples": 11,
+  "random80_speedup": 6.3199,
+  "event_speedup": 2.7,
+  "entries": [
+    {"name": "figure7", "cyclic_nodes": 5, "arena_ns_per_op": 1889.6, "reference_ns_per_op": 7056.6, "speedup": 3.7344},
+    {"name": "random80", "cyclic_nodes": 58, "arena_ns_per_op": 33995.0, "reference_ns_per_op": 214844.1, "speedup": 6.3199}
+  ],
+  "event_entries": [
+    {"name": "fanout8", "iters": 100000, "events": 1500000, "heap_ns_per_run": 300000000.0, "calendar_ns_per_run": 110000000.0, "speedup": 2.7272}
+  ]
+}
+"#;
+
+    fn policy(pct: f64, ratios_only: bool) -> GatePolicy {
+        GatePolicy {
+            max_regress_pct: pct,
+            ratios_only,
+        }
+    }
+
+    #[test]
+    fn parses_v2() {
+        let r = parse(V2).unwrap();
+        assert_eq!(r.schema, "kn-bench-sched-v2");
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].name, "figure7");
+        assert_eq!(r.entries[0].arena_ns_per_op, 1889.6);
+        assert_eq!(r.entries[1].speedup, 6.3199);
+        assert_eq!(r.event_entries.len(), 1);
+        assert_eq!(r.event_entries[0].name, "fanout8");
+        assert_eq!(r.event_entries[0].calendar_ns_per_run, 110000000.0);
+    }
+
+    #[test]
+    fn parses_v1_without_event_entries() {
+        let v1 = r#"{
+  "schema": "kn-bench-sched-v1",
+  "entries": [
+    {"name": "a", "cyclic_nodes": 1, "arena_ns_per_op": 10.0, "reference_ns_per_op": 30.0, "speedup": 3.0}
+  ]
+}"#;
+        let r = parse(v1).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.event_entries.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"schema\": \"other\", \"entries\": []}").is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = parse(V2).unwrap();
+        assert!(compare(&r, &r, policy(25.0, false)).is_empty());
+    }
+
+    #[test]
+    fn ns_regression_fails_full_gate_only() {
+        let base = parse(V2).unwrap();
+        let mut cand = base.clone();
+        cand.entries[0].arena_ns_per_op *= 1.5; // +50% slower
+        let v = compare(&base, &cand, policy(25.0, false));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("figure7 arena_ns_per_op"), "{v:?}");
+        assert!(compare(&base, &cand, policy(25.0, true)).is_empty());
+        // A 20% slowdown is inside the default budget.
+        let mut mild = base.clone();
+        mild.entries[0].arena_ns_per_op *= 1.2;
+        assert!(compare(&base, &mild, policy(25.0, false)).is_empty());
+    }
+
+    #[test]
+    fn ratio_collapse_fails_both_gates() {
+        let base = parse(V2).unwrap();
+        let mut cand = base.clone();
+        cand.event_entries[0].speedup = 1.1; // calendar lost its edge
+        for ratios_only in [false, true] {
+            let v = compare(&base, &cand, policy(25.0, ratios_only));
+            assert!(
+                v.iter().any(|v| v.contains("fanout8 calendar-vs-heap")),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partially_unmatched_entries_are_ignored() {
+        // Retiring one case is fine as long as something still matches.
+        let base = parse(V2).unwrap();
+        let mut cand = base.clone();
+        cand.entries.remove(0);
+        assert!(compare(&base, &cand, policy(25.0, false)).is_empty());
+    }
+
+    #[test]
+    fn fully_unmatched_section_fails_instead_of_passing_vacuously() {
+        // A wholesale rename (or an empty candidate run) must not turn
+        // the gate into a silent no-op.
+        let base = parse(V2).unwrap();
+        let mut cand = base.clone();
+        cand.event_entries.clear();
+        let v = compare(&base, &cand, policy(25.0, true));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no event entry names matched"), "{v:?}");
+        for e in &mut cand.entries {
+            e.name = format!("renamed-{}", e.name);
+        }
+        let v = compare(&base, &cand, policy(25.0, true));
+        assert!(
+            v.iter()
+                .any(|v| v.contains("no scheduler entry names matched")),
+            "{v:?}"
+        );
+    }
+}

@@ -6,6 +6,8 @@
 //! kn-cli figure8                          DOACROSS grids for Figure 7's loop
 //! kn-cli table1 [seeds] [iters]           Table 1(a)+(b) (default 25, 100)
 //! kn-cli --seq ...                        disable the parallel experiment driver
+//! kn-cli --link single ...                one-message-at-a-time links (contended)
+//! kn-cli --engine <heap|calendar> ...     event-queue engine for contended runs
 //! kn-cli ablate <arrival|detector|misestimate|procs>
 //! kn-cli codegen <figure7|cytron86|...>   transformed parallel loop
 //! kn-cli schedule <file> [k] [procs]      schedule a graph from a text file
@@ -16,8 +18,26 @@
 //! live in `corpus/`.
 
 use kn_core::experiments::{ablate, figures, table1};
+use kn_core::sim::{EventEngine, LinkModel, SimOptions};
 use kn_core::workloads as wl;
 use std::io::Write as _;
+
+/// Extract `--name value` from the argument list. `Ok(None)` = flag
+/// absent; `Err(())` = flag present but the value is missing (the caller
+/// must diagnose rather than fall back to a default the user didn't ask
+/// for).
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, ()> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        args.remove(i);
+        return Err(());
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(v))
+}
 
 fn workload(name: &str) -> Option<wl::Workload> {
     Some(match name {
@@ -34,16 +54,24 @@ fn workload(name: &str) -> Option<wl::Workload> {
     })
 }
 
-fn print_figure(out: &mut impl std::io::Write, name: &str) -> std::io::Result<()> {
+fn print_figure(
+    out: &mut impl std::io::Write,
+    name: &str,
+    sim: &SimOptions,
+) -> std::io::Result<()> {
     let Some(w) = workload(name) else {
         writeln!(out, "unknown workload {name:?}")?;
         return Ok(());
     };
-    print_figure_workload(out, &w)
+    print_figure_workload(out, &w, sim)
 }
 
-fn print_figure_workload(out: &mut impl std::io::Write, w: &wl::Workload) -> std::io::Result<()> {
-    let r = figures::figure_report(w, 100);
+fn print_figure_workload(
+    out: &mut impl std::io::Write,
+    w: &wl::Workload,
+    sim: &SimOptions,
+) -> std::io::Result<()> {
+    let r = figures::figure_report_with(w, 100, sim);
     print_report(out, w, &r)
 }
 
@@ -92,6 +120,41 @@ fn main() {
     };
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
+    // Execution model for the drivers that run programs: `--link single`
+    // switches to one-message-at-a-time links, `--engine heap|calendar`
+    // picks the event queue for those contended runs (identical results,
+    // different cost; calendar is the default).
+    let engine = match take_flag_value(&mut args, "--engine") {
+        Ok(None) => EventEngine::Calendar,
+        Ok(Some(v)) => match v.as_str() {
+            "calendar" => EventEngine::Calendar,
+            "heap" => EventEngine::Heap,
+            other => {
+                writeln!(out, "unknown engine {other:?} (heap|calendar)").unwrap();
+                return;
+            }
+        },
+        Err(()) => {
+            writeln!(out, "--engine needs a value (heap|calendar)").unwrap();
+            return;
+        }
+    };
+    let link = match take_flag_value(&mut args, "--link") {
+        Ok(None) => LinkModel::Unlimited,
+        Ok(Some(v)) => match v.as_str() {
+            "unlimited" => LinkModel::Unlimited,
+            "single" | "single-message" => LinkModel::SingleMessage,
+            other => {
+                writeln!(out, "unknown link model {other:?} (unlimited|single)").unwrap();
+                return;
+            }
+        },
+        Err(()) => {
+            writeln!(out, "--link needs a value (unlimited|single)").unwrap();
+            return;
+        }
+    };
+    let sim = SimOptions { link, engine };
     match args.first().map(String::as_str) {
         Some("figure") => {
             let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -100,17 +163,17 @@ fn main() {
                 if parallel {
                     let ws: Vec<wl::Workload> =
                         names.iter().map(|n| workload(n).unwrap()).collect();
-                    let reports = figures::figure_reports_par(ws.clone(), 100);
+                    let reports = figures::figure_reports_par_with(ws.clone(), 100, sim);
                     for (w, r) in ws.iter().zip(reports) {
                         print_report(&mut out, w, &r).unwrap();
                     }
                 } else {
                     for name in names {
-                        print_figure(&mut out, name).unwrap();
+                        print_figure(&mut out, name, &sim).unwrap();
                     }
                 }
             } else {
-                print_figure(&mut out, which).unwrap();
+                print_figure(&mut out, which, &sim).unwrap();
             }
         }
         Some("figure8") => {
@@ -134,6 +197,7 @@ fn main() {
             let cfg = table1::Table1Config {
                 seeds: (1..=seeds).collect(),
                 iters,
+                sim,
                 ..Default::default()
             };
             let r = if parallel {
@@ -211,9 +275,9 @@ fn main() {
             Some("contention") => {
                 let seeds: Vec<u64> = (1..=8).collect();
                 let r = if parallel {
-                    ablate::contention_ablation_par(&seeds, 3, 8, 100)
+                    ablate::contention_ablation_par_with(&seeds, 3, 8, 100, engine)
                 } else {
-                    ablate::contention_ablation(&seeds, 3, 8, 100)
+                    ablate::contention_ablation_with(&seeds, 3, 8, 100, engine)
                 };
                 writeln!(
                     out,
@@ -275,7 +339,7 @@ fn main() {
                 procs,
                 description: "user-supplied graph",
             };
-            print_figure_workload(&mut out, &w).unwrap();
+            print_figure_workload(&mut out, &w, &sim).unwrap();
         }
         Some("dot") => {
             let name = args.get(1).map(String::as_str).unwrap_or("figure7");
@@ -294,7 +358,8 @@ fn main() {
         _ => {
             writeln!(
                 out,
-                "usage: kn-cli <figure [n|all] | figure8 | table1 [seeds] [iters] | \
+                "usage: kn-cli [--seq] [--link unlimited|single] [--engine heap|calendar] \
+                 <figure [n|all] | figure8 | table1 [seeds] [iters] | \
                  ablate <axis> | codegen <workload> | schedule <file> [k] [procs] | \
                  dot <workload>>"
             )

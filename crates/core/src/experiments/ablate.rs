@@ -356,9 +356,16 @@ impl ContentionAblation {
 }
 
 /// One seed's cell: `(ours free, ours contended, doacross free, doacross
-/// contended)` percentage parallelism.
-fn contention_cell(seed: u64, k: u32, procs: usize, iters: u32) -> (f64, f64, f64, f64) {
-    use kn_sim::{simulate_event, LinkModel};
+/// contended)` percentage parallelism, timed by the chosen event-queue
+/// engine.
+fn contention_cell(
+    seed: u64,
+    k: u32,
+    procs: usize,
+    iters: u32,
+    engine: kn_sim::EventEngine,
+) -> (f64, f64, f64, f64) {
+    use kn_sim::{simulate_event_with, LinkModel};
     let cfg = RandomLoopConfig::default();
     let m = MachineConfig::new(procs, k);
     let g = random_cyclic_loop(seed, &cfg);
@@ -367,7 +374,9 @@ fn contention_cell(seed: u64, k: u32, procs: usize, iters: u32) -> (f64, f64, f6
     let da = kn_doacross::doacross_schedule(&g, &m, iters, &Default::default()).unwrap();
     let t = TrafficModel::stable(seed);
     let run = |prog, link| {
-        let mk = simulate_event(prog, &g, &m, &t, link).unwrap().makespan;
+        let mk = simulate_event_with(prog, &g, &m, &t, link, engine)
+            .unwrap()
+            .makespan;
         kn_metrics::percentage_parallelism_clamped(s, mk)
     };
     (
@@ -395,11 +404,24 @@ fn contention_reduce(seeds: &[u64], cells: Vec<(f64, f64, f64, f64)>) -> Content
     r
 }
 
-/// Run the contention ablation.
+/// Run the contention ablation with the default (calendar) event engine.
 pub fn contention_ablation(seeds: &[u64], k: u32, procs: usize, iters: u32) -> ContentionAblation {
+    contention_ablation_with(seeds, k, procs, iters, kn_sim::EventEngine::default())
+}
+
+/// [`contention_ablation`] with an explicit event-queue engine (the two
+/// engines are tested identical; the knob exists for benchmarking and
+/// cross-checking).
+pub fn contention_ablation_with(
+    seeds: &[u64],
+    k: u32,
+    procs: usize,
+    iters: u32,
+    engine: kn_sim::EventEngine,
+) -> ContentionAblation {
     let cells = seeds
         .iter()
-        .map(|&s| contention_cell(s, k, procs, iters))
+        .map(|&s| contention_cell(s, k, procs, iters, engine))
         .collect();
     contention_reduce(seeds, cells)
 }
@@ -412,7 +434,20 @@ pub fn contention_ablation_par(
     procs: usize,
     iters: u32,
 ) -> ContentionAblation {
-    let cells = super::parallel::par_map(seeds.to_vec(), |s| contention_cell(s, k, procs, iters));
+    contention_ablation_par_with(seeds, k, procs, iters, kn_sim::EventEngine::default())
+}
+
+/// [`contention_ablation_with`] fanned out across threads; equal output.
+pub fn contention_ablation_par_with(
+    seeds: &[u64],
+    k: u32,
+    procs: usize,
+    iters: u32,
+    engine: kn_sim::EventEngine,
+) -> ContentionAblation {
+    let cells = super::parallel::par_map(seeds.to_vec(), |s| {
+        contention_cell(s, k, procs, iters, engine)
+    });
     contention_reduce(seeds, cells)
 }
 
@@ -568,6 +603,20 @@ mod tests {
         assert_eq!(t.ours_contended, tp.ours_contended);
         assert_eq!(t.doacross_free, tp.doacross_free);
         assert_eq!(t.doacross_contended, tp.doacross_contended);
+    }
+
+    #[test]
+    fn contention_ablation_engine_choice_is_invisible() {
+        use kn_sim::EventEngine;
+        let seeds = [1u64, 2, 3];
+        let h = contention_ablation_with(&seeds, 3, 8, 30, EventEngine::Heap);
+        let c = contention_ablation_with(&seeds, 3, 8, 30, EventEngine::Calendar);
+        assert_eq!(h.ours_free, c.ours_free);
+        assert_eq!(h.ours_contended, c.ours_contended);
+        assert_eq!(h.doacross_free, c.doacross_free);
+        assert_eq!(h.doacross_contended, c.doacross_contended);
+        let cp = contention_ablation_par_with(&seeds, 3, 8, 30, EventEngine::Calendar);
+        assert_eq!(c.ours_contended, cp.ours_contended);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use kn_ddg::classify;
 use kn_doacross::{doacross_schedule, DoacrossOptions, Reorder};
 use kn_metrics::percentage_parallelism_clamped;
 use kn_sched::{MachineConfig, PatternOutcome, ScheduleTable};
-use kn_sim::{sequential_time, simulate, TrafficModel};
+use kn_sim::{sequential_time, SimOptions, TrafficModel};
 use kn_workloads::Workload;
 
 /// Everything the paper reports (or draws) for one example loop.
@@ -48,14 +48,23 @@ pub struct FigureReport {
     pub code: Option<String>,
 }
 
-/// Run the full comparison on one workload.
+/// Run the full comparison on one workload under the default execution
+/// model (fully overlapped links — the paper's).
 pub fn figure_report(w: &Workload, iters: u32) -> FigureReport {
+    figure_report_with(w, iters, &SimOptions::default())
+}
+
+/// [`figure_report`] with an explicit execution model: `sim` selects the
+/// link capacity and, for contended links, the event-queue engine that
+/// times "ours" (the DOACROSS columns stay compile-time makespans).
+pub fn figure_report_with(w: &Workload, iters: u32, sim: &SimOptions) -> FigureReport {
     let m = MachineConfig::new(w.procs, w.k);
     let ours = kn_sched::schedule_loop(&w.graph, &m, iters, &Default::default())
         .expect("workload schedulable");
     let seq_time = sequential_time(&w.graph, iters);
-    let ours_sim =
-        simulate(&ours.program, &w.graph, &m, &TrafficModel::stable(0)).expect("program executes");
+    let ours_sim = sim
+        .run(&ours.program, &w.graph, &m, &TrafficModel::stable(0))
+        .expect("program executes");
 
     // DOACROSS gets the same processor budget our schedule actually used
     // (at least 2 so pipelining is possible at all).
@@ -158,7 +167,16 @@ pub fn figure_report(w: &Workload, iters: u32) -> FigureReport {
 /// cells fanned out across threads; reports come back in input order, each
 /// equal to its sequential twin (the cells share no state).
 pub fn figure_reports_par(workloads: Vec<Workload>, iters: u32) -> Vec<FigureReport> {
-    super::parallel::par_map(workloads, |w| figure_report(&w, iters))
+    figure_reports_par_with(workloads, iters, SimOptions::default())
+}
+
+/// [`figure_reports_par`] with an explicit execution model.
+pub fn figure_reports_par_with(
+    workloads: Vec<Workload>,
+    iters: u32,
+    sim: SimOptions,
+) -> Vec<FigureReport> {
+    super::parallel::par_map(workloads, move |w| figure_report_with(&w, iters, &sim))
 }
 
 /// Paper Figure 8: the two DOACROSS schedules (natural, reordered) for a
@@ -269,6 +287,31 @@ mod tests {
             assert_eq!(r.enumeration, seq.enumeration);
             assert_eq!(r.code, seq.code);
         }
+    }
+
+    #[test]
+    fn contended_figure_report_degrades_and_engines_agree() {
+        use kn_sim::{EventEngine, LinkModel};
+        let w = kn_workloads::figure7();
+        let free = figure_report(&w, 60);
+        let heap = figure_report_with(
+            &w,
+            60,
+            &SimOptions {
+                link: LinkModel::SingleMessage,
+                engine: EventEngine::Heap,
+            },
+        );
+        let calendar = figure_report_with(&w, 60, &SimOptions::contended());
+        assert_eq!(heap.ours_time, calendar.ours_time);
+        assert_eq!(heap.ours_sp, calendar.ours_sp);
+        assert!(
+            calendar.ours_time >= free.ours_time,
+            "contention cannot speed us up"
+        );
+        // The parallel driver takes the same options.
+        let par = figure_reports_par_with(vec![w], 60, SimOptions::contended());
+        assert_eq!(par[0].ours_time, calendar.ours_time);
     }
 
     #[test]

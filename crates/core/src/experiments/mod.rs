@@ -16,6 +16,14 @@
 //! machine) cells out across threads via [`parallel`], reducing in
 //! deterministic input order — parallel and sequential reports are equal,
 //! element for element.
+//!
+//! Drivers that execute programs take a [`kn_sim::SimOptions`] (directly,
+//! via a `_with` variant, or as a config field): it selects the link model
+//! (the paper's fully overlapped links vs one-message-at-a-time links) and
+//! the event-queue engine (`Heap` vs the default `Calendar`) behind the
+//! contended runs. The engines are tested byte-identical, so the knob
+//! changes cost, never results — which is what makes long-horizon
+//! contention sweeps cheap enough to put in CI.
 
 pub mod ablate;
 pub mod figures;

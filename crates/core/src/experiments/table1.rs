@@ -18,7 +18,7 @@
 use kn_doacross::{doacross_schedule, DoacrossOptions, Reorder};
 use kn_metrics::{f1, percentage_parallelism_clamped, stats, Align, TextTable};
 use kn_sched::MachineConfig;
-use kn_sim::{sequential_time, simulate, TrafficModel};
+use kn_sim::{sequential_time, SimOptions, TrafficModel};
 use kn_workloads::{random_cyclic_loop_min, RandomLoopConfig};
 
 /// Configuration of the Table 1 run (paper defaults).
@@ -47,6 +47,11 @@ pub struct Table1Config {
     pub gen: RandomLoopConfig,
     /// Minimum Cyclic-core size (the paper's cores are never degenerate).
     pub min_core: usize,
+    /// Execution model: link capacity plus the event-queue engine. The
+    /// default (fully overlapped links) reproduces the paper's Table 1;
+    /// `SimOptions::contended()` turns the same protocol into the
+    /// long-horizon contention sweep (one message per link at a time).
+    pub sim: SimOptions,
 }
 
 impl Default for Table1Config {
@@ -72,6 +77,7 @@ impl Default for Table1Config {
                 max_latency: 3,
             },
             min_core: 4,
+            sim: SimOptions::default(),
         }
     }
 }
@@ -131,8 +137,12 @@ fn table1_row(cfg: &Table1Config, seed: u64) -> Table1Row {
             mm,
             seed: seed.wrapping_mul(1_000_003) ^ mm as u64,
         };
-        let ours_t = simulate(&ours.program, &g, &m, &traffic).unwrap().makespan;
-        let da_t = simulate(&da.program, &g, &m, &traffic).unwrap().makespan;
+        let ours_t = cfg
+            .sim
+            .run(&ours.program, &g, &m, &traffic)
+            .unwrap()
+            .makespan;
+        let da_t = cfg.sim.run(&da.program, &g, &m, &traffic).unwrap().makespan;
         row.ours.push(percentage_parallelism_clamped(s, ours_t));
         row.doacross.push(percentage_parallelism_clamped(s, da_t));
     }
@@ -299,6 +309,48 @@ mod tests {
         for (x, y) in a.rows.iter().zip(&b.rows) {
             assert_eq!(x.ours, y.ours);
             assert_eq!(x.doacross, y.doacross);
+        }
+    }
+
+    #[test]
+    fn contended_table1_runs_and_both_engines_agree() {
+        use kn_sim::{EventEngine, LinkModel};
+        let base = small_cfg();
+        let free = run_table1(&base);
+        let mut reports = Vec::new();
+        for engine in [EventEngine::Heap, EventEngine::Calendar] {
+            let cfg = Table1Config {
+                sim: SimOptions {
+                    link: LinkModel::SingleMessage,
+                    engine,
+                },
+                ..small_cfg()
+            };
+            reports.push(run_table1(&cfg));
+        }
+        let (heap, calendar) = (&reports[0], &reports[1]);
+        // Engine choice is invisible in the results...
+        for (a, b) in heap.rows.iter().zip(&calendar.rows) {
+            assert_eq!(a.ours, b.ours, "seed {}", a.seed);
+            assert_eq!(a.doacross, b.doacross, "seed {}", a.seed);
+        }
+        assert_eq!(heap.render_summary(), calendar.render_summary());
+        // ...while contention itself can only reduce parallelism.
+        for (f, c) in free.rows.iter().zip(&calendar.rows) {
+            for i in 0..f.ours.len() {
+                assert!(c.ours[i] <= f.ours[i] + 1e-9, "seed {}", f.seed);
+                assert!(c.doacross[i] <= f.doacross[i] + 1e-9, "seed {}", f.seed);
+            }
+        }
+        // The parallel driver plumbs the same SimOptions through.
+        let cfg = Table1Config {
+            sim: SimOptions::contended(),
+            ..small_cfg()
+        };
+        let par = run_table1_par(&cfg);
+        for (a, b) in calendar.rows.iter().zip(&par.rows) {
+            assert_eq!(a.ours, b.ours);
+            assert_eq!(a.doacross, b.doacross);
         }
     }
 

@@ -45,7 +45,10 @@ pub mod prelude {
         cyclic_schedule, schedule_loop, CyclicOptions, FullOptions, MachineConfig, PatternOutcome,
         ScheduleTable,
     };
-    pub use kn_sim::{sequential_time, simulate, TrafficModel};
+    pub use kn_sim::{
+        sequential_time, simulate, simulate_event, simulate_event_with, EventEngine, LinkModel,
+        SimOptions, TrafficModel,
+    };
 }
 
 use kn_ddg::{normalize_distances, Ddg, NodeId};

@@ -65,6 +65,13 @@ impl Pattern {
     /// `iter < iters`, dropping out-of-range instances. This is exactly the
     /// infinite greedy schedule restricted to the first `iters` iterations,
     /// so it inherits its validity.
+    ///
+    /// Degenerate patterns are total rather than panicking or diverging: an
+    /// empty kernel yields just the (filtered) prologue — there is nothing
+    /// to repeat — and a zero `iters_per_period` (a kernel that would never
+    /// advance the iteration space) contributes its single occurrence once
+    /// instead of looping forever. `Cyclic-sched` never emits either shape;
+    /// the guards keep the public API safe on hand-built patterns.
     pub fn instantiate(&self, iters: u32) -> Vec<Placement> {
         let mut out: Vec<Placement> = self
             .prologue
@@ -72,10 +79,13 @@ impl Pattern {
             .copied()
             .filter(|p| p.inst.iter < iters)
             .collect();
-        if self.kernel.is_empty() {
+        let Some(min_iter) = self.kernel.iter().map(|p| p.inst.iter).min() else {
+            return out;
+        };
+        if self.iters_per_period == 0 {
+            out.extend(self.kernel_occurrence(0).filter(|p| p.inst.iter < iters));
             return out;
         }
-        let min_iter = self.kernel.iter().map(|p| p.inst.iter).min().unwrap();
         let mut r = 0u64;
         while min_iter as u64 + r * (self.iters_per_period as u64) < iters as u64 {
             out.extend(self.kernel_occurrence(r).filter(|p| p.inst.iter < iters));
@@ -152,9 +162,13 @@ pub struct BlockSchedule {
 }
 
 impl BlockSchedule {
-    /// Materialize iterations `0..iters` by tiling the block.
+    /// Materialize iterations `0..iters` by tiling the block. A degenerate
+    /// zero-iteration block tiles nothing (instead of diverging).
     pub fn instantiate(&self, iters: u32) -> Vec<Placement> {
         let mut out = Vec::new();
+        if self.block_iters == 0 {
+            return out;
+        }
         let mut base_iter = 0u32;
         let mut base_time = 0 as Cycle;
         while base_iter < iters {
@@ -373,6 +387,70 @@ mod tests {
         assert_eq!(first4[1].inst, inst(0, 1));
         assert_eq!(first4[3].inst, inst(0, 3));
         assert_eq!(first4[3].start, 3);
+    }
+
+    #[test]
+    fn empty_kernel_instantiates_to_prologue_without_panicking() {
+        // Regression: the min-over-kernel used to be an unguarded
+        // `.unwrap()` — an empty kernel must yield the filtered prologue,
+        // not a panic.
+        let p = Pattern {
+            prologue: vec![
+                Placement {
+                    inst: inst(0, 0),
+                    proc: 0,
+                    start: 0,
+                },
+                Placement {
+                    inst: inst(0, 7),
+                    proc: 0,
+                    start: 7,
+                },
+            ],
+            kernel: vec![],
+            iters_per_period: 1,
+            cycles_per_period: 1,
+        };
+        let placements = p.instantiate(5);
+        assert_eq!(placements.len(), 1, "prologue filtered to iter < 5");
+        assert_eq!(placements[0].inst, inst(0, 0));
+        // Fully empty pattern: empty instantiation.
+        let empty = Pattern {
+            prologue: vec![],
+            kernel: vec![],
+            iters_per_period: 1,
+            cycles_per_period: 1,
+        };
+        assert!(empty.instantiate(10).is_empty());
+    }
+
+    #[test]
+    fn zero_iters_per_period_terminates_with_one_occurrence() {
+        let p = Pattern {
+            prologue: vec![],
+            kernel: vec![Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            }],
+            iters_per_period: 0,
+            cycles_per_period: 1,
+        };
+        assert_eq!(p.instantiate(4).len(), 1);
+    }
+
+    #[test]
+    fn zero_iteration_block_instantiates_empty() {
+        let b = BlockSchedule {
+            block: vec![Placement {
+                inst: inst(0, 0),
+                proc: 0,
+                start: 0,
+            }],
+            block_iters: 0,
+            period: 1,
+        };
+        assert!(b.instantiate(3).is_empty());
     }
 
     #[test]

@@ -219,6 +219,57 @@ mod tests {
     }
 
     #[test]
+    fn sparse_and_dense_indexing_yield_identical_sim_results() {
+        // The same degenerate program, straddling the SPARSE_FACTOR
+        // threshold from both sides: the graph's node count sets the
+        // rectangle size, so padding the graph with isolated (never
+        // instantiated) nodes pushes the identical program from the dense
+        // index into the sparse fallback without changing its semantics.
+        // Every engine must produce byte-identical `SimResult`s on both.
+        use crate::{simulate, simulate_event_with, EventEngine, LinkModel, TrafficModel};
+
+        let build_graph = |pads: usize| {
+            let mut b = kn_ddg::DdgBuilder::new();
+            let x = b.node("x");
+            let y = b.node("y");
+            b.dep(x, y);
+            for i in 0..pads {
+                b.node(format!("pad{i}"));
+            }
+            b.build().unwrap()
+        };
+        // len = 2, iters = 41 -> sparse iff nodes * 41 > 2 * 8 + 4096.
+        let dense_g = build_graph(98); // 100 * 41 = 4100 <= 4112
+        let sparse_g = build_graph(99); // 101 * 41 = 4141 > 4112
+        let prog = Program {
+            seqs: vec![vec![inst(0, 40)], vec![inst(1, 40)]],
+            iters: 41,
+        };
+        assert!(matches!(
+            DenseProgram::build(&prog, &dense_g).unwrap().index,
+            Index::Dense { .. }
+        ));
+        assert!(matches!(
+            DenseProgram::build(&prog, &sparse_g).unwrap().index,
+            Index::Sparse(_)
+        ));
+
+        let m = kn_sched::MachineConfig::new(2, 3);
+        let t = TrafficModel { mm: 3, seed: 17 };
+        let a = simulate(&prog, &dense_g, &m, &t).unwrap();
+        let b = simulate(&prog, &sparse_g, &m, &t).unwrap();
+        assert_eq!(a, b, "fixpoint: dense vs sparse");
+        assert!(a.makespan > 0 && a.messages == 1);
+        for link in [LinkModel::Unlimited, LinkModel::SingleMessage] {
+            for engine in [EventEngine::Heap, EventEngine::Calendar] {
+                let a = simulate_event_with(&prog, &dense_g, &m, &t, link, engine).unwrap();
+                let b = simulate_event_with(&prog, &sparse_g, &m, &t, link, engine).unwrap();
+                assert_eq!(a, b, "event {link:?} {engine:?}: dense vs sparse");
+            }
+        }
+    }
+
+    #[test]
     fn degenerate_high_iteration_uses_sparse_fallback() {
         // One instance at iteration 2^31: the rectangle would be ~2 * 2^31
         // slots (> 8 GB of u32); the sparse index keeps it at one entry.

@@ -17,7 +17,7 @@
 mod dense;
 pub mod event;
 
-pub use event::{simulate_event, LinkModel};
+pub use event::{simulate_event, simulate_event_with, EventEngine, LinkModel};
 
 use kn_ddg::{Ddg, EdgeId, InstanceId};
 use kn_sched::{Cycle, MachineConfig, Program, ProgramError};
@@ -59,8 +59,51 @@ impl TrafficModel {
     }
 }
 
+/// How to execute a program: interconnect capacity plus the event-queue
+/// engine driving the discrete-event simulator. The single knob the
+/// experiment drivers, CLI, and bench harness all plumb through.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Interconnect capacity model.
+    pub link: LinkModel,
+    /// Event-queue implementation (only consulted when the event engine
+    /// runs; see [`SimOptions::run`]).
+    pub engine: EventEngine,
+}
+
+impl SimOptions {
+    /// One-message-at-a-time links with the default (calendar) engine.
+    pub fn contended() -> Self {
+        Self {
+            link: LinkModel::SingleMessage,
+            ..Self::default()
+        }
+    }
+
+    /// Execute `prog` under these options. [`LinkModel::Unlimited`]
+    /// dispatches to the fixpoint simulator ([`simulate`]) — the event
+    /// engine reproduces it cycle for cycle (tested), and the fixpoint
+    /// sweep is the cheaper of the two; [`LinkModel::SingleMessage`] runs
+    /// the event engine with the chosen queue. Use [`simulate_event_with`]
+    /// directly to force the event engine on uncontended links.
+    pub fn run(
+        &self,
+        prog: &kn_sched::Program,
+        g: &Ddg,
+        m: &MachineConfig,
+        traffic: &TrafficModel,
+    ) -> Result<SimResult, ProgramError> {
+        match self.link {
+            LinkModel::Unlimited => simulate(prog, g, m, traffic),
+            LinkModel::SingleMessage => {
+                simulate_event_with(prog, g, m, traffic, self.link, self.engine)
+            }
+        }
+    }
+}
+
 /// Per-processor execution statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProcStats {
     /// Cycles spent executing instances.
     pub busy: Cycle,
@@ -71,7 +114,7 @@ pub struct ProcStats {
 }
 
 /// Result of a simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimResult {
     /// Start cycle and processor per instance.
     pub start: HashMap<InstanceId, (usize, Cycle)>,

@@ -1,0 +1,226 @@
+//! The event-engine contract, pinned three ways:
+//!
+//! 1. **Golden sims** — exact `SimResult` scalars for contended
+//!    long-ish-horizon runs of the paper's Figure 7 loop, so any change to
+//!    event ordering (tie-break, queue swap) that shifts observable
+//!    behavior fails loudly;
+//! 2. **Corpus equivalence** — on every paper workload (both our schedule
+//!    and DOACROSS's), the heap and calendar queues produce byte-identical
+//!    `SimResult`s across link models and traffic settings;
+//! 3. **Property equivalence** — the same, over the §4 random-loop
+//!    distribution, plus a long-horizon fanout program whose arrival
+//!    backlog forces the calendar queue through its overflow, grow, and
+//!    jump paths.
+
+use kn_ddg::{DdgBuilder, InstanceId};
+use kn_sched::{schedule_loop, MachineConfig, Program};
+use kn_sim::{
+    simulate, simulate_event_with, EventEngine, LinkModel, SimOptions, SimResult, TrafficModel,
+};
+use kn_workloads::{random_cyclic_loop, RandomLoopConfig, Workload};
+use proptest::prelude::*;
+
+const ENGINES: [EventEngine; 2] = [EventEngine::Heap, EventEngine::Calendar];
+const LINKS: [LinkModel; 2] = [LinkModel::Unlimited, LinkModel::SingleMessage];
+
+fn program_for(w: &Workload, iters: u32) -> (MachineConfig, Program) {
+    let m = MachineConfig::new(w.procs, w.k);
+    let s = schedule_loop(&w.graph, &m, iters, &Default::default()).expect("schedulable");
+    (m, s.program)
+}
+
+fn assert_engines_agree(prog: &Program, g: &kn_ddg::Ddg, m: &MachineConfig, label: &str) {
+    for link in LINKS {
+        for mm in [1u32, 3, 5] {
+            let t = TrafficModel {
+                mm,
+                seed: 0xC0FFEE ^ mm as u64,
+            };
+            let h = simulate_event_with(prog, g, m, &t, link, EventEngine::Heap).unwrap();
+            let c = simulate_event_with(prog, g, m, &t, link, EventEngine::Calendar).unwrap();
+            assert_eq!(h, c, "{label}: link={link:?} mm={mm}");
+        }
+    }
+}
+
+/// Golden contended runs of Figure 7: both engines must reproduce these
+/// scalars exactly. The values were recorded from the heap engine *after*
+/// the FIFO tie-break fix and pin today's behavior for future queue work.
+#[test]
+fn golden_contended_figure7() {
+    let w = kn_workloads::figure7();
+    let (m, prog) = program_for(&w, 200);
+    let g = &w.graph;
+
+    for engine in ENGINES {
+        let stable = simulate_event_with(
+            &prog,
+            g,
+            &m,
+            &TrafficModel::stable(0),
+            LinkModel::SingleMessage,
+            engine,
+        )
+        .unwrap();
+        assert_eq!(stable.makespan, 500, "{engine:?}");
+        assert_eq!(stable.messages, 398, "{engine:?}");
+        assert_eq!(stable.comm_cycles, 796, "{engine:?}");
+        assert_eq!(
+            stable.procs.iter().map(|p| p.executed).sum::<usize>(),
+            prog.len(),
+            "{engine:?}"
+        );
+
+        let noisy = simulate_event_with(
+            &prog,
+            g,
+            &m,
+            &TrafficModel { mm: 5, seed: 11 },
+            LinkModel::SingleMessage,
+            engine,
+        )
+        .unwrap();
+        assert_eq!(noisy.makespan, 941, "{engine:?}");
+        assert_eq!(noisy.messages, 398, "{engine:?}");
+        assert_eq!(noisy.comm_cycles, 1573, "{engine:?}");
+    }
+}
+
+/// The default engine is the calendar queue, and `SimOptions` routes
+/// contended runs through it.
+#[test]
+fn default_engine_and_sim_options_dispatch() {
+    let w = kn_workloads::figure7();
+    let (m, prog) = program_for(&w, 60);
+    let g = &w.graph;
+    let t = TrafficModel { mm: 3, seed: 4 };
+
+    assert_eq!(SimOptions::default().engine, EventEngine::Calendar);
+    // SimOptions with unlimited links = the fixpoint simulator.
+    let fix: SimResult = simulate(&prog, g, &m, &t).unwrap();
+    assert_eq!(SimOptions::default().run(&prog, g, &m, &t).unwrap(), fix);
+    // Contended SimOptions = the event engine under SingleMessage.
+    let ev = kn_sim::simulate_event(&prog, g, &m, &t, LinkModel::SingleMessage).unwrap();
+    assert_eq!(SimOptions::contended().run(&prog, g, &m, &t).unwrap(), ev);
+    for engine in ENGINES {
+        let opts = SimOptions {
+            link: LinkModel::SingleMessage,
+            engine,
+        };
+        assert_eq!(opts.run(&prog, g, &m, &t).unwrap(), ev, "{engine:?}");
+    }
+}
+
+/// Heap and calendar queues agree byte for byte on every paper workload,
+/// for both our schedule and the DOACROSS baseline.
+#[test]
+fn corpus_engines_agree() {
+    for w in [
+        kn_workloads::figure3(),
+        kn_workloads::figure7(),
+        kn_workloads::cytron86(),
+        kn_workloads::livermore18(),
+        kn_workloads::elliptic(),
+    ] {
+        let (m, prog) = program_for(&w, 40);
+        assert_engines_agree(&prog, &w.graph, &m, w.name);
+
+        let da = kn_doacross::doacross_schedule(&w.graph, &m, 40, &Default::default())
+            .expect("doacross schedulable");
+        assert_engines_agree(&da.program, &w.graph, &m, &format!("{} doacross", w.name));
+    }
+}
+
+/// A producer feeding remote consumers for many iterations builds an
+/// arrival backlog whose span far exceeds the calendar's initial ring, so
+/// this exercises overflow parking, lazy growth, and empty-ring jumps —
+/// and the engines must still agree exactly.
+#[test]
+fn long_horizon_fanout_engines_agree() {
+    let consumers = 3usize;
+    let iters = 4_000u32;
+    let mut b = DdgBuilder::new();
+    let src = b.node("src");
+    let sinks: Vec<_> = (0..consumers).map(|i| b.node(format!("s{i}"))).collect();
+    for &s in &sinks {
+        b.dep(src, s);
+    }
+    let g = b.build().unwrap();
+    let m = MachineConfig::new(consumers + 1, 3);
+    let mut seqs = vec![(0..iters)
+        .map(|iter| InstanceId { node: src, iter })
+        .collect::<Vec<_>>()];
+    for &s in &sinks {
+        seqs.push(
+            (0..iters)
+                .map(|iter| InstanceId { node: s, iter })
+                .collect(),
+        );
+    }
+    let prog = Program { seqs, iters };
+    assert_engines_agree(&prog, &g, &m, "fanout");
+
+    // And the backlog really bites: contended makespan far exceeds free.
+    let t = TrafficModel::stable(0);
+    let free = simulate_event_with(
+        &prog,
+        &g,
+        &m,
+        &t,
+        LinkModel::Unlimited,
+        EventEngine::Calendar,
+    )
+    .unwrap();
+    let tight = simulate_event_with(
+        &prog,
+        &g,
+        &m,
+        &t,
+        LinkModel::SingleMessage,
+        EventEngine::Calendar,
+    )
+    .unwrap();
+    assert!(
+        tight.makespan > 2 * free.makespan,
+        "contention dominates: {} vs {}",
+        tight.makespan,
+        free.makespan
+    );
+}
+
+fn small_cfg(nodes: usize) -> RandomLoopConfig {
+    RandomLoopConfig {
+        nodes,
+        lcds: nodes / 2,
+        sds: nodes / 2,
+        min_latency: 1,
+        max_latency: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Over the §4 random-loop distribution: schedule, then require the
+    /// two queues to produce byte-identical results under both link
+    /// models and fluctuating traffic.
+    #[test]
+    fn random_loops_engines_agree(
+        seed in 0u64..4000,
+        nodes in 4usize..12,
+        k in 0u32..4,
+        procs in 2usize..6,
+        mm in 1u32..5,
+    ) {
+        let g = random_cyclic_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let s = schedule_loop(&g, &m, 16, &Default::default()).unwrap();
+        let t = TrafficModel { mm, seed };
+        for link in LINKS {
+            let h = simulate_event_with(&s.program, &g, &m, &t, link, EventEngine::Heap).unwrap();
+            let c =
+                simulate_event_with(&s.program, &g, &m, &t, link, EventEngine::Calendar).unwrap();
+            prop_assert_eq!(&h, &c, "seed={} link={:?}", seed, link);
+        }
+    }
+}
