@@ -64,9 +64,10 @@ fn main() -> ExitCode {
     let violations = compare(&baseline, &candidate, policy);
     if violations.is_empty() {
         println!(
-            "bench-compare: OK ({} sched + {} event entries gated, budget {}%{})",
+            "bench-compare: OK ({} sched + {} event + {} service entries gated, budget {}%{})",
             baseline.entries.len(),
             baseline.event_entries.len(),
+            baseline.service_entries.len(),
             max_regress_pct,
             if ratios_only { ", ratios only" } else { "" }
         );

@@ -4,7 +4,9 @@
 //! for the five paper workloads and random 10/20/40/80-node loops, for
 //! both the optimized arena core and the retained map-based reference
 //! (`kn_sched::reference`), plus the event engine's heap vs calendar
-//! queues on long-horizon `SingleMessage` (contended) simulations, and
+//! queues on long-horizon `SingleMessage` (contended) simulations, plus
+//! the batch scheduling service's throughput against the sequential
+//! driver on mixed request batches (`service_entries`, schema v3), and
 //! writes the results plus speedup ratios to `BENCH_sched.json`. Future
 //! PRs compare their JSON against this one to see the perf trajectory
 //! (see the `bench-compare` binary and `kn_bench::trajectory`).
@@ -18,8 +20,10 @@ use kn_core::sched::reference::cyclic_schedule_ref;
 use kn_core::sched::{
     cyclic_schedule, schedule_loop, CyclicOptions, MachineConfig, PatternOutcome, Program,
 };
-use kn_core::sim::{simulate_event_with, EventEngine, LinkModel, TrafficModel};
+use kn_core::service::{self, LoopRequest, LoopSource, ScheduleRequest, Service};
+use kn_core::sim::{simulate_event_with, EventEngine, LinkModel, SimOptions, TrafficModel};
 use kn_core::workloads::{self, random_cyclic_loop_min, RandomLoopConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Case {
@@ -173,6 +177,80 @@ fn event_cases(iters: u32) -> Vec<EventCase> {
     cases
 }
 
+/// A service-throughput case: a fixed request batch, timed through the
+/// sequential reference executor and through a persistent [`Service`].
+struct ServiceCase {
+    name: String,
+    requests: Vec<ScheduleRequest>,
+}
+
+struct ServiceEntry {
+    name: String,
+    requests: usize,
+    workers: usize,
+    seq_ns: f64,
+    service_ns: f64,
+}
+
+impl ServiceEntry {
+    fn speedup(&self) -> f64 {
+        if self.service_ns > 0.0 {
+            self.seq_ns / self.service_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The batches behind the service-vs-sequential-driver throughput gate:
+///
+/// * `corpus_mix` — the four big paper loops × both event engines × two
+///   traffic settings on contended links: the mixed, embarrassingly
+///   parallel request stream a deployed service would see.
+/// * `table1_cells` — Table 1 experiment cells (one seed each), i.e. the
+///   exact work `run_table1_par` now routes through the service.
+fn service_cases(quick: bool) -> Vec<ServiceCase> {
+    let loop_iters: u32 = if quick { 60 } else { 200 };
+    let mut mix = Vec::new();
+    for name in ["figure7", "cytron86", "livermore18", "elliptic"] {
+        for engine in [EventEngine::Heap, EventEngine::Calendar] {
+            for mm in [1u32, 3] {
+                mix.push(ScheduleRequest::Loop(LoopRequest {
+                    source: LoopSource::Corpus(name.to_string()),
+                    iters: loop_iters,
+                    sim: SimOptions {
+                        link: LinkModel::SingleMessage,
+                        engine,
+                    },
+                    traffic: TrafficModel { mm, seed: 1 },
+                    ..LoopRequest::default()
+                }));
+            }
+        }
+    }
+    let t1 = Arc::new(kn_core::experiments::table1::Table1Config {
+        seeds: Vec::new(), // seeds ride on the requests, not the config
+        iters: if quick { 40 } else { 80 },
+        ..Default::default()
+    });
+    let cells = (1..=8u64)
+        .map(|seed| ScheduleRequest::Table1Row {
+            config: Arc::clone(&t1),
+            seed,
+        })
+        .collect();
+    vec![
+        ServiceCase {
+            name: "corpus_mix".into(),
+            requests: mix,
+        },
+        ServiceCase {
+            name: "table1_cells".into(),
+            requests: cells,
+        },
+    ]
+}
+
 /// Median ns per call of `f`, over `samples` samples of a time-budgeted
 /// inner loop (calibrated once so each sample runs long enough to trust).
 fn measure<R>(samples: usize, budget_ns: u64, mut f: impl FnMut() -> R) -> f64 {
@@ -305,8 +383,75 @@ fn main() {
         fanout.speedup()
     );
 
+    // Service throughput: the same request batch through the sequential
+    // reference executor (`service::execute`) and through a persistent
+    // worker pool. One "op" is a whole batch; the pool outlives every
+    // sample, so warm-worker reuse (the service's design point) is what
+    // gets measured. The speedup ratio is machine-portable only in the
+    // sense that it can't collapse without the service having lost its
+    // advantage on that runner — on a single-core host it is ~1x by
+    // construction, and the trajectory gate budgets for that.
+    let service_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(4);
+    let service_samples = if quick { 3 } else { 5 };
+    let mut service_entries = Vec::new();
+    println!("\nbatch scheduling service, {service_workers} worker(s):");
+    for case in service_cases(quick) {
+        let svc = Service::new(service_workers);
+        // Sanity: service responses equal the sequential executor's
+        // (keyed by id = input order) before anything is timed.
+        let ids = svc.submit_batch(case.requests.clone());
+        let via_service = svc.collect(&ids);
+        for ((_, got), req) in via_service.iter().zip(&case.requests) {
+            let want = service::execute(req);
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "{}: service and sequential responses diverge",
+                case.name
+            );
+        }
+
+        let seq_ns = measure(service_samples, budget_ns, || {
+            for r in &case.requests {
+                std::hint::black_box(service::execute(r).ok());
+            }
+        });
+        let service_ns = measure(service_samples, budget_ns, || {
+            let ids = svc.submit_batch(case.requests.clone());
+            svc.collect(&ids).len()
+        });
+        let e = ServiceEntry {
+            name: case.name.clone(),
+            requests: case.requests.len(),
+            workers: service_workers,
+            seq_ns,
+            service_ns,
+        };
+        println!(
+            "{:<12} ({:>3} requests)  sequential {:>12.0} ns/batch   service {:>12.0} ns/batch   speedup {:>5.2}x",
+            e.name,
+            e.requests,
+            e.seq_ns,
+            e.service_ns,
+            e.speedup()
+        );
+        service_entries.push(e);
+    }
+    let corpus_mix = service_entries
+        .iter()
+        .find(|e| e.name == "corpus_mix")
+        .expect("corpus_mix case present");
+    println!(
+        "\ncorpus_mix service-vs-sequential throughput ratio: {:.2}x ({} workers)",
+        corpus_mix.speedup(),
+        corpus_mix.workers
+    );
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"kn-bench-sched-v2\",\n");
+    json.push_str("{\n  \"schema\": \"kn-bench-sched-v3\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!(
@@ -314,6 +459,10 @@ fn main() {
         random80.speedup()
     ));
     json.push_str(&format!("  \"event_speedup\": {:.4},\n", fanout.speedup()));
+    json.push_str(&format!(
+        "  \"service_speedup\": {:.4},\n",
+        corpus_mix.speedup()
+    ));
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
@@ -338,6 +487,20 @@ fn main() {
             e.calendar_ns,
             e.speedup(),
             if i + 1 < event_entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"service_entries\": [\n");
+    for (i, e) in service_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"workers\": {}, \"seq_ns_per_batch\": {:.1}, \"service_ns_per_batch\": {:.1}, \"speedup\": {:.4}}}{}\n",
+            json_escape(&e.name),
+            e.requests,
+            e.workers,
+            e.seq_ns,
+            e.service_ns,
+            e.speedup(),
+            if i + 1 < service_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

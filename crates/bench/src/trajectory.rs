@@ -4,18 +4,21 @@
 //! The parser is deliberately schema-specific (the workspace vendors no
 //! JSON crate): it understands exactly the object layout `kn-bench`
 //! emits — a flat object of scalars plus the `entries` /
-//! `event_entries` arrays of flat objects — and accepts both the v1
-//! schema (no event entries) and v2.
+//! `event_entries` / `service_entries` arrays of flat objects — and
+//! accepts the v1 schema (no event entries), v2 (no service entries),
+//! and v3.
 //!
 //! Comparison modes:
 //!
 //! * **full** — gates absolute ns/op (`arena_ns_per_op`,
-//!   `calendar_ns_per_run`) *and* the speedup ratios. Only meaningful
-//!   when baseline and candidate ran on the same runner class.
+//!   `calendar_ns_per_run`, `service_ns_per_batch`) *and* the speedup
+//!   ratios. Only meaningful when baseline and candidate ran on the same
+//!   runner class.
 //! * **ratios-only** — gates just the machine-portable ratios
-//!   (arena-vs-reference speedup, calendar-vs-heap speedup). This is what
-//!   CI uses: shared runners make absolute ns noise, but a collapsed
-//!   ratio still means the optimized path lost its advantage.
+//!   (arena-vs-reference speedup, calendar-vs-heap speedup,
+//!   service-vs-sequential-driver throughput). This is what CI uses:
+//!   shared runners make absolute ns noise, but a collapsed ratio still
+//!   means the optimized path lost its advantage.
 
 /// One scheduler entry (`entries`).
 #[derive(Clone, Debug, PartialEq)]
@@ -35,12 +38,23 @@ pub struct EventEntry {
     pub speedup: f64,
 }
 
+/// One batch-scheduling-service entry (`service_entries`, schema v3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceEntry {
+    pub name: String,
+    pub workers: f64,
+    pub seq_ns_per_batch: f64,
+    pub service_ns_per_batch: f64,
+    pub speedup: f64,
+}
+
 /// A parsed `BENCH_sched.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchReport {
     pub schema: String,
     pub entries: Vec<SchedEntry>,
     pub event_entries: Vec<EventEntry>,
+    pub service_entries: Vec<ServiceEntry>,
 }
 
 /// Split the body of a JSON array of flat objects into object bodies.
@@ -120,10 +134,25 @@ pub fn parse(json: &str) -> Result<BenchReport, String> {
             });
         }
     }
+    let mut service_entries = Vec::new();
+    if let Some(body) = array_body(json, "service_entries") {
+        for obj in object_bodies(body) {
+            service_entries.push(ServiceEntry {
+                name: str_field(obj, "name").ok_or("service entry missing \"name\"")?,
+                workers: f64_field(obj, "workers").ok_or("service entry missing \"workers\"")?,
+                seq_ns_per_batch: f64_field(obj, "seq_ns_per_batch")
+                    .ok_or("service entry missing \"seq_ns_per_batch\"")?,
+                service_ns_per_batch: f64_field(obj, "service_ns_per_batch")
+                    .ok_or("service entry missing \"service_ns_per_batch\"")?,
+                speedup: f64_field(obj, "speedup").ok_or("service entry missing \"speedup\"")?,
+            });
+        }
+    }
     Ok(BenchReport {
         schema,
         entries,
         event_entries,
+        service_entries,
     })
 }
 
@@ -218,12 +247,41 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
             true,
         );
     }
+    let mut matched_service = 0usize;
+    for b in &baseline.service_entries {
+        let Some(c) = candidate.service_entries.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        matched_service += 1;
+        if !policy.ratios_only {
+            pct_worse(
+                &mut violations,
+                format!("{} service_ns_per_batch", b.name),
+                b.service_ns_per_batch,
+                c.service_ns_per_batch,
+                pct,
+                false,
+            );
+        }
+        pct_worse(
+            &mut violations,
+            format!("{} service-vs-sequential throughput", b.name),
+            b.speedup,
+            c.speedup,
+            pct,
+            true,
+        );
+    }
     if !baseline.entries.is_empty() && matched_sched == 0 {
         violations
             .push("no scheduler entry names matched the baseline — gate compared nothing".into());
     }
     if !baseline.event_entries.is_empty() && matched_event == 0 {
         violations.push("no event entry names matched the baseline — gate compared nothing".into());
+    }
+    if !baseline.service_entries.is_empty() && matched_service == 0 {
+        violations
+            .push("no service entry names matched the baseline — gate compared nothing".into());
     }
     violations
 }
@@ -248,6 +306,26 @@ mod tests {
 }
 "#;
 
+    const V3: &str = r#"{
+  "schema": "kn-bench-sched-v3",
+  "quick": false,
+  "samples": 11,
+  "random80_speedup": 6.3199,
+  "event_speedup": 2.7,
+  "service_speedup": 3.1,
+  "entries": [
+    {"name": "figure7", "cyclic_nodes": 5, "arena_ns_per_op": 1889.6, "reference_ns_per_op": 7056.6, "speedup": 3.7344}
+  ],
+  "event_entries": [
+    {"name": "fanout8", "iters": 100000, "events": 1500000, "heap_ns_per_run": 300000000.0, "calendar_ns_per_run": 110000000.0, "speedup": 2.7272}
+  ],
+  "service_entries": [
+    {"name": "corpus_mix", "requests": 16, "workers": 4, "seq_ns_per_batch": 40000000.0, "service_ns_per_batch": 12900000.0, "speedup": 3.1007},
+    {"name": "table1_cells", "requests": 8, "workers": 4, "seq_ns_per_batch": 30000000.0, "service_ns_per_batch": 11000000.0, "speedup": 2.7272}
+  ]
+}
+"#;
+
     fn policy(pct: f64, ratios_only: bool) -> GatePolicy {
         GatePolicy {
             max_regress_pct: pct,
@@ -266,6 +344,69 @@ mod tests {
         assert_eq!(r.event_entries.len(), 1);
         assert_eq!(r.event_entries[0].name, "fanout8");
         assert_eq!(r.event_entries[0].calendar_ns_per_run, 110000000.0);
+    }
+
+    #[test]
+    fn parses_v3_with_service_entries() {
+        let r = parse(V3).unwrap();
+        assert_eq!(r.schema, "kn-bench-sched-v3");
+        assert_eq!(r.service_entries.len(), 2);
+        assert_eq!(r.service_entries[0].name, "corpus_mix");
+        assert_eq!(r.service_entries[0].workers, 4.0);
+        assert_eq!(r.service_entries[0].service_ns_per_batch, 12900000.0);
+        assert_eq!(r.service_entries[1].speedup, 2.7272);
+        // The v2 sections still parse alongside.
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.event_entries.len(), 1);
+        assert!(compare(&r, &r, policy(25.0, false)).is_empty());
+    }
+
+    #[test]
+    fn service_throughput_collapse_fails_both_gates() {
+        let base = parse(V3).unwrap();
+        let mut cand = base.clone();
+        cand.service_entries[0].speedup = 1.0; // pool lost its advantage
+        for ratios_only in [false, true] {
+            let v = compare(&base, &cand, policy(25.0, ratios_only));
+            assert!(
+                v.iter()
+                    .any(|v| v.contains("corpus_mix service-vs-sequential")),
+                "{v:?}"
+            );
+        }
+        // Absolute batch time is gated only in full mode.
+        let mut slow = base.clone();
+        slow.service_entries[1].service_ns_per_batch *= 2.0;
+        let v = compare(&base, &slow, policy(25.0, false));
+        assert!(
+            v.iter()
+                .any(|v| v.contains("table1_cells service_ns_per_batch")),
+            "{v:?}"
+        );
+        assert!(compare(&base, &slow, policy(25.0, true)).is_empty());
+    }
+
+    #[test]
+    fn renamed_service_section_fails_instead_of_passing_vacuously() {
+        let base = parse(V3).unwrap();
+        let mut cand = base.clone();
+        for e in &mut cand.service_entries {
+            e.name = format!("renamed-{}", e.name);
+        }
+        let v = compare(&base, &cand, policy(25.0, true));
+        assert!(
+            v.iter()
+                .any(|v| v.contains("no service entry names matched")),
+            "{v:?}"
+        );
+        // A v2 candidate (no service section at all) also fails the v3 gate.
+        let v2 = parse(V2).unwrap();
+        let v = compare(&base, &v2, policy(25.0, true));
+        assert!(
+            v.iter()
+                .any(|v| v.contains("no service entry names matched")),
+            "{v:?}"
+        );
     }
 
     #[test]

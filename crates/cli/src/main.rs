@@ -12,6 +12,23 @@
 //! kn-cli codegen <figure7|cytron86|...>   transformed parallel loop
 //! kn-cli schedule <file> [k] [procs]      schedule a graph from a text file
 //! kn-cli dot <workload>                   GraphViz export (with classes)
+//! kn-cli serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE]
+//! ```
+//!
+//! ## `serve` — the batch scheduling service
+//!
+//! `serve` runs the long-lived work-queue service
+//! ([`kn_core::service`]) against a batch of requests: one request per
+//! line (`key=value` fields; format documented in
+//! [`kn_core::service::wire`]), read from `--requests FILE` or stdin.
+//! Responses are JSON lines in request order — deterministic regardless
+//! of `--workers` (CI diffs them against `corpus/service_golden.jsonl`).
+//! `--stats FILE` additionally writes the run-varying throughput /
+//! per-phase-latency JSON. Example:
+//!
+//! ```text
+//! $ echo "corpus=figure7 k=2 procs=2" | kn serve --workers 4
+//! {"id": 0, "status": "ok", "kind": "loop", "name": "figure7", ...}
 //! ```
 //!
 //! The text-file format is documented in `kn_ddg::text`; ready-made files
@@ -40,18 +57,129 @@ fn take_flag_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>,
 }
 
 fn workload(name: &str) -> Option<wl::Workload> {
-    Some(match name {
-        "3" | "figure3" => wl::figure3(),
-        "7" | "figure7" => wl::figure7(),
-        "9" | "10" | "cytron86" => wl::cytron86(),
-        "11" | "livermore18" => wl::livermore18(),
-        "12" | "elliptic" => wl::elliptic(),
-        "doall" => wl::doall(),
-        "livermore5" | "ll5" => wl::livermore5(),
-        "livermore23" | "ll23" => wl::livermore23(),
-        "rate_gap" | "rategap" => wl::rate_gap(),
-        _ => return None,
-    })
+    wl::by_name(name)
+}
+
+/// `kn serve`: run the batch scheduling service over a request file (or
+/// stdin) and emit one deterministic JSON response line per request, in
+/// request order. Returns a non-`Ok` status message on setup errors.
+fn run_serve(out: &mut impl std::io::Write, args: &mut Vec<String>) -> std::io::Result<()> {
+    use kn_core::service::{wire, Service, ServiceError};
+
+    let workers = match take_flag_value(args, "--workers") {
+        Ok(None) => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                writeln!(out, "--workers needs a positive integer, got {v:?}")?;
+                return Ok(());
+            }
+        },
+        Err(()) => {
+            writeln!(out, "--workers needs a value")?;
+            return Ok(());
+        }
+    };
+    let mut path_flag = |name: &str| -> Result<Option<String>, ()> { take_flag_value(args, name) };
+    let (requests_path, out_path, stats_path) = match (
+        path_flag("--requests"),
+        path_flag("--out"),
+        path_flag("--stats"),
+    ) {
+        (Ok(r), Ok(o), Ok(s)) => (r, o, s),
+        _ => {
+            writeln!(out, "--requests/--out/--stats need a value")?;
+            return Ok(());
+        }
+    };
+    if !args.is_empty() {
+        // A typoed flag (`--request`, `--workers=4`) must not silently
+        // fall back to defaults — with no --requests that would block on
+        // stdin forever in a non-interactive CI step.
+        writeln!(
+            out,
+            "serve: unexpected argument(s) {args:?} (flags are --workers N, --requests FILE, --out FILE, --stats FILE)"
+        )?;
+        return Ok(());
+    }
+
+    let input = match &requests_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                writeln!(out, "cannot read {path}: {e}")?;
+                return Ok(());
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)?;
+            buf
+        }
+    };
+
+    // Parse and submit in one pass so execution overlaps parsing; every
+    // non-comment line gets a response slot (malformed lines answer
+    // immediately with an error response and never reach the pool).
+    enum Slot {
+        Pending(kn_core::service::RequestId),
+        Immediate(ServiceError),
+    }
+    let svc = Service::new(workers);
+    let started = std::time::Instant::now();
+    let mut slots: Vec<Slot> = Vec::new();
+    for line in input.lines() {
+        match wire::parse_request_line(line) {
+            Ok(None) => {}
+            Ok(Some(req)) => slots.push(Slot::Pending(svc.submit(req))),
+            Err(e) => slots.push(Slot::Immediate(ServiceError::BadRequest(e))),
+        }
+    }
+    let mut done: std::collections::HashMap<_, _> = svc.drain().into_iter().collect();
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let stats = svc.stats();
+
+    let mut lines = String::new();
+    let mut errors = 0usize;
+    for (id, slot) in slots.iter().enumerate() {
+        let resp = match slot {
+            Slot::Pending(rid) => done.remove(rid).expect("drain returned every id"),
+            Slot::Immediate(e) => Err(e.clone()),
+        };
+        if resp.is_err() {
+            errors += 1;
+        }
+        lines.push_str(&wire::response_json(id as u64, &resp));
+        lines.push('\n');
+    }
+
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &lines)?;
+            writeln!(
+                out,
+                "served {} request(s) ({} error(s)) on {} worker(s) in {:.1} ms -> {}",
+                slots.len(),
+                errors,
+                workers,
+                wall_ns as f64 / 1e6,
+                path
+            )?;
+        }
+        None => write!(out, "{lines}")?,
+    }
+    if let Some(path) = &stats_path {
+        std::fs::write(
+            path,
+            wire::throughput_json(workers, slots.len() as u64, errors as u64, wall_ns, &stats),
+        )?;
+        if out_path.is_some() {
+            writeln!(out, "throughput JSON -> {path}")?;
+        }
+    }
+    Ok(())
 }
 
 fn print_figure(
@@ -126,11 +254,10 @@ fn main() {
     // different cost; calendar is the default).
     let engine = match take_flag_value(&mut args, "--engine") {
         Ok(None) => EventEngine::Calendar,
-        Ok(Some(v)) => match v.as_str() {
-            "calendar" => EventEngine::Calendar,
-            "heap" => EventEngine::Heap,
-            other => {
-                writeln!(out, "unknown engine {other:?} (heap|calendar)").unwrap();
+        Ok(Some(v)) => match EventEngine::from_name(&v) {
+            Some(e) => e,
+            None => {
+                writeln!(out, "unknown engine {v:?} (heap|calendar)").unwrap();
                 return;
             }
         },
@@ -141,11 +268,10 @@ fn main() {
     };
     let link = match take_flag_value(&mut args, "--link") {
         Ok(None) => LinkModel::Unlimited,
-        Ok(Some(v)) => match v.as_str() {
-            "unlimited" => LinkModel::Unlimited,
-            "single" | "single-message" => LinkModel::SingleMessage,
-            other => {
-                writeln!(out, "unknown link model {other:?} (unlimited|single)").unwrap();
+        Ok(Some(v)) => match LinkModel::from_name(&v) {
+            Some(l) => l,
+            None => {
+                writeln!(out, "unknown link model {v:?} (unlimited|single)").unwrap();
                 return;
             }
         },
@@ -155,7 +281,12 @@ fn main() {
         }
     };
     let sim = SimOptions { link, engine };
-    match args.first().map(String::as_str) {
+    let cmd = args.first().cloned();
+    match cmd.as_deref() {
+        Some("serve") => {
+            args.remove(0);
+            run_serve(&mut out, &mut args).unwrap();
+        }
         Some("figure") => {
             let which = args.get(1).map(String::as_str).unwrap_or("all");
             if which == "all" {
@@ -361,7 +492,14 @@ fn main() {
                 "usage: kn-cli [--seq] [--link unlimited|single] [--engine heap|calendar] \
                  <figure [n|all] | figure8 | table1 [seeds] [iters] | \
                  ablate <axis> | codegen <workload> | schedule <file> [k] [procs] | \
-                 dot <workload>>"
+                 dot <workload> | \
+                 serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE]>\n\
+                 \n\
+                 serve: batch scheduling service — requests are key=value lines \
+                 (corpus=NAME | ddg=FILE, k=, procs=, iters=, link=, engine=, \
+                 scheduler=cyclic|doacross|doacross-best, mm=, seed=) from --requests \
+                 or stdin; responses are JSON lines in request order, deterministic \
+                 for any --workers; --stats writes the throughput JSON."
             )
             .unwrap();
         }

@@ -357,8 +357,9 @@ impl ContentionAblation {
 
 /// One seed's cell: `(ours free, ours contended, doacross free, doacross
 /// contended)` percentage parallelism, timed by the chosen event-queue
-/// engine.
-fn contention_cell(
+/// engine. The unit of work the parallel driver submits to the service
+/// ([`ScheduleRequest::ContentionCell`](crate::service::ScheduleRequest)).
+pub(crate) fn contention_cell(
     seed: u64,
     k: u32,
     procs: usize,
@@ -437,7 +438,10 @@ pub fn contention_ablation_par(
     contention_ablation_par_with(seeds, k, procs, iters, kn_sim::EventEngine::default())
 }
 
-/// [`contention_ablation_with`] fanned out across threads; equal output.
+/// [`contention_ablation_with`] with the per-seed cells submitted as one
+/// batch to the global batch scheduling service; request ids preserve
+/// seed order, so the reduction (and therefore the report) is equal to
+/// the sequential driver's.
 pub fn contention_ablation_par_with(
     seeds: &[u64],
     k: u32,
@@ -445,9 +449,34 @@ pub fn contention_ablation_par_with(
     iters: u32,
     engine: kn_sim::EventEngine,
 ) -> ContentionAblation {
-    let cells = super::parallel::par_map(seeds.to_vec(), |s| {
-        contention_cell(s, k, procs, iters, engine)
-    });
+    use crate::service::{ScheduleRequest, ScheduleResponse};
+    let svc = crate::service::global();
+    let ids = svc.submit_batch(
+        seeds
+            .iter()
+            .map(|&seed| ScheduleRequest::ContentionCell {
+                seed,
+                k,
+                procs,
+                iters,
+                engine,
+            })
+            .collect(),
+    );
+    let cells = svc
+        .collect(&ids)
+        .into_iter()
+        .map(|(id, r)| match r {
+            Ok(ScheduleResponse::Contention {
+                ours_free,
+                ours_contended,
+                doacross_free,
+                doacross_contended,
+            }) => (ours_free, ours_contended, doacross_free, doacross_contended),
+            Ok(other) => unreachable!("contention cell answered with {other:?}"),
+            Err(e) => panic!("contention cell {id} failed: {e}"),
+        })
+        .collect();
     contention_reduce(seeds, cells)
 }
 

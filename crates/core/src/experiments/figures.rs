@@ -164,8 +164,9 @@ pub fn figure_report_with(w: &Workload, iters: u32, sim: &SimOptions) -> FigureR
 }
 
 /// Run [`figure_report`] over a set of workloads with the per-workload
-/// cells fanned out across threads; reports come back in input order, each
-/// equal to its sequential twin (the cells share no state).
+/// cells submitted as one batch to the global batch scheduling service;
+/// request ids preserve submission order, so reports come back in input
+/// order, each equal to its sequential twin (the cells share no state).
 pub fn figure_reports_par(workloads: Vec<Workload>, iters: u32) -> Vec<FigureReport> {
     figure_reports_par_with(workloads, iters, SimOptions::default())
 }
@@ -176,7 +177,26 @@ pub fn figure_reports_par_with(
     iters: u32,
     sim: SimOptions,
 ) -> Vec<FigureReport> {
-    super::parallel::par_map(workloads, move |w| figure_report_with(&w, iters, &sim))
+    use crate::service::{ScheduleRequest, ScheduleResponse};
+    let svc = crate::service::global();
+    let ids = svc.submit_batch(
+        workloads
+            .into_iter()
+            .map(|workload| ScheduleRequest::Figure {
+                workload,
+                iters,
+                sim,
+            })
+            .collect(),
+    );
+    svc.collect(&ids)
+        .into_iter()
+        .map(|(id, r)| match r {
+            Ok(ScheduleResponse::Figure(report)) => *report,
+            Ok(other) => unreachable!("figure cell answered with {other:?}"),
+            Err(e) => panic!("figure cell {id} failed: {e}"),
+        })
+        .collect()
 }
 
 /// Paper Figure 8: the two DOACROSS schedules (natural, reordered) for a

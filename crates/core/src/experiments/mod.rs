@@ -13,9 +13,13 @@
 
 //! Every driver has a sequential entry point and (where the work is heavy
 //! enough to matter) a `_par` twin that fans independent (workload,
-//! machine) cells out across threads via [`parallel`], reducing in
-//! deterministic input order — parallel and sequential reports are equal,
-//! element for element.
+//! machine) cells out across threads, reducing in deterministic input
+//! order — parallel and sequential reports are equal, element for
+//! element. The heavy drivers (`run_table1_par`,
+//! `contention_ablation_par`, `figure_reports_par`) submit their cells as
+//! batches to the global [`crate::service`] worker pool — the repo's one
+//! long-lived fan-out engine; the lightweight ablations use the scoped
+//! [`parallel`] helpers directly.
 //!
 //! Drivers that execute programs take a [`kn_sim::SimOptions`] (directly,
 //! via a `_with` variant, or as a config field): it selects the link model

@@ -1,4 +1,5 @@
-//! Deterministic parallel fan-out for the experiment drivers.
+//! Deterministic scoped parallel fan-out for the lightweight experiment
+//! drivers.
 //!
 //! Every experiment in this module tree decomposes into independent
 //! (workload, machine) cells — a seed's loop scheduled and simulated under
@@ -7,6 +8,11 @@
 //! (seed order, estimate order, workload order), so a parallel run's
 //! report is equal to the sequential run's, element for element. Tests in
 //! `table1`/`ablate`/`figures` pin that equality.
+//!
+//! Two fan-out mechanisms share that contract: the heavy drivers submit
+//! typed cells to the persistent [`crate::service`] worker pool, while
+//! the helpers here spawn scoped threads per call — the right shape for
+//! the small ablations whose closures borrow from the caller.
 //!
 //! The `rayon` dependency resolves to the workspace's vendored shim (see
 //! `vendor/rayon`): same API, `std::thread::scope` underneath, results

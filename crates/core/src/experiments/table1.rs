@@ -110,8 +110,9 @@ pub struct Table1Report {
 
 /// One cell of the experiment: generate, schedule both ways, and simulate
 /// seed `seed` under every traffic setting. Independent of every other
-/// seed — the unit of work the parallel driver fans out.
-fn table1_row(cfg: &Table1Config, seed: u64) -> Table1Row {
+/// seed — the unit of work the parallel driver submits to the service
+/// ([`ScheduleRequest::Table1Row`](crate::service::ScheduleRequest)).
+pub(crate) fn table1_row(cfg: &Table1Config, seed: u64) -> Table1Row {
     let m = MachineConfig::new(cfg.procs, cfg.k);
     let g = random_cyclic_loop_min(seed, &cfg.gen, cfg.min_core);
     let s = sequential_time(&g, cfg.iters);
@@ -159,11 +160,34 @@ pub fn run_table1(cfg: &Table1Config) -> Table1Report {
     summarize(cfg, rows)
 }
 
-/// Run the experiment with seeds fanned out across threads. Rows come back
-/// in seed order and the summary reduction is identical to
-/// [`run_table1`]'s, so both entry points produce equal reports (tested).
+/// Run the experiment with seeds fanned out as one batch of
+/// [`crate::service::ScheduleRequest::Table1Row`] cells on the global
+/// batch scheduling service. Request ids preserve submission (= seed)
+/// order, so rows come back in seed order and the summary reduction is
+/// identical to [`run_table1`]'s — both entry points produce equal
+/// reports (tested).
 pub fn run_table1_par(cfg: &Table1Config) -> Table1Report {
-    let rows = super::parallel::par_map(cfg.seeds.clone(), |seed| table1_row(cfg, seed));
+    use crate::service::{ScheduleRequest, ScheduleResponse};
+    let svc = crate::service::global();
+    let shared = std::sync::Arc::new(cfg.clone());
+    let ids = svc.submit_batch(
+        cfg.seeds
+            .iter()
+            .map(|&seed| ScheduleRequest::Table1Row {
+                config: std::sync::Arc::clone(&shared),
+                seed,
+            })
+            .collect(),
+    );
+    let rows = svc
+        .collect(&ids)
+        .into_iter()
+        .map(|(id, r)| match r {
+            Ok(ScheduleResponse::Table1Row(row)) => row,
+            Ok(other) => unreachable!("table1 cell answered with {other:?}"),
+            Err(e) => panic!("table1 cell {id} failed: {e}"),
+        })
+        .collect();
     summarize(cfg, rows)
 }
 

@@ -8,6 +8,10 @@
 //!   pattern scheduling, Flow-in/Flow-out placement, static timing;
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation (see EXPERIMENTS.md for measured results);
+//! * [`service`] — the long-lived batch scheduling service: a persistent
+//!   worker pool behind a `ScheduleRequest`/`ScheduleResponse` API, the
+//!   single fan-out engine the parallel experiment drivers and
+//!   `kn serve` submit to;
 //! * re-exports of all subsystem crates (`ddg`, `ir`, `sched`, `doacross`,
 //!   `sim`, `runtime`, `workloads`, `metrics`).
 //!
@@ -35,6 +39,7 @@ pub use kn_sim as sim;
 pub use kn_workloads as workloads;
 
 pub mod experiments;
+pub mod service;
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -1,0 +1,374 @@
+//! # Batch scheduling service — a long-lived work-queue API over the
+//! # Cyclic-sched pipeline
+//!
+//! The experiment drivers fan independent (workload, machine) cells out
+//! across threads and then exit; this module lifts that fan-out into a
+//! **service**: a persistent worker pool that outlives any single driver
+//! call, fed through a typed request/response pair. It is the stepping
+//! stone from "experiment driver" to "system that serves traffic"
+//! (ROADMAP north star): the paper's analyze → schedule → simulate
+//! pipeline is exactly the request shape a scheduling service handles at
+//! scale.
+//!
+//! ## Request/response contract
+//!
+//! A [`ScheduleRequest`] names a loop source (corpus workload, DDG text
+//! or file, or an in-memory graph), a machine configuration, an execution
+//! model ([`SimOptions`](kn_sim::SimOptions): link capacity + event-queue
+//! engine), and a scheduler choice (`Cyclic-sched` or a DOACROSS
+//! baseline). [`Service::submit`] assigns it a monotonically increasing
+//! [`RequestId`] and enqueues it; workers execute requests concurrently
+//! and may complete them **in any order**. Every submitted request
+//! produces exactly one response — a [`ScheduleResponse`] on success or a
+//! [`ServiceError`] on failure (bad source, unschedulable loop, or a
+//! panic inside the pipeline) — retrievable with [`Service::collect`]
+//! (the ids you submitted) or [`Service::drain`] (everything
+//! outstanding), both returned sorted by id.
+//!
+//! ## Determinism guarantee
+//!
+//! Responses are pure functions of their request: every stage (parsing,
+//! scheduling, simulation) is deterministic, workers share no mutable
+//! state, and results are keyed by request id. Therefore the multiset of
+//! `(id, response)` pairs is independent of the worker count, the
+//! submission order of *other* requests, and OS scheduling — a batch
+//! submitted to a 1-worker service, an 8-worker service, or shuffled and
+//! resubmitted yields identical responses per id (pinned by
+//! `crates/core/tests/service.rs`). The experiment drivers rebuilt on the
+//! service (`run_table1_par`, `contention_ablation_par`,
+//! `figure_reports_par`) are byte-identical to their sequential twins.
+//!
+//! ## Fault isolation
+//!
+//! A request that panics inside the pipeline is caught at the worker
+//! boundary ([`ServiceError::Panicked`]): the worker survives, subsequent
+//! requests are served normally, and [`Service::drain`] still returns a
+//! response for the panicked id — a poisoned request can never wedge the
+//! pool.
+//!
+//! ## Example
+//!
+//! ```
+//! use kn_core::service::{LoopSource, ScheduleRequest, ScheduleResponse, Service};
+//!
+//! let svc = Service::new(2);
+//! let id = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+//! let responses = svc.collect(&[id]);
+//! let Ok(ScheduleResponse::Loop(out)) = &responses[0].1 else {
+//!     panic!("figure7 schedules");
+//! };
+//! assert_eq!(out.ii, Some(2.5));
+//! ```
+//!
+//! The process-wide [`global`] service (sized to the machine) is what the
+//! parallel experiment drivers submit to; per-call services are for tests
+//! and embedders that want their own pool. Do **not** submit-and-collect
+//! from *inside* a request executing on the same service — a worker
+//! blocking on its own pool's results can deadlock a fully loaded pool.
+
+mod request;
+pub mod wire;
+
+pub use request::{
+    execute, LoopOutcome, LoopRequest, LoopSource, RequestTiming, ScheduleRequest,
+    ScheduleResponse, SchedulerChoice, ServiceError, WorkerScratch,
+};
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Stable handle for one submitted request. Ids are assigned in
+/// submission order and never reused, so out-of-order completion remains
+/// deterministically attributable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Cumulative per-service execution statistics (monotone counters; read
+/// a snapshot with [`Service::stats`], diff two snapshots for batch-level
+/// numbers). Phase breakdowns cover [`ScheduleRequest::Loop`] requests;
+/// experiment-cell requests report only their total under `exec_ns`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed (ok or error).
+    pub completed: u64,
+    /// Requests that completed with an error response.
+    pub errors: u64,
+    /// Total wall nanoseconds workers spent executing requests.
+    pub exec_ns: u64,
+    /// Source-resolution (read + parse + cache lookup) nanoseconds.
+    pub parse_ns: u64,
+    /// Scheduling nanoseconds.
+    pub schedule_ns: u64,
+    /// Simulation nanoseconds.
+    pub sim_ns: u64,
+}
+
+/// Completed responses paired with their ids, sorted by id — what
+/// [`Service::collect`] and [`Service::drain`] return.
+pub type Responses = Vec<(RequestId, Result<ScheduleResponse, ServiceError>)>;
+
+/// Completed-response ledger shared between workers and callers.
+struct Ledger {
+    done: HashMap<RequestId, Result<ScheduleResponse, ServiceError>>,
+    outstanding: u64,
+    stats: ServiceStats,
+}
+
+/// The long-lived batch scheduling service: `workers` persistent threads
+/// pulling [`ScheduleRequest`]s from a shared queue. See the module docs
+/// for the contract; construction is cheap enough for per-test pools but
+/// the intended production shape is one service per process ([`global`]).
+pub struct Service {
+    /// `None` after shutdown begins (Drop); senders hand out ids first.
+    tx: Mutex<Option<Sender<(RequestId, ScheduleRequest)>>>,
+    ledger: Arc<(Mutex<Ledger>, Condvar)>,
+    next_id: AtomicU64,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl Service {
+    /// Spawn a service with `workers` persistent worker threads (at least
+    /// one). Each worker owns a [`WorkerScratch`] that is **reused across
+    /// requests** — parsed-source caches and corpus workloads survive from
+    /// one request to the next instead of being rebuilt per batch.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<(RequestId, ScheduleRequest)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let ledger = Arc::new((
+            Mutex::new(Ledger {
+                done: HashMap::new(),
+                outstanding: 0,
+                stats: ServiceStats::default(),
+            }),
+            Condvar::new(),
+        ));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let ledger = Arc::clone(&ledger);
+                std::thread::spawn(move || worker_loop(&rx, &ledger))
+            })
+            .collect();
+        Self {
+            tx: Mutex::new(Some(tx)),
+            ledger,
+            next_id: AtomicU64::new(0),
+            workers: Mutex::new(handles),
+            worker_count: workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Enqueue one request; returns immediately with its id.
+    pub fn submit(&self, req: ScheduleRequest) -> RequestId {
+        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        {
+            // Account before sending so a fast worker can never complete a
+            // request the ledger does not yet know is outstanding.
+            let (lock, _) = &*self.ledger;
+            let mut ledger = lock.lock().unwrap();
+            ledger.outstanding += 1;
+            ledger.stats.submitted += 1;
+        }
+        let tx = self.tx.lock().unwrap();
+        tx.as_ref()
+            .expect("service is shut down")
+            .send((id, req))
+            .expect("service workers alive");
+        id
+    }
+
+    /// Enqueue a batch; ids are consecutive in input order.
+    pub fn submit_batch(&self, reqs: Vec<ScheduleRequest>) -> Vec<RequestId> {
+        reqs.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Block until every id in `ids` has a response, then remove and
+    /// return them **sorted by id** (so a batch submitted in input order
+    /// comes back in input order regardless of completion order). Ids
+    /// from other callers of a shared service are untouched, which is
+    /// what makes the [`global`] service safe to share between
+    /// concurrently running drivers.
+    pub fn collect(&self, ids: &[RequestId]) -> Responses {
+        let mut ids: Vec<RequestId> = ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let (lock, cv) = &*self.ledger;
+        let mut ledger = lock.lock().unwrap();
+        while !ids.iter().all(|id| ledger.done.contains_key(id)) {
+            ledger = cv.wait(ledger).unwrap();
+        }
+        ids.into_iter()
+            .map(|id| {
+                let r = ledger.done.remove(&id).expect("id present after wait");
+                (id, r)
+            })
+            .collect()
+    }
+
+    /// Block until **no** request is outstanding, then remove and return
+    /// every uncollected response sorted by id. Meant for single-owner
+    /// services (e.g. `kn serve`); on a shared service this would also
+    /// drain other callers' responses — they should use [`collect`].
+    ///
+    /// [`collect`]: Service::collect
+    pub fn drain(&self) -> Responses {
+        let (lock, cv) = &*self.ledger;
+        let mut ledger = lock.lock().unwrap();
+        while ledger.outstanding > 0 {
+            ledger = cv.wait(ledger).unwrap();
+        }
+        let mut out: Vec<_> = ledger.done.drain().collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Snapshot of the cumulative execution statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.ledger.0.lock().unwrap().stats.clone()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        *self.tx.lock().unwrap() = None;
+        for h in self.workers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<(RequestId, ScheduleRequest)>>,
+    ledger: &(Mutex<Ledger>, Condvar),
+) {
+    let mut scratch = WorkerScratch::default();
+    loop {
+        // Hold the queue lock only for the dequeue, never during execution.
+        let msg = rx.lock().unwrap().recv();
+        let Ok((id, req)) = msg else {
+            return; // channel closed: service shut down
+        };
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            request::execute_with(&mut scratch, &req)
+        }));
+        let exec_ns = t0.elapsed().as_nanos() as u64;
+        let (result, timing) = match outcome {
+            Ok((result, timing)) => (result, timing),
+            Err(payload) => {
+                // The panic may have left the scratch caches mid-update;
+                // start this worker's caches over rather than trust them.
+                scratch = WorkerScratch::default();
+                (
+                    Err(ServiceError::Panicked(panic_message(payload))),
+                    RequestTiming::default(),
+                )
+            }
+        };
+        let (lock, cv) = ledger;
+        let mut ledger = lock.lock().unwrap();
+        ledger.stats.completed += 1;
+        if result.is_err() {
+            ledger.stats.errors += 1;
+        }
+        ledger.stats.exec_ns += exec_ns;
+        ledger.stats.parse_ns += timing.parse_ns;
+        ledger.stats.schedule_ns += timing.schedule_ns;
+        ledger.stats.sim_ns += timing.sim_ns;
+        ledger.outstanding -= 1;
+        ledger.done.insert(id, result);
+        cv.notify_all();
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "request panicked".to_string()
+    }
+}
+
+/// The process-wide service, sized to the machine
+/// (`std::thread::available_parallelism`), created on first use and alive
+/// for the rest of the process. The parallel experiment drivers submit
+/// their cells here, so repeated driver calls reuse the same warm worker
+/// pool instead of re-spawning threads per batch.
+pub fn global() -> &'static Service {
+    static GLOBAL: OnceLock<Service> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Service::new(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_collect_round_trip() {
+        let svc = Service::new(2);
+        let a = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        let b = svc.submit(ScheduleRequest::loop_on_corpus("cytron86"));
+        let got = svc.collect(&[b, a]); // collect order is id order
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, a);
+        assert_eq!(got[1].0, b);
+        assert!(got.iter().all(|(_, r)| r.is_ok()));
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.exec_ns > 0);
+    }
+
+    #[test]
+    fn drain_returns_everything_in_id_order() {
+        let svc = Service::new(3);
+        let ids = svc.submit_batch(vec![
+            ScheduleRequest::loop_on_corpus("figure7"),
+            ScheduleRequest::loop_on_corpus("nope"),
+            ScheduleRequest::loop_on_corpus("elliptic"),
+        ]);
+        let got = svc.drain();
+        assert_eq!(got.iter().map(|&(id, _)| id).collect::<Vec<_>>(), ids);
+        assert!(got[0].1.is_ok());
+        assert!(got[1].1.is_err(), "unknown corpus is an error response");
+        assert!(got[2].1.is_ok());
+    }
+
+    #[test]
+    fn global_service_is_shared_and_sized() {
+        let svc = global();
+        assert!(svc.workers() >= 1);
+        let id = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        assert!(svc.collect(&[id])[0].1.is_ok());
+    }
+}

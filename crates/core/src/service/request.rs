@@ -1,0 +1,519 @@
+//! Typed requests, responses, and the per-request execution pipeline.
+//!
+//! [`execute`] is the sequential twin of what a worker thread runs: every
+//! response is a pure function of its request, which is what the service's
+//! determinism guarantee (module docs) rests on.
+
+use crate::experiments::{ablate, figures, table1};
+use kn_doacross::{doacross_schedule, DoacrossOptions, Reorder};
+use kn_metrics::percentage_parallelism_clamped;
+use kn_sched::{Cycle, MachineConfig};
+use kn_sim::{sequential_time, EventEngine, SimOptions, TrafficModel};
+use kn_workloads::Workload;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where the loop to schedule comes from.
+#[derive(Clone, Debug)]
+pub enum LoopSource {
+    /// A built-in corpus workload by name (see [`kn_workloads::by_name`]).
+    Corpus(String),
+    /// A `.ddg` file in the text format of [`kn_ddg::text`], read at
+    /// execution time.
+    DdgFile(String),
+    /// DDG text supplied inline.
+    DdgText(String),
+    /// An in-memory graph (API callers; not expressible in the wire
+    /// format).
+    Graph { name: String, graph: kn_ddg::Ddg },
+}
+
+/// Which scheduler answers the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerChoice {
+    /// The paper's pipeline: classification + `Cyclic-sched` + flow
+    /// placement ([`kn_sched::schedule_loop`]).
+    Cyclic,
+    /// DOACROSS with the natural body order.
+    DoacrossNatural,
+    /// DOACROSS with the best reordering (exhaustive up to the same cap
+    /// the figure drivers use).
+    DoacrossBest,
+}
+
+impl SchedulerChoice {
+    /// Wire name (`scheduler=` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerChoice::Cyclic => "cyclic",
+            SchedulerChoice::DoacrossNatural => "doacross",
+            SchedulerChoice::DoacrossBest => "doacross-best",
+        }
+    }
+}
+
+/// Schedule-and-simulate one loop on one machine configuration.
+#[derive(Clone, Debug)]
+pub struct LoopRequest {
+    pub source: LoopSource,
+    /// Processor budget; `None` = the corpus workload's paper value, or 8
+    /// for non-corpus sources.
+    pub procs: Option<usize>,
+    /// Communication-cost estimate `k`; `None` = the corpus workload's
+    /// paper value, or 3 for non-corpus sources.
+    pub k: Option<u32>,
+    /// Iterations executed on the simulated machine.
+    pub iters: u32,
+    /// Execution model: link capacity + event-queue engine.
+    pub sim: SimOptions,
+    /// Run-time traffic fluctuation.
+    pub traffic: TrafficModel,
+    pub scheduler: SchedulerChoice,
+}
+
+impl Default for LoopRequest {
+    fn default() -> Self {
+        Self {
+            source: LoopSource::Corpus("figure7".into()),
+            procs: None,
+            k: None,
+            iters: 100,
+            sim: SimOptions::default(),
+            traffic: TrafficModel::stable(0),
+            scheduler: SchedulerChoice::Cyclic,
+        }
+    }
+}
+
+/// One unit of service work. `Loop` is the externally reachable request
+/// (the wire format produces only this variant); the experiment-cell
+/// variants are how the parallel drivers (`run_table1_par`,
+/// `contention_ablation_par`, `figure_reports_par`) submit their cells to
+/// the same pool, so the repository has one fan-out engine.
+#[derive(Clone, Debug)]
+pub enum ScheduleRequest {
+    /// Schedule and simulate one loop.
+    Loop(LoopRequest),
+    /// One Table 1 cell: one seed under every traffic setting of `config`.
+    Table1Row {
+        config: Arc<table1::Table1Config>,
+        seed: u64,
+    },
+    /// One contention-ablation cell.
+    ContentionCell {
+        seed: u64,
+        k: u32,
+        procs: usize,
+        iters: u32,
+        engine: EventEngine,
+    },
+    /// One full figure report.
+    Figure {
+        workload: Workload,
+        iters: u32,
+        sim: SimOptions,
+    },
+}
+
+impl ScheduleRequest {
+    /// A default [`LoopRequest`] on a corpus workload — the common case.
+    pub fn loop_on_corpus(name: &str) -> Self {
+        ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::Corpus(name.to_string()),
+            ..LoopRequest::default()
+        })
+    }
+}
+
+/// Result of a [`ScheduleRequest::Loop`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopOutcome {
+    /// Source name (corpus name, file path, or supplied graph name).
+    pub name: String,
+    pub scheduler: SchedulerChoice,
+    /// Processors the schedule actually uses.
+    pub processors_used: usize,
+    /// Sequential execution time for `iters` iterations.
+    pub seq_time: Cycle,
+    /// Simulated completion time under the request's traffic + links.
+    pub makespan: Cycle,
+    /// Percentage parallelism `(s - p)/s * 100`, clamped at 0.
+    pub sp: f64,
+    /// Cross-processor messages delivered.
+    pub messages: u64,
+    /// Total actual communication cycles.
+    pub comm_cycles: u64,
+    /// Steady-state cycles/iteration of the Cyclic core (Cyclic scheduler
+    /// only; `None` for DOALL loops and DOACROSS).
+    pub ii: Option<f64>,
+}
+
+/// One response; the variant mirrors the request's.
+#[derive(Clone, Debug)]
+pub enum ScheduleResponse {
+    Loop(LoopOutcome),
+    Table1Row(table1::Table1Row),
+    Contention {
+        ours_free: f64,
+        ours_contended: f64,
+        doacross_free: f64,
+        doacross_contended: f64,
+    },
+    Figure(Box<figures::FigureReport>),
+}
+
+/// Why a request failed. Every variant is a *response* — the pool stays
+/// healthy and later requests are unaffected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The loop source could not be resolved (unknown corpus name,
+    /// unreadable file, DDG parse error).
+    BadRequest(String),
+    /// Source resolved but the scheduler or simulator rejected it.
+    Sched(String),
+    /// The pipeline panicked; the worker caught it at the request
+    /// boundary.
+    Panicked(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::Sched(m) => write!(f, "scheduling failed: {m}"),
+            ServiceError::Panicked(m) => write!(f, "request panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-request phase latencies, accumulated into
+/// [`ServiceStats`](super::ServiceStats). Experiment-cell requests run
+/// their phases interleaved inside one cell function and report zeros
+/// here (their total still lands in `exec_ns`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestTiming {
+    pub parse_ns: u64,
+    pub schedule_ns: u64,
+    pub sim_ns: u64,
+}
+
+/// Per-worker state reused across requests: resolved corpus workloads
+/// keyed by name and parsed DDG sources keyed by the full source text
+/// (not a hash — requests are externally supplied, so a colliding digest
+/// must never serve the wrong graph). A long-lived service answering
+/// repeated requests over the same loops skips re-building and
+/// re-parsing them; the caches live as long as the worker thread.
+#[derive(Default)]
+pub struct WorkerScratch {
+    corpus: HashMap<String, Workload>,
+    parsed: HashMap<String, kn_ddg::Ddg>,
+}
+
+/// A resolved [`LoopSource`]: display name, graph, and — for corpus
+/// workloads — the paper's (procs, k) to fall back on.
+struct ResolvedSource {
+    name: String,
+    graph: kn_ddg::Ddg,
+    machine_defaults: Option<(usize, u32)>,
+}
+
+impl WorkerScratch {
+    fn resolve(&mut self, source: &LoopSource) -> Result<ResolvedSource, ServiceError> {
+        match source {
+            LoopSource::Corpus(name) => {
+                if !self.corpus.contains_key(name) {
+                    let w = kn_workloads::by_name(name).ok_or_else(|| {
+                        ServiceError::BadRequest(format!("unknown corpus workload {name:?}"))
+                    })?;
+                    self.corpus.insert(name.clone(), w);
+                }
+                let w = &self.corpus[name];
+                Ok(ResolvedSource {
+                    name: w.name.to_string(),
+                    graph: w.graph.clone(),
+                    machine_defaults: Some((w.procs, w.k)),
+                })
+            }
+            LoopSource::DdgFile(path) => {
+                // Re-read every time (the file may change under a
+                // long-lived service); the *parse* is cached by content.
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ServiceError::BadRequest(format!("cannot read {path}: {e}")))?;
+                Ok(ResolvedSource {
+                    name: path.clone(),
+                    graph: self.parse_cached(&text)?,
+                    machine_defaults: None,
+                })
+            }
+            LoopSource::DdgText(text) => Ok(ResolvedSource {
+                name: "inline".to_string(),
+                graph: self.parse_cached(text)?,
+                machine_defaults: None,
+            }),
+            LoopSource::Graph { name, graph } => Ok(ResolvedSource {
+                name: name.clone(),
+                graph: graph.clone(),
+                machine_defaults: None,
+            }),
+        }
+    }
+
+    fn parse_cached(&mut self, text: &str) -> Result<kn_ddg::Ddg, ServiceError> {
+        if let Some(g) = self.parsed.get(text) {
+            return Ok(g.clone());
+        }
+        let g = kn_ddg::parse_text(text)
+            .map_err(|e| ServiceError::BadRequest(format!("DDG parse error: {e}")))?;
+        self.parsed.insert(text.to_string(), g.clone());
+        Ok(g)
+    }
+}
+
+/// Execute one request against a worker's scratch. Returns the response
+/// (or error) plus the phase timing. This is the exact function the pool
+/// workers run under their panic guard.
+pub(crate) fn execute_with(
+    scratch: &mut WorkerScratch,
+    req: &ScheduleRequest,
+) -> (Result<ScheduleResponse, ServiceError>, RequestTiming) {
+    let mut timing = RequestTiming::default();
+    let result = match req {
+        ScheduleRequest::Loop(r) => execute_loop(scratch, r, &mut timing),
+        ScheduleRequest::Table1Row { config, seed } => Ok(ScheduleResponse::Table1Row(
+            table1::table1_row(config, *seed),
+        )),
+        ScheduleRequest::ContentionCell {
+            seed,
+            k,
+            procs,
+            iters,
+            engine,
+        } => {
+            let (ours_free, ours_contended, doacross_free, doacross_contended) =
+                ablate::contention_cell(*seed, *k, *procs, *iters, *engine);
+            Ok(ScheduleResponse::Contention {
+                ours_free,
+                ours_contended,
+                doacross_free,
+                doacross_contended,
+            })
+        }
+        ScheduleRequest::Figure {
+            workload,
+            iters,
+            sim,
+        } => Ok(ScheduleResponse::Figure(Box::new(
+            figures::figure_report_with(workload, *iters, sim),
+        ))),
+    };
+    (result, timing)
+}
+
+fn execute_loop(
+    scratch: &mut WorkerScratch,
+    r: &LoopRequest,
+    timing: &mut RequestTiming,
+) -> Result<ScheduleResponse, ServiceError> {
+    let t0 = Instant::now();
+    let ResolvedSource {
+        name,
+        graph,
+        machine_defaults,
+    } = scratch.resolve(&r.source)?;
+    timing.parse_ns = t0.elapsed().as_nanos() as u64;
+
+    let (default_procs, default_k) = machine_defaults.unwrap_or((8, 3));
+    let procs = r.procs.unwrap_or(default_procs);
+    if procs == 0 {
+        // MachineConfig::new panics on an empty pool; a zero budget is a
+        // request error, not a pipeline fault.
+        return Err(ServiceError::BadRequest(
+            "procs must be at least 1".to_string(),
+        ));
+    }
+    let m = MachineConfig::new(procs, r.k.unwrap_or(default_k));
+
+    let t1 = Instant::now();
+    let (program, ii) = match r.scheduler {
+        SchedulerChoice::Cyclic => {
+            let s = kn_sched::schedule_loop(&graph, &m, r.iters, &Default::default())
+                .map_err(|e| ServiceError::Sched(e.to_string()))?;
+            let ii = s.cyclic_ii();
+            (s.program, ii)
+        }
+        SchedulerChoice::DoacrossNatural | SchedulerChoice::DoacrossBest => {
+            let reorder = match r.scheduler {
+                SchedulerChoice::DoacrossBest => Reorder::Best {
+                    exhaustive_cap: 5040,
+                },
+                _ => Reorder::Natural,
+            };
+            let s = doacross_schedule(&graph, &m, r.iters, &DoacrossOptions { reorder })
+                .map_err(|e| ServiceError::Sched(e.to_string()))?;
+            (s.program, None)
+        }
+    };
+    timing.schedule_ns = t1.elapsed().as_nanos() as u64;
+
+    let t2 = Instant::now();
+    let sim = r
+        .sim
+        .run(&program, &graph, &m, &r.traffic)
+        .map_err(|e| ServiceError::Sched(e.to_string()))?;
+    timing.sim_ns = t2.elapsed().as_nanos() as u64;
+
+    let seq_time = sequential_time(&graph, r.iters);
+    Ok(ScheduleResponse::Loop(LoopOutcome {
+        name,
+        scheduler: r.scheduler,
+        processors_used: program.used_processors(),
+        seq_time,
+        makespan: sim.makespan,
+        sp: percentage_parallelism_clamped(seq_time, sim.makespan),
+        messages: sim.messages,
+        comm_cycles: sim.comm_cycles,
+        ii,
+    }))
+}
+
+/// Execute one request sequentially with a fresh scratch — the reference
+/// the service's responses are tested against, and the sequential
+/// baseline the throughput bench compares to.
+pub fn execute(req: &ScheduleRequest) -> Result<ScheduleResponse, ServiceError> {
+    execute_with(&mut WorkerScratch::default(), req).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_loop_executes_with_paper_defaults() {
+        let r = execute(&ScheduleRequest::loop_on_corpus("figure7")).unwrap();
+        let ScheduleResponse::Loop(out) = r else {
+            panic!("loop request yields a loop response");
+        };
+        assert_eq!(out.name, "figure7");
+        assert_eq!(out.ii, Some(2.5), "paper defaults (2 PEs, k=2) apply");
+        assert!(out.sp > 40.0);
+    }
+
+    #[test]
+    fn doacross_loop_has_no_ii() {
+        let r = execute(&ScheduleRequest::Loop(LoopRequest {
+            scheduler: SchedulerChoice::DoacrossNatural,
+            ..LoopRequest::default()
+        }))
+        .unwrap();
+        let ScheduleResponse::Loop(out) = r else {
+            panic!("loop response");
+        };
+        assert_eq!(out.ii, None);
+        assert_eq!(out.sp, 0.0, "DOACROSS cannot pipeline figure7");
+    }
+
+    #[test]
+    fn inline_ddg_and_graph_sources_agree() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../corpus/figure7.ddg"
+        ))
+        .unwrap();
+        let graph = kn_ddg::parse_text(&text).unwrap();
+        let base = LoopRequest {
+            procs: Some(2),
+            k: Some(2),
+            ..LoopRequest::default()
+        };
+        let a = execute(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgText(text),
+            ..base.clone()
+        }))
+        .unwrap();
+        let b = execute(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::Graph {
+                name: "g".into(),
+                graph,
+            },
+            ..base
+        }))
+        .unwrap();
+        let (ScheduleResponse::Loop(a), ScheduleResponse::Loop(b)) = (a, b) else {
+            panic!("loop responses");
+        };
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.sp, b.sp);
+    }
+
+    #[test]
+    fn bad_sources_are_errors() {
+        for (req, needle) in [
+            (ScheduleRequest::loop_on_corpus("nope"), "unknown corpus"),
+            (
+                ScheduleRequest::Loop(LoopRequest {
+                    source: LoopSource::DdgFile("no/such/file.ddg".into()),
+                    ..LoopRequest::default()
+                }),
+                "cannot read",
+            ),
+            (
+                ScheduleRequest::Loop(LoopRequest {
+                    source: LoopSource::DdgText("node A\nedge A -> B".into()),
+                    ..LoopRequest::default()
+                }),
+                "parse error",
+            ),
+        ] {
+            let e = execute(&req).unwrap_err();
+            let ServiceError::BadRequest(m) = &e else {
+                panic!("expected BadRequest, got {e:?}");
+            };
+            assert!(m.contains(needle), "{m:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn zero_processor_budget_is_bad_request_not_panic() {
+        // MachineConfig::new panics on procs=0; the service must diagnose
+        // it as a request error instead (reachable from the wire:
+        // `corpus=figure7 procs=0`).
+        let e = execute(&ScheduleRequest::Loop(LoopRequest {
+            procs: Some(0),
+            ..LoopRequest::default()
+        }))
+        .unwrap_err();
+        assert!(
+            matches!(&e, ServiceError::BadRequest(m) if m.contains("procs")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn unnormalized_graph_is_sched_error_not_panic() {
+        // dist=3 self-loop: schedule_loop refuses (NotNormalized).
+        let text = "node X\nedge X -> X dist=3\n";
+        let e = execute(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgText(text.into()),
+            ..LoopRequest::default()
+        }))
+        .unwrap_err();
+        assert!(matches!(e, ServiceError::Sched(_)), "{e:?}");
+    }
+
+    #[test]
+    fn scratch_caches_are_reused() {
+        let mut scratch = WorkerScratch::default();
+        let req = ScheduleRequest::loop_on_corpus("figure7");
+        let (a, _) = execute_with(&mut scratch, &req);
+        assert_eq!(scratch.corpus.len(), 1);
+        let (b, _) = execute_with(&mut scratch, &req);
+        assert_eq!(scratch.corpus.len(), 1, "second hit reuses the cache");
+        let (Ok(ScheduleResponse::Loop(a)), Ok(ScheduleResponse::Loop(b))) = (a, b) else {
+            panic!("loop responses");
+        };
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

@@ -1,0 +1,322 @@
+//! Line-oriented wire format for `kn serve`.
+//!
+//! **Requests** are one per line, whitespace-separated `key=value`
+//! fields; blank lines and `#` comments are skipped. Exactly one source
+//! field is required:
+//!
+//! ```text
+//! corpus=figure7 k=2 procs=2 iters=100 link=single engine=heap
+//! ddg=corpus/livermore5.ddg k=2 procs=4 iters=80 scheduler=doacross mm=3 seed=11
+//! ```
+//!
+//! | key | values | default |
+//! |---|---|---|
+//! | `corpus` | built-in workload name ([`kn_workloads::by_name`]) | — |
+//! | `ddg` | path to a text-format DDG file | — |
+//! | `k` | communication estimate | corpus value, else 3 |
+//! | `procs` | processor budget | corpus value, else 8 |
+//! | `iters` | simulated iterations | 100 |
+//! | `link` | `unlimited` \| `single` | `unlimited` |
+//! | `engine` | `calendar` \| `heap` | `calendar` |
+//! | `scheduler` | `cyclic` \| `doacross` \| `doacross-best` | `cyclic` |
+//! | `mm` | traffic fluctuation factor | 1 |
+//! | `seed` | traffic seed | 0 |
+//!
+//! **Responses** are one JSON object per line, in request order, carrying
+//! the request id and either the outcome or an error. Responses contain
+//! no timing fields — they are deterministic and CI diffs them against a
+//! committed golden (`corpus/service_golden.jsonl`); throughput and
+//! per-phase latency go to the separate stats JSON
+//! ([`throughput_json`]), which varies run to run and is uploaded as an
+//! artifact instead of diffed.
+
+use super::{
+    LoopOutcome, LoopRequest, LoopSource, ScheduleRequest, ScheduleResponse, SchedulerChoice,
+    ServiceError, ServiceStats,
+};
+use kn_sim::{EventEngine, LinkModel, TrafficModel};
+
+/// Parse one request line. `Ok(None)` = blank or comment line.
+pub fn parse_request_line(line: &str) -> Result<Option<ScheduleRequest>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut source: Option<LoopSource> = None;
+    let mut req = LoopRequest::default();
+    let mut mm: u32 = 1;
+    let mut seed: u64 = 0;
+    for field in line.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+        let mut set_source = |s: LoopSource| -> Result<(), String> {
+            if source.is_some() {
+                return Err("more than one source field (corpus=/ddg=)".into());
+            }
+            source = Some(s);
+            Ok(())
+        };
+        match key {
+            "corpus" => set_source(LoopSource::Corpus(value.to_string()))?,
+            "ddg" => set_source(LoopSource::DdgFile(value.to_string()))?,
+            "k" => req.k = Some(parse_num(key, value)?),
+            "procs" => req.procs = Some(parse_num(key, value)?),
+            "iters" => req.iters = parse_num(key, value)?,
+            "mm" => mm = parse_num(key, value)?,
+            "seed" => seed = parse_num(key, value)?,
+            "link" => {
+                req.sim.link = LinkModel::from_name(value)
+                    .ok_or_else(|| format!("unknown link model {value:?}"))?
+            }
+            "engine" => {
+                req.sim.engine = EventEngine::from_name(value)
+                    .ok_or_else(|| format!("unknown engine {value:?}"))?
+            }
+            "scheduler" => {
+                req.scheduler = match value {
+                    "cyclic" => SchedulerChoice::Cyclic,
+                    "doacross" => SchedulerChoice::DoacrossNatural,
+                    "doacross-best" => SchedulerChoice::DoacrossBest,
+                    other => return Err(format!("unknown scheduler {other:?}")),
+                }
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    let source = source.ok_or("missing source field (corpus= or ddg=)")?;
+    req.source = source;
+    req.traffic = TrafficModel { mm, seed };
+    Ok(Some(ScheduleRequest::Loop(req)))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{key}={value:?} is not a valid number"))
+}
+
+/// Full JSON string escaping. Error text can carry anything a panic
+/// message contains (newlines included); a raw control character would
+/// split one response across lines and break the one-JSON-object-per-line
+/// contract.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_f64(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v}"),
+        None => "null".to_string(),
+    }
+}
+
+fn f64_list(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Render one response as a JSON line. Deterministic: field order is
+/// fixed, floats use Rust's shortest-round-trip formatting, and no
+/// timing information is included (see module docs).
+pub fn response_json(id: u64, resp: &Result<ScheduleResponse, ServiceError>) -> String {
+    match resp {
+        Err(e) => format!("{{\"id\": {id}, \"status\": \"error\", \"error\": \"{}\"}}", esc(&e.to_string())),
+        Ok(ScheduleResponse::Loop(out)) => loop_json(id, out),
+        Ok(ScheduleResponse::Table1Row(row)) => format!(
+            "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"table1_row\", \"seed\": {}, \"cyclic_nodes\": {}, \"ours\": {}, \"doacross\": {}}}",
+            row.seed,
+            row.cyclic_nodes,
+            f64_list(&row.ours),
+            f64_list(&row.doacross),
+        ),
+        Ok(ScheduleResponse::Contention {
+            ours_free,
+            ours_contended,
+            doacross_free,
+            doacross_contended,
+        }) => format!(
+            "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"contention\", \"ours_free\": {ours_free}, \"ours_contended\": {ours_contended}, \"doacross_free\": {doacross_free}, \"doacross_contended\": {doacross_contended}}}"
+        ),
+        Ok(ScheduleResponse::Figure(r)) => format!(
+            "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"figure\", \"name\": \"{}\", \"seq_time\": {}, \"ours_time\": {}, \"ours_sp\": {}, \"doacross_sp\": {}, \"ii\": {}}}",
+            esc(&r.name),
+            r.seq_time,
+            r.ours_time,
+            r.ours_sp,
+            r.doacross_sp,
+            opt_f64(r.ours_ii),
+        ),
+    }
+}
+
+fn loop_json(id: u64, out: &LoopOutcome) -> String {
+    format!(
+        "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"loop\", \"name\": \"{}\", \"scheduler\": \"{}\", \"processors_used\": {}, \"seq_time\": {}, \"makespan\": {}, \"sp\": {}, \"messages\": {}, \"comm_cycles\": {}, \"ii\": {}}}",
+        esc(&out.name),
+        out.scheduler.name(),
+        out.processors_used,
+        out.seq_time,
+        out.makespan,
+        out.sp,
+        out.messages,
+        out.comm_cycles,
+        opt_f64(out.ii),
+    )
+}
+
+/// Render the batch throughput/latency stats as JSON (schema
+/// `kn-service-throughput-v1`). This is the run-varying half of the
+/// serve output: wall-clock, requests/second, and the per-phase latency
+/// split the workers measured. `requests`/`errors` count *responses*
+/// (including malformed lines answered before reaching the pool), so
+/// they can exceed the pool-level counters in `stats`.
+pub fn throughput_json(
+    workers: usize,
+    requests: u64,
+    errors: u64,
+    wall_ns: u64,
+    stats: &ServiceStats,
+) -> String {
+    let throughput_rps = if wall_ns > 0 {
+        requests as f64 * 1e9 / wall_ns as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"schema\": \"kn-service-throughput-v1\",\n  \"workers\": {workers},\n  \"requests\": {requests},\n  \"errors\": {errors},\n  \"wall_ns\": {wall_ns},\n  \"throughput_rps\": {throughput_rps:.2},\n  \"exec_ns\": {},\n  \"parse_ns\": {},\n  \"schedule_ns\": {},\n  \"sim_ns\": {}\n}}\n",
+        stats.exec_ns, stats.parse_ns, stats.schedule_ns, stats.sim_ns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_sim::SimOptions;
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        assert!(parse_request_line("").unwrap().is_none());
+        assert!(parse_request_line("   ").unwrap().is_none());
+        assert!(parse_request_line("# a comment").unwrap().is_none());
+    }
+
+    #[test]
+    fn full_line_round_trips_every_field() {
+        let req = parse_request_line(
+            "corpus=figure7 k=2 procs=4 iters=60 link=single engine=heap scheduler=doacross mm=3 seed=9",
+        )
+        .unwrap()
+        .unwrap();
+        let ScheduleRequest::Loop(r) = req else {
+            panic!("wire produces loop requests");
+        };
+        assert!(matches!(&r.source, LoopSource::Corpus(n) if n == "figure7"));
+        assert_eq!(r.k, Some(2));
+        assert_eq!(r.procs, Some(4));
+        assert_eq!(r.iters, 60);
+        assert_eq!(r.sim.link, LinkModel::SingleMessage);
+        assert_eq!(r.sim.engine, EventEngine::Heap);
+        assert_eq!(r.scheduler, SchedulerChoice::DoacrossNatural);
+        assert_eq!(r.traffic.mm, 3);
+        assert_eq!(r.traffic.seed, 9);
+    }
+
+    #[test]
+    fn defaults_leave_machine_to_the_corpus() {
+        let ScheduleRequest::Loop(r) = parse_request_line("corpus=elliptic").unwrap().unwrap()
+        else {
+            panic!("loop request");
+        };
+        assert_eq!(r.k, None);
+        assert_eq!(r.procs, None);
+        assert_eq!(r.iters, 100);
+        assert_eq!(r.sim, SimOptions::default());
+    }
+
+    #[test]
+    fn malformed_lines_are_diagnosed() {
+        for (line, needle) in [
+            ("corpus=figure7 ddg=x.ddg", "more than one source"),
+            ("k=3", "missing source"),
+            ("corpus=figure7 iters=abc", "not a valid number"),
+            ("corpus=figure7 flavor=mild", "unknown field"),
+            ("corpus=figure7 engine=abacus", "unknown engine"),
+            ("corpus=figure7 link=carrier-pigeon", "unknown link"),
+            ("corpus=figure7 scheduler=magic", "unknown scheduler"),
+            ("justaword", "not key=value"),
+        ] {
+            let e = parse_request_line(line).unwrap_err();
+            assert!(
+                e.contains(needle),
+                "{line:?}: {e:?} should contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_json_is_stable_and_escaped() {
+        let ok = ScheduleResponse::Loop(LoopOutcome {
+            name: "fig \"7\"".into(),
+            scheduler: SchedulerChoice::Cyclic,
+            processors_used: 2,
+            seq_time: 500,
+            makespan: 255,
+            sp: 49.0,
+            messages: 10,
+            comm_cycles: 20,
+            ii: Some(2.5),
+        });
+        let line = response_json(3, &Ok(ok));
+        assert_eq!(
+            line,
+            "{\"id\": 3, \"status\": \"ok\", \"kind\": \"loop\", \"name\": \"fig \\\"7\\\"\", \"scheduler\": \"cyclic\", \"processors_used\": 2, \"seq_time\": 500, \"makespan\": 255, \"sp\": 49, \"messages\": 10, \"comm_cycles\": 20, \"ii\": 2.5}"
+        );
+        let err = response_json(4, &Err(ServiceError::BadRequest("no".into())));
+        assert_eq!(
+            err,
+            "{\"id\": 4, \"status\": \"error\", \"error\": \"bad request: no\"}"
+        );
+    }
+
+    #[test]
+    fn control_characters_in_error_text_stay_on_one_line() {
+        // Panic payloads are routinely multi-line (assert_eq! output);
+        // the response must still be exactly one valid JSON line.
+        let err = response_json(
+            7,
+            &Err(ServiceError::Panicked("left:\n  1\nright:\t2\u{1}".into())),
+        );
+        assert_eq!(err.lines().count(), 1, "{err:?}");
+        assert!(err.contains("left:\\n  1\\nright:\\t2\\u0001"), "{err:?}");
+    }
+
+    #[test]
+    fn throughput_json_has_schema_and_rate() {
+        let stats = ServiceStats {
+            submitted: 4,
+            completed: 4,
+            errors: 1,
+            exec_ns: 4000,
+            parse_ns: 1000,
+            schedule_ns: 2000,
+            sim_ns: 500,
+        };
+        let j = throughput_json(2, 4, 1, 2_000_000_000, &stats);
+        assert!(j.contains("\"schema\": \"kn-service-throughput-v1\""));
+        assert!(j.contains("\"throughput_rps\": 2.00"));
+        assert!(j.contains("\"errors\": 1"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Integration tests for the batch scheduling service's contract
+//! (`kn_core::service` module docs): responses are keyed by request id
+//! and independent of worker count, submission order, and completion
+//! order; failures — including panics inside the pipeline — come back as
+//! error responses without wedging `drain` or poisoning the pool.
+
+use kn_core::doacross::Reorder;
+use kn_core::experiments::table1::Table1Config;
+use kn_core::service::{
+    execute, LoopRequest, LoopSource, RequestId, ScheduleRequest, ScheduleResponse, Service,
+    ServiceError,
+};
+use kn_core::sim::{EventEngine, LinkModel, SimOptions, TrafficModel};
+use kn_core::workloads::Workload;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn figure7_text() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../corpus/figure7.ddg"
+    ))
+    .expect("corpus file present")
+}
+
+/// A batch covering every request variant, both engines, contended and
+/// free links, and every source kind.
+fn mixed_batch() -> Vec<ScheduleRequest> {
+    let contended = |engine| SimOptions {
+        link: LinkModel::SingleMessage,
+        engine,
+    };
+    vec![
+        ScheduleRequest::loop_on_corpus("figure7"),
+        ScheduleRequest::loop_on_corpus("cytron86"),
+        ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::Corpus("elliptic".into()),
+            sim: contended(EventEngine::Heap),
+            traffic: TrafficModel { mm: 3, seed: 5 },
+            iters: 50,
+            ..LoopRequest::default()
+        }),
+        ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::Corpus("elliptic".into()),
+            sim: contended(EventEngine::Calendar),
+            traffic: TrafficModel { mm: 3, seed: 5 },
+            iters: 50,
+            ..LoopRequest::default()
+        }),
+        ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgText(figure7_text()),
+            procs: Some(2),
+            k: Some(2),
+            scheduler: kn_core::service::SchedulerChoice::DoacrossBest,
+            ..LoopRequest::default()
+        }),
+        ScheduleRequest::Table1Row {
+            config: Arc::new(Table1Config {
+                seeds: Vec::new(),
+                iters: 40,
+                doacross_reorder: Reorder::Natural,
+                ..Table1Config::default()
+            }),
+            seed: 3,
+        },
+        ScheduleRequest::ContentionCell {
+            seed: 2,
+            k: 3,
+            procs: 8,
+            iters: 30,
+            engine: EventEngine::Calendar,
+        },
+        ScheduleRequest::Figure {
+            workload: kn_core::workloads::figure7(),
+            iters: 30,
+            sim: SimOptions::contended(),
+        },
+    ]
+}
+
+fn debug_of(r: &Result<ScheduleResponse, ServiceError>) -> String {
+    format!("{r:?}")
+}
+
+/// Deterministic Fisher–Yates with a splitmix64 stream.
+fn shuffle(xs: &mut [usize], mut state: u64) {
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..xs.len()).rev() {
+        xs.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+/// The headline guarantee: the same batch through 1, 2, and 8 workers —
+/// submitted in a different order each time — answers every request
+/// identically to the sequential reference executor, keyed by id.
+#[test]
+fn responses_identical_across_worker_counts_and_submission_orders() {
+    let reqs = mixed_batch();
+    let baseline: Vec<String> = reqs.iter().map(|r| debug_of(&execute(r))).collect();
+    // The two engine twins must themselves agree (same cell, different
+    // event queue) — a sanity check on the baseline itself.
+    assert_eq!(baseline[2], baseline[3], "engine choice must be invisible");
+    for (workers, shuffle_seed) in [(1usize, 11u64), (2, 22), (8, 33)] {
+        let svc = Service::new(workers);
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        shuffle(&mut order, shuffle_seed);
+        let submitted: Vec<(usize, RequestId)> = order
+            .iter()
+            .map(|&i| (i, svc.submit(reqs[i].clone())))
+            .collect();
+        let ids: Vec<RequestId> = submitted.iter().map(|&(_, id)| id).collect();
+        let responses: HashMap<RequestId, _> = svc.collect(&ids).into_iter().collect();
+        for &(i, id) in &submitted {
+            assert_eq!(
+                debug_of(&responses[&id]),
+                baseline[i],
+                "request {i} diverged on a {workers}-worker pool"
+            );
+        }
+    }
+}
+
+/// The ISSUE's bugfix scenario: a malformed DDG request returns an error
+/// response for that id — `drain` is not wedged and later requests on the
+/// same pool succeed.
+#[test]
+fn malformed_ddg_request_is_an_error_response_not_a_wedge() {
+    let svc = Service::new(2);
+    let ids = svc.submit_batch(vec![
+        // References a node that is never declared: parse error.
+        ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgText("node A\nedge A -> B\n".into()),
+            ..LoopRequest::default()
+        }),
+        // Unreadable file.
+        ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgFile("corpus/does_not_exist.ddg".into()),
+            ..LoopRequest::default()
+        }),
+        ScheduleRequest::loop_on_corpus("figure7"),
+    ]);
+    let got = svc.collect(&ids);
+    assert!(
+        matches!(&got[0].1, Err(ServiceError::BadRequest(m)) if m.contains("parse error")),
+        "{:?}",
+        got[0].1
+    );
+    assert!(
+        matches!(&got[1].1, Err(ServiceError::BadRequest(m)) if m.contains("cannot read")),
+        "{:?}",
+        got[1].1
+    );
+    assert!(got[2].1.is_ok(), "{:?}", got[2].1);
+    // The pool is still healthy after serving errors.
+    let id = svc.submit(ScheduleRequest::loop_on_corpus("elliptic"));
+    assert!(svc.collect(&[id])[0].1.is_ok());
+    assert!(svc.drain().is_empty(), "nothing left outstanding");
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.errors, 2);
+}
+
+/// A request that panics *inside the pipeline* (not a parse error) is
+/// caught at the worker boundary: its id gets `ServiceError::Panicked`,
+/// the worker survives, and subsequent requests are unaffected.
+#[test]
+fn panicking_request_yields_error_response_and_pool_survives() {
+    // figure_report_with `expect`s schedulability; an unnormalized graph
+    // (dist=3 self-loop) makes it panic deterministically.
+    let mut b = kn_core::ddg::DdgBuilder::new();
+    let x = b.node("x");
+    b.dep_dist(x, x, 3);
+    let bad = Workload {
+        name: "unnormalized",
+        graph: b.build().unwrap(),
+        k: 1,
+        procs: 2,
+        description: "dist=3 self-loop: schedule_loop refuses, report panics",
+    };
+    let svc = Service::new(2);
+    let panicking = svc.submit(ScheduleRequest::Figure {
+        workload: bad,
+        iters: 10,
+        sim: SimOptions::default(),
+    });
+    let healthy = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+    let got = svc.collect(&[panicking, healthy]);
+    assert!(
+        matches!(&got[0].1, Err(ServiceError::Panicked(_))),
+        "{:?}",
+        got[0].1
+    );
+    assert!(got[1].1.is_ok(), "{:?}", got[1].1);
+    // Same pool, after the panic: still serving, drain still returns.
+    let ids = svc.submit_batch(vec![
+        ScheduleRequest::loop_on_corpus("cytron86"),
+        ScheduleRequest::loop_on_corpus("livermore18"),
+    ]);
+    let after = svc.collect(&ids);
+    assert!(after.iter().all(|(_, r)| r.is_ok()));
+    assert!(svc.drain().is_empty());
+    assert_eq!(svc.stats().errors, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Determinism over random small programs: an in-memory random Cyclic
+    /// loop scheduled and simulated through the (persistent, shared)
+    /// global service answers exactly like the sequential executor, under
+    /// every combination of engine, link, scheduler, and traffic drawn.
+    #[test]
+    fn random_programs_answer_like_the_sequential_executor(
+        seed in 0u64..2000,
+        nodes in 4usize..10,
+        procs in 2usize..8,
+        k in 0u32..4,
+        mm in 1u32..5,
+        pick in 0usize..4,
+    ) {
+        let cfg = kn_core::workloads::RandomLoopConfig {
+            nodes,
+            lcds: nodes / 2,
+            sds: nodes,
+            min_latency: 1,
+            max_latency: 3,
+        };
+        let graph = kn_core::workloads::random_cyclic_loop(seed, &cfg);
+        let (sim, scheduler) = match pick {
+            0 => (SimOptions::default(), kn_core::service::SchedulerChoice::Cyclic),
+            1 => (SimOptions::contended(), kn_core::service::SchedulerChoice::Cyclic),
+            2 => (
+                SimOptions { link: LinkModel::SingleMessage, engine: EventEngine::Heap },
+                kn_core::service::SchedulerChoice::Cyclic,
+            ),
+            _ => (SimOptions::default(), kn_core::service::SchedulerChoice::DoacrossNatural),
+        };
+        let req = ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::Graph { name: format!("random{seed}"), graph },
+            procs: Some(procs),
+            k: Some(k),
+            iters: 30,
+            sim,
+            traffic: TrafficModel { mm, seed },
+            scheduler,
+        });
+        let want = debug_of(&execute(&req));
+        let svc = kn_core::service::global();
+        let id = svc.submit(req);
+        let got = debug_of(&svc.collect(&[id])[0].1);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -27,7 +27,7 @@
 //! [`crate::reference`]). After `normalize_distances` every dependence
 //! distance is 0 or 1, so when `(v, i)` is scheduled its operands are
 //! instances of iterations `i` and `i-1` only — `(node, iter & mask)`
-//! indexes a dense per-node ring buffer ([`NodeRings`]) holding the live
+//! indexes a dense per-node ring buffer (the internal `NodeRings`) holding the live
 //! and partially-satisfied instance tables. The per-step operand scratch
 //! buffer is hoisted onto the scheduler and reused, and the state detector
 //! hashes the scheduler state into a 64-bit fingerprint instead of

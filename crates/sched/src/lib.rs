@@ -20,7 +20,7 @@
 //!   timing, schedule tables, and validity checking;
 //! * [`codegen`] — the transformed-loop pretty printer (the PARBEGIN/PAREND
 //!   forms of the paper's Figures 7(e) and 10);
-//! * [`reference`] — the retained map-based scheduler, kept as the
+//! * [`mod@reference`] — the retained map-based scheduler, kept as the
 //!   executable specification and benchmark baseline for the arena core.
 //!
 //! # Performance notes
@@ -43,7 +43,7 @@
 //! speed, never placements.
 //!
 //! Other hot-path measures, each verified placement-for-placement
-//! identical to [`reference`] (the enumeration order is load-bearing for
+//! identical to [`mod@reference`] (the enumeration order is load-bearing for
 //! pattern emergence, paper §2.2 footnote 7):
 //!
 //! * the per-step operand scratch buffer is hoisted onto the scheduler and

@@ -40,7 +40,8 @@
 //!   same-cycle FIFO holds *by construction*. Push and pop are `O(1)`
 //!   amortized. Events beyond the ring horizon park in an overflow heap
 //!   and migrate into the ring as the horizon advances; sustained overflow
-//!   pressure lazily doubles the ring (up to [`MAX_BUCKETS`]), so
+//!   pressure lazily doubles the ring (up to the internal `MAX_BUCKETS`
+//!   cap), so
 //!   long-horizon contention backlogs — the expensive case for the heap,
 //!   whose `log n` grows with the backlog — stay `O(1)` per event. This is
 //!   what makes 10⁵-iteration `SingleMessage` sweeps cheap (see
@@ -65,6 +66,19 @@ pub enum LinkModel {
     SingleMessage,
 }
 
+impl LinkModel {
+    /// Parse a user-facing token (CLI `--link`, service wire `link=`):
+    /// `unlimited`, `single`, or `single-message`. One table so the two
+    /// front ends cannot drift.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "unlimited" => Some(LinkModel::Unlimited),
+            "single" | "single-message" => Some(LinkModel::SingleMessage),
+            _ => None,
+        }
+    }
+}
+
 /// Which event-queue implementation drives the engine. Both satisfy the
 /// module-level ordering contract and produce identical results; they
 /// differ only in cost (see the module docs).
@@ -76,6 +90,18 @@ pub enum EventEngine {
     /// construction. The default.
     #[default]
     Calendar,
+}
+
+impl EventEngine {
+    /// Parse a user-facing token (CLI `--engine`, service wire
+    /// `engine=`): `heap` or `calendar`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "heap" => Some(EventEngine::Heap),
+            "calendar" => Some(EventEngine::Calendar),
+            _ => None,
+        }
+    }
 }
 
 /// `EventKind` needs no ordering of its own: ties are broken exclusively

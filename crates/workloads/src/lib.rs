@@ -29,3 +29,45 @@ pub use corpus::{
     livermore5, rate_gap, Workload,
 };
 pub use random::{random_cyclic_loop, random_cyclic_loop_min, random_loop, RandomLoopConfig};
+
+/// Look up a built-in workload by name — the single name table behind the
+/// CLI's `figure`/`codegen`/`dot` arguments and the service's
+/// `corpus=` request field. Figure numbers from the paper are accepted as
+/// aliases (`"7"` = `figure7`, `"9"`/`"10"` = `cytron86`, ...).
+pub fn by_name(name: &str) -> Option<Workload> {
+    Some(match name {
+        "3" | "figure3" => figure3(),
+        "7" | "figure7" => figure7(),
+        "9" | "10" | "cytron86" => cytron86(),
+        "11" | "livermore18" => livermore18(),
+        "12" | "elliptic" => elliptic(),
+        "doall" => doall(),
+        "livermore5" | "ll5" => livermore5(),
+        "livermore23" | "ll23" => livermore23(),
+        "rate_gap" | "rategap" => rate_gap(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn by_name_covers_every_workload_and_alias() {
+        for (alias, canonical) in [
+            ("3", "figure3"),
+            ("7", "figure7"),
+            ("9", "cytron86"),
+            ("10", "cytron86"),
+            ("11", "livermore18"),
+            ("12", "elliptic"),
+            ("ll5", "livermore5"),
+            ("ll23", "livermore23"),
+            ("rategap", "rate_gap"),
+        ] {
+            assert_eq!(super::by_name(alias).unwrap().name, canonical);
+            assert_eq!(super::by_name(canonical).unwrap().name, canonical);
+        }
+        assert!(super::by_name("doall").is_some());
+        assert!(super::by_name("nope").is_none());
+    }
+}

@@ -183,7 +183,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Size specification for [`vec`]: an exact count or a range.
+    /// Size specification for [`vec()`]: an exact count or a range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         pub min: usize,
