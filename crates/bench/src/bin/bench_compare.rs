@@ -4,13 +4,18 @@
 //! and exits non-zero when a tracked number regressed beyond the budget.
 //!
 //! Usage: `bench-compare <baseline.json> <candidate.json>
-//!         [--max-regress PCT] [--ratios-only]`
+//!         [--max-regress PCT] [--ratios-only] [--service-max-regress PCT]`
 //!
 //!   --max-regress PCT  regression budget in percent (default 25)
 //!   --ratios-only      gate only machine-portable speedup ratios, not
 //!                      absolute ns/op — the right mode when baseline and
 //!                      candidate ran on different machines (CI's shared
 //!                      runners vs the committed reference measurement)
+//!   --service-max-regress PCT
+//!                      tighter budget for the service_entries section
+//!                      only. `--service-max-regress 10` is the
+//!                      "lifecycle layer keeps >= 0.9x of the PR 3
+//!                      service throughput" gate.
 
 use kn_bench::trajectory::{compare, parse, GatePolicy};
 use std::process::ExitCode;
@@ -24,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ratios_only = false;
     let mut max_regress_pct = 25.0;
+    let mut service_max_regress_pct = None;
     let mut paths: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -33,6 +39,13 @@ fn main() -> ExitCode {
                 Some(pct) => max_regress_pct = pct,
                 None => {
                     eprintln!("bench-compare: --max-regress needs a numeric value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--service-max-regress" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => service_max_regress_pct = Some(pct),
+                None => {
+                    eprintln!("bench-compare: --service-max-regress needs a numeric value");
                     return ExitCode::from(2);
                 }
             },
@@ -60,15 +73,21 @@ fn main() -> ExitCode {
     let policy = GatePolicy {
         max_regress_pct,
         ratios_only,
+        service_max_regress_pct,
     };
     let violations = compare(&baseline, &candidate, policy);
     if violations.is_empty() {
         println!(
-            "bench-compare: OK ({} sched + {} event + {} service entries gated, budget {}%{})",
+            "bench-compare: OK ({} sched + {} event + {} service + {} lifecycle entries gated, budget {}%{}{})",
             baseline.entries.len(),
             baseline.event_entries.len(),
             baseline.service_entries.len(),
+            baseline.lifecycle_entries.len(),
             max_regress_pct,
+            match service_max_regress_pct {
+                Some(pct) => format!(", service {pct}%"),
+                None => String::new(),
+            },
             if ratios_only { ", ratios only" } else { "" }
         );
         ExitCode::SUCCESS

@@ -20,7 +20,11 @@ use kn_core::sched::reference::cyclic_schedule_ref;
 use kn_core::sched::{
     cyclic_schedule, schedule_loop, CyclicOptions, MachineConfig, PatternOutcome, Program,
 };
-use kn_core::service::{self, LoopRequest, LoopSource, ScheduleRequest, Service};
+use kn_core::service::faultinject::FaultPlan;
+use kn_core::service::{
+    self, Deadline, LoopRequest, LoopSource, ScheduleRequest, Service, ServiceConfig,
+    SubmitOptions, SubmitOutcome,
+};
 use kn_core::sim::{simulate_event_with, EventEngine, LinkModel, SimOptions, TrafficModel};
 use kn_core::workloads::{self, random_cyclic_loop_min, RandomLoopConfig};
 use std::sync::Arc;
@@ -251,6 +255,79 @@ fn service_cases(quick: bool) -> Vec<ServiceCase> {
     ]
 }
 
+/// One request-lifecycle measurement (schema v4): the fault-tolerant
+/// service under a seeded fault plan, bounded admission, and deadlines.
+struct LifecycleEntry {
+    name: String,
+    workers: usize,
+    requests: usize,
+    rejected: u64,
+    expired: u64,
+    retries: u64,
+    p50_ns: f64,
+    p99_ns: f64,
+    wall_ns: u64,
+}
+
+impl LifecycleEntry {
+    fn rejection_rate(&self) -> f64 {
+        self.rejected as f64 / self.requests.max(1) as f64
+    }
+    fn deadline_miss_rate(&self) -> f64 {
+        self.expired as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// Run one batch through the lifecycle layer: 10% injected faults
+/// (retried), a small admission queue (so backpressure events are real —
+/// a `WouldBlock` is recorded, then the submitter waits for space), and a
+/// generous per-request deadline (the enforcement path runs; misses stay
+/// rare). Latency is per-request admission-to-completion.
+fn lifecycle_run(name: &str, requests: &[ScheduleRequest], workers: usize) -> LifecycleEntry {
+    let svc = Service::with_config(ServiceConfig {
+        workers,
+        queue_capacity: 4,
+        fault_plan: Some(FaultPlan::seeded(0x5EED, 10)),
+        ..ServiceConfig::default()
+    });
+    let t0 = Instant::now();
+    let mut ids = Vec::with_capacity(requests.len());
+    for req in requests {
+        let opts = || SubmitOptions {
+            deadline: Some(Deadline::after(std::time::Duration::from_secs(10))),
+            max_attempts: None,
+        };
+        let id = match svc.try_submit(req.clone(), opts()) {
+            SubmitOutcome::Accepted(id) => id,
+            // Queue full: the backpressure event is recorded in stats;
+            // wait for space so no request is lost.
+            SubmitOutcome::WouldBlock => match svc.submit_opts(req.clone(), opts()) {
+                SubmitOutcome::Accepted(id) => id,
+                other => panic!("blocking admission failed: {other:?}"),
+            },
+            SubmitOutcome::Rejected => panic!("service rejected during bench"),
+        };
+        ids.push(id);
+    }
+    let completed = svc.collect_detailed(&ids, None);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let stats = svc.stats();
+    let mut lat: Vec<u64> = completed.iter().map(|c| c.latency_ns).collect();
+    lat.sort_unstable();
+    let pick = |q: f64| lat[(((lat.len() - 1) as f64) * q) as usize] as f64;
+    LifecycleEntry {
+        name: name.to_string(),
+        workers,
+        requests: requests.len(),
+        rejected: stats.rejected,
+        expired: stats.expired,
+        retries: stats.retries,
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+        wall_ns,
+    }
+}
+
 /// Median ns per call of `f`, over `samples` samples of a time-budgeted
 /// inner loop (calibrated once so each sample runs long enough to trust).
 fn measure<R>(samples: usize, budget_ns: u64, mut f: impl FnMut() -> R) -> f64 {
@@ -450,8 +527,36 @@ fn main() {
         corpus_mix.workers
     );
 
+    // Request-lifecycle bench (schema v4): the corpus_mix batch through
+    // the fault-tolerant layer at several worker counts. Run once per
+    // count (not median-of-samples): the recorded rates are fault-plan
+    // properties and the latency percentiles are per-request, so one
+    // batch already carries `requests` samples.
+    let lifecycle_reqs = service_cases(quick)
+        .into_iter()
+        .find(|c| c.name == "corpus_mix")
+        .expect("corpus_mix case present")
+        .requests;
+    let mut lifecycle_entries = Vec::new();
+    println!("\nrequest lifecycle, 10% injected faults, queue cap 4:");
+    for workers in [1usize, 4, 8] {
+        let e = lifecycle_run("corpus_mix", &lifecycle_reqs, workers);
+        println!(
+            "{:<12} ({} workers)  p50 {:>10.0} ns   p99 {:>10.0} ns   rejected {:>2} ({:.0}%)   expired {}   retries {}",
+            e.name,
+            e.workers,
+            e.p50_ns,
+            e.p99_ns,
+            e.rejected,
+            e.rejection_rate() * 100.0,
+            e.expired,
+            e.retries
+        );
+        lifecycle_entries.push(e);
+    }
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"kn-bench-sched-v3\",\n");
+    json.push_str("{\n  \"schema\": \"kn-bench-sched-v4\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!(
@@ -501,6 +606,25 @@ fn main() {
             e.service_ns,
             e.speedup(),
             if i + 1 < service_entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"lifecycle_entries\": [\n");
+    for (i, e) in lifecycle_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"requests\": {}, \"rejected\": {}, \"rejection_rate\": {:.4}, \"expired\": {}, \"deadline_miss_rate\": {:.4}, \"retries\": {}, \"p50_latency_ns\": {:.1}, \"p99_latency_ns\": {:.1}, \"wall_ns\": {}}}{}\n",
+            json_escape(&e.name),
+            e.workers,
+            e.requests,
+            e.rejected,
+            e.rejection_rate(),
+            e.expired,
+            e.deadline_miss_rate(),
+            e.retries,
+            e.p50_ns,
+            e.p99_ns,
+            e.wall_ns,
+            if i + 1 < lifecycle_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -4,9 +4,9 @@
 //! The parser is deliberately schema-specific (the workspace vendors no
 //! JSON crate): it understands exactly the object layout `kn-bench`
 //! emits — a flat object of scalars plus the `entries` /
-//! `event_entries` / `service_entries` arrays of flat objects — and
-//! accepts the v1 schema (no event entries), v2 (no service entries),
-//! and v3.
+//! `event_entries` / `service_entries` / `lifecycle_entries` arrays of
+//! flat objects — and accepts the v1 schema (no event entries), v2 (no
+//! service entries), v3 (no lifecycle entries), and v4.
 //!
 //! Comparison modes:
 //!
@@ -48,6 +48,20 @@ pub struct ServiceEntry {
     pub speedup: f64,
 }
 
+/// One request-lifecycle entry (`lifecycle_entries`, schema v4): the
+/// fault-tolerant service under a seeded fault plan at a given worker
+/// count. Rates are fractions of the batch; latency is per-request
+/// admission-to-completion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LifecycleEntry {
+    pub name: String,
+    pub workers: f64,
+    pub rejection_rate: f64,
+    pub deadline_miss_rate: f64,
+    pub p50_latency_ns: f64,
+    pub p99_latency_ns: f64,
+}
+
 /// A parsed `BENCH_sched.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchReport {
@@ -55,6 +69,7 @@ pub struct BenchReport {
     pub entries: Vec<SchedEntry>,
     pub event_entries: Vec<EventEntry>,
     pub service_entries: Vec<ServiceEntry>,
+    pub lifecycle_entries: Vec<LifecycleEntry>,
 }
 
 /// Split the body of a JSON array of flat objects into object bodies.
@@ -148,11 +163,29 @@ pub fn parse(json: &str) -> Result<BenchReport, String> {
             });
         }
     }
+    let mut lifecycle_entries = Vec::new();
+    if let Some(body) = array_body(json, "lifecycle_entries") {
+        for obj in object_bodies(body) {
+            lifecycle_entries.push(LifecycleEntry {
+                name: str_field(obj, "name").ok_or("lifecycle entry missing \"name\"")?,
+                workers: f64_field(obj, "workers").ok_or("lifecycle entry missing \"workers\"")?,
+                rejection_rate: f64_field(obj, "rejection_rate")
+                    .ok_or("lifecycle entry missing \"rejection_rate\"")?,
+                deadline_miss_rate: f64_field(obj, "deadline_miss_rate")
+                    .ok_or("lifecycle entry missing \"deadline_miss_rate\"")?,
+                p50_latency_ns: f64_field(obj, "p50_latency_ns")
+                    .ok_or("lifecycle entry missing \"p50_latency_ns\"")?,
+                p99_latency_ns: f64_field(obj, "p99_latency_ns")
+                    .ok_or("lifecycle entry missing \"p99_latency_ns\"")?,
+            });
+        }
+    }
     Ok(BenchReport {
         schema,
         entries,
         event_entries,
         service_entries,
+        lifecycle_entries,
     })
 }
 
@@ -163,6 +196,12 @@ pub struct GatePolicy {
     pub max_regress_pct: f64,
     /// Skip the absolute-ns gates (cross-machine comparisons).
     pub ratios_only: bool,
+    /// Tighter budget for the `service_entries` section, overriding
+    /// `max_regress_pct` there. This is the "robustness must not tax the
+    /// happy path" gate: with the lifecycle layer in front of the pool, a
+    /// 10% budget on the service-vs-sequential throughput ratio enforces
+    /// >= 0.9x of the pre-lifecycle baseline.
+    pub service_max_regress_pct: Option<f64>,
 }
 
 fn pct_worse(
@@ -248,6 +287,7 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
         );
     }
     let mut matched_service = 0usize;
+    let service_pct = policy.service_max_regress_pct.unwrap_or(pct);
     for b in &baseline.service_entries {
         let Some(c) = candidate.service_entries.iter().find(|c| c.name == b.name) else {
             continue;
@@ -259,7 +299,7 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
                 format!("{} service_ns_per_batch", b.name),
                 b.service_ns_per_batch,
                 c.service_ns_per_batch,
-                pct,
+                service_pct,
                 false,
             );
         }
@@ -268,9 +308,34 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
             format!("{} service-vs-sequential throughput", b.name),
             b.speedup,
             c.speedup,
-            pct,
+            service_pct,
             true,
         );
+    }
+    // Lifecycle entries carry absolute latency (machine-specific), so they
+    // are gated only in full (same-machine) mode; the fault-mix rates are
+    // recorded for trajectory plots, not gated — they move with queue
+    // timing, not code quality.
+    let mut matched_lifecycle = 0usize;
+    for b in &baseline.lifecycle_entries {
+        let Some(c) = candidate
+            .lifecycle_entries
+            .iter()
+            .find(|c| c.name == b.name && c.workers == b.workers)
+        else {
+            continue;
+        };
+        matched_lifecycle += 1;
+        if !policy.ratios_only {
+            pct_worse(
+                &mut violations,
+                format!("{} w{} p99_latency_ns", b.name, b.workers),
+                b.p99_latency_ns,
+                c.p99_latency_ns,
+                pct,
+                false,
+            );
+        }
     }
     if !baseline.entries.is_empty() && matched_sched == 0 {
         violations
@@ -282,6 +347,10 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
     if !baseline.service_entries.is_empty() && matched_service == 0 {
         violations
             .push("no service entry names matched the baseline — gate compared nothing".into());
+    }
+    if !baseline.lifecycle_entries.is_empty() && matched_lifecycle == 0 {
+        violations
+            .push("no lifecycle entry names matched the baseline — gate compared nothing".into());
     }
     violations
 }
@@ -326,10 +395,31 @@ mod tests {
 }
 "#;
 
+    const V4: &str = r#"{
+  "schema": "kn-bench-sched-v4",
+  "quick": false,
+  "samples": 11,
+  "entries": [
+    {"name": "figure7", "cyclic_nodes": 5, "arena_ns_per_op": 1889.6, "reference_ns_per_op": 7056.6, "speedup": 3.7344}
+  ],
+  "event_entries": [
+    {"name": "fanout8", "iters": 100000, "events": 1500000, "heap_ns_per_run": 300000000.0, "calendar_ns_per_run": 110000000.0, "speedup": 2.7272}
+  ],
+  "service_entries": [
+    {"name": "corpus_mix", "requests": 16, "workers": 4, "seq_ns_per_batch": 40000000.0, "service_ns_per_batch": 12900000.0, "speedup": 3.1007}
+  ],
+  "lifecycle_entries": [
+    {"name": "corpus_mix", "workers": 1, "requests": 16, "rejected": 2, "rejection_rate": 0.125, "expired": 0, "deadline_miss_rate": 0.0, "retries": 2, "p50_latency_ns": 900000.0, "p99_latency_ns": 4100000.0, "wall_ns": 16000000},
+    {"name": "corpus_mix", "workers": 4, "requests": 16, "rejected": 0, "rejection_rate": 0.0, "expired": 0, "deadline_miss_rate": 0.0, "retries": 2, "p50_latency_ns": 500000.0, "p99_latency_ns": 2100000.0, "wall_ns": 6000000}
+  ]
+}
+"#;
+
     fn policy(pct: f64, ratios_only: bool) -> GatePolicy {
         GatePolicy {
             max_regress_pct: pct,
             ratios_only,
+            service_max_regress_pct: None,
         }
     }
 
@@ -407,6 +497,81 @@ mod tests {
                 .any(|v| v.contains("no service entry names matched")),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn parses_v4_with_lifecycle_entries() {
+        let r = parse(V4).unwrap();
+        assert_eq!(r.schema, "kn-bench-sched-v4");
+        assert_eq!(r.lifecycle_entries.len(), 2);
+        assert_eq!(r.lifecycle_entries[0].name, "corpus_mix");
+        assert_eq!(r.lifecycle_entries[0].workers, 1.0);
+        assert_eq!(r.lifecycle_entries[0].rejection_rate, 0.125);
+        assert_eq!(r.lifecycle_entries[1].p99_latency_ns, 2100000.0);
+        // The v3 sections still parse alongside.
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.event_entries.len(), 1);
+        assert_eq!(r.service_entries.len(), 1);
+        assert!(compare(&r, &r, policy(25.0, false)).is_empty());
+    }
+
+    #[test]
+    fn lifecycle_latency_is_gated_in_full_mode_only() {
+        let base = parse(V4).unwrap();
+        let mut cand = base.clone();
+        cand.lifecycle_entries[1].p99_latency_ns *= 2.0;
+        let v = compare(&base, &cand, policy(25.0, false));
+        assert!(
+            v.iter().any(|v| v.contains("corpus_mix w4 p99_latency_ns")),
+            "{v:?}"
+        );
+        // Absolute latency is machine-specific: ratios-only ignores it.
+        assert!(compare(&base, &cand, policy(25.0, true)).is_empty());
+        // Rates are recorded, not gated.
+        let mut rates = base.clone();
+        rates.lifecycle_entries[0].rejection_rate = 0.9;
+        assert!(compare(&base, &rates, policy(25.0, false)).is_empty());
+    }
+
+    #[test]
+    fn missing_lifecycle_section_fails_a_v4_gate() {
+        let base = parse(V4).unwrap();
+        let v3 = parse(V3).unwrap();
+        let v = compare(&base, &v3, policy(25.0, true));
+        assert!(
+            v.iter()
+                .any(|v| v.contains("no lifecycle entry names matched")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn service_section_honors_its_tighter_budget() {
+        let base = parse(V3).unwrap();
+        let mut cand = base.clone();
+        // 15% throughput loss: inside the generic 60% budget, outside the
+        // 10% service budget (the >= 0.9x happy-path gate).
+        cand.service_entries[0].speedup *= 0.85;
+        let loose = GatePolicy {
+            max_regress_pct: 60.0,
+            ratios_only: true,
+            service_max_regress_pct: None,
+        };
+        assert!(compare(&base, &cand, loose).is_empty());
+        let gated = GatePolicy {
+            service_max_regress_pct: Some(10.0),
+            ..loose
+        };
+        let v = compare(&base, &cand, gated);
+        assert!(
+            v.iter()
+                .any(|v| v.contains("corpus_mix service-vs-sequential")),
+            "{v:?}"
+        );
+        // Other sections keep the loose budget.
+        let mut arena = base.clone();
+        arena.entries[0].speedup *= 0.85;
+        assert!(compare(&base, &arena, gated).is_empty());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! kn-cli schedule <file> [k] [procs]      schedule a graph from a text file
 //! kn-cli dot <workload>                   GraphViz export (with classes)
 //! kn-cli serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE]
+//!              [--listen ADDR] [--queue-cap N] [--retries N] [--deadline-ms MS]
+//!              [--fault-seed S] [--fault-rate PCT]
 //! ```
 //!
 //! ## `serve` — the batch scheduling service
@@ -24,7 +26,14 @@
 //! Responses are JSON lines in request order — deterministic regardless
 //! of `--workers` (CI diffs them against `corpus/service_golden.jsonl`).
 //! `--stats FILE` additionally writes the run-varying throughput /
-//! per-phase-latency JSON. Example:
+//! per-phase-latency JSON. A run exits non-zero if any request line
+//! failed to parse. `--listen ADDR` serves the same protocol over TCP
+//! ([`kn_core::service::net`]); combined with `--requests` it replays
+//! the file through a real socket and shuts the server down gracefully
+//! (the CI `fault-smoke` path). `--queue-cap`/`--retries`/
+//! `--deadline-ms` set the lifecycle knobs and `--fault-seed`/
+//! `--fault-rate` enable the deterministic fault-injection harness.
+//! Example:
 //!
 //! ```text
 //! $ echo "corpus=figure7 k=2 procs=2" | kn serve --workers 4
@@ -62,9 +71,20 @@ fn workload(name: &str) -> Option<wl::Workload> {
 
 /// `kn serve`: run the batch scheduling service over a request file (or
 /// stdin) and emit one deterministic JSON response line per request, in
-/// request order. Returns a non-`Ok` status message on setup errors.
-fn run_serve(out: &mut impl std::io::Write, args: &mut Vec<String>) -> std::io::Result<()> {
-    use kn_core::service::{wire, Service, ServiceError};
+/// request order; with `--listen ADDR` the same semantics are served
+/// over TCP. Returns the process exit code: non-zero when any request
+/// line failed to parse in batch mode, or on a setup error.
+fn run_serve(
+    out: &mut impl std::io::Write,
+    args: &mut Vec<String>,
+) -> std::io::Result<std::process::ExitCode> {
+    use kn_core::service::faultinject::FaultPlan;
+    use kn_core::service::{
+        wire, Deadline, Service, ServiceConfig, ServiceError, SubmitOptions, SubmitOutcome,
+    };
+    use std::time::Duration;
+
+    const FAIL: std::process::ExitCode = std::process::ExitCode::FAILURE;
 
     let workers = match take_flag_value(args, "--workers") {
         Ok(None) => std::thread::available_parallelism()
@@ -74,24 +94,53 @@ fn run_serve(out: &mut impl std::io::Write, args: &mut Vec<String>) -> std::io::
             Ok(n) if n >= 1 => n,
             _ => {
                 writeln!(out, "--workers needs a positive integer, got {v:?}")?;
-                return Ok(());
+                return Ok(FAIL);
             }
         },
         Err(()) => {
             writeln!(out, "--workers needs a value")?;
-            return Ok(());
+            return Ok(FAIL);
+        }
+    };
+    // Lifecycle flags: numeric ones share a parser; a bad value is a
+    // setup error, not a silent default.
+    let mut num_flag = |name: &str| -> Result<Option<u64>, String> {
+        match take_flag_value(args, name) {
+            Ok(None) => Ok(None),
+            Ok(Some(v)) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("{name} needs a non-negative integer, got {v:?}")),
+            Err(()) => Err(format!("{name} needs a value")),
+        }
+    };
+    let lifecycle = (|| -> Result<_, String> {
+        Ok((
+            num_flag("--queue-cap")?,
+            num_flag("--retries")?,
+            num_flag("--deadline-ms")?,
+            num_flag("--fault-seed")?,
+            num_flag("--fault-rate")?,
+        ))
+    })();
+    let (queue_cap, retries, deadline_ms, fault_seed, fault_rate) = match lifecycle {
+        Ok(v) => v,
+        Err(e) => {
+            writeln!(out, "{e}")?;
+            return Ok(FAIL);
         }
     };
     let mut path_flag = |name: &str| -> Result<Option<String>, ()> { take_flag_value(args, name) };
-    let (requests_path, out_path, stats_path) = match (
+    let (requests_path, out_path, stats_path, listen_addr) = match (
         path_flag("--requests"),
         path_flag("--out"),
         path_flag("--stats"),
+        path_flag("--listen"),
     ) {
-        (Ok(r), Ok(o), Ok(s)) => (r, o, s),
+        (Ok(r), Ok(o), Ok(s), Ok(l)) => (r, o, s, l),
         _ => {
-            writeln!(out, "--requests/--out/--stats need a value")?;
-            return Ok(());
+            writeln!(out, "--requests/--out/--stats/--listen need a value")?;
+            return Ok(FAIL);
         }
     };
     if !args.is_empty() {
@@ -100,9 +149,41 @@ fn run_serve(out: &mut impl std::io::Write, args: &mut Vec<String>) -> std::io::
         // stdin forever in a non-interactive CI step.
         writeln!(
             out,
-            "serve: unexpected argument(s) {args:?} (flags are --workers N, --requests FILE, --out FILE, --stats FILE)"
+            "serve: unexpected argument(s) {args:?} (flags are --workers N, --requests FILE, \
+             --out FILE, --stats FILE, --listen ADDR, --queue-cap N, --retries N, \
+             --deadline-ms MS, --fault-seed S, --fault-rate PCT)"
         )?;
-        return Ok(());
+        return Ok(FAIL);
+    }
+
+    let mut config = ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    };
+    if let Some(cap) = queue_cap {
+        config.queue_capacity = cap as usize;
+    }
+    if let Some(r) = retries {
+        config.max_attempts = (r as u32).max(1);
+    }
+    if let Some(rate) = fault_rate {
+        config.fault_plan = Some(FaultPlan::seeded(
+            fault_seed.unwrap_or(0),
+            rate.min(100) as u32,
+        ));
+    }
+    let default_deadline = deadline_ms.map(Duration::from_millis);
+
+    if let Some(addr) = &listen_addr {
+        return run_serve_listen(
+            out,
+            addr,
+            config,
+            default_deadline,
+            requests_path.as_deref(),
+            out_path.as_deref(),
+            stats_path.as_deref(),
+        );
     }
 
     let input = match &requests_path {
@@ -110,7 +191,7 @@ fn run_serve(out: &mut impl std::io::Write, args: &mut Vec<String>) -> std::io::
             Ok(t) => t,
             Err(e) => {
                 writeln!(out, "cannot read {path}: {e}")?;
-                return Ok(());
+                return Ok(FAIL);
             }
         },
         None => {
@@ -122,36 +203,69 @@ fn run_serve(out: &mut impl std::io::Write, args: &mut Vec<String>) -> std::io::
 
     // Parse and submit in one pass so execution overlaps parsing; every
     // non-comment line gets a response slot (malformed lines answer
-    // immediately with an error response and never reach the pool).
+    // immediately with an error response and never reach the pool, but
+    // they do make the whole run exit non-zero).
     enum Slot {
         Pending(kn_core::service::RequestId),
         Immediate(ServiceError),
     }
-    let svc = Service::new(workers);
+    let svc = Service::with_config(config);
     let started = std::time::Instant::now();
     let mut slots: Vec<Slot> = Vec::new();
+    let mut parse_failures = 0usize;
     for line in input.lines() {
         match wire::parse_request_line(line) {
             Ok(None) => {}
-            Ok(Some(req)) => slots.push(Slot::Pending(svc.submit(req))),
-            Err(e) => slots.push(Slot::Immediate(ServiceError::BadRequest(e))),
+            Ok(Some(parsed)) => {
+                let deadline = parsed
+                    .deadline_ms
+                    .map(Duration::from_millis)
+                    .or(default_deadline)
+                    .map(Deadline::after);
+                let opts = SubmitOptions {
+                    deadline,
+                    max_attempts: None,
+                };
+                match svc.submit_opts(parsed.req, opts) {
+                    SubmitOutcome::Accepted(id) => slots.push(Slot::Pending(id)),
+                    _ => slots.push(Slot::Immediate(ServiceError::ShuttingDown)),
+                }
+            }
+            Err(e) => {
+                parse_failures += 1;
+                slots.push(Slot::Immediate(ServiceError::BadRequest(e)));
+            }
         }
     }
-    let mut done: std::collections::HashMap<_, _> = svc.drain().into_iter().collect();
+    let ids: Vec<_> = slots
+        .iter()
+        .filter_map(|s| match s {
+            Slot::Pending(id) => Some(*id),
+            Slot::Immediate(_) => None,
+        })
+        .collect();
+    let mut done: std::collections::HashMap<_, _> = svc
+        .collect_detailed(&ids, None)
+        .into_iter()
+        .map(|c| (c.id, c))
+        .collect();
     let wall_ns = started.elapsed().as_nanos() as u64;
     let stats = svc.stats();
 
     let mut lines = String::new();
     let mut errors = 0usize;
     for (id, slot) in slots.iter().enumerate() {
-        let resp = match slot {
-            Slot::Pending(rid) => done.remove(rid).expect("drain returned every id"),
-            Slot::Immediate(e) => Err(e.clone()),
+        let (resp, attempts) = match slot {
+            Slot::Pending(rid) => {
+                let c = done.remove(rid).expect("collect returned every id");
+                (c.result, c.attempts)
+            }
+            Slot::Immediate(e) => (Err(e.clone()), 0),
         };
         if resp.is_err() {
             errors += 1;
         }
-        lines.push_str(&wire::response_json(id as u64, &resp));
+        lines.push_str(&wire::response_json_with(id as u64, &resp, attempts));
         lines.push('\n');
     }
 
@@ -179,7 +293,100 @@ fn run_serve(out: &mut impl std::io::Write, args: &mut Vec<String>) -> std::io::
             writeln!(out, "throughput JSON -> {path}")?;
         }
     }
-    Ok(())
+    if parse_failures > 0 {
+        writeln!(out, "{parse_failures} request line(s) failed to parse")?;
+        return Ok(FAIL);
+    }
+    Ok(std::process::ExitCode::SUCCESS)
+}
+
+/// `kn serve --listen ADDR`: the TCP front-end. With `--requests FILE`
+/// the batch is replayed through a real socket (connect, stream every
+/// line, read responses until the server closes) and the server is shut
+/// down gracefully afterwards — this is what the `fault-smoke` CI job
+/// runs. Without `--requests` the server runs until the process is
+/// killed.
+fn run_serve_listen(
+    out: &mut impl std::io::Write,
+    addr: &str,
+    config: kn_core::service::ServiceConfig,
+    default_deadline: Option<std::time::Duration>,
+    requests_path: Option<&str>,
+    out_path: Option<&str>,
+    stats_path: Option<&str>,
+) -> std::io::Result<std::process::ExitCode> {
+    use kn_core::service::net::{NetConfig, NetServer};
+    use kn_core::service::{wire, DrainPolicy, Service};
+    use std::io::Read as _;
+
+    let workers = config.workers;
+    let svc = std::sync::Arc::new(Service::with_config(config));
+    let net_cfg = NetConfig {
+        default_deadline,
+        ..NetConfig::default()
+    };
+    let server = match NetServer::bind(std::sync::Arc::clone(&svc), addr, net_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            writeln!(out, "cannot listen on {addr}: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let local = server.local_addr();
+
+    let Some(path) = requests_path else {
+        writeln!(out, "listening on {local} ({workers} worker(s))")?;
+        out.flush()?;
+        loop {
+            std::thread::park();
+        }
+    };
+
+    let input = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(out, "cannot read {path}: {e}")?;
+            server.shutdown(DrainPolicy::Shed);
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let started = std::time::Instant::now();
+    let mut sock = std::net::TcpStream::connect(local)?;
+    std::io::Write::write_all(&mut sock, input.as_bytes())?;
+    sock.shutdown(std::net::Shutdown::Write)?;
+    let mut responses = String::new();
+    sock.read_to_string(&mut responses)?;
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    server.shutdown(DrainPolicy::Finish);
+    let stats = svc.stats();
+    let requests = responses.lines().count() as u64;
+    let errors = responses
+        .lines()
+        .filter(|l| l.contains("\"status\": \"error\""))
+        .count() as u64;
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &responses)?;
+            writeln!(
+                out,
+                "replayed {requests} request(s) ({errors} error(s)) over {local} on {workers} worker(s) in {:.1} ms -> {path}",
+                wall_ns as f64 / 1e6,
+            )?;
+        }
+        None => write!(out, "{responses}")?,
+    }
+    if let Some(path) = stats_path {
+        std::fs::write(
+            path,
+            wire::throughput_json(workers, requests, errors, wall_ns, &stats),
+        )?;
+        if out_path.is_some() {
+            writeln!(out, "throughput JSON -> {path}")?;
+        }
+    }
+    Ok(std::process::ExitCode::SUCCESS)
 }
 
 fn print_figure(
@@ -236,7 +443,7 @@ fn print_report(
     Ok(())
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Experiments fan out across threads by default (deterministic: the
     // parallel drivers reduce in seed order and are tested equal to the
@@ -258,12 +465,12 @@ fn main() {
             Some(e) => e,
             None => {
                 writeln!(out, "unknown engine {v:?} (heap|calendar)").unwrap();
-                return;
+                return std::process::ExitCode::FAILURE;
             }
         },
         Err(()) => {
             writeln!(out, "--engine needs a value (heap|calendar)").unwrap();
-            return;
+            return std::process::ExitCode::FAILURE;
         }
     };
     let link = match take_flag_value(&mut args, "--link") {
@@ -272,12 +479,12 @@ fn main() {
             Some(l) => l,
             None => {
                 writeln!(out, "unknown link model {v:?} (unlimited|single)").unwrap();
-                return;
+                return std::process::ExitCode::FAILURE;
             }
         },
         Err(()) => {
             writeln!(out, "--link needs a value (unlimited|single)").unwrap();
-            return;
+            return std::process::ExitCode::FAILURE;
         }
     };
     let sim = SimOptions { link, engine };
@@ -285,7 +492,9 @@ fn main() {
     match cmd.as_deref() {
         Some("serve") => {
             args.remove(0);
-            run_serve(&mut out, &mut args).unwrap();
+            let code = run_serve(&mut out, &mut args).unwrap();
+            out.flush().unwrap();
+            return code;
         }
         Some("figure") => {
             let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -432,7 +641,7 @@ fn main() {
             let name = args.get(1).map(String::as_str).unwrap_or("figure7");
             let Some(w) = workload(name) else {
                 writeln!(out, "unknown workload {name:?}").unwrap();
-                return;
+                return std::process::ExitCode::FAILURE;
             };
             let r = figures::figure_report(&w, 50);
             match r.code {
@@ -445,20 +654,20 @@ fn main() {
             // format): kn-cli schedule <file> [k] [procs] [iters]
             let Some(path) = args.get(1) else {
                 writeln!(out, "usage: kn-cli schedule <file> [k] [procs] [iters]").unwrap();
-                return;
+                return std::process::ExitCode::FAILURE;
             };
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
                     writeln!(out, "cannot read {path}: {e}").unwrap();
-                    return;
+                    return std::process::ExitCode::FAILURE;
                 }
             };
             let graph = match kn_core::ddg::parse_text(&text) {
                 Ok(g) => g,
                 Err(e) => {
                     writeln!(out, "parse error: {e}").unwrap();
-                    return;
+                    return std::process::ExitCode::FAILURE;
                 }
             };
             let k: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
@@ -476,7 +685,7 @@ fn main() {
             let name = args.get(1).map(String::as_str).unwrap_or("figure7");
             let Some(w) = workload(name) else {
                 writeln!(out, "unknown workload {name:?}").unwrap();
-                return;
+                return std::process::ExitCode::FAILURE;
             };
             let classes = kn_core::ddg::classify(&w.graph);
             writeln!(
@@ -493,15 +702,21 @@ fn main() {
                  <figure [n|all] | figure8 | table1 [seeds] [iters] | \
                  ablate <axis> | codegen <workload> | schedule <file> [k] [procs] | \
                  dot <workload> | \
-                 serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE]>\n\
+                 serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE] \
+                 [--listen ADDR] [--queue-cap N] [--retries N] [--deadline-ms MS] \
+                 [--fault-seed S] [--fault-rate PCT]>\n\
                  \n\
                  serve: batch scheduling service — requests are key=value lines \
                  (corpus=NAME | ddg=FILE, k=, procs=, iters=, link=, engine=, \
-                 scheduler=cyclic|doacross|doacross-best, mm=, seed=) from --requests \
-                 or stdin; responses are JSON lines in request order, deterministic \
-                 for any --workers; --stats writes the throughput JSON."
+                 scheduler=cyclic|doacross|doacross-best, mm=, seed=, deadline_ms=) \
+                 from --requests or stdin; responses are JSON lines in request order, \
+                 deterministic for any --workers; --stats writes the throughput JSON; \
+                 --listen serves the same protocol over TCP (with --requests: replay \
+                 the file through the socket, then shut down gracefully)."
             )
             .unwrap();
+            return std::process::ExitCode::FAILURE;
         }
     }
+    std::process::ExitCode::SUCCESS
 }

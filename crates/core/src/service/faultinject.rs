@@ -1,0 +1,228 @@
+//! Deterministic fault injection for the request lifecycle.
+//!
+//! A [`FaultPlan`] decides, for every `(request id, attempt)` pair,
+//! whether execution should be sabotaged and how: panic inside the
+//! pipeline, stall (a wedged execution the lifecycle layer cuts off as a
+//! transient fault), or return garbage (a corrupted response that the
+//! sanity validator must catch — the *detect* half of
+//! detect-fault-and-retry). Faults are keyed on the request id with a
+//! seeded splitmix64 hash, **never on timing**, so a plan produces the
+//! same faults on 1 worker or 8, under any interleaving — which is what
+//! lets CI assert exact success/retry/error mixes without sleeps or
+//! flakes.
+//!
+//! By default faults are **transient**: they fire only on the first
+//! attempt, so a retry budget ≥ 2 recovers every faulted request and the
+//! recovered response is byte-identical to an undisturbed run (the
+//! pipeline is a pure function of the request). A [`sticky`] plan makes
+//! faults permanent instead, exhausting the retry budget and surfacing
+//! the final error — both halves of the retry path stay testable.
+//!
+//! [`sticky`]: FaultPlan::sticky
+
+use super::RequestId;
+use crate::service::{LoopOutcome, ScheduleResponse, SchedulerChoice};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One way to sabotage an execution attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the pipeline (exercises the worker's panic guard).
+    Panic,
+    /// Wedge the attempt: burn [`FaultPlan::stall_duration`], then report
+    /// a transient fault (a stuck execution cut off by the lifecycle
+    /// layer).
+    Stall,
+    /// Execute normally, then corrupt the response so only the sanity
+    /// validator ([`validate_response`](super::validate_response)) stands
+    /// between the garbage and the caller.
+    Garbage,
+}
+
+/// How a plan chooses which ids to fault.
+#[derive(Clone, Debug)]
+enum Selection {
+    /// Seeded pseudo-random selection: each id faults with probability
+    /// `rate_pct`/100, kind drawn from `kinds`.
+    Seeded { seed: u64, rate_pct: u32 },
+    /// Exact ids and kinds (targeted tests).
+    Explicit(HashMap<u64, Fault>),
+}
+
+/// A deterministic plan mapping request ids to injected faults.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    selection: Selection,
+    /// Fault kinds a seeded plan draws from (explicit plans carry their
+    /// own kinds). Never empty.
+    kinds: Vec<Fault>,
+    /// Fire on every attempt (permanent fault) instead of only the first
+    /// (transient).
+    pub sticky: bool,
+    /// How long a [`Fault::Stall`] wedges its worker. Keep small: CI pays
+    /// it per stalled attempt.
+    pub stall_duration: Duration,
+}
+
+impl FaultPlan {
+    /// A transient plan faulting ~`rate_pct`% of request ids, drawing
+    /// uniformly from all three fault kinds, seeded like the rest of the
+    /// tree (splitmix64).
+    pub fn seeded(seed: u64, rate_pct: u32) -> Self {
+        Self {
+            selection: Selection::Seeded {
+                seed,
+                rate_pct: rate_pct.min(100),
+            },
+            kinds: vec![Fault::Panic, Fault::Stall, Fault::Garbage],
+            sticky: false,
+            stall_duration: Duration::from_millis(2),
+        }
+    }
+
+    /// Restrict a seeded plan to the given fault kinds (e.g. panics and
+    /// stalls only). No-op when `kinds` is empty.
+    pub fn with_kinds(mut self, kinds: &[Fault]) -> Self {
+        if !kinds.is_empty() {
+            self.kinds = kinds.to_vec();
+        }
+        self
+    }
+
+    /// Make every fault permanent: it fires on all attempts, so the retry
+    /// budget is exhausted and the caller sees the final error.
+    pub fn sticky(mut self) -> Self {
+        self.sticky = true;
+        self
+    }
+
+    /// Override the stall duration.
+    pub fn with_stall(mut self, d: Duration) -> Self {
+        self.stall_duration = d;
+        self
+    }
+
+    /// A plan faulting exactly the given ids (transient unless
+    /// [`sticky`](FaultPlan::sticky) is applied).
+    pub fn explicit(faults: impl IntoIterator<Item = (u64, Fault)>) -> Self {
+        Self {
+            selection: Selection::Explicit(faults.into_iter().collect()),
+            kinds: vec![Fault::Panic, Fault::Stall, Fault::Garbage],
+            sticky: false,
+            stall_duration: Duration::from_millis(2),
+        }
+    }
+
+    /// The fault (if any) to inject for `id` on `attempt` (1-based).
+    /// Deterministic in `(plan, id, attempt)` alone.
+    pub fn fault_for(&self, id: RequestId, attempt: u32) -> Option<Fault> {
+        if attempt > 1 && !self.sticky {
+            return None;
+        }
+        match &self.selection {
+            Selection::Explicit(map) => map.get(&id.0).copied(),
+            Selection::Seeded { seed, rate_pct } => {
+                let h = mix(*seed, id.0);
+                if (h % 100) as u32 >= *rate_pct {
+                    return None;
+                }
+                Some(self.kinds[((h >> 32) % self.kinds.len() as u64) as usize])
+            }
+        }
+    }
+
+    /// Every id in `0..n` this plan faults, with its kind — what a test
+    /// (or the fault-smoke golden) partitions a batch with.
+    pub fn faulted_ids(&self, n: u64) -> Vec<(u64, Fault)> {
+        (0..n)
+            .filter_map(|i| self.fault_for(RequestId(i), 1).map(|f| (i, f)))
+            .collect()
+    }
+}
+
+/// splitmix64 of `seed ⊕ id`, the same mixing the workload generators
+/// use: uncorrelated across ids, stable across platforms.
+fn mix(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ (id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Replace whatever the pipeline produced with recognizable garbage that
+/// the sanity validator must reject: impossible message count, negative
+/// parallelism, zero makespan against nonzero sequential time.
+pub fn garble(_result: Result<ScheduleResponse, super::ServiceError>) -> ScheduleResponse {
+    ScheduleResponse::Loop(LoopOutcome {
+        name: String::new(),
+        scheduler: SchedulerChoice::Cyclic,
+        processors_used: 0,
+        seq_time: 1,
+        makespan: 0,
+        sp: -1.0,
+        messages: u64::MAX,
+        comm_cycles: 0,
+        ii: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_rate_bounded() {
+        let plan = FaultPlan::seeded(7, 10);
+        let a = plan.faulted_ids(1000);
+        let b = plan.faulted_ids(1000);
+        assert_eq!(a, b, "same plan, same faults");
+        // ~10% of 1000 ids; a generous band guards the hash quality.
+        assert!(
+            (50..200).contains(&a.len()),
+            "{} faulted of 1000 at 10%",
+            a.len()
+        );
+        // A different seed faults a different set.
+        let c = FaultPlan::seeded(8, 10).faulted_ids(1000);
+        assert_ne!(a, c);
+        // Rate 0 faults nothing; rate 100 faults everything.
+        assert!(FaultPlan::seeded(7, 0).faulted_ids(100).is_empty());
+        assert_eq!(FaultPlan::seeded(7, 100).faulted_ids(100).len(), 100);
+    }
+
+    #[test]
+    fn transient_faults_fire_on_first_attempt_only() {
+        let plan = FaultPlan::explicit([(3, Fault::Panic)]);
+        assert_eq!(plan.fault_for(RequestId(3), 1), Some(Fault::Panic));
+        assert_eq!(plan.fault_for(RequestId(3), 2), None, "retry runs clean");
+        assert_eq!(plan.fault_for(RequestId(4), 1), None);
+        let sticky = plan.sticky();
+        assert_eq!(sticky.fault_for(RequestId(3), 2), Some(Fault::Panic));
+        assert_eq!(sticky.fault_for(RequestId(3), 9), Some(Fault::Panic));
+    }
+
+    #[test]
+    fn kind_restriction_draws_only_those_kinds() {
+        let plan = FaultPlan::seeded(11, 100).with_kinds(&[Fault::Panic, Fault::Stall]);
+        for (_, f) in plan.faulted_ids(200) {
+            assert_ne!(f, Fault::Garbage);
+        }
+    }
+
+    #[test]
+    fn garbled_response_fails_validation() {
+        let g = garble(Ok(ScheduleResponse::Loop(LoopOutcome {
+            name: "x".into(),
+            scheduler: SchedulerChoice::Cyclic,
+            processors_used: 1,
+            seq_time: 10,
+            makespan: 5,
+            sp: 50.0,
+            messages: 0,
+            comm_cycles: 0,
+            ii: None,
+        })));
+        assert!(super::super::request::validate_response(&g).is_err());
+    }
+}

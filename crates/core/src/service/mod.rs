@@ -1,29 +1,73 @@
-//! # Batch scheduling service — a long-lived work-queue API over the
-//! # Cyclic-sched pipeline
+//! # Batch scheduling service — a fault-tolerant request lifecycle over
+//! # the Cyclic-sched pipeline
 //!
 //! The experiment drivers fan independent (workload, machine) cells out
 //! across threads and then exit; this module lifts that fan-out into a
 //! **service**: a persistent worker pool that outlives any single driver
-//! call, fed through a typed request/response pair. It is the stepping
-//! stone from "experiment driver" to "system that serves traffic"
-//! (ROADMAP north star): the paper's analyze → schedule → simulate
-//! pipeline is exactly the request shape a scheduling service handles at
-//! scale.
+//! call, fed through a typed request/response pair and hardened with the
+//! admission/deadline/cancellation/retry machinery real traffic needs
+//! (ROADMAP north star: "serves heavy traffic from millions of users").
 //!
-//! ## Request/response contract
+//! ## Request lifecycle state machine
 //!
-//! A [`ScheduleRequest`] names a loop source (corpus workload, DDG text
-//! or file, or an in-memory graph), a machine configuration, an execution
-//! model ([`SimOptions`](kn_sim::SimOptions): link capacity + event-queue
-//! engine), and a scheduler choice (`Cyclic-sched` or a DOACROSS
-//! baseline). [`Service::submit`] assigns it a monotonically increasing
-//! [`RequestId`] and enqueues it; workers execute requests concurrently
-//! and may complete them **in any order**. Every submitted request
-//! produces exactly one response — a [`ScheduleResponse`] on success or a
-//! [`ServiceError`] on failure (bad source, unschedulable loop, or a
-//! panic inside the pipeline) — retrievable with [`Service::collect`]
-//! (the ids you submitted) or [`Service::drain`] (everything
-//! outstanding), both returned sorted by id.
+//! Every admitted request moves through this machine; each submitted id
+//! produces **exactly one** final response:
+//!
+//! ```text
+//!              submit / try_submit
+//!   (rejected) <---- ADMISSION ----> queued
+//!                                      |  cancel()          -> cancelled
+//!                                      |  deadline passed   -> expired
+//!                                      |  shutdown(Shed)    -> shed
+//!                                      v
+//!                                   running --- panic/fault ---+
+//!                                      |  cancel(), deadline   | retry with
+//!                                      |  (phase boundaries)   | capped backoff,
+//!                                      v                       | up to the
+//!                  done(ok) / done(error) <---(budget spent)---+ attempt budget
+//! ```
+//!
+//! * **Bounded admission** — the queue holds at most
+//!   [`ServiceConfig::queue_capacity`] requests. [`Service::try_submit`]
+//!   never blocks: it answers [`SubmitOutcome::WouldBlock`] on a full
+//!   queue and [`SubmitOutcome::Rejected`] once shutdown has begun.
+//!   [`Service::submit_opts`] blocks for space (backpressure);
+//!   [`Service::submit`] is the PR 3-compatible wrapper that panics only
+//!   if the service was already shut down.
+//! * **Deadlines** — a per-request [`Deadline`] is enforced at dequeue
+//!   (expired work is shed before wasting a worker), between retry
+//!   attempts, and cooperatively at pipeline phase boundaries
+//!   (parse → schedule → simulate). An expired request answers
+//!   [`ServiceError::Expired`].
+//! * **Cancellation** — [`Service::cancel`] removes queued work
+//!   immediately ([`CancelOutcome::Dequeued`]) and flags in-flight work
+//!   ([`CancelOutcome::InFlight`]) for cooperative abandonment at the
+//!   next phase boundary or retry boundary; either way the id answers
+//!   [`ServiceError::Cancelled`].
+//! * **Retry with capped exponential backoff** — transient failures
+//!   (a pipeline panic, an injected fault, a response that fails
+//!   validation) are retried up to [`ServiceConfig::max_attempts`] with
+//!   deterministic backoff `min(base * 2^(attempt-1), cap)`. Responses
+//!   carry the attempt count ([`Completed::attempts`]). Deterministic
+//!   failures ([`ServiceError::BadRequest`], [`ServiceError::Sched`]) are
+//!   never retried.
+//! * **Graceful drain on shutdown** — [`Service::shutdown`] stops
+//!   admission, then either finishes the queued work
+//!   ([`DrainPolicy::Finish`]) or sheds it with
+//!   [`ServiceError::ShuttingDown`] ([`DrainPolicy::Shed`]); in-flight
+//!   requests complete either way, and every worker thread is joined
+//!   before `shutdown` returns. Dropping the service is
+//!   `shutdown(DrainPolicy::Finish)`.
+//!
+//! ## Collecting responses
+//!
+//! [`Service::collect`] blocks until every requested id has a response;
+//! an id the service has **never admitted** (or whose response was
+//! already collected) answers [`ServiceError::UnknownRequest`]
+//! immediately instead of blocking forever. [`Service::collect_timeout`]
+//! bounds the wait: ids still pending when the timeout fires answer
+//! [`ServiceError::Timeout`] and remain collectable later.
+//! [`Service::drain`] waits for quiescence and removes everything.
 //!
 //! ## Determinism guarantee
 //!
@@ -34,17 +78,20 @@
 //! submission order of *other* requests, and OS scheduling — a batch
 //! submitted to a 1-worker service, an 8-worker service, or shuffled and
 //! resubmitted yields identical responses per id (pinned by
-//! `crates/core/tests/service.rs`). The experiment drivers rebuilt on the
-//! service (`run_table1_par`, `contention_ablation_par`,
-//! `figure_reports_par`) are byte-identical to their sequential twins.
+//! `crates/core/tests/service.rs`). Retries preserve this: a retried
+//! attempt re-executes the same pure function, so a transient-fault
+//! recovery is byte-identical to an undisturbed run. The seeded
+//! fault-injection harness ([`faultinject`]) keys faults on the request
+//! id, never on timing, which is what makes every failure path above
+//! testable in CI without sleeps.
 //!
 //! ## Fault isolation
 //!
 //! A request that panics inside the pipeline is caught at the worker
-//! boundary ([`ServiceError::Panicked`]): the worker survives, subsequent
-//! requests are served normally, and [`Service::drain`] still returns a
-//! response for the panicked id — a poisoned request can never wedge the
-//! pool.
+//! boundary: the worker survives, its scratch caches are rebuilt, and —
+//! once the retry budget is spent — the id answers
+//! [`ServiceError::Panicked`]. A poisoned request can never wedge the
+//! pool or lose an id.
 //!
 //! ## Example
 //!
@@ -65,21 +112,25 @@
 //! and embedders that want their own pool. Do **not** submit-and-collect
 //! from *inside* a request executing on the same service — a worker
 //! blocking on its own pool's results can deadlock a fully loaded pool.
+//! The TCP front-end over this service lives in [`net`]; the wire format
+//! it speaks is [`wire`].
 
+pub mod faultinject;
+pub mod net;
 mod request;
 pub mod wire;
 
 pub use request::{
-    execute, LoopOutcome, LoopRequest, LoopSource, RequestTiming, ScheduleRequest,
-    ScheduleResponse, SchedulerChoice, ServiceError, WorkerScratch,
+    execute, validate_response, ExecCtx, LoopOutcome, LoopRequest, LoopSource, RequestTiming,
+    ScheduleRequest, ScheduleResponse, SchedulerChoice, ServiceError, WorkerScratch,
 };
 
-use std::collections::HashMap;
+use faultinject::{Fault, FaultPlan};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Stable handle for one submitted request. Ids are assigned in
 /// submission order and never reused, so out-of-order completion remains
@@ -93,19 +144,184 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// Absolute point in time by which a request must *start making
+/// progress*; enforced at dequeue, between retry attempts, and at
+/// pipeline phase boundaries. A request past its deadline answers
+/// [`ServiceError::Expired`] without wasting further worker time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline(pub Instant);
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Deadline(Instant::now() + d)
+    }
+
+    /// A deadline that has already passed — queued work carrying it is
+    /// deterministically shed at dequeue (tests and load-shedding use
+    /// this; `deadline_ms=0` on the wire produces it).
+    pub fn expired() -> Self {
+        Deadline(Instant::now())
+    }
+
+    /// Has the deadline passed at `now`? A deadline equal to "now" counts
+    /// as expired, which is what makes [`Deadline::expired`] (and
+    /// `deadline_ms=0`) deterministic: any later monotone reading is
+    /// `>=` the instant it was created at.
+    pub fn is_expired_at(&self, now: Instant) -> bool {
+        now >= self.0
+    }
+
+    /// Has the deadline passed right now?
+    pub fn is_expired(&self) -> bool {
+        self.is_expired_at(Instant::now())
+    }
+}
+
+/// Per-submission options: everything about a request's lifecycle that is
+/// not part of the scheduling work itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Shed the request once this passes (see [`Deadline`]).
+    pub deadline: Option<Deadline>,
+    /// Override the service-wide [`ServiceConfig::max_attempts`] for this
+    /// request.
+    pub max_attempts: Option<u32>,
+}
+
+/// Admission verdict for [`Service::try_submit`] / [`Service::submit_opts`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted; the id will produce exactly one response.
+    Accepted(RequestId),
+    /// Admission is closed: shutdown has begun. Permanent.
+    Rejected,
+    /// The queue is at capacity right now ([`Service::try_submit`] only);
+    /// backing off and retrying, or using the blocking
+    /// [`Service::submit_opts`], may succeed.
+    WouldBlock,
+}
+
+impl SubmitOutcome {
+    /// The id, if admitted.
+    pub fn id(&self) -> Option<RequestId> {
+        match self {
+            SubmitOutcome::Accepted(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// What [`Service::cancel`] found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// Removed from the queue before any worker saw it; the id answers
+    /// [`ServiceError::Cancelled`].
+    Dequeued,
+    /// A worker is executing it; it has been flagged and will abandon
+    /// cooperatively at the next phase or retry boundary.
+    InFlight,
+    /// Already completed — the response (whatever it is) stands.
+    AlreadyDone,
+    /// Not an id this service is currently tracking.
+    Unknown,
+}
+
+/// How [`Service::shutdown`] treats work that is still queued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainPolicy {
+    /// Finish every queued request before the workers exit (expired
+    /// deadlines are still shed at dequeue as usual).
+    Finish,
+    /// Answer every queued request with [`ServiceError::ShuttingDown`]
+    /// immediately; workers exit as soon as their in-flight request
+    /// completes.
+    Shed,
+}
+
+/// What [`Service::shutdown`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Requests still queued when admission closed that were answered
+    /// with [`ServiceError::ShuttingDown`] ([`DrainPolicy::Shed`] only).
+    pub shed: u64,
+    /// Worker threads joined by this call.
+    pub workers_joined: usize,
+}
+
+/// Service construction parameters. `Default` is the PR 3-compatible
+/// shape: an effectively unbounded queue, one retry for transient
+/// failures, millisecond-scale backoff, no fault injection.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (at least one).
+    pub workers: usize,
+    /// Maximum queued (not yet running) requests before admission pushes
+    /// back.
+    pub queue_capacity: usize,
+    /// Total execution attempts per request (1 = no retry). Only
+    /// transient failures (panic, injected fault, invalid response) are
+    /// retried.
+    pub max_attempts: u32,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Deterministic fault injection (tests, CI fault-smoke); `None` in
+    /// production.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_capacity: usize::MAX,
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Deterministic capped exponential backoff before retry `attempt`
+/// (attempt 2 = first retry waits `base`, attempt 3 waits `2*base`, …,
+/// never more than `cap`).
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration) -> Duration {
+    if attempt <= 1 || base.is_zero() {
+        return Duration::ZERO;
+    }
+    let factor = 1u32 << (attempt - 2).min(16);
+    (base * factor).min(cap)
+}
+
 /// Cumulative per-service execution statistics (monotone counters; read
 /// a snapshot with [`Service::stats`], diff two snapshots for batch-level
-/// numbers). Phase breakdowns cover [`ScheduleRequest::Loop`] requests;
+/// numbers). `completed`/`errors` count **final outcomes** — a request
+/// retried twice and then succeeding is one completion, zero errors, two
+/// `retries`. Phase breakdowns cover [`ScheduleRequest::Loop`] requests;
 /// experiment-cell requests report only their total under `exec_ns`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Requests submitted.
+    /// Requests admitted.
     pub submitted: u64,
-    /// Requests completed (ok or error).
+    /// Requests completed (ok or error), counting final outcomes only.
     pub completed: u64,
-    /// Requests that completed with an error response.
+    /// Requests whose final response is an error.
     pub errors: u64,
-    /// Total wall nanoseconds workers spent executing requests.
+    /// Extra attempts spent on transient failures.
+    pub retries: u64,
+    /// Requests shed because their deadline passed.
+    pub expired: u64,
+    /// Requests cancelled by the caller.
+    pub cancelled: u64,
+    /// Requests shed by `shutdown(DrainPolicy::Shed)`.
+    pub shed: u64,
+    /// Admission attempts answered `WouldBlock` (full queue).
+    pub rejected: u64,
+    /// Total wall nanoseconds workers spent executing requests (all
+    /// attempts).
     pub exec_ns: u64,
     /// Source-resolution (read + parse + cache lookup) nanoseconds.
     pub parse_ns: u64,
@@ -115,85 +331,180 @@ pub struct ServiceStats {
     pub sim_ns: u64,
 }
 
+/// One finished request: the final response plus its lifecycle record.
+#[derive(Clone, Debug)]
+pub struct Completed {
+    pub id: RequestId,
+    pub result: Result<ScheduleResponse, ServiceError>,
+    /// Execution attempts consumed (0 for requests shed before any
+    /// attempt: expired, cancelled while queued, shut down).
+    pub attempts: u32,
+    /// Wall nanoseconds from admission to final response.
+    pub latency_ns: u64,
+}
+
 /// Completed responses paired with their ids, sorted by id — what
 /// [`Service::collect`] and [`Service::drain`] return.
 pub type Responses = Vec<(RequestId, Result<ScheduleResponse, ServiceError>)>;
 
-/// Completed-response ledger shared between workers and callers.
+/// A queued unit of work.
+struct Job {
+    id: RequestId,
+    req: ScheduleRequest,
+    deadline: Option<Deadline>,
+    max_attempts: u32,
+    cancel: Arc<AtomicBool>,
+    admitted_at: Instant,
+}
+
+/// Shared queue + completed-response ledger.
 struct Ledger {
-    done: HashMap<RequestId, Result<ScheduleResponse, ServiceError>>,
+    queue: VecDeque<Job>,
+    done: HashMap<RequestId, Completed>,
+    /// Cancellation flags of requests currently executing on a worker.
+    inflight: HashMap<RequestId, Arc<AtomicBool>>,
+    /// Ids admitted and not yet collected (superset of `done`'s keys and
+    /// of everything queued/in-flight). Membership here is what
+    /// distinguishes "still coming" from "never submitted / already
+    /// collected" in [`Service::collect`].
+    known: HashSet<RequestId>,
+    /// Admitted requests without a final response yet.
     outstanding: u64,
+    accepting: bool,
+    next_id: u64,
     stats: ServiceStats,
 }
 
+impl Ledger {
+    /// Record a final response. Caller notifies the condvar.
+    fn complete(&mut self, c: Completed) {
+        self.stats.completed += 1;
+        if let Err(e) = &c.result {
+            self.stats.errors += 1;
+            match e {
+                ServiceError::Expired => self.stats.expired += 1,
+                ServiceError::Cancelled => self.stats.cancelled += 1,
+                ServiceError::ShuttingDown => self.stats.shed += 1,
+                _ => {}
+            }
+        }
+        self.outstanding -= 1;
+        self.done.insert(c.id, c);
+    }
+}
+
 /// The long-lived batch scheduling service: `workers` persistent threads
-/// pulling [`ScheduleRequest`]s from a shared queue. See the module docs
-/// for the contract; construction is cheap enough for per-test pools but
-/// the intended production shape is one service per process ([`global`]).
+/// pulling [`ScheduleRequest`]s from a bounded shared queue. See the
+/// module docs for the lifecycle contract; construction is cheap enough
+/// for per-test pools but the intended production shape is one service
+/// per process ([`global`]).
 pub struct Service {
-    /// `None` after shutdown begins (Drop); senders hand out ids first.
-    tx: Mutex<Option<Sender<(RequestId, ScheduleRequest)>>>,
     ledger: Arc<(Mutex<Ledger>, Condvar)>,
-    next_id: AtomicU64,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    worker_count: usize,
+    config: ServiceConfig,
 }
 
 impl Service {
-    /// Spawn a service with `workers` persistent worker threads (at least
-    /// one). Each worker owns a [`WorkerScratch`] that is **reused across
-    /// requests** — parsed-source caches and corpus workloads survive from
-    /// one request to the next instead of being rebuilt per batch.
+    /// Spawn a service with `workers` persistent worker threads and
+    /// default lifecycle settings (see [`ServiceConfig`]).
     pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let (tx, rx) = channel::<(RequestId, ScheduleRequest)>();
-        let rx = Arc::new(Mutex::new(rx));
+        Self::with_config(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// Spawn a service with explicit lifecycle settings.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        let config = ServiceConfig {
+            workers: config.workers.max(1),
+            max_attempts: config.max_attempts.max(1),
+            ..config
+        };
         let ledger = Arc::new((
             Mutex::new(Ledger {
+                queue: VecDeque::new(),
                 done: HashMap::new(),
+                inflight: HashMap::new(),
+                known: HashSet::new(),
                 outstanding: 0,
+                accepting: true,
+                next_id: 0,
                 stats: ServiceStats::default(),
             }),
             Condvar::new(),
         ));
-        let handles = (0..workers)
+        let handles = (0..config.workers)
             .map(|_| {
-                let rx = Arc::clone(&rx);
                 let ledger = Arc::clone(&ledger);
-                std::thread::spawn(move || worker_loop(&rx, &ledger))
+                let cfg = config.clone();
+                std::thread::spawn(move || worker_loop(&ledger, &cfg))
             })
             .collect();
         Self {
-            tx: Mutex::new(Some(tx)),
             ledger,
-            next_id: AtomicU64::new(0),
             workers: Mutex::new(handles),
-            worker_count: workers,
+            config,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.worker_count
+        self.config.workers
     }
 
-    /// Enqueue one request; returns immediately with its id.
-    pub fn submit(&self, req: ScheduleRequest) -> RequestId {
-        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        {
-            // Account before sending so a fast worker can never complete a
-            // request the ledger does not yet know is outstanding.
-            let (lock, _) = &*self.ledger;
-            let mut ledger = lock.lock().unwrap();
-            ledger.outstanding += 1;
-            ledger.stats.submitted += 1;
+    /// This service's lifecycle settings.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Non-blocking admission: [`SubmitOutcome::WouldBlock`] when the
+    /// queue is at capacity, [`SubmitOutcome::Rejected`] once shutdown
+    /// has begun.
+    pub fn try_submit(&self, req: ScheduleRequest, opts: SubmitOptions) -> SubmitOutcome {
+        let (lock, cv) = &*self.ledger;
+        let mut ledger = lock.lock().unwrap();
+        if !ledger.accepting {
+            return SubmitOutcome::Rejected;
         }
-        let tx = self.tx.lock().unwrap();
-        tx.as_ref()
-            .expect("service is shut down")
-            .send((id, req))
-            .expect("service workers alive");
-        id
+        if ledger.queue.len() >= self.config.queue_capacity {
+            ledger.stats.rejected += 1;
+            return SubmitOutcome::WouldBlock;
+        }
+        let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
+        cv.notify_all();
+        out
+    }
+
+    /// Blocking admission: waits for queue space (backpressure), then
+    /// admits. [`SubmitOutcome::Rejected`] once shutdown has begun —
+    /// including while waiting.
+    pub fn submit_opts(&self, req: ScheduleRequest, opts: SubmitOptions) -> SubmitOutcome {
+        let (lock, cv) = &*self.ledger;
+        let mut ledger = lock.lock().unwrap();
+        loop {
+            if !ledger.accepting {
+                return SubmitOutcome::Rejected;
+            }
+            if ledger.queue.len() < self.config.queue_capacity {
+                let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
+                cv.notify_all();
+                return out;
+            }
+            ledger = cv.wait(ledger).unwrap();
+        }
+    }
+
+    /// Enqueue one request with default options; blocks for queue space.
+    ///
+    /// # Panics
+    /// If the service has been shut down (submitting to a dead pool is a
+    /// caller bug, matching the PR 3 contract).
+    pub fn submit(&self, req: ScheduleRequest) -> RequestId {
+        match self.submit_opts(req, SubmitOptions::default()) {
+            SubmitOutcome::Accepted(id) => id,
+            _ => panic!("service is shut down"),
+        }
     }
 
     /// Enqueue a batch; ids are consecutive in input order.
@@ -201,25 +512,110 @@ impl Service {
         reqs.into_iter().map(|r| self.submit(r)).collect()
     }
 
+    /// Cancel a request: queued work is removed immediately, in-flight
+    /// work is flagged for cooperative abandonment at its next phase or
+    /// retry boundary. See [`CancelOutcome`].
+    pub fn cancel(&self, id: RequestId) -> CancelOutcome {
+        let (lock, cv) = &*self.ledger;
+        let mut ledger = lock.lock().unwrap();
+        if let Some(pos) = ledger.queue.iter().position(|j| j.id == id) {
+            let job = ledger.queue.remove(pos).expect("position just found");
+            ledger.complete(Completed {
+                id,
+                result: Err(ServiceError::Cancelled),
+                attempts: 0,
+                latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
+            });
+            cv.notify_all();
+            return CancelOutcome::Dequeued;
+        }
+        if let Some(flag) = ledger.inflight.get(&id) {
+            flag.store(true, Ordering::Relaxed);
+            return CancelOutcome::InFlight;
+        }
+        if ledger.done.contains_key(&id) {
+            return CancelOutcome::AlreadyDone;
+        }
+        CancelOutcome::Unknown
+    }
+
     /// Block until every id in `ids` has a response, then remove and
     /// return them **sorted by id** (so a batch submitted in input order
-    /// comes back in input order regardless of completion order). Ids
-    /// from other callers of a shared service are untouched, which is
-    /// what makes the [`global`] service safe to share between
-    /// concurrently running drivers.
+    /// comes back in input order regardless of completion order). An id
+    /// this service never admitted — or whose response was already
+    /// collected — answers [`ServiceError::UnknownRequest`] immediately
+    /// instead of blocking forever. Ids from other callers of a shared
+    /// service are untouched, which is what makes the [`global`] service
+    /// safe to share between concurrently running drivers.
     pub fn collect(&self, ids: &[RequestId]) -> Responses {
+        self.collect_detailed(ids, None)
+            .into_iter()
+            .map(|c| (c.id, c.result))
+            .collect()
+    }
+
+    /// [`collect`](Service::collect) with a bound on the wait: ids still
+    /// pending when `timeout` elapses answer [`ServiceError::Timeout`]
+    /// and **remain collectable** — their real response is not lost.
+    pub fn collect_timeout(&self, ids: &[RequestId], timeout: Duration) -> Responses {
+        self.collect_detailed(ids, Some(timeout))
+            .into_iter()
+            .map(|c| (c.id, c.result))
+            .collect()
+    }
+
+    /// The full lifecycle record ([`Completed`]: attempts + latency) for
+    /// each id, sorted by id. `timeout` as in
+    /// [`collect_timeout`](Service::collect_timeout); `None` waits
+    /// indefinitely for admitted ids.
+    pub fn collect_detailed(&self, ids: &[RequestId], timeout: Option<Duration>) -> Vec<Completed> {
         let mut ids: Vec<RequestId> = ids.to_vec();
         ids.sort_unstable();
         ids.dedup();
+        let started = Instant::now();
         let (lock, cv) = &*self.ledger;
         let mut ledger = lock.lock().unwrap();
-        while !ids.iter().all(|id| ledger.done.contains_key(id)) {
-            ledger = cv.wait(ledger).unwrap();
+        loop {
+            // Waiting is over when every *known* id is done; unknown ids
+            // (never admitted, or already collected) never block.
+            let pending = ids
+                .iter()
+                .any(|id| ledger.known.contains(id) && !ledger.done.contains_key(id));
+            if !pending {
+                break;
+            }
+            match timeout {
+                None => ledger = cv.wait(ledger).unwrap(),
+                Some(t) => {
+                    let Some(left) = t.checked_sub(started.elapsed()) else {
+                        break;
+                    };
+                    let (l, res) = cv.wait_timeout(ledger, left).unwrap();
+                    ledger = l;
+                    if res.timed_out() {
+                        break;
+                    }
+                }
+            }
         }
         ids.into_iter()
             .map(|id| {
-                let r = ledger.done.remove(&id).expect("id present after wait");
-                (id, r)
+                if let Some(c) = ledger.done.remove(&id) {
+                    ledger.known.remove(&id);
+                    c
+                } else {
+                    let result = if ledger.known.contains(&id) {
+                        Err(ServiceError::Timeout)
+                    } else {
+                        Err(ServiceError::UnknownRequest)
+                    };
+                    Completed {
+                        id,
+                        result,
+                        attempts: 0,
+                        latency_ns: 0,
+                    }
+                }
             })
             .collect()
     }
@@ -236,9 +632,48 @@ impl Service {
         while ledger.outstanding > 0 {
             ledger = cv.wait(ledger).unwrap();
         }
-        let mut out: Vec<_> = ledger.done.drain().collect();
+        let drained: Vec<RequestId> = ledger.done.keys().copied().collect();
+        for id in &drained {
+            ledger.known.remove(id);
+        }
+        let mut out: Vec<_> = ledger.done.drain().map(|(id, c)| (id, c.result)).collect();
         out.sort_unstable_by_key(|&(id, _)| id);
         out
+    }
+
+    /// Stop admission, settle queued work per `policy`, wait for in-flight
+    /// requests to finish, and join every worker thread. Idempotent: a
+    /// second call reports zero work and zero joined workers. Responses
+    /// already completed (and those produced by the drain itself) remain
+    /// collectable afterwards.
+    pub fn shutdown(&self, policy: DrainPolicy) -> ShutdownReport {
+        let (lock, cv) = &*self.ledger;
+        let mut shed = 0u64;
+        {
+            let mut ledger = lock.lock().unwrap();
+            ledger.accepting = false;
+            if policy == DrainPolicy::Shed {
+                while let Some(job) = ledger.queue.pop_front() {
+                    shed += 1;
+                    ledger.complete(Completed {
+                        id: job.id,
+                        result: Err(ServiceError::ShuttingDown),
+                        attempts: 0,
+                        latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
+                    });
+                }
+            }
+            cv.notify_all();
+        }
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        let workers_joined = handles.len();
+        for h in handles {
+            let _ = h.join();
+        }
+        ShutdownReport {
+            shed,
+            workers_joined,
+        }
     }
 
     /// Snapshot of the cumulative execution statistics.
@@ -249,55 +684,206 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        // Closing the channel ends every worker's recv loop.
-        *self.tx.lock().unwrap() = None;
-        for h in self.workers.lock().unwrap().drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown(DrainPolicy::Finish);
     }
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<(RequestId, ScheduleRequest)>>,
-    ledger: &(Mutex<Ledger>, Condvar),
-) {
+/// Admit one request under an already-held ledger lock.
+fn admit(
+    ledger: &mut Ledger,
+    req: ScheduleRequest,
+    opts: SubmitOptions,
+    config: &ServiceConfig,
+) -> RequestId {
+    let id = RequestId(ledger.next_id);
+    ledger.next_id += 1;
+    ledger.outstanding += 1;
+    ledger.stats.submitted += 1;
+    ledger.known.insert(id);
+    ledger.queue.push_back(Job {
+        id,
+        req,
+        deadline: opts.deadline,
+        max_attempts: opts.max_attempts.unwrap_or(config.max_attempts).max(1),
+        cancel: Arc::new(AtomicBool::new(false)),
+        admitted_at: Instant::now(),
+    });
+    id
+}
+
+fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig) {
+    let (lock, cv) = ledger;
     let mut scratch = WorkerScratch::default();
     loop {
-        // Hold the queue lock only for the dequeue, never during execution.
-        let msg = rx.lock().unwrap().recv();
-        let Ok((id, req)) = msg else {
-            return; // channel closed: service shut down
-        };
-        let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            request::execute_with(&mut scratch, &req)
-        }));
-        let exec_ns = t0.elapsed().as_nanos() as u64;
-        let (result, timing) = match outcome {
-            Ok((result, timing)) => (result, timing),
-            Err(payload) => {
-                // The panic may have left the scratch caches mid-update;
-                // start this worker's caches over rather than trust them.
-                scratch = WorkerScratch::default();
-                (
-                    Err(ServiceError::Panicked(panic_message(payload))),
-                    RequestTiming::default(),
-                )
+        let job = {
+            let mut ledger = lock.lock().unwrap();
+            loop {
+                if let Some(job) = ledger.queue.pop_front() {
+                    // Shed before spending a worker on it.
+                    if job.cancel.load(Ordering::Relaxed) {
+                        ledger.complete(Completed {
+                            id: job.id,
+                            result: Err(ServiceError::Cancelled),
+                            attempts: 0,
+                            latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
+                        });
+                        cv.notify_all();
+                        continue;
+                    }
+                    if let Some(d) = job.deadline {
+                        if d.is_expired() {
+                            ledger.complete(Completed {
+                                id: job.id,
+                                result: Err(ServiceError::Expired),
+                                attempts: 0,
+                                latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
+                            });
+                            cv.notify_all();
+                            continue;
+                        }
+                    }
+                    ledger.inflight.insert(job.id, Arc::clone(&job.cancel));
+                    break job;
+                }
+                if !ledger.accepting {
+                    return; // shutdown: admission closed, queue empty
+                }
+                ledger = cv.wait(ledger).unwrap();
             }
         };
-        let (lock, cv) = ledger;
+
+        let (result, attempts, timing, exec_ns, retries) = run_attempts(&mut scratch, &job, config);
+
         let mut ledger = lock.lock().unwrap();
-        ledger.stats.completed += 1;
-        if result.is_err() {
-            ledger.stats.errors += 1;
-        }
+        ledger.inflight.remove(&job.id);
+        ledger.stats.retries += retries;
         ledger.stats.exec_ns += exec_ns;
         ledger.stats.parse_ns += timing.parse_ns;
         ledger.stats.schedule_ns += timing.schedule_ns;
         ledger.stats.sim_ns += timing.sim_ns;
-        ledger.outstanding -= 1;
-        ledger.done.insert(id, result);
+        ledger.complete(Completed {
+            id: job.id,
+            result,
+            attempts,
+            latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
+        });
         cv.notify_all();
+    }
+}
+
+/// Execute one job's attempt loop: panic guard, fault injection, response
+/// validation, cooperative cancel/deadline checks, capped backoff between
+/// retries. Returns (final result, attempts used, accumulated timing,
+/// total exec ns, retry count).
+#[allow(clippy::type_complexity)]
+fn run_attempts(
+    scratch: &mut WorkerScratch,
+    job: &Job,
+    config: &ServiceConfig,
+) -> (
+    Result<ScheduleResponse, ServiceError>,
+    u32,
+    RequestTiming,
+    u64,
+    u64,
+) {
+    let mut timing = RequestTiming::default();
+    let mut exec_ns = 0u64;
+    let mut attempts = 0u32;
+    let mut retries = 0u64;
+    let result = loop {
+        // Cooperative abandonment between attempts.
+        if job.cancel.load(Ordering::Relaxed) {
+            break Err(ServiceError::Cancelled);
+        }
+        if job.deadline.is_some_and(|d| d.is_expired()) {
+            break Err(ServiceError::Expired);
+        }
+        attempts += 1;
+        let ctx = ExecCtx {
+            cancel: Some(Arc::clone(&job.cancel)),
+            deadline: job.deadline.map(|d| d.0),
+        };
+        let t0 = Instant::now();
+        let attempt_result = run_one_attempt(scratch, job, attempts, &ctx, config, &mut timing);
+        exec_ns += t0.elapsed().as_nanos() as u64;
+        match attempt_result {
+            Ok(resp) => break Ok(resp),
+            Err(e) if e.is_transient() && attempts < job.max_attempts => {
+                retries += 1;
+                let wait = backoff_delay(attempts + 1, config.backoff_base, config.backoff_cap);
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    (result, attempts, timing, exec_ns, retries)
+}
+
+fn run_one_attempt(
+    scratch: &mut WorkerScratch,
+    job: &Job,
+    attempt: u32,
+    ctx: &ExecCtx,
+    config: &ServiceConfig,
+    timing: &mut RequestTiming,
+) -> Result<ScheduleResponse, ServiceError> {
+    let fault = config
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.fault_for(job.id, attempt));
+    if let Some(Fault::Stall) = fault {
+        // A wedged execution, cut off by the lifecycle layer: the attempt
+        // burns its stall budget and reports a transient fault (which the
+        // retry loop then recovers from, deadline permitting).
+        let stall = config
+            .fault_plan
+            .as_ref()
+            .map(|p| p.stall_duration)
+            .unwrap_or_default();
+        if !stall.is_zero() {
+            std::thread::sleep(stall);
+        }
+        return Err(ServiceError::Faulted(format!(
+            "injected stall ({} attempt {attempt})",
+            job.id
+        )));
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(Fault::Panic) = fault {
+            panic!("injected panic ({} attempt {attempt})", job.id);
+        }
+        let (mut result, t) = request::execute_with(scratch, &job.req, ctx);
+        if let Some(Fault::Garbage) = fault {
+            result = Ok(faultinject::garble(result));
+        }
+        (result, t)
+    }));
+    match outcome {
+        Ok((result, t)) => {
+            timing.parse_ns += t.parse_ns;
+            timing.schedule_ns += t.schedule_ns;
+            timing.sim_ns += t.sim_ns;
+            // Detect-and-recover: a response that fails the cheap sanity
+            // validator (e.g. injected garbage) is a transient fault.
+            match result {
+                Ok(resp) => match request::validate_response(&resp) {
+                    Ok(()) => Ok(resp),
+                    Err(why) => Err(ServiceError::Faulted(format!(
+                        "response failed validation: {why}"
+                    ))),
+                },
+                Err(e) => Err(e),
+            }
+        }
+        Err(payload) => {
+            // The panic may have left the scratch caches mid-update;
+            // start this worker's caches over rather than trust them.
+            *scratch = WorkerScratch::default();
+            Err(ServiceError::Panicked(panic_message(payload)))
+        }
     }
 }
 
@@ -346,6 +932,7 @@ mod tests {
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.errors, 0);
+        assert_eq!(stats.retries, 0);
         assert!(stats.exec_ns > 0);
     }
 
@@ -370,5 +957,89 @@ mod tests {
         assert!(svc.workers() >= 1);
         let id = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
         assert!(svc.collect(&[id])[0].1.is_ok());
+    }
+
+    #[test]
+    fn collect_of_unknown_id_answers_immediately() {
+        // The PR 3 bug: collecting a never-submitted id blocked forever.
+        let svc = Service::new(1);
+        let got = svc.collect(&[RequestId(999)]);
+        assert!(
+            matches!(&got[0].1, Err(ServiceError::UnknownRequest)),
+            "{:?}",
+            got[0].1
+        );
+        // An already-collected id is likewise unknown the second time.
+        let id = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        assert!(svc.collect(&[id])[0].1.is_ok());
+        let again = svc.collect(&[id]);
+        assert!(
+            matches!(&again[0].1, Err(ServiceError::UnknownRequest)),
+            "{:?}",
+            again[0].1
+        );
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_dequeue() {
+        let svc = Service::new(1);
+        let out = svc.submit_opts(
+            ScheduleRequest::loop_on_corpus("figure7"),
+            SubmitOptions {
+                deadline: Some(Deadline::expired()),
+                ..SubmitOptions::default()
+            },
+        );
+        let SubmitOutcome::Accepted(id) = out else {
+            panic!("admission open: {out:?}");
+        };
+        let got = svc.collect_detailed(&[id], None);
+        assert!(
+            matches!(&got[0].result, Err(ServiceError::Expired)),
+            "{:?}",
+            got[0].result
+        );
+        assert_eq!(got[0].attempts, 0, "no worker time wasted");
+        assert_eq!(svc.stats().expired, 1);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_new_work() {
+        let svc = Service::new(2);
+        let id = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        let report = svc.shutdown(DrainPolicy::Finish);
+        assert_eq!(report.workers_joined, 2);
+        assert_eq!(report.shed, 0);
+        // Admission is closed; the finished response is still there.
+        assert_eq!(
+            svc.try_submit(
+                ScheduleRequest::loop_on_corpus("figure7"),
+                SubmitOptions::default()
+            ),
+            SubmitOutcome::Rejected
+        );
+        assert_eq!(
+            svc.submit_opts(
+                ScheduleRequest::loop_on_corpus("figure7"),
+                SubmitOptions::default()
+            ),
+            SubmitOutcome::Rejected
+        );
+        assert!(svc.collect(&[id])[0].1.is_ok());
+        let again = svc.shutdown(DrainPolicy::Shed);
+        assert_eq!(again.workers_joined, 0);
+        assert_eq!(again.shed, 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let ms = Duration::from_millis;
+        assert_eq!(backoff_delay(1, ms(2), ms(50)), Duration::ZERO);
+        assert_eq!(backoff_delay(2, ms(2), ms(50)), ms(2));
+        assert_eq!(backoff_delay(3, ms(2), ms(50)), ms(4));
+        assert_eq!(backoff_delay(4, ms(2), ms(50)), ms(8));
+        assert_eq!(backoff_delay(9, ms(2), ms(50)), ms(50), "capped");
+        assert_eq!(backoff_delay(40, ms(2), ms(50)), ms(50), "shift saturates");
+        assert_eq!(backoff_delay(3, Duration::ZERO, ms(50)), Duration::ZERO);
     }
 }

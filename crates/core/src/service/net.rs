@@ -1,0 +1,301 @@
+//! std-TCP front-end for the batch scheduling service: `kn serve
+//! --listen ADDR` turns the in-process lifecycle semantics into a real
+//! server.
+//!
+//! One thread per connection (plus a writer thread per connection so
+//! requests **pipeline**: the reader admits lines as fast as they arrive
+//! while the writer collects and answers in line order). The protocol is
+//! the line-oriented [`wire`] format: one `key=value`
+//! request per line in, one JSON response per line out, ids numbered per
+//! connection in line order — exactly the batch (`--requests`) numbering,
+//! so a TCP replay of a request file matches its batch-mode golden.
+//!
+//! Robustness properties (each pinned by `crates/core/tests/net.rs` or
+//! the `fault-smoke` CI job):
+//!
+//! * **Connection cap** — at most [`NetConfig::max_connections`]
+//!   concurrent connections; excess connections get one JSON error line
+//!   and are closed, they never reach the pool.
+//! * **Per-connection read timeout** — an idle connection is closed
+//!   after [`NetConfig::read_timeout`]; a half-written line cannot hold
+//!   a handler hostage.
+//! * **Client disconnect mid-request** — admitted work still runs to
+//!   completion (its response is collected and discarded), the handler
+//!   exits cleanly, and the listener keeps serving other connections.
+//! * **Malformed line flood** — every bad line is answered immediately
+//!   with a JSON error and never reaches the pool.
+//! * **Graceful shutdown** — [`NetServer::shutdown`] stops accepting,
+//!   lets connection handlers finish their in-flight lines, joins every
+//!   connection thread, then drains the service per [`DrainPolicy`].
+
+use super::{
+    wire, DrainPolicy, Service, ServiceError, ShutdownReport, SubmitOptions, SubmitOutcome,
+};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Front-end limits; independent of the pool's own [`ServiceConfig`]
+/// (queue capacity, retries) which it fronts.
+///
+/// [`ServiceConfig`]: super::ServiceConfig
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Concurrent connections before new ones are turned away with an
+    /// error line.
+    pub max_connections: usize,
+    /// Idle time after which a connection is closed.
+    pub read_timeout: Duration,
+    /// Deadline applied to every request admitted over this front-end
+    /// (a per-line `deadline_ms=` overrides it).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            default_deadline: None,
+        }
+    }
+}
+
+/// A running TCP front-end. Dropping it without calling
+/// [`shutdown`](NetServer::shutdown) aborts the accept loop but does not
+/// drain the service; call `shutdown` for the graceful sequence.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    svc: Arc<Service>,
+}
+
+/// How often blocked reads wake up to check the stop flag and the idle
+/// clock. Bounds shutdown latency without shortening client timeouts.
+const POLL: Duration = Duration::from_millis(50);
+
+impl NetServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting connections against `svc`.
+    pub fn bind(
+        svc: Arc<Service>,
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_handle = {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                accept_loop(&listener, &svc, &stop, &conns, &active, &cfg);
+            })
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            conns,
+            svc,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, join every connection handler
+    /// (in-flight lines finish, admitted requests are answered), then
+    /// drain the service per `policy` and join its workers.
+    pub fn shutdown(mut self, policy: DrainPolicy) -> ShutdownReport {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.conns.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+        self.svc.shutdown(policy)
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    svc: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    active: &Arc<AtomicUsize>,
+    cfg: &NetConfig,
+) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::Relaxed) {
+            return; // the unblocking dummy connection, or a late client
+        }
+        if active.load(Ordering::Relaxed) >= cfg.max_connections {
+            let mut s = stream;
+            let _ = s.write_all(
+                format!(
+                    "{{\"status\": \"error\", \"error\": \"connection limit reached ({} active)\"}}\n",
+                    cfg.max_connections
+                )
+                .as_bytes(),
+            );
+            continue; // closed on drop, never reached the pool
+        }
+        active.fetch_add(1, Ordering::Relaxed);
+        let svc = Arc::clone(svc);
+        let stop = Arc::clone(stop);
+        let active = Arc::clone(active);
+        let cfg = cfg.clone();
+        let handle = std::thread::spawn(move || {
+            handle_connection(stream, &svc, &stop, &cfg);
+            active.fetch_sub(1, Ordering::Relaxed);
+        });
+        conns.lock().unwrap().push(handle);
+    }
+}
+
+/// What the reader hands the writer for each request line, in line order.
+enum Slot {
+    /// Admitted to the pool under this id.
+    Pending(super::RequestId),
+    /// Answered without reaching the pool (parse error, admission
+    /// closed).
+    Immediate(ServiceError),
+}
+
+/// The reader-to-writer channel payload: (response sequence number, slot).
+type SeqSlot = (u64, Slot);
+
+fn handle_connection(stream: TcpStream, svc: &Arc<Service>, stop: &AtomicBool, cfg: &NetConfig) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(POLL));
+    let (tx, rx): (Sender<SeqSlot>, Receiver<SeqSlot>) = channel();
+    let writer = {
+        let svc = Arc::clone(svc);
+        std::thread::spawn(move || write_responses(write_half, &svc, &rx))
+    };
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut seq = 0u64;
+    let mut idle_since = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let before = line.len();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed its write half
+            Ok(_) => {
+                let full = std::mem::take(&mut line);
+                idle_since = Instant::now();
+                if let Some(slot) = admit_line(svc, &full, cfg) {
+                    if tx.send((seq, slot)).is_err() {
+                        break; // writer gone: client disconnected
+                    }
+                    seq += 1;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // A partial line may have landed in `line`; keep it and
+                // keep waiting, but give up on a silent connection.
+                if line.len() > before {
+                    idle_since = Instant::now();
+                }
+                if idle_since.elapsed() >= cfg.read_timeout {
+                    break;
+                }
+            }
+            Err(_) => break, // reset / broken pipe
+        }
+    }
+    drop(tx); // writer drains the remaining slots, then exits
+    let _ = writer.join();
+}
+
+/// Parse one request line and admit it to the pool. `None` = comment or
+/// blank line (no response slot).
+fn admit_line(svc: &Service, line: &str, cfg: &NetConfig) -> Option<Slot> {
+    match wire::parse_request_line(line) {
+        Ok(None) => None,
+        Err(e) => Some(Slot::Immediate(ServiceError::BadRequest(e))),
+        Ok(Some(parsed)) => {
+            let deadline = parsed
+                .deadline_ms
+                .map(|ms| super::Deadline::after(Duration::from_millis(ms)))
+                .or_else(|| cfg.default_deadline.map(super::Deadline::after));
+            let opts = SubmitOptions {
+                deadline,
+                max_attempts: None,
+            };
+            match svc.submit_opts(parsed.req, opts) {
+                SubmitOutcome::Accepted(id) => Some(Slot::Pending(id)),
+                // submit_opts blocks on a full queue, so anything else
+                // means admission is closed for good.
+                _ => Some(Slot::Immediate(ServiceError::ShuttingDown)),
+            }
+        }
+    }
+}
+
+/// Collect and answer each admitted line in order. On a write failure
+/// (client gone) the remaining responses are still collected — the
+/// ledger must not leak ids — just not written.
+fn write_responses(mut out: TcpStream, svc: &Service, rx: &Receiver<(u64, Slot)>) {
+    let mut client_gone = false;
+    for (seq, slot) in rx.iter() {
+        let (result, attempts) = match slot {
+            Slot::Immediate(e) => (Err(e), 0),
+            Slot::Pending(id) => {
+                let c = svc
+                    .collect_detailed(&[id], None)
+                    .pop()
+                    .expect("one id in, one completion out");
+                (c.result, c.attempts)
+            }
+        };
+        if client_gone {
+            continue;
+        }
+        let json = wire::response_json_with(seq, &result, attempts);
+        if out
+            .write_all(format!("{json}\n").as_bytes())
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            client_gone = true;
+        }
+    }
+}

@@ -11,6 +11,7 @@ use kn_sched::{Cycle, MachineConfig};
 use kn_sim::{sequential_time, EventEngine, SimOptions, TrafficModel};
 use kn_workloads::Workload;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -164,7 +165,9 @@ pub enum ScheduleResponse {
 }
 
 /// Why a request failed. Every variant is a *response* — the pool stays
-/// healthy and later requests are unaffected.
+/// healthy and later requests are unaffected. The lifecycle layer retries
+/// the [transient](ServiceError::is_transient) variants up to the attempt
+/// budget before letting them stand as final.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
     /// The loop source could not be resolved (unknown corpus name,
@@ -173,8 +176,34 @@ pub enum ServiceError {
     /// Source resolved but the scheduler or simulator rejected it.
     Sched(String),
     /// The pipeline panicked; the worker caught it at the request
-    /// boundary.
+    /// boundary. Transient (retried).
     Panicked(String),
+    /// An injected fault fired, or the response failed the sanity
+    /// validator ([`validate_response`]). Transient (retried).
+    Faulted(String),
+    /// The caller cancelled the request before it produced a response.
+    Cancelled,
+    /// The request's deadline passed before it finished; it was shed at
+    /// dequeue, between attempts, or at a pipeline phase boundary.
+    Expired,
+    /// The request was still queued when `shutdown(DrainPolicy::Shed)`
+    /// closed the service.
+    ShuttingDown,
+    /// `collect` was asked for an id this service never admitted, or one
+    /// whose response was already collected.
+    UnknownRequest,
+    /// `collect_timeout` gave up waiting; the request is still running
+    /// and its real response remains collectable.
+    Timeout,
+}
+
+impl ServiceError {
+    /// Worth retrying? Panics and injected/validated faults are assumed
+    /// transient; everything else is a deterministic property of the
+    /// request or a lifecycle verdict that retrying cannot change.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServiceError::Panicked(_) | ServiceError::Faulted(_))
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -183,11 +212,74 @@ impl std::fmt::Display for ServiceError {
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServiceError::Sched(m) => write!(f, "scheduling failed: {m}"),
             ServiceError::Panicked(m) => write!(f, "request panicked: {m}"),
+            ServiceError::Faulted(m) => write!(f, "transient fault: {m}"),
+            ServiceError::Cancelled => write!(f, "cancelled"),
+            ServiceError::Expired => write!(f, "deadline expired"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+            ServiceError::UnknownRequest => write!(f, "unknown request id"),
+            ServiceError::Timeout => write!(f, "collect timed out"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+/// Cooperative execution context threaded through the pipeline: the
+/// request's cancellation flag and deadline, checked at phase boundaries
+/// (after source resolution and after scheduling) so abandoned or expired
+/// work stops before its most expensive stage instead of running to
+/// completion. [`ExecCtx::none`] (no checks) is what the sequential
+/// reference executor uses.
+#[derive(Clone, Debug, Default)]
+pub struct ExecCtx {
+    pub cancel: Option<Arc<AtomicBool>>,
+    pub deadline: Option<Instant>,
+}
+
+impl ExecCtx {
+    /// A context that never cancels or expires.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Err if the request should stop now: [`ServiceError::Cancelled`]
+    /// wins over [`ServiceError::Expired`].
+    pub fn check(&self) -> Result<(), ServiceError> {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return Err(ServiceError::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(ServiceError::Expired);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cheap sanity checks on a successful response — the detection half of
+/// the detect-fault-and-retry discipline. A response violating an
+/// invariant the pipeline can never legitimately produce (a zero makespan
+/// for scheduled work, negative parallelism, an impossible message count)
+/// is treated as a transient fault and retried. Injected
+/// [`Fault::Garbage`](super::faultinject::Fault::Garbage) responses are
+/// built to trip these checks.
+pub fn validate_response(resp: &ScheduleResponse) -> Result<(), String> {
+    if let ScheduleResponse::Loop(out) = resp {
+        if out.messages == u64::MAX {
+            return Err("impossible message count".into());
+        }
+        if out.sp < 0.0 || out.sp > 100.0 {
+            return Err(format!("parallelism {}% outside [0, 100]", out.sp));
+        }
+        if out.makespan == 0 && out.seq_time > 0 {
+            return Err("zero makespan for non-empty work".into());
+        }
+    }
+    Ok(())
+}
 
 /// Per-request phase latencies, accumulated into
 /// [`ServiceStats`](super::ServiceStats). Experiment-cell requests run
@@ -272,16 +364,21 @@ impl WorkerScratch {
     }
 }
 
-/// Execute one request against a worker's scratch. Returns the response
-/// (or error) plus the phase timing. This is the exact function the pool
+/// Execute one request against a worker's scratch, honoring the
+/// cooperative context at phase boundaries. Returns the response (or
+/// error) plus the phase timing. This is the exact function the pool
 /// workers run under their panic guard.
 pub(crate) fn execute_with(
     scratch: &mut WorkerScratch,
     req: &ScheduleRequest,
+    ctx: &ExecCtx,
 ) -> (Result<ScheduleResponse, ServiceError>, RequestTiming) {
     let mut timing = RequestTiming::default();
+    if let Err(e) = ctx.check() {
+        return (Err(e), timing);
+    }
     let result = match req {
-        ScheduleRequest::Loop(r) => execute_loop(scratch, r, &mut timing),
+        ScheduleRequest::Loop(r) => execute_loop(scratch, r, ctx, &mut timing),
         ScheduleRequest::Table1Row { config, seed } => Ok(ScheduleResponse::Table1Row(
             table1::table1_row(config, *seed),
         )),
@@ -315,6 +412,7 @@ pub(crate) fn execute_with(
 fn execute_loop(
     scratch: &mut WorkerScratch,
     r: &LoopRequest,
+    ctx: &ExecCtx,
     timing: &mut RequestTiming,
 ) -> Result<ScheduleResponse, ServiceError> {
     let t0 = Instant::now();
@@ -324,6 +422,8 @@ fn execute_loop(
         machine_defaults,
     } = scratch.resolve(&r.source)?;
     timing.parse_ns = t0.elapsed().as_nanos() as u64;
+    // Phase boundary: parse -> schedule.
+    ctx.check()?;
 
     let (default_procs, default_k) = machine_defaults.unwrap_or((8, 3));
     let procs = r.procs.unwrap_or(default_procs);
@@ -357,6 +457,8 @@ fn execute_loop(
         }
     };
     timing.schedule_ns = t1.elapsed().as_nanos() as u64;
+    // Phase boundary: schedule -> simulate.
+    ctx.check()?;
 
     let t2 = Instant::now();
     let sim = r
@@ -383,7 +485,7 @@ fn execute_loop(
 /// the service's responses are tested against, and the sequential
 /// baseline the throughput bench compares to.
 pub fn execute(req: &ScheduleRequest) -> Result<ScheduleResponse, ServiceError> {
-    execute_with(&mut WorkerScratch::default(), req).0
+    execute_with(&mut WorkerScratch::default(), req, &ExecCtx::none()).0
 }
 
 #[cfg(test)]
@@ -507,13 +609,77 @@ mod tests {
     fn scratch_caches_are_reused() {
         let mut scratch = WorkerScratch::default();
         let req = ScheduleRequest::loop_on_corpus("figure7");
-        let (a, _) = execute_with(&mut scratch, &req);
+        let (a, _) = execute_with(&mut scratch, &req, &ExecCtx::none());
         assert_eq!(scratch.corpus.len(), 1);
-        let (b, _) = execute_with(&mut scratch, &req);
+        let (b, _) = execute_with(&mut scratch, &req, &ExecCtx::none());
         assert_eq!(scratch.corpus.len(), 1, "second hit reuses the cache");
         let (Ok(ScheduleResponse::Loop(a)), Ok(ScheduleResponse::Loop(b))) = (a, b) else {
             panic!("loop responses");
         };
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn pre_cancelled_context_abandons_at_the_first_boundary() {
+        let cancel = Arc::new(AtomicBool::new(true));
+        let ctx = ExecCtx {
+            cancel: Some(cancel),
+            deadline: None,
+        };
+        let (r, timing) = execute_with(
+            &mut WorkerScratch::default(),
+            &ScheduleRequest::loop_on_corpus("figure7"),
+            &ctx,
+        );
+        assert!(matches!(r, Err(ServiceError::Cancelled)), "{r:?}");
+        assert_eq!(timing.schedule_ns, 0, "no scheduling work was done");
+    }
+
+    #[test]
+    fn expired_context_abandons_between_phases() {
+        let ctx = ExecCtx {
+            cancel: None,
+            deadline: Some(Instant::now()),
+        };
+        let (r, _) = execute_with(
+            &mut WorkerScratch::default(),
+            &ScheduleRequest::loop_on_corpus("figure7"),
+            &ctx,
+        );
+        assert!(matches!(r, Err(ServiceError::Expired)), "{r:?}");
+    }
+
+    #[test]
+    fn validator_accepts_real_responses_and_rejects_garbage() {
+        let real = execute(&ScheduleRequest::loop_on_corpus("figure7")).unwrap();
+        assert!(validate_response(&real).is_ok());
+        let ScheduleResponse::Loop(mut out) = real else {
+            panic!("loop response");
+        };
+        out.messages = u64::MAX;
+        assert!(validate_response(&ScheduleResponse::Loop(out.clone())).is_err());
+        out.messages = 0;
+        out.sp = -1.0;
+        assert!(validate_response(&ScheduleResponse::Loop(out.clone())).is_err());
+        out.sp = 0.0;
+        out.makespan = 0;
+        assert!(validate_response(&ScheduleResponse::Loop(out)).is_err());
+    }
+
+    #[test]
+    fn transient_errors_are_exactly_panics_and_faults() {
+        assert!(ServiceError::Panicked("x".into()).is_transient());
+        assert!(ServiceError::Faulted("x".into()).is_transient());
+        for e in [
+            ServiceError::BadRequest("x".into()),
+            ServiceError::Sched("x".into()),
+            ServiceError::Cancelled,
+            ServiceError::Expired,
+            ServiceError::ShuttingDown,
+            ServiceError::UnknownRequest,
+            ServiceError::Timeout,
+        ] {
+            assert!(!e.is_transient(), "{e:?}");
+        }
     }
 }

@@ -21,6 +21,10 @@
 //! | `scheduler` | `cyclic` \| `doacross` \| `doacross-best` | `cyclic` |
 //! | `mm` | traffic fluctuation factor | 1 |
 //! | `seed` | traffic seed | 0 |
+//! | `deadline_ms` | per-request deadline in milliseconds | none |
+//!
+//! A repeated key is a parse error — last-wins would silently mask a
+//! typo in a machine-generated batch.
 //!
 //! **Responses** are one JSON object per line, in request order, carrying
 //! the request id and either the outcome or an error. Responses contain
@@ -36,8 +40,18 @@ use super::{
 };
 use kn_sim::{EventEngine, LinkModel, TrafficModel};
 
+/// A parsed request line: the request itself plus the lifecycle options
+/// the wire format can attach to it.
+#[derive(Clone, Debug)]
+pub struct ParsedRequest {
+    pub req: ScheduleRequest,
+    /// `deadline_ms=` field: how long after admission the request stays
+    /// worth executing. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+}
+
 /// Parse one request line. `Ok(None)` = blank or comment line.
-pub fn parse_request_line(line: &str) -> Result<Option<ScheduleRequest>, String> {
+pub fn parse_request_line(line: &str) -> Result<Option<ParsedRequest>, String> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
@@ -46,10 +60,16 @@ pub fn parse_request_line(line: &str) -> Result<Option<ScheduleRequest>, String>
     let mut req = LoopRequest::default();
     let mut mm: u32 = 1;
     let mut seed: u64 = 0;
+    let mut deadline_ms: Option<u64> = None;
+    let mut seen: Vec<&str> = Vec::new();
     for field in line.split_whitespace() {
         let (key, value) = field
             .split_once('=')
             .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+        if seen.contains(&key) {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        seen.push(key);
         let mut set_source = |s: LoopSource| -> Result<(), String> {
             if source.is_some() {
                 return Err("more than one source field (corpus=/ddg=)".into());
@@ -65,6 +85,7 @@ pub fn parse_request_line(line: &str) -> Result<Option<ScheduleRequest>, String>
             "iters" => req.iters = parse_num(key, value)?,
             "mm" => mm = parse_num(key, value)?,
             "seed" => seed = parse_num(key, value)?,
+            "deadline_ms" => deadline_ms = Some(parse_num(key, value)?),
             "link" => {
                 req.sim.link = LinkModel::from_name(value)
                     .ok_or_else(|| format!("unknown link model {value:?}"))?
@@ -87,7 +108,10 @@ pub fn parse_request_line(line: &str) -> Result<Option<ScheduleRequest>, String>
     let source = source.ok_or("missing source field (corpus= or ddg=)")?;
     req.source = source;
     req.traffic = TrafficModel { mm, seed };
-    Ok(Some(ScheduleRequest::Loop(req)))
+    Ok(Some(ParsedRequest {
+        req: ScheduleRequest::Loop(req),
+        deadline_ms,
+    }))
 }
 
 fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
@@ -132,6 +156,28 @@ fn f64_list(xs: &[f64]) -> String {
 /// fixed, floats use Rust's shortest-round-trip formatting, and no
 /// timing information is included (see module docs).
 pub fn response_json(id: u64, resp: &Result<ScheduleResponse, ServiceError>) -> String {
+    response_json_with(id, resp, 1)
+}
+
+/// [`response_json`] with the attempt count from the retry layer. An
+/// `"attempts"` field is appended only when the request was actually
+/// retried (`attempts > 1`), so fault-free output — and the committed
+/// goldens — are byte-identical with or without the lifecycle layer.
+pub fn response_json_with(
+    id: u64,
+    resp: &Result<ScheduleResponse, ServiceError>,
+    attempts: u32,
+) -> String {
+    let mut line = base_response_json(id, resp);
+    if attempts > 1 {
+        debug_assert!(line.ends_with('}'));
+        line.truncate(line.len() - 1);
+        line.push_str(&format!(", \"attempts\": {attempts}}}"));
+    }
+    line
+}
+
+fn base_response_json(id: u64, resp: &Result<ScheduleResponse, ServiceError>) -> String {
     match resp {
         Err(e) => format!("{{\"id\": {id}, \"status\": \"error\", \"error\": \"{}\"}}", esc(&e.to_string())),
         Ok(ScheduleResponse::Loop(out)) => loop_json(id, out),
@@ -178,11 +224,12 @@ fn loop_json(id: u64, out: &LoopOutcome) -> String {
 }
 
 /// Render the batch throughput/latency stats as JSON (schema
-/// `kn-service-throughput-v1`). This is the run-varying half of the
-/// serve output: wall-clock, requests/second, and the per-phase latency
-/// split the workers measured. `requests`/`errors` count *responses*
-/// (including malformed lines answered before reaching the pool), so
-/// they can exceed the pool-level counters in `stats`.
+/// `kn-service-throughput-v2`; v2 adds the lifecycle counters —
+/// retries, expired, cancelled, shed, rejected). This is the run-varying
+/// half of the serve output: wall-clock, requests/second, and the
+/// per-phase latency split the workers measured. `requests`/`errors`
+/// count *responses* (including malformed lines answered before reaching
+/// the pool), so they can exceed the pool-level counters in `stats`.
 pub fn throughput_json(
     workers: usize,
     requests: u64,
@@ -196,8 +243,16 @@ pub fn throughput_json(
         0.0
     };
     format!(
-        "{{\n  \"schema\": \"kn-service-throughput-v1\",\n  \"workers\": {workers},\n  \"requests\": {requests},\n  \"errors\": {errors},\n  \"wall_ns\": {wall_ns},\n  \"throughput_rps\": {throughput_rps:.2},\n  \"exec_ns\": {},\n  \"parse_ns\": {},\n  \"schedule_ns\": {},\n  \"sim_ns\": {}\n}}\n",
-        stats.exec_ns, stats.parse_ns, stats.schedule_ns, stats.sim_ns,
+        "{{\n  \"schema\": \"kn-service-throughput-v2\",\n  \"workers\": {workers},\n  \"requests\": {requests},\n  \"errors\": {errors},\n  \"retries\": {},\n  \"expired\": {},\n  \"cancelled\": {},\n  \"shed\": {},\n  \"rejected\": {},\n  \"wall_ns\": {wall_ns},\n  \"throughput_rps\": {throughput_rps:.2},\n  \"exec_ns\": {},\n  \"parse_ns\": {},\n  \"schedule_ns\": {},\n  \"sim_ns\": {}\n}}\n",
+        stats.retries,
+        stats.expired,
+        stats.cancelled,
+        stats.shed,
+        stats.rejected,
+        stats.exec_ns,
+        stats.parse_ns,
+        stats.schedule_ns,
+        stats.sim_ns,
     )
 }
 
@@ -215,12 +270,13 @@ mod tests {
 
     #[test]
     fn full_line_round_trips_every_field() {
-        let req = parse_request_line(
-            "corpus=figure7 k=2 procs=4 iters=60 link=single engine=heap scheduler=doacross mm=3 seed=9",
+        let parsed = parse_request_line(
+            "corpus=figure7 k=2 procs=4 iters=60 link=single engine=heap scheduler=doacross mm=3 seed=9 deadline_ms=250",
         )
         .unwrap()
         .unwrap();
-        let ScheduleRequest::Loop(r) = req else {
+        assert_eq!(parsed.deadline_ms, Some(250));
+        let ScheduleRequest::Loop(r) = parsed.req else {
             panic!("wire produces loop requests");
         };
         assert!(matches!(&r.source, LoopSource::Corpus(n) if n == "figure7"));
@@ -236,8 +292,9 @@ mod tests {
 
     #[test]
     fn defaults_leave_machine_to_the_corpus() {
-        let ScheduleRequest::Loop(r) = parse_request_line("corpus=elliptic").unwrap().unwrap()
-        else {
+        let parsed = parse_request_line("corpus=elliptic").unwrap().unwrap();
+        assert_eq!(parsed.deadline_ms, None);
+        let ScheduleRequest::Loop(r) = parsed.req else {
             panic!("loop request");
         };
         assert_eq!(r.k, None);
@@ -257,6 +314,9 @@ mod tests {
             ("corpus=figure7 link=carrier-pigeon", "unknown link"),
             ("corpus=figure7 scheduler=magic", "unknown scheduler"),
             ("justaword", "not key=value"),
+            ("corpus=figure7 k=2 k=3", "duplicate key \"k\""),
+            ("corpus=figure7 corpus=figure3", "duplicate key \"corpus\""),
+            ("corpus=figure7 deadline_ms=fast", "not a valid number"),
         ] {
             let e = parse_request_line(line).unwrap_err();
             assert!(
@@ -292,6 +352,19 @@ mod tests {
     }
 
     #[test]
+    fn attempts_field_appears_only_after_a_retry() {
+        let err: Result<ScheduleResponse, ServiceError> =
+            Err(ServiceError::Panicked("boom".into()));
+        // attempts <= 1 renders exactly like the pre-lifecycle format, so
+        // the committed goldens stay byte-identical.
+        assert_eq!(response_json_with(0, &err, 1), response_json(0, &err));
+        assert_eq!(response_json_with(0, &err, 0), response_json(0, &err));
+        let retried = response_json_with(0, &err, 3);
+        assert!(retried.ends_with(", \"attempts\": 3}"), "{retried:?}");
+        assert!(retried.starts_with("{\"id\": 0, "), "{retried:?}");
+    }
+
+    #[test]
     fn control_characters_in_error_text_stay_on_one_line() {
         // Panic payloads are routinely multi-line (assert_eq! output);
         // the response must still be exactly one valid JSON line.
@@ -304,19 +377,25 @@ mod tests {
     }
 
     #[test]
-    fn throughput_json_has_schema_and_rate() {
+    fn throughput_json_has_schema_rate_and_lifecycle_counters() {
         let stats = ServiceStats {
             submitted: 4,
             completed: 4,
             errors: 1,
+            retries: 2,
+            shed: 1,
             exec_ns: 4000,
             parse_ns: 1000,
             schedule_ns: 2000,
             sim_ns: 500,
+            ..Default::default()
         };
         let j = throughput_json(2, 4, 1, 2_000_000_000, &stats);
-        assert!(j.contains("\"schema\": \"kn-service-throughput-v1\""));
+        assert!(j.contains("\"schema\": \"kn-service-throughput-v2\""));
         assert!(j.contains("\"throughput_rps\": 2.00"));
         assert!(j.contains("\"errors\": 1"));
+        assert!(j.contains("\"retries\": 2"));
+        assert!(j.contains("\"shed\": 1"));
+        assert!(j.contains("\"rejected\": 0"));
     }
 }

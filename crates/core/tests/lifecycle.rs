@@ -1,0 +1,352 @@
+//! Integration tests for the request lifecycle layer
+//! (`kn_core::service` module docs): bounded admission, deadlines,
+//! cancellation, retry/backoff, graceful drain — all driven through the
+//! deterministic fault-injection harness (`service::faultinject`), so
+//! every assertion is exact (no sleeps standing in for synchronization).
+
+use kn_core::service::faultinject::{Fault, FaultPlan};
+use kn_core::service::{
+    execute, CancelOutcome, Deadline, DrainPolicy, LoopRequest, LoopSource, RequestId,
+    ScheduleRequest, Service, ServiceConfig, ServiceError, SubmitOptions, SubmitOutcome,
+};
+use kn_core::sim::TrafficModel;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A cheap, distinct request: the paper loop under a per-index traffic
+/// seed, so every response is unique and the pipeline stays fast.
+fn cheap_request(i: u64) -> ScheduleRequest {
+    ScheduleRequest::Loop(LoopRequest {
+        source: LoopSource::Corpus("figure7".into()),
+        iters: 12,
+        traffic: TrafficModel { mm: 3, seed: i },
+        ..LoopRequest::default()
+    })
+}
+
+fn debug_of(r: &Result<kn_core::service::ScheduleResponse, ServiceError>) -> String {
+    format!("{r:?}")
+}
+
+/// Deterministic Fisher–Yates with a splitmix64 stream.
+fn shuffle(xs: &mut [usize], mut state: u64) {
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..xs.len()).rev() {
+        xs.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+/// The ISSUE's acceptance scenario: panics + stalls injected on ~10% of
+/// requests, deadlines set, 4 workers. The run must complete with zero
+/// lost request ids, every non-faulted response byte-identical to a
+/// fault-free sequential run, every faulted id recovered by retry (the
+/// plan is transient and the budget is 2), and a graceful shutdown that
+/// joins all workers.
+#[test]
+fn faulted_batch_loses_nothing_and_recovers_on_four_workers() {
+    const N: u64 = 40;
+    let plan = FaultPlan::seeded(0xACCE, 10)
+        .with_kinds(&[Fault::Panic, Fault::Stall])
+        .with_stall(Duration::from_millis(1));
+    let faulted: Vec<u64> = plan.faulted_ids(N).into_iter().map(|(i, _)| i).collect();
+    assert!(
+        !faulted.is_empty() && faulted.len() < N as usize / 2,
+        "seed must fault some but not most ids: {faulted:?}"
+    );
+
+    let svc = Service::with_config(ServiceConfig {
+        workers: 4,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+    let mut ids = Vec::new();
+    for i in 0..N {
+        let outcome = svc.submit_opts(
+            cheap_request(i),
+            SubmitOptions {
+                deadline: Some(Deadline::after(Duration::from_secs(60))),
+                max_attempts: None,
+            },
+        );
+        let SubmitOutcome::Accepted(id) = outcome else {
+            panic!("admission refused at {i}: {outcome:?}");
+        };
+        assert_eq!(id, RequestId(i), "ids are consecutive in input order");
+        ids.push(id);
+    }
+
+    // Zero lost ids: every submitted id comes back exactly once.
+    let completed = svc.collect_detailed(&ids, None);
+    assert_eq!(completed.len(), N as usize);
+    for (i, c) in completed.iter().enumerate() {
+        assert_eq!(c.id, RequestId(i as u64), "collect is sorted by id");
+    }
+
+    // Every response byte-identical to the fault-free sequential run:
+    // non-faulted ids on attempt 1, faulted ids via a clean retry.
+    for c in &completed {
+        let want = debug_of(&execute(&cheap_request(c.id.0)));
+        assert_eq!(debug_of(&c.result), want, "id {} diverged", c.id.0);
+        if faulted.contains(&c.id.0) {
+            assert_eq!(c.attempts, 2, "faulted id {} retried once", c.id.0);
+        } else {
+            assert_eq!(c.attempts, 1, "clean id {} ran once", c.id.0);
+        }
+    }
+
+    let stats = svc.stats();
+    assert_eq!(stats.completed, N);
+    assert_eq!(stats.errors, 0, "transient faults never surface");
+    assert_eq!(stats.retries, faulted.len() as u64);
+    assert_eq!(stats.expired, 0, "60s deadlines never fire here");
+
+    // Graceful shutdown: joins all four workers, sheds nothing.
+    let report = svc.shutdown(DrainPolicy::Finish);
+    assert_eq!(report.workers_joined, 4);
+    assert_eq!(report.shed, 0);
+}
+
+/// Sticky faults exhaust the retry budget and surface the final error —
+/// the other half of the retry contract: transient ≠ deterministic.
+#[test]
+fn sticky_faults_surface_errors_after_the_retry_budget() {
+    let plan = FaultPlan::explicit([(0, Fault::Panic), (2, Fault::Stall), (3, Fault::Garbage)])
+        .sticky()
+        .with_stall(Duration::from_millis(1));
+    let svc = Service::with_config(ServiceConfig {
+        workers: 2,
+        max_attempts: 3,
+        backoff_base: Duration::from_micros(100),
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+    let ids = svc.submit_batch((0..4).map(cheap_request).collect());
+    let completed = svc.collect_detailed(&ids, None);
+    assert!(
+        matches!(&completed[0].result, Err(ServiceError::Panicked(_))),
+        "{:?}",
+        completed[0].result
+    );
+    for i in [2usize, 3] {
+        assert!(
+            matches!(&completed[i].result, Err(ServiceError::Faulted(_))),
+            "id {i}: {:?}",
+            completed[i].result
+        );
+    }
+    assert!(completed[1].result.is_ok());
+    for i in [0usize, 2, 3] {
+        assert_eq!(completed[i].attempts, 3, "budget exhausted on id {i}");
+    }
+    assert_eq!(completed[1].attempts, 1);
+    assert_eq!(svc.stats().errors, 3);
+    assert_eq!(svc.stats().retries, 6, "two retries per sticky fault");
+}
+
+/// Cancellation: queued work is removed immediately; finished work says
+/// so; ids the service never admitted say so too.
+#[test]
+fn cancel_covers_queued_done_and_unknown() {
+    // One worker wedged on a long stall keeps the rest of the queue
+    // parked where cancel can reach it.
+    let plan = FaultPlan::explicit([(0, Fault::Stall)]).with_stall(Duration::from_millis(300));
+    let svc = Service::with_config(ServiceConfig {
+        workers: 1,
+        max_attempts: 1,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+    let stalled = svc.submit(cheap_request(0));
+    let queued = svc.submit(cheap_request(1));
+    let kept = svc.submit(cheap_request(2));
+
+    assert_eq!(svc.cancel(queued), CancelOutcome::Dequeued);
+    // Its Cancelled response is now sitting uncollected in the ledger:
+    // a second cancel finds it already answered.
+    assert_eq!(svc.cancel(queued), CancelOutcome::AlreadyDone);
+    assert_eq!(svc.cancel(RequestId(99)), CancelOutcome::Unknown);
+
+    let got = svc.collect(&[stalled, queued, kept]);
+    assert!(
+        matches!(&got[1].1, Err(ServiceError::Cancelled)),
+        "{:?}",
+        got[1].1
+    );
+    assert!(got[2].1.is_ok(), "{:?}", got[2].1);
+    // The stalled request itself surfaced its injected fault.
+    assert!(
+        matches!(&got[0].1, Err(ServiceError::Faulted(_))),
+        "{:?}",
+        got[0].1
+    );
+    // Collected ids leave the ledger entirely: cancel now says Unknown.
+    assert_eq!(svc.cancel(kept), CancelOutcome::Unknown);
+    assert_eq!(svc.stats().cancelled, 1);
+}
+
+/// `collect_timeout` answers `Timeout` for still-running ids without
+/// losing them: the real response is collectable afterwards.
+#[test]
+fn collect_timeout_does_not_lose_the_response() {
+    let plan = FaultPlan::explicit([(0, Fault::Stall)]).with_stall(Duration::from_millis(200));
+    let svc = Service::with_config(ServiceConfig {
+        workers: 1,
+        max_attempts: 1,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+    let id = svc.submit(cheap_request(0));
+    let first = svc.collect_timeout(&[id], Duration::from_millis(5));
+    assert!(
+        matches!(&first[0].1, Err(ServiceError::Timeout)),
+        "{:?}",
+        first[0].1
+    );
+    // The id is still live; a patient collect gets the real outcome.
+    let second = svc.collect(&[id]);
+    assert!(
+        matches!(&second[0].1, Err(ServiceError::Faulted(_))),
+        "{:?}",
+        second[0].1
+    );
+}
+
+/// Bounded admission: a full queue answers `WouldBlock` (and counts it);
+/// space freed by a worker lets the next `try_submit` through.
+#[test]
+fn bounded_admission_pushes_back_then_recovers() {
+    let plan = FaultPlan::explicit([(0, Fault::Stall)]).with_stall(Duration::from_millis(300));
+    let svc = Service::with_config(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_attempts: 1,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+    let opts = SubmitOptions::default;
+    // Worker busy on the stalled request, capacity-1 queue holds one more.
+    let SubmitOutcome::Accepted(stalled) = svc.try_submit(cheap_request(0), opts()) else {
+        panic!("first admission must succeed");
+    };
+    // The worker may not have dequeued yet; admit the queue-filler
+    // blockingly, then the queue is full for sure only after the worker
+    // picked up the stalled job — so probe until WouldBlock or give up.
+    let SubmitOutcome::Accepted(queued) = svc.submit_opts(cheap_request(1), opts()) else {
+        panic!("second admission must succeed");
+    };
+    let mut saw_would_block = false;
+    for _ in 0..50 {
+        match svc.try_submit(cheap_request(2), opts()) {
+            SubmitOutcome::WouldBlock => {
+                saw_would_block = true;
+                break;
+            }
+            SubmitOutcome::Accepted(extra) => {
+                // Raced ahead of the worker: drain the slot and retry.
+                svc.collect(&[extra]);
+            }
+            SubmitOutcome::Rejected => panic!("not shut down"),
+        }
+    }
+    assert!(saw_would_block, "a capacity-1 queue must push back");
+    assert!(svc.stats().rejected >= 1);
+    // Backpressure is not failure: both admitted requests complete.
+    let got = svc.collect(&[stalled, queued]);
+    assert!(got[1].1.is_ok(), "{:?}", got[1].1);
+}
+
+/// Shutdown with `Shed`: queued work answers `ShuttingDown` instead of
+/// running; in-flight work still finishes; workers join.
+#[test]
+fn shed_shutdown_answers_queued_work_without_running_it() {
+    let plan = FaultPlan::explicit([(0, Fault::Stall)]).with_stall(Duration::from_millis(100));
+    let svc = Service::with_config(ServiceConfig {
+        workers: 1,
+        max_attempts: 1,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+    let inflight = svc.submit(cheap_request(0));
+    let q1 = svc.submit(cheap_request(1));
+    let q2 = svc.submit(cheap_request(2));
+    let report = svc.shutdown(DrainPolicy::Shed);
+    assert_eq!(report.workers_joined, 1);
+    assert!(report.shed >= 1, "parked work was shed, not executed");
+    // Every id still answers exactly once; whatever was queued when the
+    // shutdown flag flipped says ShuttingDown, nothing hangs or vanishes.
+    let got = svc.collect(&[inflight, q1, q2]);
+    let shut = got
+        .iter()
+        .filter(|(_, r)| matches!(r, Err(ServiceError::ShuttingDown)))
+        .count() as u64;
+    assert_eq!(shut, report.shed, "shed count matches ShuttingDown answers");
+    for (id, r) in &got {
+        assert!(
+            r.is_ok()
+                || matches!(
+                    r,
+                    Err(ServiceError::ShuttingDown | ServiceError::Faulted(_))
+                ),
+            "{id:?}: {r:?}"
+        );
+    }
+    // Admission is closed for good.
+    assert!(matches!(
+        svc.try_submit(cheap_request(9), SubmitOptions::default()),
+        SubmitOutcome::Rejected
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fault-harness property (ISSUE satellite): for any seeded
+    /// plan, worker count, and submission shuffle — (a) every response
+    /// is byte-identical to the fault-free sequential run (transient
+    /// faults are fully absorbed by one retry), (b) every faulted id
+    /// reports the retry that saved it, (c) no id is lost or answered
+    /// twice.
+    #[test]
+    fn seeded_fault_plans_lose_nothing(
+        seed in 0u64..1000,
+        rate in 5u32..40,
+        workers in 1usize..5,
+        shuffle_seed in 0u64..1000,
+    ) {
+        const N: usize = 12;
+        let plan = FaultPlan::seeded(seed, rate).with_stall(Duration::from_micros(200));
+        let faulted: std::collections::HashSet<u64> =
+            plan.faulted_ids(N as u64).into_iter().map(|(i, _)| i).collect();
+        let svc = Service::with_config(ServiceConfig {
+            workers,
+            backoff_base: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            ..ServiceConfig::default()
+        });
+        // Shuffle which request rides on which id; the id keys the fault.
+        let mut order: Vec<usize> = (0..N).collect();
+        shuffle(&mut order, shuffle_seed);
+        let reqs: Vec<ScheduleRequest> =
+            order.iter().map(|&i| cheap_request(i as u64)).collect();
+        let ids = svc.submit_batch(reqs.clone());
+        prop_assert_eq!(ids.len(), N);
+
+        let completed = svc.collect_detailed(&ids, None);
+        prop_assert_eq!(completed.len(), N, "no id lost or duplicated");
+        for (slot, c) in completed.iter().enumerate() {
+            prop_assert_eq!(c.id.0, slot as u64);
+            let want = debug_of(&execute(&reqs[slot]));
+            prop_assert_eq!(debug_of(&c.result), want, "id {} diverged", slot);
+            let expect_attempts = if faulted.contains(&c.id.0) { 2 } else { 1 };
+            prop_assert_eq!(c.attempts, expect_attempts, "id {}", slot);
+        }
+        let report = svc.shutdown(DrainPolicy::Finish);
+        prop_assert_eq!(report.workers_joined, workers);
+    }
+}
