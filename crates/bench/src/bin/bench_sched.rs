@@ -305,7 +305,7 @@ fn lifecycle_run(name: &str, requests: &[ScheduleRequest], workers: usize) -> Li
                 SubmitOutcome::Accepted(id) => id,
                 other => panic!("blocking admission failed: {other:?}"),
             },
-            SubmitOutcome::Rejected => panic!("service rejected during bench"),
+            SubmitOutcome::Rejected(_) => panic!("service rejected during bench"),
         };
         ids.push(id);
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Criterion benches regenerating the paper's tables and figures live in
 //! benches/; the `kn-bench` binary emits `BENCH_sched.json` and the
 //! `bench-compare` binary gates a candidate JSON against a committed

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `kn-cli` — regenerate the paper's tables and figures from the command
 //! line.
 //!
@@ -11,6 +12,10 @@
 //! kn-cli ablate <arrival|detector|misestimate|procs>
 //! kn-cli codegen <figure7|cytron86|...>   transformed parallel loop
 //! kn-cli schedule <file> [k] [procs]      schedule a graph from a text file
+//! kn-cli lint <file> [--json] [--annotate OUT.dot]
+//!                                         KN0xx DDG lint (docs/diagnostics.md)
+//! kn-cli verify <file> [--scheduler cyclic|doacross|doacross-best]
+//!                                         schedule + static certification
 //! kn-cli dot <workload>                   GraphViz export (with classes)
 //! kn-cli serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE]
 //!              [--listen ADDR] [--queue-cap N] [--retries N] [--deadline-ms MS]
@@ -228,6 +233,10 @@ fn run_serve(
                 };
                 match svc.submit_opts(parsed.req, opts) {
                     SubmitOutcome::Accepted(id) => slots.push(Slot::Pending(id)),
+                    SubmitOutcome::Rejected(kn_core::service::RejectReason::InvalidDdg {
+                        code,
+                        message,
+                    }) => slots.push(Slot::Immediate(ServiceError::InvalidDdg { code, message })),
                     _ => slots.push(Slot::Immediate(ServiceError::ShuttingDown)),
                 }
             }
@@ -387,6 +396,205 @@ fn run_serve_listen(
         }
     }
     Ok(std::process::ExitCode::SUCCESS)
+}
+
+/// `kn lint <file> [--json] [--annotate OUT.dot]`: run the `kn-verify`
+/// DDG lint pass over a text-format graph. Exit non-zero iff the report
+/// contains an `Error`-severity finding (warnings and info never fail).
+fn run_lint(
+    out: &mut impl std::io::Write,
+    args: &mut Vec<String>,
+) -> std::io::Result<std::process::ExitCode> {
+    use kn_core::verify as v;
+    let json = {
+        let before = args.len();
+        args.retain(|a| a != "--json");
+        args.len() != before
+    };
+    let annotate = match take_flag_value(args, "--annotate") {
+        Ok(p) => p,
+        Err(()) => {
+            writeln!(out, "--annotate needs a value (output .dot path)")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let Some(path) = args.first() else {
+        writeln!(
+            out,
+            "usage: kn-cli lint <file> [--json] [--annotate OUT.dot]"
+        )?;
+        return Ok(std::process::ExitCode::FAILURE);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(out, "cannot read {path}: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let lint = match v::lint_text(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            writeln!(out, "DDG parse error: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    if json {
+        writeln!(out, "{}", lint.report.render_json())?;
+    } else {
+        writeln!(out, "{}", lint.report.render_human().trim_end())?;
+    }
+    if let Some(dot_path) = annotate {
+        let dot = kn_core::ddg::dot::to_dot_annotated(
+            &lint.nodes,
+            &lint.edges,
+            &lint.report.flagged_nodes(),
+            &lint.report.flagged_edges(),
+        );
+        if let Err(e) = std::fs::write(&dot_path, dot) {
+            writeln!(out, "cannot write {dot_path}: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+        writeln!(out, "annotated graph written to {dot_path}")?;
+    }
+    Ok(if lint.report.has_errors() {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    })
+}
+
+/// `kn verify <file> [--scheduler cyclic|doacross|doacross-best]
+/// [--procs N] [--k N] [--iters N] [--json]`: schedule the graph and run
+/// the static certifier over the produced schedule (dependences,
+/// resources, coverage, MII bound). Exit non-zero if the graph fails
+/// lint or the certifier finds an `Error`.
+fn run_verify(
+    out: &mut impl std::io::Write,
+    args: &mut Vec<String>,
+) -> std::io::Result<std::process::ExitCode> {
+    use kn_core::verify as v;
+    let json = {
+        let before = args.len();
+        args.retain(|a| a != "--json");
+        args.len() != before
+    };
+    let mut flag = |name: &str, default: u64| -> Result<u64, String> {
+        match take_flag_value(args, name) {
+            Ok(None) => Ok(default),
+            Ok(Some(s)) => s
+                .parse()
+                .map_err(|_| format!("{name} needs an integer, got {s:?}")),
+            Err(()) => Err(format!("{name} needs a value")),
+        }
+    };
+    let parsed = (|| -> Result<(u64, u64, u64), String> {
+        Ok((flag("--procs", 8)?, flag("--k", 3)?, flag("--iters", 64)?))
+    })();
+    let (procs, k, iters) = match parsed {
+        Ok(t) => t,
+        Err(msg) => {
+            writeln!(out, "{msg}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let scheduler = match take_flag_value(args, "--scheduler") {
+        Ok(None) => "cyclic".to_string(),
+        Ok(Some(s)) => s,
+        Err(()) => {
+            writeln!(
+                out,
+                "--scheduler needs a value (cyclic|doacross|doacross-best)"
+            )?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let Some(path) = args.first() else {
+        writeln!(
+            out,
+            "usage: kn-cli verify <file> [--scheduler cyclic|doacross|doacross-best] \
+             [--procs N] [--k N] [--iters N] [--json]"
+        )?;
+        return Ok(std::process::ExitCode::FAILURE);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(out, "cannot read {path}: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    // Gate on lint first: certifying a schedule of a malformed graph is
+    // meaningless, and this is the same gate the service applies.
+    let graph = match v::lint_text(&text) {
+        Ok(l) if l.report.has_errors() => {
+            writeln!(out, "{}", l.report.render_human().trim_end())?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+        Ok(l) => l.graph.expect("no lint errors implies a valid graph"),
+        Err(e) => {
+            writeln!(out, "DDG parse error: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let m = kn_core::sched::MachineConfig::new(procs as usize, k as u32);
+    let iters = (iters as u32).max(1);
+    let report = match scheduler.as_str() {
+        "cyclic" => {
+            let r = match kn_core::parallelize(&graph, &m, iters, &Default::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    writeln!(out, "scheduling failed: {e}")?;
+                    return Ok(std::process::ExitCode::FAILURE);
+                }
+            };
+            v::certify_loop(&r.normalized, &m, &r.schedule)
+        }
+        "doacross" | "doacross-best" => {
+            let reorder = if scheduler == "doacross-best" {
+                kn_core::doacross::Reorder::Best {
+                    exhaustive_cap: 5040,
+                }
+            } else {
+                kn_core::doacross::Reorder::Natural
+            };
+            let opts = kn_core::doacross::DoacrossOptions {
+                reorder,
+                ..Default::default()
+            };
+            let s = match kn_core::doacross::doacross_schedule(&graph, &m, iters, &opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    writeln!(out, "scheduling failed: {e}")?;
+                    return Ok(std::process::ExitCode::FAILURE);
+                }
+            };
+            v::certify_timed(&graph, &m, &s.timing, iters)
+        }
+        other => {
+            writeln!(
+                out,
+                "unknown scheduler {other:?} (cyclic|doacross|doacross-best)"
+            )?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let bounds = v::mii_bounds(&graph, &m);
+    if json {
+        writeln!(out, "{}", report.render_json())?;
+    } else {
+        writeln!(
+            out,
+            "MII bounds: recurrence {:.2}, resource {:.2} cycles/iteration",
+            bounds.recurrence_mii, bounds.resource_mii
+        )?;
+        writeln!(out, "{}", report.render_human().trim_end())?;
+    }
+    Ok(if report.has_errors() {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    })
 }
 
 fn print_figure(
@@ -681,6 +889,18 @@ fn main() -> std::process::ExitCode {
             };
             print_figure_workload(&mut out, &w, &sim).unwrap();
         }
+        Some("lint") => {
+            args.remove(0);
+            let code = run_lint(&mut out, &mut args).unwrap();
+            out.flush().unwrap();
+            return code;
+        }
+        Some("verify") => {
+            args.remove(0);
+            let code = run_verify(&mut out, &mut args).unwrap();
+            out.flush().unwrap();
+            return code;
+        }
         Some("dot") => {
             let name = args.get(1).map(String::as_str).unwrap_or("figure7");
             let Some(w) = workload(name) else {
@@ -701,6 +921,9 @@ fn main() -> std::process::ExitCode {
                 "usage: kn-cli [--seq] [--link unlimited|single] [--engine heap|calendar] \
                  <figure [n|all] | figure8 | table1 [seeds] [iters] | \
                  ablate <axis> | codegen <workload> | schedule <file> [k] [procs] | \
+                 lint <file> [--json] [--annotate OUT.dot] | \
+                 verify <file> [--scheduler cyclic|doacross|doacross-best] \
+                 [--procs N] [--k N] [--iters N] [--json] | \
                  dot <workload> | \
                  serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE] \
                  [--listen ADDR] [--queue-cap N] [--retries N] [--deadline-ms MS] \

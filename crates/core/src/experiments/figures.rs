@@ -76,6 +76,7 @@ pub fn figure_report_with(w: &Workload, iters: u32, sim: &SimOptions) -> FigureR
         iters,
         &DoacrossOptions {
             reorder: Reorder::Natural,
+            ..Default::default()
         },
     )
     .expect("doacross schedulable");
@@ -87,6 +88,7 @@ pub fn figure_report_with(w: &Workload, iters: u32, sim: &SimOptions) -> FigureR
             reorder: Reorder::Best {
                 exhaustive_cap: 5040,
             },
+            ..Default::default()
         },
     )
     .expect("doacross schedulable");
@@ -209,6 +211,7 @@ pub fn doacross_report(w: &Workload, iters: u32, procs: usize) -> (String, Strin
         iters,
         &DoacrossOptions {
             reorder: Reorder::Natural,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -220,6 +223,7 @@ pub fn doacross_report(w: &Workload, iters: u32, procs: usize) -> (String, Strin
             reorder: Reorder::Best {
                 exhaustive_cap: 5040,
             },
+            ..Default::default()
         },
     )
     .unwrap();

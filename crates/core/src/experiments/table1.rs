@@ -124,6 +124,7 @@ pub(crate) fn table1_row(cfg: &Table1Config, seed: u64) -> Table1Row {
         cfg.iters,
         &DoacrossOptions {
             reorder: cfg.doacross_reorder.clone(),
+            ..Default::default()
         },
     )
     .expect("doacross schedulable");

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-core — the public facade
 //!
 //! One-stop API for the whole reproduction of Kim & Nicolau,
@@ -36,6 +37,7 @@ pub use kn_metrics as metrics;
 pub use kn_runtime as runtime;
 pub use kn_sched as sched;
 pub use kn_sim as sim;
+pub use kn_verify as verify;
 pub use kn_workloads as workloads;
 
 pub mod experiments;

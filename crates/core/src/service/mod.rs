@@ -189,13 +189,26 @@ pub struct SubmitOptions {
     pub max_attempts: Option<u32>,
 }
 
+/// Why admission refused a request outright (no id, no response).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admission is closed: shutdown has begun. Permanent.
+    ShuttingDown,
+    /// The request carries an inline/file DDG that failed the `kn-verify`
+    /// lint pass: `code` is the stable `KN0xx` code of the first error
+    /// finding (see `docs/diagnostics.md`). Deterministic — resubmitting
+    /// the same graph can never succeed.
+    InvalidDdg { code: String, message: String },
+}
+
 /// Admission verdict for [`Service::try_submit`] / [`Service::submit_opts`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitOutcome {
     /// Admitted; the id will produce exactly one response.
     Accepted(RequestId),
-    /// Admission is closed: shutdown has begun. Permanent.
-    Rejected,
+    /// Refused outright (shutdown, or a DDG that failed lint); see
+    /// [`RejectReason`]. Permanent for this request.
+    Rejected(RejectReason),
     /// The queue is at capacity right now ([`Service::try_submit`] only);
     /// backing off and retrying, or using the blocking
     /// [`Service::submit_opts`], may succeed.
@@ -460,12 +473,15 @@ impl Service {
 
     /// Non-blocking admission: [`SubmitOutcome::WouldBlock`] when the
     /// queue is at capacity, [`SubmitOutcome::Rejected`] once shutdown
-    /// has begun.
+    /// has begun or when the request's DDG fails the lint pass.
     pub fn try_submit(&self, req: ScheduleRequest, opts: SubmitOptions) -> SubmitOutcome {
+        if let Some(reason) = admission_lint(&req) {
+            return SubmitOutcome::Rejected(reason);
+        }
         let (lock, cv) = &*self.ledger;
         let mut ledger = lock.lock().unwrap();
         if !ledger.accepting {
-            return SubmitOutcome::Rejected;
+            return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
         }
         if ledger.queue.len() >= self.config.queue_capacity {
             ledger.stats.rejected += 1;
@@ -478,13 +494,17 @@ impl Service {
 
     /// Blocking admission: waits for queue space (backpressure), then
     /// admits. [`SubmitOutcome::Rejected`] once shutdown has begun —
-    /// including while waiting.
+    /// including while waiting — or when the request's DDG fails the
+    /// lint pass (checked before blocking).
     pub fn submit_opts(&self, req: ScheduleRequest, opts: SubmitOptions) -> SubmitOutcome {
+        if let Some(reason) = admission_lint(&req) {
+            return SubmitOutcome::Rejected(reason);
+        }
         let (lock, cv) = &*self.ledger;
         let mut ledger = lock.lock().unwrap();
         loop {
             if !ledger.accepting {
-                return SubmitOutcome::Rejected;
+                return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
             }
             if ledger.queue.len() < self.config.queue_capacity {
                 let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
@@ -686,6 +706,33 @@ impl Drop for Service {
     fn drop(&mut self) {
         self.shutdown(DrainPolicy::Finish);
     }
+}
+
+/// The admission gate: lint the request's DDG (if it carries one as text
+/// or a file) before it costs a queue slot and a worker. Only *semantic*
+/// lint errors reject here — unreadable files and syntax errors fall
+/// through so the worker reports them with the established
+/// [`ServiceError::BadRequest`] messages, and corpus / in-memory sources
+/// are trusted (they were built through `DdgBuilder::build`, which
+/// enforces the same invariants).
+fn admission_lint(req: &ScheduleRequest) -> Option<RejectReason> {
+    let ScheduleRequest::Loop(r) = req else {
+        return None;
+    };
+    let text = match &r.source {
+        LoopSource::DdgText(text) => std::borrow::Cow::Borrowed(text.as_str()),
+        LoopSource::DdgFile(path) => match std::fs::read_to_string(path) {
+            Ok(text) => std::borrow::Cow::Owned(text),
+            Err(_) => return None,
+        },
+        LoopSource::Corpus(_) | LoopSource::Graph { .. } => return None,
+    };
+    let lint = kn_verify::lint_text(&text).ok()?;
+    let diag = lint.report.first_error()?;
+    Some(RejectReason::InvalidDdg {
+        code: diag.code.as_str().to_string(),
+        message: diag.message.clone(),
+    })
 }
 
 /// Admit one request under an already-held ledger lock.
@@ -1016,14 +1063,14 @@ mod tests {
                 ScheduleRequest::loop_on_corpus("figure7"),
                 SubmitOptions::default()
             ),
-            SubmitOutcome::Rejected
+            SubmitOutcome::Rejected(RejectReason::ShuttingDown)
         );
         assert_eq!(
             svc.submit_opts(
                 ScheduleRequest::loop_on_corpus("figure7"),
                 SubmitOptions::default()
             ),
-            SubmitOutcome::Rejected
+            SubmitOutcome::Rejected(RejectReason::ShuttingDown)
         );
         assert!(svc.collect(&[id])[0].1.is_ok());
         let again = svc.shutdown(DrainPolicy::Shed);

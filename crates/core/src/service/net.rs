@@ -262,6 +262,11 @@ fn admit_line(svc: &Service, line: &str, cfg: &NetConfig) -> Option<Slot> {
             };
             match svc.submit_opts(parsed.req, opts) {
                 SubmitOutcome::Accepted(id) => Some(Slot::Pending(id)),
+                // The lint gate fires before the request costs a queue
+                // slot; relay its diagnostic to the client verbatim.
+                SubmitOutcome::Rejected(super::RejectReason::InvalidDdg { code, message }) => {
+                    Some(Slot::Immediate(ServiceError::InvalidDdg { code, message }))
+                }
                 // submit_opts blocks on a full queue, so anything else
                 // means admission is closed for good.
                 _ => Some(Slot::Immediate(ServiceError::ShuttingDown)),

@@ -173,6 +173,11 @@ pub enum ServiceError {
     /// The loop source could not be resolved (unknown corpus name,
     /// unreadable file, DDG parse error).
     BadRequest(String),
+    /// The DDG parsed but failed the `kn-verify` lint pass at admission:
+    /// `code` is the stable `KN0xx` diagnostic code of the first error
+    /// finding (see `docs/diagnostics.md`). The request never reached a
+    /// worker.
+    InvalidDdg { code: String, message: String },
     /// Source resolved but the scheduler or simulator rejected it.
     Sched(String),
     /// The pipeline panicked; the worker caught it at the request
@@ -210,6 +215,9 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::InvalidDdg { code, message } => {
+                write!(f, "invalid DDG [{code}]: {message}")
+            }
             ServiceError::Sched(m) => write!(f, "scheduling failed: {m}"),
             ServiceError::Panicked(m) => write!(f, "request panicked: {m}"),
             ServiceError::Faulted(m) => write!(f, "transient fault: {m}"),
@@ -437,9 +445,20 @@ fn execute_loop(
     let m = MachineConfig::new(procs, r.k.unwrap_or(default_k));
 
     let t1 = Instant::now();
+    // In debug builds every schedule the service emits is statically
+    // certified (dependences, resources, coverage) before simulation; an
+    // unsound scheduler change fails here with a KN03x diagnostic rather
+    // than producing silently wrong goldens. Release builds skip the
+    // hooks (`certify: None` by default).
     let (program, ii) = match r.scheduler {
         SchedulerChoice::Cyclic => {
-            let s = kn_sched::schedule_loop(&graph, &m, r.iters, &Default::default())
+            #[allow(unused_mut)]
+            let mut opts = kn_sched::FullOptions::default();
+            #[cfg(debug_assertions)]
+            {
+                opts.certify = Some(kn_verify::certify_loop_hook);
+            }
+            let s = kn_sched::schedule_loop(&graph, &m, r.iters, &opts)
                 .map_err(|e| ServiceError::Sched(e.to_string()))?;
             let ii = s.cyclic_ii();
             (s.program, ii)
@@ -451,7 +470,16 @@ fn execute_loop(
                 },
                 _ => Reorder::Natural,
             };
-            let s = doacross_schedule(&graph, &m, r.iters, &DoacrossOptions { reorder })
+            #[allow(unused_mut)]
+            let mut opts = DoacrossOptions {
+                reorder,
+                ..Default::default()
+            };
+            #[cfg(debug_assertions)]
+            {
+                opts.certify = Some(kn_verify::certify_timed_hook);
+            }
+            let s = doacross_schedule(&graph, &m, r.iters, &opts)
                 .map_err(|e| ServiceError::Sched(e.to_string()))?;
             (s.program, None)
         }

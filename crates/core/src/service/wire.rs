@@ -179,6 +179,14 @@ pub fn response_json_with(
 
 fn base_response_json(id: u64, resp: &Result<ScheduleResponse, ServiceError>) -> String {
     match resp {
+        // Lint rejections carry their stable KN0xx code as a dedicated
+        // field so clients (and the goldens) can assert on the code
+        // without parsing the message.
+        Err(e @ ServiceError::InvalidDdg { code, .. }) => format!(
+            "{{\"id\": {id}, \"status\": \"error\", \"code\": \"{}\", \"error\": \"{}\"}}",
+            esc(code),
+            esc(&e.to_string())
+        ),
         Err(e) => format!("{{\"id\": {id}, \"status\": \"error\", \"error\": \"{}\"}}", esc(&e.to_string())),
         Ok(ScheduleResponse::Loop(out)) => loop_json(id, out),
         Ok(ScheduleResponse::Table1Row(row)) => format!(

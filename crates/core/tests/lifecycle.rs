@@ -251,7 +251,7 @@ fn bounded_admission_pushes_back_then_recovers() {
                 // Raced ahead of the worker: drain the slot and retry.
                 svc.collect(&[extra]);
             }
-            SubmitOutcome::Rejected => panic!("not shut down"),
+            SubmitOutcome::Rejected(_) => panic!("not shut down"),
         }
     }
     assert!(saw_would_block, "a capacity-1 queue must push back");
@@ -299,7 +299,7 @@ fn shed_shutdown_answers_queued_work_without_running_it() {
     // Admission is closed for good.
     assert!(matches!(
         svc.try_submit(cheap_request(9), SubmitOptions::default()),
-        SubmitOutcome::Rejected
+        SubmitOutcome::Rejected(_)
     ));
 }
 

@@ -128,18 +128,32 @@ fn responses_identical_across_worker_counts_and_submission_orders() {
 }
 
 /// The ISSUE's bugfix scenario: a malformed DDG request returns an error
-/// response for that id — `drain` is not wedged and later requests on the
-/// same pool succeed.
+/// response (or, since the `kn-verify` admission gate, an immediate
+/// rejection) for that id — `drain` is not wedged and later requests on
+/// the same pool succeed.
 #[test]
 fn malformed_ddg_request_is_an_error_response_not_a_wedge() {
+    use kn_core::service::{RejectReason, SubmitOptions, SubmitOutcome};
     let svc = Service::new(2);
-    let ids = svc.submit_batch(vec![
-        // References a node that is never declared: parse error.
+    // References a node that is never declared: the admission lint gate
+    // rejects it with its stable code before it costs a queue slot.
+    let out = svc.try_submit(
         ScheduleRequest::Loop(LoopRequest {
             source: LoopSource::DdgText("node A\nedge A -> B\n".into()),
             ..LoopRequest::default()
         }),
-        // Unreadable file.
+        SubmitOptions::default(),
+    );
+    assert!(
+        matches!(
+            &out,
+            SubmitOutcome::Rejected(RejectReason::InvalidDdg { code, .. }) if code == "KN003"
+        ),
+        "{out:?}"
+    );
+    let ids = svc.submit_batch(vec![
+        // Unreadable file: not a lint matter — the worker answers with
+        // the established BadRequest message.
         ScheduleRequest::Loop(LoopRequest {
             source: LoopSource::DdgFile("corpus/does_not_exist.ddg".into()),
             ..LoopRequest::default()
@@ -148,23 +162,18 @@ fn malformed_ddg_request_is_an_error_response_not_a_wedge() {
     ]);
     let got = svc.collect(&ids);
     assert!(
-        matches!(&got[0].1, Err(ServiceError::BadRequest(m)) if m.contains("parse error")),
+        matches!(&got[0].1, Err(ServiceError::BadRequest(m)) if m.contains("cannot read")),
         "{:?}",
         got[0].1
     );
-    assert!(
-        matches!(&got[1].1, Err(ServiceError::BadRequest(m)) if m.contains("cannot read")),
-        "{:?}",
-        got[1].1
-    );
-    assert!(got[2].1.is_ok(), "{:?}", got[2].1);
+    assert!(got[1].1.is_ok(), "{:?}", got[1].1);
     // The pool is still healthy after serving errors.
     let id = svc.submit(ScheduleRequest::loop_on_corpus("elliptic"));
     assert!(svc.collect(&[id])[0].1.is_ok());
     assert!(svc.drain().is_empty(), "nothing left outstanding");
     let stats = svc.stats();
-    assert_eq!(stats.completed, 4);
-    assert_eq!(stats.errors, 2);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.errors, 1);
 }
 
 /// A request that panics *inside the pipeline* (not a parse error) is

@@ -1,11 +1,29 @@
 //! GraphViz (DOT) export, for debugging and for the repository's
 //! documentation. Loop-carried edges are dashed and annotated with their
 //! distance; subset classification (if supplied) colours the nodes the way
-//! the paper's Figure 1 shades them.
+//! the paper's Figure 1 shades them. [`to_dot_annotated`] additionally
+//! works on raw, possibly-invalid parts and paints lint findings red
+//! (`kn lint --annotate`).
 
 use crate::classify::{Classification, SubsetKind};
-use crate::graph::Ddg;
+use crate::graph::{Ddg, Edge, EdgeId, Node, NodeId};
 use std::fmt::Write as _;
+
+/// Escape a string for use inside a double-quoted DOT label: backslashes,
+/// quotes, and newlines would otherwise break (or inject) attributes.
+fn esc_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Render the graph as DOT. `classes` optionally colours nodes by subset.
 pub fn to_dot(g: &Ddg, classes: Option<&Classification>) -> String {
@@ -24,7 +42,10 @@ pub fn to_dot(g: &Ddg, classes: Option<&Classification>) -> String {
         let _ = writeln!(
             s,
             "  {} [label=\"{}\\nlat={}\" style=filled fillcolor={}];",
-            v.0, node.name, node.latency, fill
+            v.0,
+            esc_label(&node.name),
+            node.latency,
+            fill
         );
     }
     for eid in g.edge_ids() {
@@ -36,6 +57,86 @@ pub fn to_dot(g: &Ddg, classes: Option<&Classification>) -> String {
                 s,
                 "  {} -> {} [style=dashed label=\"d{}\"];",
                 e.src.0, e.dst.0, e.distance
+            );
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render raw `(nodes, edges)` parts — valid or not — with lint findings
+/// highlighted: flagged nodes and edges are drawn red with a thick pen,
+/// and an edge endpoint outside the node range gets a dashed red
+/// placeholder node, so `kn lint --annotate` can picture exactly what it
+/// rejected.
+pub fn to_dot_annotated(
+    nodes: &[Node],
+    edges: &[Edge],
+    flag_nodes: &[NodeId],
+    flag_edges: &[EdgeId],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph ddg {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(s, "  node [shape=circle fontname=\"Helvetica\"];");
+    for (i, node) in nodes.iter().enumerate() {
+        let v = NodeId(i as u32);
+        let extra = if flag_nodes.contains(&v) {
+            " color=red penwidth=2 fontcolor=red"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\\nlat={}\" style=filled fillcolor=white{}];",
+            v.0,
+            esc_label(&node.name),
+            node.latency,
+            extra
+        );
+    }
+    // Placeholder nodes for dangling endpoints, deduplicated.
+    let mut missing: Vec<NodeId> = Vec::new();
+    for e in edges {
+        for v in [e.src, e.dst] {
+            if v.index() >= nodes.len() && !missing.contains(&v) {
+                missing.push(v);
+                let _ = writeln!(
+                    s,
+                    "  m{} [label=\"?\" style=dashed color=red fontcolor=red];",
+                    v.0
+                );
+            }
+        }
+    }
+    let endpoint = |v: NodeId| -> String {
+        if v.index() >= nodes.len() {
+            format!("m{}", v.0)
+        } else {
+            v.0.to_string()
+        }
+    };
+    for (i, e) in edges.iter().enumerate() {
+        let id = EdgeId(i as u32);
+        let mut attrs: Vec<String> = Vec::new();
+        if e.distance != 0 {
+            attrs.push("style=dashed".into());
+            attrs.push(format!("label=\"d{}\"", e.distance));
+        }
+        if flag_edges.contains(&id) || e.src.index() >= nodes.len() || e.dst.index() >= nodes.len()
+        {
+            attrs.push("color=red".into());
+            attrs.push("penwidth=2".into());
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(s, "  {} -> {};", endpoint(e.src), endpoint(e.dst));
+        } else {
+            let _ = writeln!(
+                s,
+                "  {} -> {} [{}];",
+                endpoint(e.src),
+                endpoint(e.dst),
+                attrs.join(" ")
             );
         }
     }
@@ -75,5 +176,67 @@ mod tests {
         let c = classify(&g);
         let dot = to_dot(&g, Some(&c));
         assert!(dot.contains("lightsalmon"), "cyclic nodes coloured: {dot}");
+    }
+
+    #[test]
+    fn dot_escapes_hostile_labels() {
+        let mut b = DdgBuilder::new();
+        b.node("a\"];evil[label=\"");
+        b.node("multi\nline\\name");
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, None);
+        // The quote cannot close the label attribute…
+        assert!(
+            dot.contains("label=\"a\\\"];evil[label=\\\"\\nlat=1\""),
+            "{dot}"
+        );
+        // …and real newlines/backslashes become DOT escapes.
+        assert!(
+            dot.contains("label=\"multi\\nline\\\\name\\nlat=1\""),
+            "{dot}"
+        );
+        assert!(!dot.contains("a\"];evil"), "raw quote leaked: {dot}");
+    }
+
+    #[test]
+    fn annotated_dot_paints_findings_red() {
+        let nodes = vec![
+            Node {
+                name: "a".into(),
+                latency: 1,
+                stmt: None,
+            },
+            Node {
+                name: "b".into(),
+                latency: 0,
+                stmt: None,
+            },
+        ];
+        let edges = vec![
+            Edge {
+                src: NodeId(0),
+                dst: NodeId(1),
+                distance: 1,
+                cost: None,
+            },
+            Edge {
+                src: NodeId(0),
+                dst: NodeId(u32::MAX),
+                distance: 0,
+                cost: None,
+            },
+        ];
+        let dot = to_dot_annotated(&nodes, &edges, &[NodeId(1)], &[EdgeId(1)]);
+        // The zero-latency node is red; the sound node is not.
+        assert!(dot.contains("1 [label=\"b\\nlat=0\" style=filled fillcolor=white color=red"));
+        assert!(dot.contains("0 [label=\"a\\nlat=1\" style=filled fillcolor=white];"));
+        // The dangling endpoint gets a red placeholder and a red edge.
+        assert!(dot.contains("m4294967295 [label=\"?\""), "{dot}");
+        assert!(
+            dot.contains("0 -> m4294967295 [color=red penwidth=2];"),
+            "{dot}"
+        );
+        // The carried edge keeps its dashed style.
+        assert!(dot.contains("0 -> 1 [style=dashed label=\"d1\"];"), "{dot}");
     }
 }

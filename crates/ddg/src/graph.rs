@@ -422,6 +422,13 @@ impl DdgBuilder {
         id
     }
 
+    /// The raw, not-yet-validated parts accumulated so far. This is the
+    /// input shape the `kn-verify` lint pass works on: it can diagnose
+    /// graphs that [`build`](Self::build) would reject.
+    pub fn parts(&self) -> (&[Node], &[Edge]) {
+        (&self.nodes, &self.edges)
+    }
+
     /// Validate and freeze.
     pub fn build(self) -> Result<Ddg, DdgError> {
         validate_parts(&self.nodes, &self.edges)?;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-ddg — data-dependence graphs for loop parallelization
 //!
 //! This crate implements the loop model of Kim & Nicolau,

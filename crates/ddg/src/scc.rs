@@ -305,4 +305,54 @@ mod tests {
         let r = recurrence_bound(&g);
         assert!((r - 1.5).abs() < 1e-6, "got {r}");
     }
+
+    #[test]
+    fn singleton_graph_is_one_trivial_scc() {
+        let mut b = DdgBuilder::new();
+        b.node("x");
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert!(sccs[0].is_trivial(&g));
+        assert_eq!(recurrence_bound(&g), 0.0);
+    }
+
+    #[test]
+    fn disconnected_components_yield_independent_sccs() {
+        // Two islands: a 2-cycle {a, b} and an isolated chain x -> y.
+        let mut b = DdgBuilder::new();
+        let a = b.node_lat("a", 2);
+        let bb = b.node("b");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(a, bb);
+        b.carried(bb, a);
+        b.dep(x, y);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        let nontrivial: Vec<_> = sccs.iter().filter(|s| !s.is_trivial(&g)).collect();
+        assert_eq!(nontrivial.len(), 1);
+        let mut members = nontrivial[0].nodes.clone();
+        members.sort();
+        assert_eq!(members, vec![a, bb]);
+        // The bound comes from the cyclic island alone: (2+1)/1.
+        assert!((recurrence_bound(&g) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_parallel_edges_do_not_change_sccs_or_bound() {
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 2);
+        let y = b.node("y");
+        b.dep(x, y);
+        b.dep(x, y); // duplicate
+        b.carried(y, x);
+        b.carried(y, x); // duplicate
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert!(!sccs[0].is_trivial(&g));
+        assert!((recurrence_bound(&g) - 3.0).abs() < 1e-6);
+    }
 }

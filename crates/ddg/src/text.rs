@@ -14,7 +14,7 @@
 //! `dist` defaults to 0, `lat` to 1. Node names may contain any
 //! non-whitespace characters except `"`. Parsing and rendering round-trip.
 
-use crate::graph::{Ddg, DdgBuilder, NodeId};
+use crate::graph::{Ddg, DdgBuilder, Edge, Node, NodeId};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -164,6 +164,137 @@ pub fn parse(input: &str) -> Result<Ddg, ParseError> {
     b.build().map_err(|e| ParseError::Graph(e.to_string()))
 }
 
+/// Parse the text format into **raw, unvalidated** parts.
+///
+/// Syntax errors still fail (unknown directives, malformed attributes),
+/// but every *semantic* rule [`parse`] enforces is deliberately skipped so
+/// a lint pass (`kn-verify`) can report them as structured diagnostics
+/// instead of a hard error:
+///
+/// * `lat=0` is kept (lint: KN001);
+/// * duplicate node names are kept as distinct nodes (KN002) — edges
+///   resolve to the *first* node of that name;
+/// * an edge endpoint naming an undeclared node becomes a dangling
+///   [`NodeId`] past the node range (KN003), mirroring the
+///   declare-before-use rule of [`parse`];
+/// * nothing is checked about cycles or emptiness (KN004–KN006).
+pub fn parse_parts(input: &str) -> Result<(Vec<Node>, Vec<Edge>), ParseError> {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    // Distinct undeclared names get stable synthetic ids past the final
+    // node range; `u32::MAX` counts down so they stay dangling no matter
+    // how many real nodes follow.
+    let mut unknown: HashMap<String, NodeId> = HashMap::new();
+    let mut next_unknown = u32::MAX;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("node") => {
+                let name = words
+                    .next()
+                    .ok_or(ParseError::BadNode {
+                        line: line_no,
+                        reason: "missing name".into(),
+                    })?
+                    .to_string();
+                let mut lat = 1u32;
+                let mut stmt = None;
+                let tail = line[line.find(&name).unwrap() + name.len()..].trim();
+                for part in split_attrs(tail) {
+                    if let Some(v) = part.strip_prefix("lat=") {
+                        lat = v.parse().map_err(|_| ParseError::BadNode {
+                            line: line_no,
+                            reason: format!("bad latency {v:?}"),
+                        })?;
+                    } else if let Some(v) = part.strip_prefix("stmt=") {
+                        stmt = Some(v.trim_matches('"').to_string());
+                    } else if !part.is_empty() {
+                        return Err(ParseError::BadNode {
+                            line: line_no,
+                            reason: format!("unknown attribute {part:?}"),
+                        });
+                    }
+                }
+                let id = NodeId(nodes.len() as u32);
+                nodes.push(Node {
+                    name: name.clone(),
+                    latency: lat,
+                    stmt,
+                });
+                names.entry(name).or_insert(id);
+            }
+            Some("edge") => {
+                let src = words.next().ok_or(ParseError::BadEdge {
+                    line: line_no,
+                    reason: "missing source".into(),
+                })?;
+                let arrow = words.next();
+                if arrow != Some("->") {
+                    return Err(ParseError::BadEdge {
+                        line: line_no,
+                        reason: format!("expected '->', got {arrow:?}"),
+                    });
+                }
+                let dst = words.next().ok_or(ParseError::BadEdge {
+                    line: line_no,
+                    reason: "missing destination".into(),
+                })?;
+                let mut dist = 0u32;
+                let mut cost = None;
+                for part in words {
+                    if let Some(v) = part.strip_prefix("dist=") {
+                        dist = v.parse().map_err(|_| ParseError::BadEdge {
+                            line: line_no,
+                            reason: format!("bad dist {v:?}"),
+                        })?;
+                    } else if let Some(v) = part.strip_prefix("cost=") {
+                        cost = Some(v.parse().map_err(|_| ParseError::BadEdge {
+                            line: line_no,
+                            reason: format!("bad cost {v:?}"),
+                        })?);
+                    } else {
+                        return Err(ParseError::BadEdge {
+                            line: line_no,
+                            reason: format!("unknown attribute {part:?}"),
+                        });
+                    }
+                }
+                let mut resolve = |name: &str| {
+                    names.get(name).copied().unwrap_or_else(|| {
+                        *unknown.entry(name.to_string()).or_insert_with(|| {
+                            let id = NodeId(next_unknown);
+                            next_unknown -= 1;
+                            id
+                        })
+                    })
+                };
+                let s = resolve(src);
+                let d = resolve(dst);
+                edges.push(Edge {
+                    src: s,
+                    dst: d,
+                    distance: dist,
+                    cost,
+                });
+            }
+            Some(word) => {
+                return Err(ParseError::UnknownDirective {
+                    line: line_no,
+                    word: word.into(),
+                })
+            }
+            None => unreachable!("empty lines skipped"),
+        }
+    }
+    Ok((nodes, edges))
+}
+
 /// Split `lat=1 stmt="a b c"` into attribute words, keeping quoted values
 /// intact.
 fn split_attrs(tail: &str) -> Vec<String> {
@@ -311,5 +442,51 @@ edge D -> E
         // Distance-0 cycle.
         let err = parse("node a\nnode b\nedge a -> b\nedge b -> a\n").unwrap_err();
         assert!(matches!(err, ParseError::Graph(_)));
+    }
+
+    #[test]
+    fn parse_parts_is_lenient_about_semantics() {
+        // Everything parse() rejects semantically comes through raw.
+        let (nodes, edges) =
+            parse_parts("node a lat=0\nnode a\nedge a -> ghost\nedge a -> a dist=0\n").unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].latency, 0);
+        assert_eq!(nodes[1].name, "a");
+        assert_eq!(edges.len(), 2);
+        // Unknown endpoint: a dangling id past the node range.
+        assert!(edges[0].dst.0 as usize >= nodes.len());
+        // Duplicate names resolve to the first node.
+        assert_eq!(edges[1].src, NodeId(0));
+        assert_eq!(edges[1].dst, NodeId(0));
+    }
+
+    #[test]
+    fn parse_parts_still_rejects_syntax_errors() {
+        assert!(matches!(
+            parse_parts("nodule a\n").unwrap_err(),
+            ParseError::UnknownDirective { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_parts("node a lat=zero\n").unwrap_err(),
+            ParseError::BadNode { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_parts("node a\nedge a b\n").unwrap_err(),
+            ParseError::BadEdge { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_parts_matches_parse_on_valid_input() {
+        let (nodes, edges) = parse_parts(FIG7).unwrap();
+        let g = parse(FIG7).unwrap();
+        assert_eq!(nodes.len(), g.node_count());
+        assert_eq!(edges.len(), g.edge_count());
+        for (i, id) in g.node_ids().enumerate() {
+            assert_eq!(&nodes[i], g.node(id));
+        }
+        for (i, id) in g.edge_ids().enumerate() {
+            assert_eq!(&edges[i], g.edge(id));
+        }
     }
 }

@@ -249,4 +249,61 @@ mod tests {
     fn is_intra_acyclic_true_for_valid() {
         assert!(is_intra_acyclic(&diamond()));
     }
+
+    #[test]
+    fn singleton_graph_topo_order() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let g = b.build().unwrap();
+        assert_eq!(intra_topo_order(&g).unwrap(), vec![x]);
+        assert_eq!(all_intra_topo_orders(&g, 10), vec![vec![x]]);
+        assert_eq!(intra_critical_path(&g), 1);
+    }
+
+    #[test]
+    fn disconnected_components_interleave_smallest_id_first() {
+        // Two islands a -> b and c -> d: the deterministic order is by
+        // smallest ready id, so islands interleave rather than group.
+        let mut b = DdgBuilder::new();
+        let a = b.node("a");
+        let bb = b.node("b");
+        let c = b.node("c");
+        let d = b.node("d");
+        b.dep(a, bb);
+        b.dep(c, d);
+        let g = b.build().unwrap();
+        assert_eq!(intra_topo_order(&g).unwrap(), vec![a, bb, c, d]);
+        // Both islands' constraints hold in every enumerated order.
+        for order in all_intra_topo_orders(&g, 100) {
+            let pos = |v: NodeId| order.iter().position(|&w| w == v).unwrap();
+            assert!(pos(a) < pos(bb) && pos(c) < pos(d), "{order:?}");
+        }
+        // Critical path is the longer island's path (both are 2 here).
+        assert_eq!(intra_critical_path(&g), 2);
+    }
+
+    #[test]
+    fn duplicate_parallel_edges_keep_topo_functions_correct() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node_lat("y", 3);
+        b.dep(x, y);
+        b.dep(x, y); // duplicate must not double-count degrees
+        let g = b.build().unwrap();
+        assert!(is_intra_acyclic(&g));
+        assert_eq!(intra_topo_order(&g).unwrap(), vec![x, y]);
+        assert_eq!(all_intra_topo_orders(&g, 10).len(), 1);
+        assert_eq!(intra_critical_path(&g), 4);
+    }
+
+    #[test]
+    fn carried_self_loop_is_still_intra_acyclic() {
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 2);
+        b.carried(x, x);
+        let g = b.build().unwrap();
+        assert!(is_intra_acyclic(&g));
+        assert_eq!(intra_topo_order(&g).unwrap(), vec![x]);
+        assert_eq!(intra_critical_path(&g), 2);
+    }
 }

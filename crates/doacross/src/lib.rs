@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-doacross — the DOACROSS baseline (Cytron 1986)
 //!
 //! The iteration-pipelining technique the paper compares against:
@@ -47,7 +48,14 @@ impl Default for Reorder {
 #[derive(Clone, Debug, Default)]
 pub struct DoacrossOptions {
     pub reorder: Reorder,
+    /// Optional static certification hook, run on the timed program before
+    /// it is returned. `kn-verify` provides `certify_timed_hook`; `kn-core`
+    /// installs it in debug builds.
+    pub certify: Option<CertifyTimedHook>,
 }
+
+/// Signature of the [`DoacrossOptions::certify`] hook.
+pub type CertifyTimedHook = fn(&Ddg, &MachineConfig, &TimedProgram) -> Result<(), String>;
 
 /// A complete DOACROSS schedule.
 #[derive(Clone, Debug)]
@@ -198,6 +206,9 @@ pub fn doacross_schedule(
     let program = doacross_program(&body_order, m.processors, iters);
     program.check_complete(g)?;
     let timing = static_times(&program, g, m)?;
+    if let Some(certify) = opts.certify {
+        certify(g, m, &timing).map_err(ProgramError::Certify)?;
+    }
     let d = delay(g, &body_order, m);
     Ok(DoacrossSchedule {
         body_order,
@@ -255,7 +266,16 @@ mod tests {
                 exhaustive_cap: 5040,
             },
         ] {
-            let s = doacross_schedule(&g, &m, iters, &DoacrossOptions { reorder }).unwrap();
+            let s = doacross_schedule(
+                &g,
+                &m,
+                iters,
+                &DoacrossOptions {
+                    reorder,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             assert!(
                 s.makespan() >= seq,
                 "DOACROSS cannot beat sequential here: {} < {seq}",

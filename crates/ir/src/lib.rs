@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-ir — a small loop IR with dependence analysis and if-conversion
 //!
 //! The paper assumes its input is a data-dependence graph of a loop whose

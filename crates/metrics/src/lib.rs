@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-metrics — evaluation metrics and text tables
 //!
 //! The paper's figure of merit is **percentage parallelism**

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-runtime — real threaded execution of scheduled loops
 //!
 //! The paper evaluates on a simulated multiprocessor; this crate goes one

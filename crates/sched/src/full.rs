@@ -31,13 +31,22 @@ pub struct FullOptions {
     /// (e.g. `0.1` = accept the merged program if it is at most 10% slower
     /// than the separate-processors program). `None` disables merging.
     pub merge_tolerance: Option<f64>,
+    /// Optional static certification hook, run on every schedule this
+    /// pipeline produces before it is returned. `kn-verify` provides
+    /// `certify_loop_hook`; `kn-core` installs it in debug builds so any
+    /// unsound schedule fails loudly instead of silently mis-executing.
+    pub certify: Option<CertifyHook>,
 }
+
+/// Signature of the [`FullOptions::certify`] hook.
+pub type CertifyHook = fn(&Ddg, &MachineConfig, &LoopSchedule) -> Result<(), String>;
 
 impl Default for FullOptions {
     fn default() -> Self {
         Self {
             cyclic: CyclicOptions::default(),
             merge_tolerance: Some(0.10),
+            certify: None,
         }
     }
 }
@@ -64,6 +73,8 @@ pub enum SchedLoopError {
     NotNormalized,
     Cyclic(CyclicError),
     Program(ProgramError),
+    /// The `FullOptions::certify` hook rejected the produced schedule.
+    Certify(String),
 }
 
 impl std::fmt::Display for SchedLoopError {
@@ -72,6 +83,7 @@ impl std::fmt::Display for SchedLoopError {
             SchedLoopError::NotNormalized => write!(f, "distances must be 0/1"),
             SchedLoopError::Cyclic(e) => write!(f, "cyclic scheduling failed: {e}"),
             SchedLoopError::Program(e) => write!(f, "program construction failed: {e}"),
+            SchedLoopError::Certify(msg) => write!(f, "schedule certification failed: {msg}"),
         }
     }
 }
@@ -132,6 +144,19 @@ impl LoopSchedule {
 
 /// Schedule a loop end to end (paper Figure 6) for `iters` iterations.
 pub fn schedule_loop(
+    g: &Ddg,
+    m: &MachineConfig,
+    iters: u32,
+    opts: &FullOptions,
+) -> Result<LoopSchedule, SchedLoopError> {
+    let sched = schedule_loop_inner(g, m, iters, opts)?;
+    if let Some(certify) = opts.certify {
+        certify(g, m, &sched).map_err(SchedLoopError::Certify)?;
+    }
+    Ok(sched)
+}
+
+fn schedule_loop_inner(
     g: &Ddg,
     m: &MachineConfig,
     iters: u32,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-sched — pattern-based loop scheduling for MIMD machines
 //!
 //! The primary contribution of Kim & Nicolau (ICPP 1990), implemented in
@@ -80,7 +81,9 @@ pub use cyclic::{
     cyclic_schedule, enumeration_order, greedy_finite, greedy_unbounded, CyclicError,
     CyclicOptions, DetectorKind,
 };
-pub use full::{schedule_loop, FlowDecision, FullOptions, LoopSchedule, SchedLoopError};
+pub use full::{
+    schedule_loop, CertifyHook, FlowDecision, FullOptions, LoopSchedule, SchedLoopError,
+};
 pub use machine::{ArrivalConvention, Cycle, MachineConfig};
 pub use pattern::{BlockSchedule, Pattern, PatternOutcome};
 pub use program::{static_times, Program, ProgramError, TimedProgram};

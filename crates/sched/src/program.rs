@@ -93,6 +93,8 @@ pub enum ProgramError {
     /// (processor A waits for an instance that sits *behind* another
     /// instance of A in its own sequence, transitively).
     Deadlock { timed: usize, total: usize },
+    /// A caller-installed certification hook rejected the timed program.
+    Certify(String),
 }
 
 impl std::fmt::Display for ProgramError {
@@ -108,6 +110,9 @@ impl std::fmt::Display for ProgramError {
                     f,
                     "program deadlocks after timing {timed}/{total} instances"
                 )
+            }
+            ProgramError::Certify(msg) => {
+                write!(f, "schedule certification failed: {msg}")
             }
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-sim — simulated asynchronous MIMD multiprocessor
 //!
 //! The evaluation substrate for the paper's §4 experiments. Processors

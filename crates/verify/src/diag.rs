@@ -1,0 +1,390 @@
+//! Structured diagnostics: stable codes, severities, offending graph
+//! objects, and the human/JSON renderers shared by every analysis in this
+//! crate.
+//!
+//! Every finding carries a stable `KN0xx` code (catalogued in
+//! [`crate::diagnostics`] / `docs/diagnostics.md`) so that CI jobs, the
+//! service admission path, and golden files can assert on codes rather
+//! than message text.
+
+use kn_ddg::{EdgeId, NodeId};
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational (e.g. the SCC recurrence report).
+    Info,
+    /// Suspicious but schedulable (e.g. a dead node).
+    Warning,
+    /// The graph or schedule is invalid; reject it.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric ranges are load-bearing:
+/// `KN00x` = malformed graph structure, `KN01x` = graph smells,
+/// `KN02x` = analysis reports, `KN03x` = schedule certification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// A node has zero latency.
+    Kn001,
+    /// Two nodes share a name.
+    Kn002,
+    /// An edge endpoint references a missing node.
+    Kn003,
+    /// A zero-distance self-dependence (`v -> v, d=0`).
+    Kn004,
+    /// The distance-0 subgraph has a cycle (not schedulable in any order).
+    Kn005,
+    /// The graph has no nodes.
+    Kn006,
+    /// A dependence cycle whose total latency is zero.
+    Kn007,
+    /// A dead node: no dependence edge touches it (in a multi-node graph).
+    Kn010,
+    /// Duplicate parallel edge (same source, target, and distance).
+    Kn011,
+    /// A dependence distance greater than 1 (needs normalization for
+    /// Cyclic-sched; DOACROSS handles it natively).
+    Kn012,
+    /// SCC recurrence report (informational).
+    Kn020,
+    /// A schedule violates a dependence edge.
+    Kn030,
+    /// Two instances overlap on one processor.
+    Kn031,
+    /// A schedule misses or duplicates an instance.
+    Kn032,
+    /// Link oversubscription (more in-flight messages than processors).
+    Kn033,
+    /// The achieved initiation interval exceeds the MII bound.
+    Kn034,
+    /// A periodic kernel is malformed (zero period / broken residue cover).
+    Kn035,
+}
+
+impl Code {
+    /// The stable printed form, e.g. `"KN004"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Kn001 => "KN001",
+            Code::Kn002 => "KN002",
+            Code::Kn003 => "KN003",
+            Code::Kn004 => "KN004",
+            Code::Kn005 => "KN005",
+            Code::Kn006 => "KN006",
+            Code::Kn007 => "KN007",
+            Code::Kn010 => "KN010",
+            Code::Kn011 => "KN011",
+            Code::Kn012 => "KN012",
+            Code::Kn020 => "KN020",
+            Code::Kn030 => "KN030",
+            Code::Kn031 => "KN031",
+            Code::Kn032 => "KN032",
+            Code::Kn033 => "KN033",
+            Code::Kn034 => "KN034",
+            Code::Kn035 => "KN035",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Kn001
+            | Code::Kn002
+            | Code::Kn003
+            | Code::Kn004
+            | Code::Kn005
+            | Code::Kn006
+            | Code::Kn007
+            | Code::Kn030
+            | Code::Kn031
+            | Code::Kn032
+            | Code::Kn035 => Severity::Error,
+            Code::Kn010 | Code::Kn011 | Code::Kn033 | Code::Kn034 => Severity::Warning,
+            Code::Kn012 | Code::Kn020 => Severity::Info,
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One finding: a code, its severity, a message, and the graph objects it
+/// points at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    pub message: String,
+    /// Offending nodes (may be empty).
+    pub nodes: Vec<NodeId>,
+    /// Offending edges (may be empty).
+    pub edges: Vec<EdgeId>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Attach offending nodes.
+    pub fn with_nodes(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.nodes.extend(nodes);
+        self
+    }
+
+    /// Attach offending edges.
+    pub fn with_edges(mut self, edges: impl IntoIterator<Item = EdgeId>) -> Self {
+        self.edges.extend(edges);
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.nodes.is_empty() {
+            write!(f, " (nodes:")?;
+            for n in &self.nodes {
+                write!(f, " {n}")?;
+            }
+            write!(f, ")")?;
+        }
+        if !self.edges.is_empty() {
+            write!(f, " (edges:")?;
+            for e in &self.edges {
+                write!(f, " {e}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics from one analysis run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Append all diagnostics of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// The worst severity present, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+
+    /// True if any finding is `Error` severity.
+    pub fn has_errors(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+
+    /// The first `Error`-severity finding, if any — what the service
+    /// admission path reports.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diags.iter().find(|d| d.severity == Severity::Error)
+    }
+
+    /// All diagnostics with a given code.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(move |d| d.code == code)
+    }
+
+    /// Every node flagged by an `Error` or `Warning` finding (for dot
+    /// annotation); deduplicated, in first-flagged order.
+    pub fn flagged_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for d in &self.diags {
+            if d.severity >= Severity::Warning {
+                for &n in &d.nodes {
+                    if !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every edge flagged by an `Error` or `Warning` finding.
+    pub fn flagged_edges(&self) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> = Vec::new();
+        for d in &self.diags {
+            if d.severity >= Severity::Warning {
+                for &e in &d.edges {
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable rendering: one line per finding plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self
+            .diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = self
+            .diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        out.push_str(&format!(
+            "{} finding(s): {errors} error(s), {warnings} warning(s)\n",
+            self.diags.len()
+        ));
+        out
+    }
+
+    /// JSON rendering (an array of finding objects), schema
+    /// `kn-verify-report-v1`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\": \"kn-verify-report-v1\", \"findings\": [");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\", \"nodes\": [{}], \"edges\": [{}]}}",
+                d.code,
+                d.severity,
+                json_escape(&d.message),
+                d.nodes
+                    .iter()
+                    .map(|n| n.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                d.edges
+                    .iter()
+                    .map(|e| e.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors `kn_core::service::wire::esc`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn codes_have_stable_strings_and_severities() {
+        assert_eq!(Code::Kn004.as_str(), "KN004");
+        assert_eq!(Code::Kn004.severity(), Severity::Error);
+        assert_eq!(Code::Kn010.severity(), Severity::Warning);
+        assert_eq!(Code::Kn020.severity(), Severity::Info);
+        assert_eq!(Code::Kn030.to_string(), "KN030");
+    }
+
+    #[test]
+    fn report_summaries() {
+        let mut r = Report::new();
+        assert!(r.max_severity().is_none());
+        r.push(Diagnostic::new(Code::Kn020, "scc"));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Code::Kn004, "self dep").with_nodes([NodeId(2)]));
+        assert!(r.has_errors());
+        assert_eq!(r.first_error().unwrap().code, Code::Kn004);
+        assert_eq!(r.flagged_nodes(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn human_rendering_carries_code_and_objects() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::Kn003, "edge e1 references a missing node")
+                .with_edges([EdgeId(1)]),
+        );
+        let h = r.render_human();
+        assert!(h.contains("error[KN003]"), "{h}");
+        assert!(h.contains("(edges: e1)"), "{h}");
+        assert!(h.contains("1 finding(s): 1 error(s), 0 warning(s)"), "{h}");
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::Kn002, "duplicate name \"a\"").with_nodes([NodeId(0), NodeId(1)]),
+        );
+        let j = r.render_json();
+        assert!(j.contains("\"code\": \"KN002\""), "{j}");
+        assert!(j.contains("duplicate name \\\"a\\\""), "{j}");
+        assert!(j.contains("\"nodes\": [0, 1]"), "{j}");
+    }
+}

@@ -1,0 +1,41 @@
+#![forbid(unsafe_code)]
+//! # kn-verify — static certification for Kim & Nicolau loop schedules
+//!
+//! Everything else in this repository trusts schedules *dynamically*: the
+//! simulator replays them and goldens pin the outputs. This crate proves
+//! them correct *statically*, with three analyses:
+//!
+//! * [`lint`] — a DDG lint pass over raw `(nodes, edges)` parts or built
+//!   graphs: structural errors (dangling endpoints, zero-distance
+//!   self-dependences, intra-iteration cycles, …), graph smells, and an
+//!   SCC recurrence report. This is the service admission gate: malformed
+//!   graphs are rejected with a stable code before a worker runs them.
+//! * [`certify`] — a schedule certifier: dependence satisfaction (with
+//!   cross-processor link latency at the edge's iteration distance),
+//!   resource feasibility, and coverage, for concrete tables, DOACROSS
+//!   programs, and periodic [`kn_sched::Pattern`] kernels — the latter
+//!   verified symbolically over one period plus wraparound, never by
+//!   instantiating the full iteration count.
+//! * [`mii`] — recurrence and resource MII bounds, plus the KN034
+//!   achieved-II-vs-bound quality lint.
+//!
+//! Every finding is a [`Diagnostic`] with a stable `KN0xx` [`Code`]
+//! (catalogued in [`diagnostics`]), a [`Severity`], the offending
+//! node/edge ids, and both human and JSON renderings ([`Report`]).
+
+pub mod certify;
+pub mod diag;
+pub mod lint;
+pub mod mii;
+
+/// The `KN0xx` diagnostic catalogue (from `docs/diagnostics.md`).
+#[doc = include_str!("../../../docs/diagnostics.md")]
+pub mod diagnostics {}
+
+pub use certify::{
+    certify_loop, certify_loop_hook, certify_loop_with, certify_outcome, certify_pattern,
+    certify_placements, certify_table, certify_timed, certify_timed_hook, CertifyOptions,
+};
+pub use diag::{Code, Diagnostic, Report, Severity};
+pub use lint::{lint_graph, lint_parts, lint_text, TextLint};
+pub use mii::{lint_ii, mii_bounds, MiiBounds};

@@ -1,0 +1,473 @@
+//! The DDG lint pass.
+//!
+//! Two entry points:
+//!
+//! * [`lint_parts`] checks **raw** `(nodes, edges)` — the lenient form
+//!   produced by [`kn_ddg::text::parse_parts`] or
+//!   [`kn_ddg::DdgBuilder::parts`] — for the structural errors a built
+//!   [`Ddg`] can never exhibit (dangling endpoints, zero latencies,
+//!   duplicate names, intra-iteration cycles, …). This is the service
+//!   admission gate: malformed graphs are rejected with a stable `KN0xx`
+//!   code before a worker ever touches them.
+//! * [`lint_graph`] checks a **valid** [`Ddg`] for smells (dead nodes,
+//!   duplicate parallel edges, unnormalized distances) and emits the SCC
+//!   recurrence report (KN020).
+//!
+//! [`lint_text`] composes both over the `.ddg` text format.
+
+use crate::diag::{Code, Diagnostic, Report};
+use kn_ddg::{Ddg, Edge, EdgeId, Node, NodeId, ParseError};
+use std::collections::HashMap;
+
+/// Lint raw graph parts for structural validity (codes KN001–KN007).
+///
+/// An empty report means [`kn_ddg::DdgBuilder::build`] on the same parts
+/// will succeed.
+pub fn lint_parts(nodes: &[Node], edges: &[Edge]) -> Report {
+    let mut r = Report::new();
+    if nodes.is_empty() {
+        r.push(Diagnostic::new(Code::Kn006, "graph has no nodes"));
+        if edges.is_empty() {
+            return r;
+        }
+    }
+
+    // KN001: zero-latency nodes.
+    for (i, n) in nodes.iter().enumerate() {
+        if n.latency == 0 {
+            r.push(
+                Diagnostic::new(Code::Kn001, format!("node {:?} has zero latency", n.name))
+                    .with_nodes([NodeId(i as u32)]),
+            );
+        }
+    }
+
+    // KN002: duplicate node names.
+    let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(&n.name).or_default().push(NodeId(i as u32));
+    }
+    let mut dup_names: Vec<(&str, Vec<NodeId>)> = by_name
+        .into_iter()
+        .filter(|(_, ids)| ids.len() > 1)
+        .collect();
+    dup_names.sort_by_key(|(_, ids)| ids[0]);
+    for (name, ids) in dup_names {
+        r.push(
+            Diagnostic::new(
+                Code::Kn002,
+                format!("duplicate node name {name:?} ({} nodes)", ids.len()),
+            )
+            .with_nodes(ids),
+        );
+    }
+
+    // KN003: dangling edge endpoints; KN004: zero-distance self-deps.
+    let n = nodes.len() as u32;
+    let mut sound_edges: Vec<(EdgeId, Edge)> = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        let id = EdgeId(i as u32);
+        if e.src.0 >= n || e.dst.0 >= n {
+            r.push(
+                Diagnostic::new(
+                    Code::Kn003,
+                    format!(
+                        "edge {id} references a missing node ({} -> {})",
+                        e.src, e.dst
+                    ),
+                )
+                .with_edges([id]),
+            );
+            continue;
+        }
+        if e.src == e.dst && e.distance == 0 {
+            r.push(
+                Diagnostic::new(
+                    Code::Kn004,
+                    format!(
+                        "zero-distance self-dependence on node {:?}",
+                        nodes[e.src.index()].name
+                    ),
+                )
+                .with_nodes([e.src])
+                .with_edges([id]),
+            );
+            continue;
+        }
+        sound_edges.push((id, *e));
+    }
+
+    // KN005: a cycle in the distance-0 subgraph (no execution order can
+    // satisfy it). Kahn peeling: whatever survives sits on a cycle.
+    let intra: Vec<(EdgeId, Edge)> = sound_edges
+        .iter()
+        .filter(|(_, e)| e.distance == 0)
+        .copied()
+        .collect();
+    if let Some((cyc_nodes, cyc_edges)) = residual_cycle(nodes.len(), &intra) {
+        let names: Vec<&str> = cyc_nodes
+            .iter()
+            .map(|v| nodes[v.index()].name.as_str())
+            .collect();
+        r.push(
+            Diagnostic::new(
+                Code::Kn005,
+                format!("distance-0 subgraph has a cycle through {names:?}"),
+            )
+            .with_nodes(cyc_nodes)
+            .with_edges(cyc_edges),
+        );
+    }
+
+    // KN007: a dependence cycle of total latency zero (any distances).
+    // Such a cycle can only pass through zero-latency nodes.
+    if nodes.iter().any(|nd| nd.latency == 0) {
+        let zero: Vec<(EdgeId, Edge)> = sound_edges
+            .iter()
+            .filter(|(_, e)| nodes[e.src.index()].latency == 0 && nodes[e.dst.index()].latency == 0)
+            .copied()
+            .collect();
+        // Include self-loops here: a carried self-dep on a zero-latency
+        // node is a zero-latency cycle too.
+        if let Some((cyc_nodes, cyc_edges)) = residual_cycle_with_self(nodes.len(), &zero) {
+            let names: Vec<&str> = cyc_nodes
+                .iter()
+                .map(|v| nodes[v.index()].name.as_str())
+                .collect();
+            r.push(
+                Diagnostic::new(
+                    Code::Kn007,
+                    format!("dependence cycle of total latency 0 through {names:?}"),
+                )
+                .with_nodes(cyc_nodes)
+                .with_edges(cyc_edges),
+            );
+        }
+    }
+
+    r
+}
+
+/// Two-sided peeling over `edges` (self-loops excluded by the caller):
+/// repeatedly drop nodes with no incoming or no outgoing live edge. What
+/// survives lies on (or between) cycles. Returns `None` when acyclic.
+fn residual_cycle(n: usize, edges: &[(EdgeId, Edge)]) -> Option<(Vec<NodeId>, Vec<EdgeId>)> {
+    let mut alive = vec![true; n];
+    loop {
+        let mut indeg = vec![0usize; n];
+        let mut outdeg = vec![0usize; n];
+        for (_, e) in edges {
+            if alive[e.src.index()] && alive[e.dst.index()] {
+                outdeg[e.src.index()] += 1;
+                indeg[e.dst.index()] += 1;
+            }
+        }
+        let mut changed = false;
+        for v in 0..n {
+            if alive[v] && (indeg[v] == 0 || outdeg[v] == 0) {
+                alive[v] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if alive.iter().all(|&a| !a) {
+        return None;
+    }
+    let cyc_nodes: Vec<NodeId> = (0..n)
+        .filter(|&v| alive[v])
+        .map(|v| NodeId(v as u32))
+        .collect();
+    let cyc_edges: Vec<EdgeId> = edges
+        .iter()
+        .filter(|(_, e)| alive[e.src.index()] && alive[e.dst.index()])
+        .map(|(id, _)| *id)
+        .collect();
+    Some((cyc_nodes, cyc_edges))
+}
+
+/// Like [`residual_cycle`], but a self-loop alone is a cycle.
+fn residual_cycle_with_self(
+    n: usize,
+    edges: &[(EdgeId, Edge)],
+) -> Option<(Vec<NodeId>, Vec<EdgeId>)> {
+    for (id, e) in edges {
+        if e.src == e.dst {
+            return Some((vec![e.src], vec![*id]));
+        }
+    }
+    residual_cycle(n, edges)
+}
+
+/// Lint a valid graph for smells (KN010–KN012) and emit the SCC
+/// recurrence report (KN020).
+pub fn lint_graph(g: &Ddg) -> Report {
+    let mut r = Report::new();
+
+    // KN010: dead nodes — no dependence touches them (only meaningful
+    // when the graph has other nodes; a 1-node loop body is fine).
+    if g.node_count() >= 2 {
+        for v in g.node_ids() {
+            if g.in_degree(v) == 0 && g.out_degree(v) == 0 {
+                r.push(
+                    Diagnostic::new(
+                        Code::Kn010,
+                        format!("node {:?} is disconnected from every dependence", g.name(v)),
+                    )
+                    .with_nodes([v]),
+                );
+            }
+        }
+    }
+
+    // KN011: duplicate parallel edges.
+    let mut seen: HashMap<(NodeId, NodeId, u32), EdgeId> = HashMap::new();
+    for id in g.edge_ids() {
+        let e = g.edge(id);
+        match seen.entry((e.src, e.dst, e.distance)) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                r.push(
+                    Diagnostic::new(
+                        Code::Kn011,
+                        format!(
+                            "duplicate dependence {:?} -> {:?} (dist={})",
+                            g.name(e.src),
+                            g.name(e.dst),
+                            e.distance
+                        ),
+                    )
+                    .with_edges([*first.get(), id]),
+                );
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(id);
+            }
+        }
+    }
+
+    // KN012: unnormalized distances (info; Cyclic-sched needs unrolling).
+    for id in g.edge_ids() {
+        let e = g.edge(id);
+        if e.distance > 1 {
+            r.push(
+                Diagnostic::new(
+                    Code::Kn012,
+                    format!(
+                        "distance {} on {:?} -> {:?} needs normalization for Cyclic-sched",
+                        e.distance,
+                        g.name(e.src),
+                        g.name(e.dst)
+                    ),
+                )
+                .with_edges([id]),
+            );
+        }
+    }
+
+    // KN020: SCC recurrence report — one finding per nontrivial SCC.
+    for scc in kn_ddg::strongly_connected_components(g) {
+        if scc.is_trivial(g) {
+            continue;
+        }
+        let (sub, _back) = g.induced_subgraph(&scc.nodes);
+        let bound = kn_ddg::scc::recurrence_bound(&sub);
+        let lat: u64 = scc.nodes.iter().map(|&v| g.latency(v) as u64).sum();
+        let names: Vec<&str> = scc.nodes.iter().map(|&v| g.name(v)).collect();
+        r.push(
+            Diagnostic::new(
+                Code::Kn020,
+                format!(
+                    "recurrence through {names:?}: total latency {lat}, \
+                     cycle bound {bound:.3} cycles/iteration"
+                ),
+            )
+            .with_nodes(scc.nodes.clone()),
+        );
+    }
+
+    r
+}
+
+/// The result of linting `.ddg` text: the report, the raw parts, and the
+/// built graph when the parts were structurally clean.
+#[derive(Clone, Debug)]
+pub struct TextLint {
+    pub report: Report,
+    pub nodes: Vec<Node>,
+    pub edges: Vec<Edge>,
+    /// `Some` iff no structural (`Error`) finding prevented the build.
+    pub graph: Option<Ddg>,
+}
+
+/// Lint `.ddg` text: syntax errors still fail hard (`ParseError`), but
+/// *semantic* problems — the ones [`kn_ddg::parse_text`] would reject —
+/// come back as diagnostics instead.
+pub fn lint_text(input: &str) -> Result<TextLint, ParseError> {
+    let (nodes, edges) = kn_ddg::text::parse_parts(input)?;
+    let mut report = lint_parts(&nodes, &edges);
+    let graph = if report.has_errors() {
+        None
+    } else {
+        kn_ddg::parse_text(input).ok()
+    };
+    if let Some(g) = &graph {
+        report.merge(lint_graph(g));
+    }
+    Ok(TextLint {
+        report,
+        nodes,
+        edges,
+        graph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use kn_ddg::DdgBuilder;
+
+    fn node(name: &str, lat: u32) -> Node {
+        Node {
+            name: name.into(),
+            latency: lat,
+            stmt: None,
+        }
+    }
+
+    fn edge(src: u32, dst: u32, dist: u32) -> Edge {
+        Edge {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            distance: dist,
+            cost: None,
+        }
+    }
+
+    #[test]
+    fn clean_parts_pass() {
+        let nodes = vec![node("a", 1), node("b", 2)];
+        let edges = vec![edge(0, 1, 0), edge(1, 0, 1)];
+        let r = lint_parts(&nodes, &edges);
+        assert!(r.is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn empty_graph_is_kn006() {
+        let r = lint_parts(&[], &[]);
+        assert_eq!(r.diags[0].code, Code::Kn006);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn zero_latency_is_kn001() {
+        let r = lint_parts(&[node("a", 0)], &[]);
+        assert_eq!(r.diags[0].code, Code::Kn001);
+        assert_eq!(r.diags[0].nodes, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn duplicate_name_is_kn002() {
+        let r = lint_parts(&[node("a", 1), node("a", 1)], &[]);
+        assert_eq!(r.diags[0].code, Code::Kn002);
+        assert_eq!(r.diags[0].nodes, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn dangling_edge_is_kn003() {
+        let r = lint_parts(&[node("a", 1)], &[edge(0, 7, 0)]);
+        assert_eq!(r.diags[0].code, Code::Kn003);
+        assert_eq!(r.diags[0].edges, vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn zero_distance_self_dep_is_kn004() {
+        let r = lint_parts(&[node("a", 1)], &[edge(0, 0, 0)]);
+        assert_eq!(r.diags[0].code, Code::Kn004);
+        assert_eq!(r.diags[0].nodes, vec![NodeId(0)]);
+        // …and it is not double-reported as a KN005 cycle.
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn intra_cycle_is_kn005() {
+        let nodes = vec![node("a", 1), node("b", 1), node("c", 1)];
+        let edges = vec![edge(0, 1, 0), edge(1, 0, 0), edge(1, 2, 0)];
+        let r = lint_parts(&nodes, &edges);
+        let d = r.with_code(Code::Kn005).next().unwrap();
+        assert_eq!(d.nodes, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(d.edges, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn zero_latency_cycle_is_kn007() {
+        // A carried self-dependence on a zero-latency node: the recurrence
+        // bound degenerates (0 latency / 1 distance).
+        let r = lint_parts(&[node("a", 0)], &[edge(0, 0, 1)]);
+        assert!(r.with_code(Code::Kn001).next().is_some());
+        let d = r.with_code(Code::Kn007).next().unwrap();
+        assert_eq!(d.nodes, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn graph_lint_flags_dead_nodes_and_dup_edges() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        let _z = b.node("z"); // never connected
+        b.dep(x, y);
+        b.dep(x, y); // duplicate parallel edge
+        let g = b.build().unwrap();
+        let r = lint_graph(&g);
+        let dead = r.with_code(Code::Kn010).next().unwrap();
+        assert_eq!(dead.nodes, vec![NodeId(2)]);
+        let dup = r.with_code(Code::Kn011).next().unwrap();
+        assert_eq!(dup.edges.len(), 2);
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+    }
+
+    #[test]
+    fn graph_lint_reports_recurrences() {
+        let mut b = DdgBuilder::new();
+        let x = b.node_lat("x", 2);
+        let y = b.node_lat("y", 3);
+        b.dep(x, y);
+        b.carried(y, x);
+        let g = b.build().unwrap();
+        let r = lint_graph(&g);
+        let rec = r.with_code(Code::Kn020).next().unwrap();
+        assert_eq!(rec.severity, Severity::Info);
+        assert!(rec.message.contains("total latency 5"), "{}", rec.message);
+        assert!(rec.message.contains("5.000"), "{}", rec.message);
+    }
+
+    #[test]
+    fn unnormalized_distance_is_info() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        b.dep_dist(x, x, 3);
+        let g = b.build().unwrap();
+        let r = lint_graph(&g);
+        assert!(r.with_code(Code::Kn012).next().is_some());
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn lint_text_end_to_end() {
+        let good = "node a lat=1\nnode b lat=2\nedge a -> b\nedge b -> a dist=1\n";
+        let t = lint_text(good).unwrap();
+        assert!(t.graph.is_some());
+        assert!(!t.report.has_errors());
+        assert!(t.report.with_code(Code::Kn020).next().is_some());
+
+        let bad = "node a lat=1\nedge a -> a dist=0\n";
+        let t = lint_text(bad).unwrap();
+        assert!(t.graph.is_none());
+        assert_eq!(t.report.first_error().unwrap().code, Code::Kn004);
+
+        // Syntax errors still fail hard.
+        assert!(lint_text("nodule a\n").is_err());
+    }
+}

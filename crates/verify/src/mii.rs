@@ -1,0 +1,130 @@
+//! Minimum initiation interval (MII) bounds.
+//!
+//! The steady-state rate of any periodic schedule is bounded below by two
+//! classic quantities (Rau & Glaeser; the paper eyeballs them in Table 1):
+//!
+//! * **recurrence MII** — the max over dependence cycles of
+//!   `Σ latency / Σ distance` (a cycle of total latency `L` spanning `D`
+//!   iterations forces at least `L / D` cycles per iteration);
+//! * **resource MII** — `Σ latency / processors` (each iteration needs
+//!   `body_latency` cycles of machine time spread over `p` processors).
+//!
+//! [`lint_ii`] turns the bound into a KN034 quality lint: a schedule whose
+//! achieved II exceeds `slack × MII` is flagged (never rejected — the
+//! paper's own Figure 7 pattern achieves exactly its recurrence MII, but
+//! communication-heavy loops legitimately sit above the bound).
+
+use crate::diag::{Code, Diagnostic, Report};
+use kn_ddg::Ddg;
+use kn_sched::MachineConfig;
+
+/// The two lower bounds on cycles-per-iteration, and their max.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MiiBounds {
+    /// Max over SCC cycles of `Σ latency / Σ distance`; 0 for DOALL loops.
+    pub recurrence_mii: f64,
+    /// `body_latency / processors`.
+    pub resource_mii: f64,
+}
+
+impl MiiBounds {
+    /// The binding bound: `max(recurrence, resource)`.
+    pub fn bound(&self) -> f64 {
+        self.recurrence_mii.max(self.resource_mii)
+    }
+}
+
+/// Compute both MII bounds for a loop on a machine.
+///
+/// The recurrence bound ignores communication cost (it holds even for a
+/// single processor, where no messages are sent), so it is a true lower
+/// bound for every placement.
+pub fn mii_bounds(g: &Ddg, m: &MachineConfig) -> MiiBounds {
+    MiiBounds {
+        recurrence_mii: kn_ddg::scc::recurrence_bound(g),
+        resource_mii: g.body_latency() as f64 / m.processors as f64,
+    }
+}
+
+/// KN034 quality lint: flag `achieved_ii` when it exceeds `slack × MII`.
+///
+/// `slack` is a multiplicative factor (e.g. `2.0` = "flag schedules more
+/// than 2x slower than the bound"); values `< 1.0` are treated as `1.0`.
+pub fn lint_ii(report: &mut Report, bounds: &MiiBounds, achieved_ii: f64, slack: f64) {
+    let slack = slack.max(1.0);
+    let bound = bounds.bound();
+    if bound > 0.0 && achieved_ii > bound * slack + 1e-9 {
+        report.push(Diagnostic::new(
+            Code::Kn034,
+            format!(
+                "achieved II {achieved_ii:.3} exceeds {slack:.2}x the MII bound \
+                 {bound:.3} (recurrence {:.3}, resource {:.3})",
+                bounds.recurrence_mii, bounds.resource_mii
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ddg::DdgBuilder;
+
+    /// Paper Figure 7: recurrence MII is 2.5 (cycle A->B->C->D->E->A has
+    /// latency 5 over distance 2).
+    fn figure7() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.node("A");
+        let bb = b.node("B");
+        let c = b.node("C");
+        let d = b.node("D");
+        let e = b.node("E");
+        b.carried(a, a);
+        b.carried(e, a);
+        b.dep(a, bb);
+        b.dep(bb, c);
+        b.carried(d, d);
+        b.carried(c, d);
+        b.dep(d, e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure7_recurrence_mii() {
+        let g = figure7();
+        let m = MachineConfig::new(4, 2);
+        let b = mii_bounds(&g, &m);
+        assert!((b.recurrence_mii - 2.5).abs() < 1e-6, "{b:?}");
+        assert!((b.resource_mii - 1.25).abs() < 1e-9);
+        assert!((b.bound() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn doall_has_zero_recurrence() {
+        let mut b = DdgBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.dep(x, y);
+        let g = b.build().unwrap();
+        let m = MachineConfig::new(2, 1);
+        let bounds = mii_bounds(&g, &m);
+        assert_eq!(bounds.recurrence_mii, 0.0);
+        assert!((bounds.bound() - 1.0).abs() < 1e-9); // 2 latency / 2 procs
+    }
+
+    #[test]
+    fn ii_lint_fires_only_past_slack() {
+        let g = figure7();
+        let m = MachineConfig::new(4, 2);
+        let bounds = mii_bounds(&g, &m);
+        let mut r = Report::new();
+        lint_ii(&mut r, &bounds, 2.5, 1.0); // exactly at the bound: clean
+        assert!(r.is_empty());
+        lint_ii(&mut r, &bounds, 6.0, 2.0); // 6 > 2 * 2.5
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.diags[0].code, Code::Kn034);
+        let mut r2 = Report::new();
+        lint_ii(&mut r2, &bounds, 4.0, 2.0); // 4 <= 5: within slack
+        assert!(r2.is_empty());
+    }
+}

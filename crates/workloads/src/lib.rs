@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kn-workloads — the paper's loop corpus
 //!
 //! Every loop the paper evaluates, plus the §4 random-loop generator:

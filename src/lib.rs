@@ -1,1 +1,2 @@
+#![forbid(unsafe_code)]
 pub use kn_core::*;

@@ -1,0 +1,199 @@
+//! The `kn-verify` acceptance sweep (tier-1 mirror of the CI
+//! `verify-corpus` job):
+//!
+//! * every good `corpus/*.ddg` lints clean (no error findings) and both
+//!   schedulers' output passes the static certifier;
+//! * every `corpus/bad/*.ddg` fixture fails lint with exactly its
+//!   documented `KN0xx` code;
+//! * on random loops (paper §4 recipe) the certifier accepts 100% of the
+//!   schedules `schedule_loop` and `doacross_schedule` emit — the
+//!   soundness half of the mutation tests in `kn_verify::certify`;
+//! * the service rejects an invalid DDG at admission with the stable
+//!   code, and the wire layer carries it as a `"code"` field.
+
+use kn_verify::{certify_loop, certify_timed, lint_text, Code};
+use mimd_loop_par::doacross::{doacross_schedule, DoacrossOptions};
+use mimd_loop_par::sched::MachineConfig;
+use mimd_loop_par::service::{
+    LoopRequest, LoopSource, RejectReason, ScheduleRequest, Service, SubmitOptions, SubmitOutcome,
+};
+use mimd_loop_par::workloads::{random_loop, RandomLoopConfig};
+use proptest::prelude::*;
+
+fn corpus_files(dir: &str) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ddg"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .ddg files in {dir}");
+    files
+}
+
+#[test]
+fn good_corpus_lints_clean_and_certifies_under_both_schedulers() {
+    for path in corpus_files("corpus") {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lint = lint_text(&text).unwrap_or_else(|e| panic!("{path:?}: parse error {e}"));
+        assert!(
+            !lint.report.has_errors(),
+            "{path:?} should lint clean:\n{}",
+            lint.report.render_human()
+        );
+        let g = lint.graph.expect("clean lint implies a valid graph");
+        for &(procs, k) in &[(2usize, 2u32), (4, 1)] {
+            let m = MachineConfig::new(procs, k);
+            let r = mimd_loop_par::parallelize(&g, &m, 24, &Default::default())
+                .unwrap_or_else(|e| panic!("{path:?}: cyclic scheduling failed: {e}"));
+            let rep = certify_loop(&r.normalized, &m, &r.schedule);
+            assert!(
+                !rep.has_errors(),
+                "{path:?} cyclic schedule must certify ({procs}p k={k}):\n{}",
+                rep.render_human()
+            );
+            let s = doacross_schedule(&g, &m, 24, &DoacrossOptions::default())
+                .unwrap_or_else(|e| panic!("{path:?}: doacross failed: {e}"));
+            let rep = certify_timed(&g, &m, &s.timing, 24);
+            assert!(
+                !rep.has_errors(),
+                "{path:?} doacross schedule must certify ({procs}p k={k}):\n{}",
+                rep.render_human()
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_fixtures_fail_with_their_documented_codes() {
+    let expected = [
+        ("zero_latency.ddg", Code::Kn001),
+        ("duplicate_name.ddg", Code::Kn002),
+        ("dangling.ddg", Code::Kn003),
+        ("self_dep.ddg", Code::Kn004),
+        ("intra_cycle.ddg", Code::Kn005),
+        ("empty.ddg", Code::Kn006),
+    ];
+    let files = corpus_files("corpus/bad");
+    assert_eq!(
+        files.len(),
+        expected.len(),
+        "fixture set drifted: {files:?}"
+    );
+    for path in files {
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let code = expected
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no expected code for fixture {name}"))
+            .1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lint = lint_text(&text).unwrap();
+        let first = lint
+            .report
+            .first_error()
+            .unwrap_or_else(|| panic!("{name} must fail lint"));
+        assert_eq!(first.code, code, "{name}: {}", lint.report.render_human());
+    }
+}
+
+#[test]
+fn service_rejects_invalid_ddg_at_admission_with_stable_code() {
+    let svc = Service::new(1);
+    let req = ScheduleRequest::Loop(LoopRequest {
+        source: LoopSource::DdgText("node a\nedge a -> a dist=0\n".into()),
+        ..Default::default()
+    });
+    let out = svc.try_submit(req.clone(), SubmitOptions::default());
+    let SubmitOutcome::Rejected(RejectReason::InvalidDdg { code, message }) = out else {
+        panic!("expected an InvalidDdg rejection, got {out:?}");
+    };
+    assert_eq!(code, "KN004");
+    assert!(message.contains("self-dependence"), "{message}");
+    // The blocking path applies the same gate (before blocking).
+    let out = svc.submit_opts(req, SubmitOptions::default());
+    assert!(
+        matches!(
+            out,
+            SubmitOutcome::Rejected(RejectReason::InvalidDdg { .. })
+        ),
+        "{out:?}"
+    );
+    // The rejection costs nothing: the pool still serves good work.
+    let id = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+    assert!(svc.collect(&[id])[0].1.is_ok());
+}
+
+#[test]
+fn syntax_errors_still_reach_the_worker_as_bad_request() {
+    // The admission gate only intercepts *semantic* lint errors; a file
+    // that does not parse keeps its established BadRequest path (and
+    // message), pinned by the service goldens.
+    use mimd_loop_par::service::ServiceError;
+    let svc = Service::new(1);
+    let req = ScheduleRequest::Loop(LoopRequest {
+        source: LoopSource::DdgText("node a\nedgy nonsense\n".into()),
+        ..Default::default()
+    });
+    let id = match svc.try_submit(req, SubmitOptions::default()) {
+        SubmitOutcome::Accepted(id) => id,
+        other => panic!("syntax errors must pass admission, got {other:?}"),
+    };
+    let got = svc.collect(&[id]).pop().unwrap().1;
+    assert!(
+        matches!(&got, Err(ServiceError::BadRequest(m)) if m.contains("DDG parse error")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn wire_response_carries_the_code_field() {
+    use mimd_loop_par::service::wire::response_json_with;
+    use mimd_loop_par::service::ServiceError;
+    let line = response_json_with(
+        7,
+        &Err(ServiceError::InvalidDdg {
+            code: "KN004".into(),
+            message: "zero-distance self-dependence on node \"a\"".into(),
+        }),
+        0,
+    );
+    assert!(line.contains("\"code\": \"KN004\""), "{line}");
+    assert!(line.contains("\"status\": \"error\""), "{line}");
+}
+
+fn small_cfg(nodes: usize) -> RandomLoopConfig {
+    RandomLoopConfig {
+        nodes,
+        lcds: nodes / 2,
+        sds: nodes / 2,
+        min_latency: 1,
+        max_latency: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The certifier accepts every schedule the paper's pipeline emits on
+    /// random loops — zero false positives across the sweep.
+    #[test]
+    fn certifier_accepts_cyclic_pipeline(seed in 0u64..5000, nodes in 4usize..12, k in 0u32..4, procs in 1usize..6) {
+        let g = random_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let r = mimd_loop_par::parallelize(&g, &m, 12, &Default::default()).unwrap();
+        let rep = certify_loop(&r.normalized, &m, &r.schedule);
+        prop_assert!(!rep.has_errors(), "seed {}: {}", seed, rep.render_human());
+    }
+
+    /// Same for the DOACROSS baseline (which handles unnormalized
+    /// distances natively).
+    #[test]
+    fn certifier_accepts_doacross(seed in 0u64..5000, nodes in 4usize..12, k in 0u32..4, procs in 1usize..6) {
+        let g = random_loop(seed, &small_cfg(nodes));
+        let m = MachineConfig::new(procs, k);
+        let s = doacross_schedule(&g, &m, 12, &DoacrossOptions::default()).unwrap();
+        let rep = certify_timed(&g, &m, &s.timing, 12);
+        prop_assert!(!rep.has_errors(), "seed {}: {}", seed, rep.render_human());
+    }
+}
