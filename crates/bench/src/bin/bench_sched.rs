@@ -21,8 +21,9 @@ use kn_core::sched::{
     cyclic_schedule, schedule_loop, CyclicOptions, MachineConfig, PatternOutcome, Program,
 };
 use kn_core::service::faultinject::FaultPlan;
+use kn_core::service::loadgen::{self, LoadPlan};
 use kn_core::service::{
-    self, Deadline, LoopRequest, LoopSource, ScheduleRequest, Service, ServiceConfig,
+    self, Deadline, LoopRequest, LoopSource, Priority, ScheduleRequest, Service, ServiceConfig,
     SubmitOptions, SubmitOutcome,
 };
 use kn_core::sim::{simulate_event_with, EventEngine, LinkModel, SimOptions, TrafficModel};
@@ -295,7 +296,7 @@ fn lifecycle_run(name: &str, requests: &[ScheduleRequest], workers: usize) -> Li
     for req in requests {
         let opts = || SubmitOptions {
             deadline: Some(Deadline::after(std::time::Duration::from_secs(10))),
-            max_attempts: None,
+            ..SubmitOptions::default()
         };
         let id = match svc.try_submit(req.clone(), opts()) {
             SubmitOutcome::Accepted(id) => id,
@@ -325,6 +326,68 @@ fn lifecycle_run(name: &str, requests: &[ScheduleRequest], workers: usize) -> Li
         p50_ns: pick(0.50),
         p99_ns: pick(0.99),
         wall_ns,
+    }
+}
+
+/// One overload measurement (schema v5): the deterministic open-loop
+/// 2×-saturation run (`kn_core::service::loadgen`) against the priority
+/// lanes + brownout policy on a bounded queue. The recorded rates are
+/// scheduling-policy outcomes — machine-independent by construction — so
+/// `bench-compare` gates them as absolute invariants (High misses no
+/// deadlines, Low sheds first), not as baseline-relative ratios.
+struct OverloadEntry {
+    name: String,
+    workers: usize,
+    total: u64,
+    high_submitted: u64,
+    high_expired: u64,
+    high_shed: u64,
+    normal_submitted: u64,
+    normal_shed: u64,
+    low_submitted: u64,
+    low_shed: u64,
+    replaced_workers: u64,
+    over_high_water: bool,
+}
+
+impl OverloadEntry {
+    fn high_miss_rate(&self) -> f64 {
+        self.high_expired as f64 / self.high_submitted.max(1) as f64
+    }
+    fn normal_shed_rate(&self) -> f64 {
+        self.normal_shed as f64 / self.normal_submitted.max(1) as f64
+    }
+    fn low_shed_rate(&self) -> f64 {
+        self.low_shed as f64 / self.low_submitted.max(1) as f64
+    }
+}
+
+fn overload_run(workers: usize, quick: bool) -> OverloadEntry {
+    let svc = Service::with_config(ServiceConfig {
+        workers,
+        queue_capacity: 8,
+        high_water: 4,
+        ..ServiceConfig::default()
+    });
+    let plan = LoadPlan {
+        total: if quick { 60 } else { 120 },
+        ..LoadPlan::default()
+    };
+    let report = loadgen::run(&svc, &plan);
+    let lane = |p: Priority| report.lane(p);
+    OverloadEntry {
+        name: "overload_2x".into(),
+        workers,
+        total: plan.total,
+        high_submitted: lane(Priority::High).submitted,
+        high_expired: lane(Priority::High).expired,
+        high_shed: lane(Priority::High).total_shed(),
+        normal_submitted: lane(Priority::Normal).submitted,
+        normal_shed: lane(Priority::Normal).total_shed(),
+        low_submitted: lane(Priority::Low).submitted,
+        low_shed: lane(Priority::Low).total_shed(),
+        replaced_workers: report.replaced_workers,
+        over_high_water: report.over_high_water_seen,
     }
 }
 
@@ -555,8 +618,27 @@ fn main() {
         lifecycle_entries.push(e);
     }
 
+    // Overload bench (schema v5): the 2x-saturation open-loop run against
+    // the priority lanes + brownout policy, at 1 and 4 workers.
+    let mut overload_entries = Vec::new();
+    println!("\noverload, 2x saturation, 10/60/30 mix, queue cap 8, high water 4:");
+    for workers in [1usize, 4] {
+        let e = overload_run(workers, quick);
+        println!(
+            "{:<12} ({} workers)  high miss {:.4}   high shed {}   normal shed rate {:.3}   low shed rate {:.3}   over hw {}",
+            e.name,
+            e.workers,
+            e.high_miss_rate(),
+            e.high_shed,
+            e.normal_shed_rate(),
+            e.low_shed_rate(),
+            e.over_high_water,
+        );
+        overload_entries.push(e);
+    }
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"kn-bench-sched-v4\",\n");
+    json.push_str("{\n  \"schema\": \"kn-bench-sched-v5\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!(
@@ -625,6 +707,29 @@ fn main() {
             e.p99_ns,
             e.wall_ns,
             if i + 1 < lifecycle_entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"overload_entries\": [\n");
+    for (i, e) in overload_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"total\": {}, \"high_submitted\": {}, \"high_expired\": {}, \"high_shed\": {}, \"high_miss_rate\": {:.4}, \"normal_submitted\": {}, \"normal_shed\": {}, \"normal_shed_rate\": {:.4}, \"low_submitted\": {}, \"low_shed\": {}, \"low_shed_rate\": {:.4}, \"replaced_workers\": {}, \"over_high_water\": {}}}{}\n",
+            json_escape(&e.name),
+            e.workers,
+            e.total,
+            e.high_submitted,
+            e.high_expired,
+            e.high_shed,
+            e.high_miss_rate(),
+            e.normal_submitted,
+            e.normal_shed,
+            e.normal_shed_rate(),
+            e.low_submitted,
+            e.low_shed,
+            e.low_shed_rate(),
+            e.replaced_workers,
+            e.over_high_water,
+            if i + 1 < overload_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

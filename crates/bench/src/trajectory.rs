@@ -4,9 +4,10 @@
 //! The parser is deliberately schema-specific (the workspace vendors no
 //! JSON crate): it understands exactly the object layout `kn-bench`
 //! emits — a flat object of scalars plus the `entries` /
-//! `event_entries` / `service_entries` / `lifecycle_entries` arrays of
-//! flat objects — and accepts the v1 schema (no event entries), v2 (no
-//! service entries), v3 (no lifecycle entries), and v4.
+//! `event_entries` / `service_entries` / `lifecycle_entries` /
+//! `overload_entries` arrays of flat objects — and accepts the v1 schema
+//! (no event entries), v2 (no service entries), v3 (no lifecycle
+//! entries), v4 (no overload entries), and v5.
 //!
 //! Comparison modes:
 //!
@@ -62,6 +63,23 @@ pub struct LifecycleEntry {
     pub p99_latency_ns: f64,
 }
 
+/// One overload entry (`overload_entries`, schema v5): the deterministic
+/// 2×-saturation open-loop run against the priority lanes + brownout
+/// policy. The rates are scheduling-policy outcomes (machine-independent
+/// by construction), so the gate checks them as **absolute invariants**
+/// on the candidate — High misses no deadlines, Low sheds real traffic
+/// and at a rate no lower than Normal — rather than baseline ratios.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverloadEntry {
+    pub name: String,
+    pub workers: f64,
+    pub high_miss_rate: f64,
+    pub high_shed: f64,
+    pub low_shed: f64,
+    pub low_shed_rate: f64,
+    pub normal_shed_rate: f64,
+}
+
 /// A parsed `BENCH_sched.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchReport {
@@ -70,6 +88,7 @@ pub struct BenchReport {
     pub event_entries: Vec<EventEntry>,
     pub service_entries: Vec<ServiceEntry>,
     pub lifecycle_entries: Vec<LifecycleEntry>,
+    pub overload_entries: Vec<OverloadEntry>,
 }
 
 /// Split the body of a JSON array of flat objects into object bodies.
@@ -180,12 +199,32 @@ pub fn parse(json: &str) -> Result<BenchReport, String> {
             });
         }
     }
+    let mut overload_entries = Vec::new();
+    if let Some(body) = array_body(json, "overload_entries") {
+        for obj in object_bodies(body) {
+            overload_entries.push(OverloadEntry {
+                name: str_field(obj, "name").ok_or("overload entry missing \"name\"")?,
+                workers: f64_field(obj, "workers").ok_or("overload entry missing \"workers\"")?,
+                high_miss_rate: f64_field(obj, "high_miss_rate")
+                    .ok_or("overload entry missing \"high_miss_rate\"")?,
+                high_shed: f64_field(obj, "high_shed")
+                    .ok_or("overload entry missing \"high_shed\"")?,
+                low_shed: f64_field(obj, "low_shed")
+                    .ok_or("overload entry missing \"low_shed\"")?,
+                low_shed_rate: f64_field(obj, "low_shed_rate")
+                    .ok_or("overload entry missing \"low_shed_rate\"")?,
+                normal_shed_rate: f64_field(obj, "normal_shed_rate")
+                    .ok_or("overload entry missing \"normal_shed_rate\"")?,
+            });
+        }
+    }
     Ok(BenchReport {
         schema,
         entries,
         event_entries,
         service_entries,
         lifecycle_entries,
+        overload_entries,
     })
 }
 
@@ -352,6 +391,47 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
         violations
             .push("no lifecycle entry names matched the baseline — gate compared nothing".into());
     }
+    // Overload entries are policy invariants, machine-independent by
+    // construction — gated as absolutes on the candidate (in both modes),
+    // not as baseline-relative ratios.
+    let mut matched_overload = 0usize;
+    for c in &candidate.overload_entries {
+        if baseline
+            .overload_entries
+            .iter()
+            .any(|b| b.name == c.name && b.workers == c.workers)
+        {
+            matched_overload += 1;
+        }
+        let what = format!("{} w{}", c.name, c.workers);
+        if c.high_miss_rate > 0.001 {
+            violations.push(format!(
+                "{what}: High deadline-miss rate {:.4} exceeds 0.001 under overload",
+                c.high_miss_rate
+            ));
+        }
+        if c.high_shed > 0.0 {
+            violations.push(format!(
+                "{what}: {} High request(s) were shed — High is never shed",
+                c.high_shed
+            ));
+        }
+        if c.low_shed <= 0.0 {
+            violations.push(format!(
+                "{what}: 2x saturation shed no Low traffic — brownout policy inert"
+            ));
+        }
+        if c.low_shed_rate + 1e-9 < c.normal_shed_rate {
+            violations.push(format!(
+                "{what}: Low shed rate {:.4} below Normal's {:.4} — Low must shed first",
+                c.low_shed_rate, c.normal_shed_rate
+            ));
+        }
+    }
+    if !baseline.overload_entries.is_empty() && matched_overload == 0 {
+        violations
+            .push("no overload entry names matched the baseline — gate compared nothing".into());
+    }
     violations
 }
 
@@ -411,6 +491,29 @@ mod tests {
   "lifecycle_entries": [
     {"name": "corpus_mix", "workers": 1, "requests": 16, "rejected": 2, "rejection_rate": 0.125, "expired": 0, "deadline_miss_rate": 0.0, "retries": 2, "p50_latency_ns": 900000.0, "p99_latency_ns": 4100000.0, "wall_ns": 16000000},
     {"name": "corpus_mix", "workers": 4, "requests": 16, "rejected": 0, "rejection_rate": 0.0, "expired": 0, "deadline_miss_rate": 0.0, "retries": 2, "p50_latency_ns": 500000.0, "p99_latency_ns": 2100000.0, "wall_ns": 6000000}
+  ]
+}
+"#;
+
+    const V5: &str = r#"{
+  "schema": "kn-bench-sched-v5",
+  "quick": false,
+  "samples": 11,
+  "entries": [
+    {"name": "figure7", "cyclic_nodes": 5, "arena_ns_per_op": 1889.6, "reference_ns_per_op": 7056.6, "speedup": 3.7344}
+  ],
+  "event_entries": [
+    {"name": "fanout8", "iters": 100000, "events": 1500000, "heap_ns_per_run": 300000000.0, "calendar_ns_per_run": 110000000.0, "speedup": 2.7272}
+  ],
+  "service_entries": [
+    {"name": "corpus_mix", "requests": 16, "workers": 4, "seq_ns_per_batch": 40000000.0, "service_ns_per_batch": 12900000.0, "speedup": 3.1007}
+  ],
+  "lifecycle_entries": [
+    {"name": "corpus_mix", "workers": 4, "requests": 16, "rejected": 0, "rejection_rate": 0.0, "expired": 0, "deadline_miss_rate": 0.0, "retries": 2, "p50_latency_ns": 500000.0, "p99_latency_ns": 2100000.0, "wall_ns": 6000000}
+  ],
+  "overload_entries": [
+    {"name": "overload_2x", "workers": 1, "total": 120, "high_submitted": 13, "high_expired": 0, "high_shed": 0, "high_miss_rate": 0.0000, "normal_submitted": 71, "normal_shed": 20, "normal_shed_rate": 0.2817, "low_submitted": 36, "low_shed": 30, "low_shed_rate": 0.8333, "replaced_workers": 0, "over_high_water": true},
+    {"name": "overload_2x", "workers": 4, "total": 120, "high_submitted": 13, "high_expired": 0, "high_shed": 0, "high_miss_rate": 0.0000, "normal_submitted": 71, "normal_shed": 15, "normal_shed_rate": 0.2113, "low_submitted": 36, "low_shed": 28, "low_shed_rate": 0.7778, "replaced_workers": 0, "over_high_water": true}
   ]
 }
 "#;
@@ -572,6 +675,65 @@ mod tests {
         let mut arena = base.clone();
         arena.entries[0].speedup *= 0.85;
         assert!(compare(&base, &arena, gated).is_empty());
+    }
+
+    #[test]
+    fn parses_v5_with_overload_entries() {
+        let r = parse(V5).unwrap();
+        assert_eq!(r.schema, "kn-bench-sched-v5");
+        assert_eq!(r.overload_entries.len(), 2);
+        assert_eq!(r.overload_entries[0].name, "overload_2x");
+        assert_eq!(r.overload_entries[0].workers, 1.0);
+        assert_eq!(r.overload_entries[0].high_miss_rate, 0.0);
+        assert_eq!(r.overload_entries[1].low_shed, 28.0);
+        // The earlier sections still parse alongside.
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.service_entries.len(), 1);
+        assert_eq!(r.lifecycle_entries.len(), 1);
+        assert!(compare(&r, &r, policy(25.0, false)).is_empty());
+        assert!(compare(&r, &r, policy(25.0, true)).is_empty());
+    }
+
+    #[test]
+    fn overload_invariants_are_gated_absolutely_in_both_modes() {
+        let base = parse(V5).unwrap();
+        // High missing deadlines fails, whatever the baseline said.
+        let mut miss = base.clone();
+        miss.overload_entries[0].high_miss_rate = 0.05;
+        // Low shedding less than Normal fails.
+        let mut inverted = base.clone();
+        inverted.overload_entries[1].low_shed_rate = 0.1;
+        // A run that shed no Low at 2x saturation is an inert policy.
+        let mut inert = base.clone();
+        inert.overload_entries[0].low_shed = 0.0;
+        // Any shed High request fails.
+        let mut shed_high = base.clone();
+        shed_high.overload_entries[0].high_shed = 1.0;
+        for ratios_only in [false, true] {
+            let v = compare(&base, &miss, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("deadline-miss")), "{v:?}");
+            let v = compare(&base, &inverted, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("Low must shed first")), "{v:?}");
+            let v = compare(&base, &inert, policy(25.0, ratios_only));
+            assert!(
+                v.iter().any(|v| v.contains("brownout policy inert")),
+                "{v:?}"
+            );
+            let v = compare(&base, &shed_high, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("High is never shed")), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn missing_overload_section_fails_a_v5_gate() {
+        let base = parse(V5).unwrap();
+        let v4 = parse(V4).unwrap();
+        let v = compare(&base, &v4, policy(25.0, true));
+        assert!(
+            v.iter()
+                .any(|v| v.contains("no overload entry names matched")),
+            "{v:?}"
+        );
     }
 
     #[test]

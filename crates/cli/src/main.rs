@@ -18,7 +18,8 @@
 //!                                         schedule + static certification
 //! kn-cli dot <workload>                   GraphViz export (with classes)
 //! kn-cli serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE]
-//!              [--listen ADDR] [--queue-cap N] [--retries N] [--deadline-ms MS]
+//!              [--listen ADDR] [--queue-capacity N] [--max-attempts N]
+//!              [--high-water N] [--deadline-ms MS]
 //!              [--fault-seed S] [--fault-rate PCT]
 //! ```
 //!
@@ -35,9 +36,12 @@
 //! failed to parse. `--listen ADDR` serves the same protocol over TCP
 //! ([`kn_core::service::net`]); combined with `--requests` it replays
 //! the file through a real socket and shuts the server down gracefully
-//! (the CI `fault-smoke` path). `--queue-cap`/`--retries`/
-//! `--deadline-ms` set the lifecycle knobs and `--fault-seed`/
-//! `--fault-rate` enable the deterministic fault-injection harness.
+//! (the CI `fault-smoke` path). `--queue-capacity`/`--max-attempts`/
+//! `--high-water`/`--deadline-ms` set the lifecycle knobs (`--queue-cap`
+//! and `--retries` remain as aliases) and `--fault-seed`/`--fault-rate`
+//! enable the deterministic fault-injection harness. Request lines may
+//! carry `priority=high|normal|low`; a bare `health` line returns a pool
+//! health snapshot. `kn serve --help` lists every flag.
 //! Example:
 //!
 //! ```text
@@ -74,6 +78,29 @@ fn workload(name: &str) -> Option<wl::Workload> {
     wl::by_name(name)
 }
 
+/// `kn serve --help` text; also appended to the unexpected-argument
+/// diagnostic so a typo shows the full flag inventory.
+const SERVE_USAGE: &str = "\
+usage: kn serve [flags]
+  --workers N         worker threads (default: available parallelism)
+  --requests FILE     request lines to serve (default: stdin)
+  --out FILE          write response lines here instead of stdout
+  --stats FILE        write the run-varying throughput JSON here
+  --listen ADDR       serve the wire protocol over TCP on ADDR
+  --queue-capacity N  bound the admission queue (alias: --queue-cap)
+  --max-attempts N    per-request attempt budget (alias: --retries)
+  --high-water N      queue depth that starts brownout shedding of
+                      priority=low arrivals (default: off)
+  --deadline-ms MS    default per-request deadline
+  --fault-seed S      seed for the deterministic fault-injection plan
+  --fault-rate PCT    percent of requests the plan faults (enables it)
+  --help              print this help and exit 0
+
+Request lines are key=value pairs (corpus=NAME | ddg=FILE, k=, procs=,
+iters=, link=, engine=, scheduler=, mm=, seed=, deadline_ms=,
+priority=high|normal|low); a bare `health` line answers with a pool
+health snapshot (workers, heartbeats, replaced_workers, queue depths).";
+
 /// `kn serve`: run the batch scheduling service over a request file (or
 /// stdin) and emit one deterministic JSON response line per request, in
 /// request order; with `--listen ADDR` the same semantics are served
@@ -90,6 +117,11 @@ fn run_serve(
     use std::time::Duration;
 
     const FAIL: std::process::ExitCode = std::process::ExitCode::FAILURE;
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        writeln!(out, "{}", SERVE_USAGE)?;
+        return Ok(std::process::ExitCode::SUCCESS);
+    }
 
     let workers = match take_flag_value(args, "--workers") {
         Ok(None) => std::thread::available_parallelism()
@@ -109,7 +141,7 @@ fn run_serve(
     };
     // Lifecycle flags: numeric ones share a parser; a bad value is a
     // setup error, not a silent default.
-    let mut num_flag = |name: &str| -> Result<Option<u64>, String> {
+    fn num_flag(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
         match take_flag_value(args, name) {
             Ok(None) => Ok(None),
             Ok(Some(v)) => v
@@ -118,17 +150,30 @@ fn run_serve(
                 .map_err(|_| format!("{name} needs a non-negative integer, got {v:?}")),
             Err(()) => Err(format!("{name} needs a value")),
         }
-    };
+    }
+    // `--queue-capacity`/`--max-attempts` are the documented names;
+    // `--queue-cap`/`--retries` stay as accepted aliases (existing CI
+    // scripts use them). When both spellings appear the canonical one
+    // wins.
+    fn aliased(
+        args: &mut Vec<String>,
+        canonical: &str,
+        alias: &str,
+    ) -> Result<Option<u64>, String> {
+        let a = num_flag(args, alias)?;
+        Ok(num_flag(args, canonical)?.or(a))
+    }
     let lifecycle = (|| -> Result<_, String> {
         Ok((
-            num_flag("--queue-cap")?,
-            num_flag("--retries")?,
-            num_flag("--deadline-ms")?,
-            num_flag("--fault-seed")?,
-            num_flag("--fault-rate")?,
+            aliased(args, "--queue-capacity", "--queue-cap")?,
+            aliased(args, "--max-attempts", "--retries")?,
+            num_flag(args, "--high-water")?,
+            num_flag(args, "--deadline-ms")?,
+            num_flag(args, "--fault-seed")?,
+            num_flag(args, "--fault-rate")?,
         ))
     })();
-    let (queue_cap, retries, deadline_ms, fault_seed, fault_rate) = match lifecycle {
+    let (queue_cap, retries, high_water, deadline_ms, fault_seed, fault_rate) = match lifecycle {
         Ok(v) => v,
         Err(e) => {
             writeln!(out, "{e}")?;
@@ -152,12 +197,7 @@ fn run_serve(
         // A typoed flag (`--request`, `--workers=4`) must not silently
         // fall back to defaults — with no --requests that would block on
         // stdin forever in a non-interactive CI step.
-        writeln!(
-            out,
-            "serve: unexpected argument(s) {args:?} (flags are --workers N, --requests FILE, \
-             --out FILE, --stats FILE, --listen ADDR, --queue-cap N, --retries N, \
-             --deadline-ms MS, --fault-seed S, --fault-rate PCT)"
-        )?;
+        writeln!(out, "serve: unexpected argument(s) {args:?}\n{SERVE_USAGE}")?;
         return Ok(FAIL);
     }
 
@@ -170,6 +210,9 @@ fn run_serve(
     }
     if let Some(r) = retries {
         config.max_attempts = (r as u32).max(1);
+    }
+    if let Some(hw) = high_water {
+        config.high_water = hw as usize;
     }
     if let Some(rate) = fault_rate {
         config.fault_plan = Some(FaultPlan::seeded(
@@ -213,12 +256,17 @@ fn run_serve(
     enum Slot {
         Pending(kn_core::service::RequestId),
         Immediate(ServiceError),
+        Health,
     }
     let svc = Service::with_config(config);
     let started = std::time::Instant::now();
     let mut slots: Vec<Slot> = Vec::new();
     let mut parse_failures = 0usize;
     for line in input.lines() {
+        if wire::is_health_line(line) {
+            slots.push(Slot::Health);
+            continue;
+        }
         match wire::parse_request_line(line) {
             Ok(None) => {}
             Ok(Some(parsed)) => {
@@ -229,7 +277,8 @@ fn run_serve(
                     .map(Deadline::after);
                 let opts = SubmitOptions {
                     deadline,
-                    max_attempts: None,
+                    priority: parsed.priority,
+                    ..SubmitOptions::default()
                 };
                 match svc.submit_opts(parsed.req, opts) {
                     SubmitOutcome::Accepted(id) => slots.push(Slot::Pending(id)),
@@ -237,6 +286,9 @@ fn run_serve(
                         code,
                         message,
                     }) => slots.push(Slot::Immediate(ServiceError::InvalidDdg { code, message })),
+                    SubmitOutcome::Rejected(kn_core::service::RejectReason::Overloaded) => {
+                        slots.push(Slot::Immediate(ServiceError::Overloaded))
+                    }
                     _ => slots.push(Slot::Immediate(ServiceError::ShuttingDown)),
                 }
             }
@@ -250,7 +302,7 @@ fn run_serve(
         .iter()
         .filter_map(|s| match s {
             Slot::Pending(id) => Some(*id),
-            Slot::Immediate(_) => None,
+            Slot::Immediate(_) | Slot::Health => None,
         })
         .collect();
     let mut done: std::collections::HashMap<_, _> = svc
@@ -270,6 +322,13 @@ fn run_serve(
                 (c.result, c.attempts)
             }
             Slot::Immediate(e) => (Err(e.clone()), 0),
+            Slot::Health => {
+                // A health probe answers in-line with a pool snapshot
+                // (never deterministic: heartbeats vary run to run).
+                lines.push_str(&wire::health_json(id as u64, &svc.health()));
+                lines.push('\n');
+                continue;
+            }
         };
         if resp.is_err() {
             errors += 1;
@@ -926,16 +985,19 @@ fn main() -> std::process::ExitCode {
                  [--procs N] [--k N] [--iters N] [--json] | \
                  dot <workload> | \
                  serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE] \
-                 [--listen ADDR] [--queue-cap N] [--retries N] [--deadline-ms MS] \
+                 [--listen ADDR] [--queue-capacity N] [--max-attempts N] \
+                 [--high-water N] [--deadline-ms MS] \
                  [--fault-seed S] [--fault-rate PCT]>\n\
                  \n\
                  serve: batch scheduling service — requests are key=value lines \
                  (corpus=NAME | ddg=FILE, k=, procs=, iters=, link=, engine=, \
-                 scheduler=cyclic|doacross|doacross-best, mm=, seed=, deadline_ms=) \
+                 scheduler=cyclic|doacross|doacross-best, mm=, seed=, deadline_ms=, \
+                 priority=high|normal|low) \
                  from --requests or stdin; responses are JSON lines in request order, \
                  deterministic for any --workers; --stats writes the throughput JSON; \
                  --listen serves the same protocol over TCP (with --requests: replay \
-                 the file through the socket, then shut down gracefully)."
+                 the file through the socket, then shut down gracefully). \
+                 See `kn serve --help`."
             )
             .unwrap();
             return std::process::ExitCode::FAILURE;

@@ -1,0 +1,124 @@
+//! End-to-end tests for the `kn serve` command line: flag parsing
+//! (canonical names + aliases), `--help`, priority/health wire keys, and
+//! the exit-code contract — all through the real binary
+//! (`CARGO_BIN_EXE_kn`), not a library shim.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn kn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kn"))
+}
+
+/// Run `kn serve <args>` with `input` on stdin; return (exit ok, stdout).
+fn serve(args: &[&str], input: &str) -> (bool, String) {
+    let mut child = kn()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn kn");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("kn exits");
+    (out.status.success(), String::from_utf8(out.stdout).unwrap())
+}
+
+#[test]
+fn help_lists_every_flag_and_exits_zero() {
+    let (ok, text) = serve(&["--help"], "");
+    assert!(ok, "--help exits 0");
+    for flag in [
+        "--workers",
+        "--queue-capacity",
+        "--max-attempts",
+        "--high-water",
+        "--deadline-ms",
+        "--fault-seed",
+        "--fault-rate",
+        "--listen",
+        "priority=high|normal|low",
+        "health",
+    ] {
+        assert!(text.contains(flag), "help must mention {flag}:\n{text}");
+    }
+}
+
+#[test]
+fn canonical_flags_and_aliases_both_admit_a_batch() {
+    let reqs = "corpus=figure7 k=2 procs=2\ncorpus=figure7 k=3 procs=4\n";
+    let (ok_new, out_new) = serve(
+        &[
+            "--workers",
+            "2",
+            "--queue-capacity",
+            "8",
+            "--max-attempts",
+            "2",
+            "--high-water",
+            "100",
+        ],
+        reqs,
+    );
+    let (ok_old, out_old) = serve(
+        &["--workers", "2", "--queue-cap", "8", "--retries", "2"],
+        reqs,
+    );
+    assert!(ok_new && ok_old);
+    assert_eq!(out_new, out_old, "alias and canonical runs are identical");
+    assert_eq!(out_new.lines().count(), 2);
+    assert!(out_new.lines().all(|l| l.contains("\"status\": \"ok\"")));
+}
+
+#[test]
+fn priority_key_is_accepted_and_answers_deterministically() {
+    let reqs = "corpus=figure7 k=2 procs=2 priority=low\n\
+                corpus=figure7 k=2 procs=2 priority=high\n\
+                corpus=figure7 k=2 procs=2 priority=normal\n";
+    let (ok, out) = serve(&["--workers", "1"], reqs);
+    assert!(ok, "{out}");
+    // Responses come back in request order regardless of execution order.
+    let ids: Vec<&str> = out.lines().map(|l| &l[..l.find(',').unwrap()]).collect();
+    assert_eq!(ids, ["{\"id\": 0", "{\"id\": 1", "{\"id\": 2"]);
+}
+
+#[test]
+fn bad_priority_fails_the_run_with_a_parse_diagnostic() {
+    let (ok, out) = serve(&["--workers", "1"], "corpus=figure7 priority=urgent\n");
+    assert!(!ok, "unknown priority is a parse failure");
+    assert!(out.contains("unknown priority"), "{out}");
+}
+
+#[test]
+fn health_line_answers_a_pool_snapshot_inline() {
+    let reqs = "corpus=figure7 k=2 procs=2\nhealth\n";
+    let (ok, out) = serve(&["--workers", "2"], reqs);
+    assert!(ok, "{out}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].contains("\"kind\": \"loop\""));
+    assert!(lines[1].contains("\"kind\": \"health\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"replaced_workers\": 0"));
+    assert!(lines[1].contains("\"accepting\": true"));
+}
+
+#[test]
+fn unknown_flag_is_refused_with_the_flag_inventory() {
+    let (ok, out) = serve(&["--workerz", "2"], "");
+    assert!(!ok, "typos must not silently default");
+    assert!(out.contains("unexpected argument"), "{out}");
+    assert!(out.contains("--queue-capacity"), "usage shown: {out}");
+}
+
+#[test]
+fn missing_value_is_refused() {
+    let (ok, out) = serve(&["--high-water"], "");
+    assert!(!ok);
+    assert!(out.contains("--high-water needs a value"), "{out}");
+}

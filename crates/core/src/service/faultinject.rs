@@ -30,14 +30,41 @@ use std::time::Duration;
 pub enum Fault {
     /// Panic inside the pipeline (exercises the worker's panic guard).
     Panic,
-    /// Wedge the attempt: burn [`FaultPlan::stall_duration`], then report
-    /// a transient fault (a stuck execution cut off by the lifecycle
-    /// layer).
+    /// Wedge the attempt: how long depends on [`FaultPlan::stall_mode`] —
+    /// either burn [`FaultPlan::stall_duration`] and report a transient
+    /// fault, or block until the supervision layer (watchdog) or a
+    /// cancel/abandon flag cuts the attempt off.
     Stall,
     /// Execute normally, then corrupt the response so only the sanity
     /// validator ([`validate_response`](super::validate_response)) stands
     /// between the garbage and the caller.
     Garbage,
+    /// Net-layer fault: the connection's writer trickles this response
+    /// out slowly (a slow consumer draining the pipeline). Ignored by the
+    /// worker pool — only [`NetConfig::fault_plan`] draws it.
+    ///
+    /// [`NetConfig::fault_plan`]: super::net::NetConfig::fault_plan
+    SlowReader,
+    /// Net-layer fault: the server drops the connection right after
+    /// writing this response (exercises the disconnect-tolerant writer
+    /// and the no-leaked-ledger-entries guarantee). Ignored by the worker
+    /// pool.
+    Disconnect,
+}
+
+/// What a [`Fault::Stall`] does to the attempt it fires on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StallMode {
+    /// Sleep [`FaultPlan::stall_duration`], then report a transient
+    /// fault: a stall the *retry* layer recovers from on its own.
+    #[default]
+    Sleep,
+    /// Block indefinitely — a truly wedged worker. The attempt ends only
+    /// when the request is cancelled or the watchdog abandons it, so this
+    /// is what the supervision layer's stuck-worker detection is pinned
+    /// with. Never use without a watchdog (or a cancel path): the worker
+    /// slot would be lost for good.
+    Wedge,
 }
 
 /// How a plan chooses which ids to fault.
@@ -60,9 +87,13 @@ pub struct FaultPlan {
     /// Fire on every attempt (permanent fault) instead of only the first
     /// (transient).
     pub sticky: bool,
-    /// How long a [`Fault::Stall`] wedges its worker. Keep small: CI pays
-    /// it per stalled attempt.
+    /// How long a [`Fault::Stall`] wedges its worker
+    /// ([`StallMode::Sleep`] only). Keep small: CI pays it per stalled
+    /// attempt.
     pub stall_duration: Duration,
+    /// Whether a [`Fault::Stall`] self-resolves after `stall_duration`
+    /// or wedges the worker until the watchdog intervenes.
+    pub stall_mode: StallMode,
 }
 
 impl FaultPlan {
@@ -78,6 +109,7 @@ impl FaultPlan {
             kinds: vec![Fault::Panic, Fault::Stall, Fault::Garbage],
             sticky: false,
             stall_duration: Duration::from_millis(2),
+            stall_mode: StallMode::default(),
         }
     }
 
@@ -103,6 +135,14 @@ impl FaultPlan {
         self
     }
 
+    /// Make every [`Fault::Stall`] wedge its worker permanently
+    /// ([`StallMode::Wedge`]) instead of self-resolving — the fault the
+    /// watchdog's stuck-worker detection is tested with.
+    pub fn wedged(mut self) -> Self {
+        self.stall_mode = StallMode::Wedge;
+        self
+    }
+
     /// A plan faulting exactly the given ids (transient unless
     /// [`sticky`](FaultPlan::sticky) is applied).
     pub fn explicit(faults: impl IntoIterator<Item = (u64, Fault)>) -> Self {
@@ -111,6 +151,7 @@ impl FaultPlan {
             kinds: vec![Fault::Panic, Fault::Stall, Fault::Garbage],
             sticky: false,
             stall_duration: Duration::from_millis(2),
+            stall_mode: StallMode::default(),
         }
     }
 

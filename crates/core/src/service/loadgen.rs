@@ -1,0 +1,283 @@
+//! Deterministic open-loop overload generator for the service.
+//!
+//! The overload acceptance gate ("at 2× saturation, High misses zero
+//! deadlines and Low sheds first") must hold on a laptop, a loaded CI
+//! runner, and under `--release` alike — so this harness is **open-loop
+//! and schedule-driven**, never wall-clock driven:
+//!
+//! * The arrival sequence (count, priorities) is a pure function of the
+//!   plan's seed — [`schedule`] — so every run replays the same traffic.
+//! * "2× saturation" is expressed structurally, not temporally: each
+//!   *slot* submits [`LoadPlan::arrivals_per_slot`] requests and then
+//!   waits for **one** additional completion
+//!   ([`Service::wait_for_completed`]). With `arrivals_per_slot = 2`
+//!   the backlog therefore grows by ~1 request per slot *by
+//!   construction*, regardless of how fast the machine drains work —
+//!   the queue provably crosses any finite high-water mark, and the
+//!   brownout/eviction policy is exercised identically everywhere.
+//! * Assertions are scheduling-policy invariants (who got shed, who
+//!   kept deadlines), not latency numbers.
+//!
+//! The bench harness (`overload_entries` in `BENCH_sched.json`) and the
+//! `tests/overload.rs` CI gate both drive this module.
+//!
+//! [`Service::wait_for_completed`]: super::Service::wait_for_completed
+
+use super::{
+    Deadline, Priority, RejectReason, RequestId, Service, ServiceError, SubmitOptions,
+    SubmitOutcome,
+};
+use crate::service::{LoopRequest, LoopSource, ScheduleRequest};
+use crate::sim::TrafficModel;
+use std::time::Duration;
+
+/// Parameters of one open-loop overload run. `Default` is the CI gate's
+/// shape: 10% High / 60% Normal / 30% Low at 2× saturation.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPlan {
+    /// Seeds the priority mix (splitmix64 over the arrival index).
+    pub seed: u64,
+    /// Total arrivals to generate.
+    pub total: u64,
+    /// Percent of arrivals that are [`Priority::High`].
+    pub high_pct: u32,
+    /// Percent of arrivals that are [`Priority::Normal`]; the remainder
+    /// is [`Priority::Low`].
+    pub normal_pct: u32,
+    /// Arrivals submitted per pacing slot; each slot waits for exactly
+    /// one additional completion, so `2` = the backlog grows ~1 per slot
+    /// (2× saturation), `1` ≈ steady state.
+    pub arrivals_per_slot: u32,
+    /// Deadline attached to High arrivals (generous: priority ordering —
+    /// not luck — is what must keep them inside it).
+    pub high_deadline: Duration,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0x10AD,
+            total: 120,
+            high_pct: 10,
+            normal_pct: 60,
+            arrivals_per_slot: 2,
+            high_deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One generated arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Position in the arrival sequence (also the traffic seed of the
+    /// generated request, so responses are distinct).
+    pub index: u64,
+    pub priority: Priority,
+}
+
+/// splitmix64, matching the service's fault-injection mixing.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ (i.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic arrival sequence of a plan: same seed, same traffic,
+/// on every machine.
+pub fn schedule(plan: &LoadPlan) -> Vec<Arrival> {
+    (0..plan.total)
+        .map(|index| {
+            let roll = (mix(plan.seed, index) % 100) as u32;
+            let priority = if roll < plan.high_pct {
+                Priority::High
+            } else if roll < plan.high_pct + plan.normal_pct {
+                Priority::Normal
+            } else {
+                Priority::Low
+            };
+            Arrival { index, priority }
+        })
+        .collect()
+}
+
+/// A cheap, distinct request for arrival `index`: the paper loop under a
+/// per-index traffic seed.
+pub fn request_for(index: u64) -> ScheduleRequest {
+    ScheduleRequest::Loop(LoopRequest {
+        source: LoopSource::Corpus("figure7".into()),
+        iters: 12,
+        traffic: TrafficModel { mm: 3, seed: index },
+        ..LoopRequest::default()
+    })
+}
+
+/// Per-lane outcome counters of one run. Admission-time outcomes
+/// (`shed`, `would_block`) plus the final classification of every
+/// accepted id — the sum of `ok + evicted + expired + errors` equals
+/// `accepted` once a run is complete.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneReport {
+    /// Arrivals the schedule generated for this lane.
+    pub submitted: u64,
+    /// Arrivals admitted (got an id).
+    pub accepted: u64,
+    /// Arrivals brownout-refused at admission ([`RejectReason::Overloaded`]).
+    pub shed: u64,
+    /// Arrivals refused on a hard-full queue (nothing evictable).
+    pub would_block: u64,
+    /// Accepted, then evicted from the queue by a higher-priority
+    /// arrival ([`ServiceError::Overloaded`]).
+    pub evicted: u64,
+    /// Accepted and answered successfully.
+    pub ok: u64,
+    /// Accepted but missed the deadline ([`ServiceError::Expired`]).
+    pub expired: u64,
+    /// Accepted and failed any other way.
+    pub errors: u64,
+}
+
+impl LaneReport {
+    /// Everything this lane lost to the overload policy (admission
+    /// refusals plus queue evictions).
+    pub fn total_shed(&self) -> u64 {
+        self.shed + self.would_block + self.evicted
+    }
+}
+
+/// Outcome of [`run`]: per-lane counters plus pool-level observations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OverloadReport {
+    /// Indexed by [`Priority::lane`] (`[high, normal, low]`).
+    pub lanes: [LaneReport; 3],
+    /// `stats.replaced_workers` after the run.
+    pub replaced_workers: u64,
+    /// Did the queue ever observably cross the high-water mark?
+    pub over_high_water_seen: bool,
+}
+
+impl OverloadReport {
+    /// The lane counters for `p`.
+    pub fn lane(&self, p: Priority) -> &LaneReport {
+        &self.lanes[p.lane()]
+    }
+}
+
+/// Drive `svc` with the plan's arrival schedule, paced open-loop (see
+/// the module docs), then collect and classify every accepted id. The
+/// service must be configured by the caller (workers, capacity,
+/// high-water); the generator only submits and accounts.
+pub fn run(svc: &Service, plan: &LoadPlan) -> OverloadReport {
+    let arrivals = schedule(plan);
+    let mut report = OverloadReport::default();
+    let mut accepted: Vec<(RequestId, Priority)> = Vec::new();
+    let base = svc.completed_count();
+    let mut target = base;
+    let slot = plan.arrivals_per_slot.max(1) as usize;
+    for chunk in arrivals.chunks(slot) {
+        for a in chunk {
+            let lane = &mut report.lanes[a.priority.lane()];
+            lane.submitted += 1;
+            let opts = SubmitOptions {
+                priority: a.priority,
+                deadline: (a.priority == Priority::High)
+                    .then(|| Deadline::after(plan.high_deadline)),
+                ..SubmitOptions::default()
+            };
+            match svc.try_submit(request_for(a.index), opts) {
+                SubmitOutcome::Accepted(id) => {
+                    lane.accepted += 1;
+                    accepted.push((id, a.priority));
+                }
+                SubmitOutcome::Rejected(RejectReason::Overloaded) => lane.shed += 1,
+                SubmitOutcome::WouldBlock => lane.would_block += 1,
+                SubmitOutcome::Rejected(other) => {
+                    panic!("loadgen requests are always admissible: {other:?}")
+                }
+            }
+        }
+        if svc.over_high_water() {
+            report.over_high_water_seen = true;
+        }
+        // Open-loop pacing: one completion per slot, but never wait for
+        // more completions than accepted ids can produce (a fully shed
+        // slot must not deadlock the generator). Eviction completions
+        // count too — they only make the wait shorter, never unsafe.
+        target = (target + 1).min(base + accepted.len() as u64);
+        svc.wait_for_completed(target);
+    }
+    for c in svc.collect_detailed(
+        &accepted.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+        None,
+    ) {
+        let priority = accepted
+            .iter()
+            .find(|&&(id, _)| id == c.id)
+            .expect("collected only accepted ids")
+            .1;
+        let lane = &mut report.lanes[priority.lane()];
+        match &c.result {
+            Ok(_) => lane.ok += 1,
+            Err(ServiceError::Overloaded) => lane.evicted += 1,
+            Err(ServiceError::Expired) => lane.expired += 1,
+            Err(_) => lane.errors += 1,
+        }
+    }
+    report.replaced_workers = svc.stats().replaced_workers;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_mix_bounded() {
+        let plan = LoadPlan {
+            total: 1000,
+            ..LoadPlan::default()
+        };
+        let a = schedule(&plan);
+        assert_eq!(a, schedule(&plan), "same plan, same arrivals");
+        let count = |p: Priority| a.iter().filter(|x| x.priority == p).count();
+        let (h, n, l) = (
+            count(Priority::High),
+            count(Priority::Normal),
+            count(Priority::Low),
+        );
+        assert_eq!(h + n + l, 1000);
+        // Generous bands around 10/60/30 guard the hash quality.
+        assert!((50..200).contains(&h), "high {h}");
+        assert!((500..700).contains(&n), "normal {n}");
+        assert!((200..400).contains(&l), "low {l}");
+        // A different seed deals a different sequence.
+        let b = schedule(&LoadPlan {
+            seed: plan.seed + 1,
+            total: 1000,
+            ..LoadPlan::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn steady_state_run_completes_everything() {
+        // arrivals_per_slot=1 never grows backlog past 1: no shedding
+        // even with a tiny high-water mark relative to 2x load.
+        let svc = Service::with_config(crate::service::ServiceConfig {
+            workers: 2,
+            ..crate::service::ServiceConfig::default()
+        });
+        let plan = LoadPlan {
+            total: 12,
+            arrivals_per_slot: 1,
+            ..LoadPlan::default()
+        };
+        let report = run(&svc, &plan);
+        let all: u64 = report.lanes.iter().map(|l| l.ok).sum();
+        assert_eq!(all, 12, "{report:?}");
+        assert_eq!(
+            report.lanes.iter().map(LaneReport::total_shed).sum::<u64>(),
+            0
+        );
+    }
+}

@@ -93,6 +93,49 @@
 //! [`ServiceError::Panicked`]. A poisoned request can never wedge the
 //! pool or lose an id.
 //!
+//! ## Supervision: watchdog + worker replacement
+//!
+//! Panics are recoverable because they *return*; a worker that wedges
+//! permanently (a runaway loop, an injected
+//! [`StallMode::Wedge`](faultinject::StallMode)) would silently
+//! shrink the pool forever. The **watchdog thread** (on by default, see
+//! [`WatchdogConfig`]) samples every worker's heartbeat counter — stamped
+//! at pipeline phase boundaries through [`ExecCtx::beat`] — once per
+//! interval. A worker that stays busy on the *same* request for
+//! [`WatchdogConfig::stuck_ticks`] consecutive intervals without its
+//! heartbeat advancing is declared stuck: its in-flight request is
+//! confiscated (requeued if retry budget remains — zero lost ids — else
+//! answered [`ServiceError::Faulted`]), the worker is condemned and
+//! detached, and a **replacement worker** is spawned so the pool never
+//! shrinks. [`ServiceStats::replaced_workers`] counts interventions and
+//! [`Service::health`] snapshots the whole pool ([`PoolHealth`]),
+//! queryable over the wire with a `health` request line.
+//!
+//! ## Priority lanes + starvation guard
+//!
+//! Admission is no longer FIFO: each request carries a
+//! [`Priority`] ([`SubmitOptions::priority`]) and the queue is three
+//! lanes. Dequeue order is lane-major (`High` → `Normal` → `Low`) and
+//! deadline-earliest-first within a lane (ties and deadline-less requests
+//! fall back to id order). Starvation is bounded by **aging**: a request
+//! that has waited [`ServiceConfig::age_promote`] dequeues (a logical
+//! clock — dequeue events, not wall time) is promoted over every fresher
+//! request regardless of lane, so any accepted request eventually runs
+//! once load subsides (pinned by a proptest).
+//!
+//! ## Overload shedding (brownout)
+//!
+//! Past [`ServiceConfig::high_water`] queued requests the service is in
+//! **brownout**: `Low` arrivals are refused outright
+//! ([`RejectReason::Overloaded`]) and the TCP front-end ([`net`]) stops
+//! reading sockets, letting the kernel push back on clients. At hard
+//! [`ServiceConfig::queue_capacity`] a higher-priority arrival evicts the
+//! least-urgent strictly-lower-priority queued request (latest deadline
+//! first), which answers [`ServiceError::Overloaded`]. High-priority
+//! traffic therefore keeps its deadlines while `Low` sheds first — the
+//! invariant the open-loop [`loadgen`] harness and the bench
+//! `overload_entries` gate pin in CI.
+//!
 //! ## Example
 //!
 //! ```
@@ -116,7 +159,11 @@
 //! it speaks is [`wire`].
 
 pub mod faultinject;
+pub mod loadgen;
 pub mod net;
+/// Operator runbook for the supervised pool (from `docs/operations.md`).
+#[doc = include_str!("../../../../docs/operations.md")]
+pub mod operations {}
 mod request;
 pub mod wire;
 
@@ -125,10 +172,10 @@ pub use request::{
     ScheduleRequest, ScheduleResponse, SchedulerChoice, ServiceError, WorkerScratch,
 };
 
-use faultinject::{Fault, FaultPlan};
+use faultinject::{Fault, FaultPlan, StallMode};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -178,6 +225,56 @@ impl Deadline {
     }
 }
 
+/// Scheduling priority of a request. Declaration order is dequeue order:
+/// `High` lanes drain before `Normal` before `Low` (subject to the aging
+/// starvation guard, [`ServiceConfig::age_promote`]), and under brownout
+/// `Low` is shed first (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: drained first, never brownout-shed, evicts
+    /// lower-priority queued work when the queue is hard-full.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Best-effort: first to be refused past the high-water mark and
+    /// first to be evicted at hard capacity.
+    Low,
+}
+
+impl Priority {
+    /// Lane index (0 = `High`, 1 = `Normal`, 2 = `Low`).
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Wire name (`high` / `normal` / `low`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parse a wire name; `None` for anything unrecognized.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// All priorities in lane order — for per-lane reporting.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+}
+
 /// Per-submission options: everything about a request's lifecycle that is
 /// not part of the scheduling work itself.
 #[derive(Clone, Copy, Debug, Default)]
@@ -187,6 +284,8 @@ pub struct SubmitOptions {
     /// Override the service-wide [`ServiceConfig::max_attempts`] for this
     /// request.
     pub max_attempts: Option<u32>,
+    /// Queue lane (see [`Priority`]); `Normal` by default.
+    pub priority: Priority,
 }
 
 /// Why admission refused a request outright (no id, no response).
@@ -199,6 +298,11 @@ pub enum RejectReason {
     /// finding (see `docs/diagnostics.md`). Deterministic — resubmitting
     /// the same graph can never succeed.
     InvalidDdg { code: String, message: String },
+    /// Brownout: the queue is past [`ServiceConfig::high_water`] and this
+    /// arrival is [`Priority::Low`]. Transient — resubmit once load
+    /// subsides (unlike the other reasons, which are permanent for the
+    /// request).
+    Overloaded,
 }
 
 /// Admission verdict for [`Service::try_submit`] / [`Service::submit_opts`].
@@ -283,6 +387,18 @@ pub struct ServiceConfig {
     /// Deterministic fault injection (tests, CI fault-smoke); `None` in
     /// production.
     pub fault_plan: Option<FaultPlan>,
+    /// Brownout threshold: once this many requests are queued, `Low`
+    /// arrivals are refused ([`RejectReason::Overloaded`]) and the TCP
+    /// front-end pauses socket reads. `usize::MAX` (default) disables
+    /// brownout.
+    pub high_water: usize,
+    /// Starvation guard: a queued request older than this many dequeue
+    /// events (a logical clock, not wall time) is promoted over every
+    /// fresher request regardless of priority lane.
+    pub age_promote: u64,
+    /// Stuck-worker supervision; `None` disables the watchdog thread
+    /// (then a permanently wedged worker occupies its slot forever).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -294,6 +410,33 @@ impl Default for ServiceConfig {
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(50),
             fault_plan: None,
+            high_water: usize::MAX,
+            age_promote: 64,
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+}
+
+/// Watchdog (stuck-worker supervision) parameters. The stuck budget is
+/// **logical**: `stuck_ticks` consecutive samples with an unchanged
+/// heartbeat while busy on the same request — tests shrink `interval` to
+/// milliseconds for a deterministic small budget, production keeps the
+/// ~10 s default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Sampling period of the watchdog thread.
+    pub interval: Duration,
+    /// Consecutive unchanged samples (same request, same heartbeat count)
+    /// before a busy worker is declared stuck. The effective wall budget
+    /// is `interval * stuck_ticks`.
+    pub stuck_ticks: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(200),
+            stuck_ticks: 50,
         }
     }
 }
@@ -333,6 +476,12 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Admission attempts answered `WouldBlock` (full queue).
     pub rejected: u64,
+    /// Requests shed by the brownout policy: `Low` arrivals refused past
+    /// the high-water mark plus queued requests evicted at hard capacity
+    /// by a higher-priority arrival.
+    pub overloaded: u64,
+    /// Workers the watchdog declared stuck and replaced.
+    pub replaced_workers: u64,
     /// Total wall nanoseconds workers spent executing requests (all
     /// attempts).
     pub exec_ns: u64,
@@ -360,22 +509,75 @@ pub struct Completed {
 /// [`Service::collect`] and [`Service::drain`] return.
 pub type Responses = Vec<(RequestId, Result<ScheduleResponse, ServiceError>)>;
 
-/// A queued unit of work.
+/// A queued unit of work. Cloneable so the watchdog can requeue a
+/// confiscated in-flight copy: the `cancel` and `attempts` handles are
+/// shared across the clones (one identity per id), only `abandoned` is
+/// per-dispatch.
+#[derive(Clone)]
 struct Job {
     id: RequestId,
-    req: ScheduleRequest,
+    req: Arc<ScheduleRequest>,
     deadline: Option<Deadline>,
     max_attempts: u32,
+    priority: Priority,
     cancel: Arc<AtomicBool>,
+    /// Set by the watchdog when it confiscates this dispatch: the wedged
+    /// worker must drop the job (its result no longer counts) and exit.
+    abandoned: Arc<AtomicBool>,
+    /// Absolute execution attempts spent on this id, across workers —
+    /// survives confiscation so a requeued request keeps its budget.
+    attempts: Arc<AtomicU32>,
+    /// Value of the ledger's dequeue clock at admission (aging baseline).
+    admitted_seq: u64,
     admitted_at: Instant,
+}
+
+/// `current` value of an idle [`WorkerSlot`].
+const IDLE: u64 = u64::MAX;
+
+/// Watchdog-visible state of one worker thread.
+struct WorkerSlot {
+    /// Stable worker index; replacements get fresh indices.
+    index: usize,
+    /// Heartbeat counter, bumped at dispatch, at every pipeline phase
+    /// boundary ([`ExecCtx::beat`]), and around each attempt. The
+    /// watchdog declares a worker stuck only when this stops advancing
+    /// while `current` stays on the same request.
+    beat: Arc<AtomicU64>,
+    /// Request id being executed, or [`IDLE`].
+    current: AtomicU64,
+    /// Set by the watchdog: this worker is replaced; exit at the next
+    /// opportunity and never complete anything again.
+    condemned: AtomicBool,
+}
+
+impl WorkerSlot {
+    fn new(index: usize) -> Self {
+        Self {
+            index,
+            beat: Arc::new(AtomicU64::new(0)),
+            current: AtomicU64::new(IDLE),
+            condemned: AtomicBool::new(false),
+        }
+    }
+}
+
+/// An executing request, held so the watchdog can confiscate and requeue
+/// it (and `cancel` can flag it).
+struct InFlight {
+    job: Job,
 }
 
 /// Shared queue + completed-response ledger.
 struct Ledger {
-    queue: VecDeque<Job>,
+    /// Priority lanes, indexed by [`Priority::lane`].
+    lanes: [VecDeque<Job>; 3],
+    /// Logical aging clock: total dequeue events so far. A job's age is
+    /// `dequeues - admitted_seq`.
+    dequeues: u64,
     done: HashMap<RequestId, Completed>,
-    /// Cancellation flags of requests currently executing on a worker.
-    inflight: HashMap<RequestId, Arc<AtomicBool>>,
+    /// Requests currently executing on a worker.
+    inflight: HashMap<RequestId, InFlight>,
     /// Ids admitted and not yet collected (superset of `done`'s keys and
     /// of everything queued/in-flight). Membership here is what
     /// distinguishes "still coming" from "never submitted / already
@@ -385,10 +587,97 @@ struct Ledger {
     outstanding: u64,
     accepting: bool,
     next_id: u64,
+    /// Next worker index to hand out (replacements get fresh indices).
+    next_worker: usize,
+    /// Live worker slots, in no particular order.
+    slots: Vec<Arc<WorkerSlot>>,
     stats: ServiceStats,
 }
 
+/// Dequeue key within a lane: deadline-earliest-first, deadline-less work
+/// after all deadline-carrying work, id order as the tiebreak.
+fn urgency_key(j: &Job) -> (bool, Option<Instant>, u64) {
+    (j.deadline.is_none(), j.deadline.map(|d| d.0), j.id.0)
+}
+
 impl Ledger {
+    /// Total queued (not yet running) requests across all lanes.
+    fn queued_len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Enqueue into the job's priority lane.
+    fn push_job(&mut self, job: Job) {
+        self.lanes[job.priority.lane()].push_back(job);
+    }
+
+    /// Dequeue the next job: any request aged past `age_promote` dequeue
+    /// events wins first (oldest id among the aged — the starvation
+    /// guard), else lane-major order with [`urgency_key`] inside the
+    /// first nonempty lane. Advances the aging clock.
+    fn pop_job(&mut self, age_promote: u64) -> Option<Job> {
+        let now = self.dequeues;
+        let mut pick: Option<(usize, usize)> = None;
+        let mut oldest = u64::MAX;
+        for (lane, q) in self.lanes.iter().enumerate() {
+            for (i, j) in q.iter().enumerate() {
+                if now.saturating_sub(j.admitted_seq) >= age_promote && j.id.0 < oldest {
+                    oldest = j.id.0;
+                    pick = Some((lane, i));
+                }
+            }
+        }
+        if pick.is_none() {
+            for (lane, q) in self.lanes.iter().enumerate() {
+                if q.is_empty() {
+                    continue;
+                }
+                let mut best = 0;
+                for i in 1..q.len() {
+                    if urgency_key(&q[i]) < urgency_key(&q[best]) {
+                        best = i;
+                    }
+                }
+                pick = Some((lane, best));
+                break;
+            }
+        }
+        let (lane, i) = pick?;
+        self.dequeues += 1;
+        self.lanes[lane].remove(i)
+    }
+
+    /// Remove a queued job by id (any lane); `None` if not queued.
+    fn take_queued(&mut self, id: RequestId) -> Option<Job> {
+        for q in self.lanes.iter_mut() {
+            if let Some(pos) = q.iter().position(|j| j.id == id) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Evict the least-urgent queued job of strictly lower priority than
+    /// `p`: lowest lane first, latest deadline within it (deadline-less
+    /// counts latest; highest id breaks ties). `None` when nothing
+    /// strictly below `p` is queued.
+    fn evict_below(&mut self, p: Priority) -> Option<Job> {
+        for lane in (p.lane() + 1..3).rev() {
+            let q = &self.lanes[lane];
+            if q.is_empty() {
+                continue;
+            }
+            let mut victim = 0;
+            for i in 1..q.len() {
+                if urgency_key(&q[i]) > urgency_key(&q[victim]) {
+                    victim = i;
+                }
+            }
+            return self.lanes[lane].remove(victim);
+        }
+        None
+    }
+
     /// Record a final response. Caller notifies the condvar.
     fn complete(&mut self, c: Completed) {
         self.stats.completed += 1;
@@ -398,6 +687,7 @@ impl Ledger {
                 ServiceError::Expired => self.stats.expired += 1,
                 ServiceError::Cancelled => self.stats.cancelled += 1,
                 ServiceError::ShuttingDown => self.stats.shed += 1,
+                ServiceError::Overloaded => self.stats.overloaded += 1,
                 _ => {}
             }
         }
@@ -413,7 +703,11 @@ impl Ledger {
 /// per process ([`global`]).
 pub struct Service {
     ledger: Arc<(Mutex<Ledger>, Condvar)>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Live worker threads keyed by worker index; the watchdog detaches
+    /// condemned workers and inserts replacements here.
+    workers: Arc<Mutex<HashMap<usize, std::thread::JoinHandle<()>>>>,
+    watchdog: Mutex<Option<std::thread::JoinHandle<()>>>,
+    watchdog_stop: Arc<AtomicBool>,
     config: ServiceConfig,
 }
 
@@ -434,29 +728,43 @@ impl Service {
             max_attempts: config.max_attempts.max(1),
             ..config
         };
+        let slots: Vec<Arc<WorkerSlot>> = (0..config.workers)
+            .map(|i| Arc::new(WorkerSlot::new(i)))
+            .collect();
         let ledger = Arc::new((
             Mutex::new(Ledger {
-                queue: VecDeque::new(),
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                dequeues: 0,
                 done: HashMap::new(),
                 inflight: HashMap::new(),
                 known: HashSet::new(),
                 outstanding: 0,
                 accepting: true,
                 next_id: 0,
+                next_worker: config.workers,
+                slots: slots.clone(),
                 stats: ServiceStats::default(),
             }),
             Condvar::new(),
         ));
-        let handles = (0..config.workers)
-            .map(|_| {
-                let ledger = Arc::clone(&ledger);
-                let cfg = config.clone();
-                std::thread::spawn(move || worker_loop(&ledger, &cfg))
-            })
+        let handles: HashMap<usize, std::thread::JoinHandle<()>> = slots
+            .into_iter()
+            .map(|slot| (slot.index, spawn_worker(&ledger, &config, slot)))
             .collect();
+        let workers = Arc::new(Mutex::new(handles));
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog = config.watchdog.map(|wcfg| {
+            let ledger = Arc::clone(&ledger);
+            let workers = Arc::clone(&workers);
+            let stop = Arc::clone(&watchdog_stop);
+            let cfg = config.clone();
+            std::thread::spawn(move || watchdog_loop(&ledger, &workers, &stop, &cfg, wcfg))
+        });
         Self {
             ledger,
-            workers: Mutex::new(handles),
+            workers,
+            watchdog: Mutex::new(watchdog),
+            watchdog_stop,
             config,
         }
     }
@@ -472,8 +780,11 @@ impl Service {
     }
 
     /// Non-blocking admission: [`SubmitOutcome::WouldBlock`] when the
-    /// queue is at capacity, [`SubmitOutcome::Rejected`] once shutdown
-    /// has begun or when the request's DDG fails the lint pass.
+    /// queue is at capacity (and nothing of strictly lower priority can
+    /// be evicted), [`SubmitOutcome::Rejected`] once shutdown has begun,
+    /// when the request's DDG fails the lint pass, or — for
+    /// [`Priority::Low`] — while the queue is past the high-water mark
+    /// ([`RejectReason::Overloaded`]).
     pub fn try_submit(&self, req: ScheduleRequest, opts: SubmitOptions) -> SubmitOutcome {
         if let Some(reason) = admission_lint(&req) {
             return SubmitOutcome::Rejected(reason);
@@ -483,19 +794,29 @@ impl Service {
         if !ledger.accepting {
             return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
         }
-        if ledger.queue.len() >= self.config.queue_capacity {
-            ledger.stats.rejected += 1;
-            return SubmitOutcome::WouldBlock;
+        match make_room(&mut ledger, opts.priority, &self.config) {
+            Room::Admit => {
+                let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
+                cv.notify_all();
+                out
+            }
+            Room::Brownout => {
+                ledger.stats.overloaded += 1;
+                SubmitOutcome::Rejected(RejectReason::Overloaded)
+            }
+            Room::Full => {
+                ledger.stats.rejected += 1;
+                SubmitOutcome::WouldBlock
+            }
         }
-        let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
-        cv.notify_all();
-        out
     }
 
     /// Blocking admission: waits for queue space (backpressure), then
     /// admits. [`SubmitOutcome::Rejected`] once shutdown has begun —
-    /// including while waiting — or when the request's DDG fails the
-    /// lint pass (checked before blocking).
+    /// including while waiting — when the request's DDG fails the lint
+    /// pass (checked before blocking), or under brownout for
+    /// [`Priority::Low`] arrivals (refused, not blocked: waiting out a
+    /// brownout at the admission gate would deepen the overload).
     pub fn submit_opts(&self, req: ScheduleRequest, opts: SubmitOptions) -> SubmitOutcome {
         if let Some(reason) = admission_lint(&req) {
             return SubmitOutcome::Rejected(reason);
@@ -506,12 +827,18 @@ impl Service {
             if !ledger.accepting {
                 return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
             }
-            if ledger.queue.len() < self.config.queue_capacity {
-                let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
-                cv.notify_all();
-                return out;
+            match make_room(&mut ledger, opts.priority, &self.config) {
+                Room::Admit => {
+                    let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
+                    cv.notify_all();
+                    return out;
+                }
+                Room::Brownout => {
+                    ledger.stats.overloaded += 1;
+                    return SubmitOutcome::Rejected(RejectReason::Overloaded);
+                }
+                Room::Full => ledger = cv.wait(ledger).unwrap(),
             }
-            ledger = cv.wait(ledger).unwrap();
         }
     }
 
@@ -538,19 +865,18 @@ impl Service {
     pub fn cancel(&self, id: RequestId) -> CancelOutcome {
         let (lock, cv) = &*self.ledger;
         let mut ledger = lock.lock().unwrap();
-        if let Some(pos) = ledger.queue.iter().position(|j| j.id == id) {
-            let job = ledger.queue.remove(pos).expect("position just found");
+        if let Some(job) = ledger.take_queued(id) {
             ledger.complete(Completed {
                 id,
                 result: Err(ServiceError::Cancelled),
-                attempts: 0,
+                attempts: job.attempts.load(Ordering::Relaxed),
                 latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
             });
             cv.notify_all();
             return CancelOutcome::Dequeued;
         }
-        if let Some(flag) = ledger.inflight.get(&id) {
-            flag.store(true, Ordering::Relaxed);
+        if let Some(inf) = ledger.inflight.get(&id) {
+            inf.job.cancel.store(true, Ordering::Relaxed);
             return CancelOutcome::InFlight;
         }
         if ledger.done.contains_key(&id) {
@@ -673,21 +999,42 @@ impl Service {
             let mut ledger = lock.lock().unwrap();
             ledger.accepting = false;
             if policy == DrainPolicy::Shed {
-                while let Some(job) = ledger.queue.pop_front() {
-                    shed += 1;
-                    ledger.complete(Completed {
-                        id: job.id,
-                        result: Err(ServiceError::ShuttingDown),
-                        attempts: 0,
-                        latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
-                    });
+                for lane in 0..3 {
+                    while let Some(job) = ledger.lanes[lane].pop_front() {
+                        shed += 1;
+                        ledger.complete(Completed {
+                            id: job.id,
+                            result: Err(ServiceError::ShuttingDown),
+                            attempts: job.attempts.load(Ordering::Relaxed),
+                            latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
+                        });
+                    }
                 }
             }
             cv.notify_all();
         }
-        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
-        let workers_joined = handles.len();
-        for h in handles {
+        // The watchdog must stay alive through the joins: a worker wedged
+        // on an injected fault exits only once the watchdog abandons its
+        // job. Replacements it spawns meanwhile land in the map and are
+        // picked up by the next round of the loop. (A replacement
+        // inserted after the final empty check is never joined — it still
+        // exits cleanly on the closed queue, it just isn't counted.)
+        let mut workers_joined = 0usize;
+        loop {
+            let handles: Vec<_> = {
+                let mut map = self.workers.lock().unwrap();
+                map.drain().collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for (_, h) in handles {
+                workers_joined += 1;
+                let _ = h.join();
+            }
+        }
+        self.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.watchdog.lock().unwrap().take() {
             let _ = h.join();
         }
         ShutdownReport {
@@ -700,6 +1047,93 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         self.ledger.0.lock().unwrap().stats.clone()
     }
+
+    /// Snapshot of the pool's supervision state: per-worker heartbeats
+    /// and busy ids, replacement count, per-lane queue depths, brownout
+    /// state. What the wire-level `health` request renders.
+    pub fn health(&self) -> PoolHealth {
+        let ledger = self.ledger.0.lock().unwrap();
+        let mut workers: Vec<WorkerHealth> = ledger
+            .slots
+            .iter()
+            .map(|s| {
+                let current = s.current.load(Ordering::Relaxed);
+                WorkerHealth {
+                    index: s.index,
+                    busy: (current != IDLE).then_some(current),
+                    heartbeats: s.beat.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        workers.sort_unstable_by_key(|w| w.index);
+        let queued = [
+            ledger.lanes[0].len() as u64,
+            ledger.lanes[1].len() as u64,
+            ledger.lanes[2].len() as u64,
+        ];
+        PoolHealth {
+            workers,
+            replaced_workers: ledger.stats.replaced_workers,
+            queued,
+            inflight: ledger.inflight.len(),
+            accepting: ledger.accepting,
+            over_high_water: ledger.queued_len() >= self.config.high_water,
+        }
+    }
+
+    /// Is the queue at or past the brownout high-water mark right now?
+    /// The TCP front-end polls this to pause socket reads (kernel
+    /// backpressure). Always `false` when brownout is disabled.
+    pub fn over_high_water(&self) -> bool {
+        self.ledger.0.lock().unwrap().queued_len() >= self.config.high_water
+    }
+
+    /// Final responses recorded so far (monotone; equals
+    /// `stats().completed`). Cheap — one lock, no waiting.
+    pub fn completed_count(&self) -> u64 {
+        self.ledger.0.lock().unwrap().stats.completed
+    }
+
+    /// Block until at least `n` requests have final responses. The
+    /// open-loop load generator paces arrival slots with this instead of
+    /// wall-clock sleeps.
+    pub fn wait_for_completed(&self, n: u64) {
+        let (lock, cv) = &*self.ledger;
+        let mut ledger = lock.lock().unwrap();
+        while ledger.stats.completed < n {
+            ledger = cv.wait(ledger).unwrap();
+        }
+    }
+}
+
+/// One worker's entry in a [`PoolHealth`] snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// Stable worker index (replacements get fresh indices).
+    pub index: usize,
+    /// Request id currently executing, if busy.
+    pub busy: Option<u64>,
+    /// Heartbeat count: advances at dispatch and at every pipeline phase
+    /// boundary. A busy worker whose heartbeat is frozen is what the
+    /// watchdog eventually replaces.
+    pub heartbeats: u64,
+}
+
+/// Point-in-time supervision snapshot of the pool ([`Service::health`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Live workers, sorted by index.
+    pub workers: Vec<WorkerHealth>,
+    /// Workers replaced by the watchdog so far.
+    pub replaced_workers: u64,
+    /// Queued requests per lane (`[high, normal, low]`).
+    pub queued: [u64; 3],
+    /// Requests currently executing.
+    pub inflight: usize,
+    /// Is admission open?
+    pub accepting: bool,
+    /// Is the queue at or past the brownout high-water mark?
+    pub over_high_water: bool,
 }
 
 impl Drop for Service {
@@ -735,6 +1169,44 @@ fn admission_lint(req: &ScheduleRequest) -> Option<RejectReason> {
     })
 }
 
+/// Admission verdict of [`make_room`].
+enum Room {
+    /// Space exists (possibly made by evicting a lower-priority victim).
+    Admit,
+    /// Past the high-water mark and the arrival is `Low`: refuse.
+    Brownout,
+    /// Hard-full with nothing of strictly lower priority to evict.
+    Full,
+}
+
+/// Decide whether a `priority` arrival fits right now. At hard capacity
+/// a strictly-lower-priority queued request is evicted to make room (the
+/// victim answers [`ServiceError::Overloaded`]). Caller holds the ledger
+/// lock and notifies the condvar if it admits.
+fn make_room(ledger: &mut Ledger, priority: Priority, config: &ServiceConfig) -> Room {
+    let queued = ledger.queued_len();
+    if queued >= config.high_water && priority == Priority::Low {
+        return Room::Brownout;
+    }
+    if queued < config.queue_capacity {
+        return Room::Admit;
+    }
+    match ledger.evict_below(priority) {
+        Some(victim) => {
+            let latency_ns = victim.admitted_at.elapsed().as_nanos() as u64;
+            let attempts = victim.attempts.load(Ordering::Relaxed);
+            ledger.complete(Completed {
+                id: victim.id,
+                result: Err(ServiceError::Overloaded),
+                attempts,
+                latency_ns,
+            });
+            Room::Admit
+        }
+        None => Room::Full,
+    }
+}
+
 /// Admit one request under an already-held ledger lock.
 fn admit(
     ledger: &mut Ledger,
@@ -747,31 +1219,53 @@ fn admit(
     ledger.outstanding += 1;
     ledger.stats.submitted += 1;
     ledger.known.insert(id);
-    ledger.queue.push_back(Job {
+    let admitted_seq = ledger.dequeues;
+    ledger.push_job(Job {
         id,
-        req,
+        req: Arc::new(req),
         deadline: opts.deadline,
         max_attempts: opts.max_attempts.unwrap_or(config.max_attempts).max(1),
+        priority: opts.priority,
         cancel: Arc::new(AtomicBool::new(false)),
+        abandoned: Arc::new(AtomicBool::new(false)),
+        attempts: Arc::new(AtomicU32::new(0)),
+        admitted_seq,
         admitted_at: Instant::now(),
     });
     id
 }
 
-fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig) {
+/// Spawn one worker thread on `slot`. The slot must already be
+/// registered in `ledger.slots`.
+fn spawn_worker(
+    ledger: &Arc<(Mutex<Ledger>, Condvar)>,
+    config: &ServiceConfig,
+    slot: Arc<WorkerSlot>,
+) -> std::thread::JoinHandle<()> {
+    let ledger = Arc::clone(ledger);
+    let cfg = config.clone();
+    std::thread::spawn(move || worker_loop(&ledger, &cfg, &slot))
+}
+
+fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig, slot: &Arc<WorkerSlot>) {
     let (lock, cv) = ledger;
     let mut scratch = WorkerScratch::default();
     loop {
         let job = {
             let mut ledger = lock.lock().unwrap();
             loop {
-                if let Some(job) = ledger.queue.pop_front() {
+                // A condemned worker has already been deregistered by the
+                // watchdog; it must never dequeue or complete again.
+                if slot.condemned.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(job) = ledger.pop_job(config.age_promote) {
                     // Shed before spending a worker on it.
                     if job.cancel.load(Ordering::Relaxed) {
                         ledger.complete(Completed {
                             id: job.id,
                             result: Err(ServiceError::Cancelled),
-                            attempts: 0,
+                            attempts: job.attempts.load(Ordering::Relaxed),
                             latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
                         });
                         cv.notify_all();
@@ -782,26 +1276,42 @@ fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig) {
                             ledger.complete(Completed {
                                 id: job.id,
                                 result: Err(ServiceError::Expired),
-                                attempts: 0,
+                                attempts: job.attempts.load(Ordering::Relaxed),
                                 latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
                             });
                             cv.notify_all();
                             continue;
                         }
                     }
-                    ledger.inflight.insert(job.id, Arc::clone(&job.cancel));
+                    ledger
+                        .inflight
+                        .insert(job.id, InFlight { job: job.clone() });
+                    slot.current.store(job.id.0, Ordering::Relaxed);
+                    slot.beat.fetch_add(1, Ordering::Relaxed);
                     break job;
                 }
                 if !ledger.accepting {
-                    return; // shutdown: admission closed, queue empty
+                    // Clean exit: deregister so health() reports only
+                    // live workers.
+                    ledger.slots.retain(|s| s.index != slot.index);
+                    return;
                 }
                 ledger = cv.wait(ledger).unwrap();
             }
         };
 
-        let (result, attempts, timing, exec_ns, retries) = run_attempts(&mut scratch, &job, config);
+        let (result, attempts, timing, exec_ns, retries) =
+            run_attempts(&mut scratch, &job, config, slot);
 
         let mut ledger = lock.lock().unwrap();
+        slot.current.store(IDLE, Ordering::Relaxed);
+        if job.abandoned.load(Ordering::Relaxed) {
+            // The watchdog confiscated this dispatch (requeued or settled
+            // the id) and condemned this worker: the local result no
+            // longer counts and the slot is already deregistered.
+            cv.notify_all();
+            return;
+        }
         ledger.inflight.remove(&job.id);
         ledger.stats.retries += retries;
         ledger.stats.exec_ns += exec_ns;
@@ -818,6 +1328,129 @@ fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig) {
     }
 }
 
+/// One pass of the watchdog: sample every live slot, bump or reset its
+/// stuck counter, and replace any worker whose heartbeat has been frozen
+/// on the same request for `stuck_ticks` consecutive samples.
+/// `seen` maps worker index → (last beat, last current, frozen ticks).
+fn watchdog_tick(
+    ledger: &Arc<(Mutex<Ledger>, Condvar)>,
+    workers: &Mutex<HashMap<usize, std::thread::JoinHandle<()>>>,
+    config: &ServiceConfig,
+    wcfg: WatchdogConfig,
+    seen: &mut HashMap<usize, (u64, u64, u32)>,
+) {
+    // (victim index, replacement slot) pairs; thread spawning happens
+    // after the ledger lock is released.
+    let mut replaced: Vec<(usize, Arc<WorkerSlot>)> = Vec::new();
+    {
+        let (lock, cv) = &**ledger;
+        let mut led = lock.lock().unwrap();
+        let slots: Vec<Arc<WorkerSlot>> = led.slots.clone();
+        let live: HashSet<usize> = slots.iter().map(|s| s.index).collect();
+        seen.retain(|idx, _| live.contains(idx));
+        for slot in slots {
+            let beat = slot.beat.load(Ordering::Relaxed);
+            let current = slot.current.load(Ordering::Relaxed);
+            if current == IDLE {
+                seen.remove(&slot.index);
+                continue;
+            }
+            let entry = seen.entry(slot.index).or_insert((beat, current, 0));
+            if entry.0 != beat || entry.1 != current {
+                *entry = (beat, current, 0);
+                continue;
+            }
+            entry.2 += 1;
+            if entry.2 < wcfg.stuck_ticks {
+                continue;
+            }
+            // Declared stuck. If the request just completed between the
+            // loads above, leave the worker alone — it is making progress.
+            seen.remove(&slot.index);
+            let id = RequestId(current);
+            let Some(inf) = led.inflight.remove(&id) else {
+                continue;
+            };
+            slot.condemned.store(true, Ordering::Relaxed);
+            inf.job.abandoned.store(true, Ordering::Relaxed);
+            led.slots.retain(|s| s.index != slot.index);
+            led.stats.replaced_workers += 1;
+            // Settle the confiscated request: requeue while retry budget
+            // remains (zero lost ids), else answer Faulted.
+            let attempts = inf.job.attempts.load(Ordering::Relaxed);
+            if attempts < inf.job.max_attempts
+                && led.accepting
+                && !inf.job.cancel.load(Ordering::Relaxed)
+            {
+                led.stats.retries += 1;
+                let mut requeued = inf.job.clone();
+                requeued.abandoned = Arc::new(AtomicBool::new(false));
+                requeued.admitted_seq = led.dequeues;
+                led.push_job(requeued);
+            } else {
+                led.complete(Completed {
+                    id,
+                    result: Err(ServiceError::Faulted(format!(
+                        "worker {} declared stuck by watchdog; retry budget spent",
+                        slot.index
+                    ))),
+                    attempts,
+                    latency_ns: inf.job.admitted_at.elapsed().as_nanos() as u64,
+                });
+            }
+            // Register the replacement before releasing the lock so the
+            // pool size never observably dips.
+            let idx = led.next_worker;
+            led.next_worker += 1;
+            let new_slot = Arc::new(WorkerSlot::new(idx));
+            led.slots.push(Arc::clone(&new_slot));
+            replaced.push((slot.index, new_slot));
+        }
+        if !replaced.is_empty() {
+            cv.notify_all();
+        }
+    }
+    for (victim, new_slot) in replaced {
+        let idx = new_slot.index;
+        let handle = spawn_worker(ledger, config, new_slot);
+        let mut map = workers.lock().unwrap();
+        // Detach the condemned thread: joining would block on the wedge.
+        // It exits on its own once it observes the abandon flag.
+        map.remove(&victim);
+        map.insert(idx, handle);
+    }
+}
+
+/// The watchdog thread body: sample every `interval`, exit promptly when
+/// `stop` is set (the interval is slept in small slices so `shutdown` —
+/// and every test-scale `Drop` — never waits a full production interval).
+fn watchdog_loop(
+    ledger: &Arc<(Mutex<Ledger>, Condvar)>,
+    workers: &Mutex<HashMap<usize, std::thread::JoinHandle<()>>>,
+    stop: &AtomicBool,
+    config: &ServiceConfig,
+    wcfg: WatchdogConfig,
+) {
+    let interval = wcfg.interval.max(Duration::from_micros(100));
+    let slice = Duration::from_millis(5).min(interval);
+    let mut seen: HashMap<usize, (u64, u64, u32)> = HashMap::new();
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let nap = slice.min(interval - slept);
+            std::thread::sleep(nap);
+            slept += nap;
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        watchdog_tick(ledger, workers, config, wcfg, &mut seen);
+    }
+}
+
 /// Execute one job's attempt loop: panic guard, fault injection, response
 /// validation, cooperative cancel/deadline checks, capped backoff between
 /// retries. Returns (final result, attempts used, accumulated timing,
@@ -827,6 +1460,7 @@ fn run_attempts(
     scratch: &mut WorkerScratch,
     job: &Job,
     config: &ServiceConfig,
+    slot: &Arc<WorkerSlot>,
 ) -> (
     Result<ScheduleResponse, ServiceError>,
     u32,
@@ -836,29 +1470,43 @@ fn run_attempts(
 ) {
     let mut timing = RequestTiming::default();
     let mut exec_ns = 0u64;
-    let mut attempts = 0u32;
     let mut retries = 0u64;
     let result = loop {
         // Cooperative abandonment between attempts.
+        if job.abandoned.load(Ordering::Relaxed) {
+            break Err(ServiceError::Faulted(
+                "dispatch abandoned by watchdog".into(),
+            ));
+        }
         if job.cancel.load(Ordering::Relaxed) {
             break Err(ServiceError::Cancelled);
         }
         if job.deadline.is_some_and(|d| d.is_expired()) {
             break Err(ServiceError::Expired);
         }
-        attempts += 1;
+        // The absolute attempt counter is shared with the ledger's
+        // in-flight record, so a confiscated-and-requeued request keeps
+        // its spent budget.
+        let attempt = job.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.beat.fetch_add(1, Ordering::Relaxed);
         let ctx = ExecCtx {
             cancel: Some(Arc::clone(&job.cancel)),
             deadline: job.deadline.map(|d| d.0),
+            beat: Some(Arc::clone(&slot.beat)),
         };
         let t0 = Instant::now();
-        let attempt_result = run_one_attempt(scratch, job, attempts, &ctx, config, &mut timing);
+        let attempt_result = run_one_attempt(scratch, job, attempt, &ctx, config, &mut timing);
         exec_ns += t0.elapsed().as_nanos() as u64;
+        slot.beat.fetch_add(1, Ordering::Relaxed);
         match attempt_result {
             Ok(resp) => break Ok(resp),
-            Err(e) if e.is_transient() && attempts < job.max_attempts => {
+            Err(e)
+                if e.is_transient()
+                    && attempt < job.max_attempts
+                    && !job.abandoned.load(Ordering::Relaxed) =>
+            {
                 retries += 1;
-                let wait = backoff_delay(attempts + 1, config.backoff_base, config.backoff_cap);
+                let wait = backoff_delay(attempt + 1, config.backoff_base, config.backoff_cap);
                 if !wait.is_zero() {
                     std::thread::sleep(wait);
                 }
@@ -866,7 +1514,13 @@ fn run_attempts(
             Err(e) => break Err(e),
         }
     };
-    (result, attempts, timing, exec_ns, retries)
+    (
+        result,
+        job.attempts.load(Ordering::Relaxed),
+        timing,
+        exec_ns,
+        retries,
+    )
 }
 
 fn run_one_attempt(
@@ -880,23 +1534,49 @@ fn run_one_attempt(
     let fault = config
         .fault_plan
         .as_ref()
-        .and_then(|p| p.fault_for(job.id, attempt));
+        .and_then(|p| p.fault_for(job.id, attempt))
+        // Net-layer kinds are drawn by the TCP front-end's writer, not
+        // the pool: the request executes normally here.
+        .filter(|f| !matches!(f, Fault::SlowReader | Fault::Disconnect));
     if let Some(Fault::Stall) = fault {
-        // A wedged execution, cut off by the lifecycle layer: the attempt
-        // burns its stall budget and reports a transient fault (which the
-        // retry loop then recovers from, deadline permitting).
-        let stall = config
-            .fault_plan
-            .as_ref()
-            .map(|p| p.stall_duration)
-            .unwrap_or_default();
-        if !stall.is_zero() {
-            std::thread::sleep(stall);
+        let plan = config.fault_plan.as_ref().expect("stall implies a plan");
+        match plan.stall_mode {
+            StallMode::Sleep => {
+                // A wedged execution that self-resolves: the attempt
+                // burns its stall budget and reports a transient fault
+                // (which the retry loop then recovers from, deadline
+                // permitting).
+                if !plan.stall_duration.is_zero() {
+                    std::thread::sleep(plan.stall_duration);
+                }
+                return Err(ServiceError::Faulted(format!(
+                    "injected stall ({} attempt {attempt})",
+                    job.id
+                )));
+            }
+            StallMode::Wedge => {
+                // A truly wedged execution: block until the watchdog
+                // abandons the dispatch, the caller cancels, or the
+                // deadline passes. Deliberately does NOT bump the
+                // heartbeat — frozen heartbeats are what the watchdog
+                // detects.
+                loop {
+                    if job.abandoned.load(Ordering::Relaxed) {
+                        return Err(ServiceError::Faulted(format!(
+                            "injected wedge ({} attempt {attempt}) cut off by watchdog",
+                            job.id
+                        )));
+                    }
+                    if job.cancel.load(Ordering::Relaxed) {
+                        return Err(ServiceError::Cancelled);
+                    }
+                    if job.deadline.is_some_and(|d| d.is_expired()) {
+                        return Err(ServiceError::Expired);
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
         }
-        return Err(ServiceError::Faulted(format!(
-            "injected stall ({} attempt {attempt})",
-            job.id
-        )));
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if let Some(Fault::Panic) = fault {
@@ -1076,6 +1756,260 @@ mod tests {
         let again = svc.shutdown(DrainPolicy::Shed);
         assert_eq!(again.workers_joined, 0);
         assert_eq!(again.shed, 0);
+    }
+
+    fn test_job(id: u64, p: Priority, deadline: Option<Deadline>, seq: u64) -> Job {
+        Job {
+            id: RequestId(id),
+            req: Arc::new(ScheduleRequest::loop_on_corpus("figure7")),
+            deadline,
+            max_attempts: 2,
+            priority: p,
+            cancel: Arc::new(AtomicBool::new(false)),
+            abandoned: Arc::new(AtomicBool::new(false)),
+            attempts: Arc::new(AtomicU32::new(0)),
+            admitted_seq: seq,
+            admitted_at: Instant::now(),
+        }
+    }
+
+    fn empty_ledger() -> Ledger {
+        Ledger {
+            lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            dequeues: 0,
+            done: HashMap::new(),
+            inflight: HashMap::new(),
+            known: HashSet::new(),
+            outstanding: 0,
+            accepting: true,
+            next_id: 0,
+            next_worker: 0,
+            slots: Vec::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    #[test]
+    fn lanes_drain_high_before_normal_before_low() {
+        let mut led = empty_ledger();
+        led.push_job(test_job(0, Priority::Low, None, 0));
+        led.push_job(test_job(1, Priority::Normal, None, 0));
+        led.push_job(test_job(2, Priority::High, None, 0));
+        led.push_job(test_job(3, Priority::High, None, 0));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| led.pop_job(u64::MAX).map(|j| j.id.0)).collect();
+        assert_eq!(order, vec![2, 3, 1, 0], "lane-major, id order within");
+    }
+
+    #[test]
+    fn deadline_earliest_first_within_lane() {
+        let now = Instant::now();
+        let far = Deadline(now + Duration::from_secs(60));
+        let near = Deadline(now + Duration::from_secs(5));
+        let mut led = empty_ledger();
+        led.push_job(test_job(0, Priority::Normal, None, 0)); // no deadline: last
+        led.push_job(test_job(1, Priority::Normal, Some(far), 0));
+        led.push_job(test_job(2, Priority::Normal, Some(near), 0));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| led.pop_job(u64::MAX).map(|j| j.id.0)).collect();
+        assert_eq!(
+            order,
+            vec![2, 1, 0],
+            "earliest deadline first, deadline-less last"
+        );
+    }
+
+    #[test]
+    fn aging_promotes_starved_low_over_fresh_high() {
+        let mut led = empty_ledger();
+        led.dequeues = 100;
+        led.push_job(test_job(0, Priority::Low, None, 0)); // age 100
+        led.push_job(test_job(1, Priority::High, None, 99)); // age 1
+        let first = led.pop_job(64).unwrap();
+        assert_eq!(first.id.0, 0, "starved Low beats fresh High once aged");
+        let second = led.pop_job(64).unwrap();
+        assert_eq!(second.id.0, 1);
+        // Below the aging threshold, lane order rules.
+        let mut led = empty_ledger();
+        led.dequeues = 10;
+        led.push_job(test_job(0, Priority::Low, None, 0)); // age 10 < 64
+        led.push_job(test_job(1, Priority::High, None, 9));
+        assert_eq!(led.pop_job(64).unwrap().id.0, 1, "no aging yet: High first");
+    }
+
+    #[test]
+    fn eviction_picks_lowest_priority_least_urgent() {
+        let now = Instant::now();
+        let near = Deadline(now + Duration::from_secs(1));
+        let far = Deadline(now + Duration::from_secs(60));
+        let mut led = empty_ledger();
+        led.push_job(test_job(0, Priority::Normal, Some(near), 0));
+        led.push_job(test_job(1, Priority::Low, Some(near), 0));
+        led.push_job(test_job(2, Priority::Low, Some(far), 0));
+        // High arrival: Low lane is raided first, latest deadline inside.
+        assert_eq!(led.evict_below(Priority::High).unwrap().id.0, 2);
+        // Again: remaining Low (near deadline) goes before any Normal.
+        assert_eq!(led.evict_below(Priority::High).unwrap().id.0, 1);
+        // Now only Normal is left: evictable for High…
+        assert_eq!(led.evict_below(Priority::High).unwrap().id.0, 0);
+        // …and nothing below Low, ever.
+        led.push_job(test_job(3, Priority::Low, None, 0));
+        assert!(led.evict_below(Priority::Low).is_none());
+        // A deadline-less Low counts least urgent of all.
+        led.push_job(test_job(4, Priority::Low, Some(far), 0));
+        assert_eq!(led.evict_below(Priority::Normal).unwrap().id.0, 3);
+    }
+
+    #[test]
+    fn priority_wire_names_round_trip() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Priority::from_name("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::High < Priority::Normal && Priority::Normal < Priority::Low);
+    }
+
+    #[test]
+    fn health_snapshot_reports_pool_state() {
+        let svc = Service::new(2);
+        let h = svc.health();
+        assert_eq!(h.workers.len(), 2);
+        assert_eq!(
+            h.workers.iter().map(|w| w.index).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(h.replaced_workers, 0);
+        assert_eq!(h.queued, [0, 0, 0]);
+        assert!(h.accepting);
+        assert!(!h.over_high_water, "brownout disabled by default");
+        let id = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        assert!(svc.collect(&[id])[0].1.is_ok());
+        let h = svc.health();
+        assert!(h.workers.iter().any(|w| w.heartbeats > 0), "beats advanced");
+        svc.shutdown(DrainPolicy::Finish);
+        let h = svc.health();
+        assert!(!h.accepting);
+        assert!(h.workers.is_empty(), "exited workers deregister");
+    }
+
+    #[test]
+    fn brownout_refuses_low_while_queue_past_high_water() {
+        // Deterministic setup: the single worker wedges forever on id 0
+        // (watchdog off, wedge exits on cancel), so id 1 is provably
+        // still queued — depth ≥ 1 = high_water — when the Low arrival
+        // is tried, with no timing assumptions.
+        let svc = Service::with_config(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            high_water: 1,
+            max_attempts: 1,
+            fault_plan: Some(FaultPlan::explicit([(0, Fault::Stall)]).wedged()),
+            watchdog: None,
+            ..ServiceConfig::default()
+        });
+        let a = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        // The wedge holds the worker on id 0 until cancelled, so waiting
+        // for it to leave the queue is deterministic — and afterwards the
+        // queue depth below is exact, not racing the dequeue.
+        while svc.health().inflight < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let b = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        let low = svc.try_submit(
+            ScheduleRequest::loop_on_corpus("figure7"),
+            SubmitOptions {
+                priority: Priority::Low,
+                ..SubmitOptions::default()
+            },
+        );
+        assert_eq!(low, SubmitOutcome::Rejected(RejectReason::Overloaded));
+        // High/Normal arrivals are never brownout-refused.
+        let high = svc.try_submit(
+            ScheduleRequest::loop_on_corpus("figure7"),
+            SubmitOptions {
+                priority: Priority::High,
+                ..SubmitOptions::default()
+            },
+        );
+        let c = high.id().expect("High admitted during brownout");
+        assert_eq!(svc.stats().overloaded, 1);
+        // Release the wedge; everything admitted still answers.
+        svc.cancel(a);
+        let got = svc.collect(&[a, b, c]);
+        assert!(
+            matches!(&got[0].1, Err(ServiceError::Cancelled)),
+            "{:?}",
+            got[0].1
+        );
+        assert!(got[1].1.is_ok());
+        assert!(got[2].1.is_ok());
+    }
+
+    #[test]
+    fn hard_capacity_evicts_lowest_priority_for_high_arrival() {
+        // Same wedge trick: worker stuck on id 0, queue capacity 2 holds
+        // {Normal id 1, Low id 2}. A High arrival at hard capacity must
+        // evict the Low victim (answered Overloaded) and be admitted.
+        let svc = Service::with_config(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_attempts: 1,
+            fault_plan: Some(FaultPlan::explicit([(0, Fault::Stall)]).wedged()),
+            watchdog: None,
+            ..ServiceConfig::default()
+        });
+        let a = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        // Deterministic: the wedge pins the worker on id 0, so once it is
+        // in flight the queue holds exactly what we put there.
+        while svc.health().inflight < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let b = svc.submit(ScheduleRequest::loop_on_corpus("figure7"));
+        let low = svc
+            .try_submit(
+                ScheduleRequest::loop_on_corpus("figure7"),
+                SubmitOptions {
+                    priority: Priority::Low,
+                    ..SubmitOptions::default()
+                },
+            )
+            .id()
+            .expect("fills the queue");
+        // Queue is hard-full; a Low arrival has nothing strictly lower
+        // to evict, so it would block.
+        assert_eq!(
+            svc.try_submit(
+                ScheduleRequest::loop_on_corpus("figure7"),
+                SubmitOptions {
+                    priority: Priority::Low,
+                    ..SubmitOptions::default()
+                },
+            ),
+            SubmitOutcome::WouldBlock,
+        );
+        let high = svc
+            .try_submit(
+                ScheduleRequest::loop_on_corpus("figure7"),
+                SubmitOptions {
+                    priority: Priority::High,
+                    ..SubmitOptions::default()
+                },
+            )
+            .id()
+            .expect("High evicts the Low victim");
+        let got = svc.collect(&[low]);
+        assert!(
+            matches!(&got[0].1, Err(ServiceError::Overloaded)),
+            "{:?}",
+            got[0].1
+        );
+        assert_eq!(svc.stats().overloaded, 1);
+        svc.cancel(a);
+        let rest = svc.collect(&[a, b, high]);
+        assert!(matches!(&rest[0].1, Err(ServiceError::Cancelled)));
+        assert!(rest[1].1.is_ok());
+        assert!(rest[2].1.is_ok());
     }
 
     #[test]

@@ -27,12 +27,28 @@
 //! * **Graceful shutdown** — [`NetServer::shutdown`] stops accepting,
 //!   lets connection handlers finish their in-flight lines, joins every
 //!   connection thread, then drains the service per [`DrainPolicy`].
+//! * **End-to-end backpressure** — while the pool's queue is past its
+//!   brownout high-water mark ([`high_water`](super::ServiceConfig::high_water)) every
+//!   connection handler stops reading its socket; unread requests pile
+//!   up in the kernel buffers until the *client's* sends block, so
+//!   overload pushes back to the source instead of growing the queue.
+//! * **Partial-line refusal** — a request line split across reads that
+//!   straddles the idle timeout is answered with a JSON `bad request`
+//!   error before the connection closes; it is never silently dropped.
+//! * **Health probe** — the bare line `health` answers a
+//!   [`PoolHealth`](super::PoolHealth) JSON snapshot in sequence
+//!   ([`wire::health_json`]) without costing a pool slot.
+//! * **Net-layer fault injection** — [`NetConfig::fault_plan`] draws
+//!   [`Fault::SlowReader`] / [`Fault::Disconnect`] per response
+//!   sequence, so the slow-consumer and server-drop paths are exercised
+//!   by the same seeded harness as the pool faults.
 
+use super::faultinject::{Fault, FaultPlan};
 use super::{
     wire, DrainPolicy, Service, ServiceError, ShutdownReport, SubmitOptions, SubmitOutcome,
 };
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -52,6 +68,12 @@ pub struct NetConfig {
     /// Deadline applied to every request admitted over this front-end
     /// (a per-line `deadline_ms=` overrides it).
     pub default_deadline: Option<Duration>,
+    /// Net-layer fault injection, keyed on the per-connection response
+    /// sequence number: [`Fault::SlowReader`] trickles a response out in
+    /// pieces, [`Fault::Disconnect`] drops the connection right after a
+    /// response. Pool-level kinds in the plan are ignored here (and vice
+    /// versa), so one seeded plan can drive both layers.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for NetConfig {
@@ -60,6 +82,7 @@ impl Default for NetConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
             default_deadline: None,
+            fault_plan: None,
         }
     }
 }
@@ -189,8 +212,11 @@ enum Slot {
     /// Admitted to the pool under this id.
     Pending(super::RequestId),
     /// Answered without reaching the pool (parse error, admission
-    /// closed).
+    /// closed, brownout refusal).
     Immediate(ServiceError),
+    /// A `health` probe line: the writer snapshots the pool when the
+    /// slot's turn comes.
+    Health,
 }
 
 /// The reader-to-writer channel payload: (response sequence number, slot).
@@ -204,7 +230,8 @@ fn handle_connection(stream: TcpStream, svc: &Arc<Service>, stop: &AtomicBool, c
     let (tx, rx): (Sender<SeqSlot>, Receiver<SeqSlot>) = channel();
     let writer = {
         let svc = Arc::clone(svc);
-        std::thread::spawn(move || write_responses(write_half, &svc, &rx))
+        let cfg = cfg.clone();
+        std::thread::spawn(move || write_responses(write_half, &svc, &rx, &cfg))
     };
 
     let mut reader = BufReader::new(stream);
@@ -220,13 +247,21 @@ fn handle_connection(stream: TcpStream, svc: &Arc<Service>, stop: &AtomicBool, c
             Ok(0) => break, // EOF: client closed its write half
             Ok(_) => {
                 let full = std::mem::take(&mut line);
-                idle_since = Instant::now();
                 if let Some(slot) = admit_line(svc, &full, cfg) {
                     if tx.send((seq, slot)).is_err() {
                         break; // writer gone: client disconnected
                     }
                     seq += 1;
                 }
+                // End-to-end backpressure: while the pool is past its
+                // brownout high-water mark, stop reading this socket.
+                // Unread requests accumulate in the kernel buffers until
+                // the client's own sends block — overload pushes back to
+                // the source instead of growing the queue.
+                while svc.over_high_water() && !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(POLL);
+                }
+                idle_since = Instant::now();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 // A partial line may have landed in `line`; keep it and
@@ -235,6 +270,14 @@ fn handle_connection(stream: TcpStream, svc: &Arc<Service>, stop: &AtomicBool, c
                     idle_since = Instant::now();
                 }
                 if idle_since.elapsed() >= cfg.read_timeout {
+                    // A half-received request line must not vanish
+                    // silently: refuse it in sequence, then close.
+                    if !line.trim().is_empty() {
+                        let refusal = Slot::Immediate(ServiceError::BadRequest(
+                            "connection timed out with a partial request line".into(),
+                        ));
+                        let _ = tx.send((seq, refusal));
+                    }
                     break;
                 }
             }
@@ -248,6 +291,9 @@ fn handle_connection(stream: TcpStream, svc: &Arc<Service>, stop: &AtomicBool, c
 /// Parse one request line and admit it to the pool. `None` = comment or
 /// blank line (no response slot).
 fn admit_line(svc: &Service, line: &str, cfg: &NetConfig) -> Option<Slot> {
+    if wire::is_health_line(line) {
+        return Some(Slot::Health);
+    }
     match wire::parse_request_line(line) {
         Ok(None) => None,
         Err(e) => Some(Slot::Immediate(ServiceError::BadRequest(e))),
@@ -259,6 +305,7 @@ fn admit_line(svc: &Service, line: &str, cfg: &NetConfig) -> Option<Slot> {
             let opts = SubmitOptions {
                 deadline,
                 max_attempts: None,
+                priority: parsed.priority,
             };
             match svc.submit_opts(parsed.req, opts) {
                 SubmitOutcome::Accepted(id) => Some(Slot::Pending(id)),
@@ -266,6 +313,10 @@ fn admit_line(svc: &Service, line: &str, cfg: &NetConfig) -> Option<Slot> {
                 // slot; relay its diagnostic to the client verbatim.
                 SubmitOutcome::Rejected(super::RejectReason::InvalidDdg { code, message }) => {
                     Some(Slot::Immediate(ServiceError::InvalidDdg { code, message }))
+                }
+                // Brownout: a Low request past the high-water mark.
+                SubmitOutcome::Rejected(super::RejectReason::Overloaded) => {
+                    Some(Slot::Immediate(ServiceError::Overloaded))
                 }
                 // submit_opts blocks on a full queue, so anything else
                 // means admission is closed for good.
@@ -278,29 +329,60 @@ fn admit_line(svc: &Service, line: &str, cfg: &NetConfig) -> Option<Slot> {
 /// Collect and answer each admitted line in order. On a write failure
 /// (client gone) the remaining responses are still collected — the
 /// ledger must not leak ids — just not written.
-fn write_responses(mut out: TcpStream, svc: &Service, rx: &Receiver<(u64, Slot)>) {
+fn write_responses(mut out: TcpStream, svc: &Service, rx: &Receiver<(u64, Slot)>, cfg: &NetConfig) {
     let mut client_gone = false;
     for (seq, slot) in rx.iter() {
-        let (result, attempts) = match slot {
-            Slot::Immediate(e) => (Err(e), 0),
+        // Always collect — even with the client gone — so admitted ids
+        // never leak in the ledger.
+        let json = match slot {
+            Slot::Health => wire::health_json(seq, &svc.health()),
+            Slot::Immediate(e) => wire::response_json_with(seq, &Err(e), 0),
             Slot::Pending(id) => {
                 let c = svc
                     .collect_detailed(&[id], None)
                     .pop()
                     .expect("one id in, one completion out");
-                (c.result, c.attempts)
+                wire::response_json_with(seq, &c.result, c.attempts)
             }
         };
         if client_gone {
             continue;
         }
-        let json = wire::response_json_with(seq, &result, attempts);
-        if out
-            .write_all(format!("{json}\n").as_bytes())
-            .and_then(|()| out.flush())
-            .is_err()
-        {
+        // Net-layer faults are keyed on the response sequence, attempt 1
+        // (responses are written once); pool kinds in the plan are not
+        // drawn here.
+        let fault = cfg
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.fault_for(super::RequestId(seq), 1));
+        let payload = format!("{json}\n");
+        let wrote = match fault {
+            Some(Fault::SlowReader) => write_slowly(&mut out, payload.as_bytes()),
+            _ => out.write_all(payload.as_bytes()).and_then(|()| out.flush()),
+        };
+        if wrote.is_err() {
+            client_gone = true;
+            continue;
+        }
+        if matches!(fault, Some(Fault::Disconnect)) {
+            // Server-side drop right after a complete response: the
+            // remaining slots are still collected above, so nothing
+            // leaks — the client just stops hearing answers.
+            let _ = out.shutdown(Shutdown::Both);
             client_gone = true;
         }
     }
+}
+
+/// A deliberately slow consumer path: the response trickles out in two
+/// flushed chunks with a pause between, exercising partial-write
+/// handling on the client without stalling the pool (the writer thread
+/// owns the delay, the workers never wait on it).
+fn write_slowly(out: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    let mid = bytes.len() / 2;
+    out.write_all(&bytes[..mid])?;
+    out.flush()?;
+    std::thread::sleep(Duration::from_millis(2));
+    out.write_all(&bytes[mid..])?;
+    out.flush()
 }

@@ -11,7 +11,7 @@ use kn_sched::{Cycle, MachineConfig};
 use kn_sim::{sequential_time, EventEngine, SimOptions, TrafficModel};
 use kn_workloads::Workload;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -200,6 +200,11 @@ pub enum ServiceError {
     /// `collect_timeout` gave up waiting; the request is still running
     /// and its real response remains collectable.
     Timeout,
+    /// The brownout policy shed this request under overload: either it
+    /// was still queued when a higher-priority arrival claimed the last
+    /// slot, or it arrived as `Priority::Low` while the queue was past
+    /// the high-water mark. Final — resubmit once load subsides.
+    Overloaded,
 }
 
 impl ServiceError {
@@ -226,6 +231,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "service shutting down"),
             ServiceError::UnknownRequest => write!(f, "unknown request id"),
             ServiceError::Timeout => write!(f, "collect timed out"),
+            ServiceError::Overloaded => write!(f, "overloaded: shed by brownout policy"),
         }
     }
 }
@@ -242,6 +248,12 @@ impl std::error::Error for ServiceError {}
 pub struct ExecCtx {
     pub cancel: Option<Arc<AtomicBool>>,
     pub deadline: Option<Instant>,
+    /// Worker heartbeat counter, bumped on every [`ExecCtx::check`]. The
+    /// watchdog declares a worker stuck only when this stops advancing
+    /// while the worker stays busy on the same request — progress through
+    /// phase boundaries, not wall time spent inside a phase, is what
+    /// counts as liveness.
+    pub beat: Option<Arc<AtomicU64>>,
 }
 
 impl ExecCtx {
@@ -253,6 +265,9 @@ impl ExecCtx {
     /// Err if the request should stop now: [`ServiceError::Cancelled`]
     /// wins over [`ServiceError::Expired`].
     pub fn check(&self) -> Result<(), ServiceError> {
+        if let Some(b) = &self.beat {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(c) = &self.cancel {
             if c.load(Ordering::Relaxed) {
                 return Err(ServiceError::Cancelled);
@@ -652,7 +667,7 @@ mod tests {
         let cancel = Arc::new(AtomicBool::new(true));
         let ctx = ExecCtx {
             cancel: Some(cancel),
-            deadline: None,
+            ..ExecCtx::default()
         };
         let (r, timing) = execute_with(
             &mut WorkerScratch::default(),
@@ -666,8 +681,8 @@ mod tests {
     #[test]
     fn expired_context_abandons_between_phases() {
         let ctx = ExecCtx {
-            cancel: None,
             deadline: Some(Instant::now()),
+            ..ExecCtx::default()
         };
         let (r, _) = execute_with(
             &mut WorkerScratch::default(),

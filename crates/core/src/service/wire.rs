@@ -22,9 +22,15 @@
 //! | `mm` | traffic fluctuation factor | 1 |
 //! | `seed` | traffic seed | 0 |
 //! | `deadline_ms` | per-request deadline in milliseconds | none |
+//! | `priority` | `high` \| `normal` \| `low` (queue lane; `low` sheds first under brownout) | `normal` |
 //!
 //! A repeated key is a parse error — last-wins would silently mask a
 //! typo in a machine-generated batch.
+//!
+//! The bare line `health` is not a scheduling request: it answers one
+//! JSON [`PoolHealth`] snapshot ([`health_json`]) in sequence with the
+//! other responses, so operators can probe a loaded server over the same
+//! connection that is feeding it work.
 //!
 //! **Responses** are one JSON object per line, in request order, carrying
 //! the request id and either the outcome or an error. Responses contain
@@ -35,8 +41,8 @@
 //! artifact instead of diffed.
 
 use super::{
-    LoopOutcome, LoopRequest, LoopSource, ScheduleRequest, ScheduleResponse, SchedulerChoice,
-    ServiceError, ServiceStats,
+    LoopOutcome, LoopRequest, LoopSource, PoolHealth, Priority, ScheduleRequest, ScheduleResponse,
+    SchedulerChoice, ServiceError, ServiceStats,
 };
 use kn_sim::{EventEngine, LinkModel, TrafficModel};
 
@@ -48,6 +54,14 @@ pub struct ParsedRequest {
     /// `deadline_ms=` field: how long after admission the request stays
     /// worth executing. `None` = no deadline.
     pub deadline_ms: Option<u64>,
+    /// `priority=` field: queue lane (default `normal`).
+    pub priority: Priority,
+}
+
+/// Is this line the `health` probe? (Checked before request parsing;
+/// the probe takes no `key=value` fields.)
+pub fn is_health_line(line: &str) -> bool {
+    line.trim() == "health"
 }
 
 /// Parse one request line. `Ok(None)` = blank or comment line.
@@ -61,6 +75,7 @@ pub fn parse_request_line(line: &str) -> Result<Option<ParsedRequest>, String> {
     let mut mm: u32 = 1;
     let mut seed: u64 = 0;
     let mut deadline_ms: Option<u64> = None;
+    let mut priority = Priority::Normal;
     let mut seen: Vec<&str> = Vec::new();
     for field in line.split_whitespace() {
         let (key, value) = field
@@ -86,6 +101,10 @@ pub fn parse_request_line(line: &str) -> Result<Option<ParsedRequest>, String> {
             "mm" => mm = parse_num(key, value)?,
             "seed" => seed = parse_num(key, value)?,
             "deadline_ms" => deadline_ms = Some(parse_num(key, value)?),
+            "priority" => {
+                priority = Priority::from_name(value)
+                    .ok_or_else(|| format!("unknown priority {value:?} (high|normal|low)"))?
+            }
             "link" => {
                 req.sim.link = LinkModel::from_name(value)
                     .ok_or_else(|| format!("unknown link model {value:?}"))?
@@ -111,6 +130,7 @@ pub fn parse_request_line(line: &str) -> Result<Option<ParsedRequest>, String> {
     Ok(Some(ParsedRequest {
         req: ScheduleRequest::Loop(req),
         deadline_ms,
+        priority,
     }))
 }
 
@@ -231,6 +251,38 @@ fn loop_json(id: u64, out: &LoopOutcome) -> String {
     )
 }
 
+/// Render a [`PoolHealth`] snapshot as one JSON line, answered in
+/// sequence for a `health` request line. Unlike scheduling responses
+/// this is *not* deterministic (heartbeats and queue depths are live
+/// state), so health lines never appear in replayed golden corpora.
+pub fn health_json(id: u64, h: &PoolHealth) -> String {
+    let workers: Vec<String> = h
+        .workers
+        .iter()
+        .map(|w| {
+            let busy = match w.busy {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"index\": {}, \"busy\": {busy}, \"heartbeats\": {}}}",
+                w.index, w.heartbeats
+            )
+        })
+        .collect();
+    format!(
+        "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"health\", \"workers\": [{}], \"replaced_workers\": {}, \"queued_high\": {}, \"queued_normal\": {}, \"queued_low\": {}, \"inflight\": {}, \"accepting\": {}, \"over_high_water\": {}}}",
+        workers.join(", "),
+        h.replaced_workers,
+        h.queued[0],
+        h.queued[1],
+        h.queued[2],
+        h.inflight,
+        h.accepting,
+        h.over_high_water,
+    )
+}
+
 /// Render the batch throughput/latency stats as JSON (schema
 /// `kn-service-throughput-v2`; v2 adds the lifecycle counters —
 /// retries, expired, cancelled, shed, rejected). This is the run-varying
@@ -325,6 +377,8 @@ mod tests {
             ("corpus=figure7 k=2 k=3", "duplicate key \"k\""),
             ("corpus=figure7 corpus=figure3", "duplicate key \"corpus\""),
             ("corpus=figure7 deadline_ms=fast", "not a valid number"),
+            ("corpus=figure7 priority=urgent", "unknown priority"),
+            ("corpus=figure7 priority=low priority=high", "duplicate key"),
         ] {
             let e = parse_request_line(line).unwrap_err();
             assert!(
@@ -332,6 +386,49 @@ mod tests {
                 "{line:?}: {e:?} should contain {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn priority_key_parses_and_defaults_to_normal() {
+        let p = parse_request_line("corpus=figure7 priority=high")
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.priority, Priority::High);
+        let p = parse_request_line("corpus=figure7").unwrap().unwrap();
+        assert_eq!(p.priority, Priority::Normal);
+    }
+
+    #[test]
+    fn health_line_is_recognized_and_rendered() {
+        assert!(is_health_line("health"));
+        assert!(is_health_line("  health  "));
+        assert!(!is_health_line("healthy"));
+        assert!(!is_health_line("# health"));
+        let h = PoolHealth {
+            workers: vec![
+                super::super::WorkerHealth {
+                    index: 0,
+                    busy: Some(7),
+                    heartbeats: 42,
+                },
+                super::super::WorkerHealth {
+                    index: 2,
+                    busy: None,
+                    heartbeats: 9,
+                },
+            ],
+            replaced_workers: 1,
+            queued: [1, 2, 3],
+            inflight: 1,
+            accepting: true,
+            over_high_water: false,
+        };
+        let line = health_json(5, &h);
+        assert_eq!(
+            line,
+            "{\"id\": 5, \"status\": \"ok\", \"kind\": \"health\", \"workers\": [{\"index\": 0, \"busy\": 7, \"heartbeats\": 42}, {\"index\": 2, \"busy\": null, \"heartbeats\": 9}], \"replaced_workers\": 1, \"queued_high\": 1, \"queued_normal\": 2, \"queued_low\": 3, \"inflight\": 1, \"accepting\": true, \"over_high_water\": false}"
+        );
+        assert_eq!(line.lines().count(), 1);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 
 use kn_core::service::faultinject::{Fault, FaultPlan};
 use kn_core::service::{
-    execute, CancelOutcome, Deadline, DrainPolicy, LoopRequest, LoopSource, RequestId,
+    execute, CancelOutcome, Deadline, DrainPolicy, LoopRequest, LoopSource, Priority, RequestId,
     ScheduleRequest, Service, ServiceConfig, ServiceError, SubmitOptions, SubmitOutcome,
+    WatchdogConfig,
 };
 use kn_core::sim::TrafficModel;
 use proptest::prelude::*;
@@ -71,7 +72,7 @@ fn faulted_batch_loses_nothing_and_recovers_on_four_workers() {
             cheap_request(i),
             SubmitOptions {
                 deadline: Some(Deadline::after(Duration::from_secs(60))),
-                max_attempts: None,
+                ..SubmitOptions::default()
             },
         );
         let SubmitOutcome::Accepted(id) = outcome else {
@@ -303,8 +304,151 @@ fn shed_shutdown_answers_queued_work_without_running_it() {
     ));
 }
 
+/// A watchdog tuned for tests: the stuck budget is 3 samples at 10 ms, so
+/// a wedge is detected in ~30 ms while a healthy cheap request (µs-scale)
+/// can never be observed busy-and-unchanged three times.
+fn fast_watchdog() -> Option<WatchdogConfig> {
+    Some(WatchdogConfig {
+        interval: Duration::from_millis(10),
+        stuck_ticks: 3,
+    })
+}
+
+/// The ISSUE's tentpole acceptance scenario: a worker wedges forever on
+/// one request (a transient injected wedge — it never advances its
+/// heartbeat), the watchdog declares it stuck within the logical budget,
+/// replaces it, and the confiscated request completes via a clean retry.
+/// Zero ids lost, every response byte-identical to the fault-free run,
+/// `replaced_workers == 1`.
+#[test]
+fn watchdog_replaces_a_wedged_worker_and_the_request_survives() {
+    const N: u64 = 6;
+    let svc = Service::with_config(ServiceConfig {
+        workers: 2,
+        fault_plan: Some(FaultPlan::explicit([(0, Fault::Stall)]).wedged()),
+        watchdog: fast_watchdog(),
+        ..ServiceConfig::default()
+    });
+    let ids = svc.submit_batch((0..N).map(cheap_request).collect());
+    let completed = svc.collect_detailed(&ids, None);
+    assert_eq!(completed.len(), N as usize, "zero lost ids");
+    for c in &completed {
+        let want = debug_of(&execute(&cheap_request(c.id.0)));
+        assert_eq!(debug_of(&c.result), want, "id {} diverged", c.id.0);
+    }
+    assert_eq!(
+        completed[0].attempts, 2,
+        "the wedged attempt was cut off and retried cleanly"
+    );
+    let stats = svc.stats();
+    assert_eq!(stats.replaced_workers, 1, "exactly one worker condemned");
+    assert_eq!(stats.retries, 1, "the confiscated request was requeued");
+    assert_eq!(stats.errors, 0);
+    // The pool healed: still two workers, one carrying a fresh index.
+    let h = svc.health();
+    assert_eq!(h.workers.len(), 2);
+    assert!(
+        h.workers.iter().any(|w| w.index >= 2),
+        "replacement has a fresh index: {h:?}"
+    );
+    let report = svc.shutdown(DrainPolicy::Finish);
+    assert_eq!(
+        report.workers_joined, 2,
+        "replacement joins; victim detached"
+    );
+}
+
+/// A *sticky* wedge re-wedges every attempt: each replacement worker gets
+/// stuck again until the retry budget is spent, then the request settles
+/// `Faulted` — retryable error, never a hang, and the replacement count
+/// equals the attempt budget.
+#[test]
+fn sticky_wedge_spends_the_retry_budget_on_replacements() {
+    let svc = Service::with_config(ServiceConfig {
+        workers: 1,
+        max_attempts: 2,
+        fault_plan: Some(FaultPlan::explicit([(0, Fault::Stall)]).wedged().sticky()),
+        watchdog: fast_watchdog(),
+        ..ServiceConfig::default()
+    });
+    let id = svc.submit(cheap_request(0));
+    let ok = svc.submit(cheap_request(1));
+    let completed = svc.collect_detailed(&[id, ok], None);
+    let c = &completed[0];
+    assert!(
+        matches!(&c.result, Err(ServiceError::Faulted(m)) if m.contains("stuck")),
+        "{:?}",
+        c.result
+    );
+    assert_eq!(c.attempts, 2, "budget spent");
+    assert!(completed[1].result.is_ok(), "the pool stayed alive");
+    let stats = svc.stats();
+    assert_eq!(
+        stats.replaced_workers, 2,
+        "one replacement per wedged attempt"
+    );
+    assert_eq!(stats.errors, 1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Starvation guard (ISSUE acceptance): under any priority mix on a
+    /// bounded queue, every *accepted* request is eventually answered
+    /// once load subsides — aging promotes starved Normal/Low work past
+    /// a stream of higher-priority arrivals, so nothing waits forever.
+    /// Eviction is an answer (`Overloaded`), not starvation.
+    #[test]
+    fn every_accepted_request_completes_under_priority_churn(
+        seed in 0u64..500,
+        workers in 1usize..4,
+        age_promote in 2u64..16,
+    ) {
+        const N: u64 = 24;
+        let svc = Service::with_config(ServiceConfig {
+            workers,
+            queue_capacity: 4,
+            high_water: 2,
+            age_promote,
+            watchdog: None,
+            ..ServiceConfig::default()
+        });
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut accepted = Vec::new();
+        for i in 0..N {
+            let priority = match next() % 3 {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                _ => Priority::Low,
+            };
+            let outcome = svc.try_submit(
+                cheap_request(i),
+                SubmitOptions { priority, ..SubmitOptions::default() },
+            );
+            if let SubmitOutcome::Accepted(id) = outcome {
+                accepted.push(id);
+            }
+        }
+        prop_assert!(!accepted.is_empty());
+        // A starved id would surface here as Timeout — the generous
+        // bound exists only to fail instead of hanging the suite.
+        let completed =
+            svc.collect_detailed(&accepted, Some(Duration::from_secs(30)));
+        prop_assert_eq!(completed.len(), accepted.len());
+        for c in &completed {
+            prop_assert!(
+                matches!(&c.result, Ok(_) | Err(ServiceError::Overloaded)),
+                "id {} must be answered, got {:?}", c.id.0, c.result
+            );
+        }
+    }
 
     /// The fault-harness property (ISSUE satellite): for any seeded
     /// plan, worker count, and submission shuffle — (a) every response

@@ -4,18 +4,26 @@
 //! malformed floods, mid-request disconnects, over-cap connection storms
 //! — and still drain gracefully with queued work.
 
+use kn_core::service::faultinject::{Fault, FaultPlan};
 use kn_core::service::net::{NetConfig, NetServer};
-use kn_core::service::{wire, DrainPolicy, Service, ServiceConfig};
+use kn_core::service::{wire, DrainPolicy, RequestId, Service, ServiceConfig, WatchdogConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn serve(workers: usize, cfg: NetConfig) -> (NetServer, Arc<Service>) {
-    let svc = Arc::new(Service::with_config(ServiceConfig {
-        workers,
-        ..ServiceConfig::default()
-    }));
+    serve_with(
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+        cfg,
+    )
+}
+
+fn serve_with(svc_cfg: ServiceConfig, cfg: NetConfig) -> (NetServer, Arc<Service>) {
+    let svc = Arc::new(Service::with_config(svc_cfg));
     let server = NetServer::bind(Arc::clone(&svc), "127.0.0.1:0", cfg).expect("bind ephemeral");
     (server, svc)
 }
@@ -179,8 +187,11 @@ fn graceful_shutdown_finishes_admitted_work() {
     }
 }
 
-/// An idle connection past the read timeout is closed — even one that
-/// sent half a line and stopped — while the listener stays up.
+/// An idle connection past the read timeout is closed — but a request
+/// line that *straddled* the timeout (half a line, then silence) is
+/// cleanly refused with an error response, never silently dropped. An
+/// idle connection with nothing buffered still closes without output,
+/// and the listener stays up either way.
 #[test]
 fn idle_connection_times_out_without_killing_the_listener() {
     let (server, _svc) = serve(
@@ -190,16 +201,210 @@ fn idle_connection_times_out_without_killing_the_listener() {
             ..NetConfig::default()
         },
     );
+    // Half a line, no newline — then silence: refused, not dropped.
     let mut s = connect(&server);
-    // Half a line, no newline — then silence.
     s.write_all(b"corpus=fig").unwrap();
     let mut text = String::new();
     s.read_to_string(&mut text)
         .expect("server closes the idle stream");
-    assert_eq!(text, "", "no response for an unterminated line");
+    assert!(
+        text.contains("timed out with a partial request line"),
+        "straddling line is refused, not dropped: {text:?}"
+    );
+    assert_eq!(text.lines().count(), 1);
+
+    // Nothing buffered at all: a plain close, no response line.
+    let mut quiet = connect(&server);
+    let mut nothing = String::new();
+    quiet.read_to_string(&mut nothing).expect("clean close");
+    assert_eq!(nothing, "", "an empty idle connection gets no response");
+
     // The listener is still alive for the next client.
     let got = round_trip(&server, "corpus=figure7\n");
     assert_eq!(got.len(), 1);
     assert!(got[0].contains("\"status\": \"ok\""), "{}", got[0]);
     server.shutdown(DrainPolicy::Finish);
+}
+
+/// A complete request followed by a partial line that straddles the
+/// timeout: the finished request is answered, the fragment is refused.
+#[test]
+fn partial_line_after_a_served_request_is_refused_not_dropped() {
+    let (server, _svc) = serve(
+        1,
+        NetConfig {
+            read_timeout: Duration::from_millis(120),
+            ..NetConfig::default()
+        },
+    );
+    let mut s = connect(&server);
+    s.write_all(b"corpus=figure7\ncorpus=cyt").unwrap();
+    let mut text = String::new();
+    s.read_to_string(&mut text).expect("read responses");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text:?}");
+    assert!(lines[0].contains("\"status\": \"ok\""), "{}", lines[0]);
+    assert!(
+        lines[1].contains("timed out with a partial request line"),
+        "{}",
+        lines[1]
+    );
+    server.shutdown(DrainPolicy::Finish);
+}
+
+/// A bare `health` line over the socket answers an in-line pool snapshot,
+/// interleaved in sequence order with real responses.
+#[test]
+fn health_line_over_tcp_reports_the_pool() {
+    let (server, _svc) = serve(2, NetConfig::default());
+    let got = round_trip(&server, "corpus=figure7\nhealth\n");
+    assert_eq!(got.len(), 2);
+    assert!(got[0].contains("\"kind\": \"loop\""), "{}", got[0]);
+    assert!(
+        got[1].starts_with("{\"id\": 1, \"status\": \"ok\", \"kind\": \"health\""),
+        "{}",
+        got[1]
+    );
+    assert!(got[1].contains("\"accepting\": true"), "{}", got[1]);
+    server.shutdown(DrainPolicy::Finish);
+}
+
+/// A seeded `SlowReader` net fault (dribbled response writes) changes
+/// timing only: the response bytes and their order are identical to a
+/// fault-free server's.
+#[test]
+fn slow_reader_fault_keeps_responses_byte_identical() {
+    let input = "corpus=figure7\ncorpus=cytron86\ncorpus=figure7 k=3\n";
+    let (clean_server, _s1) = serve(1, NetConfig::default());
+    let want = round_trip(&clean_server, input);
+    clean_server.shutdown(DrainPolicy::Finish);
+
+    let plan = FaultPlan::explicit([(0, Fault::SlowReader), (2, Fault::SlowReader)]);
+    let (slow_server, _s2) = serve(
+        1,
+        NetConfig {
+            fault_plan: Some(plan),
+            ..NetConfig::default()
+        },
+    );
+    let got = round_trip(&slow_server, input);
+    assert_eq!(got, want, "SlowReader must not corrupt or reorder");
+    slow_server.shutdown(DrainPolicy::Finish);
+}
+
+/// A seeded `Disconnect` net fault cuts the socket after one response;
+/// the client sees a clean prefix, and nothing leaks in the ledger — the
+/// writer thread still collects every admitted id.
+#[test]
+fn disconnect_fault_leaks_nothing() {
+    let plan = FaultPlan::explicit([(0, Fault::Disconnect)]);
+    let (server, svc) = serve(
+        1,
+        NetConfig {
+            fault_plan: Some(plan),
+            ..NetConfig::default()
+        },
+    );
+    let got = round_trip(&server, "corpus=figure7\ncorpus=cytron86\ncorpus=figure7\n");
+    assert_eq!(got.len(), 1, "cut after the first response: {got:?}");
+    assert!(
+        got[0].starts_with("{\"id\": 0, \"status\": \"ok\""),
+        "{}",
+        got[0]
+    );
+    let report = server.shutdown(DrainPolicy::Finish);
+    assert_eq!(report.workers_joined, 1);
+    assert!(svc.drain().is_empty(), "disconnect leaked ledger entries");
+}
+
+/// End-to-end backpressure: with the queue past the high-water mark the
+/// reader stops pulling lines off the socket, so a flood of requests
+/// behind a wedged worker admits only a bounded prefix; releasing the
+/// wedge drains the flood and every line is answered.
+#[test]
+fn reader_stops_admitting_past_the_high_water_mark() {
+    const HIGH_WATER: usize = 2;
+    const FLOOD: usize = 30;
+    let (server, svc) = serve_with(
+        ServiceConfig {
+            workers: 1,
+            high_water: HIGH_WATER,
+            max_attempts: 1,
+            fault_plan: Some(FaultPlan::explicit([(0, Fault::Stall)]).wedged().sticky()),
+            watchdog: None,
+            ..ServiceConfig::default()
+        },
+        NetConfig::default(),
+    );
+    let mut s = connect(&server);
+    let mut input = String::new();
+    for _ in 0..FLOOD {
+        input.push_str("corpus=figure7\n");
+    }
+    s.write_all(input.as_bytes()).unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+
+    // The worker wedges on id 0; the reader admits until the queue holds
+    // high_water entries and then stops reading the socket. Wait until
+    // that state is provably reached (it is stable: nothing drains).
+    while !(svc.health().inflight == 1 && svc.over_high_water()) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Several poll cycles later the admitted count is still bounded:
+    // the wedged dispatch plus the queue, plus at most one line the
+    // reader had already pulled before the check.
+    std::thread::sleep(Duration::from_millis(200));
+    let admitted = svc.stats().submitted;
+    assert!(
+        admitted <= (HIGH_WATER + 2) as u64,
+        "reader kept admitting past high water: {admitted} of {FLOOD}"
+    );
+
+    // Release the wedge: the flood drains and every line is answered.
+    svc.cancel(RequestId(0));
+    let mut text = String::new();
+    s.read_to_string(&mut text).expect("read all responses");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), FLOOD, "every flooded line answered");
+    assert!(lines[0].contains("\"status\": \"error\""), "{}", lines[0]);
+    for line in &lines[1..] {
+        assert!(line.contains("\"status\": \"ok\""), "{line}");
+    }
+    server.shutdown(DrainPolicy::Finish);
+}
+
+/// The tentpole scenario replayed through a real socket: a wedged worker
+/// is declared stuck by the watchdog, replaced, and the confiscated
+/// request completes via retry — the TCP client just sees three ok
+/// responses (the rescued one marked with its second attempt).
+#[test]
+fn stuck_worker_recovery_is_invisible_over_tcp() {
+    let (server, svc) = serve_with(
+        ServiceConfig {
+            workers: 2,
+            fault_plan: Some(FaultPlan::explicit([(0, Fault::Stall)]).wedged()),
+            watchdog: Some(WatchdogConfig {
+                interval: Duration::from_millis(10),
+                stuck_ticks: 3,
+            }),
+            ..ServiceConfig::default()
+        },
+        NetConfig::default(),
+    );
+    let got = round_trip(
+        &server,
+        "corpus=figure7\ncorpus=cytron86\ncorpus=figure7 k=3\n",
+    );
+    assert_eq!(got.len(), 3);
+    for line in &got {
+        assert!(line.contains("\"status\": \"ok\""), "{line}");
+    }
+    assert!(
+        got[0].contains("\"attempts\": 2"),
+        "the rescued request reports its retry: {}",
+        got[0]
+    );
+    assert_eq!(svc.stats().replaced_workers, 1);
+    let report = server.shutdown(DrainPolicy::Finish);
+    assert_eq!(report.workers_joined, 2);
 }

@@ -1,0 +1,142 @@
+//! Soak test (ISSUE satellite): hundreds of requests in several batches
+//! through one long-lived service on 4 workers, with seeded panics,
+//! stalls and garbage faults, interleaved cancellations and
+//! already-expired deadlines. The pinned invariants:
+//!
+//! * request ids are consecutive and monotone across batches;
+//! * no ledger entry leaks — after every id is collected, a drain finds
+//!   nothing and a graceful shutdown joins all workers;
+//! * every undisturbed response (not cancelled, no zero deadline) is
+//!   byte-identical to the fault-free sequential reference, with the
+//!   attempt count matching the fault plan exactly.
+
+use kn_core::service::faultinject::FaultPlan;
+use kn_core::service::{
+    execute, Deadline, DrainPolicy, LoopRequest, LoopSource, RequestId, ScheduleRequest, Service,
+    ServiceConfig, ServiceError, SubmitOptions, SubmitOutcome,
+};
+use kn_core::sim::TrafficModel;
+use std::collections::HashSet;
+use std::time::Duration;
+
+const BATCHES: u64 = 4;
+const PER_BATCH: u64 = 130;
+const TOTAL: u64 = BATCHES * PER_BATCH; // 520
+
+fn cheap_request(i: u64) -> ScheduleRequest {
+    ScheduleRequest::Loop(LoopRequest {
+        source: LoopSource::Corpus("figure7".into()),
+        iters: 12,
+        traffic: TrafficModel { mm: 3, seed: i },
+        ..LoopRequest::default()
+    })
+}
+
+/// Ids submitted with an already-expired deadline: shed at dequeue.
+fn has_zero_deadline(id: u64) -> bool {
+    id % 11 == 3
+}
+
+/// Ids cancelled right after their batch is submitted.
+fn is_cancelled(id: u64) -> bool {
+    id % 13 == 5 && !has_zero_deadline(id)
+}
+
+#[test]
+fn soak_four_workers_500_requests_under_mixed_faults() {
+    let plan = FaultPlan::seeded(0x50A4, 15).with_stall(Duration::from_micros(200));
+    let faulted: HashSet<u64> = plan
+        .faulted_ids(TOTAL)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        faulted.len() > 20,
+        "the soak must actually exercise faults: {}",
+        faulted.len()
+    );
+    let svc = Service::with_config(ServiceConfig {
+        workers: 4,
+        backoff_base: Duration::from_micros(100),
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    });
+
+    let mut next_id = 0u64;
+    for _batch in 0..BATCHES {
+        let mut ids = Vec::new();
+        for _ in 0..PER_BATCH {
+            let id = next_id;
+            let opts = SubmitOptions {
+                deadline: has_zero_deadline(id).then(|| Deadline::after(Duration::ZERO)),
+                ..SubmitOptions::default()
+            };
+            let outcome = svc.submit_opts(cheap_request(id), opts);
+            let SubmitOutcome::Accepted(got) = outcome else {
+                panic!("admission refused at {id}: {outcome:?}");
+            };
+            // Monotone, consecutive ids across batch boundaries.
+            assert_eq!(got, RequestId(id), "ids are monotone across batches");
+            ids.push(got);
+            next_id += 1;
+        }
+        for &id in &ids {
+            if is_cancelled(id.0) {
+                // Outcome intentionally raced: Dequeued, AlreadyDone or
+                // a flag on a running attempt are all legal.
+                let _ = svc.cancel(id);
+            }
+        }
+        let completed = svc.collect_detailed(&ids, None);
+        assert_eq!(completed.len(), ids.len(), "no id lost or answered twice");
+        for c in &completed {
+            let id = c.id.0;
+            if has_zero_deadline(id) {
+                assert!(
+                    matches!(&c.result, Err(ServiceError::Expired)),
+                    "id {id}: {:?}",
+                    c.result
+                );
+                continue;
+            }
+            if is_cancelled(id) {
+                // Raced by design: either the cancel landed or the
+                // request finished first — but it must be one of those.
+                let reference = debug_of(&execute(&cheap_request(id)));
+                let got = debug_of(&c.result);
+                assert!(
+                    matches!(&c.result, Err(ServiceError::Cancelled)) || got == reference,
+                    "id {id}: {got}"
+                );
+                continue;
+            }
+            let reference = debug_of(&execute(&cheap_request(id)));
+            assert_eq!(
+                debug_of(&c.result),
+                reference,
+                "id {id} diverged from the fault-free reference"
+            );
+            let want_attempts = if faulted.contains(&id) { 2 } else { 1 };
+            assert_eq!(c.attempts, want_attempts, "id {id}");
+        }
+    }
+
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, TOTAL);
+    assert_eq!(stats.completed, TOTAL, "every id reached a final outcome");
+    assert_eq!(
+        stats.replaced_workers, 0,
+        "sub-millisecond stalls never trip the 10 s default watchdog"
+    );
+
+    // Nothing left behind: every entry was collected, a drain is empty,
+    // and shutdown joins all four workers with nothing to shed.
+    assert!(svc.drain().is_empty(), "leaked ledger entries");
+    let report = svc.shutdown(DrainPolicy::Finish);
+    assert_eq!(report.workers_joined, 4);
+    assert_eq!(report.shed, 0);
+}
+
+fn debug_of(r: &Result<kn_core::service::ScheduleResponse, ServiceError>) -> String {
+    format!("{r:?}")
+}
