@@ -6,10 +6,12 @@
 //! (`kn_sched::reference`), plus the event engine's heap vs calendar
 //! queues on long-horizon `SingleMessage` (contended) simulations, plus
 //! the batch scheduling service's throughput against the sequential
-//! driver on mixed request batches (`service_entries`, schema v3), and
-//! writes the results plus speedup ratios to `BENCH_sched.json`. Future
-//! PRs compare their JSON against this one to see the perf trajectory
-//! (see the `bench-compare` binary and `kn_bench::trajectory`).
+//! driver on mixed request batches (`service_entries`, schema v3), plus
+//! the response cache against a duplicate-heavy seeded Zipf mix and a
+//! cold all-unique mix (`cache_entries`, schema v6), and writes the
+//! results plus speedup ratios to `BENCH_sched.json`. Future PRs compare
+//! their JSON against this one to see the perf trajectory (see the
+//! `bench-compare` binary and `kn_bench::trajectory`).
 //!
 //! Usage: `kn-bench [--out PATH] [--quick]`
 //!   --out PATH   output file (default BENCH_sched.json)
@@ -391,6 +393,93 @@ fn overload_run(workers: usize, quick: bool) -> OverloadEntry {
     }
 }
 
+/// One response-cache measurement (schema v6): the same seeded arrival
+/// stream (`service::loadgen`) through the service with the cache on
+/// (capacity 64) and off, at a given worker count.
+///
+/// * `zipf8` — arrivals draw their traffic seed from Zipf(s=1) over 8
+///   distinct values: the duplicate-heavy production mix. Hit rate and
+///   miss count are deterministic functions of the draw sequence
+///   (machine-independent), so the trajectory gate checks them as
+///   absolute invariants; the cache-on/cache-off wall ratio is the
+///   superlinear-throughput acceptance gate (>= 2x at 4 workers).
+/// * `cold` — every arrival distinct: the cache can only add overhead
+///   (fingerprint + insert + eviction churn past capacity). Hit rate is
+///   exactly zero by construction and the wall ratio gates no-regress
+///   (>= 0.9x of cache-off).
+struct CacheEntry {
+    name: String,
+    workers: usize,
+    total: u64,
+    /// Distinct traffic seeds in the mix; `0` = all-unique (cold).
+    distinct: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+    cached_wall_ns: u64,
+    uncached_wall_ns: u64,
+}
+
+impl CacheEntry {
+    /// Fraction of arrivals answered without a fresh computation. The
+    /// hit/coalesce *split* depends on worker timing, but their sum is a
+    /// pure function of the draw sequence.
+    fn hit_rate(&self) -> f64 {
+        (self.hits + self.coalesced) as f64 / self.total.max(1) as f64
+    }
+    fn speedup(&self) -> f64 {
+        if self.cached_wall_ns > 0 {
+            self.uncached_wall_ns as f64 / self.cached_wall_ns as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn cache_run(name: &str, distinct: Option<u64>, workers: usize, quick: bool) -> CacheEntry {
+    let plan = LoadPlan {
+        total: if quick { 120 } else { 400 },
+        zipf_distinct: distinct,
+        ..LoadPlan::default()
+    };
+    // Min-of-2 walls per mode; each rep gets a *fresh* service so every
+    // run starts cold (a reused service would replay the previous rep's
+    // cache and turn the cold mix into an all-hit one). Counters come
+    // from the first cache-on rep — their gated combinations are
+    // deterministic, the split is just a point sample.
+    let mut walls = [u64::MAX; 2];
+    let mut stats = None;
+    for (slot, capacity) in [(0usize, 64usize), (1, 0)] {
+        for rep in 0..2 {
+            let svc = Service::with_config(ServiceConfig {
+                workers,
+                cache_capacity: capacity,
+                ..ServiceConfig::default()
+            });
+            let t0 = Instant::now();
+            loadgen::run(&svc, &plan);
+            walls[slot] = walls[slot].min(t0.elapsed().as_nanos() as u64);
+            if slot == 0 && rep == 0 {
+                stats = Some(svc.stats());
+            }
+        }
+    }
+    let s = stats.expect("cache-on rep ran");
+    CacheEntry {
+        name: name.to_string(),
+        workers,
+        total: plan.total,
+        distinct: distinct.unwrap_or(0),
+        hits: s.cache_hits,
+        misses: s.cache_misses,
+        coalesced: s.cache_coalesced,
+        evictions: s.cache_evictions,
+        cached_wall_ns: walls[0],
+        uncached_wall_ns: walls[1],
+    }
+}
+
 /// Median ns per call of `f`, over `samples` samples of a time-budgeted
 /// inner loop (calibrated once so each sample runs long enough to trust).
 fn measure<R>(samples: usize, budget_ns: u64, mut f: impl FnMut() -> R) -> f64 {
@@ -637,8 +726,39 @@ fn main() {
         overload_entries.push(e);
     }
 
+    // Response-cache bench (schema v6): the duplicate-heavy seeded Zipf
+    // mix and the cold all-unique mix through `service::loadgen`, cache
+    // on (capacity 64) vs off, at 1 and 4 workers.
+    let mut cache_entries = Vec::new();
+    println!("\nresponse cache, zipf(8) vs cold mix, capacity 64 vs off:");
+    for (name, distinct) in [("zipf8", Some(8u64)), ("cold", None)] {
+        for workers in [1usize, 4] {
+            let e = cache_run(name, distinct, workers, quick);
+            println!(
+                "{:<12} ({} workers)  cached {:>12} ns   uncached {:>12} ns   hit rate {:.3}   misses {:>3}   evictions {:>3}   speedup {:>5.2}x",
+                e.name,
+                e.workers,
+                e.cached_wall_ns,
+                e.uncached_wall_ns,
+                e.hit_rate(),
+                e.misses,
+                e.evictions,
+                e.speedup()
+            );
+            cache_entries.push(e);
+        }
+    }
+    let zipf4 = cache_entries
+        .iter()
+        .find(|e| e.name == "zipf8" && e.workers == 4)
+        .expect("zipf8 4-worker case present");
+    println!(
+        "\nzipf8 cache-on vs cache-off throughput (acceptance gate, target >= 2x at 4 workers): {:.2}x",
+        zipf4.speedup()
+    );
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"kn-bench-sched-v5\",\n");
+    json.push_str("{\n  \"schema\": \"kn-bench-sched-v6\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!(
@@ -650,6 +770,7 @@ fn main() {
         "  \"service_speedup\": {:.4},\n",
         corpus_mix.speedup()
     ));
+    json.push_str(&format!("  \"cache_speedup\": {:.4},\n", zipf4.speedup()));
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
@@ -730,6 +851,26 @@ fn main() {
             e.replaced_workers,
             e.over_high_water,
             if i + 1 < overload_entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"cache_entries\": [\n");
+    for (i, e) in cache_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"total\": {}, \"distinct\": {}, \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \"cached_wall_ns\": {}, \"uncached_wall_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            json_escape(&e.name),
+            e.workers,
+            e.total,
+            e.distinct,
+            e.hits,
+            e.misses,
+            e.coalesced,
+            e.evictions,
+            e.hit_rate(),
+            e.cached_wall_ns,
+            e.uncached_wall_ns,
+            e.speedup(),
+            if i + 1 < cache_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

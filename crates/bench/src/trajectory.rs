@@ -5,9 +5,10 @@
 //! JSON crate): it understands exactly the object layout `kn-bench`
 //! emits — a flat object of scalars plus the `entries` /
 //! `event_entries` / `service_entries` / `lifecycle_entries` /
-//! `overload_entries` arrays of flat objects — and accepts the v1 schema
-//! (no event entries), v2 (no service entries), v3 (no lifecycle
-//! entries), v4 (no overload entries), and v5.
+//! `overload_entries` / `cache_entries` arrays of flat objects — and
+//! accepts the v1 schema (no event entries), v2 (no service entries),
+//! v3 (no lifecycle entries), v4 (no overload entries), v5 (no cache
+//! entries), and v6.
 //!
 //! Comparison modes:
 //!
@@ -80,6 +81,24 @@ pub struct OverloadEntry {
     pub normal_shed_rate: f64,
 }
 
+/// One response-cache entry (`cache_entries`, schema v6): the seeded
+/// arrival mix through the service, cache on vs off. `hit_rate` is a
+/// pure function of the draw sequence and `speedup` is a same-run
+/// cache-on/cache-off wall ratio, so both are machine-independent and
+/// gated as **absolute invariants** on the candidate: the Zipf mix must
+/// reuse at least half its arrivals (rate >= 0.5) and go >= 2x faster
+/// with the cache at 4 workers; the cold all-unique mix must hit exactly
+/// never and cost at most 10% overhead (ratio >= 0.9).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    pub name: String,
+    pub workers: f64,
+    /// Distinct traffic seeds in the mix; `0` = all-unique (cold).
+    pub distinct: f64,
+    pub hit_rate: f64,
+    pub speedup: f64,
+}
+
 /// A parsed `BENCH_sched.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchReport {
@@ -89,6 +108,7 @@ pub struct BenchReport {
     pub service_entries: Vec<ServiceEntry>,
     pub lifecycle_entries: Vec<LifecycleEntry>,
     pub overload_entries: Vec<OverloadEntry>,
+    pub cache_entries: Vec<CacheEntry>,
 }
 
 /// Split the body of a JSON array of flat objects into object bodies.
@@ -218,6 +238,18 @@ pub fn parse(json: &str) -> Result<BenchReport, String> {
             });
         }
     }
+    let mut cache_entries = Vec::new();
+    if let Some(body) = array_body(json, "cache_entries") {
+        for obj in object_bodies(body) {
+            cache_entries.push(CacheEntry {
+                name: str_field(obj, "name").ok_or("cache entry missing \"name\"")?,
+                workers: f64_field(obj, "workers").ok_or("cache entry missing \"workers\"")?,
+                distinct: f64_field(obj, "distinct").ok_or("cache entry missing \"distinct\"")?,
+                hit_rate: f64_field(obj, "hit_rate").ok_or("cache entry missing \"hit_rate\"")?,
+                speedup: f64_field(obj, "speedup").ok_or("cache entry missing \"speedup\"")?,
+            });
+        }
+    }
     Ok(BenchReport {
         schema,
         entries,
@@ -225,6 +257,7 @@ pub fn parse(json: &str) -> Result<BenchReport, String> {
         service_entries,
         lifecycle_entries,
         overload_entries,
+        cache_entries,
     })
 }
 
@@ -432,6 +465,50 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
         violations
             .push("no overload entry names matched the baseline — gate compared nothing".into());
     }
+    // Cache entries are machine-independent by construction (seeded draw
+    // sequence, same-run wall ratio) — gated as absolutes on the
+    // candidate (in both modes), not as baseline-relative ratios.
+    let mut matched_cache = 0usize;
+    for c in &candidate.cache_entries {
+        if baseline
+            .cache_entries
+            .iter()
+            .any(|b| b.name == c.name && b.workers == c.workers)
+        {
+            matched_cache += 1;
+        }
+        let what = format!("{} w{}", c.name, c.workers);
+        if c.distinct > 0.0 {
+            if c.hit_rate < 0.5 {
+                violations.push(format!(
+                    "{what}: duplicate-heavy hit rate {:.4} below 0.5 — cache inert on its own mix",
+                    c.hit_rate
+                ));
+            }
+            if c.workers >= 4.0 && c.speedup < 2.0 {
+                violations.push(format!(
+                    "{what}: cache-on throughput only {:.2}x cache-off — below the 2x gate",
+                    c.speedup
+                ));
+            }
+        } else {
+            if c.hit_rate > 1e-9 {
+                violations.push(format!(
+                    "{what}: all-unique mix reports hit rate {:.4} — cache served a wrong answer",
+                    c.hit_rate
+                ));
+            }
+            if c.speedup < 0.9 {
+                violations.push(format!(
+                    "{what}: cache overhead cost {:.2}x on the cold mix — below the 0.9x no-regress gate",
+                    c.speedup
+                ));
+            }
+        }
+    }
+    if !baseline.cache_entries.is_empty() && matched_cache == 0 {
+        violations.push("no cache entry names matched the baseline — gate compared nothing".into());
+    }
     violations
 }
 
@@ -514,6 +591,33 @@ mod tests {
   "overload_entries": [
     {"name": "overload_2x", "workers": 1, "total": 120, "high_submitted": 13, "high_expired": 0, "high_shed": 0, "high_miss_rate": 0.0000, "normal_submitted": 71, "normal_shed": 20, "normal_shed_rate": 0.2817, "low_submitted": 36, "low_shed": 30, "low_shed_rate": 0.8333, "replaced_workers": 0, "over_high_water": true},
     {"name": "overload_2x", "workers": 4, "total": 120, "high_submitted": 13, "high_expired": 0, "high_shed": 0, "high_miss_rate": 0.0000, "normal_submitted": 71, "normal_shed": 15, "normal_shed_rate": 0.2113, "low_submitted": 36, "low_shed": 28, "low_shed_rate": 0.7778, "replaced_workers": 0, "over_high_water": true}
+  ]
+}
+"#;
+
+    const V6: &str = r#"{
+  "schema": "kn-bench-sched-v6",
+  "quick": false,
+  "samples": 11,
+  "entries": [
+    {"name": "figure7", "cyclic_nodes": 5, "arena_ns_per_op": 1889.6, "reference_ns_per_op": 7056.6, "speedup": 3.7344}
+  ],
+  "event_entries": [
+    {"name": "fanout8", "iters": 100000, "events": 1500000, "heap_ns_per_run": 300000000.0, "calendar_ns_per_run": 110000000.0, "speedup": 2.7272}
+  ],
+  "service_entries": [
+    {"name": "corpus_mix", "requests": 16, "workers": 4, "seq_ns_per_batch": 40000000.0, "service_ns_per_batch": 12900000.0, "speedup": 3.1007}
+  ],
+  "lifecycle_entries": [
+    {"name": "corpus_mix", "workers": 4, "requests": 16, "rejected": 0, "rejection_rate": 0.0, "expired": 0, "deadline_miss_rate": 0.0, "retries": 2, "p50_latency_ns": 500000.0, "p99_latency_ns": 2100000.0, "wall_ns": 6000000}
+  ],
+  "overload_entries": [
+    {"name": "overload_2x", "workers": 4, "total": 120, "high_submitted": 13, "high_expired": 0, "high_shed": 0, "high_miss_rate": 0.0000, "normal_submitted": 71, "normal_shed": 15, "normal_shed_rate": 0.2113, "low_submitted": 36, "low_shed": 28, "low_shed_rate": 0.7778, "replaced_workers": 0, "over_high_water": true}
+  ],
+  "cache_entries": [
+    {"name": "zipf8", "workers": 1, "total": 400, "distinct": 8, "hits": 350, "misses": 8, "coalesced": 42, "evictions": 0, "hit_rate": 0.9800, "cached_wall_ns": 4000000, "uncached_wall_ns": 30000000, "speedup": 7.5000},
+    {"name": "zipf8", "workers": 4, "total": 400, "distinct": 8, "hits": 360, "misses": 8, "coalesced": 32, "evictions": 0, "hit_rate": 0.9800, "cached_wall_ns": 3000000, "uncached_wall_ns": 12000000, "speedup": 4.0000},
+    {"name": "cold", "workers": 4, "total": 400, "distinct": 0, "hits": 0, "misses": 400, "coalesced": 0, "evictions": 336, "hit_rate": 0.0000, "cached_wall_ns": 12500000, "uncached_wall_ns": 12000000, "speedup": 0.9600}
   ]
 }
 "#;
@@ -732,6 +836,67 @@ mod tests {
         assert!(
             v.iter()
                 .any(|v| v.contains("no overload entry names matched")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn parses_v6_with_cache_entries() {
+        let r = parse(V6).unwrap();
+        assert_eq!(r.schema, "kn-bench-sched-v6");
+        assert_eq!(r.cache_entries.len(), 3);
+        assert_eq!(r.cache_entries[0].name, "zipf8");
+        assert_eq!(r.cache_entries[0].workers, 1.0);
+        assert_eq!(r.cache_entries[0].hit_rate, 0.98);
+        assert_eq!(r.cache_entries[2].distinct, 0.0);
+        assert_eq!(r.cache_entries[2].speedup, 0.96);
+        // The earlier sections still parse alongside.
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.overload_entries.len(), 1);
+        assert!(compare(&r, &r, policy(25.0, false)).is_empty());
+        assert!(compare(&r, &r, policy(25.0, true)).is_empty());
+    }
+
+    #[test]
+    fn cache_invariants_are_gated_absolutely_in_both_modes() {
+        let base = parse(V6).unwrap();
+        // The Zipf mix barely reusing anything = an inert cache.
+        let mut inert = base.clone();
+        inert.cache_entries[0].hit_rate = 0.2;
+        // Cache-on slower than 2x cache-off at 4 workers fails the gate.
+        let mut slow = base.clone();
+        slow.cache_entries[1].speedup = 1.4;
+        // A nonzero hit rate on the all-unique mix means the fingerprint
+        // conflated two distinct requests — the one unforgivable bug.
+        let mut wrong = base.clone();
+        wrong.cache_entries[2].hit_rate = 0.01;
+        // Cold-mix overhead past 10% fails no-regress.
+        let mut taxed = base.clone();
+        taxed.cache_entries[2].speedup = 0.7;
+        for ratios_only in [false, true] {
+            let v = compare(&base, &inert, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("cache inert")), "{v:?}");
+            let v = compare(&base, &slow, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("below the 2x gate")), "{v:?}");
+            let v = compare(&base, &wrong, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("wrong answer")), "{v:?}");
+            let v = compare(&base, &taxed, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("0.9x no-regress")), "{v:?}");
+        }
+        // 1-worker Zipf speedup is recorded, not held to the 2x gate
+        // (a single worker can't parallelize the uncached side).
+        let mut one_worker = base.clone();
+        one_worker.cache_entries[0].speedup = 1.5;
+        assert!(compare(&base, &one_worker, policy(25.0, true)).is_empty());
+    }
+
+    #[test]
+    fn missing_cache_section_fails_a_v6_gate() {
+        let base = parse(V6).unwrap();
+        let v5 = parse(V5).unwrap();
+        let v = compare(&base, &v5, policy(25.0, true));
+        assert!(
+            v.iter().any(|v| v.contains("no cache entry names matched")),
             "{v:?}"
         );
     }

@@ -21,6 +21,7 @@
 //!              [--listen ADDR] [--queue-capacity N] [--max-attempts N]
 //!              [--high-water N] [--deadline-ms MS]
 //!              [--fault-seed S] [--fault-rate PCT]
+//!              [--cache-capacity N] [--no-cache]
 //! ```
 //!
 //! ## `serve` — the batch scheduling service
@@ -39,7 +40,11 @@
 //! (the CI `fault-smoke` path). `--queue-capacity`/`--max-attempts`/
 //! `--high-water`/`--deadline-ms` set the lifecycle knobs (`--queue-cap`
 //! and `--retries` remain as aliases) and `--fault-seed`/`--fault-rate`
-//! enable the deterministic fault-injection harness. Request lines may
+//! enable the deterministic fault-injection harness. The fingerprinted
+//! response cache + in-flight dedup is on by default (1024 entries);
+//! `--cache-capacity N` (alias `--cache-cap`) resizes it and
+//! `--no-cache` disables it — responses are byte-identical either way,
+//! only the counters in the health/stats JSON move. Request lines may
 //! carry `priority=high|normal|low`; a bare `health` line returns a pool
 //! health snapshot. `kn serve --help` lists every flag.
 //! Example:
@@ -94,12 +99,16 @@ usage: kn serve [flags]
   --deadline-ms MS    default per-request deadline
   --fault-seed S      seed for the deterministic fault-injection plan
   --fault-rate PCT    percent of requests the plan faults (enables it)
+  --cache-capacity N  response cache entries (alias: --cache-cap;
+                      default: 1024; 0 disables)
+  --no-cache          disable the response cache and in-flight dedup
   --help              print this help and exit 0
 
 Request lines are key=value pairs (corpus=NAME | ddg=FILE, k=, procs=,
 iters=, link=, engine=, scheduler=, mm=, seed=, deadline_ms=,
 priority=high|normal|low); a bare `health` line answers with a pool
-health snapshot (workers, heartbeats, replaced_workers, queue depths).";
+health snapshot (workers, heartbeats, replaced_workers, queue depths,
+cache counters).";
 
 /// `kn serve`: run the batch scheduling service over a request file (or
 /// stdin) and emit one deterministic JSON response line per request, in
@@ -163,6 +172,12 @@ fn run_serve(
         let a = num_flag(args, alias)?;
         Ok(num_flag(args, canonical)?.or(a))
     }
+    // `--no-cache` is a bare boolean (the `--json` pattern).
+    let no_cache = {
+        let before = args.len();
+        args.retain(|a| a != "--no-cache");
+        args.len() != before
+    };
     let lifecycle = (|| -> Result<_, String> {
         Ok((
             aliased(args, "--queue-capacity", "--queue-cap")?,
@@ -171,15 +186,17 @@ fn run_serve(
             num_flag(args, "--deadline-ms")?,
             num_flag(args, "--fault-seed")?,
             num_flag(args, "--fault-rate")?,
+            aliased(args, "--cache-capacity", "--cache-cap")?,
         ))
     })();
-    let (queue_cap, retries, high_water, deadline_ms, fault_seed, fault_rate) = match lifecycle {
-        Ok(v) => v,
-        Err(e) => {
-            writeln!(out, "{e}")?;
-            return Ok(FAIL);
-        }
-    };
+    let (queue_cap, retries, high_water, deadline_ms, fault_seed, fault_rate, cache_cap) =
+        match lifecycle {
+            Ok(v) => v,
+            Err(e) => {
+                writeln!(out, "{e}")?;
+                return Ok(FAIL);
+            }
+        };
     let mut path_flag = |name: &str| -> Result<Option<String>, ()> { take_flag_value(args, name) };
     let (requests_path, out_path, stats_path, listen_addr) = match (
         path_flag("--requests"),
@@ -220,6 +237,14 @@ fn run_serve(
             rate.min(100) as u32,
         ));
     }
+    // Serving a batch of repeating requests is exactly the cache's case,
+    // so `kn serve` turns it on by default (the library default stays 0:
+    // embedded pools opt in).
+    config.cache_capacity = if no_cache {
+        0
+    } else {
+        cache_cap.map_or(1024, |c| c as usize)
+    };
     let default_deadline = deadline_ms.map(Duration::from_millis);
 
     if let Some(addr) = &listen_addr {
@@ -355,7 +380,14 @@ fn run_serve(
     if let Some(path) = &stats_path {
         std::fs::write(
             path,
-            wire::throughput_json(workers, slots.len() as u64, errors as u64, wall_ns, &stats),
+            wire::throughput_json(
+                workers,
+                slots.len() as u64,
+                errors as u64,
+                wall_ns,
+                &stats,
+                svc.health().cache_entries,
+            ),
         )?;
         if out_path.is_some() {
             writeln!(out, "throughput JSON -> {path}")?;
@@ -448,7 +480,14 @@ fn run_serve_listen(
     if let Some(path) = stats_path {
         std::fs::write(
             path,
-            wire::throughput_json(workers, requests, errors, wall_ns, &stats),
+            wire::throughput_json(
+                workers,
+                requests,
+                errors,
+                wall_ns,
+                &stats,
+                svc.health().cache_entries,
+            ),
         )?;
         if out_path.is_some() {
             writeln!(out, "throughput JSON -> {path}")?;
@@ -987,7 +1026,8 @@ fn main() -> std::process::ExitCode {
                  serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE] \
                  [--listen ADDR] [--queue-capacity N] [--max-attempts N] \
                  [--high-water N] [--deadline-ms MS] \
-                 [--fault-seed S] [--fault-rate PCT]>\n\
+                 [--fault-seed S] [--fault-rate PCT] \
+                 [--cache-capacity N] [--no-cache]>\n\
                  \n\
                  serve: batch scheduling service — requests are key=value lines \
                  (corpus=NAME | ddg=FILE, k=, procs=, iters=, link=, engine=, \

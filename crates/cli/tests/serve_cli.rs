@@ -43,6 +43,8 @@ fn help_lists_every_flag_and_exits_zero() {
         "--fault-seed",
         "--fault-rate",
         "--listen",
+        "--cache-capacity",
+        "--no-cache",
         "priority=high|normal|low",
         "health",
     ] {
@@ -74,6 +76,67 @@ fn canonical_flags_and_aliases_both_admit_a_batch() {
     assert_eq!(out_new, out_old, "alias and canonical runs are identical");
     assert_eq!(out_new.lines().count(), 2);
     assert!(out_new.lines().all(|l| l.contains("\"status\": \"ok\"")));
+}
+
+#[test]
+fn cache_flags_accept_both_spellings_and_never_change_responses() {
+    // Duplicate-heavy batch: the middle line repeats the first.
+    let reqs = "corpus=figure7 k=2 procs=2\n\
+                corpus=figure7 k=2 procs=2\n\
+                corpus=figure7 k=3 procs=4\n";
+    let (ok_canonical, canonical) = serve(&["--workers", "2", "--cache-capacity", "16"], reqs);
+    let (ok_alias, alias) = serve(&["--workers", "2", "--cache-cap", "16"], reqs);
+    let (ok_off, off) = serve(&["--workers", "2", "--no-cache"], reqs);
+    assert!(ok_canonical && ok_alias && ok_off);
+    assert_eq!(canonical, alias, "alias and canonical runs are identical");
+    assert_eq!(
+        canonical, off,
+        "cached and uncached responses are byte-identical"
+    );
+    // Canonical wins when both spellings appear (the --queue-cap rule):
+    // capacity 0 via the canonical flag disables caching cleanly even
+    // with the alias asking for a big cache.
+    let (ok_both, both) = serve(
+        &[
+            "--workers",
+            "2",
+            "--cache-cap",
+            "512",
+            "--cache-capacity",
+            "0",
+        ],
+        reqs,
+    );
+    assert!(ok_both);
+    assert_eq!(both, canonical);
+}
+
+#[test]
+fn health_line_reports_cache_counters_that_match_the_flags() {
+    let reqs = "corpus=figure7 k=2 procs=2\n\
+                corpus=figure7 k=2 procs=2\n\
+                health\n";
+    let (ok, out) = serve(&["--workers", "1"], reqs);
+    assert!(ok, "{out}");
+    let health = out.lines().nth(2).expect("health line");
+    assert!(health.contains("\"cache_misses\": 1"), "{health}");
+    // The duplicate either hit the cache or coalesced onto the leader;
+    // in a 1-worker batch both are deterministic sums.
+    assert!(
+        health.contains("\"cache_hits\": 1") || health.contains("\"cache_coalesced\": 1"),
+        "{health}"
+    );
+    let (ok, out) = serve(&["--workers", "1", "--no-cache"], reqs);
+    assert!(ok, "{out}");
+    let health = out.lines().nth(2).expect("health line");
+    for gauge in [
+        "\"cache_hits\": 0",
+        "\"cache_misses\": 0",
+        "\"cache_coalesced\": 0",
+        "\"cache_entries\": 0",
+    ] {
+        assert!(health.contains(gauge), "{health}");
+    }
 }
 
 #[test]

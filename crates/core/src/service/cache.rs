@@ -1,0 +1,208 @@
+//! Bounded, sharded response cache for the scheduling service.
+//!
+//! Keyed by [`CacheKey`]: a 64-bit fingerprint selects the shard and the
+//! bucket, and the full canonical string is compared on every lookup, so
+//! a colliding digest can never serve the wrong response. Each shard is
+//! an independently locked bounded map with logical-tick LRU eviction —
+//! admission threads touching different shards never contend, which is
+//! what keeps the hot (all-hits) path contention-free.
+//!
+//! Determinism note: the cache only ever *short-circuits* work whose
+//! result is a pure function of the request (the service's determinism
+//! guarantee), so a hit is byte-identical to a fresh computation and a
+//! stale-free view is not required — any entry present is correct.
+//! Eviction order is deterministic for a deterministic operation
+//! sequence: ticks are per-shard logical counters, not wall time.
+
+use super::request::CacheKey;
+use super::ScheduleResponse;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One cached response plus its recency stamp.
+struct Entry {
+    canon: String,
+    resp: ScheduleResponse,
+    tick: u64,
+}
+
+/// One independently locked shard: fingerprint-keyed buckets (a bucket
+/// holds every canon that hashed here — collisions coexist) plus the
+/// shard's logical clock.
+#[derive(Default)]
+struct Shard {
+    buckets: HashMap<u64, Vec<Entry>>,
+    len: usize,
+    tick: u64,
+}
+
+/// Bounded, sharded LRU map from request fingerprints to responses.
+pub(crate) struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry bound; total capacity = `shards * shard_capacity`
+    /// (rounded up from the requested capacity).
+    shard_capacity: usize,
+}
+
+impl ResponseCache {
+    /// A cache holding at least `capacity` entries (>= 1). Small caches
+    /// get a single shard so eviction order is globally LRU — which is
+    /// what makes seeded-fill eviction tests exact; large caches spread
+    /// across up to 16 shards to keep admission contention-free.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = (capacity / 8).clamp(1, 16);
+        let shard_capacity = capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<Shard> {
+        &self.shards[(fp % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up `key`, bumping its recency on a hit. The full canon is
+    /// compared — a fingerprint collision is a miss, never a wrong
+    /// answer.
+    pub fn get(&self, key: &CacheKey) -> Option<ScheduleResponse> {
+        let mut shard = self.shard(key.fp).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard
+            .buckets
+            .get_mut(&key.fp)?
+            .iter_mut()
+            .find(|e| e.canon == key.canon)?;
+        entry.tick = tick;
+        Some(entry.resp.clone())
+    }
+
+    /// Publish a response under `key`, evicting least-recently-used
+    /// entries if the shard is over capacity. Returns how many entries
+    /// were evicted (0 or 1 in practice). Re-publishing an existing key
+    /// refreshes the entry in place.
+    pub fn insert(&self, key: &CacheKey, resp: &ScheduleResponse) -> u64 {
+        let mut shard = self.shard(key.fp).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let bucket = shard.buckets.entry(key.fp).or_default();
+        if let Some(e) = bucket.iter_mut().find(|e| e.canon == key.canon) {
+            e.resp = resp.clone();
+            e.tick = tick;
+            return 0;
+        }
+        bucket.push(Entry {
+            canon: key.canon.clone(),
+            resp: resp.clone(),
+            tick,
+        });
+        shard.len += 1;
+        let mut evicted = 0u64;
+        while shard.len > self.shard_capacity {
+            // Evict the entry with the smallest tick (ticks are unique
+            // per shard, so the victim is unambiguous).
+            let Some((&fp, i)) = shard
+                .buckets
+                .iter()
+                .flat_map(|(fp, b)| b.iter().enumerate().map(move |(i, e)| (fp, i, e.tick)))
+                .min_by_key(|&(_, _, t)| t)
+                .map(|(fp, i, _)| (fp, i))
+            else {
+                break;
+            };
+            let bucket = shard.buckets.get_mut(&fp).expect("victim bucket exists");
+            bucket.remove(i);
+            if bucket.is_empty() {
+                shard.buckets.remove(&fp);
+            }
+            shard.len -= 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Total entries currently cached (the `cache_entries` health gauge).
+    pub fn entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::request::cache_key;
+    use super::super::{LoopRequest, ScheduleRequest};
+    use super::*;
+    use kn_sim::TrafficModel;
+
+    fn keyed(seed: u64) -> (CacheKey, ScheduleResponse) {
+        let req = ScheduleRequest::Loop(LoopRequest {
+            traffic: TrafficModel { mm: 3, seed },
+            iters: 12,
+            ..LoopRequest::default()
+        });
+        let key = cache_key(&req).unwrap();
+        let resp = super::super::execute(&req).unwrap();
+        (key, resp)
+    }
+
+    #[test]
+    fn hit_returns_the_published_response() {
+        let cache = ResponseCache::new(4);
+        let (key, resp) = keyed(0);
+        assert!(cache.get(&key).is_none(), "cold cache misses");
+        assert_eq!(cache.insert(&key, &resp), 0);
+        assert_eq!(cache.entries(), 1);
+        let got = cache.get(&key).expect("published entry hits");
+        let (ScheduleResponse::Loop(a), ScheduleResponse::Loop(b)) = (&got, &resp) else {
+            panic!("loop responses");
+        };
+        assert_eq!(a, b, "hit is identical to the published response");
+    }
+
+    #[test]
+    fn colliding_fingerprint_with_different_canon_is_a_miss() {
+        let cache = ResponseCache::new(4);
+        let (key, resp) = keyed(0);
+        cache.insert(&key, &resp);
+        let forged = CacheKey {
+            fp: key.fp,
+            canon: "something else entirely".into(),
+        };
+        assert!(
+            cache.get(&forged).is_none(),
+            "same digest, different canon: never served"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic_and_access_ordered() {
+        // Capacity 4 => single shard => global LRU.
+        let cache = ResponseCache::new(4);
+        let items: Vec<_> = (0..5).map(keyed).collect();
+        for (key, resp) in items.iter().take(4) {
+            assert_eq!(cache.insert(key, resp), 0);
+        }
+        // Touch item 0 so item 1 becomes the LRU victim.
+        assert!(cache.get(&items[0].0).is_some());
+        assert_eq!(cache.insert(&items[4].0, &items[4].1), 1, "one eviction");
+        assert_eq!(cache.entries(), 4);
+        assert!(cache.get(&items[1].0).is_none(), "item 1 was the victim");
+        for (key, _) in [&items[0], &items[2], &items[3], &items[4]] {
+            assert!(cache.get(key).is_some(), "survivors still present");
+        }
+    }
+
+    #[test]
+    fn republishing_refreshes_in_place() {
+        let cache = ResponseCache::new(2);
+        let (key, resp) = keyed(0);
+        assert_eq!(cache.insert(&key, &resp), 0);
+        assert_eq!(cache.insert(&key, &resp), 0, "no growth, no eviction");
+        assert_eq!(cache.entries(), 1);
+    }
+}

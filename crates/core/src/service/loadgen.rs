@@ -51,6 +51,12 @@ pub struct LoadPlan {
     /// Deadline attached to High arrivals (generous: priority ordering —
     /// not luck — is what must keep them inside it).
     pub high_deadline: Duration,
+    /// `None` = every arrival is a distinct request (the overload gate's
+    /// shape). `Some(n)` = arrivals draw their traffic seed from a
+    /// Zipf(s=1) distribution over `n` distinct values — the
+    /// duplicate-heavy production mix the response cache is built for
+    /// (see [`traffic_seed`]).
+    pub zipf_distinct: Option<u64>,
 }
 
 impl Default for LoadPlan {
@@ -62,6 +68,7 @@ impl Default for LoadPlan {
             normal_pct: 60,
             arrivals_per_slot: 2,
             high_deadline: Duration::from_secs(60),
+            zipf_distinct: None,
         }
     }
 }
@@ -101,8 +108,8 @@ pub fn schedule(plan: &LoadPlan) -> Vec<Arrival> {
         .collect()
 }
 
-/// A cheap, distinct request for arrival `index`: the paper loop under a
-/// per-index traffic seed.
+/// A cheap request for arrival `index`: the paper loop under a per-index
+/// traffic seed (distinct seeds make distinct responses).
 pub fn request_for(index: u64) -> ScheduleRequest {
     ScheduleRequest::Loop(LoopRequest {
         source: LoopSource::Corpus("figure7".into()),
@@ -110,6 +117,31 @@ pub fn request_for(index: u64) -> ScheduleRequest {
         traffic: TrafficModel { mm: 3, seed: index },
         ..LoopRequest::default()
     })
+}
+
+/// The traffic seed arrival `index` submits under `plan`: the index
+/// itself (all-unique) unless [`LoadPlan::zipf_distinct`] is set, in
+/// which case a seeded Zipf(s=1) draw over `n` seeds — rank `r` is
+/// picked with weight `1/r`, so a handful of hot requests dominate, the
+/// shape a response cache exploits. Pure integer fixed-point arithmetic:
+/// the draw is a deterministic function of (plan seed, index) on every
+/// machine.
+pub fn traffic_seed(plan: &LoadPlan, index: u64) -> u64 {
+    let Some(n) = plan.zipf_distinct else {
+        return index;
+    };
+    let n = n.max(1);
+    const SCALE: u64 = 1 << 16;
+    let total: u64 = (1..=n).map(|r| SCALE / r).sum();
+    let mut draw = mix(plan.seed ^ 0x51BF_0000, index) % total;
+    for r in 1..=n {
+        let w = SCALE / r;
+        if draw < w {
+            return r - 1;
+        }
+        draw -= w;
+    }
+    n - 1
 }
 
 /// Per-lane outcome counters of one run. Admission-time outcomes
@@ -184,7 +216,7 @@ pub fn run(svc: &Service, plan: &LoadPlan) -> OverloadReport {
                     .then(|| Deadline::after(plan.high_deadline)),
                 ..SubmitOptions::default()
             };
-            match svc.try_submit(request_for(a.index), opts) {
+            match svc.try_submit(request_for(traffic_seed(plan, a.index)), opts) {
                 SubmitOutcome::Accepted(id) => {
                     lane.accepted += 1;
                     accepted.push((id, a.priority));
@@ -257,6 +289,28 @@ mod tests {
             ..LoadPlan::default()
         });
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_seeds_are_deterministic_skewed_and_bounded() {
+        let plan = LoadPlan {
+            total: 1000,
+            zipf_distinct: Some(8),
+            ..LoadPlan::default()
+        };
+        let seeds: Vec<u64> = (0..plan.total).map(|i| traffic_seed(&plan, i)).collect();
+        let again: Vec<u64> = (0..plan.total).map(|i| traffic_seed(&plan, i)).collect();
+        assert_eq!(seeds, again, "same plan, same draws");
+        assert!(seeds.iter().all(|&s| s < 8), "draws stay in range");
+        let count = |s: u64| seeds.iter().filter(|&&x| x == s).count();
+        // Zipf(1) over 8 ranks: rank 1 carries ~37% of the mass, the
+        // tail rank ~4.6%. Generous bands guard the distribution shape.
+        assert!((250..450).contains(&count(0)), "hot seed {}", count(0));
+        assert!(count(7) < 120, "tail seed {}", count(7));
+        assert!(count(0) > 3 * count(7), "head dominates tail");
+        // Unset = the historical all-unique behavior.
+        let unique = LoadPlan::default();
+        assert_eq!(traffic_seed(&unique, 41), 41);
     }
 
     #[test]

@@ -136,6 +136,35 @@
 //! invariant the open-loop [`loadgen`] harness and the bench
 //! `overload_entries` gate pin in CI.
 //!
+//! ## Response cache + in-flight dedup
+//!
+//! At production scale most requests are the same loop on the same
+//! machine config, and responses are pure functions of their requests —
+//! so recomputing them is pure waste. With
+//! [`ServiceConfig::cache_capacity`] > 0 the service keeps a bounded,
+//! sharded response cache keyed by a canonical 64-bit fingerprint of
+//! (resolved source, machine, sim options, traffic, scheduler), verified
+//! against the full canonical string on every lookup so a colliding
+//! digest can never serve the wrong response. Admission consults it
+//! *before* a queue slot is spent: a hit answers immediately (attempt
+//! count 0 — byte-identical to a fresh response on the wire), and a
+//! request identical to one already queued or executing **coalesces**
+//! onto that leader's waiter list instead of recomputing — each waiter
+//! still gets its own id-stamped copy of the one result, and a
+//! higher-priority waiter upgrades a queued leader's lane so the
+//! coalition runs at the urgency of its most urgent member. A leader
+//! that fails (fault, cancel, expiry) hands off to its first viable
+//! waiter — promoted into the queue as the new leader with its own
+//! budget — rather than poisoning the key. Lifecycle options (deadline,
+//! priority, attempts) are not part of the key: they shape *whether* a
+//! request completes, never *what* it computes; a request whose deadline
+//! has already expired at admission bypasses the cache entirely so its
+//! deterministic `expired` answer is preserved. Hits, misses, coalesced
+//! waiters, and evictions are counted in [`ServiceStats`] and surfaced
+//! by [`Service::health`] / the `health` wire line. The default is
+//! **off** (capacity 0); `kn serve` turns it on (see `--cache-capacity`
+//! / `--no-cache`).
+//!
 //! ## Example
 //!
 //! ```
@@ -158,6 +187,7 @@
 //! The TCP front-end over this service lives in [`net`]; the wire format
 //! it speaks is [`wire`].
 
+mod cache;
 pub mod faultinject;
 pub mod loadgen;
 pub mod net;
@@ -172,7 +202,9 @@ pub use request::{
     ScheduleRequest, ScheduleResponse, SchedulerChoice, ServiceError, WorkerScratch,
 };
 
+use cache::ResponseCache;
 use faultinject::{Fault, FaultPlan, StallMode};
+use request::CacheKey;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -399,6 +431,11 @@ pub struct ServiceConfig {
     /// Stuck-worker supervision; `None` disables the watchdog thread
     /// (then a permanently wedged worker occupies its slot forever).
     pub watchdog: Option<WatchdogConfig>,
+    /// Response-cache capacity in entries; `0` (default) disables the
+    /// cache **and** in-flight dedup. `kn serve` enables it (1024 unless
+    /// `--cache-capacity` overrides; `--no-cache` sets 0). See the
+    /// module docs' "Response cache + in-flight dedup" section.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -413,6 +450,7 @@ impl Default for ServiceConfig {
             high_water: usize::MAX,
             age_promote: 64,
             watchdog: Some(WatchdogConfig::default()),
+            cache_capacity: 0,
         }
     }
 }
@@ -482,6 +520,18 @@ pub struct ServiceStats {
     pub overloaded: u64,
     /// Workers the watchdog declared stuck and replaced.
     pub replaced_workers: u64,
+    /// Requests answered straight from the response cache (attempt
+    /// count 0, no queue slot spent).
+    pub cache_hits: u64,
+    /// Cacheable requests that had to compute fresh (each registers its
+    /// key as the in-flight dedup leader).
+    pub cache_misses: u64,
+    /// Requests that coalesced onto an identical in-flight leader's
+    /// waiter list instead of recomputing.
+    pub cache_coalesced: u64,
+    /// Entries evicted from the response cache (LRU, bounded by
+    /// [`ServiceConfig::cache_capacity`]).
+    pub cache_evictions: u64,
     /// Total wall nanoseconds workers spent executing requests (all
     /// attempts).
     pub exec_ns: u64,
@@ -530,6 +580,10 @@ struct Job {
     /// Value of the ledger's dequeue clock at admission (aging baseline).
     admitted_seq: u64,
     admitted_at: Instant,
+    /// Response-cache identity, when this job is a dedup **leader**: its
+    /// result is published under this key and settles the key's waiters
+    /// (`None` when caching is off or the request is uncacheable).
+    key: Option<Arc<CacheKey>>,
 }
 
 /// `current` value of an idle [`WorkerSlot`].
@@ -568,6 +622,30 @@ struct InFlight {
     job: Job,
 }
 
+/// One request coalesced onto an in-flight leader: everything needed to
+/// stamp the leader's result with this id — or to promote this request
+/// into a leader of its own if the current one fails.
+struct Waiter {
+    id: RequestId,
+    deadline: Option<Deadline>,
+    max_attempts: u32,
+    priority: Priority,
+    admitted_at: Instant,
+}
+
+/// In-flight dedup state for one cache key: the leader computing it and
+/// the waiters that coalesced onto that computation. Lives in
+/// [`Ledger::coalesced`] from the leader's admission until its result is
+/// published (or the last viable waiter is gone).
+struct Dedup {
+    key: Arc<CacheKey>,
+    /// The leader's request, kept so a failed leader's waiters can be
+    /// promoted without re-parsing anything.
+    req: Arc<ScheduleRequest>,
+    leader: RequestId,
+    waiters: Vec<Waiter>,
+}
+
 /// Shared queue + completed-response ledger.
 struct Ledger {
     /// Priority lanes, indexed by [`Priority::lane`].
@@ -578,6 +656,9 @@ struct Ledger {
     done: HashMap<RequestId, Completed>,
     /// Requests currently executing on a worker.
     inflight: HashMap<RequestId, InFlight>,
+    /// In-flight dedup: fingerprint → leader + waiters. An entry exists
+    /// exactly while a leader with that key is queued or executing.
+    coalesced: HashMap<u64, Dedup>,
     /// Ids admitted and not yet collected (superset of `done`'s keys and
     /// of everything queued/in-flight). Membership here is what
     /// distinguishes "still coming" from "never submitted / already
@@ -708,6 +789,8 @@ pub struct Service {
     workers: Arc<Mutex<HashMap<usize, std::thread::JoinHandle<()>>>>,
     watchdog: Mutex<Option<std::thread::JoinHandle<()>>>,
     watchdog_stop: Arc<AtomicBool>,
+    /// Sharded response cache; `None` when `cache_capacity` is 0.
+    cache: Option<Arc<ResponseCache>>,
     config: ServiceConfig,
 }
 
@@ -737,6 +820,7 @@ impl Service {
                 dequeues: 0,
                 done: HashMap::new(),
                 inflight: HashMap::new(),
+                coalesced: HashMap::new(),
                 known: HashSet::new(),
                 outstanding: 0,
                 accepting: true,
@@ -747,9 +831,16 @@ impl Service {
             }),
             Condvar::new(),
         ));
+        let cache = (config.cache_capacity > 0)
+            .then(|| Arc::new(ResponseCache::new(config.cache_capacity)));
         let handles: HashMap<usize, std::thread::JoinHandle<()>> = slots
             .into_iter()
-            .map(|slot| (slot.index, spawn_worker(&ledger, &config, slot)))
+            .map(|slot| {
+                (
+                    slot.index,
+                    spawn_worker(&ledger, &config, cache.clone(), slot),
+                )
+            })
             .collect();
         let workers = Arc::new(Mutex::new(handles));
         let watchdog_stop = Arc::new(AtomicBool::new(false));
@@ -758,13 +849,15 @@ impl Service {
             let workers = Arc::clone(&workers);
             let stop = Arc::clone(&watchdog_stop);
             let cfg = config.clone();
-            std::thread::spawn(move || watchdog_loop(&ledger, &workers, &stop, &cfg, wcfg))
+            let cache = cache.clone();
+            std::thread::spawn(move || watchdog_loop(&ledger, &workers, &stop, &cfg, &cache, wcfg))
         });
         Self {
             ledger,
             workers,
             watchdog: Mutex::new(watchdog),
             watchdog_stop,
+            cache,
             config,
         }
     }
@@ -779,6 +872,14 @@ impl Service {
         &self.config
     }
 
+    /// Canonical cache key for `req`, when caching is on and the request
+    /// is cacheable. Computed *outside* the ledger lock — file sources
+    /// read their content here, and hashing is pure CPU.
+    fn fingerprint(&self, req: &ScheduleRequest) -> Option<Arc<CacheKey>> {
+        self.cache.as_ref()?;
+        request::cache_key(req).map(Arc::new)
+    }
+
     /// Non-blocking admission: [`SubmitOutcome::WouldBlock`] when the
     /// queue is at capacity (and nothing of strictly lower priority can
     /// be evicted), [`SubmitOutcome::Rejected`] once shutdown has begun,
@@ -789,14 +890,22 @@ impl Service {
         if let Some(reason) = admission_lint(&req) {
             return SubmitOutcome::Rejected(reason);
         }
+        let key = self.fingerprint(&req);
         let (lock, cv) = &*self.ledger;
         let mut ledger = lock.lock().unwrap();
         if !ledger.accepting {
             return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
         }
+        let key = match &self.cache {
+            Some(cache) => match dedup_or_key(&mut ledger, cv, cache, key, &opts, &self.config) {
+                Ok(id) => return SubmitOutcome::Accepted(id),
+                Err(key) => key,
+            },
+            None => None,
+        };
         match make_room(&mut ledger, opts.priority, &self.config) {
             Room::Admit => {
-                let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
+                let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config, key));
                 cv.notify_all();
                 out
             }
@@ -821,15 +930,26 @@ impl Service {
         if let Some(reason) = admission_lint(&req) {
             return SubmitOutcome::Rejected(reason);
         }
+        let mut key = self.fingerprint(&req);
         let (lock, cv) = &*self.ledger;
         let mut ledger = lock.lock().unwrap();
         loop {
             if !ledger.accepting {
                 return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
             }
+            // Re-check the cache on every pass: while this thread waited
+            // for queue space, an identical in-flight leader may have
+            // published the answer — or become coalescable.
+            if let Some(cache) = &self.cache {
+                match dedup_or_key(&mut ledger, cv, cache, key.clone(), &opts, &self.config) {
+                    Ok(id) => return SubmitOutcome::Accepted(id),
+                    Err(k) => key = k,
+                }
+            }
             match make_room(&mut ledger, opts.priority, &self.config) {
                 Room::Admit => {
-                    let out = SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config));
+                    let out =
+                        SubmitOutcome::Accepted(admit(&mut ledger, req, opts, &self.config, key));
                     cv.notify_all();
                     return out;
                 }
@@ -866,9 +986,19 @@ impl Service {
         let (lock, cv) = &*self.ledger;
         let mut ledger = lock.lock().unwrap();
         if let Some(job) = ledger.take_queued(id) {
+            let result = Err(ServiceError::Cancelled);
+            // A cancelled queued *leader* hands its key to the next
+            // viable waiter rather than abandoning the coalition.
+            settle_dedup(
+                &mut ledger,
+                self.cache.as_deref(),
+                id,
+                job.key.as_ref(),
+                &result,
+            );
             ledger.complete(Completed {
                 id,
-                result: Err(ServiceError::Cancelled),
+                result,
                 attempts: job.attempts.load(Ordering::Relaxed),
                 latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
             });
@@ -878,6 +1008,30 @@ impl Service {
         if let Some(inf) = ledger.inflight.get(&id) {
             inf.job.cancel.store(true, Ordering::Relaxed);
             return CancelOutcome::InFlight;
+        }
+        // A coalesced waiter: detach and answer just this id; the leader
+        // and every other waiter are untouched.
+        let waiter = ledger.coalesced.iter().find_map(|(&fp, d)| {
+            d.waiters
+                .iter()
+                .position(|w| w.id == id)
+                .map(|pos| (fp, pos))
+        });
+        if let Some((fp, pos)) = waiter {
+            let w = ledger
+                .coalesced
+                .get_mut(&fp)
+                .expect("dedup entry found above")
+                .waiters
+                .remove(pos);
+            ledger.complete(Completed {
+                id,
+                result: Err(ServiceError::Cancelled),
+                attempts: 0,
+                latency_ns: w.admitted_at.elapsed().as_nanos() as u64,
+            });
+            cv.notify_all();
+            return CancelOutcome::Dequeued;
         }
         if ledger.done.contains_key(&id) {
             return CancelOutcome::AlreadyDone;
@@ -1002,9 +1156,19 @@ impl Service {
                 for lane in 0..3 {
                     while let Some(job) = ledger.lanes[lane].pop_front() {
                         shed += 1;
+                        let result = Err(ServiceError::ShuttingDown);
+                        // Admission is closed, so a shed leader's waiters
+                        // answer `shutting-down` too (no promotion).
+                        settle_dedup(
+                            &mut ledger,
+                            self.cache.as_deref(),
+                            job.id,
+                            job.key.as_ref(),
+                            &result,
+                        );
                         ledger.complete(Completed {
                             id: job.id,
-                            result: Err(ServiceError::ShuttingDown),
+                            result,
                             attempts: job.attempts.load(Ordering::Relaxed),
                             latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
                         });
@@ -1078,6 +1242,11 @@ impl Service {
             inflight: ledger.inflight.len(),
             accepting: ledger.accepting,
             over_high_water: ledger.queued_len() >= self.config.high_water,
+            cache_hits: ledger.stats.cache_hits,
+            cache_misses: ledger.stats.cache_misses,
+            cache_coalesced: ledger.stats.cache_coalesced,
+            cache_evictions: ledger.stats.cache_evictions,
+            cache_entries: self.cache.as_ref().map_or(0, |c| c.entries()),
         }
     }
 
@@ -1134,6 +1303,17 @@ pub struct PoolHealth {
     pub accepting: bool,
     /// Is the queue at or past the brownout high-water mark?
     pub over_high_water: bool,
+    /// Requests answered from the response cache at admission.
+    pub cache_hits: u64,
+    /// Cacheable requests that had to compute (each became a dedup
+    /// leader while in flight).
+    pub cache_misses: u64,
+    /// Requests coalesced onto an identical in-flight leader.
+    pub cache_coalesced: u64,
+    /// Cache entries displaced by the LRU bound.
+    pub cache_evictions: u64,
+    /// Entries currently cached (gauge; 0 when caching is off).
+    pub cache_entries: u64,
 }
 
 impl Drop for Service {
@@ -1195,9 +1375,13 @@ fn make_room(ledger: &mut Ledger, priority: Priority, config: &ServiceConfig) ->
         Some(victim) => {
             let latency_ns = victim.admitted_at.elapsed().as_nanos() as u64;
             let attempts = victim.attempts.load(Ordering::Relaxed);
+            let result = Err(ServiceError::Overloaded);
+            // An evicted leader sheds its coalition (see settle_dedup);
+            // no cache handle needed — error results never publish.
+            settle_dedup(ledger, None, victim.id, victim.key.as_ref(), &result);
             ledger.complete(Completed {
                 id: victim.id,
-                result: Err(ServiceError::Overloaded),
+                result,
                 attempts,
                 latency_ns,
             });
@@ -1207,22 +1391,39 @@ fn make_room(ledger: &mut Ledger, priority: Priority, config: &ServiceConfig) ->
     }
 }
 
-/// Admit one request under an already-held ledger lock.
+/// Admit one request under an already-held ledger lock. A `Some` key
+/// registers the new request as the dedup **leader** for that
+/// fingerprint: later identical arrivals coalesce onto it instead of
+/// spending queue slots of their own.
 fn admit(
     ledger: &mut Ledger,
     req: ScheduleRequest,
     opts: SubmitOptions,
     config: &ServiceConfig,
+    key: Option<Arc<CacheKey>>,
 ) -> RequestId {
     let id = RequestId(ledger.next_id);
     ledger.next_id += 1;
     ledger.outstanding += 1;
     ledger.stats.submitted += 1;
     ledger.known.insert(id);
+    let req = Arc::new(req);
+    if let Some(k) = &key {
+        ledger.stats.cache_misses += 1;
+        ledger.coalesced.insert(
+            k.fp,
+            Dedup {
+                key: Arc::clone(k),
+                req: Arc::clone(&req),
+                leader: id,
+                waiters: Vec::new(),
+            },
+        );
+    }
     let admitted_seq = ledger.dequeues;
     ledger.push_job(Job {
         id,
-        req: Arc::new(req),
+        req,
         deadline: opts.deadline,
         max_attempts: opts.max_attempts.unwrap_or(config.max_attempts).max(1),
         priority: opts.priority,
@@ -1231,8 +1432,205 @@ fn admit(
         attempts: Arc::new(AtomicU32::new(0)),
         admitted_seq,
         admitted_at: Instant::now(),
+        key,
     });
     id
+}
+
+/// Cache lookup + in-flight coalescing, under the ledger lock and
+/// **before** a queue slot is spent (which is what makes a hit or a
+/// coalesce work even under brownout / at hard capacity). `Ok(id)` means
+/// the request is fully handled — answered from the cache, or attached
+/// to an in-flight leader's waiters list. `Err(key)` hands the key back
+/// for [`admit`] to register (`Err(None)` when the request must take the
+/// uncached path: uncacheable, already expired, or its fingerprint
+/// collides with a different in-flight canon).
+fn dedup_or_key(
+    ledger: &mut Ledger,
+    cv: &Condvar,
+    cache: &ResponseCache,
+    key: Option<Arc<CacheKey>>,
+    opts: &SubmitOptions,
+    config: &ServiceConfig,
+) -> Result<RequestId, Option<Arc<CacheKey>>> {
+    let Some(key) = key else {
+        return Err(None);
+    };
+    // A request that is already past its deadline must still answer
+    // `expired` (pinned by the overload golden) — never a cached value.
+    if opts.deadline.is_some_and(|d| d.is_expired()) {
+        return Err(None);
+    }
+    if let Some(resp) = cache.get(&key) {
+        let id = RequestId(ledger.next_id);
+        ledger.next_id += 1;
+        ledger.outstanding += 1;
+        ledger.stats.submitted += 1;
+        ledger.stats.cache_hits += 1;
+        ledger.known.insert(id);
+        ledger.complete(Completed {
+            id,
+            result: Ok(resp),
+            attempts: 0,
+            latency_ns: 0,
+        });
+        cv.notify_all();
+        return Ok(id);
+    }
+    let leader = match ledger.coalesced.get(&key.fp) {
+        Some(d) if d.key.canon == key.canon => d.leader,
+        // Same 64-bit digest, different request: the in-flight entry owns
+        // the fingerprint, so this arrival runs uncached (exactly the
+        // collision rule the cache itself enforces).
+        Some(_) => return Err(None),
+        None => return Err(Some(key)),
+    };
+    let id = RequestId(ledger.next_id);
+    ledger.next_id += 1;
+    ledger.outstanding += 1;
+    ledger.stats.submitted += 1;
+    ledger.stats.cache_coalesced += 1;
+    ledger.known.insert(id);
+    let d = ledger
+        .coalesced
+        .get_mut(&key.fp)
+        .expect("dedup entry checked above");
+    d.waiters.push(Waiter {
+        id,
+        deadline: opts.deadline,
+        max_attempts: opts.max_attempts.unwrap_or(config.max_attempts).max(1),
+        priority: opts.priority,
+        admitted_at: Instant::now(),
+    });
+    // A more urgent waiter lifts its still-queued leader into the
+    // waiter's lane: the coalition runs at the urgency of its most
+    // urgent member.
+    let leader_priority = ledger
+        .lanes
+        .iter()
+        .flatten()
+        .find(|j| j.id == leader)
+        .map(|j| j.priority);
+    if let Some(lp) = leader_priority {
+        if opts.priority.lane() < lp.lane() {
+            if let Some(mut job) = ledger.take_queued(leader) {
+                job.priority = opts.priority;
+                ledger.push_job(job);
+                cv.notify_all();
+            }
+        }
+    }
+    Ok(id)
+}
+
+/// Settle the dedup entry a finished **leader** owns (no-op for plain
+/// jobs and for requeued leaders that kept their id). On success the
+/// result is published to the cache and every waiter completes with its
+/// own id-stamped copy; on failure the key is *not* poisoned — the next
+/// viable waiter is promoted to leader and recomputes. Caller holds the
+/// ledger lock and notifies the condvar afterwards.
+fn settle_dedup(
+    ledger: &mut Ledger,
+    cache: Option<&ResponseCache>,
+    id: RequestId,
+    key: Option<&Arc<CacheKey>>,
+    result: &Result<ScheduleResponse, ServiceError>,
+) {
+    let Some(key) = key else {
+        return;
+    };
+    if ledger.coalesced.get(&key.fp).is_none_or(|d| d.leader != id) {
+        return;
+    }
+    let d = ledger
+        .coalesced
+        .remove(&key.fp)
+        .expect("dedup entry checked above");
+    match result {
+        Ok(resp) => {
+            if let Some(cache) = cache {
+                ledger.stats.cache_evictions += cache.insert(&d.key, resp);
+            }
+            let now = Instant::now();
+            for w in d.waiters {
+                // A waiter whose own deadline lapsed while it waited
+                // answers `expired`, exactly as if it had been queued.
+                let result = if w.deadline.is_some_and(|dl| dl.is_expired_at(now)) {
+                    Err(ServiceError::Expired)
+                } else {
+                    Ok(resp.clone())
+                };
+                ledger.complete(Completed {
+                    id: w.id,
+                    result,
+                    attempts: 0,
+                    latency_ns: w.admitted_at.elapsed().as_nanos() as u64,
+                });
+            }
+        }
+        // An evicted leader sheds its whole coalition: the coalition was
+        // riding the evicted queue slot, and re-entering the queue here
+        // would undo the room the eviction just made.
+        Err(ServiceError::Overloaded) => {
+            for w in d.waiters {
+                ledger.complete(Completed {
+                    id: w.id,
+                    result: Err(ServiceError::Overloaded),
+                    attempts: 0,
+                    latency_ns: w.admitted_at.elapsed().as_nanos() as u64,
+                });
+            }
+        }
+        Err(_) if ledger.accepting => promote_waiter(ledger, d),
+        Err(_) => {
+            for w in d.waiters {
+                ledger.complete(Completed {
+                    id: w.id,
+                    result: Err(ServiceError::ShuttingDown),
+                    attempts: 0,
+                    latency_ns: w.admitted_at.elapsed().as_nanos() as u64,
+                });
+            }
+        }
+    }
+}
+
+/// Hand a failed leader's key to its next viable waiter: the waiter
+/// becomes the new leader with a fresh retry budget and is queued
+/// directly (it inherits the old leader's slot, the same rule the
+/// watchdog uses when it requeues a confiscated request). Expired
+/// waiters are answered and skipped.
+fn promote_waiter(ledger: &mut Ledger, mut d: Dedup) {
+    while !d.waiters.is_empty() {
+        let w = d.waiters.remove(0);
+        if w.deadline.is_some_and(|dl| dl.is_expired()) {
+            ledger.complete(Completed {
+                id: w.id,
+                result: Err(ServiceError::Expired),
+                attempts: 0,
+                latency_ns: w.admitted_at.elapsed().as_nanos() as u64,
+            });
+            continue;
+        }
+        let admitted_seq = ledger.dequeues;
+        let job = Job {
+            id: w.id,
+            req: Arc::clone(&d.req),
+            deadline: w.deadline,
+            max_attempts: w.max_attempts,
+            priority: w.priority,
+            cancel: Arc::new(AtomicBool::new(false)),
+            abandoned: Arc::new(AtomicBool::new(false)),
+            attempts: Arc::new(AtomicU32::new(0)),
+            admitted_seq,
+            admitted_at: w.admitted_at,
+            key: Some(Arc::clone(&d.key)),
+        };
+        d.leader = w.id;
+        ledger.coalesced.insert(d.key.fp, d);
+        ledger.push_job(job);
+        return;
+    }
 }
 
 /// Spawn one worker thread on `slot`. The slot must already be
@@ -1240,14 +1638,20 @@ fn admit(
 fn spawn_worker(
     ledger: &Arc<(Mutex<Ledger>, Condvar)>,
     config: &ServiceConfig,
+    cache: Option<Arc<ResponseCache>>,
     slot: Arc<WorkerSlot>,
 ) -> std::thread::JoinHandle<()> {
     let ledger = Arc::clone(ledger);
     let cfg = config.clone();
-    std::thread::spawn(move || worker_loop(&ledger, &cfg, &slot))
+    std::thread::spawn(move || worker_loop(&ledger, &cfg, &cache, &slot))
 }
 
-fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig, slot: &Arc<WorkerSlot>) {
+fn worker_loop(
+    ledger: &(Mutex<Ledger>, Condvar),
+    config: &ServiceConfig,
+    cache: &Option<Arc<ResponseCache>>,
+    slot: &Arc<WorkerSlot>,
+) {
     let (lock, cv) = ledger;
     let mut scratch = WorkerScratch::default();
     loop {
@@ -1262,9 +1666,17 @@ fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig, slot: 
                 if let Some(job) = ledger.pop_job(config.age_promote) {
                     // Shed before spending a worker on it.
                     if job.cancel.load(Ordering::Relaxed) {
+                        let result = Err(ServiceError::Cancelled);
+                        settle_dedup(
+                            &mut ledger,
+                            cache.as_deref(),
+                            job.id,
+                            job.key.as_ref(),
+                            &result,
+                        );
                         ledger.complete(Completed {
                             id: job.id,
-                            result: Err(ServiceError::Cancelled),
+                            result,
                             attempts: job.attempts.load(Ordering::Relaxed),
                             latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
                         });
@@ -1273,9 +1685,17 @@ fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig, slot: 
                     }
                     if let Some(d) = job.deadline {
                         if d.is_expired() {
+                            let result = Err(ServiceError::Expired);
+                            settle_dedup(
+                                &mut ledger,
+                                cache.as_deref(),
+                                job.id,
+                                job.key.as_ref(),
+                                &result,
+                            );
                             ledger.complete(Completed {
                                 id: job.id,
-                                result: Err(ServiceError::Expired),
+                                result,
                                 attempts: job.attempts.load(Ordering::Relaxed),
                                 latency_ns: job.admitted_at.elapsed().as_nanos() as u64,
                             });
@@ -1318,6 +1738,13 @@ fn worker_loop(ledger: &(Mutex<Ledger>, Condvar), config: &ServiceConfig, slot: 
         ledger.stats.parse_ns += timing.parse_ns;
         ledger.stats.schedule_ns += timing.schedule_ns;
         ledger.stats.sim_ns += timing.sim_ns;
+        settle_dedup(
+            &mut ledger,
+            cache.as_deref(),
+            job.id,
+            job.key.as_ref(),
+            &result,
+        );
         ledger.complete(Completed {
             id: job.id,
             result,
@@ -1336,6 +1763,7 @@ fn watchdog_tick(
     ledger: &Arc<(Mutex<Ledger>, Condvar)>,
     workers: &Mutex<HashMap<usize, std::thread::JoinHandle<()>>>,
     config: &ServiceConfig,
+    cache: &Option<Arc<ResponseCache>>,
     wcfg: WatchdogConfig,
     seen: &mut HashMap<usize, (u64, u64, u32)>,
 ) {
@@ -1388,12 +1816,20 @@ fn watchdog_tick(
                 requeued.admitted_seq = led.dequeues;
                 led.push_job(requeued);
             } else {
+                let result = Err(ServiceError::Faulted(format!(
+                    "worker {} declared stuck by watchdog; retry budget spent",
+                    slot.index
+                )));
+                settle_dedup(
+                    &mut led,
+                    cache.as_deref(),
+                    id,
+                    inf.job.key.as_ref(),
+                    &result,
+                );
                 led.complete(Completed {
                     id,
-                    result: Err(ServiceError::Faulted(format!(
-                        "worker {} declared stuck by watchdog; retry budget spent",
-                        slot.index
-                    ))),
+                    result,
                     attempts,
                     latency_ns: inf.job.admitted_at.elapsed().as_nanos() as u64,
                 });
@@ -1412,7 +1848,7 @@ fn watchdog_tick(
     }
     for (victim, new_slot) in replaced {
         let idx = new_slot.index;
-        let handle = spawn_worker(ledger, config, new_slot);
+        let handle = spawn_worker(ledger, config, cache.clone(), new_slot);
         let mut map = workers.lock().unwrap();
         // Detach the condemned thread: joining would block on the wedge.
         // It exits on its own once it observes the abandon flag.
@@ -1429,6 +1865,7 @@ fn watchdog_loop(
     workers: &Mutex<HashMap<usize, std::thread::JoinHandle<()>>>,
     stop: &AtomicBool,
     config: &ServiceConfig,
+    cache: &Option<Arc<ResponseCache>>,
     wcfg: WatchdogConfig,
 ) {
     let interval = wcfg.interval.max(Duration::from_micros(100));
@@ -1447,7 +1884,7 @@ fn watchdog_loop(
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        watchdog_tick(ledger, workers, config, wcfg, &mut seen);
+        watchdog_tick(ledger, workers, config, cache, wcfg, &mut seen);
     }
 }
 
@@ -1770,6 +2207,7 @@ mod tests {
             attempts: Arc::new(AtomicU32::new(0)),
             admitted_seq: seq,
             admitted_at: Instant::now(),
+            key: None,
         }
     }
 
@@ -1779,6 +2217,7 @@ mod tests {
             dequeues: 0,
             done: HashMap::new(),
             inflight: HashMap::new(),
+            coalesced: HashMap::new(),
             known: HashSet::new(),
             outstanding: 0,
             accepting: true,

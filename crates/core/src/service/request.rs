@@ -387,6 +387,100 @@ impl WorkerScratch {
     }
 }
 
+/// Canonical identity of a cacheable request: a 64-bit FNV-1a digest of
+/// the exact canonical string, kept *alongside* that string. Every cache
+/// lookup compares the full canon — requests are externally supplied, so
+/// a colliding digest must never serve the wrong response (the same rule
+/// [`WorkerScratch`]'s parse cache follows by keying on full source
+/// text).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct CacheKey {
+    /// FNV-1a 64 over `canon`'s bytes — the shard/bucket selector.
+    pub fp: u64,
+    /// The canonical rendering of (resolved source, machine, sim options,
+    /// traffic model, scheduler choice). Exact-match verified on lookup.
+    pub canon: String,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Compute the response-cache key for `req`, or `None` when the request
+/// is not cacheable: experiment-cell variants (driver-internal, never
+/// repeated across users), and file sources that cannot be read right now
+/// (the worker will report the error; caching must not mask it).
+///
+/// The canon embeds the *resolved* source — file sources contribute path
+/// **and** content, so a file edited under a long-lived service changes
+/// the key — plus every field of the request that the response is a
+/// function of. Lifecycle options (deadline, priority, attempt budget)
+/// are deliberately absent: they shape *whether* a request completes,
+/// never *what* it computes. Fields are joined with US (unit separator)
+/// so adjacent values cannot reassociate.
+pub(crate) fn cache_key(req: &ScheduleRequest) -> Option<CacheKey> {
+    use std::fmt::Write as _;
+    let ScheduleRequest::Loop(r) = req else {
+        return None;
+    };
+    let mut canon = String::new();
+    match &r.source {
+        LoopSource::Corpus(name) => {
+            let _ = write!(canon, "corpus\u{1f}{name}");
+        }
+        LoopSource::DdgFile(path) => {
+            // Path matters (it is the response's `name`) and so does the
+            // content (what actually gets scheduled).
+            let text = std::fs::read_to_string(path).ok()?;
+            let _ = write!(canon, "file\u{1f}{path}\u{1f}{text}");
+        }
+        LoopSource::DdgText(text) => {
+            let _ = write!(canon, "text\u{1f}{text}");
+        }
+        LoopSource::Graph { name, graph } => {
+            let _ = write!(canon, "graph\u{1f}{name}");
+            for n in graph.node_ids() {
+                let node = graph.node(n);
+                let _ = write!(
+                    canon,
+                    "\u{1f}n:{}:{}:{:?}",
+                    node.name, node.latency, node.stmt
+                );
+            }
+            for e in graph.edge_ids() {
+                let edge = graph.edge(e);
+                let _ = write!(
+                    canon,
+                    "\u{1f}e:{}:{}:{}:{:?}",
+                    edge.src.index(),
+                    edge.dst.index(),
+                    edge.distance,
+                    edge.cost
+                );
+            }
+        }
+    }
+    let _ = write!(
+        canon,
+        "\u{1f}procs={:?}\u{1f}k={:?}\u{1f}iters={}\u{1f}link={:?}\u{1f}engine={:?}\u{1f}mm={}\u{1f}seed={}\u{1f}sched={}",
+        r.procs,
+        r.k,
+        r.iters,
+        r.sim.link,
+        r.sim.engine,
+        r.traffic.mm,
+        r.traffic.seed,
+        r.scheduler.name()
+    );
+    let fp = fnv1a(canon.as_bytes());
+    Some(CacheKey { fp, canon })
+}
+
 /// Execute one request against a worker's scratch, honoring the
 /// cooperative context at phase boundaries. Returns the response (or
 /// error) plus the phase timing. This is the exact function the pool
@@ -707,6 +801,91 @@ mod tests {
         out.sp = 0.0;
         out.makespan = 0;
         assert!(validate_response(&ScheduleResponse::Loop(out)).is_err());
+    }
+
+    #[test]
+    fn cache_keys_separate_work_relevant_fields_only() {
+        let base = || ScheduleRequest::Loop(LoopRequest::default());
+        let a = cache_key(&base()).expect("corpus loops are cacheable");
+        let b = cache_key(&base()).unwrap();
+        assert_eq!(a, b, "identical requests share one key");
+        // Every work-relevant field separates keys.
+        for (what, req) in [
+            (
+                "corpus",
+                ScheduleRequest::Loop(LoopRequest {
+                    source: LoopSource::Corpus("cytron86".into()),
+                    ..LoopRequest::default()
+                }),
+            ),
+            (
+                "procs",
+                ScheduleRequest::Loop(LoopRequest {
+                    procs: Some(4),
+                    ..LoopRequest::default()
+                }),
+            ),
+            (
+                "iters",
+                ScheduleRequest::Loop(LoopRequest {
+                    iters: 99,
+                    ..LoopRequest::default()
+                }),
+            ),
+            (
+                "traffic seed",
+                ScheduleRequest::Loop(LoopRequest {
+                    traffic: TrafficModel { mm: 1, seed: 1 },
+                    ..LoopRequest::default()
+                }),
+            ),
+            (
+                "scheduler",
+                ScheduleRequest::Loop(LoopRequest {
+                    scheduler: SchedulerChoice::DoacrossNatural,
+                    ..LoopRequest::default()
+                }),
+            ),
+        ] {
+            let other = cache_key(&req).unwrap();
+            assert_ne!(a.canon, other.canon, "{what} must separate canons");
+            assert_ne!(a.fp, other.fp, "{what} must separate fingerprints");
+        }
+        // Experiment-cell variants and unreadable files are uncacheable.
+        assert!(cache_key(&ScheduleRequest::ContentionCell {
+            seed: 0,
+            k: 2,
+            procs: 2,
+            iters: 10,
+            engine: EventEngine::Calendar,
+        })
+        .is_none());
+        assert!(cache_key(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgFile("no/such/file.ddg".into()),
+            ..LoopRequest::default()
+        }))
+        .is_none());
+    }
+
+    #[test]
+    fn file_key_covers_path_and_content() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus/figure7.ddg");
+        let text = std::fs::read_to_string(path).unwrap();
+        let file = cache_key(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgFile(path.into()),
+            ..LoopRequest::default()
+        }))
+        .unwrap();
+        assert!(file.canon.contains(&text), "content is in the canon");
+        assert!(file.canon.contains(path), "path is in the canon");
+        // Same content supplied inline is a *different* key: the
+        // response's name field differs (path vs "inline").
+        let inline = cache_key(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::DdgText(text),
+            ..LoopRequest::default()
+        }))
+        .unwrap();
+        assert_ne!(file.canon, inline.canon);
     }
 
     #[test]

@@ -271,7 +271,7 @@ pub fn health_json(id: u64, h: &PoolHealth) -> String {
         })
         .collect();
     format!(
-        "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"health\", \"workers\": [{}], \"replaced_workers\": {}, \"queued_high\": {}, \"queued_normal\": {}, \"queued_low\": {}, \"inflight\": {}, \"accepting\": {}, \"over_high_water\": {}}}",
+        "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"health\", \"workers\": [{}], \"replaced_workers\": {}, \"queued_high\": {}, \"queued_normal\": {}, \"queued_low\": {}, \"inflight\": {}, \"accepting\": {}, \"over_high_water\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_coalesced\": {}, \"cache_evictions\": {}, \"cache_entries\": {}}}",
         workers.join(", "),
         h.replaced_workers,
         h.queued[0],
@@ -280,22 +280,31 @@ pub fn health_json(id: u64, h: &PoolHealth) -> String {
         h.inflight,
         h.accepting,
         h.over_high_water,
+        h.cache_hits,
+        h.cache_misses,
+        h.cache_coalesced,
+        h.cache_evictions,
+        h.cache_entries,
     )
 }
 
 /// Render the batch throughput/latency stats as JSON (schema
-/// `kn-service-throughput-v2`; v2 adds the lifecycle counters —
-/// retries, expired, cancelled, shed, rejected). This is the run-varying
-/// half of the serve output: wall-clock, requests/second, and the
-/// per-phase latency split the workers measured. `requests`/`errors`
-/// count *responses* (including malformed lines answered before reaching
-/// the pool), so they can exceed the pool-level counters in `stats`.
+/// `kn-service-throughput-v3`; v2 added the lifecycle counters —
+/// retries, expired, cancelled, shed, rejected — and v3 adds the
+/// response-cache counters: hits, misses, coalesced, evictions, plus the
+/// `cache_entries` gauge sampled at render time). This is the
+/// run-varying half of the serve output: wall-clock, requests/second,
+/// and the per-phase latency split the workers measured.
+/// `requests`/`errors` count *responses* (including malformed lines
+/// answered before reaching the pool), so they can exceed the pool-level
+/// counters in `stats`.
 pub fn throughput_json(
     workers: usize,
     requests: u64,
     errors: u64,
     wall_ns: u64,
     stats: &ServiceStats,
+    cache_entries: u64,
 ) -> String {
     let throughput_rps = if wall_ns > 0 {
         requests as f64 * 1e9 / wall_ns as f64
@@ -303,12 +312,16 @@ pub fn throughput_json(
         0.0
     };
     format!(
-        "{{\n  \"schema\": \"kn-service-throughput-v2\",\n  \"workers\": {workers},\n  \"requests\": {requests},\n  \"errors\": {errors},\n  \"retries\": {},\n  \"expired\": {},\n  \"cancelled\": {},\n  \"shed\": {},\n  \"rejected\": {},\n  \"wall_ns\": {wall_ns},\n  \"throughput_rps\": {throughput_rps:.2},\n  \"exec_ns\": {},\n  \"parse_ns\": {},\n  \"schedule_ns\": {},\n  \"sim_ns\": {}\n}}\n",
+        "{{\n  \"schema\": \"kn-service-throughput-v3\",\n  \"workers\": {workers},\n  \"requests\": {requests},\n  \"errors\": {errors},\n  \"retries\": {},\n  \"expired\": {},\n  \"cancelled\": {},\n  \"shed\": {},\n  \"rejected\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_coalesced\": {},\n  \"cache_evictions\": {},\n  \"cache_entries\": {cache_entries},\n  \"wall_ns\": {wall_ns},\n  \"throughput_rps\": {throughput_rps:.2},\n  \"exec_ns\": {},\n  \"parse_ns\": {},\n  \"schedule_ns\": {},\n  \"sim_ns\": {}\n}}\n",
         stats.retries,
         stats.expired,
         stats.cancelled,
         stats.shed,
         stats.rejected,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_coalesced,
+        stats.cache_evictions,
         stats.exec_ns,
         stats.parse_ns,
         stats.schedule_ns,
@@ -422,11 +435,16 @@ mod tests {
             inflight: 1,
             accepting: true,
             over_high_water: false,
+            cache_hits: 10,
+            cache_misses: 4,
+            cache_coalesced: 6,
+            cache_evictions: 2,
+            cache_entries: 2,
         };
         let line = health_json(5, &h);
         assert_eq!(
             line,
-            "{\"id\": 5, \"status\": \"ok\", \"kind\": \"health\", \"workers\": [{\"index\": 0, \"busy\": 7, \"heartbeats\": 42}, {\"index\": 2, \"busy\": null, \"heartbeats\": 9}], \"replaced_workers\": 1, \"queued_high\": 1, \"queued_normal\": 2, \"queued_low\": 3, \"inflight\": 1, \"accepting\": true, \"over_high_water\": false}"
+            "{\"id\": 5, \"status\": \"ok\", \"kind\": \"health\", \"workers\": [{\"index\": 0, \"busy\": 7, \"heartbeats\": 42}, {\"index\": 2, \"busy\": null, \"heartbeats\": 9}], \"replaced_workers\": 1, \"queued_high\": 1, \"queued_normal\": 2, \"queued_low\": 3, \"inflight\": 1, \"accepting\": true, \"over_high_water\": false, \"cache_hits\": 10, \"cache_misses\": 4, \"cache_coalesced\": 6, \"cache_evictions\": 2, \"cache_entries\": 2}"
         );
         assert_eq!(line.lines().count(), 1);
     }
@@ -489,18 +507,25 @@ mod tests {
             errors: 1,
             retries: 2,
             shed: 1,
+            cache_hits: 3,
+            cache_coalesced: 1,
             exec_ns: 4000,
             parse_ns: 1000,
             schedule_ns: 2000,
             sim_ns: 500,
             ..Default::default()
         };
-        let j = throughput_json(2, 4, 1, 2_000_000_000, &stats);
-        assert!(j.contains("\"schema\": \"kn-service-throughput-v2\""));
+        let j = throughput_json(2, 4, 1, 2_000_000_000, &stats, 5);
+        assert!(j.contains("\"schema\": \"kn-service-throughput-v3\""));
         assert!(j.contains("\"throughput_rps\": 2.00"));
         assert!(j.contains("\"errors\": 1"));
         assert!(j.contains("\"retries\": 2"));
         assert!(j.contains("\"shed\": 1"));
         assert!(j.contains("\"rejected\": 0"));
+        assert!(j.contains("\"cache_hits\": 3"));
+        assert!(j.contains("\"cache_misses\": 0"));
+        assert!(j.contains("\"cache_coalesced\": 1"));
+        assert!(j.contains("\"cache_evictions\": 0"));
+        assert!(j.contains("\"cache_entries\": 5"));
     }
 }

@@ -1,0 +1,238 @@
+//! Integration tests for the fingerprinted response cache + in-flight
+//! dedup (`kn_core::service` module docs, "Response cache + in-flight
+//! dedup"): N identical concurrent requests compute exactly once and
+//! every id gets its own copy; cancelling a coalesced waiter disturbs
+//! nobody else; a failed leader hands its key to the next viable waiter
+//! instead of poisoning it; eviction order is deterministic under a
+//! seeded fill; and — the property that makes caching safe at all —
+//! cached and fresh responses are **byte-identical** on the wire.
+
+use kn_core::service::faultinject::{Fault, FaultPlan};
+use kn_core::service::{
+    execute, wire, CancelOutcome, Deadline, LoopRequest, ScheduleRequest, ScheduleResponse,
+    Service, ServiceConfig, ServiceError, SubmitOptions, SubmitOutcome,
+};
+use kn_core::sim::TrafficModel;
+use std::time::Duration;
+
+/// A cheap cacheable request, distinct per `seed`.
+fn req(seed: u64) -> ScheduleRequest {
+    ScheduleRequest::Loop(LoopRequest {
+        traffic: TrafficModel { mm: 3, seed },
+        iters: 12,
+        ..LoopRequest::default()
+    })
+}
+
+fn cached_config(workers: usize, cache_capacity: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        cache_capacity,
+        ..ServiceConfig::default()
+    }
+}
+
+fn submit(svc: &Service, r: ScheduleRequest) -> kn_core::service::RequestId {
+    match svc.try_submit(r, SubmitOptions::default()) {
+        SubmitOutcome::Accepted(id) => id,
+        other => panic!("admissible request refused: {other:?}"),
+    }
+}
+
+/// Occupy the single worker for a while: id 0 draws a sleeping stall on
+/// its first attempt, so everything submitted behind it lands while the
+/// leader of interest is still queued — which is what makes the
+/// coalescing in these tests deterministic rather than racy.
+fn blocker_plan(extra: &[(u64, Fault)]) -> FaultPlan {
+    let mut faults = vec![(0u64, Fault::Stall)];
+    faults.extend_from_slice(extra);
+    FaultPlan::explicit(faults).with_stall(Duration::from_millis(80))
+}
+
+#[test]
+fn n_identical_concurrent_requests_compute_exactly_once() {
+    let svc = Service::with_config(ServiceConfig {
+        fault_plan: Some(blocker_plan(&[])),
+        ..cached_config(1, 64)
+    });
+    let blocker = submit(&svc, req(999));
+    let ids: Vec<_> = (0..16).map(|_| submit(&svc, req(7))).collect();
+    let done = svc.collect_detailed(&ids, None);
+    let fresh = execute(&req(7)).expect("figure7 schedules");
+    for c in &done {
+        let ScheduleResponse::Loop(out) = c.result.as_ref().expect("all sixteen answer ok") else {
+            panic!("loop request answers a loop response");
+        };
+        let ScheduleResponse::Loop(want) = &fresh else {
+            panic!("loop response");
+        };
+        assert_eq!(out, want, "every copy equals a fresh computation");
+    }
+    // Exactly one execution across the whole coalition.
+    assert_eq!(done.iter().map(|c| c.attempts).sum::<u32>(), 1);
+    let stats = svc.stats();
+    // Two misses: the blocker itself and the coalition's leader.
+    assert_eq!(stats.cache_misses, 2, "{stats:?}");
+    assert_eq!(stats.cache_hits + stats.cache_coalesced, 15, "{stats:?}");
+    let _ = svc.collect(&[blocker]);
+}
+
+#[test]
+fn cancelling_a_waiter_leaves_the_leader_and_other_waiters_alone() {
+    let svc = Service::with_config(ServiceConfig {
+        fault_plan: Some(blocker_plan(&[])),
+        ..cached_config(1, 64)
+    });
+    let blocker = submit(&svc, req(999));
+    let leader = submit(&svc, req(7));
+    let w1 = submit(&svc, req(7));
+    let w2 = submit(&svc, req(7));
+    assert_eq!(svc.cancel(w1), CancelOutcome::Dequeued);
+    let done = svc.collect_detailed(&[leader, w1, w2], None);
+    assert!(done[0].result.is_ok(), "leader unaffected: {done:?}");
+    assert!(
+        matches!(done[1].result, Err(ServiceError::Cancelled)),
+        "{done:?}"
+    );
+    assert!(done[2].result.is_ok(), "other waiter unaffected: {done:?}");
+    let _ = svc.collect(&[blocker]);
+}
+
+#[test]
+fn cancelled_leader_hands_the_key_to_the_next_waiter() {
+    let svc = Service::with_config(ServiceConfig {
+        fault_plan: Some(blocker_plan(&[])),
+        ..cached_config(1, 64)
+    });
+    let blocker = submit(&svc, req(999));
+    let leader = submit(&svc, req(7));
+    let w1 = submit(&svc, req(7));
+    let w2 = submit(&svc, req(7));
+    assert_eq!(svc.cancel(leader), CancelOutcome::Dequeued);
+    let done = svc.collect_detailed(&[leader, w1, w2], None);
+    assert!(
+        matches!(done[0].result, Err(ServiceError::Cancelled)),
+        "{done:?}"
+    );
+    assert!(done[1].result.is_ok(), "first waiter promoted: {done:?}");
+    assert!(
+        done[2].result.is_ok(),
+        "second waiter rides along: {done:?}"
+    );
+    // The promoted waiter computed; the other got its copy for free.
+    assert_eq!(done.iter().map(|c| c.attempts).sum::<u32>(), 1);
+    let _ = svc.collect(&[blocker]);
+}
+
+#[test]
+fn sticky_fault_leader_hands_off_instead_of_poisoning_the_key() {
+    // id 1 (the leader) panics on every attempt; the promoted waiter
+    // (a different id) is clean and recomputes successfully.
+    let svc = Service::with_config(ServiceConfig {
+        fault_plan: Some(blocker_plan(&[(1, Fault::Panic)]).sticky()),
+        ..cached_config(1, 64)
+    });
+    let blocker = submit(&svc, req(999));
+    let leader = submit(&svc, req(7));
+    let w1 = submit(&svc, req(7));
+    let w2 = submit(&svc, req(7));
+    let done = svc.collect_detailed(&[leader, w1, w2], None);
+    assert!(
+        matches!(done[0].result, Err(ServiceError::Panicked(_))),
+        "sticky leader spends its budget: {done:?}"
+    );
+    assert!(done[1].result.is_ok(), "promoted waiter answers: {done:?}");
+    assert!(
+        done[2].result.is_ok(),
+        "second waiter rides along: {done:?}"
+    );
+    assert_eq!(
+        wire::response_json_with(1, &done[1].result, 0),
+        wire::response_json_with(1, &done[2].result, 0),
+        "both waiters hold the same answer"
+    );
+    let _ = svc.collect(&[blocker]);
+}
+
+#[test]
+fn expired_waiter_is_answered_and_skipped_at_handoff() {
+    let svc = Service::with_config(ServiceConfig {
+        fault_plan: Some(blocker_plan(&[(1, Fault::Panic)]).sticky()),
+        ..cached_config(1, 64)
+    });
+    let blocker = submit(&svc, req(999));
+    let leader = submit(&svc, req(7));
+    // w1's deadline lapses while the blocker stalls (80ms), long before
+    // the sticky leader fails and the handoff happens.
+    let w1 = match svc.try_submit(
+        req(7),
+        SubmitOptions {
+            deadline: Some(Deadline::after(Duration::from_millis(10))),
+            ..SubmitOptions::default()
+        },
+    ) {
+        SubmitOutcome::Accepted(id) => id,
+        other => panic!("refused: {other:?}"),
+    };
+    let w2 = submit(&svc, req(7));
+    let done = svc.collect_detailed(&[leader, w1, w2], None);
+    assert!(matches!(done[0].result, Err(ServiceError::Panicked(_))));
+    assert!(
+        matches!(done[1].result, Err(ServiceError::Expired)),
+        "expired waiter answers expired, not a stale promotion: {done:?}"
+    );
+    assert!(done[2].result.is_ok(), "viable waiter promoted: {done:?}");
+    let _ = svc.collect(&[blocker]);
+}
+
+#[test]
+fn seeded_fill_evicts_deterministically() {
+    // Capacity 4 = a single shard = globally-LRU eviction: filling five
+    // distinct requests evicts exactly the first, every run.
+    let svc = Service::with_config(cached_config(1, 4));
+    for seed in 0..5 {
+        let id = submit(&svc, req(seed));
+        let _ = svc.collect(&[id]);
+    }
+    assert_eq!(svc.stats().cache_evictions, 1);
+    assert_eq!(svc.health().cache_entries, 4);
+    // Seed 0 was the victim: the survivors hit, seed 0 misses and — by
+    // recomputing and re-inserting — evicts exactly one more entry.
+    let before = svc.stats();
+    for seed in [1, 2, 3, 4, 0] {
+        let id = submit(&svc, req(seed));
+        let _ = svc.collect(&[id]);
+    }
+    let after = svc.stats();
+    assert_eq!(after.cache_misses - before.cache_misses, 1, "{after:?}");
+    assert_eq!(after.cache_hits - before.cache_hits, 4, "{after:?}");
+    assert_eq!(after.cache_evictions - before.cache_evictions, 1);
+}
+
+#[test]
+fn cached_and_fresh_responses_are_byte_identical_in_process() {
+    // The same duplicate-heavy batch through a cache-on and a cache-off
+    // service must render byte-identical wire lines — the property that
+    // makes the cache invisible to every golden.
+    let batch: Vec<ScheduleRequest> = [7u64, 3, 7, 7, 3, 11, 7].into_iter().map(req).collect();
+    let render = |cache_capacity: usize| -> (Vec<String>, u64) {
+        let svc = Service::with_config(cached_config(2, cache_capacity));
+        let ids: Vec<_> = batch.iter().map(|r| submit(&svc, r.clone())).collect();
+        let lines = svc
+            .collect_detailed(&ids, None)
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| wire::response_json_with(i as u64, &c.result, c.attempts))
+            .collect();
+        let stats = svc.stats();
+        (lines, stats.cache_hits + stats.cache_coalesced)
+    };
+    let (cached, reused) = render(64);
+    let (fresh, fresh_reused) = render(0);
+    assert_eq!(cached, fresh, "byte-identical with and without the cache");
+    assert!(
+        reused >= 4,
+        "four duplicates must hit or coalesce: {reused}"
+    );
+    assert_eq!(fresh_reused, 0, "cache off = no cache traffic");
+}

@@ -269,6 +269,40 @@ fn health_line_over_tcp_reports_the_pool() {
     server.shutdown(DrainPolicy::Finish);
 }
 
+/// The response cache is invisible over a real socket: a duplicate-heavy
+/// batch through a cache-on server answers byte-for-byte what a cache-off
+/// server answers — same JSON, same ids, same attempt counts — while the
+/// cache-on server's counters prove the duplicates never recomputed.
+#[test]
+fn cached_responses_are_byte_identical_over_tcp() {
+    let input = "corpus=figure7\n\
+                 corpus=cytron86\n\
+                 corpus=figure7\n\
+                 corpus=figure7 k=3\n\
+                 corpus=figure7\n";
+    let (fresh_server, fresh_svc) = serve(2, NetConfig::default());
+    let want = round_trip(&fresh_server, input);
+    assert_eq!(fresh_svc.stats().cache_hits, 0, "cache off by default");
+    fresh_server.shutdown(DrainPolicy::Finish);
+
+    let (cached_server, cached_svc) = serve_with(
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 64,
+            ..ServiceConfig::default()
+        },
+        NetConfig::default(),
+    );
+    let got = round_trip(&cached_server, input);
+    assert_eq!(got, want, "cache must be invisible on the wire");
+    let stats = cached_svc.stats();
+    assert!(
+        stats.cache_hits + stats.cache_coalesced >= 2,
+        "two duplicates of figure7 must reuse the first answer: {stats:?}"
+    );
+    cached_server.shutdown(DrainPolicy::Finish);
+}
+
 /// A seeded `SlowReader` net fault (dribbled response writes) changes
 /// timing only: the response bytes and their order are identical to a
 /// fault-free server's.
