@@ -78,13 +78,14 @@ fn main() -> ExitCode {
     let violations = compare(&baseline, &candidate, policy);
     if violations.is_empty() {
         println!(
-            "bench-compare: OK ({} sched + {} event + {} service + {} lifecycle + {} overload + {} cache entries gated, budget {}%{}{})",
+            "bench-compare: OK ({} sched + {} event + {} service + {} lifecycle + {} overload + {} cache + {} xform entries gated, budget {}%{}{})",
             baseline.entries.len(),
             baseline.event_entries.len(),
             baseline.service_entries.len(),
             baseline.lifecycle_entries.len(),
             candidate.overload_entries.len(),
             candidate.cache_entries.len(),
+            candidate.xform_entries.len(),
             max_regress_pct,
             match service_max_regress_pct {
                 Some(pct) => format!(", service {pct}%"),

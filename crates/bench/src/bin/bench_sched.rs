@@ -8,7 +8,9 @@
 //! the batch scheduling service's throughput against the sequential
 //! driver on mixed request batches (`service_entries`, schema v3), plus
 //! the response cache against a duplicate-heavy seeded Zipf mix and a
-//! cold all-unique mix (`cache_entries`, schema v6), and writes the
+//! cold all-unique mix (`cache_entries`, schema v6), plus the loop
+//! transformation pipeline's MII trajectory on the transform-family
+//! corpus (`xform_entries`, schema v7), and writes the
 //! results plus speedup ratios to `BENCH_sched.json`. Future PRs compare
 //! their JSON against this one to see the perf trajectory (see the
 //! `bench-compare` binary and `kn_bench::trajectory`).
@@ -30,6 +32,7 @@ use kn_core::service::{
 };
 use kn_core::sim::{simulate_event_with, EventEngine, LinkModel, SimOptions, TrafficModel};
 use kn_core::workloads::{self, random_cyclic_loop_min, RandomLoopConfig};
+use kn_core::xform::{transform_loop, TransformOptions};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -480,6 +483,58 @@ fn cache_run(name: &str, distinct: Option<u64>, workers: usize, quick: bool) -> 
     }
 }
 
+/// One loop-transformation measurement (schema v7): a transform-family
+/// corpus loop through the full pipeline (reduction recognition then
+/// fission), recording the MII before/after and which passes fired. The
+/// numbers are pure functions of the loop body — machine-independent —
+/// so the trajectory gate checks them as absolute invariants: no entry
+/// may get worse (improvement >= 1.0), and every recognized reduction
+/// must collapse its recurrence (improvement >= 1.5 on the `reduction/`
+/// family). The negatives (`reduction/scan`, `reduction/nonassoc`,
+/// `fissionable/storage`) ride along at exactly 1.0 to pin that the
+/// passes keep declining them.
+struct XformEntry {
+    name: String,
+    reduce: String,
+    fission: String,
+    pieces: usize,
+    mii_before: f64,
+    mii_after: f64,
+    improvement: f64,
+    /// Whole-pipeline cost including the differential certification run
+    /// (8 seeds x 48 iterations) — recorded, not gated.
+    xform_ns: f64,
+}
+
+const XFORM_FAMILIES: &[&str] = &[
+    "fissionable/twophase",
+    "fissionable/islands",
+    "fissionable/storage",
+    "reduction/sum",
+    "reduction/max",
+    "reduction/scan",
+    "reduction/nonassoc",
+];
+
+fn xform_run(name: &str, samples: usize, budget_ns: u64) -> XformEntry {
+    let body = workloads::body_by_name(name).expect("transform family has a body");
+    let opts = TransformOptions::all();
+    let out = transform_loop(name, &body, &opts).expect("family transform certifies");
+    let xform_ns = measure(samples, budget_ns, || {
+        transform_loop(name, &body, &opts).unwrap()
+    });
+    XformEntry {
+        name: name.to_string(),
+        reduce: out.report.reduce.render(),
+        fission: out.report.fission.render(),
+        pieces: out.transformed.pieces.len(),
+        mii_before: out.report.mii_before,
+        mii_after: out.report.mii_after,
+        improvement: out.improvement(),
+        xform_ns,
+    }
+}
+
 /// Median ns per call of `f`, over `samples` samples of a time-budgeted
 /// inner loop (calibrated once so each sample runs long enough to trust).
 fn measure<R>(samples: usize, budget_ns: u64, mut f: impl FnMut() -> R) -> f64 {
@@ -757,8 +812,34 @@ fn main() {
         zipf4.speedup()
     );
 
+    // Loop-transformation bench (schema v7): the transform-family corpus
+    // through the full pipeline. MII numbers are body properties, so the
+    // trajectory gate holds them as absolute invariants.
+    let mut xform_entries = Vec::new();
+    println!("\nloop transformation, reduce+fission, differentially certified:");
+    for name in XFORM_FAMILIES {
+        let e = xform_run(name, if quick { 3 } else { 5 }, budget_ns);
+        println!(
+            "{:<22} reduce {:<14} fission {:<14} pieces {}   mii {:>5.2} -> {:>5.2}   improvement {:>5.2}x   {:>10.0} ns/op",
+            e.name, e.reduce, e.fission, e.pieces, e.mii_before, e.mii_after, e.improvement, e.xform_ns
+        );
+        xform_entries.push(e);
+    }
+    let worst = xform_entries
+        .iter()
+        .map(|e| e.improvement)
+        .fold(f64::INFINITY, f64::min);
+    let reduction_floor = xform_entries
+        .iter()
+        .filter(|e| e.name.starts_with("reduction/") && e.reduce == "applied")
+        .map(|e| e.improvement)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nxform worst improvement (gate, never < 1x): {worst:.2}x; recognized reductions (gate, >= 1.5x): {reduction_floor:.2}x"
+    );
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"kn-bench-sched-v6\",\n");
+    json.push_str("{\n  \"schema\": \"kn-bench-sched-v7\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!(
@@ -871,6 +952,22 @@ fn main() {
             e.uncached_wall_ns,
             e.speedup(),
             if i + 1 < cache_entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"xform_entries\": [\n");
+    for (i, e) in xform_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"reduce\": \"{}\", \"fission\": \"{}\", \"pieces\": {}, \"mii_before\": {:.4}, \"mii_after\": {:.4}, \"improvement\": {:.4}, \"xform_ns_per_op\": {:.1}}}{}\n",
+            json_escape(&e.name),
+            json_escape(&e.reduce),
+            json_escape(&e.fission),
+            e.pieces,
+            e.mii_before,
+            e.mii_after,
+            e.improvement,
+            e.xform_ns,
+            if i + 1 < xform_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -5,10 +5,10 @@
 //! JSON crate): it understands exactly the object layout `kn-bench`
 //! emits — a flat object of scalars plus the `entries` /
 //! `event_entries` / `service_entries` / `lifecycle_entries` /
-//! `overload_entries` / `cache_entries` arrays of flat objects — and
-//! accepts the v1 schema (no event entries), v2 (no service entries),
-//! v3 (no lifecycle entries), v4 (no overload entries), v5 (no cache
-//! entries), and v6.
+//! `overload_entries` / `cache_entries` / `xform_entries` arrays of flat
+//! objects — and accepts the v1 schema (no event entries), v2 (no
+//! service entries), v3 (no lifecycle entries), v4 (no overload
+//! entries), v5 (no cache entries), v6 (no xform entries), and v7.
 //!
 //! Comparison modes:
 //!
@@ -99,6 +99,28 @@ pub struct CacheEntry {
     pub speedup: f64,
 }
 
+/// One loop-transformation entry (`xform_entries`, schema v7): a
+/// transform-family corpus loop through the reduction-recognition +
+/// fission pipeline. The MII trajectory is a pure function of the loop
+/// body — machine-independent — so the gate checks **absolute
+/// invariants** on the candidate: no entry may come out worse than it
+/// went in (`improvement >= 1.0`), every recognized reduction must
+/// actually collapse its recurrence (`improvement >= 1.5` on applied
+/// `reduction/` entries), and at least one reduction must be recognized
+/// at all (a pipeline that stops firing is inert, not neutral).
+#[derive(Clone, Debug, PartialEq)]
+pub struct XformEntry {
+    pub name: String,
+    /// `PassStatus::render()`: "off", "applied", or "skipped(XRnn)".
+    pub reduce: String,
+    /// `PassStatus::render()`: "off", "applied", or "skipped(XSnn)".
+    pub fission: String,
+    pub pieces: f64,
+    pub mii_before: f64,
+    pub mii_after: f64,
+    pub improvement: f64,
+}
+
 /// A parsed `BENCH_sched.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchReport {
@@ -109,6 +131,7 @@ pub struct BenchReport {
     pub lifecycle_entries: Vec<LifecycleEntry>,
     pub overload_entries: Vec<OverloadEntry>,
     pub cache_entries: Vec<CacheEntry>,
+    pub xform_entries: Vec<XformEntry>,
 }
 
 /// Split the body of a JSON array of flat objects into object bodies.
@@ -250,6 +273,23 @@ pub fn parse(json: &str) -> Result<BenchReport, String> {
             });
         }
     }
+    let mut xform_entries = Vec::new();
+    if let Some(body) = array_body(json, "xform_entries") {
+        for obj in object_bodies(body) {
+            xform_entries.push(XformEntry {
+                name: str_field(obj, "name").ok_or("xform entry missing \"name\"")?,
+                reduce: str_field(obj, "reduce").ok_or("xform entry missing \"reduce\"")?,
+                fission: str_field(obj, "fission").ok_or("xform entry missing \"fission\"")?,
+                pieces: f64_field(obj, "pieces").ok_or("xform entry missing \"pieces\"")?,
+                mii_before: f64_field(obj, "mii_before")
+                    .ok_or("xform entry missing \"mii_before\"")?,
+                mii_after: f64_field(obj, "mii_after")
+                    .ok_or("xform entry missing \"mii_after\"")?,
+                improvement: f64_field(obj, "improvement")
+                    .ok_or("xform entry missing \"improvement\"")?,
+            });
+        }
+    }
     Ok(BenchReport {
         schema,
         entries,
@@ -258,6 +298,7 @@ pub fn parse(json: &str) -> Result<BenchReport, String> {
         lifecycle_entries,
         overload_entries,
         cache_entries,
+        xform_entries,
     })
 }
 
@@ -509,6 +550,41 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, policy: GatePoli
     if !baseline.cache_entries.is_empty() && matched_cache == 0 {
         violations.push("no cache entry names matched the baseline — gate compared nothing".into());
     }
+    // Xform entries are pure functions of the loop body — gated as
+    // absolutes on the candidate (in both modes). The negatives ride
+    // along at exactly 1.0x, so the never-worse floor also pins that a
+    // pass which starts to misfire (transforming what it must decline,
+    // or degrading what it transforms) fails loudly.
+    let mut matched_xform = 0usize;
+    let mut applied_reductions = 0usize;
+    for c in &candidate.xform_entries {
+        if baseline.xform_entries.iter().any(|b| b.name == c.name) {
+            matched_xform += 1;
+        }
+        if c.improvement < 1.0 - 1e-6 {
+            violations.push(format!(
+                "{}: transform made the loop worse ({:.2}x, mii {:.2} -> {:.2}) — below the 1x never-worse gate",
+                c.name, c.improvement, c.mii_before, c.mii_after
+            ));
+        }
+        if c.name.starts_with("reduction/") && c.reduce == "applied" {
+            applied_reductions += 1;
+            if c.improvement < 1.5 {
+                violations.push(format!(
+                    "{}: recognized reduction improved MII only {:.2}x — below the 1.5x reduction-family gate",
+                    c.name, c.improvement
+                ));
+            }
+        }
+    }
+    if !candidate.xform_entries.is_empty() && applied_reductions == 0 {
+        violations.push(
+            "no reduction/ entry reports reduce=applied — reduction recognition inert".into(),
+        );
+    }
+    if !baseline.xform_entries.is_empty() && matched_xform == 0 {
+        violations.push("no xform entry names matched the baseline — gate compared nothing".into());
+    }
     violations
 }
 
@@ -618,6 +694,36 @@ mod tests {
     {"name": "zipf8", "workers": 1, "total": 400, "distinct": 8, "hits": 350, "misses": 8, "coalesced": 42, "evictions": 0, "hit_rate": 0.9800, "cached_wall_ns": 4000000, "uncached_wall_ns": 30000000, "speedup": 7.5000},
     {"name": "zipf8", "workers": 4, "total": 400, "distinct": 8, "hits": 360, "misses": 8, "coalesced": 32, "evictions": 0, "hit_rate": 0.9800, "cached_wall_ns": 3000000, "uncached_wall_ns": 12000000, "speedup": 4.0000},
     {"name": "cold", "workers": 4, "total": 400, "distinct": 0, "hits": 0, "misses": 400, "coalesced": 0, "evictions": 336, "hit_rate": 0.0000, "cached_wall_ns": 12500000, "uncached_wall_ns": 12000000, "speedup": 0.9600}
+  ]
+}
+"#;
+
+    const V7: &str = r#"{
+  "schema": "kn-bench-sched-v7",
+  "quick": false,
+  "samples": 11,
+  "entries": [
+    {"name": "figure7", "cyclic_nodes": 5, "arena_ns_per_op": 1889.6, "reference_ns_per_op": 7056.6, "speedup": 3.7344}
+  ],
+  "event_entries": [
+    {"name": "fanout8", "iters": 100000, "events": 1500000, "heap_ns_per_run": 300000000.0, "calendar_ns_per_run": 110000000.0, "speedup": 2.7272}
+  ],
+  "service_entries": [
+    {"name": "corpus_mix", "requests": 16, "workers": 4, "seq_ns_per_batch": 40000000.0, "service_ns_per_batch": 12900000.0, "speedup": 3.1007}
+  ],
+  "lifecycle_entries": [
+    {"name": "corpus_mix", "workers": 4, "requests": 16, "rejected": 0, "rejection_rate": 0.0, "expired": 0, "deadline_miss_rate": 0.0, "retries": 2, "p50_latency_ns": 500000.0, "p99_latency_ns": 2100000.0, "wall_ns": 6000000}
+  ],
+  "overload_entries": [
+    {"name": "overload_2x", "workers": 4, "total": 120, "high_submitted": 13, "high_expired": 0, "high_shed": 0, "high_miss_rate": 0.0000, "normal_submitted": 71, "normal_shed": 15, "normal_shed_rate": 0.2113, "low_submitted": 36, "low_shed": 28, "low_shed_rate": 0.7778, "replaced_workers": 0, "over_high_water": true}
+  ],
+  "cache_entries": [
+    {"name": "zipf8", "workers": 4, "total": 400, "distinct": 8, "hits": 360, "misses": 8, "coalesced": 32, "evictions": 0, "hit_rate": 0.9800, "cached_wall_ns": 3000000, "uncached_wall_ns": 12000000, "speedup": 4.0000}
+  ],
+  "xform_entries": [
+    {"name": "fissionable/twophase", "reduce": "skipped(XR03)", "fission": "applied", "pieces": 3, "mii_before": 2.0000, "mii_after": 2.0000, "improvement": 1.0000, "xform_ns_per_op": 120000.0},
+    {"name": "reduction/sum", "reduce": "applied", "fission": "skipped(XS01)", "pieces": 1, "mii_before": 2.0000, "mii_after": 0.0000, "improvement": 2.0000, "xform_ns_per_op": 80000.0},
+    {"name": "reduction/scan", "reduce": "skipped(XR02)", "fission": "skipped(XS02)", "pieces": 1, "mii_before": 2.0000, "mii_after": 2.0000, "improvement": 1.0000, "xform_ns_per_op": 20000.0}
   ]
 }
 "#;
@@ -888,6 +994,71 @@ mod tests {
         let mut one_worker = base.clone();
         one_worker.cache_entries[0].speedup = 1.5;
         assert!(compare(&base, &one_worker, policy(25.0, true)).is_empty());
+    }
+
+    #[test]
+    fn parses_v7_with_xform_entries() {
+        let r = parse(V7).unwrap();
+        assert_eq!(r.schema, "kn-bench-sched-v7");
+        assert_eq!(r.xform_entries.len(), 3);
+        assert_eq!(r.xform_entries[0].name, "fissionable/twophase");
+        assert_eq!(r.xform_entries[0].fission, "applied");
+        assert_eq!(r.xform_entries[0].pieces, 3.0);
+        assert_eq!(r.xform_entries[1].reduce, "applied");
+        assert_eq!(r.xform_entries[1].improvement, 2.0);
+        assert_eq!(r.xform_entries[2].reduce, "skipped(XR02)");
+        // The earlier sections still parse alongside.
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.cache_entries.len(), 1);
+        assert!(compare(&r, &r, policy(25.0, false)).is_empty());
+        assert!(compare(&r, &r, policy(25.0, true)).is_empty());
+    }
+
+    #[test]
+    fn xform_invariants_are_gated_absolutely_in_both_modes() {
+        let base = parse(V7).unwrap();
+        // A transform that makes any loop worse fails, whatever the
+        // baseline said.
+        let mut worse = base.clone();
+        worse.xform_entries[0].mii_after = 3.0;
+        worse.xform_entries[0].improvement = 0.6667;
+        // A recognized reduction that barely moves the MII fails the
+        // 1.5x family gate.
+        let mut weak = base.clone();
+        weak.xform_entries[1].improvement = 1.2;
+        // Skipped negatives at exactly 1.0 are fine — but if reduction
+        // recognition stops firing everywhere, the section is inert.
+        let mut inert = base.clone();
+        inert.xform_entries[1].reduce = "skipped(XR03)".into();
+        inert.xform_entries[1].improvement = 1.0;
+        for ratios_only in [false, true] {
+            let v = compare(&base, &worse, policy(25.0, ratios_only));
+            assert!(v.iter().any(|v| v.contains("never-worse gate")), "{v:?}");
+            let v = compare(&base, &weak, policy(25.0, ratios_only));
+            assert!(
+                v.iter().any(|v| v.contains("1.5x reduction-family gate")),
+                "{v:?}"
+            );
+            let v = compare(&base, &inert, policy(25.0, ratios_only));
+            assert!(
+                v.iter().any(|v| v.contains("reduction recognition inert")),
+                "{v:?}"
+            );
+        }
+        // The non-reduction pieces keeping their recurrence (1.0x) is
+        // not a violation.
+        assert!(compare(&base, &base, policy(25.0, true)).is_empty());
+    }
+
+    #[test]
+    fn missing_xform_section_fails_a_v7_gate() {
+        let base = parse(V7).unwrap();
+        let v6 = parse(V6).unwrap();
+        let v = compare(&base, &v6, policy(25.0, true));
+        assert!(
+            v.iter().any(|v| v.contains("no xform entry names matched")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -695,6 +695,109 @@ fn run_verify(
     })
 }
 
+/// `kn transform <file.ir|workload> [--fission] [--reduce] [--json]
+/// [--emit-dir DIR]`: run the `kn-xform` front-end over a loop body and
+/// report what fired (with per-piece MII) or why not (stable `XSnn`/
+/// `XRnn` skip codes). With no pass flag, both passes run. The source is
+/// a `kn_ir::text` file when the path exists, else a body-sourced corpus
+/// workload name ([`kn_core::workloads::body_by_name`]). `--emit-dir`
+/// writes each piece's DDG in `kn_ddg::text` format, ready for
+/// `kn schedule` / `kn verify` / `kn serve` to consume.
+fn run_transform(
+    out: &mut impl std::io::Write,
+    args: &mut Vec<String>,
+) -> std::io::Result<std::process::ExitCode> {
+    use kn_core::xform as x;
+    let mut take_switch = |name: &str| {
+        let before = args.len();
+        args.retain(|a| a != name);
+        args.len() != before
+    };
+    let json = take_switch("--json");
+    let fission = take_switch("--fission");
+    let reduce = take_switch("--reduce");
+    let emit_dir = match take_flag_value(args, "--emit-dir") {
+        Ok(d) => d,
+        Err(()) => {
+            writeln!(out, "--emit-dir needs a value (output directory)")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    let Some(src) = args.first() else {
+        writeln!(
+            out,
+            "usage: kn-cli transform <file.ir|workload> [--fission] [--reduce] \
+             [--json] [--emit-dir DIR]"
+        )?;
+        return Ok(std::process::ExitCode::FAILURE);
+    };
+    let opts = if fission || reduce {
+        x::TransformOptions { fission, reduce }
+    } else {
+        x::TransformOptions::all()
+    };
+    let (name, body) = if std::path::Path::new(src).exists() {
+        let text = match std::fs::read_to_string(src) {
+            Ok(t) => t,
+            Err(e) => {
+                writeln!(out, "cannot read {src}: {e}")?;
+                return Ok(std::process::ExitCode::FAILURE);
+            }
+        };
+        let body = match kn_core::ir::parse_loop(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                writeln!(out, "IR parse error in {src}: {e}")?;
+                return Ok(std::process::ExitCode::FAILURE);
+            }
+        };
+        let stem = std::path::Path::new(src)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("loop")
+            .to_string();
+        (stem, body)
+    } else if let Some(body) = kn_core::workloads::body_by_name(src) {
+        (src.clone(), body)
+    } else {
+        writeln!(
+            out,
+            "{src:?} is neither a readable .ir file nor a body-sourced corpus workload"
+        )?;
+        return Ok(std::process::ExitCode::FAILURE);
+    };
+    let result = match x::transform_loop(&name, &body, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            writeln!(out, "transform failed: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+    };
+    if json {
+        writeln!(out, "{}", result.to_json())?;
+    } else {
+        writeln!(out, "{}", result.render_human().trim_end())?;
+    }
+    if let Some(dir) = emit_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            writeln!(out, "cannot create {dir}: {e}")?;
+            return Ok(std::process::ExitCode::FAILURE);
+        }
+        for piece in &result.transformed.pieces {
+            // Piece names can carry corpus slashes (reduction/sum.p1);
+            // flatten them so every piece lands directly in --emit-dir.
+            let fname = format!("{}.ddg", piece.name.replace('/', "_"));
+            let path = std::path::Path::new(&dir).join(&fname);
+            if let Err(e) = std::fs::write(&path, kn_core::ddg::text::render(&piece.graph)) {
+                writeln!(out, "cannot write {}: {e}", path.display())?;
+                return Ok(std::process::ExitCode::FAILURE);
+            }
+            writeln!(out, "piece DDG -> {}", path.display())?;
+        }
+    }
+    Ok(std::process::ExitCode::SUCCESS)
+}
+
 fn print_figure(
     out: &mut impl std::io::Write,
     name: &str,
@@ -999,6 +1102,12 @@ fn main() -> std::process::ExitCode {
             out.flush().unwrap();
             return code;
         }
+        Some("transform") => {
+            args.remove(0);
+            let code = run_transform(&mut out, &mut args).unwrap();
+            out.flush().unwrap();
+            return code;
+        }
         Some("dot") => {
             let name = args.get(1).map(String::as_str).unwrap_or("figure7");
             let Some(w) = workload(name) else {
@@ -1022,6 +1131,8 @@ fn main() -> std::process::ExitCode {
                  lint <file> [--json] [--annotate OUT.dot] | \
                  verify <file> [--scheduler cyclic|doacross|doacross-best] \
                  [--procs N] [--k N] [--iters N] [--json] | \
+                 transform <file.ir|workload> [--fission] [--reduce] [--json] \
+                 [--emit-dir DIR] | \
                  dot <workload> | \
                  serve [--workers N] [--requests FILE] [--out FILE] [--stats FILE] \
                  [--listen ADDR] [--queue-capacity N] [--max-attempts N] \
@@ -1031,7 +1142,8 @@ fn main() -> std::process::ExitCode {
                  \n\
                  serve: batch scheduling service — requests are key=value lines \
                  (corpus=NAME | ddg=FILE, k=, procs=, iters=, link=, engine=, \
-                 scheduler=cyclic|doacross|doacross-best, mm=, seed=, deadline_ms=, \
+                 scheduler=cyclic|doacross|doacross-best, transform=off|fission|reduce|all, \
+                 mm=, seed=, deadline_ms=, \
                  priority=high|normal|low) \
                  from --requests or stdin; responses are JSON lines in request order, \
                  deterministic for any --workers; --stats writes the throughput JSON; \

@@ -39,6 +39,7 @@ pub use kn_sched as sched;
 pub use kn_sim as sim;
 pub use kn_verify as verify;
 pub use kn_workloads as workloads;
+pub use kn_xform as xform;
 
 pub mod experiments;
 pub mod service;

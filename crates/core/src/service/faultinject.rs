@@ -205,6 +205,7 @@ pub fn garble(_result: Result<ScheduleResponse, super::ServiceError>) -> Schedul
         messages: u64::MAX,
         comm_cycles: 0,
         ii: None,
+        transform: None,
     })
 }
 
@@ -263,6 +264,7 @@ mod tests {
             messages: 0,
             comm_cycles: 0,
             ii: None,
+            transform: None,
         })));
         assert!(super::super::request::validate_response(&g).is_err());
     }

@@ -199,7 +199,8 @@ pub mod wire;
 
 pub use request::{
     execute, validate_response, ExecCtx, LoopOutcome, LoopRequest, LoopSource, RequestTiming,
-    ScheduleRequest, ScheduleResponse, SchedulerChoice, ServiceError, WorkerScratch,
+    ScheduleRequest, ScheduleResponse, SchedulerChoice, ServiceError, TransformMode,
+    TransformSummary, WorkerScratch,
 };
 
 use cache::ResponseCache;

@@ -54,6 +54,68 @@ impl SchedulerChoice {
     }
 }
 
+/// Which `kn-xform` passes to run before scheduling (`transform=` wire
+/// field). Defaults to [`TransformMode::Off`], so every pre-existing
+/// request — and every committed golden — is byte-identical with the
+/// transform layer present. Only body-sourced corpus workloads (those
+/// with a [`kn_workloads::body_by_name`] entry) can be transformed:
+/// graph-only sources have no statement-level IR for the differential
+/// harness to replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransformMode {
+    #[default]
+    Off,
+    Fission,
+    Reduce,
+    All,
+}
+
+impl TransformMode {
+    /// Wire name (`transform=` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransformMode::Off => "off",
+            TransformMode::Fission => "fission",
+            TransformMode::Reduce => "reduce",
+            TransformMode::All => "all",
+        }
+    }
+
+    /// Inverse of [`TransformMode::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "off" => TransformMode::Off,
+            "fission" => TransformMode::Fission,
+            "reduce" => TransformMode::Reduce,
+            "all" => TransformMode::All,
+            _ => return None,
+        })
+    }
+
+    fn options(self) -> kn_xform::TransformOptions {
+        kn_xform::TransformOptions {
+            fission: matches!(self, TransformMode::Fission | TransformMode::All),
+            reduce: matches!(self, TransformMode::Reduce | TransformMode::All),
+        }
+    }
+}
+
+/// What the transform front-end did to a request's loop, echoed in the
+/// response so clients can tell a fissioned 3-piece schedule from a
+/// monolithic one. Pass fields hold [`kn_xform::PassStatus::render`]
+/// strings (`"applied"`, `"skipped(XS02)"`, `"off"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransformSummary {
+    pub reduce: String,
+    pub fission: String,
+    /// Independently scheduled sub-loops (1 = no split).
+    pub pieces: usize,
+    /// Recurrence bound of the original body.
+    pub mii_before: f64,
+    /// Worst recurrence bound over the transformed pieces.
+    pub mii_after: f64,
+}
+
 /// Schedule-and-simulate one loop on one machine configuration.
 #[derive(Clone, Debug)]
 pub struct LoopRequest {
@@ -71,6 +133,8 @@ pub struct LoopRequest {
     /// Run-time traffic fluctuation.
     pub traffic: TrafficModel,
     pub scheduler: SchedulerChoice,
+    /// Pre-scheduling loop transforms (default off; see [`TransformMode`]).
+    pub transform: TransformMode,
 }
 
 impl Default for LoopRequest {
@@ -83,6 +147,7 @@ impl Default for LoopRequest {
             sim: SimOptions::default(),
             traffic: TrafficModel::stable(0),
             scheduler: SchedulerChoice::Cyclic,
+            transform: TransformMode::Off,
         }
     }
 }
@@ -146,8 +211,12 @@ pub struct LoopOutcome {
     /// Total actual communication cycles.
     pub comm_cycles: u64,
     /// Steady-state cycles/iteration of the Cyclic core (Cyclic scheduler
-    /// only; `None` for DOALL loops and DOACROSS).
+    /// only; `None` for DOALL loops, DOACROSS, and multi-piece fissioned
+    /// schedules, whose pieces each have their own II).
     pub ii: Option<f64>,
+    /// Transform report when the request asked for one (`None` when
+    /// `transform=off`, which keeps pre-transform responses byte-stable).
+    pub transform: Option<TransformSummary>,
 }
 
 /// One response; the variant mirrors the request's.
@@ -467,7 +536,7 @@ pub(crate) fn cache_key(req: &ScheduleRequest) -> Option<CacheKey> {
     }
     let _ = write!(
         canon,
-        "\u{1f}procs={:?}\u{1f}k={:?}\u{1f}iters={}\u{1f}link={:?}\u{1f}engine={:?}\u{1f}mm={}\u{1f}seed={}\u{1f}sched={}",
+        "\u{1f}procs={:?}\u{1f}k={:?}\u{1f}iters={}\u{1f}link={:?}\u{1f}engine={:?}\u{1f}mm={}\u{1f}seed={}\u{1f}sched={}\u{1f}xform={}",
         r.procs,
         r.k,
         r.iters,
@@ -475,7 +544,8 @@ pub(crate) fn cache_key(req: &ScheduleRequest) -> Option<CacheKey> {
         r.sim.engine,
         r.traffic.mm,
         r.traffic.seed,
-        r.scheduler.name()
+        r.scheduler.name(),
+        r.transform.name()
     );
     let fp = fnv1a(canon.as_bytes());
     Some(CacheKey { fp, canon })
@@ -526,40 +596,18 @@ pub(crate) fn execute_with(
     (result, timing)
 }
 
-fn execute_loop(
-    scratch: &mut WorkerScratch,
+/// Schedule one graph under the request's scheduler choice. In debug
+/// builds every schedule the service emits is statically certified
+/// (dependences, resources, coverage) before simulation; an unsound
+/// scheduler change fails here with a KN03x diagnostic rather than
+/// producing silently wrong goldens. Release builds skip the hooks
+/// (`certify: None` by default).
+fn schedule_one(
+    graph: &kn_ddg::Ddg,
+    m: &MachineConfig,
     r: &LoopRequest,
-    ctx: &ExecCtx,
-    timing: &mut RequestTiming,
-) -> Result<ScheduleResponse, ServiceError> {
-    let t0 = Instant::now();
-    let ResolvedSource {
-        name,
-        graph,
-        machine_defaults,
-    } = scratch.resolve(&r.source)?;
-    timing.parse_ns = t0.elapsed().as_nanos() as u64;
-    // Phase boundary: parse -> schedule.
-    ctx.check()?;
-
-    let (default_procs, default_k) = machine_defaults.unwrap_or((8, 3));
-    let procs = r.procs.unwrap_or(default_procs);
-    if procs == 0 {
-        // MachineConfig::new panics on an empty pool; a zero budget is a
-        // request error, not a pipeline fault.
-        return Err(ServiceError::BadRequest(
-            "procs must be at least 1".to_string(),
-        ));
-    }
-    let m = MachineConfig::new(procs, r.k.unwrap_or(default_k));
-
-    let t1 = Instant::now();
-    // In debug builds every schedule the service emits is statically
-    // certified (dependences, resources, coverage) before simulation; an
-    // unsound scheduler change fails here with a KN03x diagnostic rather
-    // than producing silently wrong goldens. Release builds skip the
-    // hooks (`certify: None` by default).
-    let (program, ii) = match r.scheduler {
+) -> Result<(kn_sched::Program, Option<f64>), ServiceError> {
+    match r.scheduler {
         SchedulerChoice::Cyclic => {
             #[allow(unused_mut)]
             let mut opts = kn_sched::FullOptions::default();
@@ -567,10 +615,10 @@ fn execute_loop(
             {
                 opts.certify = Some(kn_verify::certify_loop_hook);
             }
-            let s = kn_sched::schedule_loop(&graph, &m, r.iters, &opts)
+            let s = kn_sched::schedule_loop(graph, m, r.iters, &opts)
                 .map_err(|e| ServiceError::Sched(e.to_string()))?;
             let ii = s.cyclic_ii();
-            (s.program, ii)
+            Ok((s.program, ii))
         }
         SchedulerChoice::DoacrossNatural | SchedulerChoice::DoacrossBest => {
             let reorder = match r.scheduler {
@@ -588,33 +636,133 @@ fn execute_loop(
             {
                 opts.certify = Some(kn_verify::certify_timed_hook);
             }
-            let s = doacross_schedule(&graph, &m, r.iters, &opts)
+            let s = doacross_schedule(graph, m, r.iters, &opts)
                 .map_err(|e| ServiceError::Sched(e.to_string()))?;
-            (s.program, None)
+            Ok((s.program, None))
+        }
+    }
+}
+
+fn execute_loop(
+    scratch: &mut WorkerScratch,
+    r: &LoopRequest,
+    ctx: &ExecCtx,
+    timing: &mut RequestTiming,
+) -> Result<ScheduleResponse, ServiceError> {
+    let t0 = Instant::now();
+    let ResolvedSource {
+        name,
+        graph,
+        machine_defaults,
+    } = scratch.resolve(&r.source)?;
+    // Transform stage (front-end work, counted into the parse phase).
+    // Only body-sourced corpus workloads carry the statement-level IR the
+    // passes and the differential harness need.
+    let xform = match r.transform {
+        TransformMode::Off => None,
+        mode => {
+            let LoopSource::Corpus(cname) = &r.source else {
+                return Err(ServiceError::BadRequest(
+                    "transform= requires a body-sourced corpus workload".to_string(),
+                ));
+            };
+            let body = kn_workloads::body_by_name(cname).ok_or_else(|| {
+                ServiceError::BadRequest(format!(
+                    "corpus workload {cname:?} is graph-only; transform= needs statement-level IR"
+                ))
+            })?;
+            // `transform_loop` differentially certifies every applied
+            // transform; a certification failure means the pass itself is
+            // unsound, which must surface as an error, never as a wrong
+            // (but fast) schedule.
+            Some(
+                kn_xform::transform_loop(&name, &body, &mode.options())
+                    .map_err(|e| ServiceError::Sched(format!("transform: {e}")))?,
+            )
         }
     };
+    timing.parse_ns = t0.elapsed().as_nanos() as u64;
+    // Phase boundary: parse -> schedule.
+    ctx.check()?;
+
+    let (default_procs, default_k) = machine_defaults.unwrap_or((8, 3));
+    let procs = r.procs.unwrap_or(default_procs);
+    if procs == 0 {
+        // MachineConfig::new panics on an empty pool; a zero budget is a
+        // request error, not a pipeline fault.
+        return Err(ServiceError::BadRequest(
+            "procs must be at least 1".to_string(),
+        ));
+    }
+    let m = MachineConfig::new(procs, r.k.unwrap_or(default_k));
+
+    // The loops the simulator runs: the transformed pieces (in manifest
+    // order) when a pass fired, else the resolved graph unchanged.
+    let piece_graphs: Vec<kn_ddg::Ddg> = match &xform {
+        Some(out) if out.changed() => out
+            .transformed
+            .pieces
+            .iter()
+            .map(|p| p.graph.clone())
+            .collect(),
+        _ => vec![graph.clone()],
+    };
+
+    let t1 = Instant::now();
+    let mut programs = Vec::with_capacity(piece_graphs.len());
+    for g in &piece_graphs {
+        programs.push(schedule_one(g, &m, r)?);
+    }
     timing.schedule_ns = t1.elapsed().as_nanos() as u64;
     // Phase boundary: schedule -> simulate.
     ctx.check()?;
 
+    // Pieces run back-to-back (the fission sequencing manifest), so their
+    // simulated times, message counts, and communication cycles sum; the
+    // O(pieces) reduction epilogues are not simulated (they are loop-free
+    // folds, negligible next to `iters` iterations of loop body).
     let t2 = Instant::now();
-    let sim = r
-        .sim
-        .run(&program, &graph, &m, &r.traffic)
-        .map_err(|e| ServiceError::Sched(e.to_string()))?;
+    let mut makespan: Cycle = 0;
+    let mut messages = 0u64;
+    let mut comm_cycles = 0u64;
+    let mut processors_used = 0usize;
+    for ((program, _), g) in programs.iter().zip(&piece_graphs) {
+        let sim = r
+            .sim
+            .run(program, g, &m, &r.traffic)
+            .map_err(|e| ServiceError::Sched(e.to_string()))?;
+        makespan += sim.makespan;
+        messages += sim.messages;
+        comm_cycles += sim.comm_cycles;
+        processors_used = processors_used.max(program.used_processors());
+    }
     timing.sim_ns = t2.elapsed().as_nanos() as u64;
+    let ii = if programs.len() == 1 {
+        programs[0].1
+    } else {
+        None
+    };
 
+    // Sequential baseline is always the *original* loop — that is the
+    // program the user asked to run, and what a transform has to beat.
     let seq_time = sequential_time(&graph, r.iters);
     Ok(ScheduleResponse::Loop(LoopOutcome {
         name,
         scheduler: r.scheduler,
-        processors_used: program.used_processors(),
+        processors_used,
         seq_time,
-        makespan: sim.makespan,
-        sp: percentage_parallelism_clamped(seq_time, sim.makespan),
-        messages: sim.messages,
-        comm_cycles: sim.comm_cycles,
+        makespan,
+        sp: percentage_parallelism_clamped(seq_time, makespan),
+        messages,
+        comm_cycles,
         ii,
+        transform: xform.map(|out| TransformSummary {
+            reduce: out.report.reduce.render(),
+            fission: out.report.fission.render(),
+            pieces: piece_graphs.len(),
+            mii_before: out.report.mii_before,
+            mii_after: out.report.mii_after,
+        }),
     }))
 }
 
@@ -846,6 +994,13 @@ mod tests {
                     ..LoopRequest::default()
                 }),
             ),
+            (
+                "transform",
+                ScheduleRequest::Loop(LoopRequest {
+                    transform: TransformMode::All,
+                    ..LoopRequest::default()
+                }),
+            ),
         ] {
             let other = cache_key(&req).unwrap();
             assert_ne!(a.canon, other.canon, "{what} must separate canons");
@@ -886,6 +1041,106 @@ mod tests {
         }))
         .unwrap();
         assert_ne!(file.canon, inline.canon);
+    }
+
+    #[test]
+    fn transform_off_responses_are_unchanged_by_the_transform_layer() {
+        let r = execute(&ScheduleRequest::loop_on_corpus("figure7")).unwrap();
+        let ScheduleResponse::Loop(out) = r else {
+            panic!("loop response");
+        };
+        assert_eq!(out.transform, None, "default responses carry no report");
+    }
+
+    #[test]
+    fn fission_splits_twophase_into_three_summed_pieces() {
+        let r = execute(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::Corpus("fissionable/twophase".into()),
+            transform: TransformMode::Fission,
+            ..LoopRequest::default()
+        }))
+        .unwrap();
+        let ScheduleResponse::Loop(out) = r else {
+            panic!("loop response");
+        };
+        let t = out.transform.expect("transform report present");
+        assert_eq!(t.fission, "applied");
+        assert_eq!(t.reduce, "off");
+        assert_eq!(t.pieces, 3);
+        assert_eq!(out.ii, None, "multi-piece schedules have no single II");
+        assert!(out.makespan > 0);
+    }
+
+    #[test]
+    fn reduction_request_reports_mii_collapse() {
+        let r = execute(&ScheduleRequest::Loop(LoopRequest {
+            source: LoopSource::Corpus("reduction/sum".into()),
+            transform: TransformMode::All,
+            ..LoopRequest::default()
+        }))
+        .unwrap();
+        let ScheduleResponse::Loop(out) = r else {
+            panic!("loop response");
+        };
+        let t = out.transform.expect("transform report present");
+        assert_eq!(t.reduce, "applied");
+        assert!((t.mii_before - 2.0).abs() < 1e-6, "{}", t.mii_before);
+        assert!(t.mii_after < 1e-6, "{}", t.mii_after);
+    }
+
+    #[test]
+    fn transform_negatives_answer_with_exact_skip_codes() {
+        for (corpus, field, want) in [
+            ("fissionable/storage", "fission", "skipped(XS03)"),
+            ("reduction/scan", "reduce", "skipped(XR02)"),
+            ("reduction/nonassoc", "reduce", "skipped(XR01)"),
+        ] {
+            let r = execute(&ScheduleRequest::Loop(LoopRequest {
+                source: LoopSource::Corpus(corpus.into()),
+                transform: TransformMode::All,
+                ..LoopRequest::default()
+            }))
+            .unwrap();
+            let ScheduleResponse::Loop(out) = r else {
+                panic!("loop response");
+            };
+            let t = out.transform.expect("transform report present");
+            let got = if field == "fission" {
+                &t.fission
+            } else {
+                &t.reduce
+            };
+            assert_eq!(got, want, "{corpus}");
+        }
+    }
+
+    #[test]
+    fn transform_on_graph_only_sources_is_bad_request() {
+        for source in [
+            LoopSource::Corpus("cytron86".into()),
+            LoopSource::DdgText("node A\n".into()),
+        ] {
+            let e = execute(&ScheduleRequest::Loop(LoopRequest {
+                source,
+                transform: TransformMode::All,
+                ..LoopRequest::default()
+            }))
+            .unwrap_err();
+            assert!(matches!(&e, ServiceError::BadRequest(_)), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn transform_mode_names_round_trip() {
+        for mode in [
+            TransformMode::Off,
+            TransformMode::Fission,
+            TransformMode::Reduce,
+            TransformMode::All,
+        ] {
+            assert_eq!(TransformMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(TransformMode::from_name("maybe"), None);
     }
 
     #[test]

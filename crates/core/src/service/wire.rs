@@ -19,6 +19,7 @@
 //! | `link` | `unlimited` \| `single` | `unlimited` |
 //! | `engine` | `calendar` \| `heap` | `calendar` |
 //! | `scheduler` | `cyclic` \| `doacross` \| `doacross-best` | `cyclic` |
+//! | `transform` | `off` \| `fission` \| `reduce` \| `all` (pre-scheduling loop transforms; body-sourced corpus workloads only) | `off` |
 //! | `mm` | traffic fluctuation factor | 1 |
 //! | `seed` | traffic seed | 0 |
 //! | `deadline_ms` | per-request deadline in milliseconds | none |
@@ -42,7 +43,7 @@
 
 use super::{
     LoopOutcome, LoopRequest, LoopSource, PoolHealth, Priority, ScheduleRequest, ScheduleResponse,
-    SchedulerChoice, ServiceError, ServiceStats,
+    SchedulerChoice, ServiceError, ServiceStats, TransformMode,
 };
 use kn_sim::{EventEngine, LinkModel, TrafficModel};
 
@@ -120,6 +121,11 @@ pub fn parse_request_line(line: &str) -> Result<Option<ParsedRequest>, String> {
                     "doacross-best" => SchedulerChoice::DoacrossBest,
                     other => return Err(format!("unknown scheduler {other:?}")),
                 }
+            }
+            "transform" => {
+                req.transform = TransformMode::from_name(value).ok_or_else(|| {
+                    format!("unknown transform {value:?} (off|fission|reduce|all)")
+                })?
             }
             other => return Err(format!("unknown field {other:?}")),
         }
@@ -237,8 +243,22 @@ fn base_response_json(id: u64, resp: &Result<ScheduleResponse, ServiceError>) ->
 }
 
 fn loop_json(id: u64, out: &LoopOutcome) -> String {
+    // The `transform` object appears only when the request asked for a
+    // transform, so `transform=off` traffic — and every committed golden
+    // predating the transform layer — renders byte-identically.
+    let transform = match &out.transform {
+        None => String::new(),
+        Some(t) => format!(
+            ", \"transform\": {{\"reduce\": \"{}\", \"fission\": \"{}\", \"pieces\": {}, \"mii_before\": {:.3}, \"mii_after\": {:.3}}}",
+            esc(&t.reduce),
+            esc(&t.fission),
+            t.pieces,
+            t.mii_before,
+            t.mii_after,
+        ),
+    };
     format!(
-        "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"loop\", \"name\": \"{}\", \"scheduler\": \"{}\", \"processors_used\": {}, \"seq_time\": {}, \"makespan\": {}, \"sp\": {}, \"messages\": {}, \"comm_cycles\": {}, \"ii\": {}}}",
+        "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"loop\", \"name\": \"{}\", \"scheduler\": \"{}\", \"processors_used\": {}, \"seq_time\": {}, \"makespan\": {}, \"sp\": {}, \"messages\": {}, \"comm_cycles\": {}, \"ii\": {}{transform}}}",
         esc(&out.name),
         out.scheduler.name(),
         out.processors_used,
@@ -461,6 +481,7 @@ mod tests {
             messages: 10,
             comm_cycles: 20,
             ii: Some(2.5),
+            transform: None,
         });
         let line = response_json(3, &Ok(ok));
         assert_eq!(
@@ -472,6 +493,54 @@ mod tests {
             err,
             "{\"id\": 4, \"status\": \"error\", \"error\": \"bad request: no\"}"
         );
+    }
+
+    #[test]
+    fn transform_field_parses_and_defaults_off() {
+        let p = parse_request_line("corpus=reduction/sum transform=all")
+            .unwrap()
+            .unwrap();
+        let ScheduleRequest::Loop(r) = p.req else {
+            panic!("loop request");
+        };
+        assert_eq!(r.transform, super::TransformMode::All);
+        let p = parse_request_line("corpus=figure7").unwrap().unwrap();
+        let ScheduleRequest::Loop(r) = p.req else {
+            panic!("loop request");
+        };
+        assert_eq!(r.transform, super::TransformMode::Off);
+        let e = parse_request_line("corpus=figure7 transform=alchemy").unwrap_err();
+        assert!(e.contains("unknown transform"), "{e:?}");
+    }
+
+    #[test]
+    fn transform_summary_renders_with_fixed_precision() {
+        let ok = ScheduleResponse::Loop(LoopOutcome {
+            name: "reduction/sum".into(),
+            scheduler: SchedulerChoice::Cyclic,
+            processors_used: 2,
+            seq_time: 300,
+            makespan: 120,
+            sp: 60.0,
+            messages: 0,
+            comm_cycles: 0,
+            ii: Some(1.0),
+            transform: Some(super::super::TransformSummary {
+                reduce: "applied".into(),
+                fission: "skipped(XS01)".into(),
+                pieces: 1,
+                mii_before: 2.0,
+                mii_after: 0.0,
+            }),
+        });
+        let line = response_json(9, &Ok(ok));
+        assert!(
+            line.ends_with(
+                "\"transform\": {\"reduce\": \"applied\", \"fission\": \"skipped(XS01)\", \"pieces\": 1, \"mii_before\": 2.000, \"mii_after\": 0.000}}"
+            ),
+            "{line:?}"
+        );
+        assert_eq!(line.lines().count(), 1);
     }
 
     #[test]

@@ -259,6 +259,7 @@ proptest! {
             sim,
             traffic: TrafficModel { mm, seed },
             scheduler,
+            transform: kn_core::service::TransformMode::Off,
         });
         let want = debug_of(&execute(&req));
         let svc = kn_core::service::global();

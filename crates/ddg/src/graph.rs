@@ -578,6 +578,37 @@ mod tests {
         sub.validate().unwrap();
     }
 
+    /// Regression pin for the fission path: a *non-contiguous,
+    /// non-monotone* keep set must come back with ids renumbered densely
+    /// `0..keep.len()` in keep order, in release builds too — per-piece
+    /// scheduling, SCC analysis, and the certifier all index arrays by
+    /// `NodeId` and silently corrupt on a gap.
+    #[test]
+    fn induced_subgraph_renumbers_densely_on_noncontiguous_keep() {
+        let g = figure7(); // ids A=0 B=1 C=2 D=3 E=4
+        let keep = vec![NodeId(4), NodeId(0), NodeId(3)]; // gaps + reordered
+        let (sub, back) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        // Dense ids 0..3 exactly, in keep order.
+        let ids: Vec<u32> = sub.node_ids().map(|v| v.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(sub.name(NodeId(0)), "E");
+        assert_eq!(sub.name(NodeId(1)), "A");
+        assert_eq!(sub.name(NodeId(2)), "D");
+        assert_eq!(back, keep);
+        // Every surviving edge endpoint is a dense id.
+        for e in sub.edge_ids() {
+            let e = sub.edge(e);
+            assert!(e.src.index() < 3 && e.dst.index() < 3);
+        }
+        // Latencies and statement text travel with the remapped nodes.
+        for (new, &old) in back.iter().enumerate() {
+            assert_eq!(sub.latency(NodeId(new as u32)), g.latency(old));
+            assert_eq!(sub.node(NodeId(new as u32)).stmt, g.node(old).stmt);
+        }
+        sub.validate().unwrap();
+    }
+
     #[test]
     fn validate_is_idempotent_on_built_graph() {
         let g = figure7();

@@ -177,6 +177,41 @@ mod tests {
     use super::*;
     use crate::graph::DdgBuilder;
 
+    /// Companion to the dense-renumbering pin in `graph.rs`: the SCC and
+    /// condensation machinery on a fission-piece subgraph must see only the
+    /// piece's dense ids — `of` is total over the piece and every member id
+    /// indexes inside it.
+    #[test]
+    fn scc_on_extracted_piece_uses_dense_ids() {
+        // Two recurrences A<->B and C<->D plus a bridge; extract the
+        // *second* recurrence (original ids 2, 3 — nonzero-based).
+        let mut b = DdgBuilder::new();
+        let a = b.node("a");
+        let bb = b.node("b");
+        let c = b.node("c");
+        let d = b.node("d");
+        b.dep(a, bb);
+        b.carried(bb, a);
+        b.dep(c, d);
+        b.carried(d, c);
+        b.dep(bb, c);
+        let g = b.build().unwrap();
+        let (piece, back) = g.induced_subgraph(&[c, d]);
+        assert_eq!(back, vec![c, d]);
+        let (sccs, of) = condensation(&piece);
+        assert_eq!(sccs.len(), 1, "c<->d is one recurrence");
+        assert_eq!(of.len(), piece.node_count(), "of is total over the piece");
+        for &comp in &of {
+            assert!(comp < sccs.len());
+        }
+        for scc in &sccs {
+            for v in &scc.nodes {
+                assert!(v.index() < piece.node_count(), "stale original id {v}");
+            }
+        }
+        assert!((recurrence_bound(&piece) - 2.0).abs() < 1e-9);
+    }
+
     #[test]
     fn single_self_loop_is_one_scc() {
         let mut b = DdgBuilder::new();

@@ -82,7 +82,11 @@ pub fn parse(input: &str) -> Result<Ddg, ParseError> {
                 let mut lat = 1u32;
                 let mut stmt = None;
                 // `stmt="…"` may contain spaces: re-split on the raw tail.
-                let tail = line[line.find(&name).unwrap() + name.len()..].trim();
+                // Slice past the `node` keyword first — searching the whole
+                // line for the name would mis-anchor on names like "d" or
+                // "e" that also occur inside the keyword itself.
+                let after_kw = line["node".len()..].trim_start();
+                let tail = after_kw[name.len()..].trim();
                 for part in split_attrs(tail) {
                     if let Some(v) = part.strip_prefix("lat=") {
                         lat = v.parse().map_err(|_| ParseError::BadNode {
@@ -205,7 +209,8 @@ pub fn parse_parts(input: &str) -> Result<(Vec<Node>, Vec<Edge>), ParseError> {
                     .to_string();
                 let mut lat = 1u32;
                 let mut stmt = None;
-                let tail = line[line.find(&name).unwrap() + name.len()..].trim();
+                let after_kw = line["node".len()..].trim_start();
+                let tail = after_kw[name.len()..].trim();
                 for part in split_attrs(tail) {
                     if let Some(v) = part.strip_prefix("lat=") {
                         lat = v.parse().map_err(|_| ParseError::BadNode {
@@ -393,6 +398,23 @@ edge D -> E
         }
         for (a, b) in g.edge_ids().zip(g2.edge_ids()) {
             assert_eq!(g.edge(a), g2.edge(b));
+        }
+    }
+
+    #[test]
+    fn node_names_overlapping_the_keyword_parse_with_attributes() {
+        // Regression: the attribute tail used to be anchored by searching
+        // the whole line for the name, so a node called "d" (or "e",
+        // "o", "no", ...) matched inside the `node` keyword and the
+        // attributes were sliced mid-word.
+        for name in ["d", "e", "o", "n", "no", "de", "ode"] {
+            let text = format!("node {name} lat=2 stmt=\"D[I] = C[I-1] + B[I]\"\n");
+            let g = parse(&text).unwrap_or_else(|err| panic!("node {name}: {err}"));
+            let id = g.find(name).expect("node present");
+            assert_eq!(g.latency(id), 2, "node {name}");
+            assert_eq!(g.node(id).stmt.as_deref(), Some("D[I] = C[I-1] + B[I]"));
+            let (nodes, _) = parse_parts(&text).unwrap();
+            assert_eq!(nodes[0].latency, 2);
         }
     }
 

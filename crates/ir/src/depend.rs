@@ -113,9 +113,11 @@ pub fn analyze_dependences(body: &[GuardedAssign], opts: &AnalysisOptions) -> Ve
         let is_scalar = scalar_vars.contains(var);
         let privatized = is_scalar && opts.scalar_expansion && {
             // Written before read in iteration order: the first access
-            // (by statement position) must be a write.
+            // must be a write. Within one statement the RHS/guard reads
+            // happen before the write, so reads rank first on ties —
+            // `acc = acc + A[I]` reads acc first and must NOT privatize.
             accs.iter()
-                .min_by_key(|a| (a.stmt, !a.is_write))
+                .min_by_key(|a| (a.stmt, a.is_write))
                 .map(|first| first.is_write)
                 .unwrap_or(false)
         };
@@ -349,6 +351,23 @@ mod tests {
         assert!(
             deps.iter().any(|d| d.var == "p0" && d.distance == 1),
             "without expansion the predicate location carries: {deps:?}"
+        );
+    }
+
+    #[test]
+    fn self_accumulating_scalar_not_privatized() {
+        // acc = acc + A[I]: the read of acc happens before the write in
+        // the same statement, so acc carries across iterations — the
+        // distance-1 self flow is the recurrence reduction rewriting kills.
+        let body = flat(vec![assign_scalar(
+            "S0",
+            "acc",
+            binop(BinOp::Add, scalar("acc"), arr("A")),
+        )]);
+        let deps = analyze_dependences(&body, &AnalysisOptions::default());
+        assert!(
+            has(&deps, 0, 0, 1, DependenceKind::Flow),
+            "carried self flow on acc: {deps:?}"
         );
     }
 

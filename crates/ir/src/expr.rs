@@ -18,6 +18,8 @@ pub enum BinOp {
     Lt,
     Gt,
     Eq,
+    Min,
+    Max,
 }
 
 impl BinOp {
@@ -30,7 +32,18 @@ impl BinOp {
             BinOp::Lt => "<",
             BinOp::Gt => ">",
             BinOp::Eq => "==",
+            // Min/Max render function-style (see `Display for Expr`); the
+            // symbols exist so every operator has a printable spelling.
+            BinOp::Min => "min",
+            BinOp::Max => "max",
         }
+    }
+
+    /// True for operators that are associative *and* commutative under the
+    /// `u64` wrapping semantics of [`crate::eval::eval_expr`] — exactly the
+    /// set a reduction may be reassociated over without changing the result.
+    pub fn is_associative_commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max)
     }
 }
 
@@ -89,6 +102,9 @@ impl fmt::Display for Expr {
                 o if *o > 0 => write!(f, "{array}[I+{o}]"),
                 o => write!(f, "{array}[I-{}]", -o),
             },
+            Expr::Binary(op @ (BinOp::Min | BinOp::Max), l, r) => {
+                write!(f, "{}({l}, {r})", op.symbol())
+            }
             Expr::Binary(op, l, r) => write!(f, "{l} {} {r}", op.symbol()),
         }
     }
@@ -138,6 +154,25 @@ mod tests {
             binop(BinOp::Mul, arr_at("A", -1), arr_at("E", -1)).to_string(),
             "A[I-1] * E[I-1]"
         );
+    }
+
+    #[test]
+    fn min_max_render_function_style() {
+        assert_eq!(
+            binop(BinOp::Max, scalar("m"), arr("D")).to_string(),
+            "max(m, D[I])"
+        );
+        assert_eq!(binop(BinOp::Min, c(1), c(2)).to_string(), "min(1, 2)");
+    }
+
+    #[test]
+    fn associativity_classification() {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max] {
+            assert!(op.is_associative_commutative(), "{op:?}");
+        }
+        for op in [BinOp::Sub, BinOp::Div, BinOp::Lt, BinOp::Gt, BinOp::Eq] {
+            assert!(!op.is_associative_commutative(), "{op:?}");
+        }
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   predicate scalars and guarded assignments;
 //! * [`depend`] — flow/anti/output dependences with constant distances;
 //! * [`lower`] — lowering a loop body to a `kn_ddg::Ddg`, statement text
-//!   attached for code generation.
+//!   attached for code generation;
+//! * [`interp`] — a sequential reference interpreter over flat guarded
+//!   bodies (the ground truth under the transform layer's
+//!   differential-equivalence harness);
+//! * [`text`] — a parse/render text format for loop bodies, so transform
+//!   fixtures can live in `corpus/` next to their `.ddg` files.
 //!
 //! Distances greater than one are allowed; `kn_ddg::normalize_distances`
 //! (loop unwinding) brings the result into the scheduler's normal form.
@@ -22,12 +27,16 @@ pub mod depend;
 pub mod eval;
 pub mod expr;
 pub mod ifconv;
+pub mod interp;
 pub mod lower;
 pub mod stmt;
+pub mod text;
 
 pub use depend::{analyze_dependences, AnalysisOptions, Dependence, DependenceKind};
-pub use eval::{eval_expr, external_value, EvalContext};
+pub use eval::{apply_op, eval_expr, external_value, EvalContext};
 pub use expr::{arr, arr_at, binop, c, scalar, BinOp, Expr};
 pub use ifconv::{if_convert, GuardedAssign};
-pub use lower::{lower_loop, LowerError};
+pub use interp::{interpret, interpret_into, seeded_external_value, seeded_scalar_init, Store};
+pub use lower::{lower_flat, lower_loop, LowerError};
 pub use stmt::{assign, assign_scalar, if_stmt, Assign, LoopBody, Stmt, Target};
+pub use text::{parse_loop, render_loop, IrParseError};

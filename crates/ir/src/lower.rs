@@ -41,6 +41,14 @@ pub fn lower_loop(
     opts: &AnalysisOptions,
 ) -> Result<(Ddg, Vec<GuardedAssign>), LowerError> {
     let flat = if_convert(body);
+    let g = lower_flat(&flat, opts)?;
+    Ok((g, flat))
+}
+
+/// Lower an already-flattened (if-converted) body to a DDG. This is the
+/// entry point transform passes use: fission pieces and rewritten
+/// reduction bodies are flat statement lists, not structured [`LoopBody`]s.
+pub fn lower_flat(flat: &[GuardedAssign], opts: &AnalysisOptions) -> Result<Ddg, LowerError> {
     if flat.is_empty() {
         return Err(LowerError::EmptyBody);
     }
@@ -61,13 +69,12 @@ pub fn lower_loop(
         ids.push(id);
     }
     let mut seen_edges: HashSet<(usize, usize, u32)> = HashSet::new();
-    for d in analyze_dependences(&flat, opts) {
+    for d in analyze_dependences(flat, opts) {
         if seen_edges.insert((d.src, d.dst, d.distance)) {
             b.dep_dist(ids[d.src], ids[d.dst], d.distance);
         }
     }
-    let g = b.build().map_err(LowerError::Graph)?;
-    Ok((g, flat))
+    b.build().map_err(LowerError::Graph)
 }
 
 #[cfg(test)]

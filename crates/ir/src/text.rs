@@ -1,0 +1,533 @@
+//! A tiny text format for loop bodies, mirroring `kn_ddg::text` for DDGs.
+//!
+//! The transform CLI and the `corpus/xform/*.ir` fixtures need loop
+//! *sources*, not just dependence graphs — a transform that rewrites
+//! statements cannot start from a DDG. Grammar, one construct per line:
+//!
+//! ```text
+//! # comment (blank lines ignored)
+//! label: A[I] = A[I-1] * E[I-1]      # array assignment
+//! acc@2: s = s + A[I]                # `@N` sets the statement latency
+//! if A[I] > m {                      # two-armed IF, braces required
+//!   t: m = A[I]
+//! } else {
+//!   e: Q[I] = 0
+//! }
+//! ```
+//!
+//! Expressions use the usual precedence (`* /` over `+ -` over `< > ==`),
+//! parentheses, integer literals, scalars, `A[I+c]` array references, and
+//! function-style `min(a, b)` / `max(a, b)`. [`render_loop`] emits a fully
+//! parenthesized form that [`parse_loop`] round-trips exactly.
+
+use crate::expr::{BinOp, Expr};
+use crate::stmt::{Assign, LoopBody, Stmt, Target};
+
+/// Parse error with 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for IrParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IrParseError {}
+
+/// Parse a loop body from the text format.
+pub fn parse_loop(src: &str) -> Result<LoopBody, IrParseError> {
+    let mut lines = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim().to_string()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .peekable();
+    let stmts = parse_block(&mut lines, false)?;
+    if let Some((n, l)) = lines.next() {
+        return Err(err(n, format!("unexpected `{l}` after end of body")));
+    }
+    Ok(LoopBody::new(stmts))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> IrParseError {
+    IrParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+type Lines = std::iter::Peekable<std::vec::IntoIter<(usize, String)>>;
+
+/// Parse statements until EOF (`in_if == false`) or a line starting with
+/// `}` (`in_if == true`, line left for the caller).
+fn parse_block(lines: &mut Lines, in_if: bool) -> Result<Vec<Stmt>, IrParseError> {
+    let mut stmts = Vec::new();
+    while let Some((n, line)) = lines.peek().cloned() {
+        if line.starts_with('}') {
+            if in_if {
+                return Ok(stmts);
+            }
+            return Err(err(n, "`}` without matching `if`"));
+        }
+        lines.next();
+        if let Some(rest) = line.strip_prefix("if ") {
+            let cond_src = rest
+                .strip_suffix('{')
+                .ok_or_else(|| err(n, "`if` line must end with `{`"))?;
+            let cond = parse_expr_str(cond_src, n)?;
+            let then_branch = parse_block(lines, true)?;
+            let (cn, close) = lines
+                .next()
+                .ok_or_else(|| err(n, "unclosed `if` (missing `}`)"))?;
+            let else_branch = match close.as_str() {
+                "}" => Vec::new(),
+                "} else {" => {
+                    let eb = parse_block(lines, true)?;
+                    let (en, eclose) = lines
+                        .next()
+                        .ok_or_else(|| err(cn, "unclosed `else` (missing `}`)"))?;
+                    if eclose != "}" {
+                        return Err(err(en, format!("expected `}}`, got `{eclose}`")));
+                    }
+                    eb
+                }
+                other => {
+                    return Err(err(
+                        cn,
+                        format!("expected `}}` or `}} else {{`, got `{other}`"),
+                    ))
+                }
+            };
+            stmts.push(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        } else {
+            stmts.push(parse_assign_line(&line, n)?);
+        }
+    }
+    if in_if {
+        // Ran out of lines inside an if body.
+        return Err(err(0, "unclosed `if` (missing `}`)"));
+    }
+    Ok(stmts)
+}
+
+/// `label[@lat]: target = expr`
+fn parse_assign_line(line: &str, n: usize) -> Result<Stmt, IrParseError> {
+    let (head, rest) = line
+        .split_once(':')
+        .ok_or_else(|| err(n, format!("expected `label: target = expr`, got `{line}`")))?;
+    let (label, latency) = match head.split_once('@') {
+        Some((l, lat)) => (
+            l.trim(),
+            lat.trim()
+                .parse::<u32>()
+                .map_err(|_| err(n, format!("bad latency `{}`", lat.trim())))?,
+        ),
+        None => (head.trim(), 1),
+    };
+    if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err(n, format!("bad label `{label}`")));
+    }
+    let (lhs, rhs_src) = rest
+        .split_once('=')
+        .ok_or_else(|| err(n, format!("missing `=` in `{line}`")))?;
+    // Guard against `==` swallowing: a target never contains `=`, so a
+    // leading `=` in the remainder means the line used `==` as assignment.
+    if rhs_src.starts_with('=') {
+        return Err(err(n, "`==` is a comparison; assignment is a single `=`"));
+    }
+    let target = parse_target(lhs.trim(), n)?;
+    let rhs = parse_expr_str(rhs_src, n)?;
+    Ok(Stmt::Assign(Assign {
+        target,
+        rhs,
+        latency: latency.max(1),
+        label: Some(label.to_string()),
+    }))
+}
+
+fn parse_target(s: &str, n: usize) -> Result<Target, IrParseError> {
+    let mut p = ExprParser::new(s, n);
+    let e = p.parse_primary()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(err(n, format!("trailing input in target `{s}`")));
+    }
+    match e {
+        Expr::Scalar(name) => Ok(Target::Scalar(name)),
+        Expr::ArrayRef { array, offset } => Ok(Target::Array { array, offset }),
+        other => Err(err(n, format!("`{other}` is not an assignable target"))),
+    }
+}
+
+fn parse_expr_str(s: &str, n: usize) -> Result<Expr, IrParseError> {
+    let mut p = ExprParser::new(s, n);
+    let e = p.parse_expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(err(n, format!("trailing input after expression in `{s}`")));
+    }
+    Ok(e)
+}
+
+struct ExprParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn new(s: &'a str, line: usize) -> Self {
+        Self {
+            src: s.as_bytes(),
+            pos: 0,
+            line,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fail(&self, msg: impl Into<String>) -> IrParseError {
+        err(self.line, msg.into())
+    }
+
+    /// comparison: additive (('<' | '>' | '==') additive)?
+    fn parse_expr(&mut self) -> Result<Expr, IrParseError> {
+        let lhs = self.parse_additive()?;
+        self.skip_ws();
+        let op = if self.eat("==") {
+            BinOp::Eq
+        } else if self.eat("<") {
+            BinOp::Lt
+        } else if self.eat(">") {
+            BinOp::Gt
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = self.parse_additive()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, IrParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            self.skip_ws();
+            let op = if self.eat("+") {
+                BinOp::Add
+            } else if self.eat("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, IrParseError> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            self.skip_ws();
+            let op = if self.eat("*") {
+                BinOp::Mul
+            } else if self.eat("/") {
+                BinOp::Div
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_primary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, IrParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                if !self.eat(")") {
+                    return Err(self.fail("missing `)`"));
+                }
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| self.fail(format!("integer literal `{text}` out of range")))?;
+                Ok(Expr::Const(v))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_string();
+                if (name == "min" || name == "max") && self.eat("(") {
+                    let op = if name == "min" {
+                        BinOp::Min
+                    } else {
+                        BinOp::Max
+                    };
+                    let a = self.parse_expr()?;
+                    if !self.eat(",") {
+                        return Err(self.fail(format!("missing `,` in `{name}(…)`")));
+                    }
+                    let b = self.parse_expr()?;
+                    if !self.eat(")") {
+                        return Err(self.fail(format!("missing `)` in `{name}(…)`")));
+                    }
+                    return Ok(Expr::Binary(op, Box::new(a), Box::new(b)));
+                }
+                if self.eat("[") {
+                    if !self.eat("I") {
+                        return Err(self.fail(format!("array index must be `I±c` in `{name}[…]`")));
+                    }
+                    self.skip_ws();
+                    let offset = match self.peek() {
+                        Some(b']') => 0,
+                        Some(sign @ (b'+' | b'-')) => {
+                            self.pos += 1;
+                            self.skip_ws();
+                            let start = self.pos;
+                            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                                self.pos += 1;
+                            }
+                            let digits = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                            let mag = digits
+                                .parse::<i32>()
+                                .map_err(|_| self.fail(format!("bad offset `{digits}`")))?;
+                            if sign == b'+' {
+                                mag
+                            } else {
+                                -mag
+                            }
+                        }
+                        _ => return Err(self.fail(format!("bad index in `{name}[…]`"))),
+                    };
+                    if !self.eat("]") {
+                        return Err(self.fail(format!("missing `]` in `{name}[…]`")));
+                    }
+                    return Ok(Expr::ArrayRef {
+                        array: name,
+                        offset,
+                    });
+                }
+                Ok(Expr::Scalar(name))
+            }
+            Some(c) => Err(self.fail(format!("unexpected `{}`", c as char))),
+            None => Err(self.fail("unexpected end of expression")),
+        }
+    }
+}
+
+/// Render a loop body in the text format; [`parse_loop`] round-trips the
+/// result exactly (expressions come out fully parenthesized).
+pub fn render_loop(body: &LoopBody) -> String {
+    let mut out = String::new();
+    render_stmts(&body.stmts, 0, &mut out);
+    out
+}
+
+fn render_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    for (i, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::Assign(a) => {
+                let label = a.label.clone().unwrap_or_else(|| format!("S{i}"));
+                let lat = if a.latency != 1 {
+                    format!("@{}", a.latency)
+                } else {
+                    String::new()
+                };
+                writeln!(out, "{pad}{label}{lat}: {} = {}", a.target, paren(&a.rhs)).unwrap();
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                writeln!(out, "{pad}if {} {{", paren(cond)).unwrap();
+                render_stmts(then_branch, depth + 1, out);
+                if else_branch.is_empty() {
+                    writeln!(out, "{pad}}}").unwrap();
+                } else {
+                    writeln!(out, "{pad}}} else {{").unwrap();
+                    render_stmts(else_branch, depth + 1, out);
+                    writeln!(out, "{pad}}}").unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Fully parenthesized rendering (the plain `Display` impl omits parens,
+/// which loses tree shape for mixed-precedence nests).
+fn paren(e: &Expr) -> String {
+    match e {
+        Expr::Binary(op @ (BinOp::Min | BinOp::Max), l, r) => match op {
+            BinOp::Min => format!("min({}, {})", paren(l), paren(r)),
+            _ => format!("max({}, {})", paren(l), paren(r)),
+        },
+        Expr::Binary(op, l, r) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Eq => "==",
+                BinOp::Min | BinOp::Max => unreachable!("handled above"),
+            };
+            format!("({} {sym} {})", paren(l), paren(r))
+        }
+        leaf => leaf.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use crate::stmt::{assign, assign_scalar, if_stmt};
+
+    #[test]
+    fn parses_figure7_style_source() {
+        let src = "\
+# the paper's Figure 7
+A: A[I] = A[I-1] * E[I-1]
+B: B[I] = A[I]
+C: C[I] = B[I]
+D: D[I] = D[I-1] * C[I-1]
+E: E[I] = D[I]
+";
+        let body = parse_loop(src).unwrap();
+        assert_eq!(body.stmts.len(), 5);
+        let (g, _) = crate::lower::lower_loop(&body, &Default::default()).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn latency_suffix_and_scalar_targets() {
+        let body = parse_loop("acc@3: s = s + A[I+2]\n").unwrap();
+        let Stmt::Assign(a) = &body.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(a.latency, 3);
+        assert_eq!(a.target, Target::Scalar("s".into()));
+        assert_eq!(a.rhs, binop(BinOp::Add, scalar("s"), arr_at("A", 2)));
+    }
+
+    #[test]
+    fn parses_if_else_and_min_max() {
+        let src = "\
+if A[I] > m {
+  t: m = max(m, A[I])
+} else {
+  e: Q[I] = min(1, 2)
+}
+";
+        let body = parse_loop(src).unwrap();
+        assert!(body.has_conditionals());
+        let Stmt::If { cond, .. } = &body.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*cond, binop(BinOp::Gt, arr("A"), scalar("m")));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let b = parse_loop("x: X[I] = A[I] + B[I] * 2\n").unwrap();
+        let Stmt::Assign(a) = &b.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            a.rhs,
+            binop(BinOp::Add, arr("A"), binop(BinOp::Mul, arr("B"), c(2)))
+        );
+        let b = parse_loop("x: X[I] = (A[I] + B[I]) * 2\n").unwrap();
+        let Stmt::Assign(a) = &b.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            a.rhs,
+            binop(BinOp::Mul, binop(BinOp::Add, arr("A"), arr("B")), c(2))
+        );
+    }
+
+    #[test]
+    fn round_trips_structured_bodies() {
+        let body = crate::stmt::LoopBody::new(vec![
+            assign("m1", "M1", 0, binop(BinOp::Mul, arr_at("ZA", 1), arr("ZR"))),
+            assign_scalar("cmp", "p", binop(BinOp::Gt, arr("D"), scalar("m"))),
+            if_stmt(
+                scalar("p"),
+                vec![assign_scalar("upd", "m", arr("D"))],
+                vec![assign("alt", "Q", 0, binop(BinOp::Sub, c(0), arr("D")))],
+            ),
+        ]);
+        let text = render_loop(&body);
+        let back = parse_loop(&text).unwrap();
+        assert_eq!(back, body);
+        // And render is a fixpoint.
+        assert_eq!(render_loop(&back), text);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = parse_loop("A: A[I] = 1\nB B[I] = 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_loop("if A[I] > 0 {\n  t: B[I] = 1\n").is_err());
+        assert!(parse_loop("}\n").is_err());
+        assert!(parse_loop("x: 3 = 4\n").is_err());
+        assert!(parse_loop("x: X[J] = 4\n").is_err());
+    }
+}

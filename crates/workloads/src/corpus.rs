@@ -7,7 +7,10 @@
 //! DESIGN.md §4 documents each substitution.
 
 use kn_ddg::{Ddg, DdgBuilder, NodeId};
-use kn_ir::{arr, arr_at, assign, binop, Assign, BinOp, LoopBody, Stmt, Target};
+use kn_ir::{
+    arr, arr_at, assign, assign_scalar, binop, if_stmt, scalar, Assign, BinOp, LoopBody, Stmt,
+    Target,
+};
 
 /// A named benchmark loop with its paper parameters.
 #[derive(Clone, Debug)]
@@ -349,7 +352,21 @@ pub fn elliptic() -> Workload {
 /// the pattern scheduler's value here is only that it *finds* the bound
 /// and keeps everything on one processor (no communication waste).
 pub fn livermore5() -> Workload {
-    let body = LoopBody::new(vec![
+    let (graph, _) =
+        kn_ir::lower_loop(&livermore5_body(), &Default::default()).expect("legal body");
+    Workload {
+        name: "livermore5",
+        graph,
+        k: 2,
+        procs: 2,
+        description: "Livermore kernel 5 (tridiagonal elimination): a pure first-order \
+                      recurrence — negative control where no technique can win",
+    }
+}
+
+/// The loop body behind [`livermore5`], exposed for the transform layer.
+pub fn livermore5_body() -> LoopBody {
+    LoopBody::new(vec![
         Stmt::Assign(Assign {
             target: Target::Array {
                 array: "T".into(),
@@ -368,16 +385,7 @@ pub fn livermore5() -> Workload {
             latency: 2,
             label: Some("mul".into()),
         }),
-    ]);
-    let (graph, _) = kn_ir::lower_loop(&body, &Default::default()).expect("legal body");
-    Workload {
-        name: "livermore5",
-        graph,
-        k: 2,
-        procs: 2,
-        description: "Livermore kernel 5 (tridiagonal elimination): a pure first-order \
-                      recurrence — negative control where no technique can win",
-    }
+    ])
 }
 
 /// Livermore kernel 23 — 2-D implicit hydrodynamics fragment
@@ -395,7 +403,22 @@ pub fn livermore5() -> Workload {
 /// the pre-sweep value (anti, distance 1) — both fall out of the
 /// dependence analysis automatically.
 pub fn livermore23() -> Workload {
-    let body = LoopBody::new(vec![
+    let (graph, _) =
+        kn_ir::lower_loop(&livermore23_body(), &Default::default()).expect("legal body");
+    Workload {
+        name: "livermore23",
+        graph,
+        k: 2,
+        procs: 2,
+        description: "Livermore kernel 23 (2-D implicit hydro, swept axis): update \
+                      recurrence through m2 -> qa -> dd -> up with anti-dependent \
+                      look-ahead read",
+    }
+}
+
+/// The loop body behind [`livermore23`], exposed for the transform layer.
+pub fn livermore23_body() -> LoopBody {
+    LoopBody::new(vec![
         Stmt::Assign(Assign {
             target: Target::Array {
                 array: "M1".into(),
@@ -445,17 +468,7 @@ pub fn livermore23() -> Workload {
             latency: 1,
             label: Some("up".into()),
         }),
-    ]);
-    let (graph, _) = kn_ir::lower_loop(&body, &Default::default()).expect("legal body");
-    Workload {
-        name: "livermore23",
-        graph,
-        k: 2,
-        procs: 2,
-        description: "Livermore kernel 23 (2-D implicit hydro, swept axis): update \
-                      recurrence through m2 -> qa -> dd -> up with anti-dependent \
-                      look-ahead read",
-    }
+    ])
 }
 
 /// A dependence-free loop (control: both techniques should reach the
@@ -476,6 +489,195 @@ pub fn doall() -> Workload {
         description: "Control workload: four independent 2-node chains, no carried \
                       dependences (a DOALL loop)",
     }
+}
+
+// ---------------------------------------------------------------------------
+// Transformable families (for `kn transform` and the xform bench gates).
+// ---------------------------------------------------------------------------
+
+/// `fissionable/twophase` body: a producer, a carried consumer, and an
+/// unrelated latency-2 recurrence — fission yields three pieces, with the
+/// recurrence's MII unchanged (never-worse gate material).
+pub fn fissionable_twophase_body() -> LoopBody {
+    let mut rec = assign("rec", "R", 0, binop(BinOp::Mul, arr_at("R", -1), arr("G")));
+    if let Stmt::Assign(a) = &mut rec {
+        a.latency = 2;
+    }
+    LoopBody::new(vec![
+        assign("prod", "P", 0, binop(BinOp::Add, arr("C"), arr("E"))),
+        assign("cons", "Q", 0, binop(BinOp::Mul, arr_at("P", -1), arr("F"))),
+        rec,
+    ])
+}
+
+/// `fissionable/islands` body: two independent recurrences, each with a
+/// downstream consumer — four pieces in manifest order.
+pub fn fissionable_islands_body() -> LoopBody {
+    LoopBody::new(vec![
+        assign("a", "A", 0, binop(BinOp::Add, arr_at("A", -1), arr("E"))),
+        assign("b", "B", 0, binop(BinOp::Mul, arr("A"), arr("F"))),
+        assign("c", "C", 0, binop(BinOp::Mul, arr_at("C", -1), arr("G"))),
+        assign("d", "D", 0, binop(BinOp::Add, arr_at("C", -1), arr("B"))),
+    ])
+}
+
+/// `fissionable/storage` body: the must-NOT-fire negative. The only cycle
+/// runs through an array anti dependence (`Z[I+1]` read before the `Z[I]`
+/// write), so fission declines with `XS03` — renaming would be needed.
+pub fn fission_storage_body() -> LoopBody {
+    LoopBody::new(vec![
+        assign("s0", "X", 0, arr_at("Z", -1)),
+        assign("s1", "Y", 0, binop(BinOp::Add, arr("X"), arr_at("Z", 1))),
+        assign("s2", "Z", 0, arr("C")),
+    ])
+}
+
+/// `reduction/sum` body: a latency-2 dot-product accumulation
+/// `acc = acc + A[I]*B[I]` — privatize-and-reduce drops the MII from 2 to
+/// 0 (the bench's >= 1.5x reduction-family gate).
+pub fn reduction_sum_body() -> LoopBody {
+    LoopBody::new(vec![Stmt::Assign(Assign {
+        target: Target::Scalar("acc".into()),
+        rhs: binop(
+            BinOp::Add,
+            scalar("acc"),
+            binop(BinOp::Mul, arr("A"), arr("B")),
+        ),
+        latency: 2,
+        label: Some("acc".into()),
+    })])
+}
+
+/// `reduction/max` body: the guarded-compare (maxdelta) idiom
+/// `IF D[I] > m THEN m = D[I]` — canonicalized to `m = max(m, D[I])`,
+/// then privatized.
+pub fn reduction_max_body() -> LoopBody {
+    LoopBody::new(vec![if_stmt(
+        binop(BinOp::Gt, arr("D"), scalar("m")),
+        vec![assign_scalar("m", "m", arr("D"))],
+        vec![],
+    )])
+}
+
+/// `reduction/scan` body: the must-NOT-fire prefix-product negative
+/// (`val *= F[I]; A[I] = val` — every prefix value is consumed, `XR02`).
+pub fn reduction_scan_body() -> LoopBody {
+    LoopBody::new(vec![
+        assign_scalar("val", "val", binop(BinOp::Mul, scalar("val"), arr("F"))),
+        assign("a", "A", 0, scalar("val")),
+    ])
+}
+
+/// `reduction/nonassoc` body: the must-NOT-fire non-associative negative
+/// (`acc = acc - A[I]`, `XR01`).
+pub fn reduction_nonassoc_body() -> LoopBody {
+    LoopBody::new(vec![assign_scalar(
+        "acc",
+        "acc",
+        binop(BinOp::Sub, scalar("acc"), arr("A")),
+    )])
+}
+
+fn xform_workload(name: &'static str, body: &LoopBody, description: &'static str) -> Workload {
+    let (graph, _) = kn_ir::lower_loop(body, &Default::default()).expect("legal body");
+    Workload {
+        name,
+        graph,
+        k: 2,
+        procs: 2,
+        description,
+    }
+}
+
+/// `fissionable/twophase` as a schedulable workload (untransformed graph).
+pub fn fissionable_twophase() -> Workload {
+    xform_workload(
+        "fissionable/twophase",
+        &fissionable_twophase_body(),
+        "Transform family: producer + carried consumer + independent latency-2 \
+         recurrence; fission yields three pieces",
+    )
+}
+
+/// `fissionable/islands` as a schedulable workload.
+pub fn fissionable_islands() -> Workload {
+    xform_workload(
+        "fissionable/islands",
+        &fissionable_islands_body(),
+        "Transform family: two independent recurrences with consumers; fission \
+         yields four pieces",
+    )
+}
+
+/// `fissionable/storage` as a schedulable workload (fission negative).
+pub fn fission_storage() -> Workload {
+    xform_workload(
+        "fissionable/storage",
+        &fission_storage_body(),
+        "Transform negative: anti-dependence cycle through Z — fission must \
+         decline with XS03",
+    )
+}
+
+/// `reduction/sum` as a schedulable workload (untransformed graph).
+pub fn reduction_sum() -> Workload {
+    xform_workload(
+        "reduction/sum",
+        &reduction_sum_body(),
+        "Transform family: latency-2 dot-product accumulation; privatize-and-\
+         reduce drops MII 2 -> 0",
+    )
+}
+
+/// `reduction/max` as a schedulable workload.
+pub fn reduction_max() -> Workload {
+    xform_workload(
+        "reduction/max",
+        &reduction_max_body(),
+        "Transform family: guarded-compare max idiom; canonicalized to \
+         m = max(m, D[I]) then privatized",
+    )
+}
+
+/// `reduction/scan` as a schedulable workload (reduction negative).
+pub fn reduction_scan() -> Workload {
+    xform_workload(
+        "reduction/scan",
+        &reduction_scan_body(),
+        "Transform negative: prefix product consumed in-loop — recognition \
+         must decline with XR02",
+    )
+}
+
+/// `reduction/nonassoc` as a schedulable workload (reduction negative).
+pub fn reduction_nonassoc() -> Workload {
+    xform_workload(
+        "reduction/nonassoc",
+        &reduction_nonassoc_body(),
+        "Transform negative: subtraction chain — recognition must decline \
+         with XR01",
+    )
+}
+
+/// Look up a loop *body* (statement-level IR, not just the lowered DDG)
+/// by workload name — the table behind `kn transform NAME` and the
+/// service's `transform=` option. Only body-sourced workloads appear
+/// here; graph-only reconstructions (figure3, cytron86, ...) have no
+/// statement form to transform.
+pub fn body_by_name(name: &str) -> Option<LoopBody> {
+    Some(match name {
+        "7" | "figure7" => figure7_body(),
+        "livermore5" | "ll5" => livermore5_body(),
+        "livermore23" | "ll23" => livermore23_body(),
+        "fissionable/twophase" => fissionable_twophase_body(),
+        "fissionable/islands" => fissionable_islands_body(),
+        "fissionable/storage" => fission_storage_body(),
+        "reduction/sum" => reduction_sum_body(),
+        "reduction/max" => reduction_max_body(),
+        "reduction/scan" => reduction_scan_body(),
+        "reduction/nonassoc" => reduction_nonassoc_body(),
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

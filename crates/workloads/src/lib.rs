@@ -26,10 +26,17 @@ pub mod corpus;
 pub mod random;
 
 pub use corpus::{
-    cytron86, doall, elliptic, figure3, figure7, figure7_body, livermore18, livermore23,
-    livermore5, rate_gap, Workload,
+    body_by_name, cytron86, doall, elliptic, figure3, figure7, figure7_body, fission_storage,
+    fission_storage_body, fissionable_islands, fissionable_islands_body, fissionable_twophase,
+    fissionable_twophase_body, livermore18, livermore23, livermore23_body, livermore5,
+    livermore5_body, rate_gap, reduction_max, reduction_max_body, reduction_nonassoc,
+    reduction_nonassoc_body, reduction_scan, reduction_scan_body, reduction_sum,
+    reduction_sum_body, Workload,
 };
-pub use random::{random_cyclic_loop, random_cyclic_loop_min, random_loop, RandomLoopConfig};
+pub use random::{
+    random_cyclic_loop, random_cyclic_loop_min, random_loop, random_transformable_body,
+    RandomLoopConfig, RandomXformConfig,
+};
 
 /// Look up a built-in workload by name — the single name table behind the
 /// CLI's `figure`/`codegen`/`dot` arguments and the service's
@@ -46,6 +53,13 @@ pub fn by_name(name: &str) -> Option<Workload> {
         "livermore5" | "ll5" => livermore5(),
         "livermore23" | "ll23" => livermore23(),
         "rate_gap" | "rategap" => rate_gap(),
+        "fissionable/twophase" => fissionable_twophase(),
+        "fissionable/islands" => fissionable_islands(),
+        "fissionable/storage" => fission_storage(),
+        "reduction/sum" => reduction_sum(),
+        "reduction/max" => reduction_max(),
+        "reduction/scan" => reduction_scan(),
+        "reduction/nonassoc" => reduction_nonassoc(),
         _ => return None,
     })
 }
@@ -70,5 +84,25 @@ mod tests {
         }
         assert!(super::by_name("doall").is_some());
         assert!(super::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn transform_families_resolve_by_name_and_body() {
+        for name in [
+            "fissionable/twophase",
+            "fissionable/islands",
+            "fissionable/storage",
+            "reduction/sum",
+            "reduction/max",
+            "reduction/scan",
+            "reduction/nonassoc",
+        ] {
+            assert_eq!(super::by_name(name).unwrap().name, name);
+            assert!(super::body_by_name(name).is_some(), "{name} has a body");
+        }
+        // Body-sourced classics are reachable too; graph-only ones are not.
+        assert!(super::body_by_name("figure7").is_some());
+        assert!(super::body_by_name("ll5").is_some());
+        assert!(super::body_by_name("cytron86").is_none());
     }
 }

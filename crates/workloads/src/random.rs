@@ -19,6 +19,7 @@
 //! crate dependency-free (the build container has no crates registry).
 
 use kn_ddg::{classify, Ddg, DdgBuilder};
+use kn_ir::{arr, arr_at, binop, Assign, BinOp, Expr, LoopBody, Stmt, Target};
 
 /// Deterministic splitmix64 generator standing in for `rand::StdRng`.
 struct StdRng {
@@ -159,6 +160,84 @@ pub fn random_cyclic_loop_min(seed: u64, cfg: &RandomLoopConfig, min_nodes: usiz
     unreachable!("256 reseeds without a big-enough cyclic subgraph: {cfg:?} min {min_nodes}")
 }
 
+/// Configuration for [`random_transformable_body`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomXformConfig {
+    /// Array-writing statements (doalls, self-recurrences, carried
+    /// consumers).
+    pub stmts: usize,
+    /// Scalar reduction chains (`r = r op V[I]`) spliced in at random
+    /// positions.
+    pub reductions: usize,
+}
+
+impl Default for RandomXformConfig {
+    fn default() -> Self {
+        Self {
+            stmts: 5,
+            reductions: 2,
+        }
+    }
+}
+
+/// Generate a random *statement-level* loop body for the transform
+/// property suites. Every statement writes its own target (array `T{i}`
+/// or scalar `r{k}`), so the body is always legal IR; the mix of doalls,
+/// distance-1 self-recurrences, carried consumers of earlier targets, and
+/// associative reduction chains exercises both fission partitioning and
+/// reduction recognition without ever *guaranteeing* either fires — the
+/// properties must hold on skips too.
+pub fn random_transformable_body(seed: u64, cfg: &RandomXformConfig) -> LoopBody {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF0A3_17C2_9D5B_64E1);
+    let mut stmts: Vec<Stmt> = Vec::new();
+    for i in 0..cfg.stmts {
+        let target = format!("T{i}");
+        let input = arr(&format!("U{i}"));
+        let kind = rng.gen_range(0..3usize);
+        let (rhs, latency): (Expr, u32) = match kind {
+            // Doall: no carried dependence at all.
+            0 => (binop(BinOp::Add, input, Expr::Const(3)), 1),
+            // Self-recurrence: a genuine cycle fission must keep whole.
+            1 => (
+                binop(BinOp::Add, arr_at(&target, -1), input),
+                rng.gen_range(1..=2u32),
+            ),
+            // Carried consumer of an earlier statement's target (falls
+            // back to doall when this is the first statement).
+            _ => {
+                if i == 0 {
+                    (binop(BinOp::Mul, input, Expr::Const(5)), 1)
+                } else {
+                    let j = rng.gen_range(0..i);
+                    (binop(BinOp::Add, arr_at(&format!("T{j}"), -1), input), 1)
+                }
+            }
+        };
+        stmts.push(Stmt::Assign(Assign {
+            target: Target::Array {
+                array: target.clone(),
+                offset: 0,
+            },
+            rhs,
+            latency,
+            label: Some(format!("t{i}")),
+        }));
+    }
+    for k in 0..cfg.reductions {
+        let scalar_name = format!("r{k}");
+        let op = [BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max][rng.gen_range(0..4usize)];
+        let stmt = Stmt::Assign(Assign {
+            target: Target::Scalar(scalar_name.clone()),
+            rhs: binop(op, Expr::Scalar(scalar_name), arr(&format!("V{k}"))),
+            latency: rng.gen_range(1..=2u32),
+            label: Some(format!("r{k}")),
+        });
+        let at = rng.gen_range(0..=stmts.len());
+        stmts.insert(at, stmt);
+    }
+    LoopBody::new(stmts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +286,19 @@ mod tests {
             let c = classify(&g);
             assert_eq!(c.cyclic.len(), g.node_count(), "seed {seed}");
             g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn transformable_bodies_are_deterministic_and_lowerable() {
+        let cfg = RandomXformConfig::default();
+        for seed in 0..16u64 {
+            let a = random_transformable_body(seed, &cfg);
+            let b = random_transformable_body(seed, &cfg);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            assert_eq!(a.stmts.len(), cfg.stmts + cfg.reductions);
+            let flat = kn_ir::if_convert(&a);
+            kn_ir::lower_flat(&flat, &Default::default()).expect("body lowers");
         }
     }
 

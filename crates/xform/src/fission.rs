@@ -1,0 +1,384 @@
+//! Loop fission (distribution) by dependence-graph condensation.
+//!
+//! A loop can be split into a sequence of smaller loops — one per
+//! strongly-connected component of its statement dependence graph — run
+//! back-to-back in the condensation's topological order (Aubert et al.,
+//! arXiv:2206.08760; the classic Kennedy loop-distribution legality
+//! condition). Every dependence `src → dst` means "src's access precedes
+//! dst's access in serial execution"; running src's entire piece before
+//! dst's piece preserves that order for flow, anti, and output dependences
+//! alike, so the split is legal for all three kinds.
+//!
+//! Two conservatisms on top of the textbook algorithm:
+//!
+//! * **scalar fusion** — statements linked by *any* scalar dependence stay
+//!   in one piece. Splitting them would need scalar expansion (a scalar
+//!   written in piece A and read in piece B holds only its final value by
+//!   the time B runs); we refuse instead of silently rewriting.
+//! * **deterministic order** — pieces are emitted in topological order of
+//!   the condensation, ties broken by smallest original statement index,
+//!   and statements inside a piece keep their original relative order.
+
+use kn_ir::stmt::Target;
+use kn_ir::{analyze_dependences, AnalysisOptions, Dependence, DependenceKind, GuardedAssign};
+use std::collections::HashSet;
+
+/// Why fission did not fire. The codes are stable API (asserted by the
+/// golden corpus).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FissionSkip {
+    /// `XS01`: fewer than two statements — nothing to split.
+    TooSmall,
+    /// `XS02`: the flow-dependence structure alone keeps every statement
+    /// in one piece (a single recurrence threads the body).
+    SingleRecurrence,
+    /// `XS03`: a cross-piece storage (anti/output) dependence cycle is the
+    /// only reason the body cannot split — array renaming would unlock it,
+    /// but this pass does not rename.
+    StorageDependence,
+}
+
+impl FissionSkip {
+    pub fn code(self) -> &'static str {
+        match self {
+            FissionSkip::TooSmall => "XS01",
+            FissionSkip::SingleRecurrence => "XS02",
+            FissionSkip::StorageDependence => "XS03",
+        }
+    }
+}
+
+/// Partition `flat` into maximal independently schedulable pieces.
+///
+/// Returns the pieces as lists of statement indices, in the execution
+/// order of the sequencing manifest; within a piece, indices are in
+/// original statement order. `Err` carries the skip reason when the body
+/// cannot be split.
+pub fn fission_pieces(flat: &[GuardedAssign]) -> Result<Vec<Vec<usize>>, FissionSkip> {
+    if flat.len() < 2 {
+        return Err(FissionSkip::TooSmall);
+    }
+    let deps = analyze_dependences(flat, &AnalysisOptions::default());
+    let scalars = scalar_names(flat);
+    let pieces = partition(flat.len(), &deps, &scalars, true);
+    if pieces.len() >= 2 {
+        return Ok(pieces);
+    }
+    // One piece: decide whether storage dependences are to blame.
+    if partition(flat.len(), &deps, &scalars, false).len() >= 2 {
+        Err(FissionSkip::StorageDependence)
+    } else {
+        Err(FissionSkip::SingleRecurrence)
+    }
+}
+
+/// Every name used as a scalar anywhere in the body (targets, reads,
+/// guard predicates) — the set that triggers scalar fusion.
+fn scalar_names(flat: &[GuardedAssign]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for ga in flat {
+        if let Target::Scalar(s) = &ga.assign.target {
+            out.insert(s.clone());
+        }
+        for s in ga.assign.rhs.scalar_reads() {
+            out.insert(s.to_string());
+        }
+        for g in &ga.guards {
+            out.insert(g.predicate.clone());
+        }
+    }
+    out
+}
+
+/// Group statements: scalar-fuse, then collapse dependence cycles, then
+/// order the condensation topologically. With `with_array_storage` false,
+/// array anti/output dependences are ignored (the hypothetical used to
+/// classify `XS03`).
+fn partition(
+    n: usize,
+    deps: &[Dependence],
+    scalars: &HashSet<String>,
+    with_array_storage: bool,
+) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(n);
+    let considered: Vec<&Dependence> = deps
+        .iter()
+        .filter(|d| {
+            scalars.contains(&d.var) || with_array_storage || d.kind == DependenceKind::Flow
+        })
+        .collect();
+    for d in &considered {
+        if scalars.contains(&d.var) {
+            uf.union(d.src, d.dst);
+        }
+    }
+    // Collapse dependence cycles among the scalar-fused groups until a
+    // fixpoint: merging one cycle can create another.
+    loop {
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for d in &considered {
+            let (a, b) = (uf.find(d.src), uf.find(d.dst));
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+        let merged = merge_cycles(&mut uf, n, &edges);
+        if !merged {
+            break;
+        }
+    }
+    // Final components and the acyclic cross-component edges.
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut comp_of = vec![usize::MAX; n];
+    for i in 0..n {
+        let r = uf.find(i);
+        if comp_of[r] == usize::MAX {
+            comp_of[r] = members.len();
+            members.push(Vec::new());
+        }
+        comp_of[i] = comp_of[r];
+        members[comp_of[i]].push(i);
+    }
+    let k = members.len();
+    let mut succ: Vec<HashSet<usize>> = vec![HashSet::new(); k];
+    let mut indeg = vec![0usize; k];
+    for d in &considered {
+        let (a, b) = (comp_of[d.src], comp_of[d.dst]);
+        if a != b && succ[a].insert(b) {
+            indeg[b] += 1;
+        }
+    }
+    // Kahn, smallest leading statement index first.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> = (0..k)
+        .filter(|&c| indeg[c] == 0)
+        .map(|c| std::cmp::Reverse((members[c][0], c)))
+        .collect();
+    let mut order = Vec::with_capacity(k);
+    while let Some(std::cmp::Reverse((_, c))) = ready.pop() {
+        order.push(c);
+        let mut next: Vec<usize> = succ[c].iter().copied().collect();
+        next.sort_unstable();
+        for s in next {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(std::cmp::Reverse((members[s][0], s)));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), k, "condensation is acyclic by construction");
+    order.into_iter().map(|c| members[c].clone()).collect()
+}
+
+/// Merge every strongly connected component of the group graph into one
+/// union-find class. Returns true if anything merged.
+fn merge_cycles(uf: &mut UnionFind, n: usize, edges: &[(usize, usize)]) -> bool {
+    // Dense-index the group roots.
+    let mut roots: Vec<usize> = (0..n).map(|i| uf.find(i)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    let idx = |r: usize| roots.binary_search(&r).unwrap();
+    let k = roots.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for &(a, b) in edges {
+        adj[idx(a)].push(idx(b));
+    }
+    // Iterative Tarjan.
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; k];
+    let mut low = vec![0usize; k];
+    let mut on_stack = vec![false; k];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    let mut next = 0usize;
+    let mut merged = false;
+    for start in 0..k {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        call.push((start, 0));
+        index[start] = next;
+        low[start] = next;
+        next += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos < adj[v].len() {
+                let w = adj[v][*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if comp.len() > 1 {
+                        merged = true;
+                        for win in comp.windows(2) {
+                            uf.union(roots[win[0]], roots[win[1]]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    merged
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller root wins, so piece identity is deterministic.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ir::{arr, arr_at, assign, assign_scalar, binop, c, if_convert, BinOp, LoopBody};
+
+    fn flat(body: &LoopBody) -> Vec<GuardedAssign> {
+        if_convert(body)
+    }
+
+    #[test]
+    fn independent_chains_split() {
+        // Two unrelated recurrences: X and Y.
+        let body = LoopBody::new(vec![
+            assign("x", "X", 0, binop(BinOp::Add, arr_at("X", -1), c(1))),
+            assign("y", "Y", 0, binop(BinOp::Mul, arr_at("Y", -1), c(3))),
+        ]);
+        let pieces = fission_pieces(&flat(&body)).unwrap();
+        assert_eq!(pieces, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn forward_flow_splits_producer_before_consumer() {
+        // A[I] = …; B[I] = A[I-1] — carried flow A→B, no cycle: two
+        // pieces, producer first.
+        let body = LoopBody::new(vec![
+            assign("a", "A", 0, binop(BinOp::Add, arr("C"), c(1))),
+            assign("b", "B", 0, arr_at("A", -1)),
+        ]);
+        let pieces = fission_pieces(&flat(&body)).unwrap();
+        assert_eq!(pieces, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn recurrence_cycle_stays_one_piece() {
+        // figure7: one five-statement body threaded by two interleaved
+        // recurrences — everything is one SCC, XS02.
+        let body = kn_workloads::figure7_body();
+        assert_eq!(
+            fission_pieces(&flat(&body)).unwrap_err(),
+            FissionSkip::SingleRecurrence
+        );
+    }
+
+    #[test]
+    fn single_statement_is_too_small() {
+        let body = LoopBody::new(vec![assign("a", "A", 0, c(1))]);
+        assert_eq!(
+            fission_pieces(&flat(&body)).unwrap_err(),
+            FissionSkip::TooSmall
+        );
+    }
+
+    #[test]
+    fn anti_dependence_cycle_reports_storage_code() {
+        // S0: X[I] = Z[I-1]   (flow Z: S2→S0 carried)
+        // S1: Y[I] = X[I] + Z[I+1]   (flow X: S0→S1; anti Z: S1→S2)
+        // S2: Z[I] = C[I]
+        // Cycle S0→S1→S2→S0 exists only through the anti edge: XS03.
+        let body = LoopBody::new(vec![
+            assign("s0", "X", 0, arr_at("Z", -1)),
+            assign("s1", "Y", 0, binop(BinOp::Add, arr("X"), arr_at("Z", 1))),
+            assign("s2", "Z", 0, arr("C")),
+        ]);
+        assert_eq!(
+            fission_pieces(&flat(&body)).unwrap_err(),
+            FissionSkip::StorageDependence
+        );
+    }
+
+    #[test]
+    fn scalar_fusion_keeps_scalar_users_together() {
+        // t feeds both consumers; splitting them would need expansion.
+        let body = LoopBody::new(vec![
+            assign_scalar("t", "t", binop(BinOp::Add, arr("A"), c(1))),
+            assign("b", "B", 0, binop(BinOp::Mul, kn_ir::scalar("t"), c(2))),
+            assign("c", "C", 0, binop(BinOp::Add, kn_ir::scalar("t"), c(3))),
+            // An unrelated fourth statement CAN split off.
+            assign("d", "D", 0, binop(BinOp::Add, arr_at("D", -1), c(1))),
+        ]);
+        let pieces = fission_pieces(&flat(&body)).unwrap();
+        assert_eq!(pieces, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn pieces_cover_all_statements_exactly_once() {
+        let body = LoopBody::new(vec![
+            assign("a", "A", 0, binop(BinOp::Add, arr_at("A", -1), c(1))),
+            assign("b", "B", 0, arr("A")),
+            assign("q", "Q", 0, binop(BinOp::Mul, arr_at("Q", -1), c(5))),
+            assign("r", "R", 0, arr_at("Q", -2)),
+        ]);
+        let f = flat(&body);
+        let pieces = fission_pieces(&f).unwrap();
+        let mut seen: Vec<usize> = pieces.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..f.len()).collect::<Vec<_>>());
+        assert!(pieces.len() >= 2);
+    }
+
+    #[test]
+    fn manifest_order_respects_cross_piece_flow() {
+        // Consumer written first in the body, producer later (carried):
+        // the manifest must still put the producer's piece first.
+        let body = LoopBody::new(vec![
+            assign("use", "U", 0, arr_at("P", -1)),
+            assign("prod", "P", 0, binop(BinOp::Add, arr("C"), c(2))),
+        ]);
+        let f = flat(&body);
+        // P is written by stmt 1 and read (carried) by stmt 0: flow 1→0.
+        let pieces = fission_pieces(&f).unwrap();
+        assert_eq!(pieces, vec![vec![1], vec![0]]);
+    }
+}

@@ -1,0 +1,554 @@
+//! The transform pipeline: reduce, then fission, then self-certify.
+//!
+//! [`transform_loop`] is the one entry point the CLI and the scheduling
+//! service call. It runs the enabled passes in a fixed order (reduction
+//! rewriting first, so fission partitions the *rewritten* body), lowers
+//! every resulting piece back to a DDG, and — whenever anything actually
+//! changed — runs the differential-equivalence harness before returning.
+//! A transform that cannot prove itself equivalent is a hard error, never
+//! a silently-wrong result.
+
+use crate::diff::{check_equivalence, EquivMismatch, EquivOptions};
+use crate::fission::fission_pieces;
+use crate::reduce::recognize_reductions;
+use kn_ddg::scc::recurrence_bound;
+use kn_ddg::Ddg;
+use kn_ir::{if_convert, lower_flat, AnalysisOptions, BinOp, GuardedAssign, LoopBody, LowerError};
+
+/// Which passes to run. Everything defaults to **off**: callers opt in per
+/// request, and a request with no options enabled is byte-identical to one
+/// that never heard of this crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransformOptions {
+    /// Split the loop into independently schedulable pieces.
+    pub fission: bool,
+    /// Rewrite associative accumulations into privatize-and-reduce form.
+    pub reduce: bool,
+}
+
+impl TransformOptions {
+    /// Every pass enabled.
+    pub fn all() -> Self {
+        Self {
+            fission: true,
+            reduce: true,
+        }
+    }
+
+    /// True when at least one pass is enabled.
+    pub fn any(&self) -> bool {
+        self.fission || self.reduce
+    }
+}
+
+/// Outcome of one pass, carrying the stable skip code when it did not fire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassStatus {
+    /// The pass was not requested.
+    Off,
+    /// The pass fired and rewrote the body.
+    Applied,
+    /// The pass was requested but declined; the code (`XSnn`/`XRnn`) says
+    /// why and is stable API.
+    Skipped(&'static str),
+}
+
+impl PassStatus {
+    pub fn render(&self) -> String {
+        match self {
+            PassStatus::Off => "off".to_string(),
+            PassStatus::Applied => "applied".to_string(),
+            PassStatus::Skipped(code) => format!("skipped({code})"),
+        }
+    }
+
+    pub fn applied(&self) -> bool {
+        matches!(self, PassStatus::Applied)
+    }
+}
+
+/// One fission piece: a complete loop over the full iteration space, run
+/// after every earlier piece finishes (the sequencing manifest is the
+/// order of [`Transformed::pieces`]).
+#[derive(Clone, Debug)]
+pub struct Piece {
+    /// `{loop}.p{k}` when fission fired, the loop name itself otherwise.
+    pub name: String,
+    /// Indices into the transformed flat body, original statement order.
+    pub indices: Vec<usize>,
+    /// The piece's statements.
+    pub body: Vec<GuardedAssign>,
+    /// The piece lowered to its own dependence graph (dense node ids).
+    pub graph: Ddg,
+    /// Recurrence-constrained MII of the piece (`0` = doall).
+    pub mii: f64,
+}
+
+impl Piece {
+    /// DDG node names, in node order (one per statement).
+    pub fn stmt_labels(&self) -> Vec<String> {
+        self.graph
+            .node_ids()
+            .map(|id| self.graph.node(id).name.clone())
+            .collect()
+    }
+}
+
+/// A post-loop fold reconstructing a privatized reduction scalar:
+/// `scalar = fold(op, initial scalar value, elements[0..N])`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Epilogue {
+    /// The accumulator scalar being reconstructed.
+    pub scalar: String,
+    /// The associative-commutative fold operator.
+    pub op: BinOp,
+    /// The introduced element array holding per-iteration contributions.
+    pub elements: String,
+}
+
+impl Epilogue {
+    /// Stable lower-case operator name for reports (`add`/`mul`/`min`/`max`).
+    pub fn op_name(&self) -> &'static str {
+        match self.op {
+            BinOp::Add => "add",
+            BinOp::Mul => "mul",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            // Non-associative operators never reach an epilogue.
+            _ => "?",
+        }
+    }
+}
+
+/// The transformed program: pieces in execution order plus the reduction
+/// epilogues, and the bookkeeping the differential harness needs to
+/// project both runs down to the observable store.
+#[derive(Clone, Debug)]
+pub struct Transformed {
+    pub pieces: Vec<Piece>,
+    pub epilogues: Vec<Epilogue>,
+    /// Arrays introduced by the rewrite (`*__red`): private storage, not
+    /// observable.
+    pub introduced_arrays: Vec<String>,
+    /// Predicate scalars eliminated by canonicalization: absent from the
+    /// transformed program, so dropped from the original's store too.
+    pub removed_scalars: Vec<String>,
+}
+
+/// Everything `kn transform` reports about one loop.
+#[derive(Clone, Debug)]
+pub struct TransformReport {
+    pub name: String,
+    pub reduce: PassStatus,
+    pub fission: PassStatus,
+    /// Recurrence MII of the original body.
+    pub mii_before: f64,
+    /// Max recurrence MII over the transformed pieces.
+    pub mii_after: f64,
+    /// `ok(seeds=S,iters=N)` when the differential harness certified the
+    /// change, `unchanged` when no pass fired.
+    pub equivalence: String,
+}
+
+/// Result of [`transform_loop`]: the rewritten program and its report.
+#[derive(Clone, Debug)]
+pub struct TransformOutput {
+    pub report: TransformReport,
+    pub transformed: Transformed,
+}
+
+impl TransformOutput {
+    /// True when at least one pass rewrote the body.
+    pub fn changed(&self) -> bool {
+        self.report.reduce.applied() || self.report.fission.applied()
+    }
+
+    /// `mii_before / mii_after`, both clamped to ≥ 1 so doall results
+    /// (`mii = 0`) produce finite, comparable ratios.
+    pub fn improvement(&self) -> f64 {
+        self.report.mii_before.max(1.0) / self.report.mii_after.max(1.0)
+    }
+
+    /// The report as a single JSON object with a stable field order, for
+    /// the golden corpus and the bench harness.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"name\":{},\"reduce\":{},\"fission\":{},\"reductions\":[",
+            json_str(&r.name),
+            json_str(&r.reduce.render()),
+            json_str(&r.fission.render()),
+        ));
+        for (i, ep) in self.transformed.epilogues.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"scalar\":{},\"op\":{},\"elements\":{}}}",
+                json_str(&ep.scalar),
+                json_str(ep.op_name()),
+                json_str(&ep.elements),
+            ));
+        }
+        s.push_str("],\"pieces\":[");
+        for (i, p) in self.transformed.pieces.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let stmts = p
+                .stmt_labels()
+                .iter()
+                .map(|l| json_str(l))
+                .collect::<Vec<_>>()
+                .join(",");
+            s.push_str(&format!(
+                "{{\"name\":{},\"stmts\":[{}],\"mii\":{:.3}}}",
+                json_str(&p.name),
+                stmts,
+                p.mii,
+            ));
+        }
+        s.push_str(&format!(
+            "],\"mii_before\":{:.3},\"mii_after\":{:.3},\"equivalence\":{}}}",
+            r.mii_before,
+            r.mii_after,
+            json_str(&r.equivalence),
+        ));
+        s
+    }
+
+    /// Multi-line human rendering for the CLI.
+    pub fn render_human(&self) -> String {
+        let r = &self.report;
+        let mut out = String::new();
+        out.push_str(&format!("loop: {}\n", r.name));
+        out.push_str(&format!("  reduce:  {}\n", r.reduce.render()));
+        for ep in &self.transformed.epilogues {
+            out.push_str(&format!(
+                "    {} = fold_{}({})\n",
+                ep.scalar,
+                ep.op_name(),
+                ep.elements
+            ));
+        }
+        out.push_str(&format!("  fission: {}\n", r.fission.render()));
+        for p in &self.transformed.pieces {
+            out.push_str(&format!(
+                "    {}: [{}] mii {:.3}\n",
+                p.name,
+                p.stmt_labels().join(", "),
+                p.mii
+            ));
+        }
+        out.push_str(&format!(
+            "  mii: {:.3} -> {:.3} ({:.2}x)\n",
+            r.mii_before,
+            r.mii_after,
+            self.improvement()
+        ));
+        out.push_str(&format!("  equivalence: {}\n", r.equivalence));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Why a transform failed hard (as opposed to declining with a skip code).
+#[derive(Debug)]
+pub enum TransformError {
+    /// The body (or a piece) would not lower to a valid DDG.
+    Lower(LowerError),
+    /// The differential harness found a seed on which the transformed
+    /// program's observable store differs from the original's. This means
+    /// a pass is buggy; the transform must not be used.
+    Equivalence(Box<EquivMismatch>),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::Lower(e) => write!(f, "lowering failed: {e}"),
+            TransformError::Equivalence(m) => write!(f, "equivalence violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<LowerError> for TransformError {
+    fn from(e: LowerError) -> Self {
+        TransformError::Lower(e)
+    }
+}
+
+/// Transform a structured loop body (if-converting it first).
+pub fn transform_loop(
+    name: &str,
+    body: &LoopBody,
+    opts: &TransformOptions,
+) -> Result<TransformOutput, TransformError> {
+    transform_flat(name, &if_convert(body), opts)
+}
+
+/// Transform an already-flattened body. Runs reduce, then fission, lowers
+/// every piece, and certifies any applied change with the differential
+/// harness at its default strength.
+pub fn transform_flat(
+    name: &str,
+    flat: &[GuardedAssign],
+    opts: &TransformOptions,
+) -> Result<TransformOutput, TransformError> {
+    let analysis = AnalysisOptions::default();
+    let before = lower_flat(flat, &analysis)?;
+    let mii_before = recurrence_bound(&before);
+
+    let mut current: Vec<GuardedAssign> = flat.to_vec();
+    let mut epilogues = Vec::new();
+    let mut removed_scalars = Vec::new();
+    let reduce_status = if opts.reduce {
+        match recognize_reductions(&current) {
+            Ok(o) => {
+                current = o.body;
+                epilogues = o.epilogues;
+                removed_scalars = o.removed_scalars;
+                PassStatus::Applied
+            }
+            Err(skip) => PassStatus::Skipped(skip.code()),
+        }
+    } else {
+        PassStatus::Off
+    };
+
+    let (fission_status, piece_indices) = if opts.fission {
+        match fission_pieces(&current) {
+            Ok(p) => (PassStatus::Applied, p),
+            Err(skip) => (
+                PassStatus::Skipped(skip.code()),
+                vec![(0..current.len()).collect()],
+            ),
+        }
+    } else {
+        (PassStatus::Off, vec![(0..current.len()).collect()])
+    };
+
+    let single = piece_indices.len() == 1;
+    let mut pieces = Vec::with_capacity(piece_indices.len());
+    for (k, indices) in piece_indices.into_iter().enumerate() {
+        let body: Vec<GuardedAssign> = indices.iter().map(|&i| current[i].clone()).collect();
+        let graph = lower_flat(&body, &analysis)?;
+        let mii = recurrence_bound(&graph);
+        pieces.push(Piece {
+            name: if single {
+                name.to_string()
+            } else {
+                format!("{name}.p{k}")
+            },
+            indices,
+            body,
+            graph,
+            mii,
+        });
+    }
+    let mii_after = pieces.iter().map(|p| p.mii).fold(0.0f64, f64::max);
+
+    let introduced_arrays = epilogues
+        .iter()
+        .map(|e: &Epilogue| e.elements.clone())
+        .collect();
+    let transformed = Transformed {
+        pieces,
+        epilogues,
+        introduced_arrays,
+        removed_scalars,
+    };
+
+    let changed = reduce_status.applied() || fission_status.applied();
+    let equivalence = if changed {
+        let eq = EquivOptions::default();
+        check_equivalence(flat, &transformed, &eq).map_err(TransformError::Equivalence)?;
+        format!("ok(seeds={},iters={})", eq.seeds, eq.iters)
+    } else {
+        "unchanged".to_string()
+    };
+
+    Ok(TransformOutput {
+        report: TransformReport {
+            name: name.to_string(),
+            reduce: reduce_status,
+            fission: fission_status,
+            mii_before,
+            mii_after,
+            equivalence,
+        },
+        transformed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ir::{arr, arr_at, assign, assign_scalar, binop, c, scalar, BinOp};
+
+    #[test]
+    fn reduction_drops_mii_to_zero() {
+        // acc = acc + A[I]: serial MII 1.0, privatized MII 0 (doall).
+        let body = LoopBody::new(vec![assign_scalar(
+            "acc",
+            "acc",
+            binop(BinOp::Add, scalar("acc"), arr("A")),
+        )]);
+        let out = transform_loop("sum", &body, &TransformOptions::all()).unwrap();
+        assert!(out.report.reduce.applied());
+        assert!(
+            (out.report.mii_before - 1.0).abs() < 1e-6,
+            "{}",
+            out.report.mii_before
+        );
+        assert_eq!(out.report.mii_after, 0.0);
+        assert!(out.improvement() >= 1.0);
+        assert!(out.report.equivalence.starts_with("ok(seeds="));
+    }
+
+    #[test]
+    fn fission_splits_and_keeps_worst_piece_mii() {
+        // Heavy recurrence (lat 3) + an independent doall: fission isolates
+        // the doall but mii_after stays the recurrence's 3.0.
+        let mut rec = assign("x", "X", 0, binop(BinOp::Mul, arr_at("X", -1), c(3)));
+        if let kn_ir::Stmt::Assign(a) = &mut rec {
+            a.latency = 3;
+        }
+        let body = LoopBody::new(vec![
+            rec,
+            assign("y", "Y", 0, binop(BinOp::Add, arr("B"), c(1))),
+        ]);
+        let out = transform_loop(
+            "mix",
+            &body,
+            &TransformOptions {
+                fission: true,
+                reduce: false,
+            },
+        )
+        .unwrap();
+        assert!(out.report.fission.applied());
+        assert_eq!(out.transformed.pieces.len(), 2);
+        assert_eq!(out.transformed.pieces[0].name, "mix.p0");
+        assert!(
+            (out.report.mii_before - 3.0).abs() < 1e-6,
+            "{}",
+            out.report.mii_before
+        );
+        assert!(
+            (out.report.mii_after - 3.0).abs() < 1e-6,
+            "{}",
+            out.report.mii_after
+        );
+    }
+
+    #[test]
+    fn no_pass_requested_reports_off_and_unchanged() {
+        let body = LoopBody::new(vec![assign("a", "A", 0, c(1))]);
+        let out = transform_loop("idle", &body, &TransformOptions::default()).unwrap();
+        assert_eq!(out.report.reduce, PassStatus::Off);
+        assert_eq!(out.report.fission, PassStatus::Off);
+        assert_eq!(out.report.equivalence, "unchanged");
+        assert!(!out.changed());
+        assert_eq!(out.transformed.pieces.len(), 1);
+        assert_eq!(out.transformed.pieces[0].name, "idle");
+    }
+
+    #[test]
+    fn skip_codes_surface_in_json() {
+        // Single statement: fission XS01; doall: reduce XR03.
+        let body = LoopBody::new(vec![assign("a", "A", 0, arr("B"))]);
+        let out = transform_loop("tiny", &body, &TransformOptions::all()).unwrap();
+        let json = out.to_json();
+        assert!(json.contains("\"fission\":\"skipped(XS01)\""), "{json}");
+        assert!(json.contains("\"reduce\":\"skipped(XR03)\""), "{json}");
+        assert!(json.contains("\"equivalence\":\"unchanged\""), "{json}");
+    }
+
+    #[test]
+    fn json_has_stable_field_order() {
+        let body = LoopBody::new(vec![assign_scalar(
+            "acc",
+            "acc",
+            binop(BinOp::Add, scalar("acc"), arr("A")),
+        )]);
+        let out = transform_loop("sum", &body, &TransformOptions::all()).unwrap();
+        let json = out.to_json();
+        let order = [
+            "\"name\":",
+            "\"reduce\":",
+            "\"fission\":",
+            "\"reductions\":",
+            "\"pieces\":",
+            "\"mii_before\":",
+            "\"mii_after\":",
+            "\"equivalence\":",
+        ];
+        let mut last = 0;
+        for key in order {
+            let pos = json.find(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(pos >= last, "field {key} out of order in {json}");
+            last = pos;
+        }
+        assert!(json.contains("\"op\":\"add\""));
+        assert!(json.contains("\"elements\":\"acc__red\""));
+    }
+
+    #[test]
+    fn reduce_then_fission_compose() {
+        // A reduction plus an unrelated recurrence: after privatization the
+        // body splits into the (now doall) element write and the recurrence.
+        let body = LoopBody::new(vec![
+            assign_scalar("acc", "acc", binop(BinOp::Add, scalar("acc"), arr("A"))),
+            assign("x", "X", 0, binop(BinOp::Add, arr_at("X", -1), c(1))),
+        ]);
+        let out = transform_loop("combo", &body, &TransformOptions::all()).unwrap();
+        assert!(out.report.reduce.applied());
+        assert!(out.report.fission.applied());
+        assert_eq!(out.transformed.pieces.len(), 2);
+        assert!(out.report.equivalence.starts_with("ok("));
+    }
+
+    #[test]
+    fn pieces_cover_transformed_body() {
+        let body = LoopBody::new(vec![
+            assign("a", "A", 0, binop(BinOp::Add, arr_at("A", -1), c(1))),
+            assign("b", "B", 0, arr("C")),
+        ]);
+        let out = transform_loop(
+            "cover",
+            &body,
+            &TransformOptions {
+                fission: true,
+                reduce: false,
+            },
+        )
+        .unwrap();
+        let mut all: Vec<usize> = out
+            .transformed
+            .pieces
+            .iter()
+            .flat_map(|p| p.indices.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1]);
+    }
+}

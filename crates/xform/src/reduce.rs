@@ -1,0 +1,478 @@
+//! Reduction recognition and privatize-and-reduce rewriting.
+//!
+//! A serial accumulation `s = s ⊕ f(I)` carries a distance-1 flow
+//! dependence on itself, which pins the loop's recurrence MII at the
+//! statement's latency no matter how many processors are available. When
+//! `⊕` is associative and commutative the chain can be *reassociated*:
+//! each iteration writes its contribution into a private element
+//! `s__red[I] = f(I)` (a doall statement with no self-dependence), and a
+//! post-loop epilogue folds the elements back into the scalar. Under this
+//! crate's exact `u64` wrapping semantics, Add/Mul/Min/Max reassociation is
+//! bit-identical to serial execution — the differential harness proves it
+//! on every rewrite rather than assuming it.
+//!
+//! Before recognition proper, [`canonicalize_compare_updates`] rewrites the
+//! guarded-compare idiom `p = e > s; (p) s = e` — how a max reduction looks
+//! after if-conversion — into `s = max(s, e)`, so one recognizer handles
+//! both spellings.
+
+use crate::pipeline::Epilogue;
+use kn_ir::stmt::Target;
+use kn_ir::{binop, scalar, Assign, BinOp, Expr, GuardedAssign};
+use std::collections::HashSet;
+
+/// Why reduction recognition did not fire. Codes are stable API (asserted
+/// by the golden corpus). When several candidates fail for different
+/// reasons the most actionable code wins: `XR02` (a scan — fixable by a
+/// scan transform) over `XR01` (non-associative — fixable by policy) over
+/// `XR04` (guarded — fixable by predication support) over `XR03` (nothing
+/// resembling a reduction at all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceSkip {
+    /// `XR01`: an accumulation chain exists but its operator (`-`, `/`) is
+    /// not associative; reassociation would change the result.
+    NonAssociative,
+    /// `XR02`: the accumulator is read by another statement in the body —
+    /// the loop needs every prefix value (a scan), not just the total.
+    Scan,
+    /// `XR03`: no statement has the shape `s = s ⊕ e`.
+    NoChain,
+    /// `XR04`: the accumulation is guarded; a predicated rewrite would need
+    /// an identity-element substitution this pass does not do.
+    Guarded,
+}
+
+impl ReduceSkip {
+    pub fn code(self) -> &'static str {
+        match self {
+            ReduceSkip::NonAssociative => "XR01",
+            ReduceSkip::Scan => "XR02",
+            ReduceSkip::NoChain => "XR03",
+            ReduceSkip::Guarded => "XR04",
+        }
+    }
+}
+
+/// Result of a successful recognition pass.
+#[derive(Clone, Debug)]
+pub struct ReduceOutcome {
+    /// The body with every recognized accumulation rewritten to its
+    /// privatized element-array form.
+    pub body: Vec<GuardedAssign>,
+    /// One epilogue per rewritten accumulation (fold order = statement
+    /// order, though the fold is order-insensitive by construction).
+    pub epilogues: Vec<Epilogue>,
+    /// Predicate scalars eliminated by guarded-compare canonicalization —
+    /// they no longer exist in the transformed program and must be dropped
+    /// from the observable store before differential comparison.
+    pub removed_scalars: Vec<String>,
+}
+
+/// Rewrite `p = e > s; (p) s = e` (and the three sibling orientations)
+/// into `s = max(s, e)` / `s = min(s, e)`.
+///
+/// Legality requires the pair to be adjacent, `p` to be consumed by that
+/// single positive guard and nowhere else, and the compared expression `e`
+/// to be syntactically identical on both statements and free of `p` and
+/// `s` (the select must be a pure two-input choice). The combined
+/// statement keeps the update's label and the pair's maximum latency.
+pub fn canonicalize_compare_updates(flat: &[GuardedAssign]) -> (Vec<GuardedAssign>, Vec<String>) {
+    let mut out: Vec<GuardedAssign> = Vec::with_capacity(flat.len());
+    let mut removed: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < flat.len() {
+        if i + 1 < flat.len() {
+            if let Some((merged, pred)) = try_merge_compare_update(&flat[i], &flat[i + 1], flat) {
+                removed.push(pred);
+                out.push(merged);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(flat[i].clone());
+        i += 1;
+    }
+    (out, removed)
+}
+
+/// Match the two-statement guarded-compare idiom. Returns the fused
+/// min/max statement and the eliminated predicate name.
+fn try_merge_compare_update(
+    cmp: &GuardedAssign,
+    upd: &GuardedAssign,
+    flat: &[GuardedAssign],
+) -> Option<(GuardedAssign, String)> {
+    // cmp: unguarded `p = l OP r` with OP ∈ {<, >}.
+    if !cmp.unconditional() {
+        return None;
+    }
+    let p = match &cmp.assign.target {
+        Target::Scalar(p) => p.clone(),
+        _ => return None,
+    };
+    let (op, l, r) = match &cmp.assign.rhs {
+        Expr::Binary(op @ (BinOp::Lt | BinOp::Gt), l, r) => (*op, l.as_ref(), r.as_ref()),
+        _ => return None,
+    };
+    // upd: `(p) s = e` — exactly one guard, positive, on p.
+    if upd.guards.len() != 1 || upd.guards[0].predicate != p || !upd.guards[0].polarity {
+        return None;
+    }
+    let s = match &upd.assign.target {
+        Target::Scalar(s) => s.clone(),
+        _ => return None,
+    };
+    let e = &upd.assign.rhs;
+    // Orientation: which side of the compare is the running value `s`?
+    //   p = e > s  → new value wins when larger   → max
+    //   p = s > e  → new value wins when smaller  → min
+    //   p = s < e  → max;   p = e < s → min.
+    let fused_op = if *l == *e && *r == Expr::Scalar(s.clone()) {
+        match op {
+            BinOp::Gt => BinOp::Max,
+            _ => BinOp::Min,
+        }
+    } else if *l == Expr::Scalar(s.clone()) && *r == *e {
+        match op {
+            BinOp::Gt => BinOp::Min,
+            _ => BinOp::Max,
+        }
+    } else {
+        return None;
+    };
+    // e must be a pure two-input select: no reads of s or p inside it.
+    if p == s || expr_reads_scalar(e, &s) || expr_reads_scalar(e, &p) {
+        return None;
+    }
+    // p must be dead outside this pair: no other guard uses it, no rhs
+    // reads it, no other statement writes it.
+    for ga in flat {
+        if std::ptr::eq(ga, cmp) || std::ptr::eq(ga, upd) {
+            continue;
+        }
+        if ga.guards.iter().any(|g| g.predicate == p)
+            || ga.assign.rhs.scalar_reads().contains(&p.as_str())
+            || ga.assign.target == Target::Scalar(p.clone())
+        {
+            return None;
+        }
+    }
+    let merged = GuardedAssign {
+        guards: Vec::new(),
+        assign: Assign {
+            target: Target::Scalar(s.clone()),
+            rhs: binop(fused_op, scalar(&s), e.clone()),
+            latency: cmp.assign.latency.max(upd.assign.latency),
+            label: upd.assign.label.clone(),
+        },
+    };
+    Some((merged, p))
+}
+
+fn expr_reads_scalar(e: &Expr, name: &str) -> bool {
+    e.scalar_reads().contains(&name)
+}
+
+/// Recognize and rewrite every reduction in `flat` (canonicalizing the
+/// guarded-compare idiom first). `Err` carries the dominant skip reason
+/// when nothing was rewritten.
+pub fn recognize_reductions(flat: &[GuardedAssign]) -> Result<ReduceOutcome, ReduceSkip> {
+    let (body, removed_scalars) = canonicalize_compare_updates(flat);
+    let array_names = all_array_names(&body);
+    let mut out = body.clone();
+    let mut epilogues = Vec::new();
+    let mut skip: Option<ReduceSkip> = None;
+    let note = |s: ReduceSkip, slot: &mut Option<ReduceSkip>| {
+        // XR02 > XR01 > XR04 > XR03 (see enum docs).
+        let rank = |s: ReduceSkip| match s {
+            ReduceSkip::Scan => 3,
+            ReduceSkip::NonAssociative => 2,
+            ReduceSkip::Guarded => 1,
+            ReduceSkip::NoChain => 0,
+        };
+        if slot.is_none_or(|cur| rank(s) > rank(cur)) {
+            *slot = Some(s);
+        }
+    };
+    for i in 0..body.len() {
+        let ga = &body[i];
+        let s = match &ga.assign.target {
+            Target::Scalar(s) => s.clone(),
+            _ => continue,
+        };
+        // Shape: s = s ⊕ e with s on exactly one side and e free of s.
+        let (op, e) = match &ga.assign.rhs {
+            Expr::Binary(op, l, r) => {
+                let ls = **l == Expr::Scalar(s.clone());
+                let rs = **r == Expr::Scalar(s.clone());
+                match (ls, rs) {
+                    (true, false) if !expr_reads_scalar(r, &s) => (*op, r.as_ref().clone()),
+                    (false, true) if !expr_reads_scalar(l, &s) => (*op, l.as_ref().clone()),
+                    _ => continue,
+                }
+            }
+            _ => continue,
+        };
+        if !matches!(
+            op,
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::Sub | BinOp::Div
+        ) {
+            continue; // comparisons are not accumulations
+        }
+        if !ga.unconditional() {
+            note(ReduceSkip::Guarded, &mut skip);
+            continue;
+        }
+        if !op.is_associative_commutative() {
+            note(ReduceSkip::NonAssociative, &mut skip);
+            continue;
+        }
+        // s must be private to this statement: no other statement reads or
+        // writes it (otherwise the loop consumes prefix values — a scan).
+        let used_elsewhere = body.iter().enumerate().any(|(k, other)| {
+            k != i
+                && (other.assign.rhs.scalar_reads().contains(&s.as_str())
+                    || other.guards.iter().any(|g| g.predicate == s)
+                    || other.assign.target == Target::Scalar(s.clone()))
+        });
+        if used_elsewhere {
+            note(ReduceSkip::Scan, &mut skip);
+            continue;
+        }
+        // Rewrite: the accumulation becomes a private element write, the
+        // fold moves to the epilogue.
+        let elements = fresh_array_name(&s, &array_names);
+        out[i] = GuardedAssign {
+            guards: Vec::new(),
+            assign: Assign {
+                target: Target::Array {
+                    array: elements.clone(),
+                    offset: 0,
+                },
+                rhs: e,
+                latency: ga.assign.latency,
+                label: ga.assign.label.clone(),
+            },
+        };
+        epilogues.push(Epilogue {
+            scalar: s,
+            op,
+            elements,
+        });
+    }
+    if epilogues.is_empty() {
+        return Err(skip.unwrap_or(ReduceSkip::NoChain));
+    }
+    Ok(ReduceOutcome {
+        body: out,
+        epilogues,
+        removed_scalars,
+    })
+}
+
+fn all_array_names(body: &[GuardedAssign]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for ga in body {
+        if let Target::Array { array, .. } = &ga.assign.target {
+            names.insert(array.clone());
+        }
+        for (a, _) in ga.assign.rhs.array_reads() {
+            names.insert(a.to_string());
+        }
+    }
+    names
+}
+
+/// `{scalar}__red`, suffixed with underscores until it collides with no
+/// array already present in the body.
+fn fresh_array_name(scalar: &str, taken: &HashSet<String>) -> String {
+    let mut name = format!("{scalar}__red");
+    while taken.contains(&name) {
+        name.push('_');
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kn_ir::{arr, assign, assign_scalar, c, if_convert, if_stmt, LoopBody};
+
+    fn flat(body: &LoopBody) -> Vec<GuardedAssign> {
+        if_convert(body)
+    }
+
+    #[test]
+    fn sum_reduction_rewrites_to_element_array() {
+        let body = LoopBody::new(vec![assign_scalar(
+            "acc",
+            "acc",
+            binop(BinOp::Add, scalar("acc"), arr("A")),
+        )]);
+        let o = recognize_reductions(&flat(&body)).unwrap();
+        assert_eq!(o.epilogues.len(), 1);
+        assert_eq!(o.epilogues[0].scalar, "acc");
+        assert_eq!(o.epilogues[0].op, BinOp::Add);
+        assert_eq!(o.epilogues[0].elements, "acc__red");
+        assert_eq!(
+            o.body[0].assign.target,
+            Target::Array {
+                array: "acc__red".into(),
+                offset: 0
+            }
+        );
+        assert_eq!(o.body[0].assign.rhs, arr("A"));
+    }
+
+    #[test]
+    fn accumulator_on_right_side_is_recognized() {
+        // acc = A[I] * acc — commutative, s on the right.
+        let body = LoopBody::new(vec![assign_scalar(
+            "acc",
+            "acc",
+            binop(BinOp::Mul, arr("A"), scalar("acc")),
+        )]);
+        let o = recognize_reductions(&flat(&body)).unwrap();
+        assert_eq!(o.epilogues[0].op, BinOp::Mul);
+        assert_eq!(o.body[0].assign.rhs, arr("A"));
+    }
+
+    #[test]
+    fn subtraction_chain_is_non_associative() {
+        let body = LoopBody::new(vec![assign_scalar(
+            "acc",
+            "acc",
+            binop(BinOp::Sub, scalar("acc"), arr("A")),
+        )]);
+        assert_eq!(
+            recognize_reductions(&flat(&body)).unwrap_err(),
+            ReduceSkip::NonAssociative
+        );
+    }
+
+    #[test]
+    fn scan_is_rejected_when_prefix_is_consumed() {
+        // The SNIPPETS `val *= f; a[i] = val` shape: every prefix product
+        // is observable, so reassociation is illegal.
+        let body = LoopBody::new(vec![
+            assign_scalar("val", "val", binop(BinOp::Mul, scalar("val"), arr("F"))),
+            assign("a", "A", 0, scalar("val")),
+        ]);
+        assert_eq!(
+            recognize_reductions(&flat(&body)).unwrap_err(),
+            ReduceSkip::Scan
+        );
+    }
+
+    #[test]
+    fn guarded_accumulation_is_rejected() {
+        let body = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Gt, arr("A"), c(0)),
+            vec![assign_scalar(
+                "acc",
+                "acc",
+                binop(BinOp::Add, scalar("acc"), arr("A")),
+            )],
+            vec![],
+        )]);
+        assert_eq!(
+            recognize_reductions(&flat(&body)).unwrap_err(),
+            ReduceSkip::Guarded
+        );
+    }
+
+    #[test]
+    fn plain_doall_has_no_chain() {
+        let body = LoopBody::new(vec![assign("a", "A", 0, binop(BinOp::Add, arr("B"), c(1)))]);
+        assert_eq!(
+            recognize_reductions(&flat(&body)).unwrap_err(),
+            ReduceSkip::NoChain
+        );
+    }
+
+    #[test]
+    fn guarded_compare_canonicalizes_to_max() {
+        // The maxdelta idiom: IF e > m THEN m = e.
+        let body = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Gt, arr("D"), scalar("m")),
+            vec![assign_scalar("m", "m", arr("D"))],
+            vec![],
+        )]);
+        let f = flat(&body);
+        assert_eq!(f.len(), 2, "compare + guarded update");
+        let (canon, removed) = canonicalize_compare_updates(&f);
+        assert_eq!(canon.len(), 1);
+        assert_eq!(removed, vec!["p0".to_string()]);
+        assert_eq!(
+            canon[0].assign.rhs,
+            binop(BinOp::Max, scalar("m"), arr("D"))
+        );
+        // End-to-end: the canonical form is a recognizable max reduction.
+        let o = recognize_reductions(&f).unwrap();
+        assert_eq!(o.epilogues[0].op, BinOp::Max);
+        assert_eq!(o.removed_scalars, vec!["p0".to_string()]);
+    }
+
+    #[test]
+    fn compare_orientations_map_to_min_and_max() {
+        // p = m > e; (p) m = e  → keep the smaller → min.
+        let body = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Gt, scalar("m"), arr("D")),
+            vec![assign_scalar("m", "m", arr("D"))],
+            vec![],
+        )]);
+        let (canon, _) = canonicalize_compare_updates(&flat(&body));
+        assert_eq!(
+            canon[0].assign.rhs,
+            binop(BinOp::Min, scalar("m"), arr("D"))
+        );
+        // p = m < e; (p) m = e → keep the larger → max.
+        let body = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Lt, scalar("m"), arr("D")),
+            vec![assign_scalar("m", "m", arr("D"))],
+            vec![],
+        )]);
+        let (canon, _) = canonicalize_compare_updates(&flat(&body));
+        assert_eq!(
+            canon[0].assign.rhs,
+            binop(BinOp::Max, scalar("m"), arr("D"))
+        );
+    }
+
+    #[test]
+    fn compare_predicate_with_other_users_is_left_alone() {
+        // p0 also guards an unrelated statement: the pair must not fuse.
+        let body = LoopBody::new(vec![if_stmt(
+            binop(BinOp::Gt, arr("D"), scalar("m")),
+            vec![assign_scalar("m", "m", arr("D")), assign("w", "W", 0, c(1))],
+            vec![],
+        )]);
+        let f = flat(&body);
+        let (canon, removed) = canonicalize_compare_updates(&f);
+        assert_eq!(canon.len(), f.len());
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn fresh_name_avoids_collision() {
+        // An array literally named acc__red already exists in the body.
+        let body = LoopBody::new(vec![
+            assign("x", "X", 0, arr("acc__red")),
+            assign_scalar("acc", "acc", binop(BinOp::Add, scalar("acc"), arr("A"))),
+        ]);
+        let o = recognize_reductions(&flat(&body)).unwrap();
+        assert_eq!(o.epilogues[0].elements, "acc__red_");
+    }
+
+    #[test]
+    fn multiple_reductions_in_one_body() {
+        let body = LoopBody::new(vec![
+            assign_scalar("s", "s", binop(BinOp::Add, scalar("s"), arr("A"))),
+            assign_scalar("m", "m", binop(BinOp::Max, scalar("m"), arr("B"))),
+        ]);
+        let o = recognize_reductions(&flat(&body)).unwrap();
+        assert_eq!(o.epilogues.len(), 2);
+        assert_eq!(o.epilogues[0].scalar, "s");
+        assert_eq!(o.epilogues[1].scalar, "m");
+    }
+}

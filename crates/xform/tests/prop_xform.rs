@@ -1,0 +1,90 @@
+//! Property suites for the transform pipeline (ISSUE 10 satellite 1).
+//!
+//! Bodies come from `kn_workloads::random_transformable_body` — a seeded
+//! mix of doalls, distance-1 self-recurrences, carried consumers, and
+//! associative scalar reduction chains. Neither suite assumes a pass
+//! fires: the properties must hold on applied *and* skipped outcomes,
+//! and `transform_flat` itself certifies every applied transform
+//! differentially (an `Err` here means the pass produced a program that
+//! disagrees with the original on some seeded input).
+
+use kn_ir::{analyze_dependences, if_convert, AnalysisOptions};
+use kn_workloads::{random_transformable_body, RandomXformConfig};
+use kn_xform::{check_equivalence, transform_flat, EquivOptions, TransformOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fission cover + legality: the pieces partition the statement
+    /// indices exactly, and every dependence (flow, anti, output — array
+    /// or scalar) either stays inside one piece or points from an earlier
+    /// manifest piece to a later one. A violated cross-piece flow would
+    /// read a value the producer piece has not written yet.
+    #[test]
+    fn fission_partitions_and_never_violates_a_dependence(
+        seed in 0u64..1_000_000,
+        stmts in 2usize..=6,
+        reductions in 0usize..=2,
+    ) {
+        let cfg = RandomXformConfig { stmts, reductions };
+        let body = random_transformable_body(seed, &cfg);
+        let flat = if_convert(&body);
+        let out = transform_flat(
+            "prop",
+            &flat,
+            &TransformOptions { fission: true, reduce: false },
+        )
+        .expect("certified transform");
+
+        // Exact partition of 0..n, regardless of applied/skipped.
+        let mut covered: Vec<usize> = out
+            .transformed
+            .pieces
+            .iter()
+            .flat_map(|p| p.indices.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..flat.len()).collect::<Vec<_>>());
+
+        // Manifest order respects every dependence direction.
+        let mut piece_of = vec![usize::MAX; flat.len()];
+        for (pos, piece) in out.transformed.pieces.iter().enumerate() {
+            for &i in &piece.indices {
+                piece_of[i] = pos;
+            }
+        }
+        for d in analyze_dependences(&flat, &AnalysisOptions::default()) {
+            prop_assert!(
+                piece_of[d.src] <= piece_of[d.dst],
+                "{:?} {} stmt {} (piece {}) -> stmt {} (piece {}) runs backwards",
+                d.kind, d.var, d.src, piece_of[d.src], d.dst, piece_of[d.dst]
+            );
+        }
+    }
+
+    /// Reduction differential: the generator's reduction chains are
+    /// always recognizable (associative op, private accumulator), and the
+    /// rewritten program matches the original on 64 seeded memories —
+    /// well past the 8 seeds `transform_flat` certifies with.
+    #[test]
+    fn recognized_reductions_match_serial_execution_on_64_seeds(
+        seed in 0u64..1_000_000,
+        stmts in 0usize..=4,
+        reductions in 1usize..=3,
+    ) {
+        let cfg = RandomXformConfig { stmts, reductions };
+        let body = random_transformable_body(seed, &cfg);
+        let flat = if_convert(&body);
+        let out = transform_flat("prop", &flat, &TransformOptions::all())
+            .expect("certified transform");
+        prop_assert!(out.report.reduce.applied(), "report: {:?}", out.report.reduce);
+        prop_assert_eq!(out.transformed.epilogues.len(), reductions);
+        check_equivalence(
+            &flat,
+            &out.transformed,
+            &EquivOptions { iters: 48, seeds: 64 },
+        )
+        .map_err(|m| TestCaseError::fail(m.to_string()))?;
+    }
+}

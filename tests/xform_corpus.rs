@@ -1,0 +1,84 @@
+//! Golden tests for the transform corpus (`corpus/xform/*.ir`).
+//!
+//! Every fixture runs through the full transform pipeline (both passes)
+//! and its JSON report must match `corpus/xform/golden.jsonl` byte for
+//! byte — the same output `kn transform FILE --json` prints, and what the
+//! CI `xform-equivalence` job diffs. The negatives additionally pin their
+//! exact skip codes, so a regenerated golden cannot silently bless a
+//! transform that started firing where it must not.
+
+use mimd_loop_par::ir::parse_loop;
+use mimd_loop_par::xform::{transform_loop, TransformOptions};
+
+/// Fixture order matches golden.jsonl line order.
+const FIXTURES: &[&str] = &[
+    "sum", "maxdelta", "twophase", "islands", "scan", "nonassoc", "storage", "figure7",
+];
+
+fn corpus_path(name: &str) -> String {
+    format!("{}/corpus/xform/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn transform_json(stem: &str) -> String {
+    let text = std::fs::read_to_string(corpus_path(&format!("{stem}.ir")))
+        .expect("corpus fixture present");
+    let body = parse_loop(&text).expect("fixture parses");
+    transform_loop(stem, &body, &TransformOptions::all())
+        .expect("certified transform")
+        .to_json()
+}
+
+#[test]
+fn golden_jsonl_matches_the_pipeline_byte_for_byte() {
+    let golden = std::fs::read_to_string(corpus_path("golden.jsonl")).expect("golden present");
+    let lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(lines.len(), FIXTURES.len(), "one golden line per fixture");
+    for (stem, want) in FIXTURES.iter().zip(&lines) {
+        assert_eq!(&transform_json(stem), want, "fixture {stem}");
+    }
+}
+
+#[test]
+fn negatives_decline_with_their_exact_skip_codes() {
+    for (stem, field, code) in [
+        ("scan", "reduce", "skipped(XR02)"),
+        ("nonassoc", "reduce", "skipped(XR01)"),
+        ("storage", "fission", "skipped(XS03)"),
+        ("figure7", "fission", "skipped(XS02)"),
+        ("sum", "fission", "skipped(XS01)"),
+    ] {
+        let json = transform_json(stem);
+        let needle = format!("\"{field}\":\"{code}\"");
+        assert!(json.contains(&needle), "{stem}: {json} missing {needle}");
+        // A negative that skipped both passes must not change the program.
+        if stem != "sum" {
+            assert!(
+                json.contains("\"equivalence\":\"unchanged\"")
+                    || json.contains("\"reduce\":\"applied\""),
+                "{stem}: {json}"
+            );
+        }
+    }
+}
+
+#[test]
+fn applied_fixtures_are_certified_and_never_worse() {
+    for stem in FIXTURES {
+        let text = std::fs::read_to_string(corpus_path(&format!("{stem}.ir"))).unwrap();
+        let body = parse_loop(&text).unwrap();
+        let out = transform_loop(stem, &body, &TransformOptions::all()).unwrap();
+        assert!(
+            out.report.mii_after <= out.report.mii_before + 1e-9,
+            "{stem}: mii {} -> {}",
+            out.report.mii_before,
+            out.report.mii_after
+        );
+        if out.changed() {
+            assert!(
+                out.report.equivalence.starts_with("ok("),
+                "{stem}: {}",
+                out.report.equivalence
+            );
+        }
+    }
+}
